@@ -1,0 +1,83 @@
+// Shared helpers for the benchmark binaries: flag parsing, dataset/store
+// construction, repeated timed runs with warm-cache discipline (the paper
+// runs each query 10 times and discards the first run; we default to 4).
+
+#ifndef SQLGRAPH_BENCH_BENCH_COMMON_H_
+#define SQLGRAPH_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "bench_core/report.h"
+#include "bench_core/workloads.h"
+#include "graph/dbpedia_gen.h"
+#include "sqlgraph/store.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+
+namespace sqlgraph {
+namespace bench {
+
+inline double FlagDouble(int argc, char** argv, const char* name,
+                         double fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atof(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+inline int64_t FlagInt(int argc, char** argv, const char* name,
+                       int64_t fallback) {
+  return static_cast<int64_t>(
+      FlagDouble(argc, argv, name, static_cast<double>(fallback)));
+}
+
+inline bool FlagBool(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+/// Builds the benchmark dataset at the requested scale.
+inline graph::PropertyGraph BuildDbpediaGraph(double scale) {
+  graph::DbpediaConfig config;
+  config.scale = scale;
+  std::printf("generating DBpedia-like graph, scale %.3f ...\n", scale);
+  util::Stopwatch sw;
+  graph::PropertyGraph g = graph::DbpediaGenerator(config).Generate();
+  std::printf("  %zu vertices, %zu edges (%.1fs)\n", g.NumVertices(),
+              g.NumEdges(), sw.ElapsedSeconds());
+  return g;
+}
+
+/// Standard SQLGraph store configuration for the DBpedia benchmarks.
+inline core::StoreConfig DbpediaStoreConfig() {
+  core::StoreConfig config;
+  config.va_hash_indexes = IndexedAttributeKeys();
+  config.va_ordered_indexes = OrderedIndexedAttributeKeys();
+  return config;
+}
+
+/// Runs `fn` `runs` times, discarding the first (cold) run; returns the
+/// warm-run statistics in milliseconds.
+inline util::Samples TimedRuns(int runs, const std::function<void()>& fn) {
+  util::Samples samples;
+  for (int r = 0; r < runs; ++r) {
+    util::Stopwatch sw;
+    fn();
+    if (r > 0) samples.Add(sw.ElapsedMillis());
+  }
+  return samples;
+}
+
+}  // namespace bench
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,69 @@
+// Paper Fig. 4 — vertex-attribute lookup micro-benchmark (§3.3): the 16
+// Table-2 queries on (a) the JSON attribute table (VA with JSON indexes) vs
+// (b) the shredded hash attribute table (Fig. 2d) with its long-string,
+// multi-value and cast overheads.
+//
+//   ./bench_fig4_attributes [--scale=0.3] [--runs=4]
+
+#include "bench_common.h"
+#include "sqlgraph/micro_schemas.h"
+#include "util/string_util.h"
+
+using namespace sqlgraph;
+using namespace sqlgraph::bench;
+
+int main(int argc, char** argv) {
+  const double scale = FlagDouble(argc, argv, "--scale", 0.3);
+  const int runs = static_cast<int>(FlagInt(argc, argv, "--runs", 4));
+
+  graph::PropertyGraph g = BuildDbpediaGraph(scale);
+  auto store = core::SqlGraphStore::Build(g, DbpediaStoreConfig());
+  if (!store.ok()) return 1;
+  auto hash_store = core::HashAttrStore::Build(g);
+  if (!hash_store.ok()) return 1;
+
+  Banner("Fig. 4 — vertex attribute lookups (ms per query)");
+  TextTable table({"q", "attribute", "filter", "result", "JsonAttr(ms)",
+                   "HashAttr(ms)", "hash/json"});
+  util::RunningStat json_stat, hash_stat;
+  for (const auto& q : Table2Queries()) {
+    const std::string sql = q.ToJsonSql();
+    int64_t json_result = -1;
+    util::Samples json_ms = TimedRuns(runs, [&] {
+      auto r = (*store)->ExecuteSql(sql);
+      if (r.ok()) json_result = r->rows[0][0].AsInt();
+    });
+    size_t hash_result = 0;
+    util::Samples hash_ms = TimedRuns(runs, [&] {
+      auto r = (*hash_store)->CountMatches(q.key, q.kind, q.operand);
+      if (r.ok()) hash_result = *r;
+    });
+    if (json_result >= 0 &&
+        static_cast<size_t>(json_result) != hash_result) {
+      std::fprintf(stderr, "MISMATCH on q%d: %lld vs %zu\n", q.id,
+                   static_cast<long long>(json_result), hash_result);
+    }
+    const char* filter;
+    switch (q.kind) {
+      case core::HashAttrStore::QueryKind::kNotNull: filter = "not null"; break;
+      case core::HashAttrStore::QueryKind::kLike: filter = "like %en"; break;
+      default: filter = "= value"; break;
+    }
+    json_stat.Add(json_ms.mean());
+    hash_stat.Add(hash_ms.mean());
+    table.AddRow({std::to_string(q.id), q.key, filter,
+                  std::to_string(json_result), FormatMs(json_ms.mean()),
+                  FormatMs(hash_ms.mean()),
+                  util::StrFormat("%.1fx", hash_ms.mean() /
+                                               std::max(0.001, json_ms.mean()))});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nJSON attr table: mean %.2f ms (sd %.2f) | Hash attr table: mean "
+      "%.2f ms (sd %.2f)\n",
+      json_stat.mean(), json_stat.stddev(), hash_stat.mean(),
+      hash_stat.stddev());
+  std::printf("(paper: JSON mean 92 ms sd 108 vs hash mean 265 ms sd 537 — "
+              "JSON wins on value lookups, ties on not-null)\n");
+  return 0;
+}

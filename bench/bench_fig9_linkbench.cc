@@ -1,0 +1,192 @@
+// Paper Fig. 9 + Tables 6/7 — LinkBench: throughput across graph scales and
+// requester counts for SQLGraph, the Titan-like KvStore and the Neo4j-like
+// NativeStore, plus per-operation mean(max) latency tables.
+//
+// Scales are laptop-sized stand-ins for the paper's 10k–100M (and the
+// --large run stands in for the 1-billion-node experiment; see DESIGN.md).
+//
+//   ./bench_fig9_linkbench [--ops=4000] [--rt-micros=50] [--large]
+
+#include <array>
+#include <memory>
+
+#include "baseline/kv_store.h"
+#include "baseline/native_store.h"
+#include "baseline/sqlgraph_adapter.h"
+#include "bench_common.h"
+#include "bench_core/linkbench_driver.h"
+#include "util/string_util.h"
+
+using namespace sqlgraph;
+using namespace sqlgraph::bench;
+
+namespace {
+
+enum class System { kSqlGraph, kKv, kNative };
+
+const char* SystemName(System s) {
+  switch (s) {
+    case System::kSqlGraph: return "SQLGraph";
+    case System::kKv: return "Titan-like(KV)";
+    default: return "Neo4j-like(Native)";
+  }
+}
+
+struct StoreHolder {
+  std::unique_ptr<core::SqlGraphStore> sqlgraph;
+  std::unique_ptr<baseline::SqlGraphAdapter> adapter;
+  std::unique_ptr<baseline::NativeStore> native;
+  std::unique_ptr<baseline::KvStore> kv;
+  baseline::GraphDb* db = nullptr;
+};
+
+StoreHolder BuildStore(System system, const graph::PropertyGraph& g,
+                       uint32_t rt_micros) {
+  StoreHolder holder;
+  switch (system) {
+    case System::kSqlGraph: {
+      auto store = core::SqlGraphStore::Build(g);
+      if (store.ok()) {
+        holder.sqlgraph = std::move(store).value();
+        holder.adapter = std::make_unique<baseline::SqlGraphAdapter>(
+            holder.sqlgraph.get(), rt_micros);
+        holder.db = holder.adapter.get();
+      }
+      return holder;
+    }
+    case System::kKv: {
+      baseline::KvStoreConfig config;
+      config.round_trip_micros = rt_micros;
+      auto store = baseline::KvStore::Build(g, config);
+      if (store.ok()) {
+        holder.kv = std::move(store).value();
+        holder.db = holder.kv.get();
+      }
+      return holder;
+    }
+    case System::kNative: {
+      baseline::NativeStoreConfig config;
+      config.round_trip_micros = rt_micros;
+      auto store = baseline::NativeStore::Build(g, config);
+      if (store.ok()) {
+        holder.native = std::move(store).value();
+        holder.db = holder.native.get();
+      }
+      return holder;
+    }
+  }
+  return holder;
+}
+
+void PrintOpTable(const char* title,
+                  const std::vector<std::pair<std::string, LinkBenchResult>>&
+                      results) {
+  Banner(title);
+  std::vector<std::string> header = {"Operation", "Mix"};
+  for (const auto& [name, r] : results) header.push_back(name);
+  TextTable table(header);
+  for (int op = 0; op < 10; ++op) {
+    std::vector<std::string> row = {
+        graph::LinkBenchOpName(static_cast<graph::LinkBenchOp>(op)),
+        util::StrFormat("%.1f%%", graph::kLinkBenchOpMix[op])};
+    for (const auto& [name, r] : results) {
+      const auto& s = r.latency[static_cast<size_t>(op)];
+      row.push_back(s.count() == 0 ? "-" : FormatMeanMax(s.mean(), s.max()));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s", table.ToString().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t base_ops =
+      static_cast<size_t>(FlagInt(argc, argv, "--ops", 2000));
+  const uint32_t rt_micros =
+      static_cast<uint32_t>(FlagInt(argc, argv, "--rt-micros", 50));
+  const bool large = FlagBool(argc, argv, "--large");
+
+  const std::array<size_t, 3> requester_counts = {1, 10, 100};
+
+  if (large) {
+    // Fig. 9d / Table 7: the biggest graph, SQLGraph vs Neo4j-like only
+    // (the paper could not run Titan at this scale either).
+    const size_t objects =
+        static_cast<size_t>(FlagInt(argc, argv, "--objects", 500000));
+    graph::LinkBenchConfig config;
+    config.num_objects = objects;
+    std::printf("generating LinkBench graph: %zu objects...\n", objects);
+    graph::PropertyGraph g = GenerateLinkBenchGraph(config);
+    std::printf("  %zu vertices, %zu edges\n", g.NumVertices(), g.NumEdges());
+
+    Banner("Fig. 9d — largest graph throughput (op/s)");
+    std::vector<std::pair<std::string, LinkBenchResult>> table7;
+    std::vector<std::vector<std::string>> columns;
+    for (System system : {System::kSqlGraph, System::kNative}) {
+      StoreHolder holder = BuildStore(system, g, rt_micros);
+      if (holder.db == nullptr) return 1;
+      std::vector<std::string> column;
+      for (size_t requesters : requester_counts) {
+        auto result = RunLinkBench(holder.db, config, requesters,
+                                   std::max<size_t>(base_ops / requesters, 40));
+        if (!result.ok()) return 1;
+        column.push_back(util::StrFormat("%.0f", result->ops_per_sec));
+        if (requesters == 100) {
+          table7.emplace_back(SystemName(system), std::move(result).value());
+        }
+      }
+      columns.push_back(std::move(column));
+    }
+    TextTable table({"requesters", "SQLGraph", "Neo4j-like(Native)"});
+    for (size_t i = 0; i < requester_counts.size(); ++i) {
+      table.AddRow({std::to_string(requester_counts[i]), columns[0][i],
+                    columns[1][i]});
+    }
+    std::printf("%s", table.ToString().c_str());
+    PrintOpTable("Table 7 — per-operation mean(max) seconds, 100 requesters",
+                 table7);
+    std::printf("(paper: on the 1B-node graph SQLGraph beats Neo4j on every "
+                "operation and has ~30x the throughput)\n");
+    return 0;
+  }
+
+  // Fig. 9a–c: scale × requesters sweep over the three systems.
+  const std::array<size_t, 3> scales = {10000, 50000, 200000};
+  std::vector<std::pair<std::string, LinkBenchResult>> table6;
+  for (size_t objects : scales) {
+    graph::LinkBenchConfig config;
+    config.num_objects = objects;
+    std::printf("\ngenerating LinkBench graph: %zu objects...\n", objects);
+    graph::PropertyGraph g = GenerateLinkBenchGraph(config);
+
+    Banner(util::StrFormat("Fig. 9 — %zu objects: throughput (op/s)",
+                           objects));
+    TextTable table({"system", "1 requester", "10 requesters",
+                     "100 requesters"});
+    for (System system : {System::kSqlGraph, System::kKv, System::kNative}) {
+      StoreHolder holder = BuildStore(system, g, rt_micros);
+      if (holder.db == nullptr) return 1;
+      std::vector<std::string> row = {SystemName(system)};
+      for (size_t requesters : requester_counts) {
+        auto result = RunLinkBench(holder.db, config, requesters,
+                                   std::max<size_t>(base_ops / requesters, 40));
+        if (!result.ok()) return 1;
+        row.push_back(util::StrFormat("%.0f", result->ops_per_sec));
+        // Table 6 snapshot: mid scale, 10 requesters.
+        if (objects == scales[1] && requesters == 10) {
+          table6.emplace_back(SystemName(system), std::move(result).value());
+        }
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s", table.ToString().c_str());
+  }
+  PrintOpTable(
+      "Table 6 — per-operation mean(max) seconds, mid scale, 10 requesters",
+      table6);
+  std::printf("(paper Fig. 9: SQLGraph's throughput grows with concurrency "
+              "while Titan/Neo4j stay nearly flat; 10-30x at 100 "
+              "requesters)\n");
+  return 0;
+}

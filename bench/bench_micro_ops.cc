@@ -1,0 +1,143 @@
+// Google-benchmark micro-benchmarks for the primitive operations of all
+// three stores: point reads, adjacency expansion, link lists, edge CRUD and
+// a translated two-hop SQL query. Complements the table/figure harnesses
+// with steady-state per-op numbers.
+//
+//   ./bench_micro_ops [--benchmark_filter=...]
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/kv_store.h"
+#include "baseline/native_store.h"
+#include "baseline/sqlgraph_adapter.h"
+#include "graph/linkbench_gen.h"
+#include "gremlin/runtime.h"
+#include "sqlgraph/store.h"
+
+namespace sqlgraph {
+namespace {
+
+constexpr size_t kObjects = 20000;
+
+const graph::PropertyGraph& Graph() {
+  static const graph::PropertyGraph* g = [] {
+    graph::LinkBenchConfig config;
+    config.num_objects = kObjects;
+    return new graph::PropertyGraph(GenerateLinkBenchGraph(config));
+  }();
+  return *g;
+}
+
+core::SqlGraphStore* SqlGraph() {
+  static core::SqlGraphStore* store =
+      core::SqlGraphStore::Build(Graph()).value().release();
+  return store;
+}
+
+baseline::GraphDb* Adapter() {
+  static baseline::SqlGraphAdapter* adapter =
+      new baseline::SqlGraphAdapter(SqlGraph());
+  return adapter;
+}
+
+baseline::GraphDb* Native() {
+  static baseline::NativeStore* store =
+      baseline::NativeStore::Build(Graph()).value().release();
+  return store;
+}
+
+baseline::GraphDb* Kv() {
+  static baseline::KvStore* store =
+      baseline::KvStore::Build(Graph()).value().release();
+  return store;
+}
+
+baseline::GraphDb* Store(int which) {
+  switch (which) {
+    case 0: return Adapter();
+    case 1: return Native();
+    default: return Kv();
+  }
+}
+
+void StoreArgName(benchmark::internal::Benchmark* b) {
+  b->Arg(0)->Arg(1)->Arg(2);  // 0=SQLGraph 1=Native 2=KV
+}
+
+void BM_GetVertex(benchmark::State& state) {
+  baseline::GraphDb* db = Store(static_cast<int>(state.range(0)));
+  int64_t vid = 0;
+  for (auto _ : state) {
+    auto r = db->GetVertex(vid);
+    benchmark::DoNotOptimize(r);
+    vid = (vid + 7919) % kObjects;
+  }
+  state.SetLabel(db->name());
+}
+BENCHMARK(BM_GetVertex)->Apply(StoreArgName);
+
+void BM_OutNeighbors(benchmark::State& state) {
+  baseline::GraphDb* db = Store(static_cast<int>(state.range(0)));
+  int64_t vid = 0;
+  for (auto _ : state) {
+    auto r = db->Out(vid, {});
+    benchmark::DoNotOptimize(r);
+    vid = (vid + 7919) % kObjects;
+  }
+  state.SetLabel(db->name());
+}
+BENCHMARK(BM_OutNeighbors)->Apply(StoreArgName);
+
+void BM_GetLinkList(benchmark::State& state) {
+  baseline::GraphDb* db = Store(static_cast<int>(state.range(0)));
+  int64_t vid = 0;
+  for (auto _ : state) {
+    auto r = db->GetOutEdges(vid, "assoc_0");
+    benchmark::DoNotOptimize(r);
+    vid = (vid + 7919) % kObjects;
+  }
+  state.SetLabel(db->name());
+}
+BENCHMARK(BM_GetLinkList)->Apply(StoreArgName);
+
+void BM_AddRemoveEdge(benchmark::State& state) {
+  baseline::GraphDb* db = Store(static_cast<int>(state.range(0)));
+  int64_t vid = 1;
+  for (auto _ : state) {
+    auto e = db->AddEdge(vid, (vid + 1) % kObjects, "assoc_bench",
+                         json::JsonValue::Object());
+    if (e.ok()) (void)db->RemoveEdge(*e);
+    vid = (vid + 104729) % kObjects;
+  }
+  state.SetLabel(db->name());
+}
+BENCHMARK(BM_AddRemoveEdge)->Apply(StoreArgName);
+
+void BM_TwoHopSqlQuery(benchmark::State& state) {
+  gremlin::GremlinRuntime runtime(SqlGraph());
+  int64_t vid = 0;
+  for (auto _ : state) {
+    auto r = runtime.Count("g.V(" + std::to_string(vid) +
+                           ").out().out().dedup().count()");
+    benchmark::DoNotOptimize(r);
+    vid = (vid + 7919) % kObjects;
+  }
+  state.SetLabel("SQLGraph whole-query");
+}
+BENCHMARK(BM_TwoHopSqlQuery);
+
+void BM_GremlinTranslationOnly(benchmark::State& state) {
+  gremlin::GremlinRuntime runtime(SqlGraph());
+  for (auto _ : state) {
+    auto r = runtime.TranslateToSql(
+        "g.V.has('type', 3).out('assoc_0').dedup().count()");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("parse+translate+render");
+}
+BENCHMARK(BM_GremlinTranslationOnly);
+
+}  // namespace
+}  // namespace sqlgraph
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Paper Table 3 — characteristics of the hash tables: number of hashed
+// labels, hashed bucket size, spill percentage, long-string rows and
+// multi-value rows, for the vertex-attribute hash table and the
+// outgoing/incoming adjacency hash tables.
+//
+//   ./bench_table3_stats [--scale=0.3]
+
+#include "bench_common.h"
+#include "sqlgraph/micro_schemas.h"
+#include "util/string_util.h"
+
+using namespace sqlgraph;
+using namespace sqlgraph::bench;
+
+int main(int argc, char** argv) {
+  const double scale = FlagDouble(argc, argv, "--scale", 0.3);
+  graph::PropertyGraph g = BuildDbpediaGraph(scale);
+  auto store = core::SqlGraphStore::Build(g, DbpediaStoreConfig());
+  if (!store.ok()) return 1;
+  auto hash_attr = core::HashAttrStore::Build(g);
+  if (!hash_attr.ok()) return 1;
+
+  const core::LoadStats& adj = (*store)->load_stats();
+  const core::HashAttrStore::Stats& va = (*hash_attr)->stats();
+
+  Banner("Table 3 — hash table characteristics");
+  TextTable table({"", "VertexAttr Hash", "Outgoing Adjacency",
+                   "Incoming Adjacency"});
+  table.AddRow({"No. of Hashed Labels", std::to_string(va.num_keys),
+                std::to_string(adj.num_out_labels),
+                std::to_string(adj.num_in_labels)});
+  table.AddRow({"Hashed Bucket Size", std::to_string(va.max_bucket),
+                std::to_string(adj.max_out_bucket),
+                std::to_string(adj.max_in_bucket)});
+  table.AddRow({"Spill Rows Percentage",
+                util::StrFormat("%.1f%%", va.spill_pct),
+                util::StrFormat("%.1f%%", adj.out_spill_pct),
+                util::StrFormat("%.1f%%", adj.in_spill_pct)});
+  table.AddRow({"Long String Table Rows",
+                std::to_string(va.long_string_rows), "0", "0"});
+  table.AddRow({"Multi-Value Table Rows",
+                std::to_string(va.multi_value_rows),
+                std::to_string(adj.osa_rows), std::to_string(adj.isa_rows)});
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\n(paper, 300M-edge DBpedia: VA-hash 53K labels / bucket 106 / 3.2%% "
+      "spills / 586K long strings / 49M multi-value;\n outgoing 13K / 125 / "
+      "0%% / 0 / 244M; incoming 13K / 19 / 0.6%% / 0 / 243M)\n");
+  std::printf("\nSchema widths: OPA %zu triads, IPA %zu triads; storage "
+              "footprint %s\n",
+              (*store)->schema().out_colors, (*store)->schema().in_colors,
+              util::HumanBytes((*store)->SerializedBytes()).c_str());
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Paper Table 4 — "get vertex neighbors" by selectivity: answering
+// g.V(id).in().count() from the redundant EA copy (index lookup) vs from
+// the IPA+ISA hash adjacency join, for vertices of increasing in-degree.
+//
+//   ./bench_table4_neighbors [--scale=0.3] [--runs=5]
+
+#include <algorithm>
+
+#include "bench_common.h"
+#include "gremlin/runtime.h"
+#include "util/string_util.h"
+
+using namespace sqlgraph;
+using namespace sqlgraph::bench;
+
+int main(int argc, char** argv) {
+  const double scale = FlagDouble(argc, argv, "--scale", 0.3);
+  const int runs = static_cast<int>(FlagInt(argc, argv, "--runs", 5));
+
+  graph::PropertyGraph g = BuildDbpediaGraph(scale);
+  auto store = core::SqlGraphStore::Build(g, DbpediaStoreConfig());
+  if (!store.ok()) return 1;
+
+  // Pick vertices whose in-degree is closest to each selectivity target
+  // (the paper's 1 … 2.3M sweep, scaled).
+  std::vector<size_t> targets = {1, 8, 64, 512, 4096, 32768};
+  std::vector<graph::VertexId> picks;
+  for (size_t target : targets) {
+    graph::VertexId best = -1;
+    size_t best_diff = static_cast<size_t>(-1);
+    for (const auto& v : g.vertices()) {
+      const size_t deg = g.InEdges(v.id).size();
+      if (deg == 0) continue;
+      const size_t diff = deg > target ? deg - target : target - deg;
+      if (diff < best_diff) {
+        best_diff = diff;
+        best = v.id;
+      }
+    }
+    if (best >= 0 && (picks.empty() || picks.back() != best)) {
+      picks.push_back(best);
+    }
+  }
+
+  gremlin::TranslatorOptions ea_options;      // default: single hop → EA
+  gremlin::TranslatorOptions hash_options;
+  hash_options.prefer_ea_for_single_hop = false;  // force IPA+ISA
+  gremlin::GremlinRuntime ea_runtime(store->get(), ea_options);
+  gremlin::GremlinRuntime hash_runtime(store->get(), hash_options);
+
+  Banner("Table 4 — vertex neighbors by selectivity (ms)");
+  TextTable table({"q", "result size", "EA(ms)", "IPA+ISA(ms)"});
+  int qid = 1;
+  for (graph::VertexId vid : picks) {
+    const std::string text =
+        util::StrFormat("g.V(%lld).in().count()", static_cast<long long>(vid));
+    int64_t result = -1;
+    util::Samples ea_ms = TimedRuns(runs, [&] {
+      auto r = ea_runtime.Count(text);
+      if (r.ok()) result = *r;
+    });
+    util::Samples hash_ms = TimedRuns(runs, [&] {
+      auto r = hash_runtime.Count(text);
+      if (r.ok() && *r != result) {
+        std::fprintf(stderr, "MISMATCH for vid %lld\n",
+                     static_cast<long long>(vid));
+      }
+    });
+    table.AddRow({std::to_string(qid++), std::to_string(result),
+                  FormatMs(ea_ms.mean()), FormatMs(hash_ms.mean())});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\n(paper: EA stays flat 38→74 ms while IPA+ISA degrades "
+              "39→440 ms as the result grows — the redundancy of §3.5 pays "
+              "off for unselective lookups)\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// LinkBench-style social workload example: generates a social graph, loads
+// it into all three stores and runs the Table-6 operation mix concurrently,
+// printing throughput per store.
+//
+//   ./linkbench_social [num_objects] [requesters] [ops_per_requester]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baseline/kv_store.h"
+#include "baseline/native_store.h"
+#include "baseline/sqlgraph_adapter.h"
+#include "bench_core/linkbench_driver.h"
+#include "graph/linkbench_gen.h"
+#include "sqlgraph/store.h"
+
+using namespace sqlgraph;
+
+int main(int argc, char** argv) {
+  graph::LinkBenchConfig config;
+  config.num_objects = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  const size_t requesters =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 8;
+  const size_t ops = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2000;
+
+  std::printf("Generating LinkBench graph: %zu objects...\n",
+              config.num_objects);
+  graph::PropertyGraph graph = GenerateLinkBenchGraph(config);
+  std::printf("  %zu vertices, %zu edges\n\n", graph.NumVertices(),
+              graph.NumEdges());
+
+  // The per-request overhead models the client/server hop (see DESIGN.md).
+  constexpr uint32_t kRoundTripMicros = 50;
+
+  auto run = [&](baseline::GraphDb* db) {
+    auto result = bench::RunLinkBench(db, config, requesters, ops);
+    if (!result.ok()) {
+      std::printf("%-28s error: %s\n", db->name().c_str(),
+                  result.status().ToString().c_str());
+      return;
+    }
+    std::printf("%-28s %8.0f op/s  (%zu ops in %.2fs)\n", db->name().c_str(),
+                result->ops_per_sec, result->total_ops,
+                result->elapsed_seconds);
+    const auto& gll = result->latency[static_cast<size_t>(
+        graph::LinkBenchOp::kGetLinkList)];
+    std::printf("%-28s get_link_list mean %.3f ms, p99 %.3f ms\n", "",
+                gll.mean() * 1e3, gll.Percentile(0.99) * 1e3);
+  };
+
+  {
+    auto store = core::SqlGraphStore::Build(graph);
+    if (!store.ok()) return 1;
+    baseline::SqlGraphAdapter adapter(store->get(), kRoundTripMicros);
+    run(&adapter);
+  }
+  {
+    baseline::NativeStoreConfig cfg;
+    cfg.round_trip_micros = kRoundTripMicros;
+    auto store = baseline::NativeStore::Build(graph, cfg);
+    if (!store.ok()) return 1;
+    run(store->get());
+  }
+  {
+    baseline::KvStoreConfig cfg;
+    cfg.round_trip_micros = kRoundTripMicros;
+    auto store = baseline::KvStore::Build(graph, cfg);
+    if (!store.ok()) return 1;
+    run(store->get());
+  }
+  return 0;
+}

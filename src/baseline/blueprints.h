@@ -1,0 +1,108 @@
+// Blueprints-style graph database interface (paper §4.2): the primitive
+// CRUD/traversal API that Gremlin's standard implementation drives one call
+// at a time. Both baseline stores (NativeStore, KvStore) and the SQLGraph
+// adapter implement it; baseline/gremlin_interp.h evaluates pipelines over
+// it pipe-at-a-time, which is precisely the chatty protocol the paper's
+// whole-query translation eliminates.
+//
+// Stores charge a configurable per-call "round trip" (modelling the
+// client↔server hop + request handling of Rexster / Neo4j server); bulk
+// iteration calls charge one round trip per result batch.
+
+#ifndef SQLGRAPH_BASELINE_BLUEPRINTS_H_
+#define SQLGRAPH_BASELINE_BLUEPRINTS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json/json_value.h"
+#include "sqlgraph/store.h"  // reuses core::EdgeRecord, VertexId, EdgeId
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace sqlgraph {
+namespace baseline {
+
+using core::EdgeRecord;
+using graph::EdgeId;
+using graph::VertexId;
+
+/// Charges `micros` microseconds of client/server round-trip time. A real
+/// client blocks on the socket without consuming CPU, so non-trivial waits
+/// sleep (letting concurrent requesters overlap — essential for the
+/// concurrency experiments, especially on few-core machines); very short
+/// waits busy-spin because timer granularity would distort them.
+inline void ChargeRoundTrip(uint32_t micros) {
+  if (micros == 0) return;
+  if (micros >= 20) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+    return;
+  }
+  util::Stopwatch sw;
+  while (sw.ElapsedMicros() < static_cast<double>(micros)) {
+  }
+}
+
+/// Results of one batched vertex scan step.
+inline constexpr size_t kScanBatchSize = 1000;
+
+class GraphDb {
+ public:
+  virtual ~GraphDb() = default;
+  virtual std::string name() const = 0;
+
+  // ------------------------------------------------------------- CRUD ----
+  virtual util::Result<VertexId> AddVertex(json::JsonValue attrs) = 0;
+  virtual util::Result<json::JsonValue> GetVertex(VertexId vid) = 0;
+  virtual util::Status SetVertexAttr(VertexId vid, const std::string& key,
+                                     json::JsonValue value) = 0;
+  virtual util::Status RemoveVertex(VertexId vid) = 0;
+  virtual util::Result<EdgeId> AddEdge(VertexId src, VertexId dst,
+                                       const std::string& label,
+                                       json::JsonValue attrs) = 0;
+  virtual util::Result<EdgeRecord> GetEdge(EdgeId eid) = 0;
+  virtual util::Status SetEdgeAttr(EdgeId eid, const std::string& key,
+                                   json::JsonValue value) = 0;
+  virtual util::Status RemoveEdge(EdgeId eid) = 0;
+  virtual util::Result<std::optional<EdgeId>> FindEdge(
+      VertexId src, const std::string& label, VertexId dst) = 0;
+
+  // -------------------------------------------------- link primitives ----
+  virtual util::Result<std::vector<EdgeRecord>> GetOutEdges(
+      VertexId src, const std::string& label) = 0;
+  virtual util::Result<int64_t> CountOutEdges(VertexId src,
+                                              const std::string& label) = 0;
+
+  // ----------------------------------------------- traversal + lookup ----
+  /// Out/in neighbor ids (multiset), optionally label-filtered.
+  virtual util::Result<std::vector<VertexId>> Out(
+      VertexId vid, const std::vector<std::string>& labels) = 0;
+  virtual util::Result<std::vector<VertexId>> In(
+      VertexId vid, const std::vector<std::string>& labels) = 0;
+  /// Incident edge ids.
+  virtual util::Result<std::vector<EdgeId>> OutE(
+      VertexId vid, const std::vector<std::string>& labels) = 0;
+  virtual util::Result<std::vector<EdgeId>> InE(
+      VertexId vid, const std::vector<std::string>& labels) = 0;
+
+  /// All live vertex ids (cursor-style: charges one round trip per batch).
+  virtual util::Result<std::vector<VertexId>> AllVertices() = 0;
+  /// All live edge ids (cursor-style, same batching).
+  virtual util::Result<std::vector<EdgeId>> AllEdges() = 0;
+  /// Index lookup: vertices whose attribute `key` equals `value`. Stores
+  /// maintain indexes for the keys configured at build time.
+  virtual util::Result<std::vector<VertexId>> VerticesByAttr(
+      const std::string& key, const rel::Value& value) = 0;
+
+  /// Serialized footprint ("size on disk").
+  virtual size_t SerializedBytes() const = 0;
+};
+
+}  // namespace baseline
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_BASELINE_BLUEPRINTS_H_

@@ -1,0 +1,404 @@
+#include "baseline/gremlin_interp.h"
+
+#include <algorithm>
+
+namespace sqlgraph {
+namespace baseline {
+
+using gremlin::Cmp;
+using gremlin::ElementKind;
+using gremlin::Pipe;
+using gremlin::PipeKind;
+using gremlin::Pipeline;
+using util::Result;
+using util::Status;
+
+namespace {
+
+rel::Value JsonScalarToValue(const json::JsonValue& v) {
+  switch (v.type()) {
+    case json::JsonType::kBool: return rel::Value(v.AsBool());
+    case json::JsonType::kInt: return rel::Value(v.AsInt());
+    case json::JsonType::kDouble: return rel::Value(v.AsDouble());
+    case json::JsonType::kString: return rel::Value(v.AsString());
+    default: return rel::Value(v);
+  }
+}
+
+bool Compare(Cmp cmp, const rel::Value& lhs, const rel::Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return false;
+  const int c = lhs.Compare(rhs);
+  switch (cmp) {
+    case Cmp::kEq: return c == 0;
+    case Cmp::kNeq: return c != 0;
+    case Cmp::kGt: return c > 0;
+    case Cmp::kGte: return c >= 0;
+    case Cmp::kLt: return c < 0;
+    case Cmp::kLte: return c <= 0;
+  }
+  return false;
+}
+
+Traverser Step(const Traverser& from, int64_t id, ElementKind kind) {
+  Traverser t;
+  t.id = id;
+  t.kind = kind;
+  t.path = from.path;
+  t.path.push_back(from.id);
+  t.loops = from.loops;
+  return t;
+}
+
+}  // namespace
+
+Result<std::vector<Traverser>> GremlinInterpreter::Query(
+    std::string_view text) {
+  ASSIGN_OR_RETURN(Pipeline pipeline, gremlin::ParseGremlin(text));
+  return Run(pipeline);
+}
+
+Result<int64_t> GremlinInterpreter::Count(std::string_view text) {
+  ASSIGN_OR_RETURN(std::vector<Traverser> out, Query(text));
+  if (out.size() != 1 || out[0].kind != ElementKind::kValue) {
+    return Status::InvalidArgument("query did not end in count()");
+  }
+  return out[0].id;
+}
+
+Result<std::vector<Traverser>> GremlinInterpreter::Run(
+    const Pipeline& pipeline) {
+  side_sets_.clear();
+  as_positions_.clear();
+  return RunFrom(pipeline, 0, {});
+}
+
+Result<std::vector<Traverser>> GremlinInterpreter::RunFrom(
+    const Pipeline& pipeline, size_t begin, std::vector<Traverser> current) {
+  for (size_t i = begin; i < pipeline.pipes.size(); ++i) {
+    ASSIGN_OR_RETURN(current, ApplyPipe(pipeline, i, std::move(current)));
+  }
+  return current;
+}
+
+Result<json::JsonValue> GremlinInterpreter::ElementAttrs(const Traverser& t) {
+  if (t.kind == ElementKind::kVertex) return db_->GetVertex(t.id);
+  ASSIGN_OR_RETURN(EdgeRecord rec, db_->GetEdge(t.id));
+  return rec.attrs;
+}
+
+Result<bool> GremlinInterpreter::MatchesHas(const Pipe& pipe,
+                                            const Traverser& t) {
+  if (t.kind == ElementKind::kEdge && pipe.key == "label") {
+    ASSIGN_OR_RETURN(EdgeRecord rec, db_->GetEdge(t.id));
+    return Compare(pipe.cmp, rel::Value(rec.label), pipe.value);
+  }
+  ASSIGN_OR_RETURN(json::JsonValue attrs, ElementAttrs(t));
+  const json::JsonValue* v = attrs.Find(pipe.key);
+  switch (pipe.kind) {
+    case PipeKind::kHasNot:
+      return v == nullptr;
+    case PipeKind::kInterval: {
+      if (v == nullptr) return false;
+      const rel::Value value = JsonScalarToValue(*v);
+      return Compare(Cmp::kGte, value, pipe.value) &&
+             Compare(Cmp::kLt, value, pipe.value2);
+    }
+    default:
+      if (v == nullptr) return false;
+      if (!pipe.has_value) return true;
+      return Compare(pipe.cmp, JsonScalarToValue(*v), pipe.value);
+  }
+}
+
+Result<std::vector<Traverser>> GremlinInterpreter::ApplyPipe(
+    const Pipeline& pipeline, size_t index, std::vector<Traverser> current) {
+  const Pipe& pipe = pipeline.pipes[index];
+  std::vector<Traverser> next;
+  switch (pipe.kind) {
+    case PipeKind::kStartV: {
+      if (pipe.has_start_id) {
+        // Existence check is one GetVertex call.
+        auto attrs = db_->GetVertex(pipe.value.AsInt());
+        if (attrs.ok()) {
+          Traverser t;
+          t.id = pipe.value.AsInt();
+          next.push_back(std::move(t));
+        }
+        return next;
+      }
+      std::vector<graph::VertexId> vids;
+      if (!pipe.start_key.empty()) {
+        ASSIGN_OR_RETURN(vids, db_->VerticesByAttr(pipe.start_key, pipe.value));
+      } else {
+        ASSIGN_OR_RETURN(vids, db_->AllVertices());
+      }
+      next.reserve(vids.size());
+      for (graph::VertexId v : vids) {
+        Traverser t;
+        t.id = v;
+        next.push_back(std::move(t));
+      }
+      return next;
+    }
+    case PipeKind::kStartE: {
+      if (pipe.has_start_id) {
+        auto rec = db_->GetEdge(pipe.value.AsInt());
+        if (rec.ok()) {
+          Traverser t;
+          t.id = pipe.value.AsInt();
+          t.kind = ElementKind::kEdge;
+          next.push_back(std::move(t));
+        }
+        return next;
+      }
+      ASSIGN_OR_RETURN(std::vector<graph::EdgeId> eids, db_->AllEdges());
+      next.reserve(eids.size());
+      for (graph::EdgeId e : eids) {
+        Traverser t;
+        t.id = e;
+        t.kind = ElementKind::kEdge;
+        next.push_back(std::move(t));
+      }
+      return next;
+    }
+    case PipeKind::kOut:
+    case PipeKind::kIn:
+    case PipeKind::kBoth: {
+      for (const Traverser& t : current) {
+        if (t.kind != ElementKind::kVertex) {
+          return Status::InvalidArgument("adjacency step on non-vertex");
+        }
+        // One Blueprints call per element per direction: the chatty
+        // protocol in action.
+        if (pipe.kind != PipeKind::kIn) {
+          ASSIGN_OR_RETURN(std::vector<graph::VertexId> vids,
+                           db_->Out(t.id, pipe.labels));
+          for (graph::VertexId v : vids) {
+            next.push_back(Step(t, v, ElementKind::kVertex));
+          }
+        }
+        if (pipe.kind != PipeKind::kOut) {
+          ASSIGN_OR_RETURN(std::vector<graph::VertexId> vids,
+                           db_->In(t.id, pipe.labels));
+          for (graph::VertexId v : vids) {
+            next.push_back(Step(t, v, ElementKind::kVertex));
+          }
+        }
+      }
+      return next;
+    }
+    case PipeKind::kOutE:
+    case PipeKind::kInE:
+    case PipeKind::kBothE: {
+      for (const Traverser& t : current) {
+        if (pipe.kind != PipeKind::kInE) {
+          ASSIGN_OR_RETURN(std::vector<graph::EdgeId> eids,
+                           db_->OutE(t.id, pipe.labels));
+          for (graph::EdgeId e : eids) {
+            next.push_back(Step(t, e, ElementKind::kEdge));
+          }
+        }
+        if (pipe.kind != PipeKind::kOutE) {
+          ASSIGN_OR_RETURN(std::vector<graph::EdgeId> eids,
+                           db_->InE(t.id, pipe.labels));
+          for (graph::EdgeId e : eids) {
+            next.push_back(Step(t, e, ElementKind::kEdge));
+          }
+        }
+      }
+      return next;
+    }
+    case PipeKind::kOutV:
+    case PipeKind::kInV:
+    case PipeKind::kBothV: {
+      for (const Traverser& t : current) {
+        ASSIGN_OR_RETURN(EdgeRecord rec, db_->GetEdge(t.id));
+        if (pipe.kind != PipeKind::kInV) {
+          next.push_back(Step(t, rec.src, ElementKind::kVertex));
+        }
+        if (pipe.kind != PipeKind::kOutV) {
+          next.push_back(Step(t, rec.dst, ElementKind::kVertex));
+        }
+      }
+      return next;
+    }
+    case PipeKind::kHas:
+    case PipeKind::kHasNot:
+    case PipeKind::kInterval: {
+      for (Traverser& t : current) {
+        ASSIGN_OR_RETURN(bool keep, MatchesHas(pipe, t));
+        if (keep) next.push_back(std::move(t));
+      }
+      return next;
+    }
+    case PipeKind::kDedup: {
+      std::unordered_set<int64_t> seen;
+      for (Traverser& t : current) {
+        if (seen.insert(t.id).second) next.push_back(std::move(t));
+      }
+      return next;
+    }
+    case PipeKind::kRange: {
+      for (size_t i = 0; i < current.size(); ++i) {
+        const int64_t pos = static_cast<int64_t>(i);
+        if (pos < pipe.lo) continue;
+        if (pipe.hi >= pipe.lo && pos > pipe.hi) break;
+        next.push_back(std::move(current[i]));
+      }
+      return next;
+    }
+    case PipeKind::kSimplePath: {
+      for (Traverser& t : current) {
+        std::unordered_set<int64_t> seen(t.path.begin(), t.path.end());
+        if (seen.size() == t.path.size() && !seen.count(t.id)) {
+          next.push_back(std::move(t));
+        }
+      }
+      return next;
+    }
+    case PipeKind::kPath: {
+      // Paths flow as value traversers; ids are unused afterwards.
+      for (Traverser& t : current) {
+        t.kind = ElementKind::kValue;
+        next.push_back(std::move(t));
+      }
+      return next;
+    }
+    case PipeKind::kId:
+      return current;
+    case PipeKind::kAs:
+      as_positions_[pipe.key] =
+          current.empty() ? 0 : current[0].path.size();
+      return current;
+    case PipeKind::kBack: {
+      auto it = as_positions_.find(pipe.key);
+      if (it == as_positions_.end()) {
+        return Status::InvalidArgument("back() to unknown step");
+      }
+      const size_t pos = it->second;
+      for (Traverser& t : current) {
+        if (pos >= t.path.size()) {
+          next.push_back(std::move(t));
+          continue;
+        }
+        Traverser b;
+        b.id = t.path[pos];
+        b.kind = ElementKind::kVertex;
+        b.path.assign(t.path.begin(), t.path.begin() + static_cast<long>(pos));
+        b.loops = t.loops;
+        next.push_back(std::move(b));
+      }
+      return next;
+    }
+    case PipeKind::kAggregate: {
+      auto& set = side_sets_[pipe.key];
+      for (const Traverser& t : current) set.insert(t.id);
+      return current;
+    }
+    case PipeKind::kExcept:
+    case PipeKind::kRetain: {
+      auto it = side_sets_.find(pipe.key);
+      if (it == side_sets_.end()) {
+        return Status::InvalidArgument("unknown side-effect set " + pipe.key);
+      }
+      const bool want_member = pipe.kind == PipeKind::kRetain;
+      for (Traverser& t : current) {
+        if ((it->second.count(t.id) > 0) == want_member) {
+          next.push_back(std::move(t));
+        }
+      }
+      return next;
+    }
+    case PipeKind::kAndFilter:
+    case PipeKind::kOrFilter: {
+      for (Traverser& t : current) {
+        bool keep = pipe.kind == PipeKind::kAndFilter;
+        for (const Pipeline& branch : pipe.branches) {
+          std::vector<Traverser> seed{t};
+          ASSIGN_OR_RETURN(std::vector<Traverser> result,
+                           RunFrom(branch, 0, std::move(seed)));
+          const bool matched = !result.empty();
+          if (pipe.kind == PipeKind::kAndFilter) {
+            keep = keep && matched;
+            if (!keep) break;
+          } else {
+            keep = keep || matched;
+            if (keep) break;
+          }
+        }
+        if (keep) next.push_back(std::move(t));
+      }
+      return next;
+    }
+    case PipeKind::kCopySplit: {
+      for (const Traverser& t : current) {
+        for (const Pipeline& branch : pipe.branches) {
+          std::vector<Traverser> seed{t};
+          ASSIGN_OR_RETURN(std::vector<Traverser> result,
+                           RunFrom(branch, 0, std::move(seed)));
+          for (Traverser& r : result) next.push_back(std::move(r));
+        }
+      }
+      return next;
+    }
+    case PipeKind::kIfThenElse: {
+      const Pipe& test = pipe.branches[0].pipes[0];
+      for (const Traverser& t : current) {
+        ASSIGN_OR_RETURN(bool cond, MatchesHas(test, t));
+        const Pipeline& branch = cond ? pipe.branches[1] : pipe.branches[2];
+        std::vector<Traverser> seed{t};
+        ASSIGN_OR_RETURN(std::vector<Traverser> result,
+                         RunFrom(branch, 0, std::move(seed)));
+        for (Traverser& r : result) next.push_back(std::move(r));
+      }
+      return next;
+    }
+    case PipeKind::kLoop: {
+      if (pipe.loop_steps <= 0 ||
+          static_cast<size_t>(pipe.loop_steps) > index) {
+        return Status::InvalidArgument("loop() reaches before start");
+      }
+      const size_t body_begin = index - static_cast<size_t>(pipe.loop_steps);
+      Pipeline body;
+      body.pipes.assign(pipeline.pipes.begin() + static_cast<long>(body_begin),
+                        pipeline.pipes.begin() + static_cast<long>(index));
+      if (pipe.loop_count >= 0) {
+        next = std::move(current);
+        for (int64_t rep = 1; rep < pipe.loop_count; ++rep) {
+          ASSIGN_OR_RETURN(next, RunFrom(body, 0, std::move(next)));
+        }
+        return next;
+      }
+      // Fixpoint: BFS with client-side dedup (matching the translator's
+      // recursive-CTE semantics).
+      std::unordered_set<int64_t> seen;
+      for (const Traverser& t : current) seen.insert(t.id);
+      std::vector<Traverser> frontier = current;
+      next = std::move(current);
+      int safety = 0;
+      while (!frontier.empty() && ++safety < 10000) {
+        ASSIGN_OR_RETURN(std::vector<Traverser> produced,
+                         RunFrom(body, 0, std::move(frontier)));
+        frontier.clear();
+        for (Traverser& t : produced) {
+          if (seen.insert(t.id).second) {
+            frontier.push_back(t);
+            next.push_back(std::move(t));
+          }
+        }
+      }
+      return next;
+    }
+    case PipeKind::kCount: {
+      Traverser t;
+      t.id = static_cast<int64_t>(current.size());
+      t.kind = ElementKind::kValue;
+      next.push_back(std::move(t));
+      return next;
+    }
+  }
+  return Status::Internal("unhandled pipe in interpreter");
+}
+
+}  // namespace baseline
+}  // namespace sqlgraph

@@ -1,0 +1,64 @@
+// Pipe-at-a-time Gremlin evaluation over the Blueprints API — the standard
+// implementation strategy of Titan/Neo4j-era Gremlin (paper §4.2), and the
+// baseline the whole-query SQL translation is compared against. Every
+// per-element adjacency/attribute access is one GraphDb call (one simulated
+// round trip when the store is configured as a server).
+
+#ifndef SQLGRAPH_BASELINE_GREMLIN_INTERP_H_
+#define SQLGRAPH_BASELINE_GREMLIN_INTERP_H_
+
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "baseline/blueprints.h"
+#include "gremlin/parser.h"
+#include "gremlin/pipe.h"
+#include "util/status.h"
+
+namespace sqlgraph {
+namespace baseline {
+
+/// One traversal object: element id plus its path (ids of prior steps).
+struct Traverser {
+  int64_t id = 0;
+  gremlin::ElementKind kind = gremlin::ElementKind::kVertex;
+  std::vector<int64_t> path;  // excludes the current id
+  int32_t loops = 1;          // Gremlin's it.loops counter
+};
+
+class GremlinInterpreter {
+ public:
+  explicit GremlinInterpreter(GraphDb* db) : db_(db) {}
+
+  /// Evaluates a pipeline; returns the surviving traversers (for count()
+  /// pipelines, one value traverser whose id is the count).
+  util::Result<std::vector<Traverser>> Run(const gremlin::Pipeline& pipeline);
+
+  /// Parses and evaluates query text.
+  util::Result<std::vector<Traverser>> Query(std::string_view text);
+
+  /// Convenience for count() queries.
+  util::Result<int64_t> Count(std::string_view text);
+
+ private:
+  util::Result<std::vector<Traverser>> RunFrom(
+      const gremlin::Pipeline& pipeline, size_t begin,
+      std::vector<Traverser> current);
+  util::Result<std::vector<Traverser>> ApplyPipe(
+      const gremlin::Pipeline& pipeline, size_t index,
+      std::vector<Traverser> current);
+  util::Result<bool> MatchesHas(const gremlin::Pipe& pipe, const Traverser& t);
+  util::Result<json::JsonValue> ElementAttrs(const Traverser& t);
+
+  GraphDb* db_;
+  // Client-side named sets (aggregate/except/retain) and step names.
+  std::unordered_map<std::string, std::unordered_set<int64_t>> side_sets_;
+  std::unordered_map<std::string, size_t> as_positions_;
+};
+
+}  // namespace baseline
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_BASELINE_GREMLIN_INTERP_H_

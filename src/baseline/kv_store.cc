@@ -1,0 +1,446 @@
+#include "baseline/kv_store.h"
+
+#include <algorithm>
+
+#include "json/json_parser.h"
+#include "util/string_util.h"
+
+namespace sqlgraph {
+namespace baseline {
+
+using util::Result;
+using util::Status;
+
+namespace {
+std::string Hex(int64_t id) {
+  return util::StrFormat("%016llx", static_cast<unsigned long long>(id));
+}
+
+rel::Value JsonScalarToValue(const json::JsonValue& v) {
+  switch (v.type()) {
+    case json::JsonType::kBool: return rel::Value(v.AsBool());
+    case json::JsonType::kInt: return rel::Value(v.AsInt());
+    case json::JsonType::kDouble: return rel::Value(v.AsDouble());
+    case json::JsonType::kString: return rel::Value(v.AsString());
+    default: return rel::Value(v);
+  }
+}
+}  // namespace
+
+std::string KvStore::VKey(VertexId vid) { return "v/" + Hex(vid); }
+std::string KvStore::OKey(VertexId src, const std::string& label, EdgeId eid) {
+  return "o/" + Hex(src) + "/" + label + "/" + Hex(eid);
+}
+std::string KvStore::OPrefix(VertexId src, const std::string& label) {
+  return label.empty() ? "o/" + Hex(src) + "/"
+                       : "o/" + Hex(src) + "/" + label + "/";
+}
+std::string KvStore::IKey(VertexId dst, const std::string& label, EdgeId eid) {
+  return "i/" + Hex(dst) + "/" + label + "/" + Hex(eid);
+}
+std::string KvStore::IPrefix(VertexId dst, const std::string& label) {
+  return label.empty() ? "i/" + Hex(dst) + "/"
+                       : "i/" + Hex(dst) + "/" + label + "/";
+}
+std::string KvStore::EKey(EdgeId eid) { return "e/" + Hex(eid); }
+std::string KvStore::XKey(const std::string& attr_key, const std::string& v,
+                          VertexId vid) {
+  return "x/" + attr_key + "/" + v + "/" + Hex(vid);
+}
+
+Result<std::unique_ptr<KvStore>> KvStore::Build(
+    const graph::PropertyGraph& graph, KvStoreConfig config) {
+  auto store = std::unique_ptr<KvStore>(new KvStore(std::move(config)));
+  for (const auto& v : graph.vertices()) {
+    const std::string payload = json::Write(v.attrs);
+    store->bytes_ += payload.size() + 18;
+    store->kv_.emplace(VKey(v.id), payload);
+    store->IndexVertexLocked(v.id, v.attrs, /*add=*/true);
+  }
+  store->next_vertex_id_ = static_cast<int64_t>(graph.NumVertices());
+  for (const auto& e : graph.edges()) {
+    RETURN_NOT_OK(store->PutEdgeLocked(e.id, e.src, e.dst, e.label, e.attrs));
+  }
+  store->next_edge_id_ = static_cast<int64_t>(graph.NumEdges());
+  return store;
+}
+
+Status KvStore::PutEdgeLocked(EdgeId eid, VertexId src, VertexId dst,
+                              const std::string& label,
+                              const json::JsonValue& attrs) {
+  json::JsonValue out_row = json::JsonValue::Object();
+  out_row.Set("dst", static_cast<int64_t>(dst));
+  out_row.Set("attrs", attrs.is_object() ? attrs : json::JsonValue::Object());
+  json::JsonValue in_row = json::JsonValue::Object();
+  in_row.Set("src", static_cast<int64_t>(src));
+  json::JsonValue id_row = json::JsonValue::Object();
+  id_row.Set("src", static_cast<int64_t>(src));
+  id_row.Set("dst", static_cast<int64_t>(dst));
+  id_row.Set("label", label);
+  const std::string o = json::Write(out_row);
+  const std::string i = json::Write(in_row);
+  const std::string e = json::Write(id_row);
+  bytes_ += o.size() + i.size() + e.size() + 3 * (34 + label.size());
+  kv_[OKey(src, label, eid)] = o;
+  kv_[IKey(dst, label, eid)] = i;
+  kv_[EKey(eid)] = e;
+  return Status::OK();
+}
+
+void KvStore::IndexVertexLocked(VertexId vid, const json::JsonValue& attrs,
+                                bool add) {
+  if (!attrs.is_object()) return;
+  for (const auto& key : config_.indexed_keys) {
+    const json::JsonValue* v = attrs.Find(key);
+    if (v == nullptr) continue;
+    const std::string xkey = XKey(key, JsonScalarToValue(*v).ToString(), vid);
+    if (add) {
+      bytes_ += xkey.size();
+      kv_[xkey] = "";
+    } else {
+      kv_.erase(xkey);
+    }
+  }
+}
+
+Result<VertexId> KvStore::AddVertex(json::JsonValue attrs) {
+  std::lock_guard<std::mutex> lock(big_lock_);
+  ChargeRoundTrip(config_.round_trip_micros);
+  const VertexId vid = next_vertex_id_++;
+  if (!attrs.is_object()) attrs = json::JsonValue::Object();
+  const std::string payload = json::Write(attrs);
+  bytes_ += payload.size() + 18;
+  kv_.emplace(VKey(vid), payload);
+  IndexVertexLocked(vid, attrs, /*add=*/true);
+  return vid;
+}
+
+Result<json::JsonValue> KvStore::GetVertex(VertexId vid) {
+  std::lock_guard<std::mutex> lock(big_lock_);
+  ChargeRoundTrip(config_.round_trip_micros);
+  auto it = kv_.find(VKey(vid));
+  if (it == kv_.end()) return Status::NotFound("vertex " + std::to_string(vid));
+  return json::Parse(it->second);
+}
+
+Status KvStore::SetVertexAttr(VertexId vid, const std::string& key,
+                              json::JsonValue value) {
+  std::lock_guard<std::mutex> lock(big_lock_);
+  ChargeRoundTrip(config_.round_trip_micros);
+  auto it = kv_.find(VKey(vid));
+  if (it == kv_.end()) return Status::NotFound("vertex " + std::to_string(vid));
+  ASSIGN_OR_RETURN(json::JsonValue attrs, json::Parse(it->second));
+  IndexVertexLocked(vid, attrs, /*add=*/false);
+  attrs.Set(key, std::move(value));
+  it->second = json::Write(attrs);
+  IndexVertexLocked(vid, attrs, /*add=*/true);
+  return Status::OK();
+}
+
+Status KvStore::RemoveVertex(VertexId vid) {
+  std::lock_guard<std::mutex> lock(big_lock_);
+  ChargeRoundTrip(config_.round_trip_micros);
+  auto it = kv_.find(VKey(vid));
+  if (it == kv_.end()) return Status::NotFound("vertex " + std::to_string(vid));
+  ASSIGN_OR_RETURN(json::JsonValue attrs, json::Parse(it->second));
+  IndexVertexLocked(vid, attrs, /*add=*/false);
+  kv_.erase(it);
+  // Remove incident edges via prefix scans over both directions.
+  std::vector<EdgeId> doomed;
+  for (const char* side : {"o", "i"}) {
+    const std::string prefix = std::string(side) + "/" + Hex(vid) + "/";
+    for (auto kit = kv_.lower_bound(prefix);
+         kit != kv_.end() && util::StartsWith(kit->first, prefix); ++kit) {
+      // Key tail after the last '/' is the edge id.
+      const size_t slash = kit->first.find_last_of('/');
+      doomed.push_back(static_cast<EdgeId>(
+          std::strtoll(kit->first.c_str() + slash + 1, nullptr, 16)));
+    }
+  }
+  std::sort(doomed.begin(), doomed.end());
+  doomed.erase(std::unique(doomed.begin(), doomed.end()), doomed.end());
+  for (EdgeId eid : doomed) {
+    RETURN_NOT_OK(RemoveEdgeLocked(eid));
+  }
+  return Status::OK();
+}
+
+Result<EdgeId> KvStore::AddEdge(VertexId src, VertexId dst,
+                                const std::string& label,
+                                json::JsonValue attrs) {
+  std::lock_guard<std::mutex> lock(big_lock_);
+  ChargeRoundTrip(config_.round_trip_micros);
+  if (!kv_.count(VKey(src))) {
+    return Status::NotFound("vertex " + std::to_string(src));
+  }
+  if (!kv_.count(VKey(dst))) {
+    return Status::NotFound("vertex " + std::to_string(dst));
+  }
+  const EdgeId eid = next_edge_id_++;
+  RETURN_NOT_OK(PutEdgeLocked(eid, src, dst, label, attrs));
+  return eid;
+}
+
+Result<EdgeRecord> KvStore::GetEdgeLocked(EdgeId eid) const {
+  auto it = kv_.find(EKey(eid));
+  if (it == kv_.end()) return Status::NotFound("edge " + std::to_string(eid));
+  ASSIGN_OR_RETURN(json::JsonValue id_row, json::Parse(it->second));
+  EdgeRecord rec;
+  rec.id = eid;
+  rec.src = id_row.Find("src")->AsInt();
+  rec.dst = id_row.Find("dst")->AsInt();
+  rec.label = id_row.Find("label")->AsString();
+  auto oit = kv_.find(OKey(rec.src, rec.label, eid));
+  if (oit != kv_.end()) {
+    ASSIGN_OR_RETURN(json::JsonValue out_row, json::Parse(oit->second));
+    const json::JsonValue* attrs = out_row.Find("attrs");
+    if (attrs != nullptr) rec.attrs = *attrs;
+  }
+  if (!rec.attrs.is_object()) rec.attrs = json::JsonValue::Object();
+  return rec;
+}
+
+Result<EdgeRecord> KvStore::GetEdge(EdgeId eid) {
+  std::lock_guard<std::mutex> lock(big_lock_);
+  ChargeRoundTrip(config_.round_trip_micros);
+  return GetEdgeLocked(eid);
+}
+
+Status KvStore::SetEdgeAttr(EdgeId eid, const std::string& key,
+                            json::JsonValue value) {
+  std::lock_guard<std::mutex> lock(big_lock_);
+  ChargeRoundTrip(config_.round_trip_micros);
+  ASSIGN_OR_RETURN(EdgeRecord rec, GetEdgeLocked(eid));
+  rec.attrs.Set(key, std::move(value));
+  json::JsonValue out_row = json::JsonValue::Object();
+  out_row.Set("dst", static_cast<int64_t>(rec.dst));
+  out_row.Set("attrs", rec.attrs);
+  kv_[OKey(rec.src, rec.label, eid)] = json::Write(out_row);
+  return Status::OK();
+}
+
+Status KvStore::RemoveEdgeLocked(EdgeId eid) {
+  auto it = kv_.find(EKey(eid));
+  if (it == kv_.end()) return Status::NotFound("edge " + std::to_string(eid));
+  ASSIGN_OR_RETURN(json::JsonValue id_row, json::Parse(it->second));
+  const VertexId src = id_row.Find("src")->AsInt();
+  const VertexId dst = id_row.Find("dst")->AsInt();
+  const std::string label = id_row.Find("label")->AsString();
+  kv_.erase(it);
+  kv_.erase(OKey(src, label, eid));
+  kv_.erase(IKey(dst, label, eid));
+  return Status::OK();
+}
+
+Status KvStore::RemoveEdge(EdgeId eid) {
+  std::lock_guard<std::mutex> lock(big_lock_);
+  ChargeRoundTrip(config_.round_trip_micros);
+  return RemoveEdgeLocked(eid);
+}
+
+Result<std::optional<EdgeId>> KvStore::FindEdge(VertexId src,
+                                                const std::string& label,
+                                                VertexId dst) {
+  std::lock_guard<std::mutex> lock(big_lock_);
+  ChargeRoundTrip(config_.round_trip_micros);
+  const std::string prefix = OPrefix(src, label);
+  for (auto it = kv_.lower_bound(prefix);
+       it != kv_.end() && util::StartsWith(it->first, prefix); ++it) {
+    ASSIGN_OR_RETURN(json::JsonValue row, json::Parse(it->second));
+    if (row.Find("dst")->AsInt() == static_cast<int64_t>(dst)) {
+      const size_t slash = it->first.find_last_of('/');
+      return std::optional<EdgeId>(static_cast<EdgeId>(
+          std::strtoll(it->first.c_str() + slash + 1, nullptr, 16)));
+    }
+  }
+  return std::optional<EdgeId>();
+}
+
+Result<std::vector<EdgeRecord>> KvStore::GetOutEdges(VertexId src,
+                                                     const std::string& label) {
+  std::lock_guard<std::mutex> lock(big_lock_);
+  ChargeRoundTrip(config_.round_trip_micros);
+  std::vector<EdgeRecord> out;
+  const std::string prefix = OPrefix(src, label);
+  for (auto it = kv_.lower_bound(prefix);
+       it != kv_.end() && util::StartsWith(it->first, prefix); ++it) {
+    ASSIGN_OR_RETURN(json::JsonValue row, json::Parse(it->second));
+    EdgeRecord rec;
+    const size_t last_slash = it->first.find_last_of('/');
+    const size_t label_start = 2 + 1 + 16 + 1;  // "o/" + hex + "/"
+    rec.id = static_cast<EdgeId>(
+        std::strtoll(it->first.c_str() + last_slash + 1, nullptr, 16));
+    rec.src = src;
+    rec.dst = row.Find("dst")->AsInt();
+    rec.label = it->first.substr(label_start, last_slash - label_start);
+    const json::JsonValue* attrs = row.Find("attrs");
+    rec.attrs = attrs != nullptr ? *attrs : json::JsonValue::Object();
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+Result<int64_t> KvStore::CountOutEdges(VertexId src, const std::string& label) {
+  std::lock_guard<std::mutex> lock(big_lock_);
+  ChargeRoundTrip(config_.round_trip_micros);
+  int64_t count = 0;
+  const std::string prefix = OPrefix(src, label);
+  for (auto it = kv_.lower_bound(prefix);
+       it != kv_.end() && util::StartsWith(it->first, prefix); ++it) {
+    ++count;
+  }
+  return count;
+}
+
+Result<std::vector<VertexId>> KvStore::Out(
+    VertexId vid, const std::vector<std::string>& labels) {
+  std::lock_guard<std::mutex> lock(big_lock_);
+  ChargeRoundTrip(config_.round_trip_micros);
+  std::vector<VertexId> out;
+  auto scan = [&](const std::string& prefix) -> Status {
+    for (auto it = kv_.lower_bound(prefix);
+         it != kv_.end() && util::StartsWith(it->first, prefix); ++it) {
+      ASSIGN_OR_RETURN(json::JsonValue row, json::Parse(it->second));
+      out.push_back(row.Find("dst")->AsInt());
+    }
+    return Status::OK();
+  };
+  if (labels.empty()) {
+    RETURN_NOT_OK(scan(OPrefix(vid, "")));
+  } else {
+    for (const auto& l : labels) RETURN_NOT_OK(scan(OPrefix(vid, l)));
+  }
+  return out;
+}
+
+Result<std::vector<VertexId>> KvStore::In(
+    VertexId vid, const std::vector<std::string>& labels) {
+  std::lock_guard<std::mutex> lock(big_lock_);
+  ChargeRoundTrip(config_.round_trip_micros);
+  std::vector<VertexId> out;
+  auto scan = [&](const std::string& prefix) -> Status {
+    for (auto it = kv_.lower_bound(prefix);
+         it != kv_.end() && util::StartsWith(it->first, prefix); ++it) {
+      ASSIGN_OR_RETURN(json::JsonValue row, json::Parse(it->second));
+      out.push_back(row.Find("src")->AsInt());
+    }
+    return Status::OK();
+  };
+  if (labels.empty()) {
+    RETURN_NOT_OK(scan(IPrefix(vid, "")));
+  } else {
+    for (const auto& l : labels) RETURN_NOT_OK(scan(IPrefix(vid, l)));
+  }
+  return out;
+}
+
+Result<std::vector<EdgeId>> KvStore::OutE(
+    VertexId vid, const std::vector<std::string>& labels) {
+  std::lock_guard<std::mutex> lock(big_lock_);
+  ChargeRoundTrip(config_.round_trip_micros);
+  std::vector<EdgeId> out;
+  auto scan = [&](const std::string& prefix) {
+    for (auto it = kv_.lower_bound(prefix);
+         it != kv_.end() && util::StartsWith(it->first, prefix); ++it) {
+      const size_t slash = it->first.find_last_of('/');
+      out.push_back(static_cast<EdgeId>(
+          std::strtoll(it->first.c_str() + slash + 1, nullptr, 16)));
+    }
+  };
+  if (labels.empty()) {
+    scan(OPrefix(vid, ""));
+  } else {
+    for (const auto& l : labels) scan(OPrefix(vid, l));
+  }
+  return out;
+}
+
+Result<std::vector<EdgeId>> KvStore::InE(
+    VertexId vid, const std::vector<std::string>& labels) {
+  std::lock_guard<std::mutex> lock(big_lock_);
+  ChargeRoundTrip(config_.round_trip_micros);
+  std::vector<EdgeId> out;
+  auto scan = [&](const std::string& prefix) {
+    for (auto it = kv_.lower_bound(prefix);
+         it != kv_.end() && util::StartsWith(it->first, prefix); ++it) {
+      const size_t slash = it->first.find_last_of('/');
+      out.push_back(static_cast<EdgeId>(
+          std::strtoll(it->first.c_str() + slash + 1, nullptr, 16)));
+    }
+  };
+  if (labels.empty()) {
+    scan(IPrefix(vid, ""));
+  } else {
+    for (const auto& l : labels) scan(IPrefix(vid, l));
+  }
+  return out;
+}
+
+Result<std::vector<VertexId>> KvStore::AllVertices() {
+  std::lock_guard<std::mutex> lock(big_lock_);
+  std::vector<VertexId> out;
+  const std::string prefix = "v/";
+  for (auto it = kv_.lower_bound(prefix);
+       it != kv_.end() && util::StartsWith(it->first, prefix); ++it) {
+    out.push_back(static_cast<VertexId>(
+        std::strtoll(it->first.c_str() + 2, nullptr, 16)));
+  }
+  const size_t batches = out.empty() ? 1 : (out.size() + kScanBatchSize - 1) /
+                                               kScanBatchSize;
+  for (size_t b = 0; b < batches; ++b) {
+    ChargeRoundTrip(config_.round_trip_micros);
+  }
+  return out;
+}
+
+Result<std::vector<EdgeId>> KvStore::AllEdges() {
+  std::lock_guard<std::mutex> lock(big_lock_);
+  std::vector<EdgeId> out;
+  const std::string prefix = "e/";
+  for (auto it = kv_.lower_bound(prefix);
+       it != kv_.end() && util::StartsWith(it->first, prefix); ++it) {
+    out.push_back(static_cast<EdgeId>(
+        std::strtoll(it->first.c_str() + 2, nullptr, 16)));
+  }
+  const size_t batches = out.empty() ? 1 : (out.size() + kScanBatchSize - 1) /
+                                               kScanBatchSize;
+  for (size_t b = 0; b < batches; ++b) {
+    ChargeRoundTrip(config_.round_trip_micros);
+  }
+  return out;
+}
+
+Result<std::vector<VertexId>> KvStore::VerticesByAttr(const std::string& key,
+                                                      const rel::Value& value) {
+  std::lock_guard<std::mutex> lock(big_lock_);
+  ChargeRoundTrip(config_.round_trip_micros);
+  std::vector<VertexId> out;
+  if (std::find(config_.indexed_keys.begin(), config_.indexed_keys.end(),
+                key) != config_.indexed_keys.end()) {
+    const std::string prefix = "x/" + key + "/" + value.ToString() + "/";
+    for (auto it = kv_.lower_bound(prefix);
+         it != kv_.end() && util::StartsWith(it->first, prefix); ++it) {
+      const size_t slash = it->first.find_last_of('/');
+      out.push_back(static_cast<VertexId>(
+          std::strtoll(it->first.c_str() + slash + 1, nullptr, 16)));
+    }
+    return out;
+  }
+  // Unindexed: full scan of vertex rows with per-row deserialization.
+  const std::string prefix = "v/";
+  for (auto it = kv_.lower_bound(prefix);
+       it != kv_.end() && util::StartsWith(it->first, prefix); ++it) {
+    ASSIGN_OR_RETURN(json::JsonValue attrs, json::Parse(it->second));
+    const json::JsonValue* v = attrs.Find(key);
+    if (v != nullptr && JsonScalarToValue(*v) == value) {
+      out.push_back(static_cast<VertexId>(
+          std::strtoll(it->first.c_str() + 2, nullptr, 16)));
+    }
+  }
+  return out;
+}
+
+size_t KvStore::SerializedBytes() const { return bytes_; }
+
+}  // namespace baseline
+}  // namespace sqlgraph

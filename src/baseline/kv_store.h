@@ -1,0 +1,105 @@
+// KvStore: a Titan-0.4-on-BerkeleyDB-like graph store.
+//
+// All graph data lives in one ordered key/value map (the BerkeleyDB B-tree):
+// vertex rows, out-edge rows colocated under the source vertex's key prefix,
+// in-direction index rows, and an edge-id lookup row. Every value is a
+// serialized (JSON text) blob, so each access pays a real
+// serialization/deserialization cost — Titan's dominant overhead.
+//
+// Concurrency model mirrors NativeStore: one store-global exclusive lock per
+// operation including the simulated round trip (Rexster-style request
+// serialization; see DESIGN.md §4/§5).
+
+#ifndef SQLGRAPH_BASELINE_KV_STORE_H_
+#define SQLGRAPH_BASELINE_KV_STORE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "baseline/blueprints.h"
+#include "graph/property_graph.h"
+
+namespace sqlgraph {
+namespace baseline {
+
+struct KvStoreConfig {
+  uint32_t round_trip_micros = 0;
+  std::vector<std::string> indexed_keys;
+};
+
+class KvStore : public GraphDb {
+ public:
+  static util::Result<std::unique_ptr<KvStore>> Build(
+      const graph::PropertyGraph& graph, KvStoreConfig config = KvStoreConfig());
+
+  std::string name() const override { return "KvStore(titan-like)"; }
+
+  util::Result<VertexId> AddVertex(json::JsonValue attrs) override;
+  util::Result<json::JsonValue> GetVertex(VertexId vid) override;
+  util::Status SetVertexAttr(VertexId vid, const std::string& key,
+                             json::JsonValue value) override;
+  util::Status RemoveVertex(VertexId vid) override;
+  util::Result<EdgeId> AddEdge(VertexId src, VertexId dst,
+                               const std::string& label,
+                               json::JsonValue attrs) override;
+  util::Result<EdgeRecord> GetEdge(EdgeId eid) override;
+  util::Status SetEdgeAttr(EdgeId eid, const std::string& key,
+                           json::JsonValue value) override;
+  util::Status RemoveEdge(EdgeId eid) override;
+  util::Result<std::optional<EdgeId>> FindEdge(VertexId src,
+                                               const std::string& label,
+                                               VertexId dst) override;
+  util::Result<std::vector<EdgeRecord>> GetOutEdges(
+      VertexId src, const std::string& label) override;
+  util::Result<int64_t> CountOutEdges(VertexId src,
+                                      const std::string& label) override;
+  util::Result<std::vector<VertexId>> Out(
+      VertexId vid, const std::vector<std::string>& labels) override;
+  util::Result<std::vector<VertexId>> In(
+      VertexId vid, const std::vector<std::string>& labels) override;
+  util::Result<std::vector<EdgeId>> OutE(
+      VertexId vid, const std::vector<std::string>& labels) override;
+  util::Result<std::vector<EdgeId>> InE(
+      VertexId vid, const std::vector<std::string>& labels) override;
+  util::Result<std::vector<VertexId>> AllVertices() override;
+  util::Result<std::vector<EdgeId>> AllEdges() override;
+  util::Result<std::vector<VertexId>> VerticesByAttr(
+      const std::string& key, const rel::Value& value) override;
+  size_t SerializedBytes() const override;
+
+ private:
+  explicit KvStore(KvStoreConfig config) : config_(std::move(config)) {}
+
+  // Key builders. Hex-padded ids keep lexicographic == numeric order.
+  static std::string VKey(VertexId vid);
+  static std::string OKey(VertexId src, const std::string& label, EdgeId eid);
+  static std::string OPrefix(VertexId src, const std::string& label);
+  static std::string IKey(VertexId dst, const std::string& label, EdgeId eid);
+  static std::string IPrefix(VertexId dst, const std::string& label);
+  static std::string EKey(EdgeId eid);
+  static std::string XKey(const std::string& attr_key, const std::string& v,
+                          VertexId vid);
+
+  // Internal (lock already held) edge insertion/removal.
+  util::Status PutEdgeLocked(EdgeId eid, VertexId src, VertexId dst,
+                             const std::string& label,
+                             const json::JsonValue& attrs);
+  util::Status RemoveEdgeLocked(EdgeId eid);
+  util::Result<EdgeRecord> GetEdgeLocked(EdgeId eid) const;
+  void IndexVertexLocked(VertexId vid, const json::JsonValue& attrs, bool add);
+
+  KvStoreConfig config_;
+  mutable std::mutex big_lock_;
+  std::map<std::string, std::string> kv_;
+  int64_t next_vertex_id_ = 0;
+  int64_t next_edge_id_ = 0;
+  size_t bytes_ = 0;  // running serialized size
+};
+
+}  // namespace baseline
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_BASELINE_KV_STORE_H_

@@ -1,0 +1,119 @@
+// NativeStore: a Neo4j-1.9-like native graph store.
+//
+// Layout mirrors Neo4j's record files: fixed-size node records point at the
+// head of a per-node relationship chain; relationship records are doubly
+// linked per endpoint. Traversal is pointer chasing, one record at a time.
+//
+// Concurrency model (see DESIGN.md §4/§5): every public operation holds one
+// store-global exclusive lock for its full duration *including* the
+// simulated client round trip — the stand-in for the Neo4j 1.9 server's
+// request-level serialization that the paper's Fig. 9 exposes.
+
+#ifndef SQLGRAPH_BASELINE_NATIVE_STORE_H_
+#define SQLGRAPH_BASELINE_NATIVE_STORE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/blueprints.h"
+#include "graph/property_graph.h"
+
+namespace sqlgraph {
+namespace baseline {
+
+struct NativeStoreConfig {
+  /// Per-request client/server overhead in microseconds (0 = embedded).
+  uint32_t round_trip_micros = 0;
+  /// Attribute keys to maintain lookup indexes for.
+  std::vector<std::string> indexed_keys;
+};
+
+class NativeStore : public GraphDb {
+ public:
+  static util::Result<std::unique_ptr<NativeStore>> Build(
+      const graph::PropertyGraph& graph,
+      NativeStoreConfig config = NativeStoreConfig());
+
+  std::string name() const override { return "NativeStore(neo4j-like)"; }
+
+  util::Result<VertexId> AddVertex(json::JsonValue attrs) override;
+  util::Result<json::JsonValue> GetVertex(VertexId vid) override;
+  util::Status SetVertexAttr(VertexId vid, const std::string& key,
+                             json::JsonValue value) override;
+  util::Status RemoveVertex(VertexId vid) override;
+  util::Result<EdgeId> AddEdge(VertexId src, VertexId dst,
+                               const std::string& label,
+                               json::JsonValue attrs) override;
+  util::Result<EdgeRecord> GetEdge(EdgeId eid) override;
+  util::Status SetEdgeAttr(EdgeId eid, const std::string& key,
+                           json::JsonValue value) override;
+  util::Status RemoveEdge(EdgeId eid) override;
+  util::Result<std::optional<EdgeId>> FindEdge(VertexId src,
+                                               const std::string& label,
+                                               VertexId dst) override;
+  util::Result<std::vector<EdgeRecord>> GetOutEdges(
+      VertexId src, const std::string& label) override;
+  util::Result<int64_t> CountOutEdges(VertexId src,
+                                      const std::string& label) override;
+  util::Result<std::vector<VertexId>> Out(
+      VertexId vid, const std::vector<std::string>& labels) override;
+  util::Result<std::vector<VertexId>> In(
+      VertexId vid, const std::vector<std::string>& labels) override;
+  util::Result<std::vector<EdgeId>> OutE(
+      VertexId vid, const std::vector<std::string>& labels) override;
+  util::Result<std::vector<EdgeId>> InE(
+      VertexId vid, const std::vector<std::string>& labels) override;
+  util::Result<std::vector<VertexId>> AllVertices() override;
+  util::Result<std::vector<EdgeId>> AllEdges() override;
+  util::Result<std::vector<VertexId>> VerticesByAttr(
+      const std::string& key, const rel::Value& value) override;
+  size_t SerializedBytes() const override;
+
+ private:
+  static constexpr int64_t kNil = -1;
+
+  struct NodeRecord {
+    int64_t first_out = kNil;  // head of out-relationship chain
+    int64_t first_in = kNil;
+    bool in_use = false;
+    json::JsonValue attrs;
+  };
+  struct RelRecord {
+    VertexId src = 0;
+    VertexId dst = 0;
+    uint32_t label_id = 0;
+    int64_t next_out = kNil;  // next rel with same src
+    int64_t next_in = kNil;   // next rel with same dst
+    bool in_use = false;
+    json::JsonValue attrs;
+  };
+
+  explicit NativeStore(NativeStoreConfig config)
+      : config_(std::move(config)) {}
+
+  uint32_t InternLabel(const std::string& label);
+  bool LabelMatches(uint32_t label_id,
+                    const std::vector<std::string>& labels) const;
+  void IndexVertex(VertexId vid, const json::JsonValue& attrs);
+  void UnindexVertex(VertexId vid, const json::JsonValue& attrs);
+  // Unlinks a relationship from both endpoint chains.
+  void UnlinkRel(int64_t rel_id);
+  util::Status CheckNode(VertexId vid) const;
+
+  NativeStoreConfig config_;
+  mutable std::mutex big_lock_;  // request-level serialization (see header)
+  std::vector<NodeRecord> nodes_;
+  std::vector<RelRecord> rels_;
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, uint32_t> label_ids_;
+  // (key, value-string) → vids, for configured indexed keys.
+  std::unordered_map<std::string, std::vector<VertexId>> attr_index_;
+};
+
+}  // namespace baseline
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_BASELINE_NATIVE_STORE_H_

@@ -1,0 +1,178 @@
+#include "baseline/sqlgraph_adapter.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace sqlgraph {
+namespace baseline {
+
+using util::Result;
+using util::Status;
+
+Result<VertexId> SqlGraphAdapter::AddVertex(json::JsonValue attrs) {
+  ChargeRoundTrip(rt_);
+  return store_->AddVertex(std::move(attrs));
+}
+
+Result<json::JsonValue> SqlGraphAdapter::GetVertex(VertexId vid) {
+  ChargeRoundTrip(rt_);
+  return store_->GetVertex(vid);
+}
+
+Status SqlGraphAdapter::SetVertexAttr(VertexId vid, const std::string& key,
+                                      json::JsonValue value) {
+  ChargeRoundTrip(rt_);
+  return store_->SetVertexAttr(vid, key, std::move(value));
+}
+
+Status SqlGraphAdapter::RemoveVertex(VertexId vid) {
+  ChargeRoundTrip(rt_);
+  return store_->RemoveVertex(vid);
+}
+
+Result<EdgeId> SqlGraphAdapter::AddEdge(VertexId src, VertexId dst,
+                                        const std::string& label,
+                                        json::JsonValue attrs) {
+  ChargeRoundTrip(rt_);
+  return store_->AddEdge(src, dst, label, std::move(attrs));
+}
+
+Result<EdgeRecord> SqlGraphAdapter::GetEdge(EdgeId eid) {
+  ChargeRoundTrip(rt_);
+  return store_->GetEdge(eid);
+}
+
+Status SqlGraphAdapter::SetEdgeAttr(EdgeId eid, const std::string& key,
+                                    json::JsonValue value) {
+  ChargeRoundTrip(rt_);
+  return store_->SetEdgeAttr(eid, key, std::move(value));
+}
+
+Status SqlGraphAdapter::RemoveEdge(EdgeId eid) {
+  ChargeRoundTrip(rt_);
+  return store_->RemoveEdge(eid);
+}
+
+Result<std::optional<EdgeId>> SqlGraphAdapter::FindEdge(
+    VertexId src, const std::string& label, VertexId dst) {
+  ChargeRoundTrip(rt_);
+  return store_->FindEdge(src, label, dst);
+}
+
+Result<std::vector<EdgeRecord>> SqlGraphAdapter::GetOutEdges(
+    VertexId src, const std::string& label) {
+  ChargeRoundTrip(rt_);
+  return store_->GetOutEdges(src, label);
+}
+
+Result<int64_t> SqlGraphAdapter::CountOutEdges(VertexId src,
+                                               const std::string& label) {
+  ChargeRoundTrip(rt_);
+  return store_->CountOutEdges(src, label);
+}
+
+Result<std::vector<VertexId>> SqlGraphAdapter::Out(
+    VertexId vid, const std::vector<std::string>& labels) {
+  ChargeRoundTrip(rt_);
+  if (labels.empty()) return store_->Out(vid);
+  std::vector<VertexId> out;
+  for (const auto& l : labels) {
+    ASSIGN_OR_RETURN(std::vector<VertexId> part, store_->Out(vid, l));
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+Result<std::vector<VertexId>> SqlGraphAdapter::In(
+    VertexId vid, const std::vector<std::string>& labels) {
+  ChargeRoundTrip(rt_);
+  if (labels.empty()) return store_->In(vid);
+  std::vector<VertexId> out;
+  for (const auto& l : labels) {
+    ASSIGN_OR_RETURN(std::vector<VertexId> part, store_->In(vid, l));
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+Result<std::vector<EdgeId>> SqlGraphAdapter::OutE(
+    VertexId vid, const std::vector<std::string>& labels) {
+  ChargeRoundTrip(rt_);
+  std::vector<EdgeId> out;
+  ASSIGN_OR_RETURN(std::vector<EdgeRecord> recs,
+                   store_->GetOutEdges(vid, labels.size() == 1 ? labels[0] : ""));
+  for (const auto& rec : recs) {
+    if (labels.size() > 1 &&
+        std::find(labels.begin(), labels.end(), rec.label) == labels.end()) {
+      continue;
+    }
+    out.push_back(rec.id);
+  }
+  return out;
+}
+
+Result<std::vector<EdgeId>> SqlGraphAdapter::InE(
+    VertexId vid, const std::vector<std::string>& labels) {
+  ChargeRoundTrip(rt_);
+  // In-edges via the EA OUTV index, through SQL.
+  auto result = store_->ExecuteSql(
+      "SELECT EID AS val, LBL AS lbl FROM EA WHERE OUTV = " +
+      std::to_string(vid));
+  RETURN_NOT_OK(result.status());
+  std::vector<EdgeId> out;
+  for (const auto& row : result->rows) {
+    if (!labels.empty() &&
+        std::find(labels.begin(), labels.end(), row[1].AsString()) ==
+            labels.end()) {
+      continue;
+    }
+    out.push_back(row[0].AsInt());
+  }
+  return out;
+}
+
+Result<std::vector<VertexId>> SqlGraphAdapter::AllVertices() {
+  auto result = store_->ExecuteSql("SELECT VID AS val FROM VA WHERE VID >= 0");
+  RETURN_NOT_OK(result.status());
+  std::vector<VertexId> out;
+  out.reserve(result->rows.size());
+  for (const auto& row : result->rows) out.push_back(row[0].AsInt());
+  const size_t batches = out.empty() ? 1 : (out.size() + kScanBatchSize - 1) /
+                                               kScanBatchSize;
+  for (size_t b = 0; b < batches; ++b) ChargeRoundTrip(rt_);
+  return out;
+}
+
+Result<std::vector<EdgeId>> SqlGraphAdapter::AllEdges() {
+  auto result = store_->ExecuteSql("SELECT EID AS val FROM EA");
+  RETURN_NOT_OK(result.status());
+  std::vector<EdgeId> out;
+  out.reserve(result->rows.size());
+  for (const auto& row : result->rows) out.push_back(row[0].AsInt());
+  const size_t batches = out.empty() ? 1 : (out.size() + kScanBatchSize - 1) /
+                                               kScanBatchSize;
+  for (size_t b = 0; b < batches; ++b) ChargeRoundTrip(rt_);
+  return out;
+}
+
+Result<std::vector<VertexId>> SqlGraphAdapter::VerticesByAttr(
+    const std::string& key, const rel::Value& value) {
+  ChargeRoundTrip(rt_);
+  std::string sql = "SELECT VID AS val FROM VA WHERE VID >= 0 AND JSON_VAL("
+                    "ATTR, " + util::SqlQuote(key) + ") = ";
+  if (value.is_string()) {
+    sql += util::SqlQuote(value.AsString());
+  } else {
+    sql += value.ToString();
+  }
+  auto result = store_->ExecuteSql(sql);
+  RETURN_NOT_OK(result.status());
+  std::vector<VertexId> out;
+  out.reserve(result->rows.size());
+  for (const auto& row : result->rows) out.push_back(row[0].AsInt());
+  return out;
+}
+
+}  // namespace baseline
+}  // namespace sqlgraph

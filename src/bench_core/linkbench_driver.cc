@@ -1,0 +1,128 @@
+#include "bench_core/linkbench_driver.h"
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace sqlgraph {
+namespace bench {
+
+using baseline::GraphDb;
+using graph::LinkBenchConfig;
+using graph::LinkBenchOp;
+using graph::LinkBenchRequest;
+using graph::LinkBenchWorkload;
+using util::Result;
+using util::Status;
+
+namespace {
+
+/// Executes one LinkBench request. Failures on racing ids are tolerated.
+void ExecuteRequest(GraphDb* db, const LinkBenchConfig& config,
+                    const LinkBenchRequest& req) {
+  switch (req.op) {
+    case LinkBenchOp::kAddNode: {
+      json::JsonValue attrs = json::JsonValue::Object();
+      attrs.Set("type", static_cast<int64_t>(req.id2 %
+                                             static_cast<int64_t>(
+                                                 config.num_object_types)));
+      attrs.Set("version", int64_t{1});
+      attrs.Set("time", int64_t{1400000000});
+      attrs.Set("data", req.payload);
+      (void)db->AddVertex(std::move(attrs));
+      return;
+    }
+    case LinkBenchOp::kUpdateNode:
+      (void)db->SetVertexAttr(req.id1, "data", json::JsonValue(req.payload));
+      return;
+    case LinkBenchOp::kDeleteNode:
+      (void)db->RemoveVertex(req.id1);
+      return;
+    case LinkBenchOp::kGetNode:
+      (void)db->GetVertex(req.id1);
+      return;
+    case LinkBenchOp::kAddLink: {
+      json::JsonValue attrs = json::JsonValue::Object();
+      attrs.Set("visibility", int64_t{1});
+      attrs.Set("timestamp", int64_t{1400000000});
+      attrs.Set("data", req.payload);
+      (void)db->AddEdge(req.id1, req.id2, req.assoc_type, std::move(attrs));
+      return;
+    }
+    case LinkBenchOp::kDeleteLink: {
+      auto found = db->FindEdge(req.id1, req.assoc_type, req.id2);
+      if (found.ok() && found->has_value()) (void)db->RemoveEdge(**found);
+      return;
+    }
+    case LinkBenchOp::kUpdateLink: {
+      auto found = db->FindEdge(req.id1, req.assoc_type, req.id2);
+      if (found.ok() && found->has_value()) {
+        (void)db->SetEdgeAttr(**found, "data", json::JsonValue(req.payload));
+      } else {
+        // LinkBench semantics: update-or-insert.
+        json::JsonValue attrs = json::JsonValue::Object();
+        attrs.Set("visibility", int64_t{1});
+        attrs.Set("timestamp", int64_t{1400000000});
+        attrs.Set("data", req.payload);
+        (void)db->AddEdge(req.id1, req.id2, req.assoc_type, std::move(attrs));
+      }
+      return;
+    }
+    case LinkBenchOp::kCountLink:
+      (void)db->CountOutEdges(req.id1, req.assoc_type);
+      return;
+    case LinkBenchOp::kMultigetLink:
+      (void)db->FindEdge(req.id1, req.assoc_type, req.id2);
+      (void)db->FindEdge(req.id1, req.assoc_type, (req.id2 + 1) %
+                             static_cast<int64_t>(config.num_objects));
+      return;
+    case LinkBenchOp::kGetLinkList:
+      (void)db->GetOutEdges(req.id1, req.assoc_type);
+      return;
+  }
+}
+
+}  // namespace
+
+Result<LinkBenchResult> RunLinkBench(GraphDb* db,
+                                     const LinkBenchConfig& config,
+                                     size_t requesters,
+                                     size_t ops_per_requester) {
+  if (requesters == 0) {
+    return Status::InvalidArgument("need at least one requester");
+  }
+  LinkBenchResult result;
+  std::mutex merge_mu;
+  std::vector<std::thread> threads;
+  threads.reserve(requesters);
+  util::Stopwatch wall;
+  for (size_t r = 0; r < requesters; ++r) {
+    threads.emplace_back([&, r] {
+      LinkBenchWorkload workload(config, /*requester_seed=*/r + 1);
+      std::array<util::Samples, 10> local;
+      for (size_t i = 0; i < ops_per_requester; ++i) {
+        const LinkBenchRequest req = workload.Next();
+        util::Stopwatch sw;
+        ExecuteRequest(db, config, req);
+        local[static_cast<size_t>(req.op)].Add(sw.ElapsedSeconds());
+      }
+      std::lock_guard<std::mutex> lock(merge_mu);
+      for (size_t k = 0; k < 10; ++k) {
+        for (double v : local[k].values()) result.latency[k].Add(v);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  result.elapsed_seconds = wall.ElapsedSeconds();
+  result.total_ops = requesters * ops_per_requester;
+  result.ops_per_sec =
+      result.elapsed_seconds > 0
+          ? static_cast<double>(result.total_ops) / result.elapsed_seconds
+          : 0;
+  return result;
+}
+
+}  // namespace bench
+}  // namespace sqlgraph

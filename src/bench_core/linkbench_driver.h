@@ -1,0 +1,38 @@
+// LinkBench execution driver (paper §5.2, Fig. 9, Tables 6/7): N requester
+// threads issue the Table-6 operation mix against any GraphDb; per-operation
+// latencies and total throughput are collected.
+
+#ifndef SQLGRAPH_BENCH_CORE_LINKBENCH_DRIVER_H_
+#define SQLGRAPH_BENCH_CORE_LINKBENCH_DRIVER_H_
+
+#include <array>
+#include <cstddef>
+
+#include "baseline/blueprints.h"
+#include "graph/linkbench_gen.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace sqlgraph {
+namespace bench {
+
+struct LinkBenchResult {
+  double ops_per_sec = 0;
+  double elapsed_seconds = 0;
+  size_t total_ops = 0;
+  /// Latency samples in seconds, indexed by LinkBenchOp.
+  std::array<util::Samples, 10> latency;
+};
+
+/// Runs `ops_per_requester` operations on each of `requesters` threads.
+/// Failures from racing deletes (NotFound etc.) are expected and counted as
+/// completed operations, as in LinkBench proper.
+util::Result<LinkBenchResult> RunLinkBench(baseline::GraphDb* db,
+                                           const graph::LinkBenchConfig& config,
+                                           size_t requesters,
+                                           size_t ops_per_requester);
+
+}  // namespace bench
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_BENCH_CORE_LINKBENCH_DRIVER_H_

@@ -1,0 +1,60 @@
+#include "bench_core/report.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace sqlgraph {
+namespace bench {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) line += "  ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    line += "\n";
+    return line;
+  };
+  std::string out = render_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out.append(total > 2 ? total - 2 : 0, '-');
+  out += "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string FormatMs(double ms) {
+  if (ms < 1) return util::StrFormat("%.3f", ms);
+  if (ms < 100) return util::StrFormat("%.2f", ms);
+  return util::StrFormat("%.0f", ms);
+}
+
+std::string FormatMeanMax(double mean_s, double max_s) {
+  return util::StrFormat("%.4f(%.3f)", mean_s, max_s);
+}
+
+void Banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace sqlgraph

@@ -1,0 +1,39 @@
+// Plain-text reporting helpers that print the paper's tables and series.
+
+#ifndef SQLGRAPH_BENCH_CORE_REPORT_H_
+#define SQLGRAPH_BENCH_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace sqlgraph {
+namespace bench {
+
+/// Simple aligned-column table printer.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header underline and right-padded columns.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats milliseconds with sensible precision.
+std::string FormatMs(double ms);
+
+/// Formats `mean(max)` in seconds, Table 6/7 style.
+std::string FormatMeanMax(double mean_s, double max_s);
+
+/// Prints a section banner to stdout.
+void Banner(const std::string& title);
+
+}  // namespace bench
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_BENCH_CORE_REPORT_H_

@@ -1,0 +1,61 @@
+// Benchmark workload definitions: the paper's Table 1 adjacency queries,
+// Table 2 attribute-lookup queries, the 11 long-path queries (Fig. 3/6/8b)
+// and the 20 DBpedia benchmark queries (Fig. 8a), all expressed over the
+// synthetic DBpedia-like dataset.
+
+#ifndef SQLGRAPH_BENCH_CORE_WORKLOADS_H_
+#define SQLGRAPH_BENCH_CORE_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/dbpedia_gen.h"
+#include "rel/value.h"
+#include "sqlgraph/micro_schemas.h"
+
+namespace sqlgraph {
+namespace bench {
+
+/// One Table-1-style traversal query: fixed start tag, label, hop count.
+struct AdjacencyQuery {
+  int id;                // 1..11, the paper's numbering
+  std::string start_tag; // qtag attribute marking the starting vertices
+  std::string label;     // isPartOf (directed) or team (undirected)
+  int hops;
+  bool both;             // traverse ignoring direction (team queries)
+
+  /// Renders the query as Gremlin text (ends with .dedup().count()).
+  std::string ToGremlin() const;
+};
+
+/// The paper's Table 1 set (lq1..lq11).
+std::vector<AdjacencyQuery> Table1Queries();
+
+/// One Table-2-style attribute lookup.
+struct AttributeQuery {
+  int id;  // 1..16
+  std::string key;
+  core::HashAttrStore::QueryKind kind;
+  rel::Value operand;  // pattern / comparison constant (unused for NotNull)
+
+  /// The equivalent SQL over the VA JSON table (COUNT(*) form).
+  std::string ToJsonSql() const;
+};
+
+/// The paper's Table 2 set: 8 attributes × {not-null, value filter}.
+std::vector<AttributeQuery> Table2Queries();
+
+/// The 20 DBpedia benchmark queries of Fig. 8a (SPARQL set converted to
+/// Gremlin, per Appendix B), as Gremlin text. Query 15 (index 14) is the
+/// pathological one Titan timed out on.
+std::vector<std::string> DbpediaBenchmarkQueries();
+
+/// Keys that get attribute indexes (both in SQLGraph's VA and in baseline
+/// stores), per §3.3's "user adds specialized indexes for queried keys".
+std::vector<std::string> IndexedAttributeKeys();
+std::vector<std::string> OrderedIndexedAttributeKeys();
+
+}  // namespace bench
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_BENCH_CORE_WORKLOADS_H_

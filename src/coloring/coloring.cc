@@ -1,0 +1,107 @@
+#include "coloring/coloring.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace sqlgraph {
+namespace coloring {
+
+uint32_t CooccurrenceGraph::Intern(const std::string& label) {
+  auto it = ids_.find(label);
+  if (it != ids_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(names_.size());
+  ids_.emplace(label, id);
+  names_.push_back(label);
+  adj_.emplace_back();
+  return id;
+}
+
+int CooccurrenceGraph::Find(const std::string& label) const {
+  auto it = ids_.find(label);
+  return it == ids_.end() ? -1 : static_cast<int>(it->second);
+}
+
+void CooccurrenceGraph::AddGroup(const std::vector<std::string>& labels) {
+  std::vector<uint32_t> ids;
+  ids.reserve(labels.size());
+  for (const auto& l : labels) ids.push_back(Intern(l));
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (size_t j = i + 1; j < ids.size(); ++j) {
+      adj_[ids[i]].insert(ids[j]);
+      adj_[ids[j]].insert(ids[i]);
+    }
+  }
+}
+
+ColoredHash ColoredHash::Build(const CooccurrenceGraph& graph,
+                               size_t max_colors) {
+  ColoredHash hash;
+  const size_t n = graph.num_labels();
+  if (n == 0) {
+    hash.num_colors_ = 1;
+    return hash;
+  }
+  // Greedy Welsh–Powell: color vertices in decreasing degree order with the
+  // smallest color not used by an already-colored neighbor.
+  std::vector<uint32_t> order(n);
+  for (uint32_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    const size_t da = graph.neighbors(a).size();
+    const size_t db = graph.neighbors(b).size();
+    if (da != db) return da > db;
+    return a < b;  // deterministic tie-break
+  });
+
+  std::vector<int> color(n, -1);
+  size_t max_seen = 0;
+  for (uint32_t v : order) {
+    std::vector<bool> taken(max_seen + 2, false);
+    for (uint32_t u : graph.neighbors(v)) {
+      if (color[u] >= 0 && static_cast<size_t>(color[u]) < taken.size()) {
+        taken[static_cast<size_t>(color[u])] = true;
+      }
+    }
+    size_t c = 0;
+    while (c < taken.size() && taken[c]) ++c;
+    if (max_colors > 0 && c >= max_colors) {
+      // Cap reached: accept a conflicting color (will spill at load time).
+      c = v % max_colors;
+    }
+    color[v] = static_cast<int>(c);
+    max_seen = std::max(max_seen, c);
+  }
+  hash.num_colors_ = max_seen + 1;
+  for (uint32_t i = 0; i < n; ++i) {
+    hash.colors_.emplace(graph.labels()[i], static_cast<size_t>(color[i]));
+  }
+  return hash;
+}
+
+ColoredHash ColoredHash::BuildModulo(const std::vector<std::string>& labels,
+                                     size_t num_colors) {
+  ColoredHash hash;
+  hash.num_colors_ = std::max<size_t>(1, num_colors);
+  for (const auto& l : labels) {
+    hash.colors_.emplace(l, std::hash<std::string>{}(l) % hash.num_colors_);
+  }
+  return hash;
+}
+
+size_t ColoredHash::ColorOf(const std::string& label) const {
+  auto it = colors_.find(label);
+  if (it != colors_.end()) return it->second;
+  return std::hash<std::string>{}(label) % num_colors_;
+}
+
+std::vector<size_t> ColoredHash::ColorHistogram() const {
+  std::vector<size_t> hist(num_colors_, 0);
+  for (const auto& [label, color] : colors_) {
+    if (color < hist.size()) ++hist[color];
+  }
+  return hist;
+}
+
+}  // namespace coloring
+}  // namespace sqlgraph

@@ -1,0 +1,109 @@
+// Graph-coloring-based column assignment (Bornea et al., SIGMOD'13; paper
+// §3.2). Edge labels that co-occur in some vertex's adjacency list must land
+// in different column triads; labels that never co-occur may share one. The
+// co-occurrence graph is colored greedily in decreasing-degree order and the
+// resulting color is the label's column index.
+//
+// The same machinery hashes vertex-attribute keys to columns for the
+// micro-benchmark's "hash attribute table" variant (paper Fig. 2d).
+
+#ifndef SQLGRAPH_COLORING_COLORING_H_
+#define SQLGRAPH_COLORING_COLORING_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sqlgraph {
+namespace coloring {
+
+/// \brief Accumulates label co-occurrence: two labels are adjacent iff they
+/// appear together in at least one adjacency list (or attribute map).
+class CooccurrenceGraph {
+ public:
+  /// Registers one entity's label set (duplicates are fine).
+  void AddGroup(const std::vector<std::string>& labels);
+
+  size_t num_labels() const { return ids_.size(); }
+  const std::vector<std::string>& labels() const { return names_; }
+
+  /// Neighbor ids of a label id.
+  const std::unordered_set<uint32_t>& neighbors(uint32_t id) const {
+    return adj_[id];
+  }
+
+  /// Returns the id of a label, creating it if new.
+  uint32_t Intern(const std::string& label);
+
+  /// Returns the id of a label or -1 if unseen.
+  int Find(const std::string& label) const;
+
+ private:
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> names_;
+  std::vector<std::unordered_set<uint32_t>> adj_;
+};
+
+/// \brief The colored hash: maps labels to column indexes.
+///
+/// Labels unseen at analysis time (inserted after load) fall back to a
+/// modulo hash over the same color count — exactly the "reorganization
+/// needed if updates change dataset characteristics" caveat in §3.4.
+class ColoredHash {
+ public:
+  /// Colors the co-occurrence graph greedily (largest degree first), with
+  /// the number of colors capped at `max_colors` (0 = uncapped). Capping
+  /// introduces conflicts (spills) on purpose, for the spill-rate ablation.
+  static ColoredHash Build(const CooccurrenceGraph& graph,
+                           size_t max_colors = 0);
+
+  /// Builds a naive modulo hash over `num_colors` columns (ablation
+  /// baseline: no dataset-aware coloring).
+  static ColoredHash BuildModulo(const std::vector<std::string>& labels,
+                                 size_t num_colors);
+
+  /// Column index for a label. Unknown labels hash by name modulo the color
+  /// count.
+  size_t ColorOf(const std::string& label) const;
+
+  /// True if the label was part of the analyzed dataset.
+  bool Knows(const std::string& label) const {
+    return colors_.count(label) > 0;
+  }
+
+  size_t num_colors() const { return num_colors_; }
+  size_t num_labels() const { return colors_.size(); }
+
+  /// Histogram: how many labels share each color ("hashed bucket size" in
+  /// paper Table 3 is the max over these).
+  std::vector<size_t> ColorHistogram() const;
+
+  /// Serialization support (store snapshots): the full label→color map.
+  std::vector<std::pair<std::string, size_t>> Entries() const {
+    return std::vector<std::pair<std::string, size_t>>(colors_.begin(),
+                                                       colors_.end());
+  }
+  static ColoredHash FromEntries(
+      const std::vector<std::pair<std::string, size_t>>& entries,
+      size_t num_colors) {
+    ColoredHash hash;
+    hash.num_colors_ = std::max<size_t>(1, num_colors);
+    for (const auto& [label, color] : entries) {
+      hash.colors_.emplace(label, color);
+    }
+    return hash;
+  }
+
+ private:
+  std::unordered_map<std::string, size_t> colors_;
+  size_t num_colors_ = 1;
+};
+
+}  // namespace coloring
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_COLORING_COLORING_H_

@@ -1,0 +1,271 @@
+#include "graph/dbpedia_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace sqlgraph {
+namespace graph {
+
+namespace {
+
+constexpr char kIsPartOf[] = "http://dbpedia.org/ontology/isPartOf";
+constexpr char kTeam[] = "http://dbpedia.org/ontology/team";
+
+std::string PlaceUri(size_t level, size_t i) {
+  return util::StrFormat("http://dbpedia.org/resource/Place_L%zu_%zu", level, i);
+}
+std::string PlayerUri(size_t i) {
+  return util::StrFormat("http://dbpedia.org/resource/Player_%zu", i);
+}
+std::string TeamUri(size_t i) {
+  return util::StrFormat("http://dbpedia.org/resource/Team_%zu", i);
+}
+std::string MiscUri(size_t i) {
+  return util::StrFormat("http://dbpedia.org/resource/Misc_%zu", i);
+}
+std::string MiscLabelUri(size_t i) {
+  return util::StrFormat("http://dbpedia.org/ontology/rel_%zu", i);
+}
+std::string DatatypeUri(const char* name) {
+  return std::string("http://dbpedia.org/property/") + name;
+}
+
+json::JsonValue Provenance(util::Rng* rng) {
+  static const char* kSections[] = {
+      "External_link", "Infobox",    "History",  "Geography", "References",
+      "Demographics",  "Career",     "Honours",  "Overview",  "Politics",
+      "Climate",       "Statistics", "Culture",  "Economy",   "Education",
+      "Transport",     "Notes",      "Links",    "Intro",     "Trivia"};
+  json::JsonValue ctx = json::JsonValue::Object();
+  ctx.Set("oldid", static_cast<int64_t>(40000000 + rng->Uniform(20000000)));
+  ctx.Set("section", kSections[rng->Uniform(20)]);
+  ctx.Set("relative-line", static_cast<int64_t>(rng->Uniform(400)));
+  return ctx;
+}
+
+/// Emits one datatype-property quad.
+void EmitAttr(const std::function<void(const Quad&)>& emit,
+              const std::string& subject, const char* key,
+              json::JsonValue value) {
+  Quad q;
+  q.subject = subject;
+  q.predicate = DatatypeUri(key);
+  q.object_is_literal = true;
+  q.object_literal = std::move(value);
+  emit(q);
+}
+
+/// Emits one object-property quad with provenance context.
+void EmitEdge(const std::function<void(const Quad&)>& emit,
+              const std::string& subject, const std::string& predicate,
+              const std::string& object, util::Rng* rng) {
+  Quad q;
+  q.subject = subject;
+  q.predicate = predicate;
+  q.object_resource = object;
+  q.context = Provenance(rng);
+  emit(q);
+}
+
+}  // namespace
+
+void DbpediaGenerator::GenerateQuads(
+    const std::function<void(const Quad&)>& emit) const {
+  const DbpediaConfig& cfg = config_;
+  util::Rng rng(cfg.seed);
+
+  // ------------------------------------------------ place hierarchy ------
+  // Geometric level sizes, leaves last; leaf count anchors the Table-1
+  // 16000-vertex starting set.
+  const size_t leaf_count =
+      std::max<size_t>(64, static_cast<size_t>(16000 * cfg.scale));
+  std::vector<size_t> level_size(cfg.num_place_levels);
+  level_size.back() = leaf_count;
+  for (size_t k = cfg.num_place_levels - 1; k-- > 0;) {
+    level_size[k] = std::max<size_t>(
+        2, static_cast<size_t>(std::ceil(level_size[k + 1] * 0.55)));
+  }
+
+  size_t vertex_counter = 0;  // for unique wikiPageID values
+  auto common_attrs = [&](const std::string& uri, bool mostly_en) {
+    EmitAttr(emit, uri, "wikiPageID",
+             json::JsonValue(static_cast<int64_t>(29800000 + vertex_counter)));
+    const bool en = rng.Chance(mostly_en ? 0.92 : 0.5);
+    EmitAttr(emit, uri, "label",
+             json::JsonValue(util::StrFormat("\"Entity %zu\"@%s",
+                                             vertex_counter,
+                                             en ? "en" : "de")));
+    ++vertex_counter;
+  };
+
+  const size_t num_misc_total = std::max<size_t>(64, cfg.NumMisc());
+  // Real DBpedia vertices mix many predicates in one adjacency list; these
+  // extra misc-labeled edges make every place/player document heterogeneous
+  // (the colored hash reads one triad, a JSON document parses everything).
+  auto emit_misc_noise = [&](const std::string& uri, size_t count,
+                             size_t cluster) {
+    // Targets stay cluster-aligned so incoming adjacency lists also keep a
+    // small label palette (otherwise the IPA coloring needs as many colors
+    // as there are labels and spills explode — §3.4's robustness caveat).
+    const size_t stride = std::max<size_t>(1, num_misc_total /
+                                                  cfg.num_label_clusters);
+    for (size_t e = 0; e < count; ++e) {
+      const size_t label = cluster + (rng.Uniform(4)) * cfg.num_label_clusters;
+      const size_t target =
+          (cluster + rng.Uniform(stride) * cfg.num_label_clusters) %
+          num_misc_total;
+      EmitEdge(emit, uri, MiscLabelUri(label % cfg.num_misc_labels),
+               MiscUri(target), &rng);
+    }
+  };
+
+  for (size_t level = 0; level < cfg.num_place_levels; ++level) {
+    const bool is_leaf = level + 1 == cfg.num_place_levels;
+    for (size_t i = 0; i < level_size[level]; ++i) {
+      const std::string uri = PlaceUri(level, i);
+      common_attrs(uri, true);
+      emit_misc_noise(uri, 2 + rng.Uniform(4), i % cfg.num_label_clusters);
+      // Place-specific attributes (Table 2 workload).
+      if (rng.Chance(0.30)) {
+        EmitAttr(emit, uri, "longm",
+                 json::JsonValue(static_cast<int64_t>(rng.Uniform(40))));
+      }
+      if (rng.Chance(0.043)) {
+        EmitAttr(
+            emit, uri, "populationDensitySqMi",
+            json::JsonValue(static_cast<int64_t>(rng.Uniform(150)) * 50));
+      }
+      // Query start tags.
+      if (is_leaf) {
+        EmitAttr(emit, uri, "qleaf", json::JsonValue(int64_t{1}));
+        if (i < static_cast<size_t>(100 * cfg.scale) || i < 4) {
+          EmitAttr(emit, uri, "qb100", json::JsonValue(int64_t{1}));
+        }
+        if (i < static_cast<size_t>(1000 * cfg.scale) || i < 8) {
+          EmitAttr(emit, uri, "qb1000", json::JsonValue(int64_t{1}));
+        }
+        if (i < static_cast<size_t>(10000 * cfg.scale) || i < 16) {
+          EmitAttr(emit, uri, "qb10000", json::JsonValue(int64_t{1}));
+        }
+      }
+      if (level > 0) {
+        // 1 primary parent + extras; mean parents ≈ 2.2, which makes k-hop
+        // result multisets grow before dedup, as in the paper's queries.
+        const size_t parents = 1 + (rng.Chance(0.65) ? 1 : 0) +
+                               (rng.Chance(0.35) ? 1 : 0) +
+                               (rng.Chance(0.2) ? 1 : 0);
+        for (size_t p = 0; p < parents; ++p) {
+          const size_t parent = rng.Uniform(level_size[level - 1]);
+          EmitEdge(emit, uri, kIsPartOf, PlaceUri(level - 1, parent), &rng);
+        }
+      }
+    }
+  }
+
+  // ------------------------------------------------- soccer network ------
+  const size_t num_teams = std::max<size_t>(8, cfg.NumTeams());
+  const size_t num_players = std::max<size_t>(32, cfg.NumPlayers());
+  util::ZipfSampler team_zipf(num_teams, 0.6);
+  for (size_t t = 0; t < num_teams; ++t) {
+    const std::string uri = TeamUri(t);
+    common_attrs(uri, true);
+    if (t == 0) EmitAttr(emit, uri, "qt1", json::JsonValue(int64_t{1}));
+    if (t < 10) EmitAttr(emit, uri, "qt10", json::JsonValue(int64_t{1}));
+    if (t < 100 || t < num_teams / 4) {
+      EmitAttr(emit, uri, "qt100", json::JsonValue(int64_t{1}));
+    }
+    if (rng.Chance(0.08)) {
+      EmitAttr(emit, uri, "regionAffiliation",
+               json::JsonValue(util::StrFormat(
+                   "%d", 1950 + static_cast<int>(rng.Uniform(60)))));
+    }
+  }
+  for (size_t p = 0; p < num_players; ++p) {
+    const std::string uri = PlayerUri(p);
+    common_attrs(uri, true);
+    if (rng.Chance(0.008)) {
+      static const char* kNations[] = {"Brazilien", "Argentinien", "Spanien",
+                                       "Germanien", "Italien", "Franzosen",
+                                       "Nederlanden", "England"};
+      EmitAttr(emit, uri, "national", json::JsonValue(kNations[rng.Uniform(8)]));
+    }
+    // 1–3 team memberships; popular teams become supernodes.
+    const size_t memberships = 1 + rng.Uniform(3);
+    for (size_t m = 0; m < memberships; ++m) {
+      EmitEdge(emit, uri, kTeam, TeamUri(team_zipf.Sample(&rng)), &rng);
+    }
+    emit_misc_noise(uri, 1 + rng.Uniform(3), p % cfg.num_label_clusters);
+  }
+
+  // --------------------------------------------------- misc entities ------
+  const size_t num_misc = std::max<size_t>(64, cfg.NumMisc());
+  const size_t labels_per_cluster =
+      std::max<size_t>(2, cfg.num_misc_labels / cfg.num_label_clusters);
+  util::ZipfSampler label_zipf(labels_per_cluster, cfg.zipf_theta);
+  util::ZipfSampler misc_zipf(num_misc, 0.5);
+  static const char* kGenres[] = {"Rocken", "Jazzen", "Popmusik", "Klassiken",
+                                  "Hiphopen", "Folk", "Metalen", "Blues"};
+  for (size_t i = 0; i < num_misc; ++i) {
+    const std::string uri = MiscUri(i);
+    common_attrs(uri, false);
+    if (rng.Chance(0.023)) {
+      const bool en = rng.Chance(0.9);
+      EmitAttr(emit, uri, "title",
+               json::JsonValue(util::StrFormat("\"Title %zu\"@%s", i,
+                                               en ? "en" : "fr")));
+    }
+    if (rng.Chance(0.0028 * 10)) {  // scaled up so small graphs keep hits
+      EmitAttr(emit, uri, "genre", json::JsonValue(kGenres[rng.Uniform(8)]));
+    }
+    // Multi-valued category attribute (repeated datatype property → JSON
+    // array after conversion); feeds the VA-hash multi-value side table of
+    // Table 3 without touching any Table-2 query key.
+    if (rng.Chance(0.25)) {
+      const size_t n = 2 + rng.Uniform(3);
+      for (size_t s = 0; s < n; ++s) {
+        EmitAttr(emit, uri, "subject",
+                 json::JsonValue(util::StrFormat(
+                     "Category:%llu",
+                     static_cast<unsigned long long>(rng.Uniform(500)))));
+      }
+    }
+    const size_t cluster = i % cfg.num_label_clusters;
+    const size_t degree = static_cast<size_t>(cfg.misc_edges_per_vertex) +
+                          rng.Uniform(3);
+    for (size_t e = 0; e < degree; ++e) {
+      const size_t label_in_cluster = label_zipf.Sample(&rng);
+      const size_t label =
+          cluster + label_in_cluster * cfg.num_label_clusters;
+      // 90% of targets share the cluster so incoming adjacency lists also
+      // stay label-clustered (keeps IPA coloring compact, §3.4).
+      size_t target;
+      if (rng.Chance(0.9)) {
+        const size_t step = 1 + rng.Uniform(num_misc / cfg.num_label_clusters);
+        target = (i + step * cfg.num_label_clusters) % num_misc;
+      } else {
+        target = misc_zipf.Sample(&rng);
+      }
+      EmitEdge(emit, uri, MiscLabelUri(label), MiscUri(target), &rng);
+    }
+  }
+}
+
+PropertyGraph DbpediaGenerator::Generate() const {
+  PropertyGraph graph;
+  RdfToPropertyGraph converter(&graph);
+  util::Status status = util::Status::OK();
+  GenerateQuads([&](const Quad& q) {
+    if (!status.ok()) return;
+    status = converter.Add(q);
+  });
+  // Generation is deterministic over valid URIs; a failure here is a bug.
+  (void)status;
+  return graph;
+}
+
+}  // namespace graph
+}  // namespace sqlgraph

@@ -1,0 +1,85 @@
+// LinkBench-like social-graph generator and operation stream (substitute for
+// Facebook-calibrated LinkBench, see DESIGN.md §4).
+//
+// Data model per the paper's §5.2 mapping: LinkBench "objects" become
+// vertices with attributes {type, version, time, data}; "associations"
+// become edges with attributes {atype, visibility, timestamp, data}.
+//
+// The operation stream follows the paper's Table 6 distribution.
+
+#ifndef SQLGRAPH_GRAPH_LINKBENCH_GEN_H_
+#define SQLGRAPH_GRAPH_LINKBENCH_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "util/rng.h"
+
+namespace sqlgraph {
+namespace graph {
+
+struct LinkBenchConfig {
+  size_t num_objects = 10000;
+  double avg_degree = 4.3;        // paper: 1B nodes / 4.3B edges
+  size_t payload_bytes = 24;      // object/assoc data payload
+  size_t num_object_types = 8;
+  size_t num_assoc_types = 6;
+  double zipf_theta = 0.75;       // hot-node skew for both data and ops
+  uint64_t seed = 8331;
+};
+
+/// Builds the initial social graph.
+PropertyGraph GenerateLinkBenchGraph(const LinkBenchConfig& config);
+
+/// LinkBench operation kinds (paper Table 6, same order).
+enum class LinkBenchOp {
+  kAddNode,
+  kUpdateNode,
+  kDeleteNode,
+  kGetNode,
+  kAddLink,
+  kDeleteLink,
+  kUpdateLink,
+  kCountLink,
+  kMultigetLink,
+  kGetLinkList,
+};
+
+const char* LinkBenchOpName(LinkBenchOp op);
+
+/// Table 6 mix: {2.6, 7.4, 1.0, 12.9, 9.0, 3.0, 8.0, 4.9, 0.5, 50.7}%.
+extern const double kLinkBenchOpMix[10];
+
+/// One concrete operation: kind plus pre-drawn ids/payload so every store
+/// executes the identical stream.
+struct LinkBenchRequest {
+  LinkBenchOp op;
+  VertexId id1 = 0;          // primary vertex
+  VertexId id2 = 0;          // secondary vertex (links)
+  std::string assoc_type;    // association type label
+  std::string payload;       // data payload for writes
+};
+
+/// \brief Deterministic per-requester operation stream.
+class LinkBenchWorkload {
+ public:
+  LinkBenchWorkload(const LinkBenchConfig& config, uint64_t requester_seed);
+
+  /// Draws the next request. Vertex ids are Zipf-skewed over the initial
+  /// object range; ids for adds are drawn from a private range so
+  /// concurrent requesters never collide on vertex creation.
+  LinkBenchRequest Next();
+
+ private:
+  LinkBenchConfig config_;
+  util::Rng rng_;
+  util::ZipfSampler id_zipf_;
+  double cumulative_[10];
+};
+
+}  // namespace graph
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_GRAPH_LINKBENCH_GEN_H_

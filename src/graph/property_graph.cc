@@ -1,0 +1,35 @@
+#include "graph/property_graph.h"
+
+namespace sqlgraph {
+namespace graph {
+
+VertexId PropertyGraph::AddVertex(json::JsonValue attrs) {
+  const VertexId id = static_cast<VertexId>(vertices_.size());
+  vertices_.push_back(Vertex{id, std::move(attrs)});
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+util::Result<EdgeId> PropertyGraph::AddEdge(VertexId src, VertexId dst,
+                                            std::string label,
+                                            json::JsonValue attrs) {
+  if (src < 0 || static_cast<size_t>(src) >= vertices_.size() || dst < 0 ||
+      static_cast<size_t>(dst) >= vertices_.size()) {
+    return util::Status::InvalidArgument("edge endpoint does not exist");
+  }
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{id, src, dst, std::move(label), std::move(attrs)});
+  out_[static_cast<size_t>(src)].push_back(id);
+  in_[static_cast<size_t>(dst)].push_back(id);
+  return id;
+}
+
+std::unordered_map<std::string, size_t> PropertyGraph::LabelHistogram() const {
+  std::unordered_map<std::string, size_t> hist;
+  for (const auto& e : edges_) ++hist[e.label];
+  return hist;
+}
+
+}  // namespace graph
+}  // namespace sqlgraph

@@ -1,0 +1,85 @@
+// In-memory property graph model (paper §1, Fig. 2a): a directed labeled
+// multigraph whose vertices and edges carry JSON attribute maps. This is the
+// loader-facing representation; stores ingest it via their bulk loaders.
+//
+// Direction convention used across the codebase (matching the paper's EA
+// schema in Fig. 5f, where edge 7 = marko(1) -knows-> vadas(2) is stored as
+// INV=1, OUTV=2): an edge goes from `src` (stored in column INV) to `dst`
+// (stored in column OUTV). Gremlin's out() from a vertex follows src→dst.
+
+#ifndef SQLGRAPH_GRAPH_PROPERTY_GRAPH_H_
+#define SQLGRAPH_GRAPH_PROPERTY_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "json/json_value.h"
+#include "util/status.h"
+
+namespace sqlgraph {
+namespace graph {
+
+using VertexId = int64_t;
+using EdgeId = int64_t;
+
+struct Vertex {
+  VertexId id;
+  json::JsonValue attrs;  // JSON object
+};
+
+struct Edge {
+  EdgeId id;
+  VertexId src;
+  VertexId dst;
+  std::string label;
+  json::JsonValue attrs;  // JSON object
+};
+
+/// \brief Mutable in-memory property graph used for generation and loading.
+class PropertyGraph {
+ public:
+  /// Adds a vertex with the next dense id.
+  VertexId AddVertex(json::JsonValue attrs = json::JsonValue::Object());
+
+  /// Adds an edge; both endpoints must exist.
+  util::Result<EdgeId> AddEdge(VertexId src, VertexId dst, std::string label,
+                               json::JsonValue attrs = json::JsonValue::Object());
+
+  size_t NumVertices() const { return vertices_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+
+  const Vertex& vertex(VertexId id) const {
+    return vertices_[static_cast<size_t>(id)];
+  }
+  Vertex& mutable_vertex(VertexId id) {
+    return vertices_[static_cast<size_t>(id)];
+  }
+  const Edge& edge(EdgeId id) const { return edges_[static_cast<size_t>(id)]; }
+
+  const std::vector<Vertex>& vertices() const { return vertices_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Outgoing / incoming edge ids of a vertex.
+  const std::vector<EdgeId>& OutEdges(VertexId v) const {
+    return out_[static_cast<size_t>(v)];
+  }
+  const std::vector<EdgeId>& InEdges(VertexId v) const {
+    return in_[static_cast<size_t>(v)];
+  }
+
+  /// Distinct edge labels with occurrence counts.
+  std::unordered_map<std::string, size_t> LabelHistogram() const;
+
+ private:
+  std::vector<Vertex> vertices_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace graph
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_GRAPH_PROPERTY_GRAPH_H_

@@ -1,0 +1,65 @@
+#include "graph/rdf.h"
+
+namespace sqlgraph {
+namespace graph {
+
+std::string UriLocalName(const std::string& uri) {
+  const size_t hash = uri.find_last_of('#');
+  if (hash != std::string::npos) return uri.substr(hash + 1);
+  const size_t slash = uri.find_last_of('/');
+  if (slash != std::string::npos) return uri.substr(slash + 1);
+  return uri;
+}
+
+VertexId RdfToPropertyGraph::InternResource(const std::string& uri) {
+  auto it = by_uri_.find(uri);
+  if (it != by_uri_.end()) return it->second;
+  json::JsonValue attrs = json::JsonValue::Object();
+  attrs.Set("uri", uri);
+  const VertexId id = out_->AddVertex(std::move(attrs));
+  by_uri_.emplace(uri, id);
+  return id;
+}
+
+VertexId RdfToPropertyGraph::Find(const std::string& uri) const {
+  auto it = by_uri_.find(uri);
+  return it == by_uri_.end() ? -1 : it->second;
+}
+
+util::Status RdfToPropertyGraph::Add(const Quad& quad) {
+  const VertexId subject = InternResource(quad.subject);
+  if (quad.object_is_literal) {
+    // Rule (c): datatype property → vertex attribute, keyed by the
+    // predicate's local name. Repeated keys become JSON arrays
+    // (multi-valued attributes).
+    const std::string key = UriLocalName(quad.predicate);
+    json::JsonValue& attrs = out_->mutable_vertex(subject).attrs;
+    const json::JsonValue* existing = attrs.Find(key);
+    if (existing == nullptr) {
+      attrs.Set(key, quad.object_literal);
+    } else if (existing->is_array()) {
+      json::JsonValue arr = *existing;
+      arr.Append(quad.object_literal);
+      attrs.Set(key, std::move(arr));
+    } else {
+      json::JsonValue arr = json::JsonValue::Array();
+      arr.Append(*existing);
+      arr.Append(quad.object_literal);
+      attrs.Set(key, std::move(arr));
+    }
+    return util::Status::OK();
+  }
+  // Rule (b): object property → adjacency edge; rule (d): context → edge
+  // attributes.
+  const VertexId object = InternResource(quad.object_resource);
+  json::JsonValue edge_attrs = quad.context.is_object()
+                                   ? quad.context
+                                   : json::JsonValue::Object();
+  return out_
+      ->AddEdge(subject, object, UriLocalName(quad.predicate),
+                std::move(edge_attrs))
+      .status();
+}
+
+}  // namespace graph
+}  // namespace sqlgraph

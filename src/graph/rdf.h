@@ -1,0 +1,61 @@
+// RDF quad model and the §3.1 RDF → property-graph conversion:
+//
+//  (a) every subject/object resource becomes a vertex with an integer id
+//      and a `uri` attribute,
+//  (b) object properties become labeled adjacency edges,
+//  (c) datatype properties become vertex attributes,
+//  (d) n-quad provenance/context becomes edge attributes.
+
+#ifndef SQLGRAPH_GRAPH_RDF_H_
+#define SQLGRAPH_GRAPH_RDF_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "json/json_value.h"
+#include "util/status.h"
+
+namespace sqlgraph {
+namespace graph {
+
+/// One RDF statement, possibly with quad context attributes.
+struct Quad {
+  std::string subject;           // resource URI
+  std::string predicate;         // property URI
+  bool object_is_literal = false;
+  std::string object_resource;   // when !object_is_literal
+  json::JsonValue object_literal;  // when object_is_literal (string/int/double)
+  json::JsonValue context;       // JSON object: provenance → edge attributes
+};
+
+/// \brief Streaming RDF→property-graph converter. Feed quads one at a time;
+/// memory is bounded by the output graph plus the URI→vertex map.
+class RdfToPropertyGraph {
+ public:
+  explicit RdfToPropertyGraph(PropertyGraph* out) : out_(out) {}
+
+  /// Applies the conversion rules to one quad.
+  util::Status Add(const Quad& quad);
+
+  /// Vertex for a URI, creating it (with the `uri` attribute) if new.
+  VertexId InternResource(const std::string& uri);
+
+  /// Vertex for a URI or -1 if the URI never appeared.
+  VertexId Find(const std::string& uri) const;
+
+  size_t num_resources() const { return by_uri_.size(); }
+
+ private:
+  PropertyGraph* out_;
+  std::unordered_map<std::string, VertexId> by_uri_;
+};
+
+/// Local name of a URI ("http://dbpedia.org/ontology/team" → "team").
+std::string UriLocalName(const std::string& uri);
+
+}  // namespace graph
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_GRAPH_RDF_H_

@@ -1,0 +1,462 @@
+#include "gremlin/parser.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace sqlgraph {
+namespace gremlin {
+
+namespace {
+
+using util::Result;
+using util::Status;
+
+struct Token {
+  enum Type { kIdent, kString, kInt, kDouble, kSymbol, kEnd } type;
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t offset = 0;
+};
+
+Result<std::vector<Token>> Lex(std::string_view text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) ||
+                       text[i] == '_')) {
+        ++i;
+      }
+      out.push_back({Token::kIdent, std::string(text.substr(start, i - start)),
+                     0, 0, start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      bool is_double = false;
+      ++i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(text[i])) ||
+                       text[i] == '.')) {
+        // ".." range operator would be ambiguous; the subset does not use it.
+        if (text[i] == '.') {
+          if (i + 1 < n && std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+            is_double = true;
+          } else {
+            break;
+          }
+        }
+        ++i;
+      }
+      Token t{is_double ? Token::kDouble : Token::kInt,
+              std::string(text.substr(start, i - start)), 0, 0, start};
+      if (is_double) {
+        t.double_value = std::strtod(t.text.c_str(), nullptr);
+      } else {
+        t.int_value = std::strtoll(t.text.c_str(), nullptr, 10);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (text[i] == '\\' && i + 1 < n) {
+          value.push_back(text[i + 1]);
+          i += 2;
+          continue;
+        }
+        if (text[i] == quote) {
+          ++i;
+          closed = true;
+          break;
+        }
+        value.push_back(text[i++]);
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string at offset " +
+                                  std::to_string(start));
+      }
+      out.push_back({Token::kString, std::move(value), 0, 0, start});
+      continue;
+    }
+    auto sym = [&](const char* s, size_t len) {
+      out.push_back({Token::kSymbol, s, 0, 0, start});
+      i += len;
+    };
+    if (c == '=' && i + 1 < n && text[i + 1] == '=') { sym("==", 2); continue; }
+    if (c == '!' && i + 1 < n && text[i + 1] == '=') { sym("!=", 2); continue; }
+    if (c == '>' && i + 1 < n && text[i + 1] == '=') { sym(">=", 2); continue; }
+    if (c == '<' && i + 1 < n && text[i + 1] == '=') { sym("<=", 2); continue; }
+    static const std::string kSingles = ".(){},<>";
+    if (kSingles.find(c) != std::string::npos) {
+      sym(std::string(1, c).c_str(), 1);
+      // sym copied from a temporary; fix the stored text:
+      out.back().text = std::string(1, c);
+      continue;
+    }
+    return Status::ParseError(util::StrFormat(
+        "unexpected character '%c' at offset %zu", c, start));
+  }
+  out.push_back({Token::kEnd, "", 0, 0, n});
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Pipeline> ParseQuery() {
+    RETURN_NOT_OK(ExpectIdent("g"));
+    ASSIGN_OR_RETURN(Pipeline p, ParsePipeChain());
+    if (Peek().type != Token::kEnd) return Err("trailing input");
+    if (p.pipes.empty() || (p.pipes[0].kind != PipeKind::kStartV &&
+                            p.pipes[0].kind != PipeKind::kStartE)) {
+      return Err("query must start with g.V or g.E");
+    }
+    return p;
+  }
+
+ private:
+  Result<Pipeline> ParsePipeChain() {
+    Pipeline p;
+    while (AcceptSymbol(".")) {
+      ASSIGN_OR_RETURN(Pipe pipe, ParsePipe());
+      // fairMerge / exhaustMerge after copySplit are no-ops for us (the
+      // copySplit pipe already unions its branches).
+      if (pipe.kind == PipeKind::kCount && pipe.key == "__merge__") continue;
+      p.pipes.push_back(std::move(pipe));
+    }
+    return p;
+  }
+
+  Result<Pipe> ParsePipe() {
+    ASSIGN_OR_RETURN(std::string name, ExpectAnyIdent());
+    Pipe pipe{};
+    if (name == "V" || name == "E") {
+      pipe.kind = name == "V" ? PipeKind::kStartV : PipeKind::kStartE;
+      if (AcceptSymbol("(")) {
+        if (!PeekSymbol(")")) {
+          ASSIGN_OR_RETURN(rel::Value first, ParseLiteral());
+          if (first.is_string() && AcceptSymbol(",")) {
+            ASSIGN_OR_RETURN(rel::Value second, ParseLiteral());
+            pipe.start_key = first.AsString();
+            pipe.value = std::move(second);
+          } else {
+            pipe.has_start_id = true;
+            pipe.value = std::move(first);
+          }
+        }
+        RETURN_NOT_OK(ExpectSymbol(")"));
+      }
+      return pipe;
+    }
+    if (name == "out" || name == "in" || name == "both" || name == "outE" ||
+        name == "inE" || name == "bothE") {
+      pipe.kind = name == "out"    ? PipeKind::kOut
+                  : name == "in"   ? PipeKind::kIn
+                  : name == "both" ? PipeKind::kBoth
+                  : name == "outE" ? PipeKind::kOutE
+                  : name == "inE"  ? PipeKind::kInE
+                                   : PipeKind::kBothE;
+      if (AcceptSymbol("(")) {
+        while (!PeekSymbol(")")) {
+          ASSIGN_OR_RETURN(rel::Value label, ParseLiteral());
+          if (!label.is_string()) return Err("edge label must be a string");
+          pipe.labels.push_back(label.AsString());
+          if (!AcceptSymbol(",")) break;
+        }
+        RETURN_NOT_OK(ExpectSymbol(")"));
+      }
+      return pipe;
+    }
+    if (name == "outV" || name == "inV" || name == "bothV" ||
+        name == "dedup" || name == "path" || name == "simplePath" ||
+        name == "count" || name == "id") {
+      pipe.kind = name == "outV"         ? PipeKind::kOutV
+                  : name == "inV"        ? PipeKind::kInV
+                  : name == "bothV"      ? PipeKind::kBothV
+                  : name == "dedup"      ? PipeKind::kDedup
+                  : name == "path"       ? PipeKind::kPath
+                  : name == "simplePath" ? PipeKind::kSimplePath
+                  : name == "id"         ? PipeKind::kId
+                                         : PipeKind::kCount;
+      RETURN_NOT_OK(SwallowEmptyParens());
+      return pipe;
+    }
+    if (name == "fairMerge" || name == "exhaustMerge") {
+      RETURN_NOT_OK(SwallowEmptyParens());
+      pipe.kind = PipeKind::kCount;
+      pipe.key = "__merge__";  // dropped by the chain parser
+      return pipe;
+    }
+    if (name == "has" || name == "hasNot") {
+      pipe.kind = name == "has" ? PipeKind::kHas : PipeKind::kHasNot;
+      RETURN_NOT_OK(ExpectSymbol("("));
+      ASSIGN_OR_RETURN(rel::Value key, ParseLiteral());
+      if (!key.is_string()) return Err("has() key must be a string");
+      pipe.key = key.AsString();
+      if (pipe.kind == PipeKind::kHas && AcceptSymbol(",")) {
+        // has('k', v) or has('k', T.gt, v)
+        if (PeekIdent("T")) {
+          ++pos_;
+          RETURN_NOT_OK(ExpectSymbol("."));
+          ASSIGN_OR_RETURN(std::string cmp, ExpectAnyIdent());
+          if (cmp == "eq") pipe.cmp = Cmp::kEq;
+          else if (cmp == "neq") pipe.cmp = Cmp::kNeq;
+          else if (cmp == "gt") pipe.cmp = Cmp::kGt;
+          else if (cmp == "gte") pipe.cmp = Cmp::kGte;
+          else if (cmp == "lt") pipe.cmp = Cmp::kLt;
+          else if (cmp == "lte") pipe.cmp = Cmp::kLte;
+          else return Err("unknown comparator T." + cmp);
+          RETURN_NOT_OK(ExpectSymbol(","));
+        }
+        ASSIGN_OR_RETURN(pipe.value, ParseLiteral());
+        pipe.has_value = true;
+      }
+      RETURN_NOT_OK(ExpectSymbol(")"));
+      return pipe;
+    }
+    if (name == "interval") {
+      pipe.kind = PipeKind::kInterval;
+      RETURN_NOT_OK(ExpectSymbol("("));
+      ASSIGN_OR_RETURN(rel::Value key, ParseLiteral());
+      if (!key.is_string()) return Err("interval() key must be a string");
+      pipe.key = key.AsString();
+      RETURN_NOT_OK(ExpectSymbol(","));
+      ASSIGN_OR_RETURN(pipe.value, ParseLiteral());
+      RETURN_NOT_OK(ExpectSymbol(","));
+      ASSIGN_OR_RETURN(pipe.value2, ParseLiteral());
+      RETURN_NOT_OK(ExpectSymbol(")"));
+      return pipe;
+    }
+    if (name == "range") {
+      pipe.kind = PipeKind::kRange;
+      RETURN_NOT_OK(ExpectSymbol("("));
+      ASSIGN_OR_RETURN(rel::Value lo, ParseLiteral());
+      RETURN_NOT_OK(ExpectSymbol(","));
+      ASSIGN_OR_RETURN(rel::Value hi, ParseLiteral());
+      RETURN_NOT_OK(ExpectSymbol(")"));
+      pipe.lo = lo.AsInt();
+      pipe.hi = hi.AsInt();
+      return pipe;
+    }
+    if (name == "as" || name == "back" || name == "aggregate" ||
+        name == "except" || name == "retain") {
+      pipe.kind = name == "as"          ? PipeKind::kAs
+                  : name == "back"      ? PipeKind::kBack
+                  : name == "aggregate" ? PipeKind::kAggregate
+                  : name == "except"    ? PipeKind::kExcept
+                                        : PipeKind::kRetain;
+      RETURN_NOT_OK(ExpectSymbol("("));
+      ASSIGN_OR_RETURN(rel::Value v, ParseLiteral());
+      if (!v.is_string()) return Err(name + "() expects a name string");
+      pipe.key = v.AsString();
+      RETURN_NOT_OK(ExpectSymbol(")"));
+      return pipe;
+    }
+    if (name == "filter") {
+      // filter{it.key OP literal} → has pipe
+      ASSIGN_OR_RETURN(Pipe has, ParseItPredicate());
+      return has;
+    }
+    if (name == "and" || name == "or") {
+      pipe.kind = name == "and" ? PipeKind::kAndFilter : PipeKind::kOrFilter;
+      RETURN_NOT_OK(ExpectSymbol("("));
+      while (!PeekSymbol(")")) {
+        ASSIGN_OR_RETURN(Pipeline branch, ParseSubPipeline());
+        pipe.branches.push_back(std::move(branch));
+        if (!AcceptSymbol(",")) break;
+      }
+      RETURN_NOT_OK(ExpectSymbol(")"));
+      if (pipe.branches.empty()) return Err(name + "() needs branches");
+      return pipe;
+    }
+    if (name == "copySplit") {
+      pipe.kind = PipeKind::kCopySplit;
+      RETURN_NOT_OK(ExpectSymbol("("));
+      while (!PeekSymbol(")")) {
+        ASSIGN_OR_RETURN(Pipeline branch, ParseSubPipeline());
+        pipe.branches.push_back(std::move(branch));
+        if (!AcceptSymbol(",")) break;
+      }
+      RETURN_NOT_OK(ExpectSymbol(")"));
+      if (pipe.branches.empty()) return Err("copySplit() needs branches");
+      return pipe;
+    }
+    if (name == "loop") {
+      pipe.kind = PipeKind::kLoop;
+      RETURN_NOT_OK(ExpectSymbol("("));
+      ASSIGN_OR_RETURN(rel::Value steps, ParseLiteral());
+      pipe.loop_steps = steps.AsInt();
+      RETURN_NOT_OK(ExpectSymbol(")"));
+      RETURN_NOT_OK(ExpectSymbol("{"));
+      if (PeekIdent("true")) {
+        ++pos_;
+        pipe.loop_count = -1;  // fixpoint semantics via recursive SQL
+      } else {
+        // it.loops < k
+        RETURN_NOT_OK(ExpectIdent("it"));
+        RETURN_NOT_OK(ExpectSymbol("."));
+        RETURN_NOT_OK(ExpectIdent("loops"));
+        RETURN_NOT_OK(ExpectSymbol("<"));
+        ASSIGN_OR_RETURN(rel::Value k, ParseLiteral());
+        pipe.loop_count = k.AsInt();
+      }
+      RETURN_NOT_OK(ExpectSymbol("}"));
+      return pipe;
+    }
+    if (name == "ifThenElse") {
+      pipe.kind = PipeKind::kIfThenElse;
+      ASSIGN_OR_RETURN(Pipe test, ParseItPredicate());
+      Pipeline test_branch;
+      test_branch.pipes.push_back(std::move(test));
+      pipe.branches.push_back(std::move(test_branch));
+      for (int b = 0; b < 2; ++b) {
+        RETURN_NOT_OK(ExpectSymbol("{"));
+        RETURN_NOT_OK(ExpectIdent("it"));
+        ASSIGN_OR_RETURN(Pipeline branch, ParsePipeChain());
+        RETURN_NOT_OK(ExpectSymbol("}"));
+        pipe.branches.push_back(std::move(branch));
+      }
+      return pipe;
+    }
+    return Err("unsupported pipe '" + name + "'");
+  }
+
+  /// `{it.key OP literal}` → a kHas pipe.
+  Result<Pipe> ParseItPredicate() {
+    RETURN_NOT_OK(ExpectSymbol("{"));
+    RETURN_NOT_OK(ExpectIdent("it"));
+    RETURN_NOT_OK(ExpectSymbol("."));
+    ASSIGN_OR_RETURN(std::string key, ExpectAnyIdent());
+    Pipe pipe{};
+    pipe.kind = PipeKind::kHas;
+    pipe.key = std::move(key);
+    pipe.has_value = true;
+    if (AcceptSymbol("==")) pipe.cmp = Cmp::kEq;
+    else if (AcceptSymbol("!=")) pipe.cmp = Cmp::kNeq;
+    else if (AcceptSymbol(">=")) pipe.cmp = Cmp::kGte;
+    else if (AcceptSymbol("<=")) pipe.cmp = Cmp::kLte;
+    else if (AcceptSymbol(">")) pipe.cmp = Cmp::kGt;
+    else if (AcceptSymbol("<")) pipe.cmp = Cmp::kLt;
+    else return Err("expected comparison in filter lambda");
+    ASSIGN_OR_RETURN(pipe.value, ParseLiteral());
+    RETURN_NOT_OK(ExpectSymbol("}"));
+    return pipe;
+  }
+
+  /// `_()` or `_().out('a')...` anonymous sub-pipeline.
+  Result<Pipeline> ParseSubPipeline() {
+    RETURN_NOT_OK(ExpectIdent("_"));
+    RETURN_NOT_OK(ExpectSymbol("("));
+    RETURN_NOT_OK(ExpectSymbol(")"));
+    return ParsePipeChain();
+  }
+
+  Result<rel::Value> ParseLiteral() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case Token::kString: {
+        std::string s = t.text;
+        ++pos_;
+        return rel::Value(std::move(s));
+      }
+      case Token::kInt: {
+        int64_t v = t.int_value;
+        ++pos_;
+        return rel::Value(v);
+      }
+      case Token::kDouble: {
+        double v = t.double_value;
+        ++pos_;
+        return rel::Value(v);
+      }
+      case Token::kIdent:
+        if (t.text == "true") {
+          ++pos_;
+          return rel::Value(true);
+        }
+        if (t.text == "false") {
+          ++pos_;
+          return rel::Value(false);
+        }
+        if (t.text == "null") {
+          ++pos_;
+          return rel::Value::Null();
+        }
+        return Err("expected literal, got '" + t.text + "'");
+      default:
+        return Err("expected literal");
+    }
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  bool PeekSymbol(std::string_view s) const {
+    return Peek().type == Token::kSymbol && Peek().text == s;
+  }
+  bool PeekIdent(std::string_view s) const {
+    return Peek().type == Token::kIdent && Peek().text == s;
+  }
+  bool AcceptSymbol(std::string_view s) {
+    if (PeekSymbol(s)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(std::string_view s) {
+    if (!AcceptSymbol(s)) return Err("expected '" + std::string(s) + "'");
+    return Status::OK();
+  }
+  Status ExpectIdent(std::string_view s) {
+    if (!PeekIdent(s)) return Err("expected '" + std::string(s) + "'");
+    ++pos_;
+    return Status::OK();
+  }
+  Result<std::string> ExpectAnyIdent() {
+    if (Peek().type != Token::kIdent) {
+      return Err("expected identifier");
+    }
+    std::string s = Peek().text;
+    ++pos_;
+    return s;
+  }
+  Status SwallowEmptyParens() {
+    if (AcceptSymbol("(")) RETURN_NOT_OK(ExpectSymbol(")"));
+    return Status::OK();
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(
+        msg + " near offset " + std::to_string(Peek().offset) +
+        (Peek().type == Token::kEnd ? " (end)" : " ('" + Peek().text + "')"));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Pipeline> ParseGremlin(std::string_view text) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  return Parser(std::move(tokens)).ParseQuery();
+}
+
+}  // namespace gremlin
+}  // namespace sqlgraph

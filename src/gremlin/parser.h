@@ -1,0 +1,23 @@
+// Parser for the textual Gremlin subset (Gremlin 1.x / Groovy syntax), e.g.
+//   g.V.filter{it.tag=='w'}.both.dedup().count()
+//   g.V('uri','http://x').out('isPartOf').out('isPartOf').dedup().count()
+//   g.V(1).as('x').out('knows').loop(1){it.loops < 3}.path()
+
+#ifndef SQLGRAPH_GREMLIN_PARSER_H_
+#define SQLGRAPH_GREMLIN_PARSER_H_
+
+#include <string_view>
+
+#include "gremlin/pipe.h"
+#include "util/status.h"
+
+namespace sqlgraph {
+namespace gremlin {
+
+/// Parses a full query starting with `g.`.
+util::Result<Pipeline> ParseGremlin(std::string_view text);
+
+}  // namespace gremlin
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_GREMLIN_PARSER_H_

@@ -1,0 +1,107 @@
+#include "gremlin/pipe.h"
+
+#include "util/string_util.h"
+
+namespace sqlgraph {
+namespace gremlin {
+
+namespace {
+const char* CmpText(Cmp cmp) {
+  switch (cmp) {
+    case Cmp::kEq: return "T.eq";
+    case Cmp::kNeq: return "T.neq";
+    case Cmp::kGt: return "T.gt";
+    case Cmp::kGte: return "T.gte";
+    case Cmp::kLt: return "T.lt";
+    case Cmp::kLte: return "T.lte";
+  }
+  return "?";
+}
+
+/// Literal form that the Gremlin parser accepts back (strings quoted).
+std::string ValueLiteral(const rel::Value& v) {
+  if (v.is_string()) return "'" + v.AsString() + "'";
+  return v.ToString();
+}
+
+std::string LabelArgs(const std::vector<std::string>& labels) {
+  std::string out;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ", ";
+    out += "'" + labels[i] + "'";
+  }
+  return out;
+}
+}  // namespace
+
+std::string ToString(const Pipe& pipe) {
+  switch (pipe.kind) {
+    case PipeKind::kStartV:
+      if (pipe.has_start_id) return "V(" + ValueLiteral(pipe.value) + ")";
+      if (!pipe.start_key.empty()) {
+        return "V('" + pipe.start_key + "', " + ValueLiteral(pipe.value) + ")";
+      }
+      return "V";
+    case PipeKind::kStartE:
+      return pipe.has_start_id ? "E(" + ValueLiteral(pipe.value) + ")" : "E";
+    case PipeKind::kOut: return "out(" + LabelArgs(pipe.labels) + ")";
+    case PipeKind::kIn: return "in(" + LabelArgs(pipe.labels) + ")";
+    case PipeKind::kBoth: return "both(" + LabelArgs(pipe.labels) + ")";
+    case PipeKind::kOutE: return "outE(" + LabelArgs(pipe.labels) + ")";
+    case PipeKind::kInE: return "inE(" + LabelArgs(pipe.labels) + ")";
+    case PipeKind::kBothE: return "bothE(" + LabelArgs(pipe.labels) + ")";
+    case PipeKind::kOutV: return "outV()";
+    case PipeKind::kInV: return "inV()";
+    case PipeKind::kBothV: return "bothV()";
+    case PipeKind::kPath: return "path()";
+    case PipeKind::kId: return "id()";
+    case PipeKind::kHas:
+      if (!pipe.has_value) return "has('" + pipe.key + "')";
+      return util::StrFormat("has('%s', %s, %s)", pipe.key.c_str(),
+                             CmpText(pipe.cmp),
+                             ValueLiteral(pipe.value).c_str());
+    case PipeKind::kHasNot: return "hasNot('" + pipe.key + "')";
+    case PipeKind::kInterval:
+      return util::StrFormat("interval('%s', %s, %s)", pipe.key.c_str(),
+                             ValueLiteral(pipe.value).c_str(),
+                             ValueLiteral(pipe.value2).c_str());
+    case PipeKind::kDedup: return "dedup()";
+    case PipeKind::kRange:
+      return util::StrFormat("range(%lld, %lld)",
+                             static_cast<long long>(pipe.lo),
+                             static_cast<long long>(pipe.hi));
+    case PipeKind::kSimplePath: return "simplePath()";
+    case PipeKind::kExcept: return "except('" + pipe.key + "')";
+    case PipeKind::kRetain: return "retain('" + pipe.key + "')";
+    case PipeKind::kAndFilter: return "and(...)";
+    case PipeKind::kOrFilter: return "or(...)";
+    case PipeKind::kAs: return "as('" + pipe.key + "')";
+    case PipeKind::kBack: return "back('" + pipe.key + "')";
+    case PipeKind::kAggregate: return "aggregate('" + pipe.key + "')";
+    case PipeKind::kLoop:
+      return util::StrFormat("loop(%lld){%s}",
+                             static_cast<long long>(pipe.loop_steps),
+                             pipe.loop_count < 0
+                                 ? "true"
+                                 : util::StrFormat("it.loops < %lld",
+                                                   static_cast<long long>(
+                                                       pipe.loop_count))
+                                       .c_str());
+    case PipeKind::kIfThenElse: return "ifThenElse{...}{...}{...}";
+    case PipeKind::kCopySplit: return "copySplit(...)";
+    case PipeKind::kCount: return "count()";
+  }
+  return "?";
+}
+
+std::string ToString(const Pipeline& pipeline) {
+  std::string out = "g";
+  for (const Pipe& p : pipeline.pipes) {
+    out += ".";
+    out += ToString(p);
+  }
+  return out;
+}
+
+}  // namespace gremlin
+}  // namespace sqlgraph

@@ -1,0 +1,98 @@
+// Pipe AST for the side-effect-free Gremlin subset of the paper (Table 8).
+//
+// A query is a Pipeline — an ordered list of Pipes. Each pipe consumes an
+// iterator over graph elements and yields a new one; the translator turns
+// the whole pipeline into one SQL query (§4.3).
+
+#ifndef SQLGRAPH_GREMLIN_PIPE_H_
+#define SQLGRAPH_GREMLIN_PIPE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rel/value.h"
+
+namespace sqlgraph {
+namespace gremlin {
+
+enum class PipeKind {
+  // -- starts
+  kStartV,       // g.V | g.V(id) | g.V('key','value')
+  kStartE,       // g.E | g.E(id)
+  // -- transforms (adjacency)
+  kOut,          // out(...labels)
+  kIn,
+  kBoth,
+  kOutE,
+  kInE,
+  kBothE,
+  kOutV,         // edge → source vertex
+  kInV,          // edge → target vertex
+  kBothV,
+  kPath,         // traversal path of each object
+  kId,           // element id (identity over our integer-id values)
+  // -- filters
+  kHas,          // has('key') | has('key', value) | has('key', CMP, value)
+  kHasNot,       // hasNot('key')
+  kInterval,     // interval('key', lo, hi)
+  kDedup,
+  kRange,        // range(lo, hi) — inclusive, 0-based
+  kSimplePath,
+  kExcept,       // except('name') — vs. an aggregate()d set
+  kRetain,       // retain('name')
+  kAndFilter,    // and(_()..., _()...)
+  kOrFilter,     // or(_()..., _()...)
+  // -- side effects treated per §4.4
+  kAs,           // as('name') — step naming for back()
+  kBack,         // back('name')
+  kAggregate,    // aggregate('name') — materialized, usable by except/retain
+  // -- branch
+  kLoop,         // loop(steps){it.loops < k} | loop(steps){true}
+  kIfThenElse,   // ifThenElse{test}{then}{else}
+  kCopySplit,    // copySplit(_()..., _()...) followed by merge
+  // -- terminal aggregation
+  kCount,        // count()
+};
+
+enum class Cmp { kEq, kNeq, kGt, kGte, kLt, kLte };
+
+struct Pipe;
+
+struct Pipeline {
+  std::vector<Pipe> pipes;
+};
+
+struct Pipe {
+  PipeKind kind;
+
+  std::vector<std::string> labels;  // out/in/both[E] label filters
+  std::string key;                  // has/hasNot/interval key; as/back/
+                                    // aggregate/except/retain name
+  Cmp cmp = Cmp::kEq;               // has comparison
+  bool has_value = false;           // has('key', v) vs has('key')
+  rel::Value value;                 // has value / start id or lookup value
+  rel::Value value2;                // interval upper bound
+  int64_t lo = 0;                   // range lower
+  int64_t hi = -1;                  // range upper
+  int64_t loop_steps = 1;           // loop(n)
+  int64_t loop_count = -1;          // {it.loops < k}; -1 = until fixpoint
+  std::vector<Pipeline> branches;   // and/or/copySplit/ifThenElse sub-trees
+
+  // kStartV / kStartE specializations:
+  bool has_start_id = false;        // g.V(id)
+  std::string start_key;            // g.V('key','value')
+};
+
+/// What flows through a pipe boundary.
+enum class ElementKind { kVertex, kEdge, kValue };
+
+/// Human-readable rendering (used in error messages and examples).
+std::string ToString(const Pipeline& pipeline);
+std::string ToString(const Pipe& pipe);
+
+}  // namespace gremlin
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_GREMLIN_PIPE_H_

@@ -1,0 +1,35 @@
+#include "gremlin/runtime.h"
+
+#include "sql/render.h"
+
+namespace sqlgraph {
+namespace gremlin {
+
+util::Result<sql::ResultSet> GremlinRuntime::Query(std::string_view text) {
+  ASSIGN_OR_RETURN(Pipeline pipeline, ParseGremlin(text));
+  return Run(pipeline);
+}
+
+util::Result<sql::ResultSet> GremlinRuntime::Run(const Pipeline& pipeline) {
+  ASSIGN_OR_RETURN(sql::SqlQuery query, translator_.Translate(pipeline));
+  return store_->Execute(query);
+}
+
+util::Result<std::string> GremlinRuntime::TranslateToSql(
+    std::string_view text) const {
+  ASSIGN_OR_RETURN(Pipeline pipeline, ParseGremlin(text));
+  ASSIGN_OR_RETURN(sql::SqlQuery query, translator_.Translate(pipeline));
+  return sql::Render(query);
+}
+
+util::Result<int64_t> GremlinRuntime::Count(std::string_view text) {
+  ASSIGN_OR_RETURN(sql::ResultSet result, Query(text));
+  if (result.rows.size() != 1 || result.rows[0].empty() ||
+      !result.rows[0][0].is_number()) {
+    return util::Status::InvalidArgument("query did not produce a scalar");
+  }
+  return result.rows[0][0].AsInt();
+}
+
+}  // namespace gremlin
+}  // namespace sqlgraph

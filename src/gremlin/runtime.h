@@ -1,0 +1,46 @@
+// Gremlin runtime over SQLGraph: parse → translate → execute as ONE SQL
+// query (the paper's whole-query architecture, §4.2). Contrast with
+// baseline/gremlin_interp.h, which evaluates the same pipelines one pipe at
+// a time over a Blueprints-style API.
+
+#ifndef SQLGRAPH_GREMLIN_RUNTIME_H_
+#define SQLGRAPH_GREMLIN_RUNTIME_H_
+
+#include <string>
+#include <string_view>
+
+#include "gremlin/parser.h"
+#include "gremlin/translator.h"
+#include "sql/result.h"
+#include "sqlgraph/store.h"
+
+namespace sqlgraph {
+namespace gremlin {
+
+class GremlinRuntime {
+ public:
+  explicit GremlinRuntime(core::SqlGraphStore* store,
+                          TranslatorOptions options = TranslatorOptions())
+      : store_(store), translator_(&store->schema(), options) {}
+
+  /// Runs a Gremlin query text; result column `val` carries the output.
+  util::Result<sql::ResultSet> Query(std::string_view text);
+
+  /// Runs an already-parsed pipeline.
+  util::Result<sql::ResultSet> Run(const Pipeline& pipeline);
+
+  /// Translates without executing (for tests / the translation example).
+  util::Result<std::string> TranslateToSql(std::string_view text) const;
+
+  /// Convenience: a query whose result is a single scalar (e.g. count()).
+  util::Result<int64_t> Count(std::string_view text);
+
+ private:
+  core::SqlGraphStore* store_;
+  Translator translator_;
+};
+
+}  // namespace gremlin
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_GREMLIN_RUNTIME_H_

@@ -1,0 +1,485 @@
+#include "gremlin/sparql.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "graph/rdf.h"
+#include "util/string_util.h"
+
+namespace sqlgraph {
+namespace gremlin {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+// ------------------------------------------------------------- tokenizer --
+
+struct Token {
+  enum Type { kWord, kVariable, kIri, kLiteral, kSymbol, kEnd } type;
+  std::string text;
+  std::string lang;   // literal language tag
+  size_t offset = 0;
+};
+
+Result<std::vector<Token>> Lex(std::string_view text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (c == '#') {  // comment to end of line
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '?' || c == '$') {
+      ++i;
+      std::string name;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) ||
+                       text[i] == '_')) {
+        name.push_back(text[i++]);
+      }
+      if (name.empty()) return Status::ParseError("empty variable name");
+      out.push_back({Token::kVariable, std::move(name), "", start});
+      continue;
+    }
+    if (c == '<') {
+      ++i;
+      std::string iri;
+      while (i < n && text[i] != '>') iri.push_back(text[i++]);
+      if (i == n) return Status::ParseError("unterminated IRI");
+      ++i;
+      out.push_back({Token::kIri, std::move(iri), "", start});
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      std::string value;
+      while (i < n && text[i] != '"') {
+        if (text[i] == '\\' && i + 1 < n) ++i;
+        value.push_back(text[i++]);
+      }
+      if (i == n) return Status::ParseError("unterminated literal");
+      ++i;
+      std::string lang;
+      if (i < n && text[i] == '@') {
+        ++i;
+        while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) ||
+                         text[i] == '-')) {
+          lang.push_back(text[i++]);
+        }
+      } else if (i + 1 < n && text[i] == '^' && text[i + 1] == '^') {
+        // ^^<datatype> — swallow the datatype IRI or prefixed name.
+        i += 2;
+        if (i < n && text[i] == '<') {
+          while (i < n && text[i] != '>') ++i;
+          if (i < n) ++i;
+        } else {
+          while (i < n && !std::isspace(static_cast<unsigned char>(text[i])) &&
+                 text[i] != '.' && text[i] != '}') {
+            ++i;
+          }
+        }
+      }
+      out.push_back({Token::kLiteral, std::move(value), std::move(lang), start});
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      std::string word;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) ||
+                       text[i] == '_' || text[i] == '-' || text[i] == ':')) {
+        word.push_back(text[i++]);
+      }
+      out.push_back({Token::kWord, std::move(word), "", start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+') {
+      std::string num;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) ||
+                       text[i] == '.' || text[i] == '-' || text[i] == '+')) {
+        num.push_back(text[i++]);
+      }
+      // A trailing '.' is the triple terminator, not part of the number.
+      if (!num.empty() && num.back() == '.') {
+        num.pop_back();
+        --i;
+      }
+      out.push_back({Token::kLiteral, std::move(num), "", start});
+      continue;
+    }
+    static const std::string kSingles = "{}.;,";
+    if (kSingles.find(c) != std::string::npos) {
+      out.push_back({Token::kSymbol, std::string(1, c), "", start});
+      ++i;
+      continue;
+    }
+    return Status::ParseError(util::StrFormat(
+        "unexpected character '%c' at offset %zu in SPARQL", c, start));
+  }
+  out.push_back({Token::kEnd, "", "", n});
+  return out;
+}
+
+// ---------------------------------------------------------------- parser --
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SparqlQuery> Parse() {
+    SparqlQuery q;
+    // PREFIX declarations.
+    while (PeekWordCi("PREFIX")) {
+      ++pos_;
+      if (Peek().type != Token::kWord) return Err("expected prefix name");
+      std::string pfx = Peek().text;  // "rdfs:" (may include the colon)
+      ++pos_;
+      if (!pfx.empty() && pfx.back() == ':') pfx.pop_back();
+      if (Peek().type != Token::kIri) return Err("expected prefix IRI");
+      prefixes_[pfx] = Peek().text;
+      ++pos_;
+    }
+    if (!AcceptWordCi("SELECT")) return Err("expected SELECT");
+    while (Peek().type == Token::kVariable) {
+      q.select_vars.push_back(Peek().text);
+      ++pos_;
+    }
+    if (q.select_vars.empty() && AcceptWordCi("*")) {
+      // SELECT * — variables are inferred from the patterns.
+    }
+    if (!AcceptWordCi("WHERE")) return Err("expected WHERE");
+    RETURN_NOT_OK(ExpectSymbol("{"));
+    RETURN_NOT_OK(ParseBlock(&q.patterns, &q.optionals));
+    if (Peek().type != Token::kEnd) return Err("trailing input");
+    if (q.patterns.empty()) return Err("empty WHERE block");
+    return q;
+  }
+
+ private:
+  Status ParseBlock(std::vector<TriplePattern>* patterns,
+                    std::vector<std::vector<TriplePattern>>* optionals) {
+    SparqlTerm last_subject;
+    bool have_subject = false;
+    while (!PeekSymbol("}")) {
+      if (PeekWordCi("OPTIONAL")) {
+        ++pos_;
+        RETURN_NOT_OK(ExpectSymbol("{"));
+        std::vector<TriplePattern> inner;
+        std::vector<std::vector<TriplePattern>> nested;  // not supported deep
+        RETURN_NOT_OK(ParseBlock(&inner, &nested));
+        if (!nested.empty()) {
+          return Err("nested OPTIONAL is not supported");
+        }
+        if (optionals == nullptr) return Err("OPTIONAL not allowed here");
+        optionals->push_back(std::move(inner));
+        continue;
+      }
+      TriplePattern p;
+      if (have_subject && (PeekSymbol(";"))) {
+        // `;` continues the previous subject.
+        ++pos_;
+        if (PeekSymbol("}")) break;  // dangling ';'
+        p.subject = last_subject;
+      } else {
+        ASSIGN_OR_RETURN(p.subject, ParseTerm());
+      }
+      ASSIGN_OR_RETURN(p.predicate, ParseTerm());
+      if (!p.predicate.is_uri()) {
+        return Err("predicate must be an IRI or prefixed name");
+      }
+      ASSIGN_OR_RETURN(p.object, ParseTerm());
+      last_subject = p.subject;
+      have_subject = true;
+      patterns->push_back(std::move(p));
+      if (AcceptSymbol(".")) continue;
+      if (PeekSymbol(";")) continue;  // handled at loop head
+      if (PeekSymbol("}")) break;
+      return Err("expected '.', ';' or '}' after triple");
+    }
+    return ExpectSymbol("}");
+  }
+
+  Result<SparqlTerm> ParseTerm() {
+    const Token& t = Peek();
+    SparqlTerm term;
+    switch (t.type) {
+      case Token::kVariable:
+        term.kind = SparqlTerm::kVariable;
+        term.text = t.text;
+        ++pos_;
+        return term;
+      case Token::kIri:
+        term.kind = SparqlTerm::kUri;
+        term.text = t.text;
+        ++pos_;
+        return term;
+      case Token::kLiteral:
+        term.kind = SparqlTerm::kLiteral;
+        term.text = t.text;
+        term.lang = t.lang;
+        ++pos_;
+        return term;
+      case Token::kWord: {
+        // `a` = rdf:type; otherwise a prefixed name pfx:local.
+        if (t.text == "a") {
+          term.kind = SparqlTerm::kUri;
+          term.text = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+          ++pos_;
+          return term;
+        }
+        const size_t colon = t.text.find(':');
+        if (colon == std::string::npos) {
+          return Err("expected a term, got '" + t.text + "'");
+        }
+        const std::string pfx = t.text.substr(0, colon);
+        auto it = prefixes_.find(pfx);
+        if (it == prefixes_.end()) {
+          return Err("unknown prefix '" + pfx + "'");
+        }
+        term.kind = SparqlTerm::kUri;
+        term.text = it->second + t.text.substr(colon + 1);
+        ++pos_;
+        return term;
+      }
+      default:
+        return Err("expected a term");
+    }
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  bool PeekSymbol(std::string_view s) const {
+    return Peek().type == Token::kSymbol && Peek().text == s;
+  }
+  bool PeekWordCi(std::string_view w) const {
+    return Peek().type == Token::kWord &&
+           util::ToLower(Peek().text) == util::ToLower(std::string(w));
+  }
+  bool AcceptSymbol(std::string_view s) {
+    if (PeekSymbol(s)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptWordCi(std::string_view w) {
+    if (PeekWordCi(w)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(std::string_view s) {
+    if (!AcceptSymbol(s)) return Err("expected '" + std::string(s) + "'");
+    return Status::OK();
+  }
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " near offset " +
+                              std::to_string(Peek().offset) + " in SPARQL");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::unordered_map<std::string, std::string> prefixes_;
+};
+
+// ------------------------------------------------------------- converter --
+
+/// Escapes a string for a single-quoted Gremlin literal.
+std::string GremlinQuote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out += "'";
+  return out;
+}
+
+/// Literal value as stored by the §3.1 conversion: plain text, or the
+/// quoted "text"@lang form the DBpedia data uses for tagged literals.
+std::string LiteralValue(const SparqlTerm& term) {
+  if (term.lang.empty()) return term.text;
+  return "\"" + term.text + "\"@" + term.lang;
+}
+
+/// Emits the Gremlin for one connected traversal over `patterns`. Appendix
+/// B: start from the most selective anchor, then cover every pattern with
+/// transform pipes, using as()/back() for branch points.
+Result<std::string> ConvertPatterns(const std::vector<TriplePattern>& patterns) {
+  std::vector<bool> done(patterns.size(), false);
+  std::set<std::string> bound;     // bound (as-named) variables
+  std::string current_var;         // variable the pipeline currently sits on
+  std::string out = "g";
+
+  auto local = [](const SparqlTerm& uri) {
+    return graph::UriLocalName(uri.text);
+  };
+
+  // --- pick the anchor (most selective start, Appendix B) ---------------
+  // Preference: object-URI pattern (g.V('uri', ...) then in(label)) >
+  // subject-URI pattern > literal-valued pattern (attribute start).
+  int anchor = -1;
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    if (patterns[i].object.is_uri() && patterns[i].subject.is_variable()) {
+      anchor = static_cast<int>(i);
+      break;
+    }
+  }
+  if (anchor < 0) {
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      if (patterns[i].subject.is_uri()) {
+        anchor = static_cast<int>(i);
+        break;
+      }
+    }
+  }
+  if (anchor < 0) {
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      if (patterns[i].object.is_literal() && patterns[i].subject.is_variable()) {
+        anchor = static_cast<int>(i);
+        break;
+      }
+    }
+  }
+  if (anchor < 0) {
+    return Status::NotImplemented(
+        "no groundable starting point (need a URI or literal)");
+  }
+
+  const TriplePattern& a = patterns[static_cast<size_t>(anchor)];
+  done[static_cast<size_t>(anchor)] = true;
+  if (a.object.is_uri() && a.subject.is_variable()) {
+    out += ".V('uri', " + GremlinQuote(a.object.text) + ").in(" +
+           GremlinQuote(local(a.predicate)) + ")";
+    current_var = a.subject.text;
+  } else if (a.subject.is_uri()) {
+    out += ".V('uri', " + GremlinQuote(a.subject.text) + ")";
+    if (a.object.is_variable()) {
+      out += ".out(" + GremlinQuote(local(a.predicate)) + ")";
+      current_var = a.object.text;
+    } else if (a.object.is_literal()) {
+      out += ".has(" + GremlinQuote(local(a.predicate)) + ", " +
+             GremlinQuote(LiteralValue(a.object)) + ")";
+      current_var = "__start";
+    } else {  // URI object: existence filter via traversal
+      out += ".out(" + GremlinQuote(local(a.predicate)) + ").has('uri', " +
+             GremlinQuote(a.object.text) + ")";
+      current_var = "__start";
+    }
+  } else {  // literal anchor
+    out += ".V.has(" + GremlinQuote(local(a.predicate)) + ", " +
+           GremlinQuote(LiteralValue(a.object)) + ")";
+    current_var = a.subject.text;
+  }
+  if (!current_var.empty()) {
+    out += ".as(" + GremlinQuote(current_var) + ")";
+    bound.insert(current_var);
+  }
+
+  // --- cover the remaining patterns -------------------------------------
+  auto goto_var = [&](const std::string& var) {
+    if (current_var != var) {
+      out += ".back(" + GremlinQuote(var) + ")";
+      current_var = var;
+    }
+  };
+  auto bind = [&](const std::string& var) {
+    out += ".as(" + GremlinQuote(var) + ")";
+    bound.insert(var);
+    current_var = var;
+  };
+
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      if (done[i]) continue;
+      const TriplePattern& p = patterns[i];
+      const bool subj_bound = p.subject.is_variable()
+                                  ? bound.count(p.subject.text) > 0
+                                  : p.subject.is_uri();
+      const bool obj_bound = p.object.is_variable()
+                                 ? bound.count(p.object.text) > 0
+                                 : true;  // URI/literal objects are ground
+      const std::string label = GremlinQuote(local(p.predicate));
+
+      if (p.subject.is_variable() && subj_bound) {
+        goto_var(p.subject.text);
+        if (p.object.is_literal()) {
+          out += ".has(" + label + ", " + GremlinQuote(LiteralValue(p.object)) +
+                 ")";
+        } else if (p.object.is_uri()) {
+          // Existence filter: hop to the required target, then return to
+          // the subject so later patterns (and the final count) still bind
+          // the subject variable.
+          out += ".out(" + label + ").has('uri', " +
+                 GremlinQuote(p.object.text) + ").back(" +
+                 GremlinQuote(p.subject.text) + ")";
+        } else if (bound.count(p.object.text)) {
+          return Status::NotImplemented(
+              "cyclic pattern between two bound variables");
+        } else {
+          out += ".out(" + label + ")";
+          bind(p.object.text);
+        }
+        done[i] = true;
+        progressed = true;
+        continue;
+      }
+      if (p.object.is_variable() && obj_bound && p.subject.is_variable()) {
+        goto_var(p.object.text);
+        out += ".in(" + label + ")";
+        bind(p.subject.text);
+        done[i] = true;
+        progressed = true;
+        continue;
+      }
+      if (p.subject.is_uri()) {
+        // Disconnected ground-subject pattern; cannot splice into one
+        // traversal without a join.
+        return Status::NotImplemented("disconnected pattern group");
+      }
+    }
+  }
+  for (bool d : done) {
+    if (!d) return Status::NotImplemented("disconnected pattern group");
+  }
+  return out + ".dedup().count()";
+}
+
+}  // namespace
+
+Result<SparqlQuery> ParseSparql(std::string_view text) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  return Parser(std::move(tokens)).Parse();
+}
+
+Result<SparqlConversion> SparqlToGremlin(const SparqlQuery& query) {
+  SparqlConversion out;
+  ASSIGN_OR_RETURN(out.main_query, ConvertPatterns(query.patterns));
+  for (const auto& optional : query.optionals) {
+    // Table 9: the OPTIONAL block is evaluated as a second traversal over
+    // the main block's bindings — equivalent in result-set size to the
+    // combined required pattern.
+    std::vector<TriplePattern> combined = query.patterns;
+    combined.insert(combined.end(), optional.begin(), optional.end());
+    ASSIGN_OR_RETURN(std::string q, ConvertPatterns(combined));
+    out.optional_queries.push_back(std::move(q));
+  }
+  return out;
+}
+
+Result<SparqlConversion> SparqlToGremlin(std::string_view text) {
+  ASSIGN_OR_RETURN(SparqlQuery query, ParseSparql(text));
+  return SparqlToGremlin(query);
+}
+
+}  // namespace gremlin
+}  // namespace sqlgraph

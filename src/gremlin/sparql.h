@@ -1,0 +1,74 @@
+// SPARQL → Gremlin conversion (paper Appendix B / Table 9).
+//
+// The paper's DBpedia benchmark queries were SPARQL; they were converted to
+// Gremlin by (1) picking the most selective starting point (a literal-valued
+// pattern or a URI), (2) expressing the remaining triple patterns as
+// traversal pipes ordered by selectivity, using as()/back() to return to
+// branch points, and (3) returning only the result-set size.
+//
+// This module implements that conversion for the SPARQL subset the
+// benchmark uses: PREFIX declarations, SELECT with a WHERE block of triple
+// patterns (URIs, prefixed names, variables, and literals with optional
+// @lang tags), and OPTIONAL blocks (each converted to its own follow-up
+// query, as the paper's Table 9 does with its second table pipe).
+
+#ifndef SQLGRAPH_GREMLIN_SPARQL_H_
+#define SQLGRAPH_GREMLIN_SPARQL_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sqlgraph {
+namespace gremlin {
+
+/// One term of a triple pattern.
+struct SparqlTerm {
+  enum Kind { kVariable, kUri, kLiteral } kind = kVariable;
+  std::string text;  // variable name (no '?'), absolute URI, or literal value
+  std::string lang;  // literal @lang tag, if any
+
+  bool is_variable() const { return kind == kVariable; }
+  bool is_uri() const { return kind == kUri; }
+  bool is_literal() const { return kind == kLiteral; }
+};
+
+struct TriplePattern {
+  SparqlTerm subject;
+  SparqlTerm predicate;  // always a URI in the supported subset
+  SparqlTerm object;
+};
+
+struct SparqlQuery {
+  std::vector<std::string> select_vars;        // without '?'
+  std::vector<TriplePattern> patterns;         // the required block
+  std::vector<std::vector<TriplePattern>> optionals;
+};
+
+/// Parses the SPARQL subset (PREFIX / SELECT / WHERE / OPTIONAL).
+util::Result<SparqlQuery> ParseSparql(std::string_view text);
+
+/// Result of the conversion: the main Gremlin query plus one query per
+/// OPTIONAL block (paper Table 9 returns `[t1.size(), t2.size()]`; callers
+/// run each query and read its count).
+struct SparqlConversion {
+  std::string main_query;
+  std::vector<std::string> optional_queries;
+};
+
+/// Converts per Appendix B. The conversion assumes the §3.1 RDF→property-
+/// graph mapping: object properties are edges labeled by the predicate's
+/// local name, datatype properties are vertex attributes keyed by the local
+/// name, and every resource vertex carries its `uri` attribute.
+util::Result<SparqlConversion> SparqlToGremlin(const SparqlQuery& query);
+
+/// Convenience: parse + convert.
+util::Result<SparqlConversion> SparqlToGremlin(std::string_view text);
+
+}  // namespace gremlin
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_GREMLIN_SPARQL_H_

@@ -1,0 +1,1060 @@
+#include "gremlin/translator.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace sqlgraph {
+namespace gremlin {
+
+using core::GraphSchema;
+using sql::Bin;
+using sql::BinaryOp;
+using sql::Col;
+using sql::ExprPtr;
+using sql::Func;
+using sql::InSubquery;
+using sql::Lit;
+using sql::SelectItem;
+using sql::SelectPtr;
+using sql::SelectStmt;
+using sql::TableRef;
+using sql::TableRefKind;
+using sql::UnaryOp;
+using util::Result;
+using util::Status;
+
+namespace {
+
+/// True when any pipe (recursively) needs path columns upstream.
+bool NeedsPaths(const Pipeline& p) {
+  for (const Pipe& pipe : p.pipes) {
+    if (pipe.kind == PipeKind::kPath || pipe.kind == PipeKind::kSimplePath ||
+        pipe.kind == PipeKind::kBack) {
+      return true;
+    }
+    for (const Pipeline& b : pipe.branches) {
+      if (NeedsPaths(b)) return true;
+    }
+  }
+  return false;
+}
+
+/// Counts vertex-adjacency steps (out/in/both) including branches; used for
+/// the EA single-hop decision.
+size_t CountAdjacencySteps(const Pipeline& p) {
+  size_t n = 0;
+  for (const Pipe& pipe : p.pipes) {
+    if (pipe.kind == PipeKind::kOut || pipe.kind == PipeKind::kIn ||
+        pipe.kind == PipeKind::kBoth) {
+      ++n;
+    }
+    if (pipe.kind == PipeKind::kLoop) n += 2;  // loops repeat their body
+    for (const Pipeline& b : pipe.branches) n += CountAdjacencySteps(b);
+  }
+  return n;
+}
+
+BinaryOp CmpToSql(Cmp cmp) {
+  switch (cmp) {
+    case Cmp::kEq: return BinaryOp::kEq;
+    case Cmp::kNeq: return BinaryOp::kNe;
+    case Cmp::kGt: return BinaryOp::kGt;
+    case Cmp::kGte: return BinaryOp::kGe;
+    case Cmp::kLt: return BinaryOp::kLt;
+    case Cmp::kLte: return BinaryOp::kLe;
+  }
+  return BinaryOp::kEq;
+}
+
+ExprPtr AndAll(std::vector<ExprPtr> conds) {
+  ExprPtr out;
+  for (auto& c : conds) {
+    out = out == nullptr ? std::move(c)
+                         : Bin(BinaryOp::kAnd, std::move(out), std::move(c));
+  }
+  return out;
+}
+
+/// lbl IN ('a','b') or lbl = 'a'.
+ExprPtr LabelCondition(ExprPtr lbl, const std::vector<std::string>& labels) {
+  if (labels.empty()) return nullptr;
+  if (labels.size() == 1) {
+    return Bin(BinaryOp::kEq, std::move(lbl), Lit(rel::Value(labels[0])));
+  }
+  std::vector<ExprPtr> values;
+  for (const auto& l : labels) values.push_back(Lit(rel::Value(l)));
+  return sql::InList(std::move(lbl), std::move(values), /*negated=*/false);
+}
+
+}  // namespace
+
+// ===========================================================================
+
+class Translator::State {
+ public:
+  State(const GraphSchema* schema, const TranslatorOptions& options,
+        bool track_paths, bool single_hop)
+      : schema_(schema),
+        options_(options),
+        track_paths_(track_paths),
+        single_hop_(single_hop) {}
+
+  Status Run(const Pipeline& pipeline) {
+    for (size_t i = 0; i < pipeline.pipes.size(); ++i) {
+      RETURN_NOT_OK(ApplyPipe(pipeline, i));
+    }
+    return Status::OK();
+  }
+
+  Result<sql::SqlQuery> Finish() {
+    sql::SqlQuery q;
+    q.ctes = std::move(ctes_);
+    if (final_select_ != nullptr) {
+      q.final_select = std::move(final_select_);
+      return q;
+    }
+    auto sel = std::make_shared<SelectStmt>();
+    SelectItem item;
+    item.expr = Col("v", "val");
+    item.alias = "val";
+    sel->items.push_back(std::move(item));
+    TableRef ref;
+    ref.table_name = current_;
+    ref.alias = "v";
+    sel->from.push_back(std::move(ref));
+    q.final_select = std::move(sel);
+    return q;
+  }
+
+  // ------------------------------------------------------------- pipes ----
+
+  Status ApplyPipe(const Pipeline& pipeline, size_t index) {
+    const Pipe& pipe = pipeline.pipes[index];
+    if (final_select_ != nullptr) {
+      return Status::NotImplemented("pipe after terminal count()");
+    }
+    if (pipe.kind != PipeKind::kHas && pipe.kind != PipeKind::kHasNot &&
+        pipe.kind != PipeKind::kInterval && pipe.kind != PipeKind::kId) {
+      edge_select_ = nullptr;
+    }
+    switch (pipe.kind) {
+      case PipeKind::kStartV:
+      case PipeKind::kStartE:
+        return Start(pipe);
+      case PipeKind::kOut:
+        return Adjacency(pipe.labels, /*out=*/true, /*in=*/false);
+      case PipeKind::kIn:
+        return Adjacency(pipe.labels, /*out=*/false, /*in=*/true);
+      case PipeKind::kBoth:
+        return Adjacency(pipe.labels, /*out=*/true, /*in=*/true);
+      case PipeKind::kOutE:
+        return EdgesOf(pipe.labels, /*out=*/true, /*in=*/false);
+      case PipeKind::kInE:
+        return EdgesOf(pipe.labels, /*out=*/false, /*in=*/true);
+      case PipeKind::kBothE:
+        return EdgesOf(pipe.labels, /*out=*/true, /*in=*/true);
+      case PipeKind::kOutV:
+        return EndpointOf(/*source=*/true, /*target=*/false);
+      case PipeKind::kInV:
+        return EndpointOf(/*source=*/false, /*target=*/true);
+      case PipeKind::kBothV:
+        return EndpointOf(/*source=*/true, /*target=*/true);
+      case PipeKind::kHas:
+      case PipeKind::kHasNot:
+      case PipeKind::kInterval:
+        return HasFilter(pipe);
+      case PipeKind::kDedup:
+        return Dedup();
+      case PipeKind::kRange:
+        return Range(pipe);
+      case PipeKind::kSimplePath:
+        return SimplePath();
+      case PipeKind::kPath:
+        return PathPipe();
+      case PipeKind::kId:
+        return Status::OK();  // elements already flow as integer ids
+      case PipeKind::kAs:
+        as_points_[pipe.key] = {path_len_, kind_};
+        return Status::OK();
+      case PipeKind::kBack:
+        return Back(pipe);
+      case PipeKind::kAggregate:
+        aggregates_[pipe.key] = current_;
+        return Status::OK();
+      case PipeKind::kExcept:
+        return ExceptRetain(pipe, /*negated=*/true);
+      case PipeKind::kRetain:
+        return ExceptRetain(pipe, /*negated=*/false);
+      case PipeKind::kAndFilter:
+      case PipeKind::kOrFilter:
+        return AndOrFilter(pipe);
+      case PipeKind::kCopySplit:
+        return CopySplit(pipe);
+      case PipeKind::kIfThenElse:
+        return IfThenElse(pipe);
+      case PipeKind::kLoop:
+        return Loop(pipeline, index);
+      case PipeKind::kCount:
+        return Count();
+    }
+    return Status::Internal("unhandled pipe kind");
+  }
+
+  // ------------------------------------------------------------- start ----
+
+  Status Start(const Pipe& pipe) {
+    auto sel = std::make_shared<SelectStmt>();
+    const bool vertices = pipe.kind == PipeKind::kStartV;
+    kind_ = vertices ? ElementKind::kVertex : ElementKind::kEdge;
+    const char* table = vertices ? core::kVaTable : core::kEaTable;
+    const char* id_col = vertices ? "VID" : "EID";
+    SelectItem item;
+    item.expr = Col("p", id_col);
+    item.alias = "val";
+    sel->items.push_back(std::move(item));
+    if (track_paths_) {
+      SelectItem path_item;
+      path_item.expr = Lit(rel::Value::Null());
+      path_item.alias = "path";
+      sel->items.push_back(std::move(path_item));
+    }
+    TableRef ref;
+    ref.table_name = table;
+    ref.alias = "p";
+    sel->from.push_back(std::move(ref));
+    std::vector<ExprPtr> conds;
+    if (vertices) {
+      // Soft-delete guard (§4.5.2).
+      conds.push_back(
+          Bin(BinaryOp::kGe, Col("p", "VID"), Lit(rel::Value(int64_t{0}))));
+    }
+    if (pipe.has_start_id) {
+      conds.push_back(Bin(BinaryOp::kEq, Col("p", id_col), Lit(pipe.value)));
+    } else if (!pipe.start_key.empty()) {
+      conds.push_back(Bin(
+          BinaryOp::kEq,
+          Func("JSON_VAL", {Col("p", "ATTR"), Lit(rel::Value(pipe.start_key))}),
+          Lit(pipe.value)));
+    }
+    sel->where = AndAll(std::move(conds));
+    start_select_ = sel;  // GraphQuery merge target
+    Emit(std::move(sel));
+    return Status::OK();
+  }
+
+  /// GraphQuery merge (§4.5.1): fold a has()/hasNot() directly after the
+  /// start pipe into the start CTE's WHERE. Returns true if merged.
+  bool TryMergeIntoStart(const ExprPtr& condition) {
+    if (start_select_ == nullptr) return false;
+    start_select_->where =
+        start_select_->where == nullptr
+            ? condition
+            : Bin(BinaryOp::kAnd, start_select_->where, condition);
+    return true;
+  }
+
+  // --------------------------------------------------------- adjacency ----
+
+  /// Vertex adjacency (out/in/both). Chooses EA for single-hop queries.
+  Status Adjacency(const std::vector<std::string>& labels, bool out, bool in) {
+    RETURN_NOT_OK(ExpectKind(ElementKind::kVertex, "adjacency step"));
+    start_select_ = nullptr;
+    // Both directions read the same input table (paper Fig. 7: TEMP_2_0 and
+    // TEMP_2_2 both consume TEMP_1).
+    const std::string input = current_;
+    std::vector<std::string> parts;
+    if (options_.force_ea_for_all_hops ||
+        (options_.prefer_ea_for_single_hop && single_hop_)) {
+      if (out) parts.push_back(AdjacencyViaEa(labels, /*outgoing=*/true));
+      if (in) {
+        current_ = input;
+        parts.push_back(AdjacencyViaEa(labels, /*outgoing=*/false));
+      }
+    } else {
+      if (out) parts.push_back(AdjacencyViaHash(labels, /*outgoing=*/true));
+      if (in) {
+        current_ = input;
+        parts.push_back(AdjacencyViaHash(labels, /*outgoing=*/false));
+      }
+    }
+    if (parts.size() == 2) {
+      // Bi-directional: UNION ALL of the two chains (paper Fig. 7 TEMP_2_4).
+      auto sel = SelectStarFrom(parts[0]);
+      SelectStmt::SetOp set_op;
+      set_op.kind = sql::SetOpKind::kUnionAll;
+      set_op.rhs = SelectStarFrom(parts[1]);
+      sel->set_ops.push_back(std::move(set_op));
+      Emit(std::move(sel));
+    } else {
+      current_ = parts[0];
+    }
+    ++path_len_;
+    kind_ = ElementKind::kVertex;
+    return Status::OK();
+  }
+
+  /// §3.5/§4.3: single look-up traversal through the EA copy.
+  std::string AdjacencyViaEa(const std::vector<std::string>& labels,
+                             bool outgoing) {
+    auto sel = std::make_shared<SelectStmt>();
+    SelectItem item;
+    item.expr = Col("p", outgoing ? "OUTV" : "INV");
+    item.alias = "val";
+    sel->items.push_back(std::move(item));
+    AppendPathItem(sel.get());
+    AddFromCurrent(sel.get());
+    TableRef ea;
+    ea.table_name = core::kEaTable;
+    ea.alias = "p";
+    sel->from.push_back(std::move(ea));
+    std::vector<ExprPtr> conds;
+    conds.push_back(Bin(BinaryOp::kEq, Col("v", "val"),
+                        Col("p", outgoing ? "INV" : "OUTV")));
+    if (ExprPtr lc = LabelCondition(Col("p", "LBL"), labels)) {
+      conds.push_back(std::move(lc));
+    }
+    sel->where = AndAll(std::move(conds));
+    return EmitNamed(std::move(sel));
+  }
+
+  /// The OPA/OSA (or IPA/ISA) template of Table 8: unnest the column
+  /// triads, then resolve multi-value lists with a left-outer join.
+  std::string AdjacencyViaHash(const std::vector<std::string>& labels,
+                               bool outgoing) {
+    const char* primary = outgoing ? core::kOpaTable : core::kIpaTable;
+    const char* secondary = outgoing ? core::kOsaTable : core::kIsaTable;
+    const coloring::ColoredHash& hash =
+        outgoing ? schema_->out_hash : schema_->in_hash;
+    const size_t colors = outgoing ? schema_->out_colors : schema_->in_colors;
+
+    // Color pruning: only unnest triads the labels could hash to.
+    std::set<size_t> triads;
+    if (!labels.empty() && options_.prune_colors_by_label) {
+      for (const auto& l : labels) triads.insert(hash.ColorOf(l) % colors);
+    } else {
+      for (size_t c = 0; c < colors; ++c) triads.insert(c);
+    }
+
+    // Step A: unnest.
+    auto unnest = std::make_shared<SelectStmt>();
+    SelectItem item;
+    item.expr = Col("t", "val");
+    item.alias = "val";
+    unnest->items.push_back(std::move(item));
+    AppendPathItem(unnest.get());
+    AddFromCurrent(unnest.get());
+    TableRef prim;
+    prim.table_name = primary;
+    prim.alias = "p";
+    unnest->from.push_back(std::move(prim));
+    TableRef values;
+    values.kind = TableRefKind::kUnnestValues;
+    values.alias = "t";
+    values.column_aliases = {"lbl", "val"};
+    for (size_t c : triads) {
+      values.values_rows.push_back(
+          {Col("p", core::LblCol(c)), Col("p", core::ValCol(c))});
+    }
+    unnest->from.push_back(std::move(values));
+    std::vector<ExprPtr> conds;
+    conds.push_back(Bin(BinaryOp::kEq, Col("v", "val"), Col("p", "VID")));
+    conds.push_back(
+        Bin(BinaryOp::kGe, Col("p", "VID"), Lit(rel::Value(int64_t{0}))));
+    conds.push_back(sql::Un(UnaryOp::kIsNotNull, Col("t", "val")));
+    if (ExprPtr lc = LabelCondition(Col("t", "lbl"), labels)) {
+      conds.push_back(std::move(lc));
+    }
+    unnest->where = AndAll(std::move(conds));
+    const std::string unnest_name = EmitNamed(std::move(unnest));
+
+    // Step B: resolve multi-value lists through OSA/ISA.
+    auto resolve = std::make_shared<SelectStmt>();
+    SelectItem val_item;
+    val_item.expr = Func("COALESCE", {Col("s", "VAL"), Col("p", "val")});
+    val_item.alias = "val";
+    resolve->items.push_back(std::move(val_item));
+    if (track_paths_) {
+      SelectItem path_item;
+      path_item.expr = Col("p", "path");
+      path_item.alias = "path";
+      resolve->items.push_back(std::move(path_item));
+    }
+    TableRef from_unnest;
+    from_unnest.table_name = unnest_name;
+    from_unnest.alias = "p";
+    resolve->from.push_back(std::move(from_unnest));
+    TableRef osa;
+    osa.table_name = secondary;
+    osa.alias = "s";
+    osa.join = sql::JoinType::kLeftOuter;
+    osa.on = Bin(BinaryOp::kEq, Col("p", "val"), Col("s", "VALID"));
+    resolve->from.push_back(std::move(osa));
+    return EmitNamed(std::move(resolve));
+  }
+
+  /// outE / inE / bothE: edge ids come from EA.
+  Status EdgesOf(const std::vector<std::string>& labels, bool out, bool in) {
+    RETURN_NOT_OK(ExpectKind(ElementKind::kVertex, "edge step"));
+    start_select_ = nullptr;
+    auto one = [&](bool outgoing) {
+      auto sel = std::make_shared<SelectStmt>();
+      SelectItem item;
+      item.expr = Col("p", "EID");
+      item.alias = "val";
+      sel->items.push_back(std::move(item));
+      AppendPathItem(sel.get());
+      AddFromCurrent(sel.get());
+      TableRef ea;
+      ea.table_name = core::kEaTable;
+      ea.alias = "p";
+      sel->from.push_back(std::move(ea));
+      std::vector<ExprPtr> conds;
+      conds.push_back(Bin(BinaryOp::kEq, Col("v", "val"),
+                          Col("p", outgoing ? "INV" : "OUTV")));
+      if (ExprPtr lc = LabelCondition(Col("p", "LBL"), labels)) {
+        conds.push_back(std::move(lc));
+      }
+      sel->where = AndAll(std::move(conds));
+      return EmitNamed(std::move(sel));
+    };
+    const std::string input = current_;
+    std::vector<std::string> parts;
+    if (out) parts.push_back(one(true));
+    if (in) {
+      current_ = input;
+      parts.push_back(one(false));
+    }
+    if (parts.size() == 2) {
+      auto sel = SelectStarFrom(parts[0]);
+      SelectStmt::SetOp set_op;
+      set_op.kind = sql::SetOpKind::kUnionAll;
+      set_op.rhs = SelectStarFrom(parts[1]);
+      sel->set_ops.push_back(std::move(set_op));
+      Emit(std::move(sel));
+    } else {
+      current_ = parts[0];
+      // Single-direction EA step: the next attribute filter can merge into
+      // this CTE (VertexQuery rewrite).
+      edge_select_ = ctes_.back().select;
+    }
+    ++path_len_;
+    kind_ = ElementKind::kEdge;
+    return Status::OK();
+  }
+
+  /// outV / inV / bothV: edge → endpoint(s).
+  Status EndpointOf(bool source, bool target) {
+    RETURN_NOT_OK(ExpectKind(ElementKind::kEdge, "endpoint step"));
+    start_select_ = nullptr;
+    auto sel = std::make_shared<SelectStmt>();
+    if (source && target) {
+      SelectItem item;
+      item.expr = Col("t", "val");
+      item.alias = "val";
+      sel->items.push_back(std::move(item));
+      AppendPathItem(sel.get());
+      AddFromCurrent(sel.get());
+      TableRef ea;
+      ea.table_name = core::kEaTable;
+      ea.alias = "p";
+      sel->from.push_back(std::move(ea));
+      TableRef values;
+      values.kind = TableRefKind::kUnnestValues;
+      values.alias = "t";
+      values.column_aliases = {"val"};
+      values.values_rows.push_back({Col("p", "INV")});
+      values.values_rows.push_back({Col("p", "OUTV")});
+      sel->from.push_back(std::move(values));
+      sel->where = Bin(BinaryOp::kEq, Col("v", "val"), Col("p", "EID"));
+    } else {
+      SelectItem item;
+      item.expr = Col("p", source ? "INV" : "OUTV");
+      item.alias = "val";
+      sel->items.push_back(std::move(item));
+      AppendPathItem(sel.get());
+      AddFromCurrent(sel.get());
+      TableRef ea;
+      ea.table_name = core::kEaTable;
+      ea.alias = "p";
+      sel->from.push_back(std::move(ea));
+      sel->where = Bin(BinaryOp::kEq, Col("v", "val"), Col("p", "EID"));
+    }
+    Emit(std::move(sel));
+    ++path_len_;
+    kind_ = ElementKind::kVertex;
+    return Status::OK();
+  }
+
+  // ----------------------------------------------------------- filters ----
+
+  Status HasFilter(const Pipe& pipe) {
+    if (kind_ == ElementKind::kValue) {
+      return Status::NotImplemented("has() on value elements");
+    }
+    const bool vertices = kind_ == ElementKind::kVertex;
+    ExprPtr condition;
+    if (!vertices && pipe.key == "label") {
+      // Edge label filter translates to the EA LBL column.
+      if (pipe.kind != PipeKind::kHas || !pipe.has_value) {
+        return Status::NotImplemented("label filter needs a value");
+      }
+      condition = Bin(CmpToSql(pipe.cmp), Col("p", "LBL"), Lit(pipe.value));
+    } else {
+      ExprPtr attr = Func(
+          "JSON_VAL", {Col("p", "ATTR"), Lit(rel::Value(pipe.key))});
+      switch (pipe.kind) {
+        case PipeKind::kHas:
+          condition = pipe.has_value
+                          ? Bin(CmpToSql(pipe.cmp), std::move(attr),
+                                Lit(pipe.value))
+                          : sql::Un(UnaryOp::kIsNotNull, std::move(attr));
+          break;
+        case PipeKind::kHasNot:
+          condition = sql::Un(UnaryOp::kIsNull, std::move(attr));
+          break;
+        default:  // interval: [lo, hi)
+          condition = Bin(
+              BinaryOp::kAnd,
+              Bin(BinaryOp::kGe, attr, Lit(pipe.value)),
+              Bin(BinaryOp::kLt, attr, Lit(pipe.value2)));
+          break;
+      }
+    }
+    // GraphQuery merge: has() right after the start pipe extends its WHERE.
+    if (TryMergeIntoStart(condition)) return Status::OK();
+    // VertexQuery merge: a filter right after outE/inE extends that CTE.
+    if (!vertices && edge_select_ != nullptr) {
+      edge_select_->where =
+          edge_select_->where == nullptr
+              ? condition
+              : sql::Bin(BinaryOp::kAnd, edge_select_->where, condition);
+      return Status::OK();
+    }
+
+    auto sel = std::make_shared<SelectStmt>();
+    SelectItem star;
+    star.is_star = true;
+    star.star_qualifier = "v";
+    sel->items.push_back(std::move(star));
+    AddFromCurrent(sel.get());
+    TableRef attr_table;
+    attr_table.table_name = vertices ? core::kVaTable : core::kEaTable;
+    attr_table.alias = "p";
+    sel->from.push_back(std::move(attr_table));
+    sel->where =
+        Bin(BinaryOp::kAnd,
+            Bin(BinaryOp::kEq, Col("v", "val"),
+                Col("p", vertices ? "VID" : "EID")),
+            condition);
+    Emit(std::move(sel));
+    return Status::OK();
+  }
+
+  Status Dedup() {
+    start_select_ = nullptr;
+    auto sel = std::make_shared<SelectStmt>();
+    if (track_paths_) {
+      // DISTINCT over values while keeping one witness path per value.
+      SelectItem val_item;
+      val_item.expr = Col("v", "val");
+      val_item.alias = "val";
+      sel->items.push_back(std::move(val_item));
+      SelectItem path_item;
+      path_item.expr = Func("MIN", {Col("v", "path")});
+      path_item.alias = "path";
+      sel->items.push_back(std::move(path_item));
+      sel->group_by.push_back(Col("v", "val"));
+    } else {
+      sel->distinct = true;
+      SelectItem val_item;
+      val_item.expr = Col("v", "val");
+      val_item.alias = "val";
+      sel->items.push_back(std::move(val_item));
+    }
+    AddFromCurrent(sel.get());
+    Emit(std::move(sel));
+    return Status::OK();
+  }
+
+  Status Range(const Pipe& pipe) {
+    start_select_ = nullptr;
+    auto sel = SelectStarFrom(current_);
+    sel->offset = pipe.lo;
+    if (pipe.hi >= pipe.lo) sel->limit = pipe.hi - pipe.lo + 1;
+    Emit(std::move(sel));
+    return Status::OK();
+  }
+
+  Status SimplePath() {
+    if (!track_paths_) {
+      return Status::Internal("simplePath requires path tracking");
+    }
+    start_select_ = nullptr;
+    auto sel = std::make_shared<SelectStmt>();
+    SelectItem star;
+    star.is_star = true;
+    star.star_qualifier = "v";
+    sel->items.push_back(std::move(star));
+    AddFromCurrent(sel.get());
+    sel->where = Bin(
+        BinaryOp::kEq,
+        Func("IS_SIMPLE_PATH",
+             {Func("PATH_APPEND", {Col("v", "path"), Col("v", "val")})}),
+        Lit(rel::Value(int64_t{1})));
+    Emit(std::move(sel));
+    return Status::OK();
+  }
+
+  Status PathPipe() {
+    if (!track_paths_) {
+      return Status::Internal("path requires path tracking");
+    }
+    start_select_ = nullptr;
+    auto sel = std::make_shared<SelectStmt>();
+    SelectItem item;
+    item.expr = Func("PATH_APPEND", {Col("v", "path"), Col("v", "val")});
+    item.alias = "val";
+    sel->items.push_back(std::move(item));
+    AddFromCurrent(sel.get());
+    Emit(std::move(sel));
+    kind_ = ElementKind::kValue;
+    return Status::OK();
+  }
+
+  Status Back(const Pipe& pipe) {
+    auto it = as_points_.find(pipe.key);
+    if (it == as_points_.end()) {
+      return Status::InvalidArgument("back() to unknown step '" + pipe.key +
+                                     "'");
+    }
+    const auto& [position, saved_kind] = it->second;
+    if (position == path_len_) return Status::OK();  // no-op
+    start_select_ = nullptr;
+    auto sel = std::make_shared<SelectStmt>();
+    SelectItem val_item;
+    val_item.expr = Func("PATH_ELEM", {Col("v", "path"),
+                                       Lit(rel::Value(position))});
+    val_item.alias = "val";
+    sel->items.push_back(std::move(val_item));
+    SelectItem path_item;
+    path_item.expr = Func("PATH_PREFIX", {Col("v", "path"),
+                                          Lit(rel::Value(position))});
+    path_item.alias = "path";
+    sel->items.push_back(std::move(path_item));
+    AddFromCurrent(sel.get());
+    Emit(std::move(sel));
+    path_len_ = position;
+    kind_ = saved_kind;
+    return Status::OK();
+  }
+
+  Status ExceptRetain(const Pipe& pipe, bool negated) {
+    auto it = aggregates_.find(pipe.key);
+    if (it == aggregates_.end()) {
+      return Status::InvalidArgument("except/retain of unknown set '" +
+                                     pipe.key + "'");
+    }
+    start_select_ = nullptr;
+    auto sub = std::make_shared<SelectStmt>();
+    SelectItem sub_item;
+    sub_item.expr = Col("val");
+    sub->items.push_back(std::move(sub_item));
+    TableRef sub_ref;
+    sub_ref.table_name = it->second;
+    sub->from.push_back(std::move(sub_ref));
+
+    auto sel = std::make_shared<SelectStmt>();
+    SelectItem star;
+    star.is_star = true;
+    star.star_qualifier = "v";
+    sel->items.push_back(std::move(star));
+    AddFromCurrent(sel.get());
+    sel->where = InSubquery(Col("v", "val"), std::move(sub), negated);
+    Emit(std::move(sel));
+    return Status::OK();
+  }
+
+  /// and(...) / or(...): each branch runs from the current table with local
+  /// path tracking; the surviving original values are path[0] (Table 8).
+  Status AndOrFilter(const Pipe& pipe) {
+    start_select_ = nullptr;
+    std::vector<ExprPtr> memberships;
+    for (const Pipeline& branch : pipe.branches) {
+      ASSIGN_OR_RETURN(std::string branch_out, TranslateBranch(branch));
+      auto sub = std::make_shared<SelectStmt>();
+      SelectItem item;
+      item.expr = Func("COALESCE", {Func("PATH_ELEM", {Col("p", "path"),
+                                                       Lit(rel::Value(
+                                                           int64_t{0}))}),
+                                    Col("p", "val")});
+      item.alias = "val";
+      sub->items.push_back(std::move(item));
+      TableRef ref;
+      ref.table_name = branch_out;
+      ref.alias = "p";
+      sub->from.push_back(std::move(ref));
+      memberships.push_back(
+          InSubquery(Col("v", "val"), std::move(sub), /*negated=*/false));
+    }
+    ExprPtr condition;
+    for (auto& m : memberships) {
+      if (condition == nullptr) {
+        condition = std::move(m);
+      } else {
+        condition = Bin(pipe.kind == PipeKind::kAndFilter ? BinaryOp::kAnd
+                                                          : BinaryOp::kOr,
+                        std::move(condition), std::move(m));
+      }
+    }
+    auto sel = std::make_shared<SelectStmt>();
+    SelectItem star;
+    star.is_star = true;
+    star.star_qualifier = "v";
+    sel->items.push_back(std::move(star));
+    AddFromCurrent(sel.get());
+    sel->where = std::move(condition);
+    Emit(std::move(sel));
+    return Status::OK();
+  }
+
+  Status CopySplit(const Pipe& pipe) {
+    start_select_ = nullptr;
+    std::vector<std::string> outs;
+    ElementKind merged_kind = kind_;
+    for (const Pipeline& branch : pipe.branches) {
+      State branch_state(schema_, options_, track_paths_, /*single_hop=*/false);
+      branch_state.SeedFrom(*this);
+      RETURN_NOT_OK(branch_state.Run(branch));
+      RETURN_NOT_OK(AbsorbBranch(&branch_state));
+      outs.push_back(branch_state.current_);
+      merged_kind = branch_state.kind_;
+    }
+    auto sel = SelectStarFrom(outs[0]);
+    for (size_t i = 1; i < outs.size(); ++i) {
+      SelectStmt::SetOp set_op;
+      set_op.kind = sql::SetOpKind::kUnionAll;
+      set_op.rhs = SelectStarFrom(outs[i]);
+      sel->set_ops.push_back(std::move(set_op));
+    }
+    Emit(std::move(sel));
+    kind_ = merged_kind;
+    // Branch bodies may have different lengths; path positions after a
+    // copySplit are no longer well-defined, so as()-points are cleared.
+    as_points_.clear();
+    return Status::OK();
+  }
+
+  Status IfThenElse(const Pipe& pipe) {
+    if (pipe.branches.size() != 3 || pipe.branches[0].pipes.size() != 1 ||
+        pipe.branches[0].pipes[0].kind != PipeKind::kHas) {
+      return Status::NotImplemented(
+          "ifThenElse supports {it.<key> OP literal} tests");
+    }
+    start_select_ = nullptr;
+    const Pipe& test = pipe.branches[0].pipes[0];
+    const bool vertices = kind_ == ElementKind::kVertex;
+    ExprPtr attr =
+        Func("JSON_VAL", {Col("p", "ATTR"), Lit(rel::Value(test.key))});
+    ExprPtr then_cond = Bin(CmpToSql(test.cmp), attr, Lit(test.value));
+    // Elements whose test is false OR whose attribute is absent go to else.
+    ExprPtr else_cond =
+        Bin(BinaryOp::kOr, sql::Un(UnaryOp::kIsNull, attr),
+            sql::Un(UnaryOp::kNot,
+                    Bin(CmpToSql(test.cmp), attr, Lit(test.value))));
+
+    auto filtered = [&](ExprPtr cond) {
+      auto sel = std::make_shared<SelectStmt>();
+      SelectItem star;
+      star.is_star = true;
+      star.star_qualifier = "v";
+      sel->items.push_back(std::move(star));
+      AddFromCurrent(sel.get());
+      TableRef attr_table;
+      attr_table.table_name = vertices ? core::kVaTable : core::kEaTable;
+      attr_table.alias = "p";
+      sel->from.push_back(std::move(attr_table));
+      sel->where = Bin(BinaryOp::kAnd,
+                       Bin(BinaryOp::kEq, Col("v", "val"),
+                           Col("p", vertices ? "VID" : "EID")),
+                       std::move(cond));
+      return EmitNamed(std::move(sel));
+    };
+    const std::string saved_current = current_;
+    const ElementKind saved_kind = kind_;
+    const int64_t saved_len = path_len_;
+
+    current_ = filtered(std::move(then_cond));
+    std::string then_out = current_;
+    ElementKind then_kind = kind_;
+    {
+      State branch_state(schema_, options_, track_paths_, /*single_hop=*/false);
+      branch_state.SeedFrom(*this);
+      RETURN_NOT_OK(branch_state.Run(pipe.branches[1]));
+      RETURN_NOT_OK(AbsorbBranch(&branch_state));
+      then_out = branch_state.current_;
+      then_kind = branch_state.kind_;
+    }
+    current_ = saved_current;
+    kind_ = saved_kind;
+    path_len_ = saved_len;
+    current_ = filtered(std::move(else_cond));
+    std::string else_out = current_;
+    {
+      State branch_state(schema_, options_, track_paths_, /*single_hop=*/false);
+      branch_state.SeedFrom(*this);
+      RETURN_NOT_OK(branch_state.Run(pipe.branches[2]));
+      RETURN_NOT_OK(AbsorbBranch(&branch_state));
+      else_out = branch_state.current_;
+    }
+    auto sel = SelectStarFrom(then_out);
+    SelectStmt::SetOp set_op;
+    set_op.kind = sql::SetOpKind::kUnionAll;
+    set_op.rhs = SelectStarFrom(else_out);
+    sel->set_ops.push_back(std::move(set_op));
+    Emit(std::move(sel));
+    kind_ = then_kind;
+    as_points_.clear();
+    return Status::OK();
+  }
+
+  // -------------------------------------------------------------- loop ----
+
+  Status Loop(const Pipeline& pipeline, size_t index) {
+    const Pipe& pipe = pipeline.pipes[index];
+    if (pipe.loop_steps <= 0 ||
+        static_cast<size_t>(pipe.loop_steps) > index) {
+      return Status::InvalidArgument("loop() reaches before the start pipe");
+    }
+    const size_t body_begin = index - static_cast<size_t>(pipe.loop_steps);
+    if (pipe.loop_count >= 0) {
+      // Fixed depth: unroll. The body already ran once; loop(n){it.loops<k}
+      // executes it k-1 more times (total k).
+      for (int64_t rep = 1; rep < pipe.loop_count; ++rep) {
+        for (size_t j = body_begin; j < index; ++j) {
+          RETURN_NOT_OK(ApplyPipe(pipeline, j));
+        }
+      }
+      return Status::OK();
+    }
+    // Unbounded loop → recursive CTE with fixpoint (dedup) semantics. The
+    // body must be a single adjacency step so it fits the recursive step
+    // select; it runs over the EA copy (the paper's recursive-SQL fallback).
+    if (track_paths_) {
+      return Status::NotImplemented(
+          "unbounded loop with path tracking (stored-procedure fallback)");
+    }
+    if (pipe.loop_steps != 1) {
+      return Status::NotImplemented(
+          "unbounded loop body must be one adjacency step");
+    }
+    const Pipe& body = pipeline.pipes[body_begin];
+    bool out = body.kind == PipeKind::kOut || body.kind == PipeKind::kBoth;
+    bool in = body.kind == PipeKind::kIn || body.kind == PipeKind::kBoth;
+    if (!out && !in) {
+      return Status::NotImplemented(
+          "unbounded loop body must be out()/in()/both()");
+    }
+    auto step = [&](bool outgoing, const std::string& rec_name) {
+      auto sel = std::make_shared<SelectStmt>();
+      SelectItem item;
+      item.expr = Col("p", outgoing ? "OUTV" : "INV");
+      item.alias = "val";
+      sel->items.push_back(std::move(item));
+      TableRef rec;
+      rec.table_name = rec_name;
+      rec.alias = "r";
+      sel->from.push_back(std::move(rec));
+      TableRef ea;
+      ea.table_name = core::kEaTable;
+      ea.alias = "p";
+      sel->from.push_back(std::move(ea));
+      std::vector<ExprPtr> conds;
+      conds.push_back(Bin(BinaryOp::kEq, Col("r", "val"),
+                          Col("p", outgoing ? "INV" : "OUTV")));
+      if (ExprPtr lc = LabelCondition(Col("p", "LBL"), body.labels)) {
+        conds.push_back(std::move(lc));
+      }
+      sel->where = AndAll(std::move(conds));
+      return sel;
+    };
+    const std::string rec_name = NextName() + "_rec";
+    auto base = SelectStarFrom(current_);
+    SelectPtr step_sel;
+    if (out && in) {
+      step_sel = step(true, rec_name);
+      SelectStmt::SetOp both_op;
+      both_op.kind = sql::SetOpKind::kUnionAll;
+      both_op.rhs = step(false, rec_name);
+      step_sel->set_ops.push_back(std::move(both_op));
+    } else {
+      step_sel = step(out, rec_name);
+    }
+    SelectStmt::SetOp rec_op;
+    rec_op.kind = sql::SetOpKind::kUnionAll;
+    rec_op.rhs = std::move(step_sel);
+    base->set_ops.push_back(std::move(rec_op));
+    sql::Cte cte;
+    cte.name = rec_name;
+    cte.column_aliases = {"val"};
+    cte.select = std::move(base);
+    cte.recursive = true;
+    ctes_.push_back(std::move(cte));
+    current_ = rec_name;
+    return Status::OK();
+  }
+
+  Status Count() {
+    auto sel = std::make_shared<SelectStmt>();
+    SelectItem item;
+    item.expr = Func("COUNT", {sql::Star()});
+    item.alias = "val";
+    sel->items.push_back(std::move(item));
+    AddFromCurrent(sel.get());
+    final_select_ = std::move(sel);
+    kind_ = ElementKind::kValue;
+    return Status::OK();
+  }
+
+  // ----------------------------------------------------------- helpers ----
+
+  /// Seeds a branch state to continue from this state's current table.
+  void SeedFrom(const State& parent) {
+    counter_ = parent.counter_;
+    current_ = parent.current_;
+    kind_ = parent.kind_;
+    path_len_ = parent.path_len_;
+    aggregates_ = parent.aggregates_;
+    as_points_ = parent.as_points_;
+  }
+
+  /// Moves a finished branch's CTEs into this state.
+  Status AbsorbBranch(State* branch) {
+    if (branch->final_select_ != nullptr) {
+      return Status::NotImplemented("count() inside a branch");
+    }
+    for (auto& cte : branch->ctes_) ctes_.push_back(std::move(cte));
+    return Status::OK();
+  }
+
+  /// Translates a filter branch (and/or): fresh local path tracking rooted
+  /// at the current table, so path[0] recovers the original element.
+  Result<std::string> TranslateBranch(const Pipeline& branch) {
+    State branch_state(schema_, options_, /*track_paths=*/true,
+                       /*single_hop=*/false);
+    branch_state.counter_ = counter_;
+    branch_state.kind_ = kind_;
+    branch_state.aggregates_ = aggregates_;
+    // Entry CTE: reset the path so position 0 is the branch's input value.
+    auto entry = std::make_shared<SelectStmt>();
+    SelectItem val_item;
+    val_item.expr = Col("v", "val");
+    val_item.alias = "val";
+    entry->items.push_back(std::move(val_item));
+    SelectItem path_item;
+    path_item.expr = Lit(rel::Value::Null());
+    path_item.alias = "path";
+    entry->items.push_back(std::move(path_item));
+    TableRef ref;
+    ref.table_name = current_;
+    ref.alias = "v";
+    entry->from.push_back(std::move(ref));
+    sql::Cte cte;
+    cte.name = branch_state.NextName();
+    cte.select = std::move(entry);
+    branch_state.ctes_.push_back(std::move(cte));
+    branch_state.current_ = branch_state.ctes_.back().name;
+    RETURN_NOT_OK(branch_state.Run(branch));
+    RETURN_NOT_OK(AbsorbBranch(&branch_state));
+    return branch_state.current_;
+  }
+
+  std::string NextName() {
+    return util::StrFormat("TEMP_%lld", static_cast<long long>(++*counter_));
+  }
+
+  /// Emits a select as the next CTE and makes it current.
+  void Emit(SelectPtr sel) {
+    sql::Cte cte;
+    cte.name = NextName();
+    cte.select = std::move(sel);
+    ctes_.push_back(std::move(cte));
+    current_ = ctes_.back().name;
+  }
+
+  std::string EmitNamed(SelectPtr sel) {
+    Emit(std::move(sel));
+    return current_;
+  }
+
+  SelectPtr SelectStarFrom(const std::string& table) {
+    auto sel = std::make_shared<SelectStmt>();
+    SelectItem star;
+    star.is_star = true;
+    sel->items.push_back(std::move(star));
+    TableRef ref;
+    ref.table_name = table;
+    sel->from.push_back(std::move(ref));
+    return sel;
+  }
+
+  void AddFromCurrent(SelectStmt* sel) {
+    TableRef ref;
+    ref.table_name = current_;
+    ref.alias = "v";
+    sel->from.push_back(std::move(ref));
+  }
+
+  /// Adds the `(v.path || v.val) AS path` item of the [e]p templates.
+  void AppendPathItem(SelectStmt* sel) {
+    if (!track_paths_) return;
+    SelectItem path_item;
+    path_item.expr = Func("PATH_APPEND", {Col("v", "path"), Col("v", "val")});
+    path_item.alias = "path";
+    sel->items.push_back(std::move(path_item));
+  }
+
+  Status ExpectKind(ElementKind expected, const char* what) {
+    if (kind_ != expected) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " applied to wrong element kind");
+    }
+    return Status::OK();
+  }
+
+  const GraphSchema* schema_;
+  const TranslatorOptions& options_;
+  bool track_paths_;
+  bool single_hop_;
+
+  std::vector<sql::Cte> ctes_;
+  std::string current_;
+  ElementKind kind_ = ElementKind::kVertex;
+  int64_t path_len_ = 0;
+  int64_t counter_storage_ = 0;
+  int64_t* counter_ = &counter_storage_;
+  SelectPtr start_select_;
+  // When the current CTE is a single-direction EA edge step (outE/inE),
+  // attribute filters that follow fold into its WHERE — the paper's
+  // VertexQuery rewrite (§4.5.1).
+  SelectPtr edge_select_;
+  SelectPtr final_select_;
+  std::unordered_map<std::string, std::pair<int64_t, ElementKind>> as_points_;
+  std::unordered_map<std::string, std::string> aggregates_;
+};
+
+Result<sql::SqlQuery> Translator::Translate(const Pipeline& pipeline) const {
+  if (pipeline.pipes.empty()) {
+    return Status::InvalidArgument("empty pipeline");
+  }
+  const bool track_paths = NeedsPaths(pipeline);
+  const bool single_hop = CountAdjacencySteps(pipeline) == 1;
+  State state(schema_, options_, track_paths, single_hop);
+  RETURN_NOT_OK(state.Run(pipeline));
+  return state.Finish();
+}
+
+}  // namespace gremlin
+}  // namespace sqlgraph

@@ -1,0 +1,334 @@
+#include "json/json_parser.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace sqlgraph {
+namespace json {
+
+namespace {
+
+using util::Result;
+using util::Status;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWs();
+    JsonValue value;
+    RETURN_NOT_OK(ParseValue(&value));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing characters at offset " +
+                                std::to_string(pos_));
+    }
+    return value;
+  }
+
+ private:
+  Status ParseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return ParseObject(out);
+      case '[': return ParseArray(out);
+      case '"': return ParseString(out);
+      case 't':
+        RETURN_NOT_OK(Expect("true"));
+        *out = JsonValue(true);
+        return Status::OK();
+      case 'f':
+        RETURN_NOT_OK(Expect("false"));
+        *out = JsonValue(false);
+        return Status::OK();
+      case 'n':
+        RETURN_NOT_OK(Expect("null"));
+        *out = JsonValue();
+        return Status::OK();
+      default: return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out) {
+    ++pos_;  // consume '{'
+    JsonObject obj;
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      *out = JsonValue(std::move(obj));
+      return Status::OK();
+    }
+    while (true) {
+      SkipWs();
+      if (Peek() != '"') return Err("expected object key");
+      JsonValue key;
+      RETURN_NOT_OK(ParseString(&key));
+      SkipWs();
+      if (Peek() != ':') return Err("expected ':' after key");
+      ++pos_;
+      SkipWs();
+      JsonValue value;
+      RETURN_NOT_OK(ParseValue(&value));
+      obj.emplace_back(key.AsString(), std::move(value));
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        break;
+      }
+      return Err("expected ',' or '}' in object");
+    }
+    *out = JsonValue(std::move(obj));
+    return Status::OK();
+  }
+
+  Status ParseArray(JsonValue* out) {
+    ++pos_;  // consume '['
+    JsonArray arr;
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      *out = JsonValue(std::move(arr));
+      return Status::OK();
+    }
+    while (true) {
+      SkipWs();
+      JsonValue value;
+      RETURN_NOT_OK(ParseValue(&value));
+      arr.push_back(std::move(value));
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        break;
+      }
+      return Err("expected ',' or ']' in array");
+    }
+    *out = JsonValue(std::move(arr));
+    return Status::OK();
+  }
+
+  Status ParseString(JsonValue* out) {
+    ++pos_;  // consume opening quote
+    std::string s;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        *out = JsonValue(std::move(s));
+        return Status::OK();
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Err("dangling escape");
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': s.push_back('"'); break;
+          case '\\': s.push_back('\\'); break;
+          case '/': s.push_back('/'); break;
+          case 'b': s.push_back('\b'); break;
+          case 'f': s.push_back('\f'); break;
+          case 'n': s.push_back('\n'); break;
+          case 'r': s.push_back('\r'); break;
+          case 't': s.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Err("bad \\u escape");
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+              else return Err("bad hex digit in \\u escape");
+            }
+            AppendUtf8(cp, &s);
+            break;
+          }
+          default: return Err("unknown escape");
+        }
+      } else {
+        s.push_back(c);
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    bool is_double = false;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Err("expected a value");
+    std::string_view tok = text_.substr(start, pos_ - start);
+    if (!is_double) {
+      int64_t v = 0;
+      auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+      if (ec == std::errc() && ptr == tok.data() + tok.size()) {
+        *out = JsonValue(v);
+        return Status::OK();
+      }
+      // Fall through to double on overflow.
+    }
+    char* end = nullptr;
+    std::string buf(tok);
+    double d = std::strtod(buf.c_str(), &end);
+    if (end != buf.c_str() + buf.size()) return Err("malformed number");
+    *out = JsonValue(d);
+    return Status::OK();
+  }
+
+  static void AppendUtf8(unsigned cp, std::string* s) {
+    if (cp < 0x80) {
+      s->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      s->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      s->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      s->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status Expect(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Err("expected '" + std::string(word) + "'");
+    }
+    pos_ += word.size();
+    return Status::OK();
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " + std::to_string(pos_));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void WriteString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out->append(util::StrFormat("\\u%04x", c));
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void WriteNumber(double d, std::string* out) {
+  if (std::isfinite(d)) {
+    std::string s = util::StrFormat("%.17g", d);
+    out->append(s);
+  } else {
+    out->append("null");  // JSON has no Inf/NaN.
+  }
+}
+
+void WriteImpl(const JsonValue& v, std::string* out, int indent, int depth) {
+  auto newline = [&] {
+    if (indent >= 0) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(indent * depth), ' ');
+    }
+  };
+  switch (v.type()) {
+    case JsonType::kNull: out->append("null"); break;
+    case JsonType::kBool: out->append(v.AsBool() ? "true" : "false"); break;
+    case JsonType::kInt: out->append(std::to_string(v.AsInt())); break;
+    case JsonType::kDouble: WriteNumber(v.AsDouble(), out); break;
+    case JsonType::kString: WriteString(v.AsString(), out); break;
+    case JsonType::kArray: {
+      out->push_back('[');
+      const JsonArray& arr = v.AsArray();
+      for (size_t i = 0; i < arr.size(); ++i) {
+        if (i) out->push_back(',');
+        ++depth;
+        newline();
+        --depth;
+        WriteImpl(arr[i], out, indent, depth + 1);
+      }
+      if (!arr.empty()) newline();
+      out->push_back(']');
+      break;
+    }
+    case JsonType::kObject: {
+      out->push_back('{');
+      const JsonObject& obj = v.AsObject();
+      for (size_t i = 0; i < obj.size(); ++i) {
+        if (i) out->push_back(',');
+        ++depth;
+        newline();
+        --depth;
+        WriteString(obj[i].first, out);
+        out->push_back(':');
+        if (indent >= 0) out->push_back(' ');
+        WriteImpl(obj[i].second, out, indent, depth + 1);
+      }
+      if (!obj.empty()) newline();
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<JsonValue> Parse(std::string_view text) { return Parser(text).Parse(); }
+
+std::string Write(const JsonValue& value) {
+  std::string out;
+  WriteImpl(value, &out, /*indent=*/-1, /*depth=*/0);
+  return out;
+}
+
+std::string WritePretty(const JsonValue& value) {
+  std::string out;
+  WriteImpl(value, &out, /*indent=*/2, /*depth=*/0);
+  return out;
+}
+
+}  // namespace json
+}  // namespace sqlgraph

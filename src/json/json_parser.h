@@ -1,0 +1,29 @@
+// Recursive-descent JSON parser and compact writer.
+
+#ifndef SQLGRAPH_JSON_JSON_PARSER_H_
+#define SQLGRAPH_JSON_JSON_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "json/json_value.h"
+#include "util/status.h"
+
+namespace sqlgraph {
+namespace json {
+
+/// Parses a JSON document. Accepts the full JSON grammar (RFC 8259) minus
+/// \uXXXX surrogate-pair edge cases beyond the BMP (escapes are decoded to
+/// UTF-8).
+util::Result<JsonValue> Parse(std::string_view text);
+
+/// Serializes to compact JSON text (no whitespace, keys in stored order).
+std::string Write(const JsonValue& value);
+
+/// Serializes with 2-space indentation, for examples/docs output.
+std::string WritePretty(const JsonValue& value);
+
+}  // namespace json
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_JSON_JSON_PARSER_H_

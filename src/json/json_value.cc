@@ -1,0 +1,66 @@
+#include "json/json_value.h"
+
+namespace sqlgraph {
+namespace json {
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  if (type() != other.type()) {
+    // Allow int/double cross-type numeric equality (JSON has one number type).
+    if (is_number() && other.is_number()) {
+      return AsDouble() == other.AsDouble();
+    }
+    return false;
+  }
+  switch (type()) {
+    case JsonType::kNull: return true;
+    case JsonType::kBool: return AsBool() == other.AsBool();
+    case JsonType::kInt: return AsInt() == other.AsInt();
+    case JsonType::kDouble: return AsDouble() == other.AsDouble();
+    case JsonType::kString: return AsString() == other.AsString();
+    case JsonType::kArray: {
+      const JsonArray& a = AsArray();
+      const JsonArray& b = other.AsArray();
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (!(a[i] == b[i])) return false;
+      }
+      return true;
+    }
+    case JsonType::kObject: {
+      const JsonObject& a = AsObject();
+      const JsonObject& b = other.AsObject();
+      if (a.size() != b.size()) return false;
+      // Order-insensitive member comparison.
+      for (const auto& [k, v] : a) {
+        const JsonValue* bv = other.Find(k);
+        if (bv == nullptr || !(v == *bv)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t JsonValue::ByteSize() const {
+  switch (type()) {
+    case JsonType::kNull: return 1;
+    case JsonType::kBool: return 1;
+    case JsonType::kInt: return 8;
+    case JsonType::kDouble: return 8;
+    case JsonType::kString: return 8 + AsString().size();
+    case JsonType::kArray: {
+      size_t total = 8;
+      for (const auto& v : AsArray()) total += v.ByteSize();
+      return total;
+    }
+    case JsonType::kObject: {
+      size_t total = 8;
+      for (const auto& [k, v] : AsObject()) total += 8 + k.size() + v.ByteSize();
+      return total;
+    }
+  }
+  return 0;
+}
+
+}  // namespace json
+}  // namespace sqlgraph

@@ -1,0 +1,176 @@
+// JSON document model used for the VA/EA attribute columns and for the
+// JSON-adjacency micro-benchmark schema. Plays the role of the JSON column
+// support that commercial relational engines (DB2, Oracle, Postgres) ship.
+//
+// Objects preserve insertion order (like a document store) but support
+// O(log n)-ish lookup via linear scan over typically tiny attribute maps.
+
+#ifndef SQLGRAPH_JSON_JSON_VALUE_H_
+#define SQLGRAPH_JSON_JSON_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sqlgraph {
+namespace json {
+
+class JsonValue;
+
+using JsonArray = std::vector<JsonValue>;
+using JsonMember = std::pair<std::string, JsonValue>;
+using JsonObject = std::vector<JsonMember>;
+
+enum class JsonType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,
+  kDouble = 3,
+  kString = 4,
+  kArray = 5,
+  kObject = 6,
+};
+
+/// \brief A JSON value: null, bool, 64-bit int, double, string, array or
+/// object. Integers are kept distinct from doubles so attribute values like
+/// `age: 29` round-trip without precision games, matching how the paper's
+/// JSON_VAL casts behave.
+class JsonValue {
+ public:
+  JsonValue() : repr_(std::monostate{}) {}
+  JsonValue(std::nullptr_t) : repr_(std::monostate{}) {}  // NOLINT
+  JsonValue(bool b) : repr_(b) {}                         // NOLINT
+  JsonValue(int64_t i) : repr_(i) {}                      // NOLINT
+  JsonValue(int i) : repr_(static_cast<int64_t>(i)) {}    // NOLINT
+  JsonValue(double d) : repr_(d) {}                       // NOLINT
+  JsonValue(std::string s) : repr_(std::move(s)) {}       // NOLINT
+  JsonValue(const char* s) : repr_(std::string(s)) {}     // NOLINT
+  JsonValue(JsonArray a)                                  // NOLINT
+      : repr_(std::make_shared<JsonArray>(std::move(a))) {}
+  JsonValue(JsonObject o)                                 // NOLINT
+      : repr_(std::make_shared<JsonObject>(std::move(o))) {}
+
+  static JsonValue Object() { return JsonValue(JsonObject{}); }
+  static JsonValue Array() { return JsonValue(JsonArray{}); }
+
+  JsonType type() const {
+    switch (repr_.index()) {
+      case 0: return JsonType::kNull;
+      case 1: return JsonType::kBool;
+      case 2: return JsonType::kInt;
+      case 3: return JsonType::kDouble;
+      case 4: return JsonType::kString;
+      case 5: return JsonType::kArray;
+      default: return JsonType::kObject;
+    }
+  }
+
+  bool is_null() const { return type() == JsonType::kNull; }
+  bool is_bool() const { return type() == JsonType::kBool; }
+  bool is_int() const { return type() == JsonType::kInt; }
+  bool is_double() const { return type() == JsonType::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type() == JsonType::kString; }
+  bool is_array() const { return type() == JsonType::kArray; }
+  bool is_object() const { return type() == JsonType::kObject; }
+
+  bool AsBool() const { return std::get<bool>(repr_); }
+  int64_t AsInt() const {
+    return is_double() ? static_cast<int64_t>(std::get<double>(repr_))
+                       : std::get<int64_t>(repr_);
+  }
+  double AsDouble() const {
+    return is_int() ? static_cast<double>(std::get<int64_t>(repr_))
+                    : std::get<double>(repr_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(repr_); }
+
+  const JsonArray& AsArray() const {
+    return *std::get<std::shared_ptr<JsonArray>>(repr_);
+  }
+  JsonArray& MutableArray() {
+    CopyOnWrite();
+    return *std::get<std::shared_ptr<JsonArray>>(repr_);
+  }
+  const JsonObject& AsObject() const {
+    return *std::get<std::shared_ptr<JsonObject>>(repr_);
+  }
+  JsonObject& MutableObject() {
+    CopyOnWrite();
+    return *std::get<std::shared_ptr<JsonObject>>(repr_);
+  }
+
+  /// Object member lookup; returns nullptr if absent or not an object.
+  const JsonValue* Find(std::string_view key) const {
+    if (!is_object()) return nullptr;
+    for (const auto& [k, v] : AsObject()) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Sets (or replaces) an object member. The value must be an object.
+  void Set(std::string_view key, JsonValue value) {
+    JsonObject& obj = MutableObject();
+    for (auto& [k, v] : obj) {
+      if (k == key) {
+        v = std::move(value);
+        return;
+      }
+    }
+    obj.emplace_back(std::string(key), std::move(value));
+  }
+
+  /// Removes a member; returns true if it existed.
+  bool Erase(std::string_view key) {
+    if (!is_object()) return false;
+    JsonObject& obj = MutableObject();
+    for (auto it = obj.begin(); it != obj.end(); ++it) {
+      if (it->first == key) {
+        obj.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Append(JsonValue value) { MutableArray().push_back(std::move(value)); }
+
+  size_t size() const {
+    if (is_array()) return AsArray().size();
+    if (is_object()) return AsObject().size();
+    return 0;
+  }
+
+  bool operator==(const JsonValue& other) const;
+  bool operator!=(const JsonValue& other) const { return !(*this == other); }
+
+  /// Approximate heap footprint in bytes, used for storage accounting.
+  size_t ByteSize() const;
+
+ private:
+  void CopyOnWrite() {
+    if (is_array()) {
+      auto& p = std::get<std::shared_ptr<JsonArray>>(repr_);
+      if (p.use_count() > 1) p = std::make_shared<JsonArray>(*p);
+    } else if (is_object()) {
+      auto& p = std::get<std::shared_ptr<JsonObject>>(repr_);
+      if (p.use_count() > 1) p = std::make_shared<JsonObject>(*p);
+    }
+  }
+
+  std::variant<std::monostate, bool, int64_t, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      repr_;
+};
+
+}  // namespace json
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_JSON_JSON_VALUE_H_

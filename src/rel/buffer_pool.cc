@@ -1,0 +1,79 @@
+#include "rel/buffer_pool.h"
+
+namespace sqlgraph {
+namespace rel {
+
+std::shared_ptr<const DecodedPage> BufferPool::Lookup(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(id);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  // Move to front of LRU list.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->page;
+}
+
+void BufferPool::Insert(PageId id, std::shared_ptr<const DecodedPage> page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    used_ -= it->second->page->byte_size;
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+  used_ += page->byte_size;
+  lru_.push_front(Entry{id, std::move(page)});
+  map_[id] = lru_.begin();
+  EvictIfNeeded();
+}
+
+void BufferPool::Invalidate(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(id);
+  if (it == map_.end()) return;
+  used_ -= it->second->page->byte_size;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void BufferPool::InvalidateStore(uint32_t store_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->id.store_id == store_id) {
+      used_ -= it->page->byte_size;
+      map_.erase(it->id);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BufferPool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  map_.clear();
+  used_ = 0;
+  hits_ = misses_ = 0;
+}
+
+void BufferPool::set_capacity(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = bytes;
+  EvictIfNeeded();
+}
+
+void BufferPool::EvictIfNeeded() {
+  while (used_ > capacity_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    used_ -= victim.page->byte_size;
+    map_.erase(victim.id);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace rel
+}  // namespace sqlgraph

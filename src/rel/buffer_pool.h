@@ -1,0 +1,99 @@
+// Byte-budgeted LRU buffer pool over serialized pages.
+//
+// Paged row stores keep their rows in serialized page blobs (the "disk");
+// reading a row requires the decoded page, which lives in this pool. A
+// smaller budget causes more decode work per access — this is the mechanism
+// the memory-sensitivity experiment (paper Fig. 8c) manipulates, instead of
+// an artificial sleep.
+
+#ifndef SQLGRAPH_REL_BUFFER_POOL_H_
+#define SQLGRAPH_REL_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "rel/value.h"
+
+namespace sqlgraph {
+namespace rel {
+
+struct PageId {
+  uint32_t store_id;
+  uint32_t page_index;
+  bool operator==(const PageId& o) const {
+    return store_id == o.store_id && page_index == o.page_index;
+  }
+};
+
+struct PageIdHash {
+  size_t operator()(const PageId& p) const {
+    return (static_cast<size_t>(p.store_id) << 32) ^ p.page_index;
+  }
+};
+
+/// A decoded page: the rows it contains plus its decoded footprint.
+struct DecodedPage {
+  std::vector<Row> rows;
+  size_t byte_size = 0;
+};
+
+/// \brief LRU cache of decoded pages with a byte budget.
+///
+/// Thread-safe; all operations take an internal mutex (paged stores are used
+/// by the single-requester memory-sweep benchmark, so contention is not a
+/// concern).
+class BufferPool {
+ public:
+  explicit BufferPool(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  /// Returns the cached decoded page or nullptr on miss.
+  std::shared_ptr<const DecodedPage> Lookup(PageId id);
+
+  /// Inserts (or replaces) a decoded page, evicting LRU pages as needed.
+  void Insert(PageId id, std::shared_ptr<const DecodedPage> page);
+
+  /// Drops a page (e.g., after a write invalidates it).
+  void Invalidate(PageId id);
+
+  /// Drops every page belonging to a store.
+  void InvalidateStore(uint32_t store_id);
+
+  /// Drops everything (used between benchmark configurations).
+  void Clear();
+
+  void set_capacity(size_t bytes);
+  size_t capacity() const { return capacity_; }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t cached_bytes() const { return used_; }
+
+  /// Allocates a store id for a new paged store.
+  uint32_t NextStoreId() { return next_store_id_++; }
+
+ private:
+  void EvictIfNeeded();
+
+  struct Entry {
+    PageId id;
+    std::shared_ptr<const DecodedPage> page;
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  size_t used_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<PageId, std::list<Entry>::iterator, PageIdHash> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint32_t next_store_id_ = 1;
+};
+
+}  // namespace rel
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_REL_BUFFER_POOL_H_

@@ -1,0 +1,52 @@
+#include "rel/database.h"
+
+namespace sqlgraph {
+namespace rel {
+
+util::Result<Table*> Database::CreateTable(const std::string& name,
+                                           Schema schema, StorageMode mode) {
+  if (tables_.count(name)) {
+    return util::Status::AlreadyExists("table " + name + " exists");
+  }
+  std::unique_ptr<RowStore> store;
+  if (mode == StorageMode::kPaged) {
+    store = std::make_unique<PagedRowStore>(&pool_, schema.num_columns());
+  } else {
+    store = std::make_unique<VectorRowStore>();
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema),
+                                       std::move(store));
+  Table* raw = table.get();
+  tables_.emplace(name, std::move(table));
+  return raw;
+}
+
+Table* Database::GetTable(std::string_view name) {
+  auto it = tables_.find(std::string(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::GetTable(std::string_view name) const {
+  auto it = tables_.find(std::string(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+util::Status Database::DropTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return util::Status::NotFound("table " + name);
+  }
+  tables_.erase(it);
+  return util::Status::OK();
+}
+
+size_t Database::TotalSerializedBytes() const {
+  size_t total = 0;
+  for (const auto& [name, table] : tables_) {
+    total += table->SerializedBytes();
+  }
+  return total;
+}
+
+}  // namespace rel
+}  // namespace sqlgraph

@@ -1,0 +1,103 @@
+#include "rel/index.h"
+
+#include <algorithm>
+
+namespace sqlgraph {
+namespace rel {
+
+namespace {
+template <typename Map>
+util::Status InsertImpl(Map* map, size_t* entries, bool unique,
+                        const std::string& name, const IndexKey& key,
+                        RowId rid) {
+  auto& bucket = (*map)[key];
+  if (unique && !bucket.empty()) {
+    return util::Status::AlreadyExists("duplicate key in unique index " + name);
+  }
+  bucket.push_back(rid);
+  ++*entries;
+  return util::Status::OK();
+}
+
+template <typename Map>
+void RemoveImpl(Map* map, size_t* entries, const IndexKey& key, RowId rid) {
+  auto it = map->find(key);
+  if (it == map->end()) return;
+  auto& bucket = it->second;
+  auto pos = std::find(bucket.begin(), bucket.end(), rid);
+  if (pos == bucket.end()) return;
+  bucket.erase(pos);
+  --*entries;
+  if (bucket.empty()) map->erase(it);
+}
+}  // namespace
+
+Value Index::ExtractJsonVal(const Value& column_value) const {
+  if (!column_value.is_json()) return Value::Null();
+  const json::JsonValue* member = column_value.AsJson().Find(json_key_);
+  if (member == nullptr) return Value::Null();
+  switch (member->type()) {
+    case json::JsonType::kNull: return Value::Null();
+    case json::JsonType::kBool: return Value(member->AsBool());
+    case json::JsonType::kInt: return Value(member->AsInt());
+    case json::JsonType::kDouble: return Value(member->AsDouble());
+    case json::JsonType::kString: return Value(member->AsString());
+    default: return Value(*member);  // arrays/objects stay JSON
+  }
+}
+
+util::Status HashIndex::Insert(const IndexKey& key, RowId rid) {
+  return InsertImpl(&map_, &entries_, unique_, name_, key, rid);
+}
+
+void HashIndex::Remove(const IndexKey& key, RowId rid) {
+  RemoveImpl(&map_, &entries_, key, rid);
+}
+
+void HashIndex::Lookup(const IndexKey& key, std::vector<RowId>* out) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  out->insert(out->end(), it->second.begin(), it->second.end());
+}
+
+util::Status OrderedIndex::Insert(const IndexKey& key, RowId rid) {
+  return InsertImpl(&map_, &entries_, unique_, name_, key, rid);
+}
+
+void OrderedIndex::Remove(const IndexKey& key, RowId rid) {
+  RemoveImpl(&map_, &entries_, key, rid);
+}
+
+void OrderedIndex::Lookup(const IndexKey& key, std::vector<RowId>* out) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  out->insert(out->end(), it->second.begin(), it->second.end());
+}
+
+void OrderedIndex::Range(const Value& lo, bool lo_inclusive, const Value& hi,
+                         bool hi_inclusive, std::vector<RowId>* out) const {
+  auto it = map_.begin();
+  if (!lo.is_null()) {
+    IndexKey lo_key;
+    lo_key.parts.push_back(lo);
+    it = lo_inclusive ? map_.lower_bound(lo_key) : map_.upper_bound(lo_key);
+    // upper_bound on a 1-part key still admits composite keys with the same
+    // first part; advance past them for the exclusive case.
+    if (!lo_inclusive) {
+      while (it != map_.end() && !it->first.parts.empty() &&
+             it->first.parts[0] == lo) {
+        ++it;
+      }
+    }
+  }
+  for (; it != map_.end(); ++it) {
+    if (!hi.is_null() && !it->first.parts.empty()) {
+      const int c = it->first.parts[0].Compare(hi);
+      if (c > 0 || (c == 0 && !hi_inclusive)) break;
+    }
+    out->insert(out->end(), it->second.begin(), it->second.end());
+  }
+}
+
+}  // namespace rel
+}  // namespace sqlgraph

@@ -1,0 +1,74 @@
+// Striped row-level lock manager.
+//
+// Mature relational engines take row-level locks on update; this striped
+// reader-writer lock table is the lightweight equivalent that lets SQLGraph
+// CRUD stored procedures from many requesters proceed in parallel unless
+// they touch the same stripe. Baseline stores in src/baseline deliberately
+// use coarser locking (see DESIGN.md §5).
+
+#ifndef SQLGRAPH_REL_LOCK_MANAGER_H_
+#define SQLGRAPH_REL_LOCK_MANAGER_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <utility>
+#include <vector>
+
+namespace sqlgraph {
+namespace rel {
+
+class LockManager {
+ public:
+  static constexpr size_t kNumStripes = 256;
+
+  /// RAII shared (read) lock over the stripe owning `key`.
+  class SharedGuard {
+   public:
+    SharedGuard(LockManager* lm, uint64_t key)
+        : lock_(lm->stripes_[StripeOf(key)]) {}
+
+   private:
+    std::shared_lock<std::shared_mutex> lock_;
+  };
+
+  /// RAII exclusive (write) lock over the stripe owning `key`.
+  class ExclusiveGuard {
+   public:
+    ExclusiveGuard(LockManager* lm, uint64_t key)
+        : lock_(lm->stripes_[StripeOf(key)]) {}
+
+   private:
+    std::unique_lock<std::shared_mutex> lock_;
+  };
+
+  /// Exclusive lock over two keys with deadlock-free stripe ordering; used
+  /// by edge operations that touch both endpoint vertices.
+  class PairExclusiveGuard {
+   public:
+    PairExclusiveGuard(LockManager* lm, uint64_t a, uint64_t b) {
+      size_t sa = StripeOf(a), sb = StripeOf(b);
+      if (sa > sb) std::swap(sa, sb);
+      first_.emplace(lm->stripes_[sa]);
+      if (sb != sa) second_.emplace(lm->stripes_[sb]);
+    }
+
+   private:
+    std::optional<std::unique_lock<std::shared_mutex>> first_;
+    std::optional<std::unique_lock<std::shared_mutex>> second_;
+  };
+
+ private:
+  static size_t StripeOf(uint64_t key) {
+    // Fibonacci hashing spreads sequential ids across stripes.
+    return (key * 0x9e3779b97f4a7c15ULL) >> 56;
+  }
+
+  std::array<std::shared_mutex, kNumStripes> stripes_;
+};
+
+}  // namespace rel
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_REL_LOCK_MANAGER_H_

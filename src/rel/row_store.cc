@@ -1,0 +1,208 @@
+#include "rel/row_store.h"
+
+#include <cassert>
+
+namespace sqlgraph {
+namespace rel {
+
+// ---------------------------------------------------------------- Vector --
+
+RowId VectorRowStore::Append(Row row) {
+  rows_.push_back(std::move(row));
+  live_.push_back(true);
+  ++live_count_;
+  return rows_.size() - 1;
+}
+
+util::Status VectorRowStore::Get(RowId rid, Row* out) const {
+  if (rid >= rows_.size() || !live_[rid]) {
+    return util::Status::NotFound("row " + std::to_string(rid));
+  }
+  *out = rows_[rid];
+  return util::Status::OK();
+}
+
+util::Status VectorRowStore::Update(RowId rid, Row row) {
+  if (rid >= rows_.size() || !live_[rid]) {
+    return util::Status::NotFound("row " + std::to_string(rid));
+  }
+  rows_[rid] = std::move(row);
+  return util::Status::OK();
+}
+
+util::Status VectorRowStore::Delete(RowId rid) {
+  if (rid >= rows_.size() || !live_[rid]) {
+    return util::Status::NotFound("row " + std::to_string(rid));
+  }
+  live_[rid] = false;
+  rows_[rid].clear();
+  rows_[rid].shrink_to_fit();
+  --live_count_;
+  return util::Status::OK();
+}
+
+bool VectorRowStore::IsLive(RowId rid) const {
+  return rid < rows_.size() && live_[rid];
+}
+
+void VectorRowStore::Scan(
+    const std::function<void(RowId, const Row&)>& visit) const {
+  for (RowId rid = 0; rid < rows_.size(); ++rid) {
+    if (live_[rid]) visit(rid, rows_[rid]);
+  }
+}
+
+size_t VectorRowStore::SerializedBytes() const {
+  size_t total = 0;
+  std::string scratch;
+  for (RowId rid = 0; rid < rows_.size(); ++rid) {
+    if (!live_[rid]) continue;
+    scratch.clear();
+    EncodeRow(rows_[rid], &scratch);
+    total += scratch.size();
+  }
+  return total;
+}
+
+// ----------------------------------------------------------------- Paged --
+
+PagedRowStore::PagedRowStore(BufferPool* pool, size_t num_columns,
+                             size_t rows_per_page)
+    : pool_(pool),
+      store_id_(pool->NextStoreId()),
+      num_columns_(num_columns),
+      rows_per_page_(rows_per_page) {
+  assert(rows_per_page_ > 0);
+}
+
+void PagedRowStore::SealTailIfFull() {
+  if (tail_.size() < rows_per_page_) return;
+  std::string blob;
+  for (const Row& r : tail_) EncodeRow(r, &blob);
+  serialized_bytes_ += blob.size();
+  page_blobs_.push_back(std::move(blob));
+  tail_.clear();
+}
+
+RowId PagedRowStore::Append(Row row) {
+  assert(row.size() == num_columns_);
+  tail_.push_back(std::move(row));
+  live_.push_back(true);
+  ++live_count_;
+  const RowId rid = num_rows_++;
+  SealTailIfFull();
+  return rid;
+}
+
+std::shared_ptr<const DecodedPage> PagedRowStore::FetchPage(
+    uint32_t page_index) const {
+  const PageId id{store_id_, page_index};
+  if (auto cached = pool_->Lookup(id)) return cached;
+  // Miss: decode the blob (this is the real cost the pool budget controls).
+  const std::string& blob = page_blobs_[page_index];
+  auto page = std::make_shared<DecodedPage>();
+  page->rows.reserve(rows_per_page_);
+  size_t offset = 0;
+  while (offset < blob.size()) {
+    Row row;
+    util::Status st = DecodeRow(blob, num_columns_, &offset, &row);
+    assert(st.ok());
+    (void)st;
+    page->byte_size += 64;
+    for (const Value& v : row) page->byte_size += v.ByteSize();
+    page->rows.push_back(std::move(row));
+  }
+  pool_->Insert(id, page);
+  return page;
+}
+
+void PagedRowStore::StorePage(uint32_t page_index, DecodedPage page) {
+  std::string blob;
+  for (const Row& r : page.rows) EncodeRow(r, &blob);
+  serialized_bytes_ -= page_blobs_[page_index].size();
+  serialized_bytes_ += blob.size();
+  page_blobs_[page_index] = std::move(blob);
+  page.byte_size = 64;
+  for (const Row& r : page.rows) {
+    for (const Value& v : r) page.byte_size += v.ByteSize();
+  }
+  pool_->Insert(PageId{store_id_, page_index},
+                std::make_shared<DecodedPage>(std::move(page)));
+}
+
+util::Status PagedRowStore::Get(RowId rid, Row* out) const {
+  if (rid >= num_rows_ || !live_[rid]) {
+    return util::Status::NotFound("row " + std::to_string(rid));
+  }
+  const size_t page_index = rid / rows_per_page_;
+  const size_t slot = rid % rows_per_page_;
+  if (page_index >= page_blobs_.size()) {
+    // Row still in the unsealed tail.
+    *out = tail_[rid - page_blobs_.size() * rows_per_page_];
+    return util::Status::OK();
+  }
+  auto page = FetchPage(static_cast<uint32_t>(page_index));
+  *out = page->rows[slot];
+  return util::Status::OK();
+}
+
+util::Status PagedRowStore::Update(RowId rid, Row row) {
+  if (rid >= num_rows_ || !live_[rid]) {
+    return util::Status::NotFound("row " + std::to_string(rid));
+  }
+  const size_t page_index = rid / rows_per_page_;
+  const size_t slot = rid % rows_per_page_;
+  if (page_index >= page_blobs_.size()) {
+    tail_[rid - page_blobs_.size() * rows_per_page_] = std::move(row);
+    return util::Status::OK();
+  }
+  auto page = FetchPage(static_cast<uint32_t>(page_index));
+  DecodedPage updated = *page;
+  updated.rows[slot] = std::move(row);
+  StorePage(static_cast<uint32_t>(page_index), std::move(updated));
+  return util::Status::OK();
+}
+
+util::Status PagedRowStore::Delete(RowId rid) {
+  if (rid >= num_rows_ || !live_[rid]) {
+    return util::Status::NotFound("row " + std::to_string(rid));
+  }
+  live_[rid] = false;
+  --live_count_;
+  return util::Status::OK();
+}
+
+bool PagedRowStore::IsLive(RowId rid) const {
+  return rid < num_rows_ && live_[rid];
+}
+
+size_t PagedRowStore::SerializedBytes() const {
+  // Sealed pages are pre-accounted; the unsealed tail is encoded on demand.
+  size_t total = serialized_bytes_;
+  std::string scratch;
+  for (const Row& row : tail_) {
+    scratch.clear();
+    EncodeRow(row, &scratch);
+    total += scratch.size();
+  }
+  return total;
+}
+
+void PagedRowStore::Scan(
+    const std::function<void(RowId, const Row&)>& visit) const {
+  RowId rid = 0;
+  for (size_t p = 0; p < page_blobs_.size(); ++p) {
+    auto page = FetchPage(static_cast<uint32_t>(p));
+    for (const Row& row : page->rows) {
+      if (live_[rid]) visit(rid, row);
+      ++rid;
+    }
+  }
+  for (const Row& row : tail_) {
+    if (live_[rid]) visit(rid, row);
+    ++rid;
+  }
+}
+
+}  // namespace rel
+}  // namespace sqlgraph

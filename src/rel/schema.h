@@ -1,0 +1,84 @@
+// Relational table schemas.
+
+#ifndef SQLGRAPH_REL_SCHEMA_H_
+#define SQLGRAPH_REL_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rel/value.h"
+
+namespace sqlgraph {
+namespace rel {
+
+struct Column {
+  std::string name;
+  ColumnType type;
+  bool nullable = true;
+};
+
+/// \brief Ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Returns the index of the named column or -1.
+  int FindColumn(std::string_view name) const {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  void AddColumn(std::string name, ColumnType type, bool nullable = true) {
+    columns_.push_back(Column{std::move(name), type, nullable});
+  }
+
+  /// Checks a row for arity and (loose) type compatibility. NULLs pass any
+  /// nullable column; integers are accepted by double columns.
+  util::Status ValidateRow(const Row& row) const {
+    if (row.size() != columns_.size()) {
+      return util::Status::InvalidArgument(
+          "row arity " + std::to_string(row.size()) + " != schema arity " +
+          std::to_string(columns_.size()));
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      const Value& v = row[i];
+      const Column& c = columns_[i];
+      if (v.is_null()) {
+        if (!c.nullable) {
+          return util::Status::InvalidArgument("NULL in non-nullable column " +
+                                               c.name);
+        }
+        continue;
+      }
+      bool ok = false;
+      switch (c.type) {
+        case ColumnType::kInt64: ok = v.is_int(); break;
+        case ColumnType::kDouble: ok = v.is_number(); break;
+        case ColumnType::kString: ok = v.is_string(); break;
+        case ColumnType::kBool: ok = v.is_bool(); break;
+        case ColumnType::kJson: ok = v.is_json(); break;
+      }
+      if (!ok) {
+        return util::Status::TypeError("value for column " + c.name +
+                                       " has wrong type");
+      }
+    }
+    return util::Status::OK();
+  }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace rel
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_REL_SCHEMA_H_

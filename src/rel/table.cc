@@ -1,0 +1,178 @@
+#include "rel/table.h"
+
+#include <algorithm>
+
+namespace sqlgraph {
+namespace rel {
+
+util::Result<RowId> Table::Insert(Row row) {
+  RETURN_NOT_OK(schema_.ValidateRow(row));
+  // Check unique constraints before touching anything.
+  for (const auto& index : indexes_) {
+    if (!index->unique()) continue;
+    const IndexKey key = index->KeyFromRow(row);
+    std::vector<RowId> hits;
+    index->Lookup(key, &hits);
+    if (!hits.empty()) {
+      return util::Status::Conflict("unique index " + index->name() +
+                                    " violation in table " + name_);
+    }
+  }
+  const RowId rid = store_->Append(std::move(row));
+  Row stored;
+  util::Status st = store_->Get(rid, &stored);
+  if (!st.ok()) return st;
+  for (const auto& index : indexes_) {
+    st = index->Insert(index->KeyFromRow(stored), rid);
+    if (!st.ok()) return st;  // cannot happen: uniqueness pre-checked
+  }
+  return rid;
+}
+
+util::Status Table::Update(RowId rid, Row row) {
+  RETURN_NOT_OK(schema_.ValidateRow(row));
+  Row old_row;
+  RETURN_NOT_OK(store_->Get(rid, &old_row));
+  for (const auto& index : indexes_) {
+    if (!index->unique()) continue;
+    const IndexKey new_key = index->KeyFromRow(row);
+    const IndexKey old_key = index->KeyFromRow(old_row);
+    if (new_key == old_key) continue;
+    std::vector<RowId> hits;
+    index->Lookup(new_key, &hits);
+    if (!hits.empty()) {
+      return util::Status::Conflict("unique index " + index->name() +
+                                    " violation in table " + name_);
+    }
+  }
+  for (const auto& index : indexes_) {
+    index->Remove(index->KeyFromRow(old_row), rid);
+  }
+  RETURN_NOT_OK(store_->Update(rid, std::move(row)));
+  Row stored;
+  RETURN_NOT_OK(store_->Get(rid, &stored));
+  for (const auto& index : indexes_) {
+    RETURN_NOT_OK(index->Insert(index->KeyFromRow(stored), rid));
+  }
+  return util::Status::OK();
+}
+
+util::Status Table::Delete(RowId rid) {
+  Row old_row;
+  RETURN_NOT_OK(store_->Get(rid, &old_row));
+  for (const auto& index : indexes_) {
+    index->Remove(index->KeyFromRow(old_row), rid);
+  }
+  return store_->Delete(rid);
+}
+
+util::Status Table::CreateIndex(std::string index_name,
+                                const std::vector<std::string>& column_names,
+                                IndexKind kind, bool unique) {
+  std::vector<int> column_ids;
+  for (const auto& cn : column_names) {
+    const int c = schema_.FindColumn(cn);
+    if (c < 0) {
+      return util::Status::InvalidArgument("no column " + cn + " in table " +
+                                           name_);
+    }
+    column_ids.push_back(c);
+  }
+  std::unique_ptr<Index> index;
+  if (kind == IndexKind::kHash) {
+    index = std::make_unique<HashIndex>(std::move(index_name),
+                                        std::move(column_ids), unique);
+  } else {
+    index = std::make_unique<OrderedIndex>(std::move(index_name),
+                                           std::move(column_ids), unique);
+  }
+  // Backfill from existing rows.
+  util::Status backfill = util::Status::OK();
+  store_->Scan([&](RowId rid, const Row& row) {
+    if (!backfill.ok()) return;
+    backfill = index->Insert(index->KeyFromRow(row), rid);
+  });
+  RETURN_NOT_OK(backfill);
+  indexes_.push_back(std::move(index));
+  return util::Status::OK();
+}
+
+util::Status Table::CreateJsonIndex(std::string index_name,
+                                    const std::string& json_column,
+                                    const std::string& key, IndexKind kind) {
+  const int c = schema_.FindColumn(json_column);
+  if (c < 0) {
+    return util::Status::InvalidArgument("no column " + json_column +
+                                         " in table " + name_);
+  }
+  if (schema_.column(static_cast<size_t>(c)).type != ColumnType::kJson) {
+    return util::Status::InvalidArgument(json_column + " is not a JSON column");
+  }
+  std::unique_ptr<Index> index;
+  std::vector<int> column_ids{c};
+  if (kind == IndexKind::kHash) {
+    index = std::make_unique<HashIndex>(std::move(index_name),
+                                        std::move(column_ids), false);
+  } else {
+    index = std::make_unique<OrderedIndex>(std::move(index_name),
+                                           std::move(column_ids), false);
+  }
+  index->set_json_key(key);
+  util::Status backfill = util::Status::OK();
+  store_->Scan([&](RowId rid, const Row& row) {
+    if (!backfill.ok()) return;
+    backfill = index->Insert(index->KeyFromRow(row), rid);
+  });
+  RETURN_NOT_OK(backfill);
+  indexes_.push_back(std::move(index));
+  return util::Status::OK();
+}
+
+const Index* Table::FindJsonIndex(int column_id, std::string_view key,
+                                  IndexKind kind) const {
+  for (const auto& index : indexes_) {
+    if (index->is_json() && index->kind() == kind &&
+        index->column_ids()[0] == column_id && index->json_key() == key) {
+      return index.get();
+    }
+  }
+  return nullptr;
+}
+
+const Index* Table::FindIndex(const std::vector<int>& column_ids) const {
+  for (const auto& index : indexes_) {
+    if (!index->is_json() && index->column_ids() == column_ids) {
+      return index.get();
+    }
+  }
+  return nullptr;
+}
+
+const Index* Table::FindIndexOnColumn(int column_id, IndexKind kind) const {
+  const Index* fallback = nullptr;
+  for (const auto& index : indexes_) {
+    if (index->is_json() || index->column_ids().empty() ||
+        index->column_ids()[0] != column_id) {
+      continue;
+    }
+    if (index->kind() != kind) continue;
+    if (index->column_ids().size() == 1) return index.get();
+    if (fallback == nullptr) fallback = index.get();
+  }
+  return fallback;
+}
+
+util::Result<std::vector<RowId>> Table::LookupEq(
+    const std::vector<int>& column_ids, const IndexKey& key) const {
+  const Index* index = FindIndex(column_ids);
+  if (index == nullptr) {
+    return util::Status::InvalidArgument("no index on requested columns of " +
+                                         name_);
+  }
+  std::vector<RowId> out;
+  index->Lookup(key, &out);
+  return out;
+}
+
+}  // namespace rel
+}  // namespace sqlgraph

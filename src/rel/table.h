@@ -1,0 +1,96 @@
+// A relational table: schema + row storage + maintained secondary indexes.
+
+#ifndef SQLGRAPH_REL_TABLE_H_
+#define SQLGRAPH_REL_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rel/index.h"
+#include "rel/row_store.h"
+#include "rel/schema.h"
+#include "util/status.h"
+
+namespace sqlgraph {
+namespace rel {
+
+enum class StorageMode {
+  kResident,  // plain in-memory rows
+  kPaged,     // serialized pages behind the buffer pool
+};
+
+class Table {
+ public:
+  Table(std::string name, Schema schema, std::unique_ptr<RowStore> store)
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        store_(std::move(store)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t NumRows() const { return store_->NumLive(); }
+  size_t SerializedBytes() const { return store_->SerializedBytes(); }
+
+  /// Validates and appends a row, updating all indexes. On a unique-index
+  /// violation the row is rolled back and Conflict is returned.
+  util::Result<RowId> Insert(Row row);
+
+  /// Replaces a row in place, keeping indexes consistent.
+  util::Status Update(RowId rid, Row row);
+
+  /// Tombstones a row and removes its index entries.
+  util::Status Delete(RowId rid);
+
+  util::Status Get(RowId rid, Row* out) const { return store_->Get(rid, out); }
+  bool IsLive(RowId rid) const { return store_->IsLive(rid); }
+
+  void Scan(const std::function<void(RowId, const Row&)>& visit) const {
+    store_->Scan(visit);
+  }
+
+  /// Creates and backfills an index over the named columns.
+  util::Status CreateIndex(std::string index_name,
+                           const std::vector<std::string>& column_names,
+                           IndexKind kind, bool unique = false);
+
+  /// Creates a functional index on JSON_VAL(json_column, key) — the
+  /// equivalent of the user-created attribute indexes in §3.3.
+  util::Status CreateJsonIndex(std::string index_name,
+                               const std::string& json_column,
+                               const std::string& key, IndexKind kind);
+
+  /// Finds a JSON functional index on (column, key) of the given kind.
+  const Index* FindJsonIndex(int column_id, std::string_view key,
+                             IndexKind kind) const;
+
+  /// Finds an index whose leading columns exactly match `column_ids` (order
+  /// sensitive); nullptr if none.
+  const Index* FindIndex(const std::vector<int>& column_ids) const;
+
+  /// Finds any index whose *first* key column is `column_id` (for range
+  /// scans / partial matches); prefers an exact single-column match.
+  const Index* FindIndexOnColumn(int column_id, IndexKind kind) const;
+
+  const std::vector<std::unique_ptr<Index>>& indexes() const {
+    return indexes_;
+  }
+
+  /// Convenience equality lookup via an index on the given columns. Returns
+  /// NotFound-free empty vector when no rows match; InvalidArgument when no
+  /// suitable index exists.
+  util::Result<std::vector<RowId>> LookupEq(
+      const std::vector<int>& column_ids, const IndexKey& key) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::unique_ptr<RowStore> store_;
+  std::vector<std::unique_ptr<Index>> indexes_;
+};
+
+}  // namespace rel
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_REL_TABLE_H_

@@ -1,0 +1,94 @@
+#include "rel/value.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace sqlgraph {
+namespace rel {
+
+const char* ColumnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt64: return "BIGINT";
+    case ColumnType::kDouble: return "DOUBLE";
+    case ColumnType::kString: return "VARCHAR";
+    case ColumnType::kBool: return "BOOLEAN";
+    case ColumnType::kJson: return "JSON";
+  }
+  return "?";
+}
+
+int Value::TypeRank() const {
+  if (is_null()) return 0;
+  if (is_bool()) return 1;
+  if (is_number()) return 2;
+  if (is_string()) return 3;
+  return 4;  // json
+}
+
+int Value::Compare(const Value& other) const {
+  const int ra = TypeRank(), rb = other.TypeRank();
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0: return 0;  // NULL == NULL in index ordering
+    case 1: {
+      bool a = AsBool(), b = other.AsBool();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case 2: {
+      if (is_int() && other.is_int()) {
+        int64_t a = AsInt(), b = other.AsInt();
+        return a == b ? 0 : (a < b ? -1 : 1);
+      }
+      double a = AsDouble(), b = other.AsDouble();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case 3: {
+      int c = AsString().compare(other.AsString());
+      return c == 0 ? 0 : (c < 0 ? -1 : 1);
+    }
+    default: {
+      const std::string a = json::Write(AsJson());
+      const std::string b = json::Write(other.AsJson());
+      int c = a.compare(b);
+      return c == 0 ? 0 : (c < 0 ? -1 : 1);
+    }
+  }
+}
+
+size_t Value::Hash() const {
+  switch (TypeRank()) {
+    case 0: return 0x6e75;
+    case 1: return AsBool() ? 0x7472 : 0x6661;
+    case 2: {
+      // Hash numbers by double so 3 == 3.0 hash identically.
+      double d = AsDouble();
+      if (d == 0.0) d = 0.0;  // normalize -0.0
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return std::hash<uint64_t>{}(bits);
+    }
+    case 3: return std::hash<std::string>{}(AsString());
+    default: return std::hash<std::string>{}(json::Write(AsJson()));
+  }
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_bool()) return AsBool() ? "true" : "false";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) return util::StrFormat("%.12g", AsDouble());
+  if (is_string()) return AsString();
+  return json::Write(AsJson());
+}
+
+size_t Value::ByteSize() const {
+  if (is_null() || is_bool()) return 1;
+  if (is_number()) return 8;
+  if (is_string()) return 8 + AsString().size();
+  return AsJson().ByteSize();
+}
+
+}  // namespace rel
+}  // namespace sqlgraph

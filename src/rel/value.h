@@ -1,0 +1,137 @@
+// Typed SQL values and column types for the relational substrate.
+
+#ifndef SQLGRAPH_REL_VALUE_H_
+#define SQLGRAPH_REL_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "json/json_parser.h"
+#include "json/json_value.h"
+#include "util/status.h"
+
+namespace sqlgraph {
+namespace rel {
+
+enum class ColumnType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+  kBool = 3,
+  kJson = 4,
+};
+
+const char* ColumnTypeName(ColumnType t);
+
+/// \brief A nullable SQL value. NULL is represented by monostate and compares
+/// per SQL semantics in expressions (handled by the evaluator); inside index
+/// keys NULLs compare equal to each other so they can be grouped.
+class Value {
+ public:
+  Value() : repr_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+
+  Value(int64_t v) : repr_(v) {}                        // NOLINT
+  Value(int v) : repr_(static_cast<int64_t>(v)) {}      // NOLINT
+  Value(double v) : repr_(v) {}                         // NOLINT
+  Value(bool v) : repr_(v) {}                           // NOLINT
+  Value(std::string v) : repr_(std::move(v)) {}         // NOLINT
+  Value(const char* v) : repr_(std::string(v)) {}       // NOLINT
+  Value(json::JsonValue v) : repr_(std::move(v)) {}     // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_bool() const { return std::holds_alternative<bool>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+  bool is_json() const { return std::holds_alternative<json::JsonValue>(repr_); }
+
+  int64_t AsInt() const {
+    if (is_double()) return static_cast<int64_t>(std::get<double>(repr_));
+    if (is_bool()) return std::get<bool>(repr_) ? 1 : 0;
+    return std::get<int64_t>(repr_);
+  }
+  double AsDouble() const {
+    if (is_int()) return static_cast<double>(std::get<int64_t>(repr_));
+    return std::get<double>(repr_);
+  }
+  bool AsBool() const {
+    if (is_int()) return std::get<int64_t>(repr_) != 0;
+    return std::get<bool>(repr_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(repr_); }
+  const json::JsonValue& AsJson() const {
+    return std::get<json::JsonValue>(repr_);
+  }
+  json::JsonValue& MutableJson() { return std::get<json::JsonValue>(repr_); }
+
+  /// Total order used by indexes and ORDER BY: NULL < bool < numbers <
+  /// strings < json(text form). Numbers compare cross-type.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Hash consistent with operator== (numbers hash by double value).
+  size_t Hash() const;
+
+  /// Display form used in results and SQL literals in rendered plans.
+  std::string ToString() const;
+
+  /// Approximate in-memory footprint, for storage accounting.
+  size_t ByteSize() const;
+
+ private:
+  int TypeRank() const;
+  std::variant<std::monostate, bool, int64_t, double, std::string,
+               json::JsonValue>
+      repr_;
+};
+
+using Row = std::vector<Value>;
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// Composite key for multi-column indexes.
+struct IndexKey {
+  std::vector<Value> parts;
+
+  bool operator==(const IndexKey& other) const {
+    if (parts.size() != other.parts.size()) return false;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      if (parts[i] != other.parts[i]) return false;
+    }
+    return true;
+  }
+  bool operator<(const IndexKey& other) const {
+    const size_t n = std::min(parts.size(), other.parts.size());
+    for (size_t i = 0; i < n; ++i) {
+      int c = parts[i].Compare(other.parts[i]);
+      if (c != 0) return c < 0;
+    }
+    return parts.size() < other.parts.size();
+  }
+};
+
+struct IndexKeyHash {
+  size_t operator()(const IndexKey& k) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const auto& v : k.parts) {
+      h ^= v.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+}  // namespace rel
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_REL_VALUE_H_

@@ -1,0 +1,120 @@
+#include "sql/ast.h"
+
+#include "util/string_util.h"
+
+namespace sqlgraph {
+namespace sql {
+
+ExprPtr Lit(rel::Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Col(std::string qualifier, std::string column) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->qualifier = std::move(qualifier);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr Col(std::string column) { return Col("", std::move(column)); }
+
+ExprPtr Bin(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bin_op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr Un(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->un_op = op;
+  e->lhs = std::move(operand);
+  return e;
+}
+
+ExprPtr Func(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kFunc;
+  e->func_name = util::ToLower(name);
+  // Canonical upper-case function names.
+  for (auto& c : e->func_name) {
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+  }
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr CastTo(ExprPtr inner, rel::ColumnType type) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kCast;
+  e->lhs = std::move(inner);
+  e->cast_type = type;
+  return e;
+}
+
+ExprPtr Star() {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kStar;
+  return e;
+}
+
+ExprPtr InList(ExprPtr probe, std::vector<ExprPtr> values, bool negated) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kInList;
+  e->lhs = std::move(probe);
+  e->in_list = std::move(values);
+  e->negated = negated;
+  return e;
+}
+
+ExprPtr InSubquery(ExprPtr probe, SelectPtr subquery, bool negated) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kInSubquery;
+  e->lhs = std::move(probe);
+  e->subquery = std::move(subquery);
+  e->negated = negated;
+  return e;
+}
+
+namespace {
+bool IsAggregateName(const std::string& name) {
+  return name == "COUNT" || name == "SUM" || name == "MIN" || name == "MAX" ||
+         name == "AVG";
+}
+}  // namespace
+
+bool ContainsAggregate(const ExprPtr& e) {
+  if (e == nullptr) return false;
+  switch (e->kind) {
+    case ExprKind::kFunc:
+      if (IsAggregateName(e->func_name)) return true;
+      for (const auto& a : e->args) {
+        if (ContainsAggregate(a)) return true;
+      }
+      return false;
+    case ExprKind::kBinary:
+      return ContainsAggregate(e->lhs) || ContainsAggregate(e->rhs);
+    case ExprKind::kUnary:
+    case ExprKind::kCast:
+      return ContainsAggregate(e->lhs);
+    case ExprKind::kInList: {
+      if (ContainsAggregate(e->lhs)) return true;
+      for (const auto& a : e->in_list) {
+        if (ContainsAggregate(a)) return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace sql
+}  // namespace sqlgraph

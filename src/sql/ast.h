@@ -1,0 +1,212 @@
+// SQL abstract syntax tree for the subset emitted by the Gremlin translator
+// (paper §4.3, Table 8): CTE pipelines (WITH [RECURSIVE]), SELECT [DISTINCT]
+// over comma/LEFT-OUTER joins, lateral TABLE(VALUES ...) unnest, UNION [ALL]
+// / INTERSECT / EXCEPT, scalar expressions including JSON_VAL and the path
+// UDFs, aggregates, LIMIT/OFFSET.
+//
+// The same AST is produced by the translator, rendered to SQL text, parsed
+// back by sql/parser.h, and executed by sql/executor.h — proving the emitted
+// SQL is real SQL, not an internal IR.
+
+#ifndef SQLGRAPH_SQL_AST_H_
+#define SQLGRAPH_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rel/value.h"
+
+namespace sqlgraph {
+namespace sql {
+
+// ------------------------------------------------------------ Expressions --
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kBinary,
+  kUnary,
+  kFunc,
+  kCast,
+  kInList,
+  kInSubquery,
+  kStar,  // only valid inside COUNT(*)
+};
+
+enum class BinaryOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kLike,
+  kConcat,  // ||
+};
+
+enum class UnaryOp {
+  kNot,
+  kIsNull,
+  kIsNotNull,
+  kNeg,
+};
+
+struct SelectStmt;
+using SelectPtr = std::shared_ptr<SelectStmt>;
+
+/// One SQL scalar expression node.
+struct Expr {
+  ExprKind kind;
+
+  // kLiteral
+  rel::Value literal;
+
+  // kColumnRef: `qualifier.column` or bare `column` (qualifier empty).
+  std::string qualifier;
+  std::string column;
+
+  // kBinary / kUnary
+  BinaryOp bin_op = BinaryOp::kEq;
+  UnaryOp un_op = UnaryOp::kNot;
+  ExprPtr lhs;
+  ExprPtr rhs;
+
+  // kFunc: name uppercased; args in order. Recognized scalar functions:
+  // JSON_VAL, COALESCE, PATH_APPEND, PATH_ELEM, IS_SIMPLE_PATH, PATH_LEN,
+  // LENGTH, ABS, LOWER, UPPER.
+  // Recognized aggregates: COUNT, SUM, MIN, MAX, AVG (COUNT may take kStar).
+  std::string func_name;
+  std::vector<ExprPtr> args;
+  bool distinct_arg = false;  // COUNT(DISTINCT x)
+
+  // kCast
+  rel::ColumnType cast_type = rel::ColumnType::kInt64;
+
+  // kInList / kInSubquery
+  bool negated = false;            // NOT IN
+  std::vector<ExprPtr> in_list;    // kInList
+  SelectPtr subquery;              // kInSubquery
+};
+
+ExprPtr Lit(rel::Value v);
+ExprPtr Col(std::string qualifier, std::string column);
+ExprPtr Col(std::string column);
+ExprPtr Bin(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr Un(UnaryOp op, ExprPtr operand);
+ExprPtr Func(std::string name, std::vector<ExprPtr> args);
+ExprPtr CastTo(ExprPtr e, rel::ColumnType type);
+ExprPtr Star();
+ExprPtr InList(ExprPtr probe, std::vector<ExprPtr> values, bool negated);
+ExprPtr InSubquery(ExprPtr probe, SelectPtr subquery, bool negated);
+
+/// True if the expression contains an aggregate function call.
+bool ContainsAggregate(const ExprPtr& e);
+
+// ------------------------------------------------------------- Table refs --
+
+enum class JoinType {
+  kComma,      // implicit cross join constrained by WHERE (first ref uses this too)
+  kInner,      // JOIN ... ON
+  kLeftOuter,  // LEFT OUTER JOIN ... ON
+};
+
+enum class TableRefKind {
+  kBaseTable,     // base table or CTE by name
+  kUnnestValues,  // TABLE(VALUES (e),(e),... ) AS t(c) — lateral
+  kUnnestJson,    // TABLE(JSON_EDGES(expr)) AS t(lbl, val) — lateral JSON
+                  // adjacency expansion (engine-internal document parse)
+  kSubquery,      // (SELECT ...) AS t
+};
+
+struct TableRef {
+  TableRefKind kind = TableRefKind::kBaseTable;
+  std::string table_name;  // kBaseTable
+  std::string alias;       // exposure name (defaults to table_name)
+
+  // kUnnestValues: each inner vector is one VALUES row.
+  std::vector<std::vector<ExprPtr>> values_rows;
+  std::vector<std::string> column_aliases;  // AS t(val, ...)
+
+  // kUnnestJson: the serialized adjacency document to expand. Emits one row
+  // per edge entry; with one column alias the row is (val), with two it is
+  // (lbl, val), with three (lbl, eid, val).
+  ExprPtr json_doc;
+
+  // kSubquery
+  SelectPtr subquery;
+
+  JoinType join = JoinType::kComma;
+  ExprPtr on;  // for kInner / kLeftOuter
+
+  const std::string& exposure() const {
+    return alias.empty() ? table_name : alias;
+  }
+};
+
+// ----------------------------------------------------------------- SELECT --
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // optional AS name
+  bool is_star = false;
+  std::string star_qualifier;  // `v.*`
+};
+
+enum class SetOpKind { kUnionAll, kUnion, kIntersect, kExcept };
+
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;  // may be null
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;  // may be null
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+  std::optional<int64_t> offset;
+
+  // Chained set operations: `this  <op> rhs  <op> rhs ...` evaluated left to
+  // right with equal precedence (matching the renderer's parenthesization).
+  struct SetOp {
+    SetOpKind kind;
+    SelectPtr rhs;
+  };
+  std::vector<SetOp> set_ops;
+};
+
+// -------------------------------------------------------------- Top level --
+
+struct Cte {
+  std::string name;
+  std::vector<std::string> column_aliases;  // optional: name(col, ...)
+  SelectPtr select;
+  bool recursive = false;  // this CTE references itself (base UNION ALL step)
+};
+
+/// A full query: WITH chain plus final SELECT, exactly the shape the
+/// Gremlin translator produces (paper Fig. 7).
+struct SqlQuery {
+  std::vector<Cte> ctes;
+  SelectPtr final_select;
+};
+
+}  // namespace sql
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_SQL_AST_H_

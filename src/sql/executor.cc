@@ -1,0 +1,1603 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sql/expr_eval.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+#include "sql/render.h"
+
+namespace sqlgraph {
+namespace sql {
+
+using rel::Row;
+using rel::Value;
+using util::Result;
+using util::Status;
+
+namespace {
+
+/// A resolved FROM item: either an indexable base table or materialized rows.
+struct Relation {
+  std::vector<std::string> columns;
+  const rel::Table* base = nullptr;
+  const ResultSet* borrowed = nullptr;
+  std::shared_ptr<ResultSet> owned;
+  // Column pruning (projection pushdown): when non-empty, only these
+  // base-table column indexes are carried into join rows. Wide tables like
+  // OPA (3 columns per triad) shrink to the handful of referenced columns.
+  std::vector<int> projection;
+
+  const std::vector<Row>* rows() const {
+    if (borrowed != nullptr) return &borrowed->rows;
+    if (owned != nullptr) return &owned->rows;
+    return nullptr;
+  }
+
+  /// Applies the projection to a freshly fetched base-table row.
+  Row Project(const Row& full) const {
+    if (projection.empty()) return full;
+    Row out;
+    out.reserve(projection.size());
+    for (int c : projection) out.push_back(full[static_cast<size_t>(c)]);
+    return out;
+  }
+};
+
+/// Collects which columns of `alias` the statement references anywhere
+/// (select list, WHERE, JOIN ON, lateral VALUES, GROUP BY/HAVING/ORDER BY).
+/// Returns false when everything is needed (star or unresolvable use).
+bool CollectNeededColumns(const SelectStmt& s, const std::string& alias,
+                          std::unordered_set<std::string>* needed) {
+  bool all = false;
+  std::function<void(const ExprPtr&)> walk = [&](const ExprPtr& e) {
+    if (e == nullptr || all) return;
+    if (e->kind == ExprKind::kColumnRef) {
+      // Unqualified references are conservatively attributed to every ref.
+      if (e->qualifier.empty() || e->qualifier == alias) {
+        needed->insert(e->column);
+      }
+      return;
+    }
+    if (e->kind == ExprKind::kStar) return;
+    walk(e->lhs);
+    walk(e->rhs);
+    for (const auto& a : e->args) walk(a);
+    for (const auto& a : e->in_list) walk(a);
+    // Uncorrelated subqueries cannot reference this scope in our templates.
+  };
+  for (const auto& item : s.items) {
+    if (item.is_star &&
+        (item.star_qualifier.empty() || item.star_qualifier == alias)) {
+      all = true;
+    }
+    walk(item.expr);
+  }
+  walk(s.where);
+  walk(s.having);
+  for (const auto& g : s.group_by) walk(g);
+  for (const auto& o : s.order_by) walk(o.expr);
+  for (const auto& ref : s.from) {
+    walk(ref.on);
+    walk(ref.json_doc);
+    for (const auto& row : ref.values_rows) {
+      for (const auto& e : row) walk(e);
+    }
+  }
+  return !all;
+}
+
+/// Aggregate accumulator for one select item.
+struct AggState {
+  enum Kind { kCountStar, kCount, kCountDistinct, kSum, kMin, kMax, kAvg };
+  Kind kind;
+  int64_t count = 0;
+  bool any_double = false;
+  int64_t isum = 0;
+  double dsum = 0;
+  Value extreme;  // MIN/MAX
+  std::unordered_set<Value, rel::ValueHash> distinct;
+
+  void Add(const Value& v) {
+    switch (kind) {
+      case kCountStar:
+        ++count;
+        return;
+      case kCount:
+        if (!v.is_null()) ++count;
+        return;
+      case kCountDistinct:
+        if (!v.is_null()) distinct.insert(v);
+        return;
+      case kSum:
+      case kAvg:
+        if (v.is_null()) return;
+        ++count;
+        if (v.is_double()) {
+          any_double = true;
+          dsum += v.AsDouble();
+        } else {
+          isum += v.AsInt();
+          dsum += v.AsDouble();
+        }
+        return;
+      case kMin:
+      case kMax:
+        if (v.is_null()) return;
+        if (extreme.is_null()) {
+          extreme = v;
+        } else if ((kind == kMin && v.Compare(extreme) < 0) ||
+                   (kind == kMax && v.Compare(extreme) > 0)) {
+          extreme = v;
+        }
+        return;
+    }
+  }
+
+  Value Finish() const {
+    switch (kind) {
+      case kCountStar:
+      case kCount:
+        return Value(count);
+      case kCountDistinct:
+        return Value(static_cast<int64_t>(distinct.size()));
+      case kSum:
+        if (count == 0) return Value::Null();
+        return any_double ? Value(dsum) : Value(isum);
+      case kAvg:
+        if (count == 0) return Value::Null();
+        return Value(dsum / static_cast<double>(count));
+      case kMin:
+      case kMax:
+        return extreme;
+    }
+    return Value::Null();
+  }
+};
+
+bool IsAggregateCall(const Expr& e, AggState::Kind* kind) {
+  if (e.kind != ExprKind::kFunc) return false;
+  if (e.func_name == "COUNT") {
+    if (e.distinct_arg) {
+      *kind = AggState::kCountDistinct;
+    } else if (e.args.size() == 1 && e.args[0]->kind == ExprKind::kStar) {
+      *kind = AggState::kCountStar;
+    } else {
+      *kind = AggState::kCount;
+    }
+    return true;
+  }
+  if (e.func_name == "SUM") {
+    *kind = AggState::kSum;
+    return true;
+  }
+  if (e.func_name == "MIN") {
+    *kind = AggState::kMin;
+    return true;
+  }
+  if (e.func_name == "MAX") {
+    *kind = AggState::kMax;
+    return true;
+  }
+  if (e.func_name == "AVG") {
+    *kind = AggState::kAvg;
+    return true;
+  }
+  return false;
+}
+
+/// Output column name for a select item.
+std::string ItemName(const SelectItem& item, size_t index) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr != nullptr && item.expr->kind == ExprKind::kColumnRef) {
+    return item.expr->column;
+  }
+  return "c" + std::to_string(index);
+}
+
+}  // namespace
+
+// ===========================================================================
+
+class Executor::Impl {
+ public:
+  Impl(rel::Database* db, const Options& options, ExecStats* stats)
+      : db_(db), options_(options), stats_(stats) {}
+
+  Result<ResultSet> ExecuteQuery(const SqlQuery& q) {
+    for (const Cte& cte : q.ctes) {
+      context_ = cte.name;
+      if (cte.recursive) {
+        RETURN_NOT_OK(ExecRecursiveCte(cte));
+      } else {
+        ASSIGN_OR_RETURN(ResultSet res, ExecSelect(*cte.select));
+        RETURN_NOT_OK(ApplyCteAliases(cte, &res));
+        ctes_[cte.name] = std::move(res);
+      }
+    }
+    context_ = "final";
+    return ExecSelect(*q.final_select);
+  }
+
+ private:
+  // ------------------------------------------------------------- CTEs ----
+
+  static Status ApplyCteAliases(const Cte& cte, ResultSet* res) {
+    if (cte.column_aliases.empty()) return Status::OK();
+    if (cte.column_aliases.size() != res->columns.size()) {
+      return Status::InvalidArgument("CTE " + cte.name +
+                                     " column alias arity mismatch");
+    }
+    res->columns = cte.column_aliases;
+    return Status::OK();
+  }
+
+  Status ExecRecursiveCte(const Cte& cte) {
+    const SelectStmt& whole = *cte.select;
+    if (whole.set_ops.size() != 1) {
+      return Status::NotImplemented(
+          "recursive CTE must be <base> UNION [ALL] <step>");
+    }
+    SelectStmt base = whole;
+    base.set_ops.clear();
+    const SelectStmt& step = *whole.set_ops[0].rhs;
+
+    ASSIGN_OR_RETURN(ResultSet total, ExecSelect(base));
+    RETURN_NOT_OK(ApplyCteAliasesForRecursive(cte, &total));
+    std::unordered_set<Row, RowHash, RowEq> seen(total.rows.begin(),
+                                                 total.rows.end());
+    ResultSet delta = total;
+    int iter = 0;
+    while (!delta.rows.empty()) {
+      if (++iter > options_.max_recursion) {
+        return Status::OutOfRange("recursive CTE " + cte.name + " exceeded " +
+                                  std::to_string(options_.max_recursion) +
+                                  " iterations");
+      }
+      ++stats_->recursive_iterations;
+      ctes_[cte.name] = delta;  // bind the working table
+      ASSIGN_OR_RETURN(ResultSet produced, ExecSelect(step));
+      ResultSet next;
+      next.columns = delta.columns;
+      for (auto& row : produced.rows) {
+        if (seen.insert(row).second) {
+          total.rows.push_back(row);
+          next.rows.push_back(std::move(row));
+        }
+      }
+      delta = std::move(next);
+    }
+    ctes_[cte.name] = std::move(total);
+    return Status::OK();
+  }
+
+  Status ApplyCteAliasesForRecursive(const Cte& cte, ResultSet* res) {
+    return ApplyCteAliases(cte, res);
+  }
+
+  // ----------------------------------------------------------- SELECT ----
+
+  Result<ResultSet> ExecSelect(const SelectStmt& s) {
+    // With set operations, ORDER BY / LIMIT bind to the combined result and
+    // may only reference output columns; otherwise the core handles them
+    // with full input-scope resolution.
+    const bool defer_order_limit = !s.set_ops.empty();
+    ASSIGN_OR_RETURN(ResultSet out, ExecSelectCore(s, defer_order_limit));
+    for (const auto& set_op : s.set_ops) {
+      ASSIGN_OR_RETURN(ResultSet rhs, ExecSelect(*set_op.rhs));
+      if (rhs.columns.size() != out.columns.size()) {
+        return Status::InvalidArgument("set operation arity mismatch");
+      }
+      switch (set_op.kind) {
+        case SetOpKind::kUnionAll:
+          for (auto& r : rhs.rows) out.rows.push_back(std::move(r));
+          break;
+        case SetOpKind::kUnion: {
+          std::unordered_set<Row, RowHash, RowEq> seen(out.rows.begin(),
+                                                       out.rows.end());
+          std::vector<Row> merged;
+          merged.reserve(seen.size());
+          {
+            std::unordered_set<Row, RowHash, RowEq> emitted;
+            for (auto& r : out.rows) {
+              if (emitted.insert(r).second) merged.push_back(std::move(r));
+            }
+            for (auto& r : rhs.rows) {
+              if (emitted.insert(r).second) merged.push_back(std::move(r));
+            }
+          }
+          out.rows = std::move(merged);
+          break;
+        }
+        case SetOpKind::kIntersect: {
+          std::unordered_set<Row, RowHash, RowEq> right(rhs.rows.begin(),
+                                                        rhs.rows.end());
+          std::vector<Row> merged;
+          std::unordered_set<Row, RowHash, RowEq> emitted;
+          for (auto& r : out.rows) {
+            if (right.count(r) && emitted.insert(r).second) {
+              merged.push_back(std::move(r));
+            }
+          }
+          out.rows = std::move(merged);
+          break;
+        }
+        case SetOpKind::kExcept: {
+          std::unordered_set<Row, RowHash, RowEq> right(rhs.rows.begin(),
+                                                        rhs.rows.end());
+          std::vector<Row> merged;
+          std::unordered_set<Row, RowHash, RowEq> emitted;
+          for (auto& r : out.rows) {
+            if (!right.count(r) && emitted.insert(r).second) {
+              merged.push_back(std::move(r));
+            }
+          }
+          out.rows = std::move(merged);
+          break;
+        }
+      }
+    }
+    if (defer_order_limit) RETURN_NOT_OK(ApplyOrderLimit(s, &out));
+    return out;
+  }
+
+  Status ApplyOrderLimit(const SelectStmt& s, ResultSet* out) {
+    if (!s.order_by.empty()) {
+      ColumnEnv env;
+      for (const auto& c : out->columns) env.Add("", c);
+      // Precompute sort keys.
+      std::vector<std::pair<std::vector<Value>, size_t>> keyed;
+      keyed.reserve(out->rows.size());
+      EvalContext ctx;
+      for (size_t i = 0; i < out->rows.size(); ++i) {
+        std::vector<Value> key;
+        key.reserve(s.order_by.size());
+        for (const auto& item : s.order_by) {
+          ASSIGN_OR_RETURN(Value v, EvalExpr(*item.expr, env, out->rows[i], ctx));
+          key.push_back(std::move(v));
+        }
+        keyed.emplace_back(std::move(key), i);
+      }
+      std::stable_sort(keyed.begin(), keyed.end(),
+                       [&](const auto& a, const auto& b) {
+                         for (size_t k = 0; k < s.order_by.size(); ++k) {
+                           int c = a.first[k].Compare(b.first[k]);
+                           if (!s.order_by[k].ascending) c = -c;
+                           if (c != 0) return c < 0;
+                         }
+                         return false;
+                       });
+      std::vector<Row> sorted;
+      sorted.reserve(out->rows.size());
+      for (const auto& [key, idx] : keyed) {
+        sorted.push_back(std::move(out->rows[idx]));
+      }
+      out->rows = std::move(sorted);
+    }
+    const int64_t offset = s.offset.value_or(0);
+    if (offset > 0) {
+      if (static_cast<size_t>(offset) >= out->rows.size()) {
+        out->rows.clear();
+      } else {
+        out->rows.erase(out->rows.begin(), out->rows.begin() + offset);
+      }
+    }
+    if (s.limit.has_value() &&
+        out->rows.size() > static_cast<size_t>(*s.limit)) {
+      out->rows.resize(static_cast<size_t>(*s.limit));
+    }
+    return Status::OK();
+  }
+
+  Status ApplyLimitOffset(const SelectStmt& s, ResultSet* out) {
+    SelectStmt limit_only;
+    limit_only.limit = s.limit;
+    limit_only.offset = s.offset;
+    return ApplyOrderLimit(limit_only, out);
+  }
+
+  /// Sorts the pre-projection rows by the ORDER BY expressions. Bare column
+  /// references that name a select alias are substituted by the aliased
+  /// expression (SQL's output-column ORDER BY), everything else resolves in
+  /// the FROM scope.
+  Status SortInputRows(const SelectStmt& s, const ColumnEnv& env,
+                       const EvalContext& ctx, std::vector<Row>* rows) {
+    std::vector<ExprPtr> order_exprs;
+    for (const auto& item : s.order_by) {
+      ExprPtr e = item.expr;
+      if (e->kind == ExprKind::kColumnRef && e->qualifier.empty() &&
+          env.TryResolve("", e->column) < 0) {
+        for (const auto& sel : s.items) {
+          if (!sel.is_star && sel.alias == e->column) {
+            e = sel.expr;
+            break;
+          }
+        }
+      }
+      order_exprs.push_back(std::move(e));
+    }
+    std::vector<std::pair<std::vector<Value>, size_t>> keyed;
+    keyed.reserve(rows->size());
+    for (size_t i = 0; i < rows->size(); ++i) {
+      std::vector<Value> key;
+      key.reserve(order_exprs.size());
+      for (const auto& e : order_exprs) {
+        ASSIGN_OR_RETURN(Value v, EvalExpr(*e, env, (*rows)[i], ctx));
+        key.push_back(std::move(v));
+      }
+      keyed.emplace_back(std::move(key), i);
+    }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [&](const auto& a, const auto& b) {
+                       for (size_t k = 0; k < s.order_by.size(); ++k) {
+                         int c = a.first[k].Compare(b.first[k]);
+                         if (!s.order_by[k].ascending) c = -c;
+                         if (c != 0) return c < 0;
+                       }
+                       return false;
+                     });
+    std::vector<Row> sorted;
+    sorted.reserve(rows->size());
+    for (const auto& [key, idx] : keyed) sorted.push_back(std::move((*rows)[idx]));
+    *rows = std::move(sorted);
+    return Status::OK();
+  }
+
+  // Core select: FROM/WHERE/aggregate/DISTINCT/projection, plus ORDER BY /
+  // LIMIT unless deferred to the set-operation combiner.
+  Result<ResultSet> ExecSelectCore(const SelectStmt& s,
+                                   bool defer_order_limit) {
+    EvalContext ctx;
+    RETURN_NOT_OK(MaterializeInSubqueries(s, &ctx));
+
+    ColumnEnv env;
+    std::vector<Row> rows;
+    if (s.from.empty()) {
+      rows.emplace_back();  // one empty row: SELECT 1
+    } else {
+      std::vector<ExprPtr> conjuncts;
+      SplitConjuncts(s.where, &conjuncts);
+      std::vector<bool> consumed(conjuncts.size(), false);
+
+      for (size_t ref_index = 0; ref_index < s.from.size(); ++ref_index) {
+        const TableRef& ref = s.from[ref_index];
+        RETURN_NOT_OK(JoinNextRef(s, ref, ref_index == 0, conjuncts,
+                                  &consumed, &env, &rows, &ctx));
+      }
+      // Residual conjuncts (should all be consumed by now, but apply any
+      // stragglers as a final filter for safety).
+      for (size_t i = 0; i < conjuncts.size(); ++i) {
+        if (consumed[i]) continue;
+        if (!IsFullyBound(*conjuncts[i], env)) {
+          return Status::InvalidArgument("unresolvable predicate: " +
+                                         RenderExpr(*conjuncts[i]));
+        }
+        RETURN_NOT_OK(FilterRows(*conjuncts[i], env, ctx, &rows));
+        consumed[i] = true;
+      }
+    }
+
+    // Aggregate or plain projection.
+    bool has_aggregate = !s.group_by.empty();
+    for (const auto& item : s.items) {
+      if (!item.is_star && ContainsAggregate(item.expr)) has_aggregate = true;
+    }
+    if (has_aggregate) {
+      ASSIGN_OR_RETURN(ResultSet out, Aggregate(s, env, rows, ctx));
+      if (!defer_order_limit) RETURN_NOT_OK(ApplyOrderLimit(s, &out));
+      return out;
+    }
+
+    if (!defer_order_limit && !s.order_by.empty()) {
+      RETURN_NOT_OK(SortInputRows(s, env, ctx, &rows));
+    }
+    ResultSet out;
+    RETURN_NOT_OK(Project(s, env, rows, ctx, &out));
+    if (s.distinct) Dedupe(&out);
+    if (!defer_order_limit) RETURN_NOT_OK(ApplyLimitOffset(s, &out));
+    return out;
+  }
+
+  // ------------------------------------------------------ join drivers ----
+
+  Status JoinNextRef(const SelectStmt& s, const TableRef& ref, bool first,
+                     const std::vector<ExprPtr>& conjuncts,
+                     std::vector<bool>* consumed, ColumnEnv* env,
+                     std::vector<Row>* rows, EvalContext* ctx) {
+    ASSIGN_OR_RETURN(Relation relation, ResolveRef(ref));
+    const std::string& alias = ref.exposure();
+    if (relation.base != nullptr) {
+      // Projection pushdown: carry only the referenced columns forward.
+      std::unordered_set<std::string> needed;
+      if (CollectNeededColumns(s, alias, &needed)) {
+        std::vector<int> projection;
+        std::vector<std::string> pruned_names;
+        const rel::Schema& schema = relation.base->schema();
+        for (size_t c = 0; c < schema.num_columns(); ++c) {
+          if (needed.count(schema.column(c).name)) {
+            projection.push_back(static_cast<int>(c));
+            pruned_names.push_back(schema.column(c).name);
+          }
+        }
+        if (projection.size() < schema.num_columns()) {
+          relation.projection = std::move(projection);
+          relation.columns = std::move(pruned_names);
+        }
+      }
+    }
+
+    // Env after this ref joins in.
+    ColumnEnv next_env = *env;
+    std::vector<std::string> ref_columns;
+    if (ref.kind == TableRefKind::kUnnestValues ||
+        ref.kind == TableRefKind::kUnnestJson) {
+      ref_columns = ref.column_aliases;
+    } else {
+      ref_columns = relation.columns;
+    }
+    for (const auto& c : ref_columns) next_env.Add(alias, c);
+
+    // WHERE conjuncts that become decidable once this ref is joined.
+    std::vector<ExprPtr> applicable;
+    std::vector<size_t> applicable_ids;
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      if ((*consumed)[i]) continue;
+      if (IsFullyBound(*conjuncts[i], next_env) &&
+          (first || !IsFullyBound(*conjuncts[i], *env))) {
+        applicable.push_back(conjuncts[i]);
+        applicable_ids.push_back(i);
+      } else if (first && IsFullyBound(*conjuncts[i], next_env)) {
+        applicable.push_back(conjuncts[i]);
+        applicable_ids.push_back(i);
+      }
+    }
+
+    Status st;
+    if (ref.join == JoinType::kLeftOuter) {
+      st = LeftOuterJoin(ref, relation, alias, ref_columns, *env, next_env,
+                         rows, ctx);
+      // WHERE-clause conjuncts on the nullable side apply after the join.
+      if (st.ok()) {
+        for (size_t k = 0; k < applicable.size(); ++k) {
+          st = FilterRows(*applicable[k], next_env, *ctx, rows);
+          if (!st.ok()) break;
+          (*consumed)[applicable_ids[k]] = true;
+        }
+      }
+      if (st.ok()) *env = std::move(next_env);
+      return st;
+    }
+
+    if (ref.kind == TableRefKind::kUnnestValues ||
+        ref.kind == TableRefKind::kUnnestJson) {
+      // Filters fuse into the lateral expansion: candidate rows that fail
+      // (e.g. the templates' t.val IS NOT NULL) are never materialized.
+      st = ref.kind == TableRefKind::kUnnestValues
+               ? UnnestValues(ref, next_env, applicable, rows, ctx)
+               : UnnestJson(ref, next_env, applicable, rows, ctx);
+      if (!st.ok()) return st;
+      for (size_t k = 0; k < applicable.size(); ++k) {
+        (*consumed)[applicable_ids[k]] = true;
+      }
+      *env = std::move(next_env);
+      return Status::OK();
+    } else if (first) {
+      st = AccessFirst(relation, alias, next_env, applicable, &applicable_ids,
+                       consumed, rows, ctx);
+      *env = std::move(next_env);
+      return st;
+    } else {
+      st = JoinInner(ref, relation, alias, ref_columns, *env, next_env,
+                     applicable, &applicable_ids, consumed, rows, ctx);
+      if (st.ok()) *env = std::move(next_env);
+      return st;
+    }
+    if (!st.ok()) return st;
+    for (size_t k = 0; k < applicable.size(); ++k) {
+      RETURN_NOT_OK(FilterRows(*applicable[k], next_env, *ctx, rows));
+      (*consumed)[applicable_ids[k]] = true;
+    }
+    *env = std::move(next_env);
+    return Status::OK();
+  }
+
+  Result<Relation> ResolveRef(const TableRef& ref) {
+    Relation relation;
+    switch (ref.kind) {
+      case TableRefKind::kBaseTable: {
+        auto it = ctes_.find(ref.table_name);
+        if (it != ctes_.end()) {
+          relation.borrowed = &it->second;
+          relation.columns = it->second.columns;
+          return relation;
+        }
+        const rel::Table* table = db_->GetTable(ref.table_name);
+        if (table == nullptr) {
+          return Status::NotFound("unknown table " + ref.table_name);
+        }
+        relation.base = table;
+        for (const auto& c : table->schema().columns()) {
+          relation.columns.push_back(c.name);
+        }
+        return relation;
+      }
+      case TableRefKind::kSubquery: {
+        ASSIGN_OR_RETURN(ResultSet res, ExecSelect(*ref.subquery));
+        relation.owned = std::make_shared<ResultSet>(std::move(res));
+        relation.columns = relation.owned->columns;
+        return relation;
+      }
+      case TableRefKind::kUnnestValues:
+      case TableRefKind::kUnnestJson:
+        relation.columns = ref.column_aliases;
+        return relation;
+    }
+    return Status::Internal("bad table ref kind");
+  }
+
+  /// Lateral TABLE(VALUES ...) expansion: every VALUES row is evaluated in
+  /// the scope of each current row; fused filters drop candidates before
+  /// they are materialized.
+  Status UnnestValues(const TableRef& ref, const ColumnEnv& next_env,
+                      const std::vector<ExprPtr>& filters,
+                      std::vector<Row>* rows, EvalContext* ctx) {
+    std::vector<Row> out;
+    const size_t arity = ref.column_aliases.size();
+    Row scratch;
+    for (const Row& current : *rows) {
+      // One reusable scratch row per input row; the tail slots are
+      // overwritten for every VALUES candidate.
+      scratch.assign(current.begin(), current.end());
+      scratch.resize(next_env.size());
+      for (const auto& values_row : ref.values_rows) {
+        if (values_row.size() != arity) {
+          return Status::InvalidArgument("VALUES row arity mismatch");
+        }
+        for (size_t c = 0; c < arity; ++c) {
+          // VALUES expressions reference the pre-join slots only.
+          ASSIGN_OR_RETURN(Value v,
+                           EvalExpr(*values_row[c], next_env, scratch, *ctx));
+          scratch[current.size() + c] = std::move(v);
+        }
+        bool pass = true;
+        for (const auto& f : filters) {
+          ASSIGN_OR_RETURN(Value v, EvalExpr(*f, next_env, scratch, *ctx));
+          if (!IsTruthy(v)) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) out.push_back(scratch);
+      }
+    }
+    *rows = std::move(out);
+    return Status::OK();
+  }
+
+  /// Lateral TABLE(JSON_EDGES(doc)) expansion: parses the serialized
+  /// adjacency document of each current row and emits one row per edge
+  /// entry — the engine-internal navigation cost a JSON column implies.
+  Status UnnestJson(const TableRef& ref, const ColumnEnv& next_env,
+                    const std::vector<ExprPtr>& filters, std::vector<Row>* rows,
+                    EvalContext* ctx) {
+    const size_t arity = ref.column_aliases.size();
+    if (arity < 1 || arity > 3) {
+      return Status::InvalidArgument("JSON_EDGES exposes 1-3 columns");
+    }
+    std::vector<Row> out;
+    Row scratch;
+    for (const Row& current : *rows) {
+      scratch.assign(current.begin(), current.end());
+      scratch.resize(next_env.size());
+      ASSIGN_OR_RETURN(Value doc_value,
+                       EvalExpr(*ref.json_doc, next_env, scratch, *ctx));
+      if (doc_value.is_null()) continue;
+      json::JsonValue doc;
+      if (doc_value.is_string()) {
+        // Serialized document: the parse is the real per-access cost.
+        ASSIGN_OR_RETURN(doc, json::Parse(doc_value.AsString()));
+      } else if (doc_value.is_json()) {
+        doc = doc_value.AsJson();
+      } else {
+        continue;
+      }
+      if (!doc.is_object()) continue;
+      for (const auto& [label, list] : doc.AsObject()) {
+        if (!list.is_array()) continue;
+        for (const auto& entry : list.AsArray()) {
+          const json::JsonValue* val = entry.Find("val");
+          const json::JsonValue* eid = entry.Find("eid");
+          size_t slot = current.size();
+          if (arity >= 2) scratch[slot++] = Value(label);
+          if (arity == 3) {
+            scratch[slot++] = eid != nullptr && eid->is_int()
+                                  ? Value(eid->AsInt())
+                                  : Value::Null();
+          }
+          scratch[slot] = val != nullptr && val->is_int() ? Value(val->AsInt())
+                                                          : Value::Null();
+          bool pass = true;
+          for (const auto& f : filters) {
+            ASSIGN_OR_RETURN(Value v, EvalExpr(*f, next_env, scratch, *ctx));
+            if (!IsTruthy(v)) {
+              pass = false;
+              break;
+            }
+          }
+          if (pass) out.push_back(scratch);
+        }
+      }
+    }
+    *rows = std::move(out);
+    return Status::OK();
+  }
+
+  /// Access path for the first FROM item.
+  Status AccessFirst(const Relation& relation, const std::string& alias,
+                     const ColumnEnv& env, const std::vector<ExprPtr>& applicable,
+                     std::vector<size_t>* applicable_ids,
+                     std::vector<bool>* consumed, std::vector<Row>* rows,
+                     EvalContext* ctx) {
+    rows->clear();
+    std::vector<bool> used(applicable.size(), false);
+
+    if (relation.base != nullptr && options_.enable_indexes) {
+      RETURN_NOT_OK(TryIndexAccess(relation, alias, applicable, &used, rows));
+    }
+    if (rows->empty() && !index_access_hit_) {
+      // Full scan.
+      ++stats_->table_scans;
+      if (relation.base != nullptr) {
+        Trace("seq scan " + relation.base->name());
+        relation.base->Scan([&](rel::RowId, const Row& row) {
+          ++stats_->rows_scanned;
+          rows->push_back(relation.Project(row));
+        });
+      } else {
+        const std::vector<Row>* src = relation.rows();
+        if (src == nullptr) return Status::Internal("relation has no rows");
+        rows->reserve(src->size());
+        for (const auto& r : *src) rows->push_back(r);
+        stats_->rows_scanned += src->size();
+      }
+    }
+    index_access_hit_ = false;
+    // Apply remaining predicates.
+    for (size_t k = 0; k < applicable.size(); ++k) {
+      if (!used[k]) {
+        RETURN_NOT_OK(FilterRows(*applicable[k], env, *ctx, rows));
+      }
+      (*consumed)[(*applicable_ids)[k]] = true;
+    }
+    return Status::OK();
+  }
+
+  /// Attempts index-based retrieval for the first FROM item. Sets
+  /// `index_access_hit_` and fills `rows` on success; marks the predicates
+  /// it fully satisfied in `*used`.
+  Status TryIndexAccess(const Relation& relation, const std::string& alias,
+                        const std::vector<ExprPtr>& applicable,
+                        std::vector<bool>* used, std::vector<Row>* rows) {
+    const rel::Table& table = *relation.base;
+    index_access_hit_ = false;
+
+    // Recognize indexable predicates.
+    std::vector<IndexablePredicate> preds;
+    std::vector<size_t> pred_slot;
+    for (size_t k = 0; k < applicable.size(); ++k) {
+      IndexablePredicate p;
+      if (MatchIndexablePredicate(applicable[k], alias, table, &p)) {
+        preds.push_back(std::move(p));
+        pred_slot.push_back(k);
+      }
+    }
+    if (preds.empty()) return Status::OK();
+
+    // 1) Composite / single-column equality via regular indexes.
+    std::unordered_map<int, size_t> eq_by_column;  // column_id -> preds idx
+    for (size_t i = 0; i < preds.size(); ++i) {
+      if (preds[i].kind == IndexablePredicate::kColumnEq) {
+        eq_by_column.emplace(preds[i].column_id, i);
+      }
+    }
+    const rel::Index* best = nullptr;
+    for (const auto& index : table.indexes()) {
+      if (index->is_json()) continue;
+      bool covered = !index->column_ids().empty();
+      for (int c : index->column_ids()) {
+        if (!eq_by_column.count(c)) {
+          covered = false;
+          break;
+        }
+      }
+      if (covered && (best == nullptr || index->column_ids().size() >
+                                             best->column_ids().size())) {
+        best = index.get();
+      }
+    }
+    if (best != nullptr) {
+      rel::IndexKey key;
+      for (int c : best->column_ids()) {
+        const size_t pi = eq_by_column[c];
+        key.parts.push_back(preds[pi].literal);
+        (*used)[pred_slot[pi]] = true;
+      }
+      std::vector<rel::RowId> rids;
+      best->Lookup(key, &rids);
+      ++stats_->index_lookups;
+      Trace("index lookup " + table.name() + " via " + best->name());
+      RETURN_NOT_OK(FetchRows(relation, rids, rows));
+      index_access_hit_ = true;
+      return Status::OK();
+    }
+
+    // 2) JSON functional indexes.
+    for (size_t i = 0; i < preds.size(); ++i) {
+      const IndexablePredicate& p = preds[i];
+      if (p.kind == IndexablePredicate::kJsonEq) {
+        const rel::Index* idx =
+            table.FindJsonIndex(p.column_id, p.json_key, rel::IndexKind::kHash);
+        if (idx == nullptr) {
+          idx = table.FindJsonIndex(p.column_id, p.json_key,
+                                    rel::IndexKind::kOrdered);
+        }
+        if (idx == nullptr) continue;
+        rel::IndexKey key;
+        key.parts.push_back(p.literal);
+        std::vector<rel::RowId> rids;
+        idx->Lookup(key, &rids);
+        ++stats_->index_lookups;
+        Trace("JSON index lookup " + table.name() + " via " + idx->name());
+        RETURN_NOT_OK(FetchRows(relation, rids, rows));
+        (*used)[pred_slot[i]] = true;
+        index_access_hit_ = true;
+        return Status::OK();
+      }
+      if (p.kind == IndexablePredicate::kJsonRange ||
+          p.kind == IndexablePredicate::kJsonPrefix) {
+        const rel::Index* idx = table.FindJsonIndex(p.column_id, p.json_key,
+                                                    rel::IndexKind::kOrdered);
+        if (idx == nullptr) continue;
+        const auto* ordered = static_cast<const rel::OrderedIndex*>(idx);
+        std::vector<rel::RowId> rids;
+        if (p.kind == IndexablePredicate::kJsonPrefix) {
+          // [prefix, prefix + 0xFF): the residual LIKE still runs below.
+          std::string hi = p.like_prefix;
+          hi.push_back('\xff');
+          ordered->Range(Value(p.like_prefix), true, Value(hi), false, &rids);
+        } else {
+          switch (p.op) {
+            case BinaryOp::kLt:
+              ordered->Range(Value::Null(), true, p.literal, false, &rids);
+              break;
+            case BinaryOp::kLe:
+              ordered->Range(Value::Null(), true, p.literal, true, &rids);
+              break;
+            case BinaryOp::kGt:
+              ordered->Range(p.literal, false, Value::Null(), true, &rids);
+              break;
+            default:
+              ordered->Range(p.literal, true, Value::Null(), true, &rids);
+              break;
+          }
+        }
+        ++stats_->index_range_scans;
+        Trace("JSON index range scan " + table.name() + " via " + idx->name());
+        RETURN_NOT_OK(FetchRows(relation, rids, rows));
+        // Range bounds via ordered index can admit non-matching type ranks
+        // (e.g. NULL bucket on unbounded-low); keep the predicate as filter.
+        index_access_hit_ = true;
+        return Status::OK();
+      }
+    }
+    return Status::OK();
+  }
+
+  Status FetchRows(const Relation& relation, const std::vector<rel::RowId>& rids,
+                   std::vector<Row>* rows) {
+    Row row;
+    for (rel::RowId rid : rids) {
+      RETURN_NOT_OK(relation.base->Get(rid, &row));
+      rows->push_back(relation.Project(row));
+      ++stats_->rows_scanned;
+    }
+    return Status::OK();
+  }
+
+  /// Inner (comma) join of the next ref into the current rows.
+  Status JoinInner(const TableRef& ref, const Relation& relation,
+                   const std::string& alias,
+                   const std::vector<std::string>& ref_columns,
+                   const ColumnEnv& env, const ColumnEnv& next_env,
+                   const std::vector<ExprPtr>& applicable,
+                   std::vector<size_t>* applicable_ids,
+                   std::vector<bool>* consumed, std::vector<Row>* rows,
+                   EvalContext* ctx) {
+    (void)ref;
+    // Partition applicable conjuncts: equi-join keys / ref-local / residual.
+    std::vector<EquiJoinKey> keys;
+    std::vector<bool> used(applicable.size(), false);
+    for (size_t k = 0; k < applicable.size(); ++k) {
+      EquiJoinKey key;
+      if (MatchEquiJoin(applicable[k], env, alias, ref_columns, &key)) {
+        keys.push_back(std::move(key));
+        used[k] = true;
+      }
+    }
+
+    if (!keys.empty() && relation.base != nullptr && options_.enable_indexes) {
+      // Index nested-loop join: find the index covering the most key columns.
+      const rel::Table& table = *relation.base;
+      const rel::Index* best = nullptr;
+      std::vector<size_t> best_key_order;
+      for (const auto& index : table.indexes()) {
+        if (index->is_json() || index->column_ids().empty()) continue;
+        std::vector<size_t> order;
+        bool covered = true;
+        for (int c : index->column_ids()) {
+          const std::string& cname =
+              table.schema().column(static_cast<size_t>(c)).name;
+          bool found = false;
+          for (size_t ki = 0; ki < keys.size(); ++ki) {
+            if (keys[ki].column == cname) {
+              order.push_back(ki);
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            covered = false;
+            break;
+          }
+        }
+        if (covered && (best == nullptr || index->column_ids().size() >
+                                               best->column_ids().size())) {
+          best = index.get();
+          best_key_order = std::move(order);
+        }
+      }
+      if (best != nullptr) {
+        ++stats_->index_nl_joins;
+        Trace("index nested-loop join " + table.name() + " via " +
+              best->name());
+        std::vector<Row> out;
+        Row fetched;
+        for (const Row& current : *rows) {
+          rel::IndexKey key;
+          key.parts.reserve(best_key_order.size());
+          bool null_key = false;
+          for (size_t ki : best_key_order) {
+            ASSIGN_OR_RETURN(Value v,
+                             EvalExpr(*keys[ki].outer, env, current, *ctx));
+            if (v.is_null()) null_key = true;
+            key.parts.push_back(std::move(v));
+          }
+          if (null_key) continue;  // NULL never equi-joins
+          std::vector<rel::RowId> rids;
+          best->Lookup(key, &rids);
+          ++stats_->index_lookups;
+          for (rel::RowId rid : rids) {
+            RETURN_NOT_OK(table.Get(rid, &fetched));
+            Row projected = relation.Project(fetched);
+            Row combined = current;
+            combined.insert(combined.end(), projected.begin(),
+                            projected.end());
+            out.push_back(std::move(combined));
+          }
+        }
+        *rows = std::move(out);
+        // Keys covered by the chosen index are satisfied; others (plus all
+        // non-equi applicable conjuncts) filter below.
+        std::vector<bool> key_used(keys.size(), false);
+        for (size_t ki : best_key_order) key_used[ki] = true;
+        size_t key_cursor = 0;
+        for (size_t k = 0; k < applicable.size(); ++k) {
+          if (used[k]) {
+            const bool satisfied = key_used[key_cursor++];
+            if (!satisfied) {
+              RETURN_NOT_OK(FilterRows(*applicable[k], next_env, *ctx, rows));
+            }
+          } else {
+            RETURN_NOT_OK(FilterRows(*applicable[k], next_env, *ctx, rows));
+          }
+          (*consumed)[(*applicable_ids)[k]] = true;
+        }
+        return Status::OK();
+      }
+    }
+
+    if (!keys.empty()) {
+      // Hash join: build on the new relation.
+      ++stats_->hash_joins;
+      Trace("hash join build on " + ref.exposure());
+      ASSIGN_OR_RETURN(std::vector<Row> build_rows,
+                       MaterializeRelation(relation));
+      // Key slots within the ref row.
+      std::vector<int> build_slots;
+      for (const auto& key : keys) {
+        int slot = -1;
+        for (size_t c = 0; c < ref_columns.size(); ++c) {
+          if (ref_columns[c] == key.column) {
+            slot = static_cast<int>(c);
+            break;
+          }
+        }
+        if (slot < 0) return Status::Internal("join key column missing");
+        build_slots.push_back(slot);
+      }
+      std::unordered_multimap<rel::IndexKey, const Row*, rel::IndexKeyHash>
+          hash_table;
+      hash_table.reserve(build_rows.size());
+      for (const Row& r : build_rows) {
+        rel::IndexKey key;
+        bool null_key = false;
+        for (int slot : build_slots) {
+          if (r[static_cast<size_t>(slot)].is_null()) null_key = true;
+          key.parts.push_back(r[static_cast<size_t>(slot)]);
+        }
+        if (!null_key) hash_table.emplace(std::move(key), &r);
+      }
+      std::vector<Row> out;
+      for (const Row& current : *rows) {
+        rel::IndexKey key;
+        bool null_key = false;
+        for (const auto& k : keys) {
+          ASSIGN_OR_RETURN(Value v, EvalExpr(*k.outer, env, current, *ctx));
+          if (v.is_null()) null_key = true;
+          key.parts.push_back(std::move(v));
+        }
+        if (null_key) continue;
+        auto [lo, hi] = hash_table.equal_range(key);
+        for (auto it = lo; it != hi; ++it) {
+          Row combined = current;
+          combined.insert(combined.end(), it->second->begin(),
+                          it->second->end());
+          out.push_back(std::move(combined));
+        }
+      }
+      *rows = std::move(out);
+      for (size_t k = 0; k < applicable.size(); ++k) {
+        if (!used[k]) {
+          RETURN_NOT_OK(FilterRows(*applicable[k], next_env, *ctx, rows));
+        }
+        (*consumed)[(*applicable_ids)[k]] = true;
+      }
+      return Status::OK();
+    }
+
+    // No equi keys: nested-loop cross join, then filter.
+    ASSIGN_OR_RETURN(std::vector<Row> right_rows, MaterializeRelation(relation));
+    std::vector<Row> out;
+    out.reserve(rows->size() * right_rows.size());
+    for (const Row& current : *rows) {
+      for (const Row& r : right_rows) {
+        Row combined = current;
+        combined.insert(combined.end(), r.begin(), r.end());
+        out.push_back(std::move(combined));
+      }
+    }
+    *rows = std::move(out);
+    for (size_t k = 0; k < applicable.size(); ++k) {
+      RETURN_NOT_OK(FilterRows(*applicable[k], next_env, *ctx, rows));
+      (*consumed)[(*applicable_ids)[k]] = true;
+    }
+    return Status::OK();
+  }
+
+  Status LeftOuterJoin(const TableRef& ref, const Relation& relation,
+                       const std::string& alias,
+                       const std::vector<std::string>& ref_columns,
+                       const ColumnEnv& env, const ColumnEnv& next_env,
+                       std::vector<Row>* rows, EvalContext* ctx) {
+    std::vector<ExprPtr> on_conjuncts;
+    SplitConjuncts(ref.on, &on_conjuncts);
+    std::vector<EquiJoinKey> keys;
+    std::vector<ExprPtr> residual;
+    for (const auto& c : on_conjuncts) {
+      EquiJoinKey key;
+      if (MatchEquiJoin(c, env, alias, ref_columns, &key)) {
+        keys.push_back(std::move(key));
+      } else {
+        residual.push_back(c);
+      }
+    }
+    std::vector<Row> out;
+    const size_t pad = ref_columns.size();
+
+    // Index nested-loop left-outer join: probe the base table's index per
+    // outer row instead of hashing the whole table (the OSA/ISA fast path).
+    if (!keys.empty() && relation.base != nullptr && options_.enable_indexes) {
+      const rel::Table& table = *relation.base;
+      std::vector<int> key_cols;
+      for (const auto& k : keys) {
+        key_cols.push_back(table.schema().FindColumn(k.column));
+      }
+      const rel::Index* index = table.FindIndex(key_cols);
+      if (index == nullptr && key_cols.size() == 1) {
+        index = table.FindIndexOnColumn(key_cols[0], rel::IndexKind::kHash);
+        if (index != nullptr && index->column_ids().size() != 1) index = nullptr;
+      }
+      if (index != nullptr) {
+        ++stats_->index_nl_joins;
+        Trace("index nested-loop left-outer join " + table.name() + " via " +
+              index->name());
+        Row fetched;
+        for (const Row& current : *rows) {
+          rel::IndexKey key;
+          bool null_key = false;
+          for (const auto& k : keys) {
+            ASSIGN_OR_RETURN(Value v, EvalExpr(*k.outer, env, current, *ctx));
+            if (v.is_null()) null_key = true;
+            key.parts.push_back(std::move(v));
+          }
+          bool matched = false;
+          if (!null_key) {
+            std::vector<rel::RowId> rids;
+            index->Lookup(key, &rids);
+            ++stats_->index_lookups;
+            for (rel::RowId rid : rids) {
+              RETURN_NOT_OK(table.Get(rid, &fetched));
+              Row projected = relation.Project(fetched);
+              Row combined = current;
+              combined.insert(combined.end(), projected.begin(),
+                              projected.end());
+              bool pass = true;
+              for (const auto& c : residual) {
+                ASSIGN_OR_RETURN(Value v,
+                                 EvalExpr(*c, next_env, combined, *ctx));
+                if (!IsTruthy(v)) {
+                  pass = false;
+                  break;
+                }
+              }
+              if (pass) {
+                matched = true;
+                out.push_back(std::move(combined));
+              }
+            }
+          }
+          if (!matched) {
+            Row combined = current;
+            combined.resize(combined.size() + pad);
+            out.push_back(std::move(combined));
+          }
+        }
+        *rows = std::move(out);
+        return Status::OK();
+      }
+    }
+
+    ASSIGN_OR_RETURN(std::vector<Row> build_rows, MaterializeRelation(relation));
+    ++stats_->hash_joins;
+
+    if (keys.empty()) {
+      // Rare: nested-loop left outer join with arbitrary ON.
+      for (const Row& current : *rows) {
+        bool matched = false;
+        for (const Row& r : build_rows) {
+          Row combined = current;
+          combined.insert(combined.end(), r.begin(), r.end());
+          bool pass = true;
+          for (const auto& c : residual) {
+            ASSIGN_OR_RETURN(Value v, EvalExpr(*c, next_env, combined, *ctx));
+            if (!IsTruthy(v)) {
+              pass = false;
+              break;
+            }
+          }
+          if (pass) {
+            matched = true;
+            out.push_back(std::move(combined));
+          }
+        }
+        if (!matched) {
+          Row combined = current;
+          combined.resize(combined.size() + pad);
+          out.push_back(std::move(combined));
+        }
+      }
+      *rows = std::move(out);
+      return Status::OK();
+    }
+
+    std::vector<int> build_slots;
+    for (const auto& key : keys) {
+      int slot = -1;
+      for (size_t c = 0; c < ref_columns.size(); ++c) {
+        if (ref_columns[c] == key.column) {
+          slot = static_cast<int>(c);
+          break;
+        }
+      }
+      if (slot < 0) return Status::Internal("left join key column missing");
+      build_slots.push_back(slot);
+    }
+    std::unordered_multimap<rel::IndexKey, const Row*, rel::IndexKeyHash>
+        hash_table;
+    hash_table.reserve(build_rows.size());
+    for (const Row& r : build_rows) {
+      rel::IndexKey key;
+      bool null_key = false;
+      for (int slot : build_slots) {
+        if (r[static_cast<size_t>(slot)].is_null()) null_key = true;
+        key.parts.push_back(r[static_cast<size_t>(slot)]);
+      }
+      if (!null_key) hash_table.emplace(std::move(key), &r);
+    }
+    for (const Row& current : *rows) {
+      rel::IndexKey key;
+      bool null_key = false;
+      for (const auto& k : keys) {
+        ASSIGN_OR_RETURN(Value v, EvalExpr(*k.outer, env, current, *ctx));
+        if (v.is_null()) null_key = true;
+        key.parts.push_back(std::move(v));
+      }
+      bool matched = false;
+      if (!null_key) {
+        auto [lo, hi] = hash_table.equal_range(key);
+        for (auto it = lo; it != hi; ++it) {
+          Row combined = current;
+          combined.insert(combined.end(), it->second->begin(),
+                          it->second->end());
+          bool pass = true;
+          for (const auto& c : residual) {
+            ASSIGN_OR_RETURN(Value v, EvalExpr(*c, next_env, combined, *ctx));
+            if (!IsTruthy(v)) {
+              pass = false;
+              break;
+            }
+          }
+          if (pass) {
+            matched = true;
+            out.push_back(std::move(combined));
+          }
+        }
+      }
+      if (!matched) {
+        Row combined = current;
+        combined.resize(combined.size() + pad);
+        out.push_back(std::move(combined));
+      }
+    }
+    *rows = std::move(out);
+    return Status::OK();
+  }
+
+  Result<std::vector<Row>> MaterializeRelation(const Relation& relation) {
+    std::vector<Row> out;
+    if (relation.base != nullptr) {
+      ++stats_->table_scans;
+      relation.base->Scan([&](rel::RowId, const Row& row) {
+        ++stats_->rows_scanned;
+        out.push_back(relation.Project(row));
+      });
+      return out;
+    }
+    const std::vector<Row>* src = relation.rows();
+    if (src == nullptr) return Status::Internal("relation has no rows");
+    out.reserve(src->size());
+    for (const auto& r : *src) out.push_back(r);
+    return out;
+  }
+
+  Status FilterRows(const Expr& predicate, const ColumnEnv& env,
+                    const EvalContext& ctx, std::vector<Row>* rows) {
+    std::vector<Row> kept;
+    kept.reserve(rows->size());
+    for (Row& row : *rows) {
+      ASSIGN_OR_RETURN(Value v, EvalExpr(predicate, env, row, ctx));
+      if (IsTruthy(v)) kept.push_back(std::move(row));
+    }
+    *rows = std::move(kept);
+    return Status::OK();
+  }
+
+  // ----------------------------------------- projection and aggregation ----
+
+  Status Project(const SelectStmt& s, const ColumnEnv& env,
+                 const std::vector<Row>& rows, const EvalContext& ctx,
+                 ResultSet* out) {
+    // Expand stars into slot references.
+    struct OutputCol {
+      std::string name;
+      int slot = -1;     // >= 0: direct slot copy
+      ExprPtr expr;      // otherwise evaluate
+    };
+    std::vector<OutputCol> cols;
+    for (size_t i = 0; i < s.items.size(); ++i) {
+      const SelectItem& item = s.items[i];
+      if (item.is_star) {
+        for (size_t sl = 0; sl < env.size(); ++sl) {
+          const auto& [qual, col] = env.slot(sl);
+          if (!item.star_qualifier.empty() && qual != item.star_qualifier) {
+            continue;
+          }
+          cols.push_back({col, static_cast<int>(sl), nullptr});
+        }
+        continue;
+      }
+      OutputCol oc;
+      oc.name = ItemName(item, i);
+      if (item.expr->kind == ExprKind::kColumnRef) {
+        oc.slot = env.TryResolve(item.expr->qualifier, item.expr->column);
+      }
+      if (oc.slot < 0) oc.expr = item.expr;
+      cols.push_back(std::move(oc));
+    }
+
+    out->columns.clear();
+    for (const auto& c : cols) out->columns.push_back(c.name);
+    out->rows.clear();
+    out->rows.reserve(rows.size());
+    for (const Row& row : rows) {
+      Row projected;
+      projected.reserve(cols.size());
+      for (const auto& c : cols) {
+        if (c.slot >= 0) {
+          projected.push_back(row[static_cast<size_t>(c.slot)]);
+        } else {
+          ASSIGN_OR_RETURN(Value v, EvalExpr(*c.expr, env, row, ctx));
+          projected.push_back(std::move(v));
+        }
+      }
+      out->rows.push_back(std::move(projected));
+    }
+    return Status::OK();
+  }
+
+  Result<ResultSet> Aggregate(const SelectStmt& s, const ColumnEnv& env,
+                              const std::vector<Row>& rows,
+                              const EvalContext& ctx) {
+    // Each select item must be either an aggregate call or a GROUP BY
+    // expression (matched textually).
+    struct ItemPlan {
+      bool is_aggregate = false;
+      AggState::Kind agg_kind = AggState::kCountStar;
+      ExprPtr arg;      // aggregate argument (null for COUNT(*))
+      ExprPtr expr;     // group expression otherwise
+      std::string name;
+    };
+    std::vector<ItemPlan> plans;
+    // HAVING may contain aggregate calls not present in the select list;
+    // compute them as hidden trailing items and rewrite HAVING to reference
+    // them by name.
+    ExprPtr rewritten_having;
+    std::vector<ItemPlan> hidden;
+    if (s.having != nullptr) {
+      std::function<ExprPtr(const ExprPtr&)> rewrite =
+          [&](const ExprPtr& e) -> ExprPtr {
+        if (e == nullptr) return nullptr;
+        AggState::Kind kind;
+        if (e->kind == ExprKind::kFunc && IsAggregateCall(*e, &kind)) {
+          ItemPlan plan;
+          plan.is_aggregate = true;
+          plan.agg_kind = kind;
+          if (kind != AggState::kCountStar && e->args.size() == 1) {
+            plan.arg = e->args[0];
+          }
+          plan.name = "__having" + std::to_string(hidden.size());
+          const std::string name = plan.name;
+          hidden.push_back(std::move(plan));
+          return Col(name);
+        }
+        auto copy = std::make_shared<Expr>(*e);
+        copy->lhs = rewrite(e->lhs);
+        copy->rhs = rewrite(e->rhs);
+        copy->args.clear();
+        for (const auto& a : e->args) copy->args.push_back(rewrite(a));
+        copy->in_list.clear();
+        for (const auto& a : e->in_list) copy->in_list.push_back(rewrite(a));
+        return copy;
+      };
+      rewritten_having = rewrite(s.having);
+    }
+    for (size_t i = 0; i < s.items.size(); ++i) {
+      const SelectItem& item = s.items[i];
+      if (item.is_star) {
+        return Status::InvalidArgument("* not allowed with aggregation");
+      }
+      ItemPlan plan;
+      plan.name = ItemName(item, i);
+      AggState::Kind kind;
+      if (item.expr->kind == ExprKind::kFunc &&
+          IsAggregateCall(*item.expr, &kind)) {
+        plan.is_aggregate = true;
+        plan.agg_kind = kind;
+        if (kind != AggState::kCountStar) {
+          if (item.expr->args.size() != 1) {
+            return Status::InvalidArgument("aggregate expects one argument");
+          }
+          plan.arg = item.expr->args[0];
+        }
+      } else {
+        bool matches_group = false;
+        const std::string rendered = RenderExpr(*item.expr);
+        for (const auto& g : s.group_by) {
+          if (RenderExpr(*g) == rendered) {
+            matches_group = true;
+            break;
+          }
+        }
+        if (!matches_group) {
+          return Status::InvalidArgument(
+              "select item is neither aggregate nor GROUP BY expression: " +
+              rendered);
+        }
+        plan.expr = item.expr;
+      }
+      plans.push_back(std::move(plan));
+    }
+    const size_t visible_items = plans.size();
+    for (auto& h : hidden) plans.push_back(std::move(h));
+
+    struct Group {
+      Row key_row;  // evaluated GROUP BY values
+      std::vector<AggState> aggs;
+    };
+    std::unordered_map<rel::IndexKey, Group, rel::IndexKeyHash> groups;
+
+    auto make_group = [&]() {
+      Group g;
+      for (const auto& plan : plans) {
+        if (plan.is_aggregate) {
+          AggState st;
+          st.kind = plan.agg_kind;
+          g.aggs.push_back(std::move(st));
+        }
+      }
+      return g;
+    };
+
+    for (const Row& row : rows) {
+      rel::IndexKey key;
+      Row key_row;
+      for (const auto& g : s.group_by) {
+        ASSIGN_OR_RETURN(Value v, EvalExpr(*g, env, row, ctx));
+        key.parts.push_back(v);
+        key_row.push_back(std::move(v));
+      }
+      auto [it, inserted] = groups.emplace(std::move(key), make_group());
+      if (inserted) it->second.key_row = std::move(key_row);
+      size_t agg_index = 0;
+      for (const auto& plan : plans) {
+        if (!plan.is_aggregate) continue;
+        AggState& st = it->second.aggs[agg_index++];
+        if (plan.agg_kind == AggState::kCountStar) {
+          st.Add(Value());
+        } else {
+          ASSIGN_OR_RETURN(Value v, EvalExpr(*plan.arg, env, row, ctx));
+          st.Add(v);
+        }
+      }
+    }
+    // Global aggregation over an empty input still yields one row.
+    if (groups.empty() && s.group_by.empty()) {
+      groups.emplace(rel::IndexKey{}, make_group());
+    }
+
+    ResultSet out;
+    for (const auto& plan : plans) out.columns.push_back(plan.name);
+    for (auto& [key, group] : groups) {
+      Row row;
+      size_t agg_index = 0;
+      for (const auto& plan : plans) {
+        if (plan.is_aggregate) {
+          row.push_back(group.aggs[agg_index++].Finish());
+        } else {
+          // Re-evaluate: find the GROUP BY slot with the same rendering.
+          const std::string rendered = RenderExpr(*plan.expr);
+          Value v;
+          for (size_t gi = 0; gi < s.group_by.size(); ++gi) {
+            if (RenderExpr(*s.group_by[gi]) == rendered) {
+              v = group.key_row[gi];
+              break;
+            }
+          }
+          row.push_back(std::move(v));
+        }
+      }
+      out.rows.push_back(std::move(row));
+    }
+    // HAVING: evaluate the rewritten predicate, then drop hidden columns.
+    if (rewritten_having != nullptr) {
+      ColumnEnv having_env;
+      for (const auto& c : out.columns) having_env.Add("", c);
+      RETURN_NOT_OK(FilterRows(*rewritten_having, having_env, ctx, &out.rows));
+    }
+    if (visible_items < out.columns.size()) {
+      out.columns.resize(visible_items);
+      for (auto& row : out.rows) row.resize(visible_items);
+    }
+    return out;
+  }
+
+  static void Dedupe(ResultSet* out) {
+    std::unordered_set<Row, RowHash, RowEq> seen;
+    std::vector<Row> kept;
+    kept.reserve(out->rows.size());
+    for (auto& row : out->rows) {
+      if (seen.insert(row).second) kept.push_back(std::move(row));
+    }
+    out->rows = std::move(kept);
+  }
+
+  // --------------------------------------------------- IN subqueries ----
+
+  Status MaterializeInSubqueries(const SelectStmt& s, EvalContext* ctx) {
+    std::vector<const Expr*> nodes;
+    auto collect = [&](const ExprPtr& e, auto&& self) -> void {
+      if (e == nullptr) return;
+      if (e->kind == ExprKind::kInSubquery) nodes.push_back(e.get());
+      if (e->lhs) self(e->lhs, self);
+      if (e->rhs) self(e->rhs, self);
+      for (const auto& a : e->args) self(a, self);
+      for (const auto& a : e->in_list) self(a, self);
+    };
+    collect(s.where, collect);
+    collect(s.having, collect);
+    for (const auto& item : s.items) collect(item.expr, collect);
+    for (const Expr* node : nodes) {
+      ASSIGN_OR_RETURN(ResultSet res, ExecSelect(*node->subquery));
+      if (res.columns.size() != 1) {
+        return Status::InvalidArgument("IN subquery must return one column");
+      }
+      auto& set = ctx->in_subquery_sets[node];
+      for (auto& row : res.rows) {
+        if (!row[0].is_null()) set.insert(std::move(row[0]));
+      }
+    }
+    return Status::OK();
+  }
+
+  void Trace(std::string msg) {
+    stats_->trace.push_back(context_ + ": " + std::move(msg));
+  }
+
+  rel::Database* db_;
+  const Options& options_;
+  ExecStats* stats_;
+  std::map<std::string, ResultSet> ctes_;
+  std::string context_ = "query";
+  bool index_access_hit_ = false;
+};
+
+// ===========================================================================
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i) out.append(" | ");
+    out.append(columns[i]);
+  }
+  out.push_back('\n');
+  size_t shown = 0;
+  for (const auto& row : rows) {
+    if (shown++ >= max_rows) {
+      out.append("... (" + std::to_string(rows.size()) + " rows total)\n");
+      break;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out.append(" | ");
+      out.append(row[i].ToString());
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<ResultSet> Executor::Execute(const SqlQuery& query) {
+  Impl impl(db_, options_, &stats_);
+  return impl.ExecuteQuery(query);
+}
+
+Result<ResultSet> Executor::ExecuteSql(std::string_view sql_text) {
+  ASSIGN_OR_RETURN(SqlQuery q, ParseQuery(sql_text));
+  return Execute(q);
+}
+
+}  // namespace sql
+}  // namespace sqlgraph

@@ -1,0 +1,393 @@
+#include "sql/expr_eval.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace sqlgraph {
+namespace sql {
+
+using rel::Value;
+using util::Result;
+using util::Status;
+
+util::Result<int> ColumnEnv::Resolve(std::string_view qualifier,
+                                     std::string_view column) const {
+  const int slot = TryResolve(qualifier, column);
+  if (slot >= 0) return slot;
+  std::string name = qualifier.empty()
+                         ? std::string(column)
+                         : std::string(qualifier) + "." + std::string(column);
+  return Status::InvalidArgument("cannot resolve column " + name);
+}
+
+int ColumnEnv::TryResolve(std::string_view qualifier,
+                          std::string_view column) const {
+  if (!qualifier.empty()) {
+    std::string key;
+    key.reserve(qualifier.size() + 1 + column.size());
+    key.append(qualifier);
+    key.push_back('\x1f');
+    key.append(column);
+    auto it = qualified_.find(key);
+    return it == qualified_.end() ? -1 : it->second;
+  }
+  auto it = bare_.find(std::string(column));
+  if (it == bare_.end() || it->second == kAmbiguous) return -1;
+  return it->second;
+}
+
+rel::Value JsonVal(const rel::Value& json_doc, std::string_view key) {
+  if (!json_doc.is_json()) return Value::Null();
+  const json::JsonValue* member = json_doc.AsJson().Find(key);
+  if (member == nullptr) return Value::Null();
+  switch (member->type()) {
+    case json::JsonType::kNull: return Value::Null();
+    case json::JsonType::kBool: return Value(member->AsBool());
+    case json::JsonType::kInt: return Value(member->AsInt());
+    case json::JsonType::kDouble: return Value(member->AsDouble());
+    case json::JsonType::kString: return Value(member->AsString());
+    default: return Value(*member);
+  }
+}
+
+bool IsTruthy(const rel::Value& v) {
+  if (v.is_null()) return false;
+  if (v.is_bool()) return v.AsBool();
+  if (v.is_number()) return v.AsDouble() != 0.0;
+  return false;
+}
+
+namespace {
+
+/// Converts a JSON element into a scalar Value (arrays/objects stay JSON).
+Value JsonToValue(const json::JsonValue& j) {
+  switch (j.type()) {
+    case json::JsonType::kNull: return Value::Null();
+    case json::JsonType::kBool: return Value(j.AsBool());
+    case json::JsonType::kInt: return Value(j.AsInt());
+    case json::JsonType::kDouble: return Value(j.AsDouble());
+    case json::JsonType::kString: return Value(j.AsString());
+    default: return Value(j);
+  }
+}
+
+json::JsonValue ValueToJson(const Value& v) {
+  if (v.is_null()) return json::JsonValue();
+  if (v.is_bool()) return json::JsonValue(v.AsBool());
+  if (v.is_int()) return json::JsonValue(v.AsInt());
+  if (v.is_double()) return json::JsonValue(v.AsDouble());
+  if (v.is_string()) return json::JsonValue(v.AsString());
+  return v.AsJson();
+}
+
+Result<Value> EvalBinary(const Expr& e, const ColumnEnv& env,
+                         const rel::Row& row, const EvalContext& ctx) {
+  // Kleene AND/OR with short-circuit on the decisive operand.
+  if (e.bin_op == BinaryOp::kAnd || e.bin_op == BinaryOp::kOr) {
+    ASSIGN_OR_RETURN(Value lhs, EvalExpr(*e.lhs, env, row, ctx));
+    const bool is_and = e.bin_op == BinaryOp::kAnd;
+    if (!lhs.is_null()) {
+      const bool lv = IsTruthy(lhs);
+      if (is_and && !lv) return Value(false);
+      if (!is_and && lv) return Value(true);
+    }
+    ASSIGN_OR_RETURN(Value rhs, EvalExpr(*e.rhs, env, row, ctx));
+    if (!rhs.is_null()) {
+      const bool rv = IsTruthy(rhs);
+      if (is_and && !rv) return Value(false);
+      if (!is_and && rv) return Value(true);
+    }
+    if (lhs.is_null() || rhs.is_null()) return Value::Null();
+    return Value(is_and);
+  }
+
+  ASSIGN_OR_RETURN(Value lhs, EvalExpr(*e.lhs, env, row, ctx));
+  ASSIGN_OR_RETURN(Value rhs, EvalExpr(*e.rhs, env, row, ctx));
+
+  switch (e.bin_op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      if (lhs.is_null() || rhs.is_null()) return Value::Null();
+      const int c = lhs.Compare(rhs);
+      switch (e.bin_op) {
+        case BinaryOp::kEq: return Value(c == 0);
+        case BinaryOp::kNe: return Value(c != 0);
+        case BinaryOp::kLt: return Value(c < 0);
+        case BinaryOp::kLe: return Value(c <= 0);
+        case BinaryOp::kGt: return Value(c > 0);
+        default: return Value(c >= 0);
+      }
+    }
+    case BinaryOp::kLike: {
+      if (lhs.is_null() || rhs.is_null()) return Value::Null();
+      if (!rhs.is_string()) return Status::TypeError("LIKE pattern not string");
+      const std::string subject = lhs.is_string() ? lhs.AsString()
+                                                  : lhs.ToString();
+      return Value(util::SqlLikeMatch(subject, rhs.AsString()));
+    }
+    case BinaryOp::kConcat: {
+      // The paper's path template uses || for path concatenation: if either
+      // side is a JSON array, append; otherwise string concat.
+      if (lhs.is_json() || rhs.is_json()) {
+        json::JsonValue arr = json::JsonValue::Array();
+        auto extend = [&arr](const Value& v) {
+          if (v.is_json() && v.AsJson().is_array()) {
+            for (const auto& elem : v.AsJson().AsArray()) arr.Append(elem);
+          } else if (!v.is_null()) {
+            arr.Append(ValueToJson(v));
+          }
+        };
+        extend(lhs);
+        extend(rhs);
+        return Value(std::move(arr));
+      }
+      if (lhs.is_null() || rhs.is_null()) return Value::Null();
+      return Value(lhs.ToString() + rhs.ToString());
+    }
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv: {
+      if (lhs.is_null() || rhs.is_null()) return Value::Null();
+      if (!lhs.is_number() || !rhs.is_number()) {
+        return Status::TypeError("arithmetic on non-numeric values");
+      }
+      if (lhs.is_int() && rhs.is_int() && e.bin_op != BinaryOp::kDiv) {
+        const int64_t a = lhs.AsInt(), b = rhs.AsInt();
+        switch (e.bin_op) {
+          case BinaryOp::kAdd: return Value(a + b);
+          case BinaryOp::kSub: return Value(a - b);
+          default: return Value(a * b);
+        }
+      }
+      const double a = lhs.AsDouble(), b = rhs.AsDouble();
+      switch (e.bin_op) {
+        case BinaryOp::kAdd: return Value(a + b);
+        case BinaryOp::kSub: return Value(a - b);
+        case BinaryOp::kMul: return Value(a * b);
+        default:
+          if (b == 0.0) return Value::Null();  // SQL engines raise; we NULL
+          return Value(a / b);
+      }
+    }
+    default:
+      return Status::Internal("unhandled binary op");
+  }
+}
+
+Result<Value> EvalFunc(const Expr& e, const ColumnEnv& env,
+                       const rel::Row& row, const EvalContext& ctx) {
+  const std::string& f = e.func_name;
+  auto arity = [&](size_t n) -> Status {
+    if (e.args.size() != n) {
+      return Status::InvalidArgument(f + " expects " + std::to_string(n) +
+                                     " arguments");
+    }
+    return Status::OK();
+  };
+
+  if (f == "JSON_VAL") {
+    RETURN_NOT_OK(arity(2));
+    ASSIGN_OR_RETURN(Value doc, EvalExpr(*e.args[0], env, row, ctx));
+    ASSIGN_OR_RETURN(Value key, EvalExpr(*e.args[1], env, row, ctx));
+    if (!key.is_string()) return Status::TypeError("JSON_VAL key not string");
+    return JsonVal(doc, key.AsString());
+  }
+  if (f == "COALESCE") {
+    for (const auto& arg : e.args) {
+      ASSIGN_OR_RETURN(Value v, EvalExpr(*arg, env, row, ctx));
+      if (!v.is_null()) return v;
+    }
+    return Value::Null();
+  }
+  if (f == "PATH_APPEND") {
+    RETURN_NOT_OK(arity(2));
+    ASSIGN_OR_RETURN(Value path, EvalExpr(*e.args[0], env, row, ctx));
+    ASSIGN_OR_RETURN(Value elem, EvalExpr(*e.args[1], env, row, ctx));
+    json::JsonValue arr = (path.is_json() && path.AsJson().is_array())
+                              ? path.AsJson()
+                              : json::JsonValue::Array();
+    arr.Append(ValueToJson(elem));
+    return Value(std::move(arr));
+  }
+  if (f == "PATH_ELEM") {
+    RETURN_NOT_OK(arity(2));
+    ASSIGN_OR_RETURN(Value path, EvalExpr(*e.args[0], env, row, ctx));
+    ASSIGN_OR_RETURN(Value idx, EvalExpr(*e.args[1], env, row, ctx));
+    if (!path.is_json() || !path.AsJson().is_array() || !idx.is_number()) {
+      return Value::Null();
+    }
+    const json::JsonArray& arr = path.AsJson().AsArray();
+    int64_t i = idx.AsInt();
+    if (i < 0) i += static_cast<int64_t>(arr.size());
+    if (i < 0 || i >= static_cast<int64_t>(arr.size())) return Value::Null();
+    return JsonToValue(arr[static_cast<size_t>(i)]);
+  }
+  if (f == "PATH_PREFIX") {
+    // First n elements of a path array (used by back()).
+    RETURN_NOT_OK(arity(2));
+    ASSIGN_OR_RETURN(Value path, EvalExpr(*e.args[0], env, row, ctx));
+    ASSIGN_OR_RETURN(Value n, EvalExpr(*e.args[1], env, row, ctx));
+    if (!path.is_json() || !path.AsJson().is_array() || !n.is_number()) {
+      return Value::Null();
+    }
+    const json::JsonArray& arr = path.AsJson().AsArray();
+    json::JsonValue prefix = json::JsonValue::Array();
+    const size_t limit = std::min<size_t>(
+        arr.size(), n.AsInt() < 0 ? 0 : static_cast<size_t>(n.AsInt()));
+    for (size_t i = 0; i < limit; ++i) prefix.Append(arr[i]);
+    return Value(std::move(prefix));
+  }
+  if (f == "PATH_LEN") {
+    RETURN_NOT_OK(arity(1));
+    ASSIGN_OR_RETURN(Value path, EvalExpr(*e.args[0], env, row, ctx));
+    if (!path.is_json() || !path.AsJson().is_array()) return Value::Null();
+    return Value(static_cast<int64_t>(path.AsJson().AsArray().size()));
+  }
+  if (f == "IS_SIMPLE_PATH") {
+    // UDF from the paper's simplePath() filter: 1 iff no vertex repeats.
+    RETURN_NOT_OK(arity(1));
+    ASSIGN_OR_RETURN(Value path, EvalExpr(*e.args[0], env, row, ctx));
+    if (!path.is_json() || !path.AsJson().is_array()) return Value(1);
+    const json::JsonArray& arr = path.AsJson().AsArray();
+    std::unordered_set<rel::Value, rel::ValueHash> seen;
+    for (const auto& elem : arr) {
+      if (!seen.insert(JsonToValue(elem)).second) return Value(0);
+    }
+    return Value(1);
+  }
+  if (f == "LENGTH") {
+    RETURN_NOT_OK(arity(1));
+    ASSIGN_OR_RETURN(Value v, EvalExpr(*e.args[0], env, row, ctx));
+    if (v.is_null()) return Value::Null();
+    return Value(static_cast<int64_t>(v.ToString().size()));
+  }
+  if (f == "ABS") {
+    RETURN_NOT_OK(arity(1));
+    ASSIGN_OR_RETURN(Value v, EvalExpr(*e.args[0], env, row, ctx));
+    if (v.is_null()) return Value::Null();
+    if (v.is_int()) return Value(v.AsInt() < 0 ? -v.AsInt() : v.AsInt());
+    return Value(std::fabs(v.AsDouble()));
+  }
+  if (f == "LOWER" || f == "UPPER") {
+    RETURN_NOT_OK(arity(1));
+    ASSIGN_OR_RETURN(Value v, EvalExpr(*e.args[0], env, row, ctx));
+    if (v.is_null()) return Value::Null();
+    std::string s = v.ToString();
+    for (auto& c : s) {
+      if (f == "LOWER" && c >= 'A' && c <= 'Z') c = static_cast<char>(c + 32);
+      if (f == "UPPER" && c >= 'a' && c <= 'z') c = static_cast<char>(c - 32);
+    }
+    return Value(std::move(s));
+  }
+  if (f == "COUNT" || f == "SUM" || f == "MIN" || f == "MAX" || f == "AVG") {
+    return Status::Internal("aggregate " + f +
+                            " evaluated outside aggregation context");
+  }
+  return Status::NotImplemented("function " + f);
+}
+
+}  // namespace
+
+Result<Value> EvalExpr(const Expr& e, const ColumnEnv& env,
+                       const rel::Row& row, const EvalContext& ctx) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kColumnRef: {
+      ASSIGN_OR_RETURN(int slot, env.Resolve(e.qualifier, e.column));
+      return row[static_cast<size_t>(slot)];
+    }
+    case ExprKind::kBinary:
+      return EvalBinary(e, env, row, ctx);
+    case ExprKind::kUnary: {
+      ASSIGN_OR_RETURN(Value v, EvalExpr(*e.lhs, env, row, ctx));
+      switch (e.un_op) {
+        case UnaryOp::kNot:
+          if (v.is_null()) return Value::Null();
+          return Value(!IsTruthy(v));
+        case UnaryOp::kIsNull:
+          return Value(v.is_null());
+        case UnaryOp::kIsNotNull:
+          return Value(!v.is_null());
+        case UnaryOp::kNeg:
+          if (v.is_null()) return Value::Null();
+          if (v.is_int()) return Value(-v.AsInt());
+          if (v.is_double()) return Value(-v.AsDouble());
+          return Status::TypeError("negation of non-number");
+      }
+      return Status::Internal("unhandled unary op");
+    }
+    case ExprKind::kFunc:
+      return EvalFunc(e, env, row, ctx);
+    case ExprKind::kCast: {
+      ASSIGN_OR_RETURN(Value v, EvalExpr(*e.lhs, env, row, ctx));
+      if (v.is_null()) return Value::Null();
+      switch (e.cast_type) {
+        case rel::ColumnType::kInt64:
+          if (v.is_number() || v.is_bool()) return Value(v.AsInt());
+          if (v.is_string()) {
+            errno = 0;
+            char* end = nullptr;
+            const long long parsed = std::strtoll(v.AsString().c_str(), &end, 10);
+            if (end == v.AsString().c_str()) return Value::Null();
+            return Value(static_cast<int64_t>(parsed));
+          }
+          return Value::Null();
+        case rel::ColumnType::kDouble:
+          if (v.is_number() || v.is_bool()) return Value(v.AsDouble());
+          if (v.is_string()) {
+            char* end = nullptr;
+            const double parsed = std::strtod(v.AsString().c_str(), &end);
+            if (end == v.AsString().c_str()) return Value::Null();
+            return Value(parsed);
+          }
+          return Value::Null();
+        case rel::ColumnType::kString:
+          return Value(v.ToString());
+        case rel::ColumnType::kBool:
+          return Value(IsTruthy(v));
+        case rel::ColumnType::kJson:
+          return Value(ValueToJson(v));
+      }
+      return Status::Internal("unhandled cast type");
+    }
+    case ExprKind::kInList: {
+      ASSIGN_OR_RETURN(Value probe, EvalExpr(*e.lhs, env, row, ctx));
+      if (probe.is_null()) return Value::Null();
+      bool found = false;
+      for (const auto& item : e.in_list) {
+        ASSIGN_OR_RETURN(Value v, EvalExpr(*item, env, row, ctx));
+        if (!v.is_null() && v == probe) {
+          found = true;
+          break;
+        }
+      }
+      return Value(e.negated ? !found : found);
+    }
+    case ExprKind::kInSubquery: {
+      auto it = ctx.in_subquery_sets.find(&e);
+      if (it == ctx.in_subquery_sets.end()) {
+        return Status::Internal("IN subquery was not pre-materialized");
+      }
+      ASSIGN_OR_RETURN(Value probe, EvalExpr(*e.lhs, env, row, ctx));
+      if (probe.is_null()) return Value::Null();
+      const bool found = it->second.count(probe) > 0;
+      return Value(e.negated ? !found : found);
+    }
+    case ExprKind::kStar:
+      return Status::Internal("bare * outside COUNT(*)");
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+}  // namespace sql
+}  // namespace sqlgraph

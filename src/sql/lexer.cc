@@ -1,0 +1,172 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace sqlgraph {
+namespace sql {
+
+namespace {
+const std::unordered_set<std::string>& Keywords() {
+  static const std::unordered_set<std::string> kKeywords = {
+      "WITH",   "RECURSIVE", "SELECT",    "DISTINCT", "FROM",   "WHERE",
+      "GROUP",  "BY",        "HAVING",    "ORDER",    "ASC",    "DESC",
+      "LIMIT",  "OFFSET",    "UNION",     "ALL",      "INTERSECT",
+      "EXCEPT", "JOIN",      "LEFT",      "OUTER",    "INNER",  "ON",
+      "AS",     "AND",       "OR",        "NOT",      "IN",     "IS",
+      "NULL",   "TRUE",      "FALSE",     "LIKE",     "CAST",   "TABLE",
+      "VALUES", "BETWEEN",   "CASE",      "WHEN",     "THEN",   "ELSE",
+      "END",
+  };
+  return kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+}  // namespace
+
+util::Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++i;
+      continue;
+    }
+    // -- line comments (appear in pretty-printed translations).
+    if (c == '-' && i + 1 < n && text[i + 1] == '-') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(text[i])) ++i;
+      std::string word(text.substr(start, i - start));
+      std::string upper = word;
+      for (auto& ch : upper) {
+        if (ch >= 'a' && ch <= 'z') ch = static_cast<char>(ch - 'a' + 'A');
+      }
+      Token t;
+      t.offset = start;
+      if (Keywords().count(upper)) {
+        t.type = TokenType::kKeyword;
+        t.text = upper;
+      } else {
+        t.type = TokenType::kIdentifier;
+        t.text = std::move(word);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      bool is_double = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(text[i])) ||
+                       text[i] == '.' || text[i] == 'e' || text[i] == 'E' ||
+                       ((text[i] == '+' || text[i] == '-') && i > start &&
+                        (text[i - 1] == 'e' || text[i - 1] == 'E')))) {
+        if (text[i] == '.' || text[i] == 'e' || text[i] == 'E') is_double = true;
+        ++i;
+      }
+      std::string num(text.substr(start, i - start));
+      Token t;
+      t.offset = start;
+      if (is_double) {
+        t.type = TokenType::kDouble;
+        t.double_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        t.type = TokenType::kInteger;
+        auto [p, ec] =
+            std::from_chars(num.data(), num.data() + num.size(), t.int_value);
+        if (ec != std::errc()) {
+          t.type = TokenType::kDouble;
+          t.double_value = std::strtod(num.c_str(), nullptr);
+        }
+      }
+      t.text = std::move(num);
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      std::string value;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (text[i] == '\'') {
+          if (i + 1 < n && text[i + 1] == '\'') {  // escaped quote
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        value.push_back(text[i++]);
+      }
+      if (!closed) {
+        return util::Status::ParseError("unterminated string literal at " +
+                                        std::to_string(start));
+      }
+      Token t;
+      t.type = TokenType::kString;
+      t.text = std::move(value);
+      t.offset = start;
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Multi-char symbols first.
+    auto push_symbol = [&](std::string sym, size_t len) {
+      Token t;
+      t.type = TokenType::kSymbol;
+      t.text = std::move(sym);
+      t.offset = start;
+      out.push_back(std::move(t));
+      i += len;
+    };
+    if (c == '<' && i + 1 < n && text[i + 1] == '>') {
+      push_symbol("<>", 2);
+      continue;
+    }
+    if (c == '<' && i + 1 < n && text[i + 1] == '=') {
+      push_symbol("<=", 2);
+      continue;
+    }
+    if (c == '>' && i + 1 < n && text[i + 1] == '=') {
+      push_symbol(">=", 2);
+      continue;
+    }
+    if (c == '!' && i + 1 < n && text[i + 1] == '=') {
+      push_symbol("<>", 2);
+      continue;
+    }
+    if (c == '|' && i + 1 < n && text[i + 1] == '|') {
+      push_symbol("||", 2);
+      continue;
+    }
+    static const std::string kSingles = "(),.*=<>+-/;[]";
+    if (kSingles.find(c) != std::string::npos) {
+      push_symbol(std::string(1, c), 1);
+      continue;
+    }
+    return util::Status::ParseError(util::StrFormat(
+        "unexpected character '%c' at offset %zu", c, start));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace sql
+}  // namespace sqlgraph

@@ -1,0 +1,39 @@
+// SQL tokenizer for the emitted subset.
+
+#ifndef SQLGRAPH_SQL_LEXER_H_
+#define SQLGRAPH_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sqlgraph {
+namespace sql {
+
+enum class TokenType {
+  kKeyword,     // upper-cased reserved word
+  kIdentifier,  // table/column/function name (case preserved)
+  kString,      // 'literal' with '' escapes, already unescaped
+  kInteger,
+  kDouble,
+  kSymbol,  // punctuation / operator: ( ) , . * = <> < <= > >= + - / || ;
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;  // keyword: uppercase; symbol: canonical form
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t offset = 0;  // byte offset in the input, for error messages
+};
+
+/// Tokenizes SQL text. Keywords are recognized case-insensitively.
+util::Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace sql
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_SQL_LEXER_H_

@@ -1,0 +1,622 @@
+#include "sql/parser.h"
+
+#include <unordered_set>
+
+#include "sql/lexer.h"
+#include "util/string_util.h"
+
+namespace sqlgraph {
+namespace sql {
+
+namespace {
+
+using util::Result;
+using util::Status;
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SqlQuery> ParseQuery() {
+    SqlQuery q;
+    if (AcceptKeyword("WITH")) {
+      const bool recursive = AcceptKeyword("RECURSIVE");
+      while (true) {
+        Cte cte;
+        cte.recursive = recursive;
+        ASSIGN_OR_RETURN(cte.name, ExpectIdentifier());
+        if (AcceptSymbol("(")) {
+          while (true) {
+            ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+            cte.column_aliases.push_back(std::move(col));
+            if (AcceptSymbol(",")) continue;
+            RETURN_NOT_OK(ExpectSymbol(")"));
+            break;
+          }
+        }
+        RETURN_NOT_OK(ExpectKeyword("AS"));
+        RETURN_NOT_OK(ExpectSymbol("("));
+        ASSIGN_OR_RETURN(cte.select, ParseSelect());
+        RETURN_NOT_OK(ExpectSymbol(")"));
+        q.ctes.push_back(std::move(cte));
+        if (!AcceptSymbol(",")) break;
+      }
+    }
+    ASSIGN_OR_RETURN(q.final_select, ParseSelect());
+    AcceptSymbol(";");
+    if (Peek().type != TokenType::kEnd) {
+      return Err("trailing tokens after query");
+    }
+    // Mark CTEs recursive only if they actually self-reference; WITH
+    // RECURSIVE is permitted on non-recursive CTEs per the standard.
+    for (auto& cte : q.ctes) {
+      if (cte.recursive) cte.recursive = SelectReferences(*cte.select, cte.name);
+    }
+    return q;
+  }
+
+  Result<ExprPtr> ParseTopExpr() {
+    ASSIGN_OR_RETURN(ExprPtr e, ParseExprPrec(0));
+    if (Peek().type != TokenType::kEnd) return Err("trailing tokens");
+    return e;
+  }
+
+ private:
+  // ----------------------------------------------------------- SELECT ----
+  Result<SelectPtr> ParseSelect() {
+    RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    auto s = std::make_shared<SelectStmt>();
+    s->distinct = AcceptKeyword("DISTINCT");
+    // Select list.
+    while (true) {
+      SelectItem item;
+      if (AcceptSymbol("*")) {
+        item.is_star = true;
+      } else if (PeekQualifiedStar()) {
+        ASSIGN_OR_RETURN(item.star_qualifier, ExpectIdentifier());
+        RETURN_NOT_OK(ExpectSymbol("."));
+        RETURN_NOT_OK(ExpectSymbol("*"));
+        item.is_star = true;
+      } else {
+        ASSIGN_OR_RETURN(item.expr, ParseExprPrec(0));
+        if (AcceptKeyword("AS")) {
+          ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+        } else if (Peek().type == TokenType::kIdentifier) {
+          // bare alias
+          item.alias = Peek().text;
+          ++pos_;
+        }
+      }
+      s->items.push_back(std::move(item));
+      if (!AcceptSymbol(",")) break;
+    }
+    if (AcceptKeyword("FROM")) {
+      bool first = true;
+      while (true) {
+        JoinType join = JoinType::kComma;
+        if (!first) {
+          if (AcceptSymbol(",")) {
+            join = JoinType::kComma;
+          } else if (AcceptKeyword("LEFT")) {
+            AcceptKeyword("OUTER");
+            RETURN_NOT_OK(ExpectKeyword("JOIN"));
+            join = JoinType::kLeftOuter;
+          } else if (AcceptKeyword("INNER")) {
+            RETURN_NOT_OK(ExpectKeyword("JOIN"));
+            join = JoinType::kInner;
+          } else if (AcceptKeyword("JOIN")) {
+            join = JoinType::kInner;
+          } else {
+            break;
+          }
+        }
+        ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+        ref.join = first ? JoinType::kComma : join;
+        if (!first && join != JoinType::kComma) {
+          RETURN_NOT_OK(ExpectKeyword("ON"));
+          ASSIGN_OR_RETURN(ref.on, ParseExprPrec(0));
+        }
+        s->from.push_back(std::move(ref));
+        first = false;
+      }
+    }
+    if (AcceptKeyword("WHERE")) {
+      ASSIGN_OR_RETURN(s->where, ParseExprPrec(0));
+    }
+    if (AcceptKeyword("GROUP")) {
+      RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        ASSIGN_OR_RETURN(ExprPtr e, ParseExprPrec(0));
+        s->group_by.push_back(std::move(e));
+        if (!AcceptSymbol(",")) break;
+      }
+    }
+    if (AcceptKeyword("HAVING")) {
+      ASSIGN_OR_RETURN(s->having, ParseExprPrec(0));
+    }
+    // Set operations chain.
+    while (true) {
+      SetOpKind kind;
+      if (AcceptKeyword("UNION")) {
+        kind = AcceptKeyword("ALL") ? SetOpKind::kUnionAll : SetOpKind::kUnion;
+      } else if (AcceptKeyword("INTERSECT")) {
+        kind = SetOpKind::kIntersect;
+      } else if (AcceptKeyword("EXCEPT")) {
+        kind = SetOpKind::kExcept;
+      } else {
+        break;
+      }
+      ASSIGN_OR_RETURN(SelectPtr rhs, ParseSelect());
+      s->set_ops.push_back(SelectStmt::SetOp{kind, std::move(rhs)});
+      // The recursive ParseSelect above consumes any further set operations
+      // into rhs's own chain (right-deep; UNION ALL is associative).
+      break;
+    }
+    if (AcceptKeyword("ORDER")) {
+      RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        OrderItem item;
+        ASSIGN_OR_RETURN(item.expr, ParseExprPrec(0));
+        if (AcceptKeyword("DESC")) {
+          item.ascending = false;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        s->order_by.push_back(std::move(item));
+        if (!AcceptSymbol(",")) break;
+      }
+    }
+    if (AcceptKeyword("LIMIT")) {
+      ASSIGN_OR_RETURN(int64_t v, ExpectInteger());
+      s->limit = v;
+    }
+    if (AcceptKeyword("OFFSET")) {
+      ASSIGN_OR_RETURN(int64_t v, ExpectInteger());
+      s->offset = v;
+    }
+    return s;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    if (AcceptKeyword("TABLE")) {
+      RETURN_NOT_OK(ExpectSymbol("("));
+      if (Peek().type == TokenType::kIdentifier &&
+          Peek().text == "JSON_EDGES") {
+        // TABLE(JSON_EDGES(expr)) AS t(c, ...)
+        ++pos_;
+        ref.kind = TableRefKind::kUnnestJson;
+        RETURN_NOT_OK(ExpectSymbol("("));
+        ASSIGN_OR_RETURN(ref.json_doc, ParseExprPrec(0));
+        RETURN_NOT_OK(ExpectSymbol(")"));
+        RETURN_NOT_OK(ExpectSymbol(")"));
+        RETURN_NOT_OK(ExpectKeyword("AS"));
+        ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier());
+        RETURN_NOT_OK(ExpectSymbol("("));
+        while (true) {
+          ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+          ref.column_aliases.push_back(std::move(col));
+          if (!AcceptSymbol(",")) break;
+        }
+        RETURN_NOT_OK(ExpectSymbol(")"));
+        return ref;
+      }
+      // TABLE(VALUES (e, ...), (e, ...)) AS t(c, ...)
+      ref.kind = TableRefKind::kUnnestValues;
+      RETURN_NOT_OK(ExpectKeyword("VALUES"));
+      while (true) {
+        RETURN_NOT_OK(ExpectSymbol("("));
+        std::vector<ExprPtr> row;
+        while (true) {
+          ASSIGN_OR_RETURN(ExprPtr e, ParseExprPrec(0));
+          row.push_back(std::move(e));
+          if (!AcceptSymbol(",")) break;
+        }
+        RETURN_NOT_OK(ExpectSymbol(")"));
+        ref.values_rows.push_back(std::move(row));
+        if (!AcceptSymbol(",")) break;
+      }
+      RETURN_NOT_OK(ExpectSymbol(")"));
+      RETURN_NOT_OK(ExpectKeyword("AS"));
+      ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier());
+      RETURN_NOT_OK(ExpectSymbol("("));
+      while (true) {
+        ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        ref.column_aliases.push_back(std::move(col));
+        if (!AcceptSymbol(",")) break;
+      }
+      RETURN_NOT_OK(ExpectSymbol(")"));
+      return ref;
+    }
+    if (AcceptSymbol("(")) {
+      ref.kind = TableRefKind::kSubquery;
+      ASSIGN_OR_RETURN(ref.subquery, ParseSelect());
+      RETURN_NOT_OK(ExpectSymbol(")"));
+      AcceptKeyword("AS");
+      ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier());
+      return ref;
+    }
+    ref.kind = TableRefKind::kBaseTable;
+    ASSIGN_OR_RETURN(ref.table_name, ExpectIdentifier());
+    if (AcceptKeyword("AS")) {
+      ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier());
+    } else if (Peek().type == TokenType::kIdentifier) {
+      ref.alias = Peek().text;
+      ++pos_;
+    } else {
+      ref.alias = ref.table_name;
+    }
+    return ref;
+  }
+
+  // ------------------------------------------------------ Expressions ----
+  // Precedence climbing: 0=OR, 1=AND, 2=NOT, 3=comparison/IN/LIKE/IS,
+  // 4=add/concat, 5=mul, 6=unary/primary.
+  Result<ExprPtr> ParseExprPrec(int min_prec) {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (true) {
+      if (min_prec <= 0 && AcceptKeyword("OR")) {
+        ASSIGN_OR_RETURN(ExprPtr rhs, ParseExprPrec(1));
+        lhs = Bin(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+        continue;
+      }
+      if (min_prec <= 1 && AcceptKeyword("AND")) {
+        ASSIGN_OR_RETURN(ExprPtr rhs, ParseExprPrec(2));
+        lhs = Bin(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+        continue;
+      }
+      break;
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+      return Un(UnaryOp::kNot, std::move(inner));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    // IS [NOT] NULL
+    if (AcceptKeyword("IS")) {
+      const bool negated = AcceptKeyword("NOT");
+      RETURN_NOT_OK(ExpectKeyword("NULL"));
+      return Un(negated ? UnaryOp::kIsNotNull : UnaryOp::kIsNull,
+                std::move(lhs));
+    }
+    bool negated = false;
+    if (PeekKeyword("NOT")) {
+      // Only valid before IN / LIKE / BETWEEN.
+      size_t save = pos_;
+      ++pos_;
+      if (PeekKeyword("IN") || PeekKeyword("LIKE") || PeekKeyword("BETWEEN")) {
+        negated = true;
+      } else {
+        pos_ = save;
+        return lhs;
+      }
+    }
+    if (AcceptKeyword("IN")) {
+      RETURN_NOT_OK(ExpectSymbol("("));
+      if (PeekKeyword("SELECT")) {
+        ASSIGN_OR_RETURN(SelectPtr sub, ParseSelect());
+        RETURN_NOT_OK(ExpectSymbol(")"));
+        return InSubquery(std::move(lhs), std::move(sub), negated);
+      }
+      std::vector<ExprPtr> values;
+      while (true) {
+        ASSIGN_OR_RETURN(ExprPtr e, ParseExprPrec(0));
+        values.push_back(std::move(e));
+        if (!AcceptSymbol(",")) break;
+      }
+      RETURN_NOT_OK(ExpectSymbol(")"));
+      return InList(std::move(lhs), std::move(values), negated);
+    }
+    if (AcceptKeyword("LIKE")) {
+      ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      ExprPtr like = Bin(BinaryOp::kLike, std::move(lhs), std::move(rhs));
+      return negated ? Un(UnaryOp::kNot, std::move(like)) : like;
+    }
+    if (AcceptKeyword("BETWEEN")) {
+      ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+      RETURN_NOT_OK(ExpectKeyword("AND"));
+      ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+      ExprPtr range = Bin(BinaryOp::kAnd,
+                          Bin(BinaryOp::kGe, lhs, std::move(lo)),
+                          Bin(BinaryOp::kLe, lhs, std::move(hi)));
+      return negated ? Un(UnaryOp::kNot, std::move(range)) : range;
+    }
+    static const struct {
+      const char* sym;
+      BinaryOp op;
+    } kCmp[] = {{"=", BinaryOp::kEq},  {"<>", BinaryOp::kNe},
+                {"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe},
+                {"<", BinaryOp::kLt},  {">", BinaryOp::kGt}};
+    for (const auto& cmp : kCmp) {
+      if (AcceptSymbol(cmp.sym)) {
+        ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        return Bin(cmp.op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      if (AcceptSymbol("+")) {
+        ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = Bin(BinaryOp::kAdd, std::move(lhs), std::move(rhs));
+      } else if (AcceptSymbol("-")) {
+        ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = Bin(BinaryOp::kSub, std::move(lhs), std::move(rhs));
+      } else if (AcceptSymbol("||")) {
+        ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = Bin(BinaryOp::kConcat, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      if (AcceptSymbol("*")) {
+        ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = Bin(BinaryOp::kMul, std::move(lhs), std::move(rhs));
+      } else if (AcceptSymbol("/")) {
+        ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = Bin(BinaryOp::kDiv, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (AcceptSymbol("-")) {
+      ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+      return Un(UnaryOp::kNeg, std::move(inner));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInteger: {
+        ++pos_;
+        return Lit(rel::Value(t.int_value));
+      }
+      case TokenType::kDouble: {
+        ++pos_;
+        return Lit(rel::Value(t.double_value));
+      }
+      case TokenType::kString: {
+        ++pos_;
+        return Lit(rel::Value(t.text));
+      }
+      case TokenType::kKeyword: {
+        if (t.text == "NULL") {
+          ++pos_;
+          return Lit(rel::Value::Null());
+        }
+        if (t.text == "TRUE") {
+          ++pos_;
+          return Lit(rel::Value(true));
+        }
+        if (t.text == "FALSE") {
+          ++pos_;
+          return Lit(rel::Value(false));
+        }
+        if (t.text == "CAST") {
+          ++pos_;
+          RETURN_NOT_OK(ExpectSymbol("("));
+          ASSIGN_OR_RETURN(ExprPtr inner, ParseExprPrec(0));
+          RETURN_NOT_OK(ExpectKeyword("AS"));
+          ASSIGN_OR_RETURN(std::string type_name, ExpectIdentifierOrKeyword());
+          rel::ColumnType type;
+          std::string upper = type_name;
+          for (auto& ch : upper) {
+            if (ch >= 'a' && ch <= 'z') ch = static_cast<char>(ch - 'a' + 'A');
+          }
+          if (upper == "BIGINT" || upper == "INTEGER" || upper == "INT") {
+            type = rel::ColumnType::kInt64;
+          } else if (upper == "DOUBLE" || upper == "FLOAT" ||
+                     upper == "DECIMAL") {
+            type = rel::ColumnType::kDouble;
+          } else if (upper == "VARCHAR" || upper == "TEXT") {
+            type = rel::ColumnType::kString;
+          } else if (upper == "BOOLEAN") {
+            type = rel::ColumnType::kBool;
+          } else {
+            return Err("unknown cast type " + type_name);
+          }
+          // Swallow optional length parameter: VARCHAR(200).
+          if (AcceptSymbol("(")) {
+            ASSIGN_OR_RETURN(int64_t ignored, ExpectInteger());
+            (void)ignored;
+            RETURN_NOT_OK(ExpectSymbol(")"));
+          }
+          RETURN_NOT_OK(ExpectSymbol(")"));
+          return CastTo(std::move(inner), type);
+        }
+        return Err("unexpected keyword " + t.text);
+      }
+      case TokenType::kSymbol: {
+        if (t.text == "(") {
+          ++pos_;
+          ASSIGN_OR_RETURN(ExprPtr inner, ParseExprPrec(0));
+          RETURN_NOT_OK(ExpectSymbol(")"));
+          return inner;
+        }
+        if (t.text == "*") {
+          ++pos_;
+          return Star();
+        }
+        return Err("unexpected symbol " + t.text);
+      }
+      case TokenType::kIdentifier: {
+        std::string first = t.text;
+        ++pos_;
+        // Function call?
+        if (AcceptSymbol("(")) {
+          std::vector<ExprPtr> args;
+          bool distinct_arg = false;
+          if (!PeekSymbol(")")) {
+            if (AcceptKeyword("DISTINCT")) distinct_arg = true;
+            while (true) {
+              if (PeekSymbol("*")) {
+                ++pos_;
+                args.push_back(Star());
+              } else {
+                ASSIGN_OR_RETURN(ExprPtr a, ParseExprPrec(0));
+                args.push_back(std::move(a));
+              }
+              if (!AcceptSymbol(",")) break;
+            }
+          }
+          RETURN_NOT_OK(ExpectSymbol(")"));
+          ExprPtr f = Func(std::move(first), std::move(args));
+          f->distinct_arg = distinct_arg;
+          return MaybeSubscript(std::move(f));
+        }
+        // Qualified column?
+        if (AcceptSymbol(".")) {
+          ASSIGN_OR_RETURN(std::string second, ExpectIdentifier());
+          return MaybeSubscript(Col(std::move(first), std::move(second)));
+        }
+        return MaybeSubscript(Col(std::move(first)));
+      }
+      case TokenType::kEnd:
+        return Err("unexpected end of input");
+    }
+    return Err("unparsable expression");
+  }
+
+  /// path[0] → PATH_ELEM(path, 0).
+  Result<ExprPtr> MaybeSubscript(ExprPtr base) {
+    while (AcceptSymbol("[")) {
+      ASSIGN_OR_RETURN(ExprPtr idx, ParseExprPrec(0));
+      RETURN_NOT_OK(ExpectSymbol("]"));
+      base = Func("PATH_ELEM", {std::move(base), std::move(idx)});
+    }
+    return base;
+  }
+
+  // --------------------------------------------------------- Utilities ----
+  const Token& Peek() const { return tokens_[pos_]; }
+
+  bool PeekKeyword(std::string_view kw) const {
+    return Peek().type == TokenType::kKeyword && Peek().text == kw;
+  }
+  bool PeekSymbol(std::string_view sym) const {
+    return Peek().type == TokenType::kSymbol && Peek().text == sym;
+  }
+  bool PeekQualifiedStar() const {
+    return Peek().type == TokenType::kIdentifier &&
+           pos_ + 2 < tokens_.size() &&
+           tokens_[pos_ + 1].type == TokenType::kSymbol &&
+           tokens_[pos_ + 1].text == "." &&
+           tokens_[pos_ + 2].type == TokenType::kSymbol &&
+           tokens_[pos_ + 2].text == "*";
+  }
+
+  bool AcceptKeyword(std::string_view kw) {
+    if (PeekKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(std::string_view sym) {
+    if (PeekSymbol(sym)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (!AcceptKeyword(kw)) {
+      return Err("expected " + std::string(kw));
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(std::string_view sym) {
+    if (!AcceptSymbol(sym)) {
+      return Err("expected '" + std::string(sym) + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Err("expected identifier");
+    }
+    std::string s = Peek().text;
+    ++pos_;
+    return s;
+  }
+  Result<std::string> ExpectIdentifierOrKeyword() {
+    if (Peek().type != TokenType::kIdentifier &&
+        Peek().type != TokenType::kKeyword) {
+      return Err("expected identifier");
+    }
+    std::string s = Peek().text;
+    ++pos_;
+    return s;
+  }
+  Result<int64_t> ExpectInteger() {
+    if (Peek().type != TokenType::kInteger) {
+      return Err("expected integer");
+    }
+    int64_t v = Peek().int_value;
+    ++pos_;
+    return v;
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " near offset " +
+                              std::to_string(Peek().offset) +
+                              (Peek().type == TokenType::kEnd
+                                   ? " (end)"
+                                   : " ('" + Peek().text + "')"));
+  }
+
+  static bool SelectReferences(const SelectStmt& s, const std::string& name) {
+    for (const auto& ref : s.from) {
+      if (ref.kind == TableRefKind::kBaseTable && ref.table_name == name) {
+        return true;
+      }
+      if (ref.kind == TableRefKind::kSubquery &&
+          SelectReferences(*ref.subquery, name)) {
+        return true;
+      }
+    }
+    for (const auto& op : s.set_ops) {
+      if (SelectReferences(*op.rhs, name)) return true;
+    }
+    return false;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Result<SqlQuery> ParseQuery(std::string_view text) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  return Parser(std::move(tokens)).ParseQuery();
+}
+
+util::Result<ExprPtr> ParseExpr(std::string_view text) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  return Parser(std::move(tokens)).ParseTopExpr();
+}
+
+}  // namespace sql
+}  // namespace sqlgraph

@@ -1,0 +1,24 @@
+// Recursive-descent parser for the SQL subset rendered by sql/render.h.
+// Used in tests and examples to prove the translator's output round-trips.
+
+#ifndef SQLGRAPH_SQL_PARSER_H_
+#define SQLGRAPH_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace sqlgraph {
+namespace sql {
+
+/// Parses a full query (optionally starting with WITH).
+util::Result<SqlQuery> ParseQuery(std::string_view text);
+
+/// Parses a scalar expression (for tests).
+util::Result<ExprPtr> ParseExpr(std::string_view text);
+
+}  // namespace sql
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_SQL_PARSER_H_

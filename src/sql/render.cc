@@ -1,0 +1,324 @@
+#include "sql/render.h"
+
+#include "util/string_util.h"
+
+namespace sqlgraph {
+namespace sql {
+
+namespace {
+
+int Precedence(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kOr: return 1;
+    case BinaryOp::kAnd: return 2;
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+    case BinaryOp::kLike: return 3;
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kConcat: return 4;
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv: return 5;
+  }
+  return 0;
+}
+
+const char* OpToken(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kLike: return "LIKE";
+    case BinaryOp::kConcat: return "||";
+  }
+  return "?";
+}
+
+std::string RenderLiteral(const rel::Value& v) {
+  if (v.is_null()) return "NULL";
+  if (v.is_bool()) return v.AsBool() ? "TRUE" : "FALSE";
+  if (v.is_string()) return util::SqlQuote(v.AsString());
+  if (v.is_json()) return "JSON " + util::SqlQuote(v.ToString());
+  return v.ToString();
+}
+
+void RenderExprTo(const Expr& e, int parent_prec, std::string* out);
+
+void RenderExprTo(const ExprPtr& e, int parent_prec, std::string* out) {
+  RenderExprTo(*e, parent_prec, out);
+}
+
+void RenderExprTo(const Expr& e, int parent_prec, std::string* out) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      out->append(RenderLiteral(e.literal));
+      return;
+    case ExprKind::kColumnRef:
+      if (!e.qualifier.empty()) {
+        out->append(e.qualifier);
+        out->push_back('.');
+      }
+      out->append(e.column);
+      return;
+    case ExprKind::kStar:
+      out->push_back('*');
+      return;
+    case ExprKind::kBinary: {
+      const int prec = Precedence(e.bin_op);
+      const bool paren = prec < parent_prec;
+      if (paren) out->push_back('(');
+      RenderExprTo(e.lhs, prec, out);
+      out->push_back(' ');
+      out->append(OpToken(e.bin_op));
+      out->push_back(' ');
+      RenderExprTo(e.rhs, prec + 1, out);
+      if (paren) out->push_back(')');
+      return;
+    }
+    case ExprKind::kUnary:
+      switch (e.un_op) {
+        case UnaryOp::kNot:
+          out->append("NOT (");
+          RenderExprTo(e.lhs, 0, out);
+          out->push_back(')');
+          return;
+        case UnaryOp::kNeg:
+          out->append("-(");
+          RenderExprTo(e.lhs, 0, out);
+          out->push_back(')');
+          return;
+        case UnaryOp::kIsNull:
+          RenderExprTo(e.lhs, 6, out);
+          out->append(" IS NULL");
+          return;
+        case UnaryOp::kIsNotNull:
+          RenderExprTo(e.lhs, 6, out);
+          out->append(" IS NOT NULL");
+          return;
+      }
+      return;
+    case ExprKind::kFunc: {
+      out->append(e.func_name);
+      out->push_back('(');
+      if (e.distinct_arg) out->append("DISTINCT ");
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i) out->append(", ");
+        RenderExprTo(e.args[i], 0, out);
+      }
+      out->push_back(')');
+      return;
+    }
+    case ExprKind::kCast:
+      out->append("CAST(");
+      RenderExprTo(e.lhs, 0, out);
+      out->append(" AS ");
+      out->append(rel::ColumnTypeName(e.cast_type));
+      out->push_back(')');
+      return;
+    case ExprKind::kInList: {
+      RenderExprTo(e.lhs, 6, out);
+      out->append(e.negated ? " NOT IN (" : " IN (");
+      for (size_t i = 0; i < e.in_list.size(); ++i) {
+        if (i) out->append(", ");
+        RenderExprTo(e.in_list[i], 0, out);
+      }
+      out->push_back(')');
+      return;
+    }
+    case ExprKind::kInSubquery:
+      RenderExprTo(e.lhs, 6, out);
+      out->append(e.negated ? " NOT IN (" : " IN (");
+      out->append(RenderSelect(*e.subquery));
+      out->push_back(')');
+      return;
+  }
+}
+
+void RenderTableRef(const TableRef& ref, bool first, std::string* out) {
+  if (!first) {
+    switch (ref.join) {
+      case JoinType::kComma: out->append(", "); break;
+      case JoinType::kInner: out->append(" JOIN "); break;
+      case JoinType::kLeftOuter: out->append(" LEFT OUTER JOIN "); break;
+    }
+  }
+  switch (ref.kind) {
+    case TableRefKind::kBaseTable:
+      out->append(ref.table_name);
+      if (!ref.alias.empty() && ref.alias != ref.table_name) {
+        out->push_back(' ');
+        out->append(ref.alias);
+      }
+      break;
+    case TableRefKind::kUnnestValues: {
+      out->append("TABLE(VALUES ");
+      for (size_t i = 0; i < ref.values_rows.size(); ++i) {
+        if (i) out->append(", ");
+        out->push_back('(');
+        for (size_t j = 0; j < ref.values_rows[i].size(); ++j) {
+          if (j) out->append(", ");
+          RenderExprTo(ref.values_rows[i][j], 0, out);
+        }
+        out->push_back(')');
+      }
+      out->append(") AS ");
+      out->append(ref.alias);
+      out->push_back('(');
+      for (size_t i = 0; i < ref.column_aliases.size(); ++i) {
+        if (i) out->append(", ");
+        out->append(ref.column_aliases[i]);
+      }
+      out->push_back(')');
+      break;
+    }
+    case TableRefKind::kUnnestJson: {
+      out->append("TABLE(JSON_EDGES(");
+      RenderExprTo(ref.json_doc, 0, out);
+      out->append(")) AS ");
+      out->append(ref.alias);
+      out->push_back('(');
+      for (size_t i = 0; i < ref.column_aliases.size(); ++i) {
+        if (i) out->append(", ");
+        out->append(ref.column_aliases[i]);
+      }
+      out->push_back(')');
+      break;
+    }
+    case TableRefKind::kSubquery:
+      out->push_back('(');
+      out->append(RenderSelect(*ref.subquery));
+      out->append(") ");
+      out->append(ref.alias);
+      break;
+  }
+  if (!first && ref.join != JoinType::kComma && ref.on != nullptr) {
+    out->append(" ON ");
+    RenderExprTo(ref.on, 0, out);
+  }
+}
+
+void RenderSelectTo(const SelectStmt& s, std::string* out) {
+  out->append("SELECT ");
+  if (s.distinct) out->append("DISTINCT ");
+  for (size_t i = 0; i < s.items.size(); ++i) {
+    if (i) out->append(", ");
+    const SelectItem& item = s.items[i];
+    if (item.is_star) {
+      if (!item.star_qualifier.empty()) {
+        out->append(item.star_qualifier);
+        out->push_back('.');
+      }
+      out->push_back('*');
+    } else {
+      RenderExprTo(item.expr, 0, out);
+      if (!item.alias.empty()) {
+        out->append(" AS ");
+        out->append(item.alias);
+      }
+    }
+  }
+  if (!s.from.empty()) {
+    out->append(" FROM ");
+    for (size_t i = 0; i < s.from.size(); ++i) {
+      RenderTableRef(s.from[i], i == 0, out);
+    }
+  }
+  if (s.where != nullptr) {
+    out->append(" WHERE ");
+    RenderExprTo(s.where, 0, out);
+  }
+  if (!s.group_by.empty()) {
+    out->append(" GROUP BY ");
+    for (size_t i = 0; i < s.group_by.size(); ++i) {
+      if (i) out->append(", ");
+      RenderExprTo(s.group_by[i], 0, out);
+    }
+  }
+  if (s.having != nullptr) {
+    out->append(" HAVING ");
+    RenderExprTo(s.having, 0, out);
+  }
+  for (const auto& set_op : s.set_ops) {
+    switch (set_op.kind) {
+      case SetOpKind::kUnionAll: out->append(" UNION ALL "); break;
+      case SetOpKind::kUnion: out->append(" UNION "); break;
+      case SetOpKind::kIntersect: out->append(" INTERSECT "); break;
+      case SetOpKind::kExcept: out->append(" EXCEPT "); break;
+    }
+    RenderSelectTo(*set_op.rhs, out);
+  }
+  if (!s.order_by.empty()) {
+    out->append(" ORDER BY ");
+    for (size_t i = 0; i < s.order_by.size(); ++i) {
+      if (i) out->append(", ");
+      RenderExprTo(s.order_by[i].expr, 0, out);
+      if (!s.order_by[i].ascending) out->append(" DESC");
+    }
+  }
+  if (s.limit.has_value()) {
+    out->append(" LIMIT ");
+    out->append(std::to_string(*s.limit));
+  }
+  if (s.offset.has_value()) {
+    out->append(" OFFSET ");
+    out->append(std::to_string(*s.offset));
+  }
+}
+
+}  // namespace
+
+std::string RenderExpr(const Expr& expr) {
+  std::string out;
+  RenderExprTo(expr, 0, &out);
+  return out;
+}
+
+std::string RenderSelect(const SelectStmt& select) {
+  std::string out;
+  RenderSelectTo(select, &out);
+  return out;
+}
+
+std::string Render(const SqlQuery& query) {
+  std::string out;
+  if (!query.ctes.empty()) {
+    bool any_recursive = false;
+    for (const auto& cte : query.ctes) any_recursive |= cte.recursive;
+    out.append(any_recursive ? "WITH RECURSIVE " : "WITH ");
+    for (size_t i = 0; i < query.ctes.size(); ++i) {
+      if (i) out.append(", ");
+      const Cte& cte = query.ctes[i];
+      out.append(cte.name);
+      if (!cte.column_aliases.empty()) {
+        out.push_back('(');
+        for (size_t j = 0; j < cte.column_aliases.size(); ++j) {
+          if (j) out.append(", ");
+          out.append(cte.column_aliases[j]);
+        }
+        out.push_back(')');
+      }
+      out.append(" AS (");
+      RenderSelectTo(*cte.select, &out);
+      out.push_back(')');
+    }
+    out.push_back(' ');
+  }
+  RenderSelectTo(*query.final_select, &out);
+  return out;
+}
+
+}  // namespace sql
+}  // namespace sqlgraph

@@ -1,0 +1,25 @@
+// Renders the SQL AST to SQL text (the paper's Fig. 7 output format).
+
+#ifndef SQLGRAPH_SQL_RENDER_H_
+#define SQLGRAPH_SQL_RENDER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace sqlgraph {
+namespace sql {
+
+/// Renders a full query: `WITH a AS (...), b AS (...) SELECT ...`.
+std::string Render(const SqlQuery& query);
+
+/// Renders one SELECT statement (no trailing semicolon).
+std::string RenderSelect(const SelectStmt& select);
+
+/// Renders a scalar expression.
+std::string RenderExpr(const Expr& expr);
+
+}  // namespace sql
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_SQL_RENDER_H_

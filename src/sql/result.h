@@ -1,0 +1,54 @@
+// Materialized query results.
+
+#ifndef SQLGRAPH_SQL_RESULT_H_
+#define SQLGRAPH_SQL_RESULT_H_
+
+#include <string>
+#include <vector>
+
+#include "rel/value.h"
+
+namespace sqlgraph {
+namespace sql {
+
+/// \brief A materialized relation: column names plus rows.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<rel::Row> rows;
+
+  int FindColumn(std::string_view name) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Debug rendering (aligned columns), for examples and failure messages.
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+/// Hash/equality over full rows, for DISTINCT and set operations.
+struct RowHash {
+  size_t operator()(const rel::Row& row) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const auto& v : row) {
+      h ^= v.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+struct RowEq {
+  bool operator()(const rel::Row& a, const rel::Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace sql
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_SQL_RESULT_H_

@@ -1,0 +1,219 @@
+#include "sqlgraph/loader.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace sqlgraph {
+namespace core {
+
+using graph::Edge;
+using graph::EdgeId;
+using graph::PropertyGraph;
+using graph::VertexId;
+using rel::Row;
+using rel::Value;
+using util::Result;
+using util::Status;
+
+GraphSchema AnalyzeGraph(const graph::PropertyGraph& graph,
+                         const StoreConfig& config) {
+  GraphSchema schema;
+  if (config.use_coloring) {
+    coloring::CooccurrenceGraph out_cooc;
+    coloring::CooccurrenceGraph in_cooc;
+    std::vector<std::string> labels;
+    for (VertexId v = 0; v < static_cast<VertexId>(graph.NumVertices()); ++v) {
+      labels.clear();
+      for (EdgeId e : graph.OutEdges(v)) labels.push_back(graph.edge(e).label);
+      if (!labels.empty()) out_cooc.AddGroup(labels);
+      labels.clear();
+      for (EdgeId e : graph.InEdges(v)) labels.push_back(graph.edge(e).label);
+      if (!labels.empty()) in_cooc.AddGroup(labels);
+    }
+    schema.out_hash =
+        coloring::ColoredHash::Build(out_cooc, config.max_adjacency_colors);
+    schema.in_hash =
+        coloring::ColoredHash::Build(in_cooc, config.max_adjacency_colors);
+  } else {
+    std::vector<std::string> labels;
+    for (const auto& [label, count] : graph.LabelHistogram()) {
+      (void)count;
+      labels.push_back(label);
+    }
+    schema.out_hash =
+        coloring::ColoredHash::BuildModulo(labels, config.max_adjacency_colors);
+    schema.in_hash =
+        coloring::ColoredHash::BuildModulo(labels, config.max_adjacency_colors);
+  }
+  schema.out_colors = std::max<size_t>(1, schema.out_hash.num_colors());
+  schema.in_colors = std::max<size_t>(1, schema.in_hash.num_colors());
+  if (config.max_adjacency_colors > 0) {
+    schema.out_colors =
+        std::min(schema.out_colors, config.max_adjacency_colors);
+    schema.in_colors = std::min(schema.in_colors, config.max_adjacency_colors);
+  }
+  return schema;
+}
+
+namespace {
+
+/// One in-progress adjacency row: per column triad, an optional entry.
+struct PendingEntry {
+  bool used = false;
+  Value eid;    // NULL for multi-valued
+  Value label;
+  Value val;    // neighbor vid or lid
+};
+
+/// Shreds one vertex's adjacency (one direction) into rows; appends them to
+/// the table and multi-value lists to the secondary table.
+struct DirectionLoader {
+  rel::Table* primary;
+  rel::Table* secondary;
+  const coloring::ColoredHash* hash;
+  size_t colors;
+  int64_t* next_lid;
+  size_t spill_rows = 0;
+  size_t secondary_rows = 0;
+
+  /// `entries`: label → list of (eid, neighbor vid), insertion-ordered.
+  Status LoadVertex(
+      VertexId vid,
+      const std::vector<std::pair<std::string,
+                                  std::vector<std::pair<EdgeId, VertexId>>>>&
+          entries) {
+    if (entries.empty()) return Status::OK();
+    std::vector<std::vector<PendingEntry>> rows;
+    for (const auto& [label, edge_list] : entries) {
+      const size_t c = hash->ColorOf(label) % colors;
+      // Find the first row whose column c is free (spill on conflict).
+      size_t r = 0;
+      while (r < rows.size() && rows[r][c].used) ++r;
+      if (r == rows.size()) rows.emplace_back(colors);
+      PendingEntry& slot = rows[r][c];
+      slot.used = true;
+      slot.label = Value(label);
+      if (edge_list.size() == 1) {
+        slot.eid = Value(static_cast<int64_t>(edge_list[0].first));
+        slot.val = Value(static_cast<int64_t>(edge_list[0].second));
+      } else {
+        const int64_t lid = (*next_lid)++;
+        slot.eid = Value::Null();
+        slot.val = Value(lid);
+        for (const auto& [eid, nbr] : edge_list) {
+          RETURN_NOT_OK(secondary
+                            ->Insert({Value(lid), Value(static_cast<int64_t>(eid)),
+                                      Value(static_cast<int64_t>(nbr))})
+                            .status());
+          ++secondary_rows;
+        }
+      }
+    }
+    const int64_t spill_flag = rows.size() > 1 ? 1 : 0;
+    spill_rows += rows.size() - 1;
+    for (const auto& row : rows) {
+      Row out;
+      out.reserve(2 + 3 * colors);
+      out.push_back(Value(static_cast<int64_t>(vid)));
+      out.push_back(Value(spill_flag));
+      for (const auto& slot : row) {
+        if (slot.used) {
+          out.push_back(slot.eid);
+          out.push_back(slot.label);
+          out.push_back(slot.val);
+        } else {
+          out.push_back(Value::Null());
+          out.push_back(Value::Null());
+          out.push_back(Value::Null());
+        }
+      }
+      RETURN_NOT_OK(primary->Insert(std::move(out)).status());
+    }
+    return Status::OK();
+  }
+};
+
+/// Groups a vertex's edges by label, preserving first-seen label order.
+std::vector<std::pair<std::string, std::vector<std::pair<EdgeId, VertexId>>>>
+GroupByLabel(const PropertyGraph& graph, const std::vector<EdgeId>& edge_ids,
+             bool use_dst) {
+  std::vector<std::pair<std::string, std::vector<std::pair<EdgeId, VertexId>>>>
+      grouped;
+  std::unordered_map<std::string, size_t> index;
+  for (EdgeId e : edge_ids) {
+    const Edge& edge = graph.edge(e);
+    const VertexId nbr = use_dst ? edge.dst : edge.src;
+    auto [it, inserted] = index.emplace(edge.label, grouped.size());
+    if (inserted) grouped.emplace_back(edge.label, decltype(grouped)::value_type::second_type{});
+    grouped[it->second].second.emplace_back(e, nbr);
+  }
+  return grouped;
+}
+
+}  // namespace
+
+Result<LoadStats> BulkLoad(const PropertyGraph& graph,
+                           const GraphSchema& schema,
+                           const StoreConfig& config, rel::Database* db,
+                           int64_t* next_lid) {
+  RETURN_NOT_OK(schema.CreateTables(db, config));
+  rel::Table* opa = db->GetTable(kOpaTable);
+  rel::Table* ipa = db->GetTable(kIpaTable);
+  rel::Table* osa = db->GetTable(kOsaTable);
+  rel::Table* isa = db->GetTable(kIsaTable);
+  rel::Table* va = db->GetTable(kVaTable);
+  rel::Table* ea = db->GetTable(kEaTable);
+
+  DirectionLoader out_loader{opa, osa, &schema.out_hash, schema.out_colors,
+                             next_lid};
+  DirectionLoader in_loader{ipa, isa, &schema.in_hash, schema.in_colors,
+                            next_lid};
+
+  for (VertexId v = 0; v < static_cast<VertexId>(graph.NumVertices()); ++v) {
+    RETURN_NOT_OK(va->Insert({Value(static_cast<int64_t>(v)),
+                              Value(graph.vertex(v).attrs)})
+                      .status());
+    RETURN_NOT_OK(out_loader.LoadVertex(
+        v, GroupByLabel(graph, graph.OutEdges(v), /*use_dst=*/true)));
+    RETURN_NOT_OK(in_loader.LoadVertex(
+        v, GroupByLabel(graph, graph.InEdges(v), /*use_dst=*/false)));
+  }
+  for (const Edge& edge : graph.edges()) {
+    RETURN_NOT_OK(ea->Insert({Value(static_cast<int64_t>(edge.id)),
+                              Value(static_cast<int64_t>(edge.src)),
+                              Value(static_cast<int64_t>(edge.dst)),
+                              Value(edge.label), Value(edge.attrs)})
+                      .status());
+  }
+  RETURN_NOT_OK(schema.CreateIndexes(db, config));
+
+  LoadStats stats;
+  stats.num_vertices = graph.NumVertices();
+  stats.num_edges = graph.NumEdges();
+  stats.out_colors = schema.out_colors;
+  stats.in_colors = schema.in_colors;
+  stats.num_out_labels = schema.out_hash.num_labels();
+  stats.num_in_labels = schema.in_hash.num_labels();
+  auto max_bucket = [](const coloring::ColoredHash& h) {
+    size_t best = 0;
+    for (size_t b : h.ColorHistogram()) best = std::max(best, b);
+    return best;
+  };
+  stats.max_out_bucket = max_bucket(schema.out_hash);
+  stats.max_in_bucket = max_bucket(schema.in_hash);
+  stats.out_spill_rows = out_loader.spill_rows;
+  stats.in_spill_rows = in_loader.spill_rows;
+  stats.osa_rows = out_loader.secondary_rows;
+  stats.isa_rows = in_loader.secondary_rows;
+  if (stats.num_vertices > 0) {
+    stats.out_spill_pct = 100.0 * static_cast<double>(stats.out_spill_rows) /
+                          static_cast<double>(stats.num_vertices);
+    stats.in_spill_pct = 100.0 * static_cast<double>(stats.in_spill_rows) /
+                         static_cast<double>(stats.num_vertices);
+  }
+  return stats;
+}
+
+}  // namespace core
+}  // namespace sqlgraph

@@ -1,0 +1,31 @@
+// Bulk loader: property graph → SQLGraph schema. Performs the coloring
+// analysis (§3.4), shreds adjacency into OPA/OSA/IPA/ISA with spill
+// handling, writes VA/EA, builds the Fig. 5 index set, and reports the
+// Table-3 statistics.
+
+#ifndef SQLGRAPH_SQLGRAPH_LOADER_H_
+#define SQLGRAPH_SQLGRAPH_LOADER_H_
+
+#include "graph/property_graph.h"
+#include "rel/database.h"
+#include "sqlgraph/schema.h"
+#include "util/status.h"
+
+namespace sqlgraph {
+namespace core {
+
+/// Analyzes label co-occurrence over the graph and builds the colored
+/// hashes (or modulo hashes when config.use_coloring is false).
+GraphSchema AnalyzeGraph(const graph::PropertyGraph& graph,
+                         const StoreConfig& config);
+
+/// Loads the graph into `db` using `schema`. Tables must not exist yet.
+util::Result<LoadStats> BulkLoad(const graph::PropertyGraph& graph,
+                                 const GraphSchema& schema,
+                                 const StoreConfig& config, rel::Database* db,
+                                 int64_t* next_lid);
+
+}  // namespace core
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_SQLGRAPH_LOADER_H_

@@ -1,0 +1,377 @@
+#include "sqlgraph/micro_schemas.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "coloring/coloring.h"
+#include "json/json_parser.h"
+#include "util/string_util.h"
+
+namespace sqlgraph {
+namespace core {
+
+using graph::EdgeId;
+using graph::PropertyGraph;
+using graph::VertexId;
+using rel::Row;
+using rel::RowId;
+using rel::Value;
+using util::Result;
+using util::Status;
+
+// ====================================================== JsonAdjacencyStore --
+
+namespace {
+constexpr char kJOut[] = "JOUT";
+constexpr char kJIn[] = "JIN";
+constexpr char kFrontier[] = "FRONTIER";
+
+/// Builds the Fig. 2c document: {"label": [{"eid":7,"val":2}, ...], ...}.
+std::string AdjacencyDocument(const PropertyGraph& graph,
+                              const std::vector<EdgeId>& edge_ids,
+                              bool use_dst) {
+  json::JsonValue doc = json::JsonValue::Object();
+  for (EdgeId e : edge_ids) {
+    const graph::Edge& edge = graph.edge(e);
+    json::JsonValue entry = json::JsonValue::Object();
+    entry.Set("eid", static_cast<int64_t>(edge.id));
+    entry.Set("val", static_cast<int64_t>(use_dst ? edge.dst : edge.src));
+    const json::JsonValue* list = doc.Find(edge.label);
+    if (list == nullptr) {
+      json::JsonValue arr = json::JsonValue::Array();
+      arr.Append(std::move(entry));
+      doc.Set(edge.label, std::move(arr));
+    } else {
+      json::JsonValue arr = *list;
+      arr.Append(std::move(entry));
+      doc.Set(edge.label, std::move(arr));
+    }
+  }
+  return json::Write(doc);
+}
+}  // namespace
+
+Result<std::unique_ptr<JsonAdjacencyStore>> JsonAdjacencyStore::Build(
+    const PropertyGraph& graph) {
+  auto store = std::unique_ptr<JsonAdjacencyStore>(new JsonAdjacencyStore());
+  for (const char* name : {kJOut, kJIn}) {
+    rel::Schema s;
+    s.AddColumn("VID", rel::ColumnType::kInt64, /*nullable=*/false);
+    // Serialized JSON text, as a 2015-era engine would store a JSON column.
+    s.AddColumn("EDGES", rel::ColumnType::kString, /*nullable=*/false);
+    RETURN_NOT_OK(store->db_.CreateTable(name, std::move(s)).status());
+  }
+  rel::Table* jout = store->db_.GetTable(kJOut);
+  rel::Table* jin = store->db_.GetTable(kJIn);
+  for (VertexId v = 0; v < static_cast<VertexId>(graph.NumVertices()); ++v) {
+    if (!graph.OutEdges(v).empty()) {
+      RETURN_NOT_OK(jout->Insert({Value(static_cast<int64_t>(v)),
+                                  Value(AdjacencyDocument(
+                                      graph, graph.OutEdges(v), true))})
+                        .status());
+    }
+    if (!graph.InEdges(v).empty()) {
+      RETURN_NOT_OK(jin->Insert({Value(static_cast<int64_t>(v)),
+                                 Value(AdjacencyDocument(
+                                     graph, graph.InEdges(v), false))})
+                        .status());
+    }
+  }
+  RETURN_NOT_OK(jout->CreateIndex("JOUT_VID", {"VID"}, rel::IndexKind::kHash,
+                                  /*unique=*/true));
+  RETURN_NOT_OK(jin->CreateIndex("JIN_VID", {"VID"}, rel::IndexKind::kHash,
+                                 /*unique=*/true));
+  // Scratch table holding the current traversal frontier between hops (the
+  // equivalent of the CTE materialization on the relational side).
+  rel::Schema frontier;
+  frontier.AddColumn("val", rel::ColumnType::kInt64, /*nullable=*/false);
+  RETURN_NOT_OK(store->db_.CreateTable(kFrontier, std::move(frontier))
+                    .status());
+  return store;
+}
+
+Result<std::vector<VertexId>> JsonAdjacencyStore::Hop(
+    const char* table, const std::vector<VertexId>& frontier,
+    const std::string& label) const {
+  // 1. Materialize the frontier (mirrors the relational side's input CTE).
+  rel::Table* scratch = db_.GetTable(kFrontier);
+  RETURN_NOT_OK(db_.DropTable(kFrontier));
+  rel::Schema schema;
+  schema.AddColumn("val", rel::ColumnType::kInt64, /*nullable=*/false);
+  ASSIGN_OR_RETURN(scratch, db_.CreateTable(kFrontier, std::move(schema)));
+  for (VertexId v : frontier) {
+    RETURN_NOT_OK(scratch->Insert({Value(static_cast<int64_t>(v))}).status());
+  }
+  RETURN_NOT_OK(
+      scratch->CreateIndex("FRONTIER_VAL", {"val"}, rel::IndexKind::kHash));
+  // 2. One SQL query per hop: index join into the document table, then a
+  // lateral JSON_EDGES expansion that parses each visited document.
+  std::string sql = std::string("SELECT t.val AS val FROM FRONTIER v, ") +
+                    table +
+                    " p, TABLE(JSON_EDGES(p.EDGES)) AS t(lbl, val) "
+                    "WHERE v.val = p.VID";
+  if (!label.empty()) sql += " AND t.lbl = " + util::SqlQuote(label);
+  sql::Executor exec(&db_);
+  ASSIGN_OR_RETURN(sql::ResultSet result, exec.ExecuteSql(sql));
+  std::vector<VertexId> next;
+  next.reserve(result.rows.size());
+  for (const auto& row : result.rows) {
+    if (!row[0].is_null()) next.push_back(row[0].AsInt());
+  }
+  return next;
+}
+
+Result<std::vector<VertexId>> JsonAdjacencyStore::OutHop(
+    const std::vector<VertexId>& frontier, const std::string& label) const {
+  return Hop(kJOut, frontier, label);
+}
+
+Result<std::vector<VertexId>> JsonAdjacencyStore::InHop(
+    const std::vector<VertexId>& frontier, const std::string& label) const {
+  return Hop(kJIn, frontier, label);
+}
+
+Result<std::vector<VertexId>> JsonAdjacencyStore::BothHop(
+    const std::vector<VertexId>& frontier, const std::string& label) const {
+  ASSIGN_OR_RETURN(std::vector<VertexId> out, Hop(kJOut, frontier, label));
+  ASSIGN_OR_RETURN(std::vector<VertexId> in, Hop(kJIn, frontier, label));
+  out.insert(out.end(), in.begin(), in.end());
+  return out;
+}
+
+// =========================================================== HashAttrStore --
+
+namespace {
+constexpr char kVah[] = "VAH";   // hash table
+constexpr char kLs[] = "VAH_LS"; // long strings
+constexpr char kMv[] = "VAH_MV"; // multi-values
+
+std::string AttrCol(size_t c) { return util::StrFormat("ATTR%zu", c); }
+std::string TypeCol(size_t c) { return util::StrFormat("TYPE%zu", c); }
+std::string AvalCol(size_t c) { return util::StrFormat("VAL%zu", c); }
+
+size_t AttrColIdx(size_t c) { return 2 + 3 * c; }
+size_t TypeColIdx(size_t c) { return 3 + 3 * c; }
+size_t AvalColIdx(size_t c) { return 4 + 3 * c; }
+
+/// Scalar JSON attribute value → (type tag, string form).
+std::pair<std::string, std::string> TypedString(const json::JsonValue& v) {
+  switch (v.type()) {
+    case json::JsonType::kBool:
+      return {"BOOLEAN", v.AsBool() ? "true" : "false"};
+    case json::JsonType::kInt:
+      return {"INTEGER", std::to_string(v.AsInt())};
+    case json::JsonType::kDouble:
+      return {"DOUBLE", util::StrFormat("%.12g", v.AsDouble())};
+    case json::JsonType::kString:
+      return {"STRING", v.AsString()};
+    default:
+      return {"STRING", json::Write(v)};
+  }
+}
+}  // namespace
+
+Result<std::unique_ptr<HashAttrStore>> HashAttrStore::Build(
+    const PropertyGraph& graph, size_t max_colors) {
+  auto store = std::unique_ptr<HashAttrStore>(new HashAttrStore());
+
+  // Color attribute keys by co-occurrence within a vertex (§3.3).
+  coloring::CooccurrenceGraph cooc;
+  std::vector<std::string> keys;
+  for (const auto& vertex : graph.vertices()) {
+    if (!vertex.attrs.is_object()) continue;
+    keys.clear();
+    for (const auto& [k, v] : vertex.attrs.AsObject()) keys.push_back(k);
+    if (!keys.empty()) cooc.AddGroup(keys);
+  }
+  coloring::ColoredHash hash = coloring::ColoredHash::Build(cooc, max_colors);
+  store->colors_ = std::max<size_t>(1, std::min(hash.num_colors(), max_colors));
+  store->stats_.num_keys = hash.num_labels();
+  store->stats_.colors = store->colors_;
+  for (size_t b : hash.ColorHistogram()) {
+    store->stats_.max_bucket = std::max(store->stats_.max_bucket, b);
+  }
+
+  rel::Schema s;
+  s.AddColumn("VID", rel::ColumnType::kInt64, /*nullable=*/false);
+  s.AddColumn("SPILL", rel::ColumnType::kInt64, /*nullable=*/false);
+  for (size_t c = 0; c < store->colors_; ++c) {
+    s.AddColumn(AttrCol(c), rel::ColumnType::kString);
+    s.AddColumn(TypeCol(c), rel::ColumnType::kString);
+    s.AddColumn(AvalCol(c), rel::ColumnType::kString);
+  }
+  RETURN_NOT_OK(store->db_.CreateTable(kVah, std::move(s)).status());
+  rel::Schema ls;
+  ls.AddColumn("LSKEY", rel::ColumnType::kString, /*nullable=*/false);
+  ls.AddColumn("VAL", rel::ColumnType::kString, /*nullable=*/false);
+  RETURN_NOT_OK(store->db_.CreateTable(kLs, std::move(ls)).status());
+  rel::Schema mv;
+  mv.AddColumn("MVKEY", rel::ColumnType::kString, /*nullable=*/false);
+  mv.AddColumn("VAL", rel::ColumnType::kString, /*nullable=*/false);
+  RETURN_NOT_OK(store->db_.CreateTable(kMv, std::move(mv)).status());
+
+  rel::Table* vah = store->db_.GetTable(kVah);
+  rel::Table* lst = store->db_.GetTable(kLs);
+  rel::Table* mvt = store->db_.GetTable(kMv);
+  int64_t next_ls = 0, next_mv = 0;
+
+  struct Slot {
+    bool used = false;
+    Value attr, type, val;
+  };
+  for (const auto& vertex : graph.vertices()) {
+    if (!vertex.attrs.is_object() || vertex.attrs.size() == 0) continue;
+    std::vector<std::vector<Slot>> rows;
+    for (const auto& [key, raw] : vertex.attrs.AsObject()) {
+      const size_t c = hash.ColorOf(key) % store->colors_;
+      size_t r = 0;
+      while (r < rows.size() && rows[r][c].used) ++r;
+      if (r == rows.size()) rows.emplace_back(store->colors_);
+      Slot& slot = rows[r][c];
+      slot.used = true;
+      slot.attr = Value(key);
+      if (raw.is_array()) {
+        // Multi-valued attribute → side table, referenced by marker key.
+        const std::string marker =
+            util::StrFormat("@mv%lld", static_cast<long long>(next_mv++));
+        for (const auto& elem : raw.AsArray()) {
+          auto [type, text] = TypedString(elem);
+          RETURN_NOT_OK(
+              mvt->Insert({Value(marker), Value(std::move(text))}).status());
+          ++store->stats_.multi_value_rows;
+          slot.type = Value(std::move(type));
+        }
+        slot.val = Value(marker);
+      } else {
+        auto [type, text] = TypedString(raw);
+        slot.type = Value(std::move(type));
+        if (text.size() > kLongStringMax) {
+          const std::string marker =
+              util::StrFormat("@ls%lld", static_cast<long long>(next_ls++));
+          RETURN_NOT_OK(
+              lst->Insert({Value(marker), Value(std::move(text))}).status());
+          ++store->stats_.long_string_rows;
+          slot.val = Value(marker);
+        } else {
+          slot.val = Value(std::move(text));
+        }
+      }
+    }
+    const int64_t spill = rows.size() > 1 ? 1 : 0;
+    store->stats_.spill_rows += rows.size() - 1;
+    for (const auto& pending : rows) {
+      Row out;
+      out.reserve(2 + 3 * store->colors_);
+      out.push_back(Value(vertex.id));
+      out.push_back(Value(spill));
+      for (const auto& slot : pending) {
+        if (slot.used) {
+          out.push_back(slot.attr);
+          out.push_back(slot.type);
+          out.push_back(slot.val);
+        } else {
+          out.push_back(Value::Null());
+          out.push_back(Value::Null());
+          out.push_back(Value::Null());
+        }
+      }
+      RETURN_NOT_OK(vah->Insert(std::move(out)).status());
+    }
+  }
+  if (graph.NumVertices() > 0) {
+    store->stats_.spill_pct = 100.0 *
+                              static_cast<double>(store->stats_.spill_rows) /
+                              static_cast<double>(graph.NumVertices());
+  }
+  // Indexes: VID, LS/MV marker keys, per-column (ATTR, VAL) composite hash
+  // indexes — the "indexes for queried keys" of §3.3 — plus single-column
+  // VAL indexes so side-table joins can run index-nested-loop.
+  RETURN_NOT_OK(vah->CreateIndex("VAH_VID", {"VID"}, rel::IndexKind::kHash));
+  RETURN_NOT_OK(lst->CreateIndex("LS_PK", {"LSKEY"}, rel::IndexKind::kHash));
+  RETURN_NOT_OK(mvt->CreateIndex("MV_PK", {"MVKEY"}, rel::IndexKind::kHash));
+  for (size_t c = 0; c < store->colors_; ++c) {
+    RETURN_NOT_OK(vah->CreateIndex(util::StrFormat("VAH_AV%zu", c),
+                                   {AttrCol(c), AvalCol(c)},
+                                   rel::IndexKind::kHash));
+    RETURN_NOT_OK(vah->CreateIndex(util::StrFormat("VAH_V%zu", c),
+                                   {AvalCol(c)}, rel::IndexKind::kHash));
+  }
+  store->key_color_.clear();
+  for (const auto& name : cooc.labels()) {
+    store->key_color_[name] = hash.ColorOf(name) % store->colors_;
+  }
+  return store;
+}
+
+Result<size_t> HashAttrStore::CountMatches(const std::string& key,
+                                           QueryKind kind,
+                                           const Value& operand) const {
+  auto it = key_color_.find(key);
+  if (it == key_color_.end()) return size_t{0};
+  const size_t c = it->second;
+  const std::string A = "p." + AttrCol(c);
+  const std::string V = "p." + AvalCol(c);
+  const std::string key_lit = util::SqlQuote(key);
+
+  // Each query kind becomes one or more SQL statements over the hash table
+  // and its side tables; their counts add up. The extra statements ARE the
+  // paper's point: spills, long strings and multi-values cost extra joins,
+  // and numeric predicates cost CASTs over the VARCHAR value column.
+  std::vector<std::string> statements;
+  switch (kind) {
+    case QueryKind::kNotNull:
+      statements.push_back("SELECT COUNT(*) FROM VAH p WHERE " + A + " = " +
+                           key_lit);
+      break;
+    case QueryKind::kEqString: {
+      const std::string v_lit = util::SqlQuote(operand.AsString());
+      if (operand.AsString().size() <= kLongStringMax) {
+        statements.push_back("SELECT COUNT(*) FROM VAH p WHERE " + A + " = " +
+                             key_lit + " AND " + V + " = " + v_lit);
+      } else {
+        statements.push_back("SELECT COUNT(*) FROM VAH_LS l, VAH p WHERE "
+                             "l.VAL = " + v_lit + " AND l.LSKEY = " + V +
+                             " AND " + A + " = " + key_lit);
+      }
+      statements.push_back(
+          "SELECT COUNT(DISTINCT p.VID) FROM VAH_MV m, VAH p WHERE m.VAL = " +
+          v_lit + " AND m.MVKEY = " + V + " AND " + A + " = " + key_lit);
+      break;
+    }
+    case QueryKind::kLike: {
+      const std::string pat = util::SqlQuote(operand.AsString());
+      statements.push_back("SELECT COUNT(*) FROM VAH p WHERE " + A + " = " +
+                           key_lit + " AND " + V + " LIKE " + pat + " AND " +
+                           V + " NOT LIKE '@%'");
+      statements.push_back("SELECT COUNT(*) FROM VAH p, VAH_LS l WHERE " + A +
+                           " = " + key_lit + " AND " + V +
+                           " = l.LSKEY AND l.VAL LIKE " + pat);
+      statements.push_back("SELECT COUNT(DISTINCT p.VID) FROM VAH p, VAH_MV m "
+                           "WHERE " + A + " = " + key_lit + " AND " + V +
+                           " = m.MVKEY AND m.VAL LIKE " + pat);
+      break;
+    }
+    case QueryKind::kEqNumeric: {
+      const std::string v_lit = operand.ToString();
+      statements.push_back("SELECT COUNT(*) FROM VAH p WHERE " + A + " = " +
+                           key_lit + " AND CAST(" + V + " AS DOUBLE) = " +
+                           v_lit);
+      statements.push_back("SELECT COUNT(DISTINCT p.VID) FROM VAH p, VAH_MV m "
+                           "WHERE " + A + " = " + key_lit + " AND " + V +
+                           " = m.MVKEY AND CAST(m.VAL AS DOUBLE) = " + v_lit);
+      break;
+    }
+  }
+  size_t total = 0;
+  sql::Executor exec(&db_);
+  for (const auto& statement : statements) {
+    ASSIGN_OR_RETURN(sql::ResultSet result, exec.ExecuteSql(statement));
+    if (!result.rows.empty() && !result.rows[0][0].is_null()) {
+      total += static_cast<size_t>(result.rows[0][0].AsInt());
+    }
+  }
+  return total;
+}
+
+}  // namespace core
+}  // namespace sqlgraph

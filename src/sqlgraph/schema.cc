@@ -1,0 +1,104 @@
+#include "sqlgraph/schema.h"
+
+#include "util/string_util.h"
+
+namespace sqlgraph {
+namespace core {
+
+std::string EidCol(size_t i) { return util::StrFormat("EID%zu", i); }
+std::string LblCol(size_t i) { return util::StrFormat("LBL%zu", i); }
+std::string ValCol(size_t i) { return util::StrFormat("VAL%zu", i); }
+
+namespace {
+
+rel::Schema AdjacencySchema(size_t colors) {
+  rel::Schema s;
+  s.AddColumn("VID", rel::ColumnType::kInt64, /*nullable=*/false);
+  s.AddColumn("SPILL", rel::ColumnType::kInt64, /*nullable=*/false);
+  for (size_t i = 0; i < colors; ++i) {
+    s.AddColumn(EidCol(i), rel::ColumnType::kInt64);
+    s.AddColumn(LblCol(i), rel::ColumnType::kString);
+    s.AddColumn(ValCol(i), rel::ColumnType::kInt64);
+  }
+  return s;
+}
+
+rel::Schema SecondarySchema() {
+  rel::Schema s;
+  s.AddColumn("VALID", rel::ColumnType::kInt64, /*nullable=*/false);
+  s.AddColumn("EID", rel::ColumnType::kInt64, /*nullable=*/false);
+  s.AddColumn("VAL", rel::ColumnType::kInt64, /*nullable=*/false);
+  return s;
+}
+
+}  // namespace
+
+util::Status GraphSchema::CreateTables(rel::Database* db,
+                                       const StoreConfig& config) const {
+  RETURN_NOT_OK(
+      db->CreateTable(kOpaTable, AdjacencySchema(out_colors), config.storage)
+          .status());
+  RETURN_NOT_OK(
+      db->CreateTable(kIpaTable, AdjacencySchema(in_colors), config.storage)
+          .status());
+  RETURN_NOT_OK(
+      db->CreateTable(kOsaTable, SecondarySchema(), config.storage).status());
+  RETURN_NOT_OK(
+      db->CreateTable(kIsaTable, SecondarySchema(), config.storage).status());
+
+  rel::Schema va;
+  va.AddColumn("VID", rel::ColumnType::kInt64, /*nullable=*/false);
+  va.AddColumn("ATTR", rel::ColumnType::kJson);
+  RETURN_NOT_OK(db->CreateTable(kVaTable, std::move(va), config.storage)
+                    .status());
+
+  rel::Schema ea;
+  ea.AddColumn("EID", rel::ColumnType::kInt64, /*nullable=*/false);
+  ea.AddColumn("INV", rel::ColumnType::kInt64, /*nullable=*/false);
+  ea.AddColumn("OUTV", rel::ColumnType::kInt64, /*nullable=*/false);
+  ea.AddColumn("LBL", rel::ColumnType::kString, /*nullable=*/false);
+  ea.AddColumn("ATTR", rel::ColumnType::kJson);
+  return db->CreateTable(kEaTable, std::move(ea), config.storage).status();
+}
+
+util::Status GraphSchema::CreateIndexes(rel::Database* db,
+                                        const StoreConfig& config) const {
+  rel::Table* opa = db->GetTable(kOpaTable);
+  rel::Table* ipa = db->GetTable(kIpaTable);
+  rel::Table* osa = db->GetTable(kOsaTable);
+  rel::Table* isa = db->GetTable(kIsaTable);
+  rel::Table* va = db->GetTable(kVaTable);
+  rel::Table* ea = db->GetTable(kEaTable);
+  if (!opa || !ipa || !osa || !isa || !va || !ea) {
+    return util::Status::Internal("SQLGraph tables missing");
+  }
+  RETURN_NOT_OK(opa->CreateIndex("OPA_VID", {"VID"}, rel::IndexKind::kHash));
+  RETURN_NOT_OK(ipa->CreateIndex("IPA_VID", {"VID"}, rel::IndexKind::kHash));
+  RETURN_NOT_OK(osa->CreateIndex("OSA_VALID", {"VALID"},
+                                 rel::IndexKind::kHash));
+  RETURN_NOT_OK(isa->CreateIndex("ISA_VALID", {"VALID"},
+                                 rel::IndexKind::kHash));
+  RETURN_NOT_OK(va->CreateIndex("VA_PK", {"VID"}, rel::IndexKind::kHash,
+                                /*unique=*/true));
+  RETURN_NOT_OK(ea->CreateIndex("EA_PK", {"EID"}, rel::IndexKind::kHash,
+                                /*unique=*/true));
+  RETURN_NOT_OK(ea->CreateIndex("EA_INV", {"INV"}, rel::IndexKind::kHash));
+  RETURN_NOT_OK(ea->CreateIndex("EA_OUTV", {"OUTV"}, rel::IndexKind::kHash));
+  // The SP/OP-style combined indexes of Fig. 5.
+  RETURN_NOT_OK(
+      ea->CreateIndex("EA_INV_LBL", {"INV", "LBL"}, rel::IndexKind::kHash));
+  RETURN_NOT_OK(
+      ea->CreateIndex("EA_OUTV_LBL", {"OUTV", "LBL"}, rel::IndexKind::kHash));
+  for (const auto& key : config.va_hash_indexes) {
+    RETURN_NOT_OK(va->CreateJsonIndex("VA_ATTR_" + key, "ATTR", key,
+                                      rel::IndexKind::kHash));
+  }
+  for (const auto& key : config.va_ordered_indexes) {
+    RETURN_NOT_OK(va->CreateJsonIndex("VA_ATTRO_" + key, "ATTR", key,
+                                      rel::IndexKind::kOrdered));
+  }
+  return util::Status::OK();
+}
+
+}  // namespace core
+}  // namespace sqlgraph

@@ -1,0 +1,222 @@
+#include "sqlgraph/snapshot.h"
+
+#include <cstdint>
+#include <fstream>
+#include <shared_mutex>
+#include <sstream>
+
+#include "rel/codec.h"
+
+namespace sqlgraph {
+namespace core {
+
+using rel::GetVarint;
+using rel::PutVarint;
+using rel::Row;
+using util::Result;
+using util::Status;
+
+namespace {
+
+constexpr char kMagic[] = "SQLG1\n";
+constexpr size_t kMagicLen = 6;
+
+const char* const kTableOrder[] = {kOpaTable, kIpaTable, kOsaTable,
+                                   kIsaTable, kVaTable,  kEaTable};
+
+void PutString(const std::string& s, std::string* out) {
+  PutVarint(s.size(), out);
+  out->append(s);
+}
+
+Status GetString(const std::string& buf, size_t* offset, std::string* out) {
+  uint64_t len = 0;
+  RETURN_NOT_OK(GetVarint(buf, offset, &len));
+  if (*offset + len > buf.size()) {
+    return Status::OutOfRange("truncated string in snapshot");
+  }
+  out->assign(buf, *offset, len);
+  *offset += len;
+  return Status::OK();
+}
+
+void PutColoredHash(const coloring::ColoredHash& hash, std::string* out) {
+  PutVarint(hash.num_colors(), out);
+  const auto entries = hash.Entries();
+  PutVarint(entries.size(), out);
+  for (const auto& [label, color] : entries) {
+    PutString(label, out);
+    PutVarint(color, out);
+  }
+}
+
+Result<coloring::ColoredHash> GetColoredHash(const std::string& buf,
+                                             size_t* offset) {
+  uint64_t num_colors = 0, count = 0;
+  RETURN_NOT_OK(GetVarint(buf, offset, &num_colors));
+  RETURN_NOT_OK(GetVarint(buf, offset, &count));
+  std::vector<std::pair<std::string, size_t>> entries;
+  entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string label;
+    uint64_t color = 0;
+    RETURN_NOT_OK(GetString(buf, offset, &label));
+    RETURN_NOT_OK(GetVarint(buf, offset, &color));
+    entries.emplace_back(std::move(label), static_cast<size_t>(color));
+  }
+  return coloring::ColoredHash::FromEntries(entries,
+                                            static_cast<size_t>(num_colors));
+}
+
+void PutLoadStats(const LoadStats& s, std::string* out) {
+  for (uint64_t v :
+       {static_cast<uint64_t>(s.num_out_labels),
+        static_cast<uint64_t>(s.num_in_labels),
+        static_cast<uint64_t>(s.out_colors), static_cast<uint64_t>(s.in_colors),
+        static_cast<uint64_t>(s.max_out_bucket),
+        static_cast<uint64_t>(s.max_in_bucket),
+        static_cast<uint64_t>(s.out_spill_rows),
+        static_cast<uint64_t>(s.in_spill_rows),
+        static_cast<uint64_t>(s.osa_rows), static_cast<uint64_t>(s.isa_rows),
+        static_cast<uint64_t>(s.num_vertices),
+        static_cast<uint64_t>(s.num_edges)}) {
+    PutVarint(v, out);
+  }
+}
+
+Status GetLoadStats(const std::string& buf, size_t* offset, LoadStats* s) {
+  uint64_t v[12];
+  for (auto& x : v) RETURN_NOT_OK(GetVarint(buf, offset, &x));
+  s->num_out_labels = v[0];
+  s->num_in_labels = v[1];
+  s->out_colors = v[2];
+  s->in_colors = v[3];
+  s->max_out_bucket = v[4];
+  s->max_in_bucket = v[5];
+  s->out_spill_rows = v[6];
+  s->in_spill_rows = v[7];
+  s->osa_rows = v[8];
+  s->isa_rows = v[9];
+  s->num_vertices = v[10];
+  s->num_edges = v[11];
+  if (s->num_vertices > 0) {
+    s->out_spill_pct = 100.0 * static_cast<double>(s->out_spill_rows) /
+                       static_cast<double>(s->num_vertices);
+    s->in_spill_pct = 100.0 * static_cast<double>(s->in_spill_rows) /
+                      static_cast<double>(s->num_vertices);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveSnapshot(const SqlGraphStore& store, const std::string& path) {
+  // Shared-lock every table for a consistent snapshot of a live store.
+  std::shared_lock<std::shared_mutex> locks[SqlGraphStore::kNumTables];
+  for (int i = 0; i < SqlGraphStore::kNumTables; ++i) {
+    locks[i] = std::shared_lock<std::shared_mutex>(store.table_locks_[i]);
+  }
+
+  std::string buf;
+  buf.append(kMagic, kMagicLen);
+  PutColoredHash(store.schema_.out_hash, &buf);
+  PutColoredHash(store.schema_.in_hash, &buf);
+  PutVarint(store.schema_.out_colors, &buf);
+  PutVarint(store.schema_.in_colors, &buf);
+  PutVarint(static_cast<uint64_t>(store.next_vertex_id_), &buf);
+  PutVarint(static_cast<uint64_t>(store.next_edge_id_), &buf);
+  PutVarint(static_cast<uint64_t>(store.next_lid_ - kLidBase), &buf);
+  PutLoadStats(store.load_stats_, &buf);
+
+  for (const char* name : kTableOrder) {
+    const rel::Table* table = store.db_.GetTable(name);
+    if (table == nullptr) return Status::Internal("snapshot: missing table");
+    PutString(name, &buf);
+    const rel::Schema& schema = table->schema();
+    PutVarint(schema.num_columns(), &buf);
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      PutString(schema.column(c).name, &buf);
+      buf.push_back(static_cast<char>(schema.column(c).type));
+      buf.push_back(schema.column(c).nullable ? 1 : 0);
+    }
+    PutVarint(table->NumRows(), &buf);
+    table->Scan([&buf](rel::RowId, const Row& row) { EncodeRow(row, &buf); });
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  out.flush();
+  if (!out) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SqlGraphStore>> OpenSnapshot(const std::string& path,
+                                                    StoreConfig config) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("snapshot " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string buf = ss.str();
+  if (buf.size() < kMagicLen || buf.compare(0, kMagicLen, kMagic) != 0) {
+    return Status::ParseError(path + " is not a SQLGraph snapshot");
+  }
+  size_t offset = kMagicLen;
+
+  auto store = std::unique_ptr<SqlGraphStore>(new SqlGraphStore(config));
+  ASSIGN_OR_RETURN(store->schema_.out_hash, GetColoredHash(buf, &offset));
+  ASSIGN_OR_RETURN(store->schema_.in_hash, GetColoredHash(buf, &offset));
+  uint64_t out_colors = 0, in_colors = 0;
+  RETURN_NOT_OK(GetVarint(buf, &offset, &out_colors));
+  RETURN_NOT_OK(GetVarint(buf, &offset, &in_colors));
+  store->schema_.out_colors = static_cast<size_t>(out_colors);
+  store->schema_.in_colors = static_cast<size_t>(in_colors);
+  uint64_t next_vid = 0, next_eid = 0, lid_delta = 0;
+  RETURN_NOT_OK(GetVarint(buf, &offset, &next_vid));
+  RETURN_NOT_OK(GetVarint(buf, &offset, &next_eid));
+  RETURN_NOT_OK(GetVarint(buf, &offset, &lid_delta));
+  store->next_vertex_id_ = static_cast<int64_t>(next_vid);
+  store->next_edge_id_ = static_cast<int64_t>(next_eid);
+  store->next_lid_ = kLidBase + static_cast<int64_t>(lid_delta);
+  RETURN_NOT_OK(GetLoadStats(buf, &offset, &store->load_stats_));
+
+  for (const char* expected_name : kTableOrder) {
+    std::string name;
+    RETURN_NOT_OK(GetString(buf, &offset, &name));
+    if (name != expected_name) {
+      return Status::ParseError("snapshot table order mismatch: " + name);
+    }
+    uint64_t num_columns = 0;
+    RETURN_NOT_OK(GetVarint(buf, &offset, &num_columns));
+    rel::Schema schema;
+    for (uint64_t c = 0; c < num_columns; ++c) {
+      std::string col_name;
+      RETURN_NOT_OK(GetString(buf, &offset, &col_name));
+      if (offset + 2 > buf.size()) {
+        return Status::OutOfRange("truncated column header");
+      }
+      const auto type = static_cast<rel::ColumnType>(buf[offset]);
+      const bool nullable = buf[offset + 1] != 0;
+      offset += 2;
+      schema.AddColumn(std::move(col_name), type, nullable);
+    }
+    ASSIGN_OR_RETURN(rel::Table * table,
+                     store->db_.CreateTable(name, schema, config.storage));
+    uint64_t row_count = 0;
+    RETURN_NOT_OK(GetVarint(buf, &offset, &row_count));
+    for (uint64_t r = 0; r < row_count; ++r) {
+      Row row;
+      RETURN_NOT_OK(rel::DecodeRow(buf, schema.num_columns(), &offset, &row));
+      RETURN_NOT_OK(table->Insert(std::move(row)).status());
+    }
+  }
+  if (offset != buf.size()) {
+    return Status::ParseError("trailing bytes in snapshot");
+  }
+  // Rebuild the Fig. 5 index set (plus configured attribute indexes).
+  RETURN_NOT_OK(store->schema_.CreateIndexes(&store->db_, config));
+  return store;
+}
+
+}  // namespace core
+}  // namespace sqlgraph

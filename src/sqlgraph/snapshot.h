@@ -1,0 +1,38 @@
+// Store snapshots: serialize a whole SqlGraphStore (schema hashes, id
+// counters, and every table's rows) to a single binary file and reopen it
+// later without re-running the coloring analysis or the bulk load.
+//
+// Format (little-endian, varint-framed):
+//   magic "SQLG1\n"
+//   header: out/in color counts, label→color maps, id counters
+//   per table: name, schema, live row count, rows (rel/codec.h encoding)
+//
+// Secondary indexes are not stored; they are rebuilt on open (backfill),
+// exactly as the bulk loader builds them.
+
+#ifndef SQLGRAPH_SQLGRAPH_SNAPSHOT_H_
+#define SQLGRAPH_SQLGRAPH_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "sqlgraph/store.h"
+#include "util/status.h"
+
+namespace sqlgraph {
+namespace core {
+
+/// Writes the store to `path` (overwrites). Takes shared locks, so it can
+/// run against a live store between operations.
+util::Status SaveSnapshot(const SqlGraphStore& store, const std::string& path);
+
+/// Opens a snapshot written by SaveSnapshot. `config` controls storage mode
+/// and which attribute indexes to (re)build; the adjacency coloring and
+/// column layout come from the snapshot.
+util::Result<std::unique_ptr<SqlGraphStore>> OpenSnapshot(
+    const std::string& path, StoreConfig config = StoreConfig());
+
+}  // namespace core
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_SQLGRAPH_SNAPSHOT_H_

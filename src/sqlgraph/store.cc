@@ -1,0 +1,640 @@
+#include "sqlgraph/store.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace sqlgraph {
+namespace core {
+
+using rel::Row;
+using rel::RowId;
+using rel::Value;
+using util::Result;
+using util::Status;
+
+namespace {
+// Column offsets in OPA/IPA rows.
+constexpr size_t kVidCol = 0;
+constexpr size_t kSpillCol = 1;
+size_t EidColIdx(size_t c) { return 2 + 3 * c; }
+size_t LblColIdx(size_t c) { return 3 + 3 * c; }
+size_t ValColIdx(size_t c) { return 4 + 3 * c; }
+
+// EA column offsets.
+constexpr size_t kEaEid = 0;
+constexpr size_t kEaInv = 1;
+constexpr size_t kEaOutv = 2;
+constexpr size_t kEaLbl = 3;
+constexpr size_t kEaAttr = 4;
+}  // namespace
+
+// ------------------------------------------------------------------ locks --
+
+/// Shared lock over every table, for whole-query execution.
+class SqlGraphStore::ReadLockAll {
+ public:
+  explicit ReadLockAll(const SqlGraphStore* store) {
+    for (int i = 0; i < kNumTables; ++i) {
+      locks_[i] = std::shared_lock<std::shared_mutex>(store->table_locks_[i]);
+    }
+  }
+
+ private:
+  std::shared_lock<std::shared_mutex> locks_[kNumTables];
+};
+
+/// Mixed-mode lock over a subset of tables, acquired in fixed table order
+/// (deadlock freedom).
+class SqlGraphStore::WriteLock {
+ public:
+  struct Req {
+    TableIdx table;
+    bool exclusive;
+  };
+  WriteLock(const SqlGraphStore* store, std::vector<Req> reqs) {
+    std::sort(reqs.begin(), reqs.end(),
+              [](const Req& a, const Req& b) { return a.table < b.table; });
+    for (const Req& r : reqs) {
+      if (r.exclusive) {
+        exclusive_.emplace_back(store->table_locks_[r.table]);
+      } else {
+        shared_.emplace_back(store->table_locks_[r.table]);
+      }
+    }
+  }
+
+ private:
+  // Note: vectors keep acquisition order; both kinds interleave correctly
+  // because reqs were sorted before acquisition.
+  std::vector<std::unique_lock<std::shared_mutex>> exclusive_;
+  std::vector<std::shared_lock<std::shared_mutex>> shared_;
+};
+
+// ------------------------------------------------------------------ build --
+
+Result<std::unique_ptr<SqlGraphStore>> SqlGraphStore::Build(
+    const graph::PropertyGraph& graph, StoreConfig config) {
+  auto store = std::unique_ptr<SqlGraphStore>(new SqlGraphStore(config));
+  store->schema_ = AnalyzeGraph(graph, config);
+  ASSIGN_OR_RETURN(store->load_stats_,
+                   BulkLoad(graph, store->schema_, config, &store->db_,
+                            &store->next_lid_));
+  store->next_vertex_id_ = static_cast<int64_t>(graph.NumVertices());
+  store->next_edge_id_ = static_cast<int64_t>(graph.NumEdges());
+  return store;
+}
+
+// --------------------------------------------------------------- vertices --
+
+Result<VertexId> SqlGraphStore::AddVertex(json::JsonValue attrs) {
+  WriteLock lock(this, {{kVa, true}});
+  std::unique_lock<std::shared_mutex> counter(counter_lock_);
+  const int64_t vid = next_vertex_id_++;
+  counter.unlock();
+  if (!attrs.is_object()) attrs = json::JsonValue::Object();
+  RETURN_NOT_OK(db_.GetTable(kVaTable)
+                    ->Insert({Value(vid), Value(std::move(attrs))})
+                    .status());
+  return static_cast<VertexId>(vid);
+}
+
+Result<json::JsonValue> SqlGraphStore::GetVertex(VertexId vid) const {
+  WriteLock lock(const_cast<SqlGraphStore*>(this), {{kVa, false}});
+  const rel::Table* va = db_.GetTable(kVaTable);
+  ASSIGN_OR_RETURN(std::vector<RowId> rids,
+                   va->LookupEq({0}, {{Value(static_cast<int64_t>(vid))}}));
+  if (rids.empty()) {
+    return Status::NotFound("vertex " + std::to_string(vid));
+  }
+  Row row;
+  RETURN_NOT_OK(va->Get(rids[0], &row));
+  return row[1].is_json() ? row[1].AsJson() : json::JsonValue::Object();
+}
+
+Status SqlGraphStore::SetVertexAttr(VertexId vid, const std::string& key,
+                                    json::JsonValue value) {
+  WriteLock lock(this, {{kVa, true}});
+  rel::Table* va = db_.GetTable(kVaTable);
+  ASSIGN_OR_RETURN(std::vector<RowId> rids,
+                   va->LookupEq({0}, {{Value(static_cast<int64_t>(vid))}}));
+  if (rids.empty()) {
+    return Status::NotFound("vertex " + std::to_string(vid));
+  }
+  Row row;
+  RETURN_NOT_OK(va->Get(rids[0], &row));
+  json::JsonValue attrs =
+      row[1].is_json() ? row[1].AsJson() : json::JsonValue::Object();
+  attrs.Set(key, std::move(value));
+  return va->Update(rids[0], {row[0], Value(std::move(attrs))});
+}
+
+Status SqlGraphStore::NegateAdjacencyRows(bool outgoing, VertexId vid) {
+  rel::Table* primary = db_.GetTable(outgoing ? kOpaTable : kIpaTable);
+  ASSIGN_OR_RETURN(std::vector<RowId> rids,
+                   primary->LookupEq({0}, {{Value(static_cast<int64_t>(vid))}}));
+  for (RowId rid : rids) {
+    Row row;
+    RETURN_NOT_OK(primary->Get(rid, &row));
+    row[kVidCol] = Value(-static_cast<int64_t>(vid) - 1);
+    RETURN_NOT_OK(primary->Update(rid, std::move(row)));
+  }
+  return Status::OK();
+}
+
+Status SqlGraphStore::RemoveVertex(VertexId vid) {
+  {
+    WriteLock lock(this, {{kVa, true}});
+    rel::Table* va = db_.GetTable(kVaTable);
+    ASSIGN_OR_RETURN(std::vector<RowId> rids,
+                     va->LookupEq({0}, {{Value(static_cast<int64_t>(vid))}}));
+    if (rids.empty()) {
+      return Status::NotFound("vertex " + std::to_string(vid));
+    }
+    // Soft delete: VID → -VID-1 keeps the cross-table relationship of the
+    // deleted rows intact (§4.5.2) while the VID >= 0 guards hide them.
+    Row row;
+    RETURN_NOT_OK(va->Get(rids[0], &row));
+    row[0] = Value(-static_cast<int64_t>(vid) - 1);
+    RETURN_NOT_OK(va->Update(rids[0], std::move(row)));
+  }
+  {
+    WriteLock lock(this, {{kOpa, true}});
+    RETURN_NOT_OK(NegateAdjacencyRows(/*outgoing=*/true, vid));
+  }
+  {
+    WriteLock lock(this, {{kIpa, true}});
+    RETURN_NOT_OK(NegateAdjacencyRows(/*outgoing=*/false, vid));
+  }
+  // EA rows of incident edges are removed outright.
+  WriteLock lock(this, {{kEa, true}});
+  rel::Table* ea = db_.GetTable(kEaTable);
+  for (int col : {1, 2}) {  // INV, OUTV
+    ASSIGN_OR_RETURN(
+        std::vector<RowId> edge_rids,
+        ea->LookupEq({col}, {{Value(static_cast<int64_t>(vid))}}));
+    for (RowId rid : edge_rids) {
+      RETURN_NOT_OK(ea->Delete(rid));
+    }
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------ edges --
+
+Status SqlGraphStore::AddAdjacencyEntry(bool outgoing, VertexId vid,
+                                        const std::string& label, EdgeId eid,
+                                        VertexId nbr) {
+  rel::Table* primary = db_.GetTable(outgoing ? kOpaTable : kIpaTable);
+  rel::Table* secondary = db_.GetTable(outgoing ? kOsaTable : kIsaTable);
+  const coloring::ColoredHash& hash =
+      outgoing ? schema_.out_hash : schema_.in_hash;
+  const size_t colors = outgoing ? schema_.out_colors : schema_.in_colors;
+  const size_t c = hash.ColorOf(label) % colors;
+
+  ASSIGN_OR_RETURN(std::vector<RowId> rids,
+                   primary->LookupEq({0}, {{Value(static_cast<int64_t>(vid))}}));
+  Row row;
+  // Pass 1: a row already holding this label in its triad.
+  for (RowId rid : rids) {
+    RETURN_NOT_OK(primary->Get(rid, &row));
+    const Value& lbl = row[LblColIdx(c)];
+    if (lbl.is_null() || lbl.AsString() != label) continue;
+    const Value val = row[ValColIdx(c)];
+    if (!val.is_null() && val.AsInt() >= kLidBase) {
+      // Already multi-valued: append to the secondary list.
+      return secondary
+          ->Insert({val, Value(static_cast<int64_t>(eid)),
+                    Value(static_cast<int64_t>(nbr))})
+          .status();
+    }
+    // Single-valued → convert to a list.
+    std::unique_lock<std::shared_mutex> counter(counter_lock_);
+    const int64_t lid = next_lid_++;
+    counter.unlock();
+    RETURN_NOT_OK(secondary
+                      ->Insert({Value(lid), row[EidColIdx(c)], val})
+                      .status());
+    RETURN_NOT_OK(secondary
+                      ->Insert({Value(lid), Value(static_cast<int64_t>(eid)),
+                                Value(static_cast<int64_t>(nbr))})
+                      .status());
+    row[EidColIdx(c)] = Value::Null();
+    row[ValColIdx(c)] = Value(lid);
+    return primary->Update(rid, std::move(row));
+  }
+  // Pass 2: a row with a free triad at column c.
+  for (RowId rid : rids) {
+    RETURN_NOT_OK(primary->Get(rid, &row));
+    if (!row[LblColIdx(c)].is_null()) continue;
+    row[EidColIdx(c)] = Value(static_cast<int64_t>(eid));
+    row[LblColIdx(c)] = Value(label);
+    row[ValColIdx(c)] = Value(static_cast<int64_t>(nbr));
+    return primary->Update(rid, std::move(row));
+  }
+  // Pass 3: hash conflict (or first row): spill to a new row.
+  const bool spilling = !rids.empty();
+  if (spilling) {
+    for (RowId rid : rids) {
+      RETURN_NOT_OK(primary->Get(rid, &row));
+      if (row[kSpillCol].AsInt() != 1) {
+        row[kSpillCol] = Value(int64_t{1});
+        RETURN_NOT_OK(primary->Update(rid, std::move(row)));
+      }
+    }
+  }
+  Row fresh(2 + 3 * colors, Value::Null());
+  fresh[kVidCol] = Value(static_cast<int64_t>(vid));
+  fresh[kSpillCol] = Value(spilling ? int64_t{1} : int64_t{0});
+  fresh[EidColIdx(c)] = Value(static_cast<int64_t>(eid));
+  fresh[LblColIdx(c)] = Value(label);
+  fresh[ValColIdx(c)] = Value(static_cast<int64_t>(nbr));
+  return primary->Insert(std::move(fresh)).status();
+}
+
+Status SqlGraphStore::RemoveAdjacencyEntry(bool outgoing, VertexId vid,
+                                           const std::string& label,
+                                           EdgeId eid) {
+  rel::Table* primary = db_.GetTable(outgoing ? kOpaTable : kIpaTable);
+  rel::Table* secondary = db_.GetTable(outgoing ? kOsaTable : kIsaTable);
+  const coloring::ColoredHash& hash =
+      outgoing ? schema_.out_hash : schema_.in_hash;
+  const size_t colors = outgoing ? schema_.out_colors : schema_.in_colors;
+  const size_t c = hash.ColorOf(label) % colors;
+
+  ASSIGN_OR_RETURN(std::vector<RowId> rids,
+                   primary->LookupEq({0}, {{Value(static_cast<int64_t>(vid))}}));
+  Row row;
+  for (RowId rid : rids) {
+    RETURN_NOT_OK(primary->Get(rid, &row));
+    const Value& lbl = row[LblColIdx(c)];
+    if (lbl.is_null() || lbl.AsString() != label) continue;
+    const Value val = row[ValColIdx(c)];
+    bool clear_triad = false;
+    if (!val.is_null() && val.AsInt() >= kLidBase) {
+      ASSIGN_OR_RETURN(std::vector<RowId> list_rids,
+                       secondary->LookupEq({0}, {{val}}));
+      size_t remaining = list_rids.size();
+      for (RowId lrid : list_rids) {
+        Row entry;
+        RETURN_NOT_OK(secondary->Get(lrid, &entry));
+        if (entry[1].AsInt() == static_cast<int64_t>(eid)) {
+          RETURN_NOT_OK(secondary->Delete(lrid));
+          --remaining;
+          break;
+        }
+      }
+      clear_triad = remaining == 0;
+    } else if (!row[EidColIdx(c)].is_null() &&
+               row[EidColIdx(c)].AsInt() == static_cast<int64_t>(eid)) {
+      clear_triad = true;
+    } else {
+      continue;  // same label in a spill row further on
+    }
+    if (clear_triad) {
+      row[EidColIdx(c)] = Value::Null();
+      row[LblColIdx(c)] = Value::Null();
+      row[ValColIdx(c)] = Value::Null();
+      // Drop the row entirely if it became empty and others remain.
+      bool empty = true;
+      for (size_t k = 0; k < colors; ++k) {
+        if (!row[LblColIdx(k)].is_null()) {
+          empty = false;
+          break;
+        }
+      }
+      if (empty && rids.size() > 1) {
+        RETURN_NOT_OK(primary->Delete(rid));
+      } else {
+        RETURN_NOT_OK(primary->Update(rid, std::move(row)));
+      }
+    } else {
+      RETURN_NOT_OK(primary->Update(rid, std::move(row)));
+    }
+    return Status::OK();
+  }
+  return Status::OK();  // entry absent: treat as idempotent delete
+}
+
+Result<EdgeId> SqlGraphStore::AddEdge(VertexId src, VertexId dst,
+                                      const std::string& label,
+                                      json::JsonValue attrs) {
+  // Fine-grained locking (the RDBMS analogue of row-level locks + short
+  // latch sections): each table is locked only around its own mutation, so
+  // concurrent readers of other tables proceed in parallel.
+  {
+    WriteLock lock(this, {{kVa, false}});
+    const rel::Table* va = db_.GetTable(kVaTable);
+    for (VertexId endpoint : {src, dst}) {
+      ASSIGN_OR_RETURN(
+          std::vector<RowId> rids,
+          va->LookupEq({0}, {{Value(static_cast<int64_t>(endpoint))}}));
+      if (rids.empty()) {
+        return Status::NotFound("vertex " + std::to_string(endpoint));
+      }
+    }
+  }
+  std::unique_lock<std::shared_mutex> counter(counter_lock_);
+  const int64_t eid = next_edge_id_++;
+  counter.unlock();
+  if (!attrs.is_object()) attrs = json::JsonValue::Object();
+  {
+    WriteLock lock(this, {{kEa, true}});
+    RETURN_NOT_OK(db_.GetTable(kEaTable)
+                      ->Insert({Value(eid), Value(static_cast<int64_t>(src)),
+                                Value(static_cast<int64_t>(dst)), Value(label),
+                                Value(std::move(attrs))})
+                      .status());
+  }
+  {
+    WriteLock lock(this, {{kOpa, true}, {kOsa, true}});
+    RETURN_NOT_OK(AddAdjacencyEntry(/*outgoing=*/true, src, label,
+                                    static_cast<EdgeId>(eid), dst));
+  }
+  {
+    WriteLock lock(this, {{kIpa, true}, {kIsa, true}});
+    RETURN_NOT_OK(AddAdjacencyEntry(/*outgoing=*/false, dst, label,
+                                    static_cast<EdgeId>(eid), src));
+  }
+  return static_cast<EdgeId>(eid);
+}
+
+Result<EdgeRecord> SqlGraphStore::GetEdge(EdgeId eid) const {
+  WriteLock lock(const_cast<SqlGraphStore*>(this), {{kEa, false}});
+  const rel::Table* ea = db_.GetTable(kEaTable);
+  ASSIGN_OR_RETURN(std::vector<RowId> rids,
+                   ea->LookupEq({0}, {{Value(static_cast<int64_t>(eid))}}));
+  if (rids.empty()) {
+    return Status::NotFound("edge " + std::to_string(eid));
+  }
+  Row row;
+  RETURN_NOT_OK(ea->Get(rids[0], &row));
+  EdgeRecord rec;
+  rec.id = static_cast<EdgeId>(row[kEaEid].AsInt());
+  rec.src = static_cast<VertexId>(row[kEaInv].AsInt());
+  rec.dst = static_cast<VertexId>(row[kEaOutv].AsInt());
+  rec.label = row[kEaLbl].AsString();
+  rec.attrs = row[kEaAttr].is_json() ? row[kEaAttr].AsJson()
+                                     : json::JsonValue::Object();
+  return rec;
+}
+
+Status SqlGraphStore::SetEdgeAttr(EdgeId eid, const std::string& key,
+                                  json::JsonValue value) {
+  WriteLock lock(this, {{kEa, true}});
+  rel::Table* ea = db_.GetTable(kEaTable);
+  ASSIGN_OR_RETURN(std::vector<RowId> rids,
+                   ea->LookupEq({0}, {{Value(static_cast<int64_t>(eid))}}));
+  if (rids.empty()) {
+    return Status::NotFound("edge " + std::to_string(eid));
+  }
+  Row row;
+  RETURN_NOT_OK(ea->Get(rids[0], &row));
+  json::JsonValue attrs = row[kEaAttr].is_json() ? row[kEaAttr].AsJson()
+                                                 : json::JsonValue::Object();
+  attrs.Set(key, std::move(value));
+  row[kEaAttr] = Value(std::move(attrs));
+  return ea->Update(rids[0], std::move(row));
+}
+
+Status SqlGraphStore::RemoveEdge(EdgeId eid) {
+  VertexId src, dst;
+  std::string label;
+  {
+    WriteLock lock(this, {{kEa, true}});
+    rel::Table* ea = db_.GetTable(kEaTable);
+    ASSIGN_OR_RETURN(std::vector<RowId> rids,
+                     ea->LookupEq({0}, {{Value(static_cast<int64_t>(eid))}}));
+    if (rids.empty()) {
+      return Status::NotFound("edge " + std::to_string(eid));
+    }
+    Row row;
+    RETURN_NOT_OK(ea->Get(rids[0], &row));
+    src = static_cast<VertexId>(row[kEaInv].AsInt());
+    dst = static_cast<VertexId>(row[kEaOutv].AsInt());
+    label = row[kEaLbl].AsString();
+    RETURN_NOT_OK(ea->Delete(rids[0]));
+  }
+  {
+    WriteLock lock(this, {{kOpa, true}, {kOsa, true}});
+    RETURN_NOT_OK(RemoveAdjacencyEntry(/*outgoing=*/true, src, label, eid));
+  }
+  WriteLock lock(this, {{kIpa, true}, {kIsa, true}});
+  return RemoveAdjacencyEntry(/*outgoing=*/false, dst, label, eid);
+}
+
+Result<std::optional<EdgeId>> SqlGraphStore::FindEdge(
+    VertexId src, const std::string& label, VertexId dst) const {
+  WriteLock lock(const_cast<SqlGraphStore*>(this), {{kEa, false}});
+  const rel::Table* ea = db_.GetTable(kEaTable);
+  ASSIGN_OR_RETURN(
+      std::vector<RowId> rids,
+      ea->LookupEq({1, 3},
+                   {{Value(static_cast<int64_t>(src)), Value(label)}}));
+  Row row;
+  for (RowId rid : rids) {
+    RETURN_NOT_OK(ea->Get(rid, &row));
+    if (row[kEaOutv].AsInt() == static_cast<int64_t>(dst)) {
+      return std::optional<EdgeId>(static_cast<EdgeId>(row[kEaEid].AsInt()));
+    }
+  }
+  return std::optional<EdgeId>();
+}
+
+// -------------------------------------------------------------- adjacency --
+
+Result<std::vector<EdgeRecord>> SqlGraphStore::GetOutEdges(
+    VertexId src, const std::string& label) const {
+  WriteLock lock(const_cast<SqlGraphStore*>(this), {{kEa, false}});
+  const rel::Table* ea = db_.GetTable(kEaTable);
+  std::vector<RowId> rids;
+  if (label.empty()) {
+    ASSIGN_OR_RETURN(rids,
+                     ea->LookupEq({1}, {{Value(static_cast<int64_t>(src))}}));
+  } else {
+    ASSIGN_OR_RETURN(
+        rids, ea->LookupEq(
+                  {1, 3}, {{Value(static_cast<int64_t>(src)), Value(label)}}));
+  }
+  std::vector<EdgeRecord> out;
+  out.reserve(rids.size());
+  Row row;
+  for (RowId rid : rids) {
+    RETURN_NOT_OK(ea->Get(rid, &row));
+    EdgeRecord rec;
+    rec.id = static_cast<EdgeId>(row[kEaEid].AsInt());
+    rec.src = static_cast<VertexId>(row[kEaInv].AsInt());
+    rec.dst = static_cast<VertexId>(row[kEaOutv].AsInt());
+    rec.label = row[kEaLbl].AsString();
+    rec.attrs = row[kEaAttr].is_json() ? row[kEaAttr].AsJson()
+                                       : json::JsonValue::Object();
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+Result<int64_t> SqlGraphStore::CountOutEdges(VertexId src,
+                                             const std::string& label) const {
+  WriteLock lock(const_cast<SqlGraphStore*>(this), {{kEa, false}});
+  const rel::Table* ea = db_.GetTable(kEaTable);
+  std::vector<RowId> rids;
+  if (label.empty()) {
+    ASSIGN_OR_RETURN(rids,
+                     ea->LookupEq({1}, {{Value(static_cast<int64_t>(src))}}));
+  } else {
+    ASSIGN_OR_RETURN(
+        rids, ea->LookupEq(
+                  {1, 3}, {{Value(static_cast<int64_t>(src)), Value(label)}}));
+  }
+  return static_cast<int64_t>(rids.size());
+}
+
+namespace {
+/// Shared by Out()/In(): expands one adjacency direction from the primary +
+/// secondary tables.
+Status ExpandAdjacency(const rel::Table* primary, const rel::Table* secondary,
+                       size_t colors, VertexId vid, const std::string& label,
+                       std::vector<VertexId>* out) {
+  ASSIGN_OR_RETURN(std::vector<RowId> rids,
+                   primary->LookupEq({0}, {{Value(static_cast<int64_t>(vid))}}));
+  Row row;
+  for (RowId rid : rids) {
+    RETURN_NOT_OK(primary->Get(rid, &row));
+    for (size_t c = 0; c < colors; ++c) {
+      const Value& lbl = row[LblColIdx(c)];
+      if (lbl.is_null()) continue;
+      if (!label.empty() && lbl.AsString() != label) continue;
+      const Value& val = row[ValColIdx(c)];
+      if (val.is_null()) continue;
+      if (val.AsInt() >= kLidBase) {
+        ASSIGN_OR_RETURN(std::vector<RowId> list_rids,
+                         secondary->LookupEq({0}, {{val}}));
+        Row entry;
+        for (RowId lrid : list_rids) {
+          RETURN_NOT_OK(secondary->Get(lrid, &entry));
+          out->push_back(static_cast<VertexId>(entry[2].AsInt()));
+        }
+      } else {
+        out->push_back(static_cast<VertexId>(val.AsInt()));
+      }
+    }
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<std::vector<VertexId>> SqlGraphStore::Out(
+    VertexId vid, const std::string& label) const {
+  WriteLock lock(const_cast<SqlGraphStore*>(this),
+                 {{kOpa, false}, {kOsa, false}});
+  std::vector<VertexId> out;
+  RETURN_NOT_OK(ExpandAdjacency(db_.GetTable(kOpaTable),
+                                db_.GetTable(kOsaTable), schema_.out_colors,
+                                vid, label, &out));
+  return out;
+}
+
+Result<std::vector<VertexId>> SqlGraphStore::In(
+    VertexId vid, const std::string& label) const {
+  WriteLock lock(const_cast<SqlGraphStore*>(this),
+                 {{kIpa, false}, {kIsa, false}});
+  std::vector<VertexId> out;
+  RETURN_NOT_OK(ExpandAdjacency(db_.GetTable(kIpaTable),
+                                db_.GetTable(kIsaTable), schema_.in_colors,
+                                vid, label, &out));
+  return out;
+}
+
+// --------------------------------------------------------------- querying --
+
+Result<sql::ResultSet> SqlGraphStore::ExecuteSql(std::string_view text) {
+  ReadLockAll lock(this);
+  sql::Executor exec(&db_);
+  auto result = exec.ExecuteSql(text);
+  last_stats_ = exec.stats();
+  return result;
+}
+
+Result<sql::ResultSet> SqlGraphStore::Execute(const sql::SqlQuery& query) {
+  ReadLockAll lock(this);
+  sql::Executor exec(&db_);
+  auto result = exec.Execute(query);
+  last_stats_ = exec.stats();
+  return result;
+}
+
+// ------------------------------------------------------------ maintenance --
+
+Status SqlGraphStore::Compact() {
+  WriteLock lock(this, {{kOpa, true},
+                        {kIpa, true},
+                        {kOsa, true},
+                        {kIsa, true},
+                        {kVa, true},
+                        {kEa, true}});
+  // 1. Deleted vertex ids from VA's negative rows; drop those rows.
+  std::unordered_set<int64_t> deleted;
+  rel::Table* va = db_.GetTable(kVaTable);
+  std::vector<RowId> doomed;
+  va->Scan([&](RowId rid, const Row& row) {
+    if (row[0].AsInt() < 0) {
+      deleted.insert(-row[0].AsInt() - 1);
+      doomed.push_back(rid);
+    }
+  });
+  for (RowId rid : doomed) RETURN_NOT_OK(va->Delete(rid));
+  if (deleted.empty()) return Status::OK();
+
+  // 2. Adjacency cleanup in both directions: drop negated rows (collecting
+  // their list ids) and clear triads that point at deleted vertices.
+  for (bool outgoing : {true, false}) {
+    rel::Table* primary = db_.GetTable(outgoing ? kOpaTable : kIpaTable);
+    rel::Table* secondary = db_.GetTable(outgoing ? kOsaTable : kIsaTable);
+    const size_t colors = outgoing ? schema_.out_colors : schema_.in_colors;
+
+    std::unordered_set<int64_t> dead_lids;
+    std::vector<RowId> dead_rows;
+    std::vector<std::pair<RowId, Row>> updates;
+    primary->Scan([&](RowId rid, const Row& row) {
+      if (row[kVidCol].AsInt() < 0) {
+        for (size_t c = 0; c < colors; ++c) {
+          const Value& val = row[ValColIdx(c)];
+          if (!val.is_null() && val.AsInt() >= kLidBase) {
+            dead_lids.insert(val.AsInt());
+          }
+        }
+        dead_rows.push_back(rid);
+        return;
+      }
+      Row patched = row;
+      bool changed = false;
+      for (size_t c = 0; c < colors; ++c) {
+        const Value& val = patched[ValColIdx(c)];
+        if (val.is_null()) continue;
+        if (val.AsInt() < kLidBase && deleted.count(val.AsInt())) {
+          patched[EidColIdx(c)] = Value::Null();
+          patched[LblColIdx(c)] = Value::Null();
+          patched[ValColIdx(c)] = Value::Null();
+          changed = true;
+        }
+      }
+      if (changed) updates.emplace_back(rid, std::move(patched));
+    });
+    for (RowId rid : dead_rows) RETURN_NOT_OK(primary->Delete(rid));
+    for (auto& [rid, row] : updates) {
+      RETURN_NOT_OK(primary->Update(rid, std::move(row)));
+    }
+    // Secondary lists: drop dead lists outright and dead targets from live
+    // lists.
+    std::vector<RowId> dead_entries;
+    secondary->Scan([&](RowId rid, const Row& row) {
+      if (dead_lids.count(row[0].AsInt()) || deleted.count(row[2].AsInt())) {
+        dead_entries.push_back(rid);
+      }
+    });
+    for (RowId rid : dead_entries) RETURN_NOT_OK(secondary->Delete(rid));
+  }
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace sqlgraph

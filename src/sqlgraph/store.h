@@ -1,0 +1,145 @@
+// SqlGraphStore: the public API of the SQLGraph system.
+//
+// Construction bulk-loads a property graph through the coloring analysis
+// into the Fig. 5 schema. Afterwards the store offers:
+//
+//  * Blueprints-style CRUD operations implemented as multi-table "stored
+//    procedures" (§4.5.2) — each call is one logical round trip,
+//  * vertex deletion as a soft delete (VID → -VID-1) with an offline
+//    Compact() that performs the paper's "off-line cleanup",
+//  * whole-query SQL execution (used by the Gremlin translator's output),
+//  * concurrency via per-table reader/writer locks: queries take shared
+//    locks, CRUD procedures take exclusive locks only on the tables they
+//    mutate (the stand-in for the RDBMS's fine-grained locking; baselines
+//    deliberately serialize whole requests — see DESIGN.md §5).
+
+#ifndef SQLGRAPH_SQLGRAPH_STORE_H_
+#define SQLGRAPH_SQLGRAPH_STORE_H_
+
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "rel/database.h"
+#include "sql/executor.h"
+#include "sqlgraph/loader.h"
+#include "sqlgraph/schema.h"
+#include "util/status.h"
+
+namespace sqlgraph {
+namespace core {
+
+using graph::EdgeId;
+using graph::VertexId;
+
+/// One adjacency record returned by link queries.
+struct EdgeRecord {
+  EdgeId id;
+  VertexId src;
+  VertexId dst;
+  std::string label;
+  json::JsonValue attrs;
+};
+
+class SqlGraphStore {
+ public:
+  /// Builds a store by bulk-loading `graph` (may be empty).
+  static util::Result<std::unique_ptr<SqlGraphStore>> Build(
+      const graph::PropertyGraph& graph, StoreConfig config = StoreConfig());
+
+  // ------------------------------------------------------------ vertices --
+  util::Result<VertexId> AddVertex(json::JsonValue attrs);
+  util::Result<json::JsonValue> GetVertex(VertexId vid) const;
+  util::Status SetVertexAttr(VertexId vid, const std::string& key,
+                             json::JsonValue value);
+  /// Soft delete (§4.5.2): negates the vertex's ids, removes its EA rows.
+  util::Status RemoveVertex(VertexId vid);
+
+  // --------------------------------------------------------------- edges --
+  util::Result<EdgeId> AddEdge(VertexId src, VertexId dst,
+                               const std::string& label,
+                               json::JsonValue attrs);
+  util::Result<EdgeRecord> GetEdge(EdgeId eid) const;
+  util::Status SetEdgeAttr(EdgeId eid, const std::string& key,
+                           json::JsonValue value);
+  util::Status RemoveEdge(EdgeId eid);
+  /// First edge src -label-> dst, if any.
+  util::Result<std::optional<EdgeId>> FindEdge(VertexId src,
+                                               const std::string& label,
+                                               VertexId dst) const;
+
+  // ---------------------------------------------------------- adjacency --
+  /// get_link_list: all out-edges of `src` with the label (label empty =
+  /// any), with attributes. Served from EA via the combined index (§3.5).
+  util::Result<std::vector<EdgeRecord>> GetOutEdges(
+      VertexId src, const std::string& label) const;
+  util::Result<int64_t> CountOutEdges(VertexId src,
+                                      const std::string& label) const;
+  /// Neighbor vertex ids (out/in), optionally label-filtered.
+  util::Result<std::vector<VertexId>> Out(VertexId vid,
+                                          const std::string& label = "") const;
+  util::Result<std::vector<VertexId>> In(VertexId vid,
+                                         const std::string& label = "") const;
+
+  // ----------------------------------------------------------- querying --
+  /// Executes a full SQL query (shared-locks all tables for its duration).
+  util::Result<sql::ResultSet> ExecuteSql(std::string_view text);
+  util::Result<sql::ResultSet> Execute(const sql::SqlQuery& query);
+  /// Execution statistics of the most recent Execute/ExecuteSql call.
+  const sql::ExecStats& last_exec_stats() const { return last_stats_; }
+
+  // -------------------------------------------------------- maintenance --
+  /// Offline cleanup: physically removes soft-deleted rows, their OSA/ISA
+  /// lists, and dangling adjacency entries that point at deleted vertices.
+  util::Status Compact();
+
+  rel::Database* db() { return &db_; }
+  const rel::Database* db() const { return &db_; }
+  const GraphSchema& schema() const { return schema_; }
+  const LoadStats& load_stats() const { return load_stats_; }
+  const StoreConfig& config() const { return config_; }
+
+  /// Serialized footprint of all tables ("size on disk").
+  size_t SerializedBytes() const { return db_.TotalSerializedBytes(); }
+
+ private:
+  friend util::Status SaveSnapshot(const SqlGraphStore& store,
+                                   const std::string& path);
+  friend util::Result<std::unique_ptr<SqlGraphStore>> OpenSnapshot(
+      const std::string& path, StoreConfig config);
+
+  explicit SqlGraphStore(StoreConfig config)
+      : config_(std::move(config)), db_(config_.buffer_pool_bytes) {}
+
+  // Adjacency maintenance shared by add/remove edge. Caller holds locks.
+  util::Status AddAdjacencyEntry(bool outgoing, VertexId vid,
+                                 const std::string& label, EdgeId eid,
+                                 VertexId nbr);
+  util::Status RemoveAdjacencyEntry(bool outgoing, VertexId vid,
+                                    const std::string& label, EdgeId eid);
+  util::Status NegateAdjacencyRows(bool outgoing, VertexId vid);
+
+  // Lock helpers. Table order: OPA, IPA, OSA, ISA, VA, EA.
+  enum TableIdx { kOpa = 0, kIpa, kOsa, kIsa, kVa, kEa, kNumTables };
+  class ReadLockAll;
+  class WriteLock;
+
+  StoreConfig config_;
+  rel::Database db_;
+  GraphSchema schema_;
+  LoadStats load_stats_;
+  int64_t next_vertex_id_ = 0;
+  int64_t next_edge_id_ = 0;
+  int64_t next_lid_ = kLidBase;
+  mutable std::shared_mutex table_locks_[kNumTables];
+  mutable std::shared_mutex counter_lock_;
+  sql::ExecStats last_stats_;
+};
+
+}  // namespace core
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_SQLGRAPH_STORE_H_

@@ -1,0 +1,97 @@
+// Streaming and batch statistics used by the benchmark harness to report
+// the paper's mean / standard deviation / max / percentile figures.
+
+#ifndef SQLGRAPH_UTIL_STATS_H_
+#define SQLGRAPH_UTIL_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace sqlgraph {
+namespace util {
+
+/// \brief Welford's online mean/variance plus min/max.
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+    sum_ += x;
+  }
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  void Merge(const RunningStat& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double delta = o.mean_ - mean_;
+    const size_t total = n_ + o.n_;
+    m2_ += o.m2_ + delta * delta * static_cast<double>(n_) *
+                       static_cast<double>(o.n_) / static_cast<double>(total);
+    mean_ += delta * static_cast<double>(o.n_) / static_cast<double>(total);
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    sum_ += o.sum_;
+    n_ = total;
+  }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  double sum_ = 0;
+};
+
+/// \brief Batch sample container with percentile queries.
+class Samples {
+ public:
+  void Add(double x) {
+    xs_.push_back(x);
+    stat_.Add(x);
+  }
+  size_t count() const { return xs_.size(); }
+  double mean() const { return stat_.mean(); }
+  double stddev() const { return stat_.stddev(); }
+  double max() const { return stat_.max(); }
+  double min() const { return stat_.min(); }
+
+  /// q in [0,1]; nearest-rank percentile.
+  double Percentile(double q) const {
+    if (xs_.empty()) return 0.0;
+    std::vector<double> sorted = xs_;
+    std::sort(sorted.begin(), sorted.end());
+    size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
+    if (idx >= sorted.size()) idx = sorted.size() - 1;
+    return sorted[idx];
+  }
+
+  const std::vector<double>& values() const { return xs_; }
+
+ private:
+  std::vector<double> xs_;
+  RunningStat stat_;
+};
+
+}  // namespace util
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_UTIL_STATS_H_

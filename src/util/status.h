@@ -1,0 +1,191 @@
+// Status and Result<T>: exception-free error handling in the style of
+// RocksDB's Status and Arrow's Result.
+//
+// Library code never throws; fallible functions return Status (no payload)
+// or Result<T> (payload or error). The RETURN_NOT_OK / ASSIGN_OR_RETURN
+// macros propagate errors up the stack.
+
+#ifndef SQLGRAPH_UTIL_STATUS_H_
+#define SQLGRAPH_UTIL_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sqlgraph {
+namespace util {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kNotImplemented = 5,
+  kInternal = 6,
+  kParseError = 7,
+  kTypeError = 8,
+  kConflict = 9,
+  kAborted = 10,
+};
+
+/// \brief Outcome of a fallible operation that produces no value.
+///
+/// The OK state carries no allocation; error states carry a code and a
+/// human-readable message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_shared<State>(State{code, std::move(msg)})) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsConflict() const { return code() == StatusCode::kConflict; }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
+  }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string name;
+    switch (code()) {
+      case StatusCode::kInvalidArgument: name = "InvalidArgument"; break;
+      case StatusCode::kNotFound: name = "NotFound"; break;
+      case StatusCode::kAlreadyExists: name = "AlreadyExists"; break;
+      case StatusCode::kOutOfRange: name = "OutOfRange"; break;
+      case StatusCode::kNotImplemented: name = "NotImplemented"; break;
+      case StatusCode::kInternal: name = "Internal"; break;
+      case StatusCode::kParseError: name = "ParseError"; break;
+      case StatusCode::kTypeError: name = "TypeError"; break;
+      case StatusCode::kConflict: name = "Conflict"; break;
+      case StatusCode::kAborted: name = "Aborted"; break;
+      default: name = "Unknown"; break;
+    }
+    return name + ": " + message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // shared_ptr keeps Status cheap to copy; OK is a null pointer.
+  std::shared_ptr<const State> state_;
+};
+
+/// \brief Holds either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}        // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(repr_).ok() && "Result must not hold OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace util
+}  // namespace sqlgraph
+
+/// Propagates a non-OK Status from the enclosing function.
+#define RETURN_NOT_OK(expr)                       \
+  do {                                            \
+    ::sqlgraph::util::Status _st = (expr);        \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#define SQLGRAPH_CONCAT_IMPL(x, y) x##y
+#define SQLGRAPH_CONCAT(x, y) SQLGRAPH_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on error returns its Status, otherwise
+/// binds the value to `lhs`.
+#define ASSIGN_OR_RETURN(lhs, rexpr)                                   \
+  ASSIGN_OR_RETURN_IMPL(SQLGRAPH_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                          \
+  if (!tmp.ok()) return tmp.status();          \
+  lhs = std::move(tmp).value()
+
+#endif  // SQLGRAPH_UTIL_STATUS_H_

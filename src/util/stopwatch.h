@@ -1,0 +1,39 @@
+// Monotonic wall-clock stopwatch for benchmark timing.
+
+#ifndef SQLGRAPH_UTIL_STOPWATCH_H_
+#define SQLGRAPH_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace sqlgraph {
+namespace util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace util
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_UTIL_STOPWATCH_H_

@@ -1,0 +1,43 @@
+// Small string helpers shared across modules.
+
+#ifndef SQLGRAPH_UTIL_STRING_UTIL_H_
+#define SQLGRAPH_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sqlgraph {
+namespace util {
+
+/// Splits `s` on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins the pieces with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// ASCII lower-casing (locale-independent).
+std::string ToLower(std::string_view s);
+
+/// SQL LIKE pattern matching: '%' matches any run, '_' matches one char.
+/// Matching is case-sensitive, as in the paper's `like %en` queries.
+bool SqlLikeMatch(std::string_view value, std::string_view pattern);
+
+/// Escapes a string for embedding in a single-quoted SQL literal.
+std::string SqlQuote(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Human-readable byte count ("1.5 MiB").
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace util
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_UTIL_STRING_UTIL_H_

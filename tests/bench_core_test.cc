@@ -1,0 +1,119 @@
+// Tests for src/bench_core: workload definitions and reporting helpers,
+// plus a plan-trace check that the translated benchmark queries use the
+// intended access paths.
+
+#include "bench_core/report.h"
+#include "bench_core/workloads.h"
+#include "graph/dbpedia_gen.h"
+#include "gremlin/parser.h"
+#include "gremlin/runtime.h"
+#include "gtest/gtest.h"
+#include "sqlgraph/store.h"
+
+namespace sqlgraph {
+namespace bench {
+namespace {
+
+TEST(WorkloadsTest, Table1QueriesMatchPaperStructure) {
+  const auto queries = Table1Queries();
+  ASSERT_EQ(queries.size(), 11u);
+  // Paper Table 1: queries 1-3 sweep hops 3/6/9 over the full leaf set.
+  EXPECT_EQ(queries[0].hops, 3);
+  EXPECT_EQ(queries[1].hops, 6);
+  EXPECT_EQ(queries[2].hops, 9);
+  EXPECT_EQ(queries[0].start_tag, "qleaf");
+  // 4-6 sweep input size at 5 hops.
+  for (int i = 3; i <= 5; ++i) EXPECT_EQ(queries[i].hops, 5);
+  // 7-11 traverse team relations ignoring direction.
+  for (int i = 6; i <= 10; ++i) {
+    EXPECT_TRUE(queries[i].both);
+    EXPECT_EQ(queries[i].label, "team");
+  }
+}
+
+TEST(WorkloadsTest, AllQueriesParse) {
+  for (const auto& q : Table1Queries()) {
+    EXPECT_TRUE(gremlin::ParseGremlin(q.ToGremlin()).ok()) << q.ToGremlin();
+  }
+  for (const auto& text : DbpediaBenchmarkQueries()) {
+    EXPECT_TRUE(gremlin::ParseGremlin(text).ok()) << text;
+  }
+}
+
+TEST(WorkloadsTest, Table2CoversPaperCategories) {
+  const auto queries = Table2Queries();
+  ASSERT_EQ(queries.size(), 16u);
+  using K = core::HashAttrStore::QueryKind;
+  int not_null = 0, like = 0, numeric = 0, string_eq = 0;
+  for (const auto& q : queries) {
+    switch (q.kind) {
+      case K::kNotNull: ++not_null; break;
+      case K::kLike: ++like; break;
+      case K::kEqNumeric: ++numeric; break;
+      case K::kEqString: ++string_eq; break;
+    }
+  }
+  EXPECT_EQ(not_null, 8);  // every attribute has a not-null probe
+  EXPECT_EQ(like + numeric + string_eq, 8);
+  // Each query renders to valid SQL against VA.
+  for (const auto& q : queries) {
+    EXPECT_NE(q.ToJsonSql().find("FROM VA"), std::string::npos);
+  }
+}
+
+TEST(WorkloadsTest, TranslatedBenchmarkQueriesUseIndexedStarts) {
+  graph::DbpediaConfig cfg;
+  cfg.scale = 0.01;
+  graph::PropertyGraph g = graph::DbpediaGenerator(cfg).Generate();
+  core::StoreConfig config;
+  config.va_hash_indexes = IndexedAttributeKeys();
+  config.va_ordered_indexes = OrderedIndexedAttributeKeys();
+  auto store = core::SqlGraphStore::Build(g, config);
+  ASSERT_TRUE(store.ok());
+  gremlin::GremlinRuntime runtime(store->get());
+
+  // Table-1 queries start from an indexed qtag: their plans must never seq
+  // scan VA.
+  for (const auto& q : Table1Queries()) {
+    if (q.hops > 5) continue;  // keep the test fast
+    auto r = runtime.Count(q.ToGremlin());
+    ASSERT_TRUE(r.ok()) << q.ToGremlin();
+    for (const auto& step : (*store)->last_exec_stats().trace) {
+      EXPECT_EQ(step.find("seq scan VA"), std::string::npos)
+          << q.ToGremlin() << " -> " << step;
+    }
+    // And the adjacency expansion runs as index nested-loop joins.
+    bool saw_inlj = false;
+    for (const auto& step : (*store)->last_exec_stats().trace) {
+      saw_inlj |= step.find("index nested-loop join OPA") != std::string::npos ||
+                  step.find("index nested-loop join IPA") != std::string::npos;
+    }
+    EXPECT_TRUE(saw_inlj) << q.ToGremlin();
+  }
+}
+
+TEST(ReportTest, TextTableAlignsColumns) {
+  TextTable table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer-name", "22"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Short rows are padded to the header arity.
+  TextTable ragged({"a", "b", "c"});
+  ragged.AddRow({"only-one"});
+  EXPECT_NE(ragged.ToString().find("only-one"), std::string::npos);
+}
+
+TEST(ReportTest, Formatters) {
+  EXPECT_EQ(FormatMs(0.1234), "0.123");
+  EXPECT_EQ(FormatMs(12.345), "12.35");
+  EXPECT_EQ(FormatMs(1234.5), "1234");  // %.0f rounds half-to-even
+  EXPECT_EQ(FormatMeanMax(0.0123, 1.5), "0.0123(1.500)");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sqlgraph

@@ -1,0 +1,122 @@
+// Tests for the graph-coloring hash (src/coloring).
+
+#include "coloring/coloring.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace sqlgraph {
+namespace coloring {
+namespace {
+
+TEST(CooccurrenceTest, GroupsCreateEdges) {
+  CooccurrenceGraph g;
+  g.AddGroup({"knows", "created"});
+  g.AddGroup({"likes", "created"});
+  EXPECT_EQ(g.num_labels(), 3u);
+  const uint32_t knows = g.Intern("knows");
+  const uint32_t created = g.Intern("created");
+  const uint32_t likes = g.Intern("likes");
+  EXPECT_TRUE(g.neighbors(knows).count(created));
+  EXPECT_TRUE(g.neighbors(created).count(likes));
+  EXPECT_FALSE(g.neighbors(knows).count(likes));
+}
+
+TEST(CooccurrenceTest, DuplicatesInGroupIgnored) {
+  CooccurrenceGraph g;
+  g.AddGroup({"a", "a", "a"});
+  EXPECT_EQ(g.num_labels(), 1u);
+  EXPECT_TRUE(g.neighbors(g.Intern("a")).empty());
+}
+
+TEST(ColoredHashTest, CooccurringLabelsGetDifferentColors) {
+  // The paper's Fig. 2b example: knows+created co-occur, likes+created
+  // co-occur, so created must differ from both; knows and likes may share.
+  CooccurrenceGraph g;
+  g.AddGroup({"knows", "created"});
+  g.AddGroup({"likes", "created"});
+  ColoredHash hash = ColoredHash::Build(g);
+  EXPECT_NE(hash.ColorOf("knows"), hash.ColorOf("created"));
+  EXPECT_NE(hash.ColorOf("likes"), hash.ColorOf("created"));
+  EXPECT_LE(hash.num_colors(), 2u);
+}
+
+TEST(ColoredHashTest, DisjointClustersShareColors) {
+  CooccurrenceGraph g;
+  for (int cluster = 0; cluster < 10; ++cluster) {
+    std::vector<std::string> group;
+    for (int i = 0; i < 4; ++i) {
+      group.push_back("c" + std::to_string(cluster) + "_" + std::to_string(i));
+    }
+    g.AddGroup(group);
+  }
+  ColoredHash hash = ColoredHash::Build(g);
+  // 40 labels, but only 4 co-occur at a time → exactly 4 colors.
+  EXPECT_EQ(hash.num_colors(), 4u);
+  EXPECT_EQ(hash.num_labels(), 40u);
+  size_t max_bucket = 0;
+  for (size_t b : hash.ColorHistogram()) max_bucket = std::max(max_bucket, b);
+  EXPECT_EQ(max_bucket, 10u);  // column overloading across clusters
+}
+
+TEST(ColoredHashTest, ProperColoringOnRandomGraphs) {
+  // Property: without a cap, the greedy coloring is proper — no two
+  // co-occurring labels share a color.
+  util::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    CooccurrenceGraph g;
+    const size_t num_labels = 5 + rng.Uniform(30);
+    for (int group = 0; group < 40; ++group) {
+      std::vector<std::string> labels;
+      const size_t size = 1 + rng.Uniform(5);
+      for (size_t i = 0; i < size; ++i) {
+        labels.push_back("l" + std::to_string(rng.Uniform(num_labels)));
+      }
+      g.AddGroup(labels);
+    }
+    ColoredHash hash = ColoredHash::Build(g);
+    for (uint32_t v = 0; v < g.num_labels(); ++v) {
+      for (uint32_t u : g.neighbors(v)) {
+        EXPECT_NE(hash.ColorOf(g.labels()[v]), hash.ColorOf(g.labels()[u]))
+            << g.labels()[v] << " vs " << g.labels()[u];
+      }
+    }
+  }
+}
+
+TEST(ColoredHashTest, CapForcesConflicts) {
+  CooccurrenceGraph g;
+  std::vector<std::string> big_group;
+  for (int i = 0; i < 10; ++i) big_group.push_back("x" + std::to_string(i));
+  g.AddGroup(big_group);  // clique of 10 needs 10 colors
+  ColoredHash hash = ColoredHash::Build(g, /*max_colors=*/4);
+  EXPECT_LE(hash.num_colors(), 4u);
+}
+
+TEST(ColoredHashTest, UnknownLabelFallsBackToModulo) {
+  CooccurrenceGraph g;
+  g.AddGroup({"a", "b"});
+  ColoredHash hash = ColoredHash::Build(g);
+  EXPECT_FALSE(hash.Knows("zzz"));
+  EXPECT_LT(hash.ColorOf("zzz"), hash.num_colors());
+  // Deterministic.
+  EXPECT_EQ(hash.ColorOf("zzz"), hash.ColorOf("zzz"));
+}
+
+TEST(ColoredHashTest, ModuloBaselineUsesRequestedColors) {
+  std::vector<std::string> labels;
+  for (int i = 0; i < 100; ++i) labels.push_back("l" + std::to_string(i));
+  ColoredHash hash = ColoredHash::BuildModulo(labels, 8);
+  EXPECT_EQ(hash.num_colors(), 8u);
+  for (const auto& l : labels) EXPECT_LT(hash.ColorOf(l), 8u);
+}
+
+TEST(ColoredHashTest, EmptyGraph) {
+  CooccurrenceGraph g;
+  ColoredHash hash = ColoredHash::Build(g);
+  EXPECT_EQ(hash.num_colors(), 1u);
+  EXPECT_LT(hash.ColorOf("anything"), 1u);
+}
+
+}  // namespace
+}  // namespace coloring
+}  // namespace sqlgraph

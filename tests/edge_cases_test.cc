@@ -1,0 +1,181 @@
+// Edge-case and failure-injection tests across the stack: recursion caps,
+// quote/escape handling end to end, supernode multi-value lists, spill +
+// CRUD interplay, paged snapshots, empty results.
+
+#include <algorithm>
+
+#include "gremlin/runtime.h"
+#include "gtest/gtest.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "sqlgraph/snapshot.h"
+#include "sqlgraph/store.h"
+
+namespace sqlgraph {
+namespace {
+
+using core::SqlGraphStore;
+using core::StoreConfig;
+using graph::PropertyGraph;
+using graph::VertexId;
+
+json::JsonValue Attr(const char* key, json::JsonValue value) {
+  json::JsonValue obj = json::JsonValue::Object();
+  obj.Set(key, std::move(value));
+  return obj;
+}
+
+TEST(EdgeCaseTest, RecursionCapSurfacesAsError) {
+  // A 6-deep chain with a max_recursion of 3 must fail, not hang.
+  rel::Database db;
+  rel::Schema s;
+  s.AddColumn("src", rel::ColumnType::kInt64, false);
+  s.AddColumn("dst", rel::ColumnType::kInt64, false);
+  auto t = db.CreateTable("chain", std::move(s));
+  ASSERT_TRUE(t.ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE((*t)->Insert({rel::Value(i), rel::Value(i + 1)}).ok());
+  }
+  sql::Executor::Options opts;
+  opts.max_recursion = 3;
+  sql::Executor exec(&db, opts);
+  auto r = exec.ExecuteSql(
+      "WITH RECURSIVE reach(val) AS (SELECT dst AS val FROM chain WHERE "
+      "src = 0 UNION ALL SELECT c.dst AS val FROM reach r, chain c WHERE "
+      "r.val = c.src) SELECT COUNT(*) FROM reach");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kOutOfRange);
+}
+
+TEST(EdgeCaseTest, QuotesSurviveTheWholeStack) {
+  PropertyGraph g;
+  g.AddVertex(Attr("name", json::JsonValue("o'brien")));
+  g.AddVertex(Attr("name", json::JsonValue("plain")));
+  (void)g.AddEdge(0, 1, "quote's label", json::JsonValue::Object());
+  StoreConfig config;
+  config.va_hash_indexes = {"name"};
+  auto store = SqlGraphStore::Build(g, config);
+  ASSERT_TRUE(store.ok());
+  gremlin::GremlinRuntime runtime(store->get());
+  // Gremlin string escape → SQL quote escape → parse-back → execute.
+  auto count = runtime.Count("g.V.has('name', 'o\\'brien').count()");
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, 1);
+  auto out = runtime.Count("g.V(0).out('quote\\'s label').count()");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, 1);
+  // The translated SQL text itself round-trips through the SQL parser.
+  auto sql_text = runtime.TranslateToSql("g.V.has('name', 'o\\'brien')");
+  ASSERT_TRUE(sql_text.ok());
+  EXPECT_TRUE(sql::ParseQuery(*sql_text).ok()) << *sql_text;
+}
+
+TEST(EdgeCaseTest, SupernodeMultiValueList) {
+  PropertyGraph g;
+  const VertexId hub = g.AddVertex();
+  for (int i = 0; i < 500; ++i) {
+    const VertexId spoke = g.AddVertex();
+    ASSERT_TRUE(g.AddEdge(hub, spoke, "follows",
+                          json::JsonValue::Object()).ok());
+  }
+  auto store = SqlGraphStore::Build(g);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->load_stats().osa_rows, 500u);
+  EXPECT_EQ((*store)->Out(hub, "follows")->size(), 500u);
+  gremlin::GremlinRuntime runtime(store->get());
+  EXPECT_EQ(*runtime.Count("g.V(0).out('follows').count()"), 500);
+  // Shrink the list via CRUD; the hash tables stay consistent.
+  for (graph::EdgeId e = 0; e < 100; ++e) {
+    ASSERT_TRUE((*store)->RemoveEdge(e).ok());
+  }
+  EXPECT_EQ(*runtime.Count("g.V(0).out('follows').count()"), 400);
+  EXPECT_EQ((*store)->In(1, "follows")->size(), 0u);  // spoke 1's edge removed
+}
+
+TEST(EdgeCaseTest, SpillHeavyStoreSupportsFullCrud) {
+  // One shared triad (cap=1) forces a spill row per extra label.
+  PropertyGraph g;
+  for (int i = 0; i < 8; ++i) g.AddVertex();
+  for (int label = 0; label < 5; ++label) {
+    ASSERT_TRUE(g.AddEdge(0, label + 1, "l" + std::to_string(label),
+                          json::JsonValue::Object()).ok());
+  }
+  StoreConfig config;
+  config.max_adjacency_colors = 1;
+  auto store = SqlGraphStore::Build(g, config);
+  ASSERT_TRUE(store.ok());
+  EXPECT_GE((*store)->load_stats().out_spill_rows, 4u);
+  gremlin::GremlinRuntime runtime(store->get());
+  EXPECT_EQ(*runtime.Count("g.V(0).out().count()"), 5);
+  EXPECT_EQ(*runtime.Count("g.V(0).out('l3').count()"), 1);
+  // Adding another new label spills again; removal un-spills correctly.
+  auto e = (*store)->AddEdge(0, 6, "l99", json::JsonValue::Object());
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(*runtime.Count("g.V(0).out().count()"), 6);
+  ASSERT_TRUE((*store)->RemoveEdge(*e).ok());
+  EXPECT_EQ(*runtime.Count("g.V(0).out().count()"), 5);
+  // Soft delete + compact with spill rows present.
+  ASSERT_TRUE((*store)->RemoveVertex(0).ok());
+  ASSERT_TRUE((*store)->Compact().ok());
+  EXPECT_EQ(*runtime.Count("g.V.count()"), 7);
+}
+
+TEST(EdgeCaseTest, PagedSnapshotRoundTrip) {
+  PropertyGraph g;
+  for (int i = 0; i < 50; ++i) g.AddVertex(Attr("i", json::JsonValue(i)));
+  for (int i = 0; i < 49; ++i) {
+    ASSERT_TRUE(g.AddEdge(i, i + 1, "next", json::JsonValue::Object()).ok());
+  }
+  StoreConfig paged;
+  paged.storage = rel::StorageMode::kPaged;
+  paged.buffer_pool_bytes = 1 << 20;
+  auto store = SqlGraphStore::Build(g, paged);
+  ASSERT_TRUE(store.ok());
+  const std::string path =
+      std::string(::testing::TempDir()) + "/paged_snapshot.sqlg";
+  ASSERT_TRUE(SaveSnapshot(**store, path).ok());
+  // Reopen resident: storage mode is a property of the open, not the file.
+  auto resident = core::OpenSnapshot(path);
+  ASSERT_TRUE(resident.ok()) << resident.status().ToString();
+  gremlin::GremlinRuntime runtime(resident->get());
+  EXPECT_EQ(*runtime.Count("g.V(0).out().loop(1){true}.dedup().count()"), 49);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeCaseTest, EmptyResultsEverywhere) {
+  PropertyGraph g;
+  g.AddVertex(Attr("name", json::JsonValue("only")));
+  auto store = SqlGraphStore::Build(g);
+  ASSERT_TRUE(store.ok());
+  gremlin::GremlinRuntime runtime(store->get());
+  EXPECT_EQ(*runtime.Count("g.V.has('name', 'nobody').count()"), 0);
+  EXPECT_EQ(*runtime.Count("g.V(0).out().count()"), 0);
+  EXPECT_EQ(*runtime.Count("g.V(0).out().out().both().dedup().count()"), 0);
+  EXPECT_EQ(*runtime.Count("g.E.count()"), 0);
+  auto rows = runtime.Query("g.V(0).outE('nope').inV()");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->rows.empty());
+}
+
+TEST(EdgeCaseTest, SelfLoopsAndParallelEdges) {
+  PropertyGraph g;
+  g.AddVertex();
+  g.AddVertex();
+  ASSERT_TRUE(g.AddEdge(0, 0, "self", json::JsonValue::Object()).ok());
+  ASSERT_TRUE(g.AddEdge(0, 1, "dup", json::JsonValue::Object()).ok());
+  ASSERT_TRUE(g.AddEdge(0, 1, "dup", json::JsonValue::Object()).ok());
+  auto store = SqlGraphStore::Build(g);
+  ASSERT_TRUE(store.ok());
+  gremlin::GremlinRuntime runtime(store->get());
+  EXPECT_EQ(*runtime.Count("g.V(0).out('self').count()"), 1);
+  EXPECT_EQ(*runtime.Count("g.V(0).in('self').count()"), 1);
+  // Parallel edges are a multi-value list; both survive and both count.
+  EXPECT_EQ(*runtime.Count("g.V(0).out('dup').count()"), 2);
+  EXPECT_EQ(*runtime.Count("g.V(1).in('dup').dedup().count()"), 1);
+  // Removing one parallel edge keeps the other.
+  ASSERT_TRUE((*store)->RemoveEdge(1).ok());
+  EXPECT_EQ(*runtime.Count("g.V(0).out('dup').count()"), 1);
+}
+
+}  // namespace
+}  // namespace sqlgraph

@@ -1,0 +1,394 @@
+// Tests for the Gremlin parser, the Gremlin→SQL translator (Table 8
+// templates, Fig. 7 shape, optimizations) and end-to-end execution over the
+// SQLGraph store.
+
+#include <algorithm>
+
+#include "gremlin/parser.h"
+#include "gremlin/runtime.h"
+#include "gtest/gtest.h"
+#include "sql/parser.h"
+
+namespace sqlgraph {
+namespace gremlin {
+namespace {
+
+using core::SqlGraphStore;
+using core::StoreConfig;
+using graph::PropertyGraph;
+
+json::JsonValue Attrs(
+    std::initializer_list<std::pair<const char*, json::JsonValue>> members) {
+  json::JsonValue obj = json::JsonValue::Object();
+  for (const auto& [k, v] : members) obj.Set(k, v);
+  return obj;
+}
+
+PropertyGraph SampleGraph() {
+  PropertyGraph g;
+  g.AddVertex(Attrs({{"name", json::JsonValue("marko")},
+                     {"age", json::JsonValue(29)},
+                     {"tag", json::JsonValue("w")}}));
+  g.AddVertex(Attrs({{"name", json::JsonValue("vadas")},
+                     {"age", json::JsonValue(27)}}));
+  g.AddVertex(Attrs({{"name", json::JsonValue("lop")},
+                     {"lang", json::JsonValue("java")}}));
+  g.AddVertex(Attrs({{"name", json::JsonValue("josh")},
+                     {"age", json::JsonValue(32)},
+                     {"tag", json::JsonValue("w")}}));
+  auto w = [](double x) { return Attrs({{"weight", json::JsonValue(x)}}); };
+  EXPECT_TRUE(g.AddEdge(0, 1, "knows", w(0.5)).ok());
+  EXPECT_TRUE(g.AddEdge(0, 3, "knows", w(1.0)).ok());
+  EXPECT_TRUE(g.AddEdge(0, 2, "created", w(0.4)).ok());
+  EXPECT_TRUE(g.AddEdge(3, 2, "created", w(0.2)).ok());
+  EXPECT_TRUE(g.AddEdge(3, 1, "likes", w(0.8)).ok());
+  return g;
+}
+
+// --------------------------------------------------------------- parser ----
+
+TEST(GremlinParserTest, ParsesBasicPipeline) {
+  auto p = ParseGremlin("g.V.filter{it.tag=='w'}.both.dedup().count()");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  ASSERT_EQ(p->pipes.size(), 5u);
+  EXPECT_EQ(p->pipes[0].kind, PipeKind::kStartV);
+  EXPECT_EQ(p->pipes[1].kind, PipeKind::kHas);
+  EXPECT_EQ(p->pipes[1].key, "tag");
+  EXPECT_EQ(p->pipes[2].kind, PipeKind::kBoth);
+  EXPECT_EQ(p->pipes[3].kind, PipeKind::kDedup);
+  EXPECT_EQ(p->pipes[4].kind, PipeKind::kCount);
+}
+
+TEST(GremlinParserTest, StartForms) {
+  EXPECT_TRUE(ParseGremlin("g.V")->pipes[0].start_key.empty());
+  auto by_id = ParseGremlin("g.V(5)");
+  ASSERT_TRUE(by_id.ok());
+  EXPECT_TRUE(by_id->pipes[0].has_start_id);
+  EXPECT_EQ(by_id->pipes[0].value.AsInt(), 5);
+  auto by_key = ParseGremlin("g.V('uri', 'http://x/y')");
+  ASSERT_TRUE(by_key.ok());
+  EXPECT_EQ(by_key->pipes[0].start_key, "uri");
+  EXPECT_EQ(by_key->pipes[0].value.AsString(), "http://x/y");
+}
+
+TEST(GremlinParserTest, HasComparators) {
+  auto p = ParseGremlin("g.V.has('age', T.gt, 27)");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->pipes[1].cmp, Cmp::kGt);
+  EXPECT_EQ(p->pipes[1].value.AsInt(), 27);
+  p = ParseGremlin("g.V.has('name')");
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->pipes[1].has_value);
+}
+
+TEST(GremlinParserTest, LoopForms) {
+  auto p = ParseGremlin("g.V(1).out('a').loop(1){it.loops < 4}");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->pipes[2].loop_steps, 1);
+  EXPECT_EQ(p->pipes[2].loop_count, 4);
+  p = ParseGremlin("g.V(1).out('a').loop(1){true}");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->pipes[2].loop_count, -1);
+}
+
+TEST(GremlinParserTest, BranchingForms) {
+  auto p = ParseGremlin(
+      "g.V.copySplit(_().out('a'), _().in('b')).exhaustMerge().count()");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  ASSERT_EQ(p->pipes.size(), 3u);  // merge is a no-op
+  EXPECT_EQ(p->pipes[1].branches.size(), 2u);
+  p = ParseGremlin("g.V.and(_().out('a'), _().out('b'))");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->pipes[1].kind, PipeKind::kAndFilter);
+  p = ParseGremlin("g.V.ifThenElse{it.age > 30}{it.out('a')}{it.in('b')}");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  ASSERT_EQ(p->pipes[1].branches.size(), 3u);
+}
+
+TEST(GremlinParserTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseGremlin("x.V").ok());
+  EXPECT_FALSE(ParseGremlin("g.nonsensePipe()").ok());
+  EXPECT_FALSE(ParseGremlin("g.V.has(").ok());
+  EXPECT_FALSE(ParseGremlin("g.V.out('a'").ok());
+  EXPECT_FALSE(ParseGremlin("g.V.filter{tag=='w'}").ok());
+  EXPECT_FALSE(ParseGremlin("g").ok());
+}
+
+TEST(GremlinParserTest, ToStringRoundTrips) {
+  const char* q = "g.V.has('age', T.gt, 27).out('knows').dedup().count()";
+  auto p = ParseGremlin(q);
+  ASSERT_TRUE(p.ok());
+  auto p2 = ParseGremlin(ToString(*p));
+  ASSERT_TRUE(p2.ok()) << ToString(*p);
+  EXPECT_EQ(p->pipes.size(), p2->pipes.size());
+}
+
+// ----------------------------------------------------------- translator ----
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StoreConfig config;
+    config.va_hash_indexes = {"name", "tag"};
+    auto built = SqlGraphStore::Build(SampleGraph(), config);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    store_ = std::move(built).value();
+    runtime_ = std::make_unique<GremlinRuntime>(store_.get());
+  }
+
+  int64_t MustCount(const std::string& q) {
+    auto r = runtime_->Count(q);
+    EXPECT_TRUE(r.ok()) << q << " -> " << r.status().ToString();
+    return r.ok() ? *r : -1;
+  }
+
+  std::vector<int64_t> MustVals(const std::string& q) {
+    auto r = runtime_->Query(q);
+    EXPECT_TRUE(r.ok()) << q << " -> " << r.status().ToString();
+    std::vector<int64_t> out;
+    if (r.ok()) {
+      const int col = r->FindColumn("val");
+      EXPECT_GE(col, 0);
+      for (const auto& row : r->rows) out.push_back(row[static_cast<size_t>(col)].AsInt());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::unique_ptr<SqlGraphStore> store_;
+  std::unique_ptr<GremlinRuntime> runtime_;
+};
+
+TEST_F(RuntimeTest, TranslationProducesParseableSql) {
+  // The emitted SQL must be real SQL: render → parse round trip.
+  const char* queries[] = {
+      "g.V.filter{it.tag=='w'}.both.dedup().count()",
+      "g.V(0).out('knows').out('created').count()",
+      "g.V.has('age', T.gt, 27).outE('knows').inV().dedup().count()",
+      "g.V(0).as('x').out('knows').back('x').dedup().count()",
+      "g.V(0).out('knows').path()",
+  };
+  for (const char* q : queries) {
+    auto sql_text = runtime_->TranslateToSql(q);
+    ASSERT_TRUE(sql_text.ok()) << q << ": " << sql_text.status().ToString();
+    auto reparsed = sql::ParseQuery(*sql_text);
+    EXPECT_TRUE(reparsed.ok()) << q << "\nSQL: " << *sql_text << "\n"
+                               << reparsed.status().ToString();
+  }
+}
+
+TEST_F(RuntimeTest, PaperExampleQuery) {
+  // §4.1: vertices adjacent (either direction) to a tag=='w' vertex.
+  // marko(0): out {1,2,3}; josh(3): out {1,2}, in {0}; marko in: {}.
+  // both-multiset = {1,2,3, 1,2, 0}; dedup → {0,1,2,3} → 4.
+  EXPECT_EQ(MustCount("g.V.filter{it.tag=='w'}.both.dedup().count()"), 4);
+}
+
+TEST_F(RuntimeTest, SingleHopUsesEaTable) {
+  auto sql_text = runtime_->TranslateToSql("g.V(0).out('knows').count()");
+  ASSERT_TRUE(sql_text.ok());
+  EXPECT_NE(sql_text->find("EA"), std::string::npos) << *sql_text;
+  EXPECT_EQ(sql_text->find("OPA"), std::string::npos) << *sql_text;
+}
+
+TEST_F(RuntimeTest, MultiHopUsesHashTables) {
+  auto sql_text =
+      runtime_->TranslateToSql("g.V(0).out('knows').out('created').count()");
+  ASSERT_TRUE(sql_text.ok());
+  EXPECT_NE(sql_text->find("OPA"), std::string::npos) << *sql_text;
+  EXPECT_NE(sql_text->find("LEFT OUTER JOIN OSA"), std::string::npos)
+      << *sql_text;
+}
+
+TEST_F(RuntimeTest, GraphQueryMergeFoldsHasIntoStart) {
+  auto sql_text =
+      runtime_->TranslateToSql("g.V.has('tag', 'w').out('knows').count()");
+  ASSERT_TRUE(sql_text.ok());
+  // The has() must not create a separate VA join CTE: one VA mention only.
+  size_t mentions = 0, pos = 0;
+  while ((pos = sql_text->find("FROM VA", pos)) != std::string::npos) {
+    ++mentions;
+    pos += 7;
+  }
+  EXPECT_EQ(mentions, 1u) << *sql_text;
+}
+
+TEST_F(RuntimeTest, VertexQueryMergeFoldsEdgeFilter) {
+  // §4.5.1: outE followed by attribute filters folds into one CTE — the EA
+  // table must be referenced exactly once before inV().
+  auto sql_text = runtime_->TranslateToSql(
+      "g.V(0).outE('knows').has('weight', T.gt, 0.6).inV().count()");
+  ASSERT_TRUE(sql_text.ok());
+  size_t mentions = 0, pos = 0;
+  while ((pos = sql_text->find("EA p", pos)) != std::string::npos) {
+    ++mentions;
+    pos += 4;
+  }
+  EXPECT_EQ(mentions, 2u) << *sql_text;  // outE CTE (merged) + inV CTE
+  // Result unchanged by the merge.
+  EXPECT_EQ(MustVals("g.V(0).outE('knows').has('weight', T.gt, 0.6).inV()"),
+            (std::vector<int64_t>{3}));
+  // Chained filters all merge.
+  auto chained = runtime_->TranslateToSql(
+      "g.V(0).outE().has('label', 'knows').has('weight', T.gt, 0.6).count()");
+  ASSERT_TRUE(chained.ok());
+  mentions = 0;
+  pos = 0;
+  while ((pos = chained->find("EA p", pos)) != std::string::npos) {
+    ++mentions;
+    pos += 4;
+  }
+  EXPECT_EQ(mentions, 1u) << *chained;
+}
+
+TEST_F(RuntimeTest, ForceEaAblation) {
+  TranslatorOptions options;
+  options.force_ea_for_all_hops = true;
+  GremlinRuntime ea_runtime(store_.get(), options);
+  auto sql_text =
+      ea_runtime.TranslateToSql("g.V(0).out('knows').out('created').count()");
+  ASSERT_TRUE(sql_text.ok());
+  EXPECT_EQ(sql_text->find("OPA"), std::string::npos) << *sql_text;
+  auto count = ea_runtime.Count("g.V(0).out('knows').out('created').count()");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 1);  // knows → {vadas, josh}; only josh created (lop)
+}
+
+TEST_F(RuntimeTest, TraversalResults) {
+  EXPECT_EQ(MustVals("g.V(0).out('knows')"), (std::vector<int64_t>{1, 3}));
+  EXPECT_EQ(MustVals("g.V(0).out()"), (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(MustVals("g.V(2).in('created')"), (std::vector<int64_t>{0, 3}));
+  EXPECT_EQ(MustVals("g.V(1).both()"), (std::vector<int64_t>{0, 3}));
+  EXPECT_EQ(MustVals("g.V(0).out('knows').out('created')"),
+            (std::vector<int64_t>{2}));
+  EXPECT_EQ(MustVals("g.V(0).out('knows','created')"),
+            (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST_F(RuntimeTest, EdgePipes) {
+  // marko's out-edges: e0 (knows), e1 (knows), e2 (created).
+  EXPECT_EQ(MustVals("g.V(0).outE('knows')"), (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(MustVals("g.V(0).outE('knows').inV()"),
+            (std::vector<int64_t>{1, 3}));
+  EXPECT_EQ(MustVals("g.V(0).outE('knows').outV()"),
+            (std::vector<int64_t>{0, 0}));
+  EXPECT_EQ(MustVals("g.V(1).inE()"), (std::vector<int64_t>{0, 4}));
+  // Edge attribute filter.
+  EXPECT_EQ(MustVals("g.V(0).outE('knows').has('weight', T.gt, 0.6).inV()"),
+            (std::vector<int64_t>{3}));
+  // Edge label filter via has('label', ...).
+  EXPECT_EQ(MustCount("g.V(0).outE().has('label', 'created').count()"), 1);
+}
+
+TEST_F(RuntimeTest, FiltersAndDedup) {
+  EXPECT_EQ(MustCount("g.V.has('age').count()"), 3);
+  EXPECT_EQ(MustCount("g.V.hasNot('age').count()"), 1);
+  EXPECT_EQ(MustCount("g.V.has('age', T.gte, 29).count()"), 2);
+  EXPECT_EQ(MustCount("g.V.interval('age', 27, 30).count()"), 2);
+  EXPECT_EQ(MustCount("g.V(0).out().out().count()"), 2);  // 1→nothing, 3→{2,1}
+  EXPECT_EQ(MustCount("g.V(0).out().out().dedup().count()"), 2);
+  EXPECT_EQ(MustCount("g.V(3).out().in().count()"), 4);
+  EXPECT_EQ(MustCount("g.V(3).out().in().dedup().count()"), 2);
+}
+
+TEST_F(RuntimeTest, RangePipe) {
+  EXPECT_EQ(MustCount("g.V.range(0, 1).count()"), 2);
+  EXPECT_EQ(MustCount("g.V.range(2, 9).count()"), 2);
+}
+
+TEST_F(RuntimeTest, PathAndSimplePath) {
+  auto r = runtime_->Query("g.V(0).out('knows').path()");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 2u);
+  // Each path is a JSON array [0, neighbor].
+  for (const auto& row : r->rows) {
+    ASSERT_TRUE(row[0].is_json());
+    EXPECT_EQ(row[0].AsJson().AsArray().size(), 2u);
+    EXPECT_EQ(row[0].AsJson().AsArray()[0].AsInt(), 0);
+  }
+  // out(0)={1,2,3}; in(1)={0,3}, in(2)={0,3}, in(3)={0} → 5 walks, of
+  // which 3 are the cyclic 0→x→0 ones that simplePath removes.
+  EXPECT_EQ(MustCount("g.V(0).out().in().count()"), 5);
+  EXPECT_EQ(MustCount("g.V(0).out().in().simplePath().count()"),
+            MustCount("g.V(0).out().in().count()") - 3);
+}
+
+TEST_F(RuntimeTest, AsBack) {
+  // Vertices that know someone who created something — back to the source.
+  EXPECT_EQ(MustVals(
+                "g.V.as('x').out('knows').out('created').back('x').dedup()"),
+            (std::vector<int64_t>{0}));
+}
+
+TEST_F(RuntimeTest, AggregateExceptRetain) {
+  // Neighbors of marko's knows, except those marko knows directly.
+  EXPECT_EQ(
+      MustVals("g.V(0).out('knows').aggregate('x').out('created')"
+               ".except('x').dedup()"),
+      (std::vector<int64_t>{2}));
+  EXPECT_EQ(MustVals("g.V(0).out().aggregate('x').out().retain('x').dedup()"),
+            (std::vector<int64_t>{1, 2}));
+}
+
+TEST_F(RuntimeTest, AndOrFilters) {
+  // and(): vertices with out-knows AND out-created = marko, josh? josh has
+  // likes+created; marko knows+created → both qualify... josh: knows? no.
+  EXPECT_EQ(MustVals("g.V.and(_().out('knows'), _().out('created'))"),
+            (std::vector<int64_t>{0}));
+  EXPECT_EQ(MustVals("g.V.or(_().out('knows'), _().out('created'))"),
+            (std::vector<int64_t>{0, 3}));
+}
+
+TEST_F(RuntimeTest, CopySplitMerge) {
+  EXPECT_EQ(MustVals("g.V(0).copySplit(_().out('knows'), "
+                     "_().out('created')).exhaustMerge().dedup()"),
+            (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST_F(RuntimeTest, IfThenElse) {
+  // Older than 28 → their creations; otherwise → who they know... vadas(27)
+  // knows nobody. marko(29)→lop, josh(32)→lop; lop & vadas lack age → else.
+  EXPECT_EQ(MustVals("g.V.ifThenElse{it.age > 28}{it.out('created')}"
+                     "{it.out('knows')}.dedup()"),
+            (std::vector<int64_t>{2}));
+}
+
+TEST_F(RuntimeTest, FixedLoopUnrolls) {
+  // 3 hops from marko following anything.
+  EXPECT_EQ(MustCount("g.V(0).out().loop(1){it.loops < 2}.count()"),
+            MustCount("g.V(0).out().out().count()"));
+  EXPECT_EQ(MustCount("g.V(0).out().loop(1){it.loops < 3}.count()"),
+            MustCount("g.V(0).out().out().out().count()"));
+}
+
+TEST_F(RuntimeTest, UnboundedLoopReachesFixpoint) {
+  // Transitive closure from marko = {1,2,3} (no cycles back to 0).
+  EXPECT_EQ(MustCount("g.V(0).out().loop(1){true}.dedup().count()"), 3);
+  auto sql_text =
+      runtime_->TranslateToSql("g.V(0).out().loop(1){true}.dedup().count()");
+  ASSERT_TRUE(sql_text.ok());
+  EXPECT_NE(sql_text->find("WITH RECURSIVE"), std::string::npos) << *sql_text;
+}
+
+TEST_F(RuntimeTest, StartByAttributeUsesIndex) {
+  EXPECT_EQ(MustVals("g.V('name', 'marko')"), (std::vector<int64_t>{0}));
+  EXPECT_EQ(MustCount("g.V('name', 'nobody').count()"), 0);
+}
+
+TEST_F(RuntimeTest, SoftDeletedVertexExcluded) {
+  ASSERT_TRUE(store_->RemoveVertex(1).ok());
+  EXPECT_EQ(MustCount("g.V.count()"), 3);
+  // vadas no longer reachable via EA-backed single-hop.
+  EXPECT_EQ(MustVals("g.V(0).out('knows')"), (std::vector<int64_t>{3}));
+}
+
+TEST_F(RuntimeTest, ErrorsSurfaceCleanly) {
+  EXPECT_FALSE(runtime_->Query("g.V.out().badPipe()").ok());
+  EXPECT_FALSE(runtime_->Query("g.V.outV()").ok());   // outV on vertices
+  EXPECT_FALSE(runtime_->Query("g.V.back('nope')").ok());
+  EXPECT_FALSE(runtime_->Query("g.V.except('nope')").ok());
+}
+
+}  // namespace
+}  // namespace gremlin
+}  // namespace sqlgraph

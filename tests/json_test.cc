@@ -1,0 +1,210 @@
+// Tests for src/json: value model, parser, writer, round trips.
+
+#include "gtest/gtest.h"
+#include "json/json_parser.h"
+#include "json/json_value.h"
+
+namespace sqlgraph {
+namespace json {
+namespace {
+
+TEST(JsonValueTest, ScalarTypes) {
+  EXPECT_TRUE(JsonValue().is_null());
+  EXPECT_TRUE(JsonValue(true).is_bool());
+  EXPECT_TRUE(JsonValue(int64_t{29}).is_int());
+  EXPECT_TRUE(JsonValue(0.4).is_double());
+  EXPECT_TRUE(JsonValue("marko").is_string());
+  EXPECT_TRUE(JsonValue(int64_t{29}).is_number());
+}
+
+TEST(JsonValueTest, ObjectSetFindErase) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("name", "marko");
+  obj.Set("age", 29);
+  EXPECT_EQ(obj.size(), 2u);
+  ASSERT_NE(obj.Find("name"), nullptr);
+  EXPECT_EQ(obj.Find("name")->AsString(), "marko");
+  EXPECT_EQ(obj.Find("age")->AsInt(), 29);
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+  obj.Set("age", 30);  // replace
+  EXPECT_EQ(obj.size(), 2u);
+  EXPECT_EQ(obj.Find("age")->AsInt(), 30);
+  EXPECT_TRUE(obj.Erase("name"));
+  EXPECT_FALSE(obj.Erase("name"));
+  EXPECT_EQ(obj.size(), 1u);
+}
+
+TEST(JsonValueTest, ArrayAppend) {
+  JsonValue arr = JsonValue::Array();
+  arr.Append(1);
+  arr.Append("two");
+  EXPECT_EQ(arr.size(), 2u);
+  EXPECT_EQ(arr.AsArray()[0].AsInt(), 1);
+  EXPECT_EQ(arr.AsArray()[1].AsString(), "two");
+}
+
+TEST(JsonValueTest, CopyOnWriteIsolation) {
+  JsonValue a = JsonValue::Object();
+  a.Set("k", 1);
+  JsonValue b = a;          // shares representation
+  b.Set("k", 2);            // must not affect a
+  EXPECT_EQ(a.Find("k")->AsInt(), 1);
+  EXPECT_EQ(b.Find("k")->AsInt(), 2);
+}
+
+TEST(JsonValueTest, EqualityOrderInsensitiveObjects) {
+  JsonValue a = JsonValue::Object();
+  a.Set("x", 1);
+  a.Set("y", 2);
+  JsonValue b = JsonValue::Object();
+  b.Set("y", 2);
+  b.Set("x", 1);
+  EXPECT_EQ(a, b);
+  b.Set("x", 3);
+  EXPECT_NE(a, b);
+}
+
+TEST(JsonValueTest, NumericCrossTypeEquality) {
+  EXPECT_EQ(JsonValue(int64_t{3}), JsonValue(3.0));
+  EXPECT_NE(JsonValue(int64_t{3}), JsonValue(3.5));
+}
+
+TEST(JsonParserTest, ParsesScalars) {
+  EXPECT_TRUE(Parse("null")->is_null());
+  EXPECT_EQ(Parse("true")->AsBool(), true);
+  EXPECT_EQ(Parse("42")->AsInt(), 42);
+  EXPECT_EQ(Parse("-17")->AsInt(), -17);
+  EXPECT_DOUBLE_EQ(Parse("0.5")->AsDouble(), 0.5);
+  EXPECT_DOUBLE_EQ(Parse("1e3")->AsDouble(), 1000.0);
+  EXPECT_EQ(Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonParserTest, ParsesNestedDocument) {
+  auto r = Parse(R"({"knows":[{"eid":7,"val":2},{"eid":8,"val":4}],)"
+                 R"("created":[{"eid":9,"val":3}]})");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const JsonValue& doc = r.value();
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* knows = doc.Find("knows");
+  ASSERT_NE(knows, nullptr);
+  ASSERT_TRUE(knows->is_array());
+  EXPECT_EQ(knows->AsArray().size(), 2u);
+  EXPECT_EQ(knows->AsArray()[1].Find("val")->AsInt(), 4);
+}
+
+TEST(JsonParserTest, StringEscapes) {
+  auto r = Parse(R"("a\"b\\c\nd\tA")");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().AsString(), "a\"b\\c\nd\tA");
+}
+
+TEST(JsonParserTest, UnicodeEscapeToUtf8) {
+  auto r = Parse(R"("é")");  // é
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().AsString(), "\xc3\xa9");
+}
+
+TEST(JsonParserTest, RejectsMalformed) {
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1,]").ok());
+  EXPECT_FALSE(Parse("{\"a\":}").ok());
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("12 34").ok());
+  EXPECT_FALSE(Parse("{'a':1}").ok());
+  EXPECT_FALSE(Parse("").ok());
+}
+
+TEST(JsonParserTest, WhitespaceTolerant) {
+  auto r = Parse(" { \"a\" : [ 1 , 2 ] } ");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().Find("a")->AsArray().size(), 2u);
+}
+
+TEST(JsonWriterTest, CompactRoundTrip) {
+  const std::string text =
+      R"({"name":"marko","age":29,"langs":["java","groovy"],"w":0.5,"ok":true,"n":null})";
+  auto parsed = Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  const std::string rewritten = Write(parsed.value());
+  auto reparsed = Parse(rewritten);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(parsed.value(), reparsed.value());
+}
+
+TEST(JsonWriterTest, EscapesControlCharacters) {
+  JsonValue v(std::string("line1\nline2\x01"));
+  const std::string text = Write(v);
+  auto round = Parse(text);
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.value().AsString(), "line1\nline2\x01");
+}
+
+TEST(JsonWriterTest, PrettyIsReparseable) {
+  auto doc = Parse(R"({"a":{"b":[1,2,{"c":null}]}})");
+  ASSERT_TRUE(doc.ok());
+  auto round = Parse(WritePretty(doc.value()));
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(doc.value(), round.value());
+}
+
+TEST(JsonValueTest, ByteSizeGrowsWithContent) {
+  JsonValue small = JsonValue::Object();
+  small.Set("k", 1);
+  JsonValue big = JsonValue::Object();
+  big.Set("k", std::string(1000, 'x'));
+  EXPECT_GT(big.ByteSize(), small.ByteSize() + 900);
+}
+
+// Property-style sweep: random documents round-trip through text.
+class JsonRoundTripTest : public ::testing::TestWithParam<int> {};
+
+JsonValue RandomJson(uint64_t seed, int depth) {
+  uint64_t s = seed;
+  auto next = [&s] {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  };
+  switch (next() % (depth > 0 ? 6 : 4)) {
+    case 0: return JsonValue();
+    case 1: return JsonValue(static_cast<int64_t>(next() % 100000) - 50000);
+    case 2: return JsonValue(static_cast<double>(next() % 1000) / 8.0);
+    case 3: {
+      std::string str;
+      const size_t len = next() % 12;
+      for (size_t i = 0; i < len; ++i) {
+        str.push_back(static_cast<char>('a' + next() % 26));
+      }
+      return JsonValue(std::move(str));
+    }
+    case 4: {
+      JsonValue arr = JsonValue::Array();
+      const size_t len = next() % 4;
+      for (size_t i = 0; i < len; ++i) arr.Append(RandomJson(next(), depth - 1));
+      return arr;
+    }
+    default: {
+      JsonValue obj = JsonValue::Object();
+      const size_t len = next() % 4;
+      for (size_t i = 0; i < len; ++i) {
+        obj.Set("k" + std::to_string(i), RandomJson(next(), depth - 1));
+      }
+      return obj;
+    }
+  }
+}
+
+TEST_P(JsonRoundTripTest, RandomDocumentRoundTrips) {
+  JsonValue doc = RandomJson(static_cast<uint64_t>(GetParam()) * 2654435761u + 1,
+                             3);
+  auto round = Parse(Write(doc));
+  ASSERT_TRUE(round.ok()) << Write(doc);
+  EXPECT_EQ(doc, round.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTripTest, ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace json
+}  // namespace sqlgraph

@@ -1,0 +1,581 @@
+// Tests for src/sql: render/parse round trips, expression evaluation, and
+// the executor (joins, index selection, set ops, aggregates, recursion).
+
+#include "gtest/gtest.h"
+#include "json/json_parser.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+#include "sql/render.h"
+
+namespace sqlgraph {
+namespace sql {
+namespace {
+
+using rel::ColumnType;
+using rel::Database;
+using rel::IndexKind;
+using rel::Row;
+using rel::Schema;
+using rel::StorageMode;
+using rel::Value;
+
+// ------------------------------------------------------- render / parse ----
+
+std::string Rewrite(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << text << " -> " << q.status().ToString();
+  if (!q.ok()) return "<parse error>";
+  return Render(q.value());
+}
+
+TEST(SqlRoundTripTest, RenderedSqlReparsesToSameText) {
+  // Round-trip stability: parse → render → parse → render is a fixpoint.
+  const char* queries[] = {
+      "SELECT 1",
+      "SELECT a, b AS bb FROM t",
+      "SELECT DISTINCT v.val FROM t v WHERE v.x = 3 AND v.y <> 'z'",
+      "SELECT COUNT(*) FROM t",
+      "SELECT COUNT(DISTINCT x) FROM t WHERE x IS NOT NULL",
+      "SELECT a FROM t WHERE a IN (1, 2, 3)",
+      "SELECT a FROM t WHERE a NOT IN (SELECT b FROM u)",
+      "SELECT a FROM t WHERE s LIKE '%en'",
+      "SELECT a FROM t ORDER BY a DESC LIMIT 10 OFFSET 5",
+      "SELECT a FROM t UNION ALL SELECT b FROM u",
+      "SELECT a FROM t INTERSECT SELECT b FROM u",
+      "SELECT a FROM t EXCEPT SELECT b FROM u",
+      "WITH x AS (SELECT a FROM t) SELECT * FROM x",
+      "SELECT t.val FROM tin v, OPA p, TABLE(VALUES (p.val0), (p.val1)) AS "
+      "t(val) WHERE v.val = p.vid AND t.val IS NOT NULL",
+      "SELECT COALESCE(s.val, p.val) AS val FROM t0 p LEFT OUTER JOIN OSA s "
+      "ON p.val = s.valid",
+      "SELECT JSON_VAL(p.attr, 'name') AS n FROM VA p WHERE "
+      "JSON_VAL(p.attr, 'age') > 27",
+      "SELECT CAST(JSON_VAL(p.attr, 'age') AS BIGINT) AS a FROM VA p",
+      "SELECT a + b * c - d / e AS x FROM t",
+      "SELECT v.* FROM t v WHERE NOT (v.a = 1 OR v.b = 2)",
+      "SELECT x FROM t WHERE y BETWEEN 1 AND 5",
+      "SELECT PATH_ELEM(v.path, 0) AS val FROM t v",
+      "SELECT a FROM t GROUP BY a HAVING COUNT(*) > 2",
+  };
+  for (const char* q : queries) {
+    const std::string once = Rewrite(q);
+    const std::string twice = Rewrite(once);
+    EXPECT_EQ(once, twice) << "not a fixpoint: " << q;
+  }
+}
+
+TEST(SqlParserTest, SubscriptBecomesPathElem) {
+  auto e = ParseExpr("p.path[0]");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(RenderExpr(**e), "PATH_ELEM(p.path, 0)");
+}
+
+TEST(SqlParserTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseQuery("SELEC a FROM t").ok());
+  EXPECT_FALSE(ParseQuery("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM t LIMIT x").ok());
+  EXPECT_FALSE(ParseQuery("WITH x AS SELECT 1 SELECT 2").ok());
+}
+
+TEST(SqlParserTest, PrecedenceAndOrNot) {
+  auto e = ParseExpr("a = 1 OR b = 2 AND c = 3");
+  ASSERT_TRUE(e.ok());
+  // AND binds tighter: a=1 OR (b=2 AND c=3)
+  EXPECT_EQ((*e)->bin_op, BinaryOp::kOr);
+  auto e2 = ParseExpr("NOT a = 1 AND b = 2");
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ((*e2)->bin_op, BinaryOp::kAnd);
+}
+
+TEST(SqlParserTest, StringEscapeInLiteral) {
+  auto e = ParseExpr("name = 'o''brien'");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->rhs->literal.AsString(), "o'brien");
+}
+
+// --------------------------------------------------------------- planner ----
+
+TEST(PlannerTest, SplitConjunctsFlattensAnds) {
+  auto e = ParseExpr("a = 1 AND (b = 2 AND c = 3) AND d = 4");
+  ASSERT_TRUE(e.ok());
+  std::vector<ExprPtr> out;
+  SplitConjuncts(*e, &out);
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(PlannerTest, SplitDoesNotCrossOr) {
+  auto e = ParseExpr("a = 1 OR b = 2");
+  ASSERT_TRUE(e.ok());
+  std::vector<ExprPtr> out;
+  SplitConjuncts(*e, &out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(PlannerTest, MatchEquiJoinBothOrientations) {
+  ColumnEnv env;
+  env.Add("v", "val");
+  std::vector<std::string> ref_cols = {"vid", "spill"};
+  EquiJoinKey key;
+  auto e1 = ParseExpr("v.val = p.vid");
+  ASSERT_TRUE(MatchEquiJoin(*e1, env, "p", ref_cols, &key));
+  EXPECT_EQ(key.column, "vid");
+  auto e2 = ParseExpr("p.vid = v.val");
+  ASSERT_TRUE(MatchEquiJoin(*e2, env, "p", ref_cols, &key));
+  EXPECT_EQ(key.column, "vid");
+  auto e3 = ParseExpr("v.val = 3");
+  EXPECT_FALSE(MatchEquiJoin(*e3, env, "p", ref_cols, &key));
+  auto e4 = ParseExpr("v.val < p.vid");
+  EXPECT_FALSE(MatchEquiJoin(*e4, env, "p", ref_cols, &key));
+}
+
+// -------------------------------------------------------------- executor ----
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // people(id, name, age, attr JSON)
+    Schema people;
+    people.AddColumn("id", ColumnType::kInt64, false);
+    people.AddColumn("name", ColumnType::kString);
+    people.AddColumn("age", ColumnType::kInt64);
+    people.AddColumn("attr", ColumnType::kJson);
+    auto pt = db_.CreateTable("people", std::move(people));
+    ASSERT_TRUE(pt.ok());
+    people_ = *pt;
+    ASSERT_TRUE(people_
+                    ->CreateIndex("people_id", {"id"}, IndexKind::kHash,
+                                  /*unique=*/true)
+                    .ok());
+    ASSERT_TRUE(
+        people_->CreateIndex("people_name", {"name"}, IndexKind::kHash).ok());
+    ASSERT_TRUE(
+        people_->CreateJsonIndex("people_city", "attr", "city",
+                                 IndexKind::kHash).ok());
+    ASSERT_TRUE(
+        people_->CreateJsonIndex("people_score", "attr", "score",
+                                 IndexKind::kOrdered).ok());
+
+    // edges(src, dst, label)
+    Schema edges;
+    edges.AddColumn("src", ColumnType::kInt64, false);
+    edges.AddColumn("dst", ColumnType::kInt64, false);
+    edges.AddColumn("label", ColumnType::kString);
+    auto et = db_.CreateTable("edges", std::move(edges));
+    ASSERT_TRUE(et.ok());
+    edges_ = *et;
+    ASSERT_TRUE(edges_->CreateIndex("edges_src", {"src"}, IndexKind::kHash).ok());
+    ASSERT_TRUE(edges_->CreateIndex("edges_src_label", {"src", "label"},
+                                    IndexKind::kHash)
+                    .ok());
+
+    AddPerson(1, "marko", 29, "beijing", 1.5);
+    AddPerson(2, "vadas", 27, "athens", 2.5);
+    AddPerson(3, "lop", 0, "beijing", 3.5);
+    AddPerson(4, "josh", 32, "delhi", 4.5);
+    AddEdge(1, 2, "knows");
+    AddEdge(1, 4, "knows");
+    AddEdge(1, 3, "created");
+    AddEdge(4, 3, "created");
+    AddEdge(4, 2, "likes");
+  }
+
+  void AddPerson(int id, const std::string& name, int age,
+                 const std::string& city, double score) {
+    json::JsonValue attr = json::JsonValue::Object();
+    attr.Set("city", city);
+    attr.Set("score", score);
+    ASSERT_TRUE(
+        people_->Insert({Value(id), Value(name), Value(age), Value(attr)})
+            .ok());
+  }
+  void AddEdge(int src, int dst, const std::string& label) {
+    ASSERT_TRUE(edges_->Insert({Value(src), Value(dst), Value(label)}).ok());
+  }
+
+  ResultSet MustExec(const std::string& text) {
+    Executor exec(&db_);
+    auto r = exec.ExecuteSql(text);
+    EXPECT_TRUE(r.ok()) << text << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r).value() : ResultSet{};
+  }
+
+  Database db_;
+  rel::Table* people_ = nullptr;
+  rel::Table* edges_ = nullptr;
+};
+
+TEST_F(ExecutorTest, SelectConstant) {
+  ResultSet r = MustExec("SELECT 1 AS one, 'x' AS s");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r.rows[0][1].AsString(), "x");
+  EXPECT_EQ(r.columns[0], "one");
+}
+
+TEST_F(ExecutorTest, FullScanWithFilter) {
+  ResultSet r = MustExec("SELECT name FROM people WHERE age > 27");
+  EXPECT_EQ(r.rows.size(), 2u);  // marko(29), josh(32)
+}
+
+TEST_F(ExecutorTest, IndexEqualityAccessPath) {
+  Executor exec(&db_);
+  auto r = exec.ExecuteSql("SELECT name FROM people WHERE id = 4");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].AsString(), "josh");
+  EXPECT_EQ(exec.stats().table_scans, 0u);
+  EXPECT_GE(exec.stats().index_lookups, 1u);
+}
+
+TEST_F(ExecutorTest, JsonIndexEqualityAccessPath) {
+  Executor exec(&db_);
+  auto r = exec.ExecuteSql(
+      "SELECT name FROM people WHERE JSON_VAL(attr, 'city') = 'beijing'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(exec.stats().table_scans, 0u);
+}
+
+TEST_F(ExecutorTest, JsonOrderedIndexRange) {
+  Executor exec(&db_);
+  auto r = exec.ExecuteSql(
+      "SELECT name FROM people WHERE JSON_VAL(attr, 'score') > 2.0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 3u);
+  EXPECT_EQ(exec.stats().table_scans, 0u);
+  EXPECT_GE(exec.stats().index_range_scans, 1u);
+}
+
+TEST_F(ExecutorTest, IndexNestedLoopJoin) {
+  Executor exec(&db_);
+  auto r = exec.ExecuteSql(
+      "SELECT p2.name FROM people p1, edges e, people p2 "
+      "WHERE p1.name = 'marko' AND p1.id = e.src AND e.dst = p2.id");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 3u);  // vadas, josh, lop
+  EXPECT_GE(exec.stats().index_nl_joins, 2u);
+  EXPECT_EQ(exec.stats().table_scans, 0u);
+}
+
+TEST_F(ExecutorTest, CompositeIndexJoinWithLabel) {
+  Executor exec(&db_);
+  auto r = exec.ExecuteSql(
+      "SELECT e.dst FROM people p, edges e "
+      "WHERE p.name = 'marko' AND p.id = e.src AND e.label = 'knows'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, HashJoinAgainstCte) {
+  ResultSet r = MustExec(
+      "WITH start AS (SELECT id AS val FROM people WHERE name = 'marko') "
+      "SELECT e.dst AS val FROM start v, edges e WHERE v.val = e.src");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(ExecutorTest, LeftOuterJoinPadsNulls) {
+  ResultSet r = MustExec(
+      "SELECT p.name, e.dst FROM people p LEFT OUTER JOIN edges e "
+      "ON p.id = e.src ORDER BY p.name");
+  // marko:3 edges, josh:2 edges, lop:0 → 1 padded, vadas:0 → 1 padded.
+  EXPECT_EQ(r.rows.size(), 7u);
+  int nulls = 0;
+  for (const auto& row : r.rows) nulls += row[1].is_null();
+  EXPECT_EQ(nulls, 2);
+}
+
+TEST_F(ExecutorTest, CoalesceOverLeftJoin) {
+  ResultSet r = MustExec(
+      "SELECT COALESCE(e.dst, p.id) AS val FROM people p "
+      "LEFT OUTER JOIN edges e ON p.id = e.src AND e.label = 'likes'");
+  // Only josh has a 'likes' edge (4→2); others fall back to their own id —
+  // so the value 2 appears twice: once from josh's edge, once as vadas' id.
+  ASSERT_EQ(r.rows.size(), 4u);
+  int found2 = 0;
+  for (const auto& row : r.rows) found2 += (row[0].AsInt() == 2);
+  EXPECT_EQ(found2, 2);
+}
+
+TEST_F(ExecutorTest, UnnestTableValues) {
+  ResultSet r = MustExec(
+      "SELECT t.val FROM people p, TABLE(VALUES (p.id), (p.age)) AS t(val) "
+      "WHERE p.name = 'marko' AND t.val IS NOT NULL");
+  EXPECT_EQ(r.rows.size(), 2u);  // 1 and 29
+}
+
+TEST_F(ExecutorTest, DistinctAndCount) {
+  ResultSet r = MustExec("SELECT COUNT(*) FROM people");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 4);
+  r = MustExec("SELECT DISTINCT label FROM edges");
+  EXPECT_EQ(r.rows.size(), 3u);
+  r = MustExec("SELECT COUNT(DISTINCT label) FROM edges");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+}
+
+TEST_F(ExecutorTest, CountOnEmptyInputIsZero) {
+  ResultSet r = MustExec("SELECT COUNT(*) FROM people WHERE age > 1000");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+}
+
+TEST_F(ExecutorTest, GroupByWithHaving) {
+  ResultSet r = MustExec(
+      "SELECT e.src, COUNT(*) AS n FROM edges e GROUP BY e.src "
+      "HAVING COUNT(*) > 2");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);  // marko has 3 out-edges
+  EXPECT_EQ(r.rows[0][1].AsInt(), 3);
+}
+
+TEST_F(ExecutorTest, AggregatesSumMinMaxAvg) {
+  ResultSet r = MustExec(
+      "SELECT SUM(age), MIN(age), MAX(age), AVG(age) FROM people");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 88);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 0);
+  EXPECT_EQ(r.rows[0][2].AsInt(), 32);
+  EXPECT_DOUBLE_EQ(r.rows[0][3].AsDouble(), 22.0);
+}
+
+TEST_F(ExecutorTest, UnionAllAndUnion) {
+  ResultSet r = MustExec(
+      "SELECT label FROM edges WHERE src = 1 UNION ALL "
+      "SELECT label FROM edges WHERE src = 4");
+  EXPECT_EQ(r.rows.size(), 5u);
+  r = MustExec(
+      "SELECT label FROM edges WHERE src = 1 UNION "
+      "SELECT label FROM edges WHERE src = 4");
+  EXPECT_EQ(r.rows.size(), 3u);  // knows, created, likes
+}
+
+TEST_F(ExecutorTest, IntersectAndExcept) {
+  ResultSet r = MustExec(
+      "SELECT label FROM edges WHERE src = 1 INTERSECT "
+      "SELECT label FROM edges WHERE src = 4");
+  EXPECT_EQ(r.rows.size(), 1u);  // created
+  r = MustExec(
+      "SELECT label FROM edges WHERE src = 1 EXCEPT "
+      "SELECT label FROM edges WHERE src = 4");
+  EXPECT_EQ(r.rows.size(), 1u);  // knows
+}
+
+TEST_F(ExecutorTest, InSubquery) {
+  ResultSet r = MustExec(
+      "SELECT name FROM people WHERE id IN (SELECT dst FROM edges WHERE "
+      "label = 'knows')");
+  EXPECT_EQ(r.rows.size(), 2u);  // vadas, josh
+  r = MustExec(
+      "SELECT name FROM people WHERE id NOT IN (SELECT dst FROM edges)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "marko");
+}
+
+TEST_F(ExecutorTest, OrderLimitOffset) {
+  ResultSet r = MustExec("SELECT name FROM people ORDER BY age DESC LIMIT 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "josh");
+  EXPECT_EQ(r.rows[1][0].AsString(), "marko");
+  r = MustExec(
+      "SELECT name FROM people ORDER BY age DESC LIMIT 2 OFFSET 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "vadas");
+}
+
+TEST_F(ExecutorTest, CteChainsLikeTranslatorOutput) {
+  // Mirrors the paper's Fig. 7 shape: filter → expand → distinct → count.
+  ResultSet r = MustExec(
+      "WITH temp_1 AS (SELECT id AS val FROM people WHERE "
+      "JSON_VAL(attr, 'city') = 'beijing'), "
+      "temp_2 AS (SELECT e.dst AS val FROM temp_1 v, edges e WHERE "
+      "v.val = e.src), "
+      "temp_3 AS (SELECT DISTINCT val FROM temp_2) "
+      "SELECT COUNT(*) FROM temp_3");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);  // marko→{2,3,4}; lop has no out-edges
+}
+
+TEST_F(ExecutorTest, RecursiveCteTransitiveClosure) {
+  ResultSet r = MustExec(
+      "WITH RECURSIVE reach(val) AS ("
+      "SELECT dst AS val FROM edges WHERE src = 1 "
+      "UNION ALL "
+      "SELECT e.dst AS val FROM reach r, edges e WHERE r.val = e.src) "
+      "SELECT COUNT(*) FROM reach");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);  // 2,3,4 (4→3,4→2 already seen)
+}
+
+TEST_F(ExecutorTest, RecursiveCteTerminatesOnCycle) {
+  ASSERT_TRUE(edges_->Insert({Value(2), Value(1), Value("knows")}).ok());
+  ResultSet r = MustExec(
+      "WITH RECURSIVE reach(val) AS ("
+      "SELECT dst AS val FROM edges WHERE src = 1 "
+      "UNION ALL "
+      "SELECT e.dst AS val FROM reach r, edges e WHERE r.val = e.src) "
+      "SELECT COUNT(*) FROM reach");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 4);  // 2,3,4 and back to 1
+}
+
+TEST_F(ExecutorTest, LikePredicates) {
+  ResultSet r = MustExec("SELECT name FROM people WHERE name LIKE '%o'");
+  EXPECT_EQ(r.rows.size(), 1u);  // marko
+  r = MustExec("SELECT name FROM people WHERE name LIKE 'v%'");
+  EXPECT_EQ(r.rows.size(), 1u);  // vadas
+  r = MustExec("SELECT name FROM people WHERE name NOT LIKE '%o%'");
+  EXPECT_EQ(r.rows.size(), 1u);  // vadas (marko, lop, josh all contain 'o')
+}
+
+TEST_F(ExecutorTest, NullSemanticsInWhere) {
+  ASSERT_TRUE(people_
+                  ->Insert({Value(9), Value(), Value(),
+                            Value(json::JsonValue::Object())})
+                  .ok());
+  // NULL never satisfies comparisons...
+  ResultSet r = MustExec("SELECT id FROM people WHERE age > 0");
+  EXPECT_EQ(r.rows.size(), 3u);
+  // ...including negated ones (NOT NULL is NULL).
+  r = MustExec("SELECT id FROM people WHERE NOT (age > 0)");
+  EXPECT_EQ(r.rows.size(), 1u);  // lop with age 0 only
+  r = MustExec("SELECT id FROM people WHERE name IS NULL");
+  EXPECT_EQ(r.rows.size(), 1u);
+  r = MustExec("SELECT id FROM people WHERE name IS NOT NULL");
+  EXPECT_EQ(r.rows.size(), 4u);
+}
+
+TEST_F(ExecutorTest, PathFunctions) {
+  ResultSet r = MustExec(
+      "SELECT PATH_ELEM(PATH_APPEND(PATH_APPEND(NULL, 1), 2), 0) AS head, "
+      "PATH_LEN(PATH_APPEND(PATH_APPEND(NULL, 1), 2)) AS len, "
+      "IS_SIMPLE_PATH(PATH_APPEND(PATH_APPEND(NULL, 1), 1)) AS simple");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);
+  EXPECT_EQ(r.rows[0][2].AsInt(), 0);
+}
+
+TEST_F(ExecutorTest, CastSemantics) {
+  ResultSet r = MustExec(
+      "SELECT CAST('42' AS BIGINT), CAST(3.9 AS BIGINT), "
+      "CAST(7 AS VARCHAR), CAST('nope' AS BIGINT)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 42);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 3);
+  EXPECT_EQ(r.rows[0][2].AsString(), "7");
+  EXPECT_TRUE(r.rows[0][3].is_null());
+}
+
+TEST_F(ExecutorTest, ErrorsOnUnknownTableAndColumn) {
+  Executor exec(&db_);
+  EXPECT_FALSE(exec.ExecuteSql("SELECT x FROM nope").ok());
+  EXPECT_FALSE(exec.ExecuteSql("SELECT nosuch FROM people").ok());
+}
+
+TEST_F(ExecutorTest, AmbiguousBareColumnFails) {
+  Executor exec(&db_);
+  auto r = exec.ExecuteSql(
+      "SELECT src FROM edges a, edges b WHERE a.src = b.dst");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(ExecutorTest, DisableIndexesStillCorrect) {
+  Executor::Options opts;
+  opts.enable_indexes = false;
+  Executor exec(&db_, opts);
+  auto r = exec.ExecuteSql("SELECT name FROM people WHERE id = 4");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].AsString(), "josh");
+  EXPECT_GE(exec.stats().table_scans, 1u);
+}
+
+TEST_F(ExecutorTest, JsonEdgesLateralUnnest) {
+  // A serialized adjacency document (the Fig. 2c JSON variant) expands via
+  // the lateral TABLE(JSON_EDGES(...)) table function.
+  Schema s;
+  s.AddColumn("vid", ColumnType::kInt64, false);
+  s.AddColumn("edges", ColumnType::kString, false);
+  auto t = db_.CreateTable("jadj", std::move(s));
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE((*t)->Insert({Value(1),
+                            Value(std::string(
+                                R"({"knows":[{"eid":7,"val":2},)"
+                                R"({"eid":8,"val":4}],)"
+                                R"("created":[{"eid":9,"val":3}]})"))})
+                  .ok());
+  ASSERT_TRUE((*t)->CreateIndex("jadj_vid", {"vid"}, IndexKind::kHash).ok());
+
+  ResultSet r = MustExec(
+      "SELECT t.val FROM jadj p, TABLE(JSON_EDGES(p.edges)) AS t(lbl, val) "
+      "WHERE p.vid = 1");
+  EXPECT_EQ(r.rows.size(), 3u);
+  r = MustExec(
+      "SELECT t.val FROM jadj p, TABLE(JSON_EDGES(p.edges)) AS t(lbl, val) "
+      "WHERE p.vid = 1 AND t.lbl = 'knows'");
+  EXPECT_EQ(r.rows.size(), 2u);
+  // Three-column form exposes edge ids.
+  r = MustExec(
+      "SELECT t.eid FROM jadj p, TABLE(JSON_EDGES(p.edges)) AS "
+      "t(lbl, eid, val) WHERE t.lbl = 'created'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 9);
+  // The rendered form parses back.
+  const char* q =
+      "SELECT t.val FROM jadj p, TABLE(JSON_EDGES(p.edges)) AS t(lbl, val) "
+      "WHERE t.lbl = 'knows'";
+  EXPECT_EQ(Rewrite(q), Rewrite(Rewrite(q)));
+}
+
+TEST_F(ExecutorTest, ColumnPruningKeepsSemantics) {
+  // A query touching 1 of 4 columns returns the same rows whether or not
+  // the executor prunes; the observable contract is purely semantic, so we
+  // check a projection-heavy join against a wide row.
+  ResultSet wide = MustExec(
+      "SELECT p.name FROM people p, edges e WHERE p.id = e.src AND "
+      "e.label = 'likes'");
+  ASSERT_EQ(wide.rows.size(), 1u);
+  EXPECT_EQ(wide.rows[0][0].AsString(), "josh");
+  // Star projection disables pruning but must agree on the row count.
+  ResultSet star = MustExec(
+      "SELECT p.* FROM people p, edges e WHERE p.id = e.src AND "
+      "e.label = 'likes'");
+  EXPECT_EQ(star.rows.size(), wide.rows.size());
+  EXPECT_EQ(star.columns.size(), 4u);
+}
+
+// Property-style check: the executor with and without indexes agrees on a
+// family of generated join/filter queries.
+class IndexEquivalenceTest : public ExecutorTest,
+                             public ::testing::WithParamInterface<int> {};
+
+TEST_P(IndexEquivalenceTest, SamePlanIndependentResults) {
+  const int id = GetParam() % 4 + 1;
+  const std::string queries[] = {
+      "SELECT COUNT(*) FROM edges WHERE src = " + std::to_string(id),
+      "SELECT COUNT(*) FROM people p, edges e WHERE p.id = e.src AND p.id = " +
+          std::to_string(id),
+      "SELECT COUNT(*) FROM people p, edges e, people q WHERE p.id = e.src "
+      "AND e.dst = q.id AND q.age > " + std::to_string(GetParam() * 7 % 30),
+  };
+  for (const auto& q : queries) {
+    Executor with(&db_);
+    Executor::Options opts;
+    opts.enable_indexes = false;
+    Executor without(&db_, opts);
+    auto a = with.ExecuteSql(q);
+    auto b = without.ExecuteSql(q);
+    ASSERT_TRUE(a.ok()) << q << ": " << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << q << ": " << b.status().ToString();
+    ASSERT_EQ(a->rows.size(), b->rows.size()) << q;
+    EXPECT_EQ(a->rows[0][0].AsInt(), b->rows[0][0].AsInt()) << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Queries, IndexEquivalenceTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace sql
+}  // namespace sqlgraph
