@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_chatty.dir/bench_ablation_chatty.cc.o"
+  "CMakeFiles/bench_ablation_chatty.dir/bench_ablation_chatty.cc.o.d"
+  "bench_ablation_chatty"
+  "bench_ablation_chatty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_chatty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

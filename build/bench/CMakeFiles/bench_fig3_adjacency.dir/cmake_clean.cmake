@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_adjacency.dir/bench_fig3_adjacency.cc.o"
+  "CMakeFiles/bench_fig3_adjacency.dir/bench_fig3_adjacency.cc.o.d"
+  "bench_fig3_adjacency"
+  "bench_fig3_adjacency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_adjacency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_attributes.dir/bench_fig4_attributes.cc.o"
+  "CMakeFiles/bench_fig4_attributes.dir/bench_fig4_attributes.cc.o.d"
+  "bench_fig4_attributes"
+  "bench_fig4_attributes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_attributes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

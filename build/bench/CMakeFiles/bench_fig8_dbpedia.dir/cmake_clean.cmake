@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_dbpedia.dir/bench_fig8_dbpedia.cc.o"
+  "CMakeFiles/bench_fig8_dbpedia.dir/bench_fig8_dbpedia.cc.o.d"
+  "bench_fig8_dbpedia"
+  "bench_fig8_dbpedia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_dbpedia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_linkbench.dir/bench_fig9_linkbench.cc.o"
+  "CMakeFiles/bench_fig9_linkbench.dir/bench_fig9_linkbench.cc.o.d"
+  "bench_fig9_linkbench"
+  "bench_fig9_linkbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_linkbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

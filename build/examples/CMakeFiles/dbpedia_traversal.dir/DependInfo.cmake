@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dbpedia_traversal.cpp" "examples/CMakeFiles/dbpedia_traversal.dir/dbpedia_traversal.cpp.o" "gcc" "examples/CMakeFiles/dbpedia_traversal.dir/dbpedia_traversal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sqlgraph_bench_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_gremlin.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_coloring.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpedia_traversal.dir/dbpedia_traversal.cpp.o"
+  "CMakeFiles/dbpedia_traversal.dir/dbpedia_traversal.cpp.o.d"
+  "dbpedia_traversal"
+  "dbpedia_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpedia_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

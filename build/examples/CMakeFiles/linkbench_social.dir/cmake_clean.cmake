@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linkbench_social.dir/linkbench_social.cpp.o"
+  "CMakeFiles/linkbench_social.dir/linkbench_social.cpp.o.d"
+  "linkbench_social"
+  "linkbench_social.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linkbench_social.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlgraph_baseline.dir/baseline/gremlin_interp.cc.o"
+  "CMakeFiles/sqlgraph_baseline.dir/baseline/gremlin_interp.cc.o.d"
+  "CMakeFiles/sqlgraph_baseline.dir/baseline/kv_store.cc.o"
+  "CMakeFiles/sqlgraph_baseline.dir/baseline/kv_store.cc.o.d"
+  "CMakeFiles/sqlgraph_baseline.dir/baseline/native_store.cc.o"
+  "CMakeFiles/sqlgraph_baseline.dir/baseline/native_store.cc.o.d"
+  "CMakeFiles/sqlgraph_baseline.dir/baseline/sqlgraph_adapter.cc.o"
+  "CMakeFiles/sqlgraph_baseline.dir/baseline/sqlgraph_adapter.cc.o.d"
+  "libsqlgraph_baseline.a"
+  "libsqlgraph_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlgraph_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

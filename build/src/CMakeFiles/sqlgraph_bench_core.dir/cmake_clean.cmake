@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlgraph_bench_core.dir/bench_core/linkbench_driver.cc.o"
+  "CMakeFiles/sqlgraph_bench_core.dir/bench_core/linkbench_driver.cc.o.d"
+  "CMakeFiles/sqlgraph_bench_core.dir/bench_core/report.cc.o"
+  "CMakeFiles/sqlgraph_bench_core.dir/bench_core/report.cc.o.d"
+  "CMakeFiles/sqlgraph_bench_core.dir/bench_core/workloads.cc.o"
+  "CMakeFiles/sqlgraph_bench_core.dir/bench_core/workloads.cc.o.d"
+  "libsqlgraph_bench_core.a"
+  "libsqlgraph_bench_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlgraph_bench_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlgraph_coloring.dir/coloring/coloring.cc.o"
+  "CMakeFiles/sqlgraph_coloring.dir/coloring/coloring.cc.o.d"
+  "libsqlgraph_coloring.a"
+  "libsqlgraph_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlgraph_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sqlgraph/loader.cc" "src/CMakeFiles/sqlgraph_core.dir/sqlgraph/loader.cc.o" "gcc" "src/CMakeFiles/sqlgraph_core.dir/sqlgraph/loader.cc.o.d"
+  "/root/repo/src/sqlgraph/micro_schemas.cc" "src/CMakeFiles/sqlgraph_core.dir/sqlgraph/micro_schemas.cc.o" "gcc" "src/CMakeFiles/sqlgraph_core.dir/sqlgraph/micro_schemas.cc.o.d"
+  "/root/repo/src/sqlgraph/schema.cc" "src/CMakeFiles/sqlgraph_core.dir/sqlgraph/schema.cc.o" "gcc" "src/CMakeFiles/sqlgraph_core.dir/sqlgraph/schema.cc.o.d"
+  "/root/repo/src/sqlgraph/snapshot.cc" "src/CMakeFiles/sqlgraph_core.dir/sqlgraph/snapshot.cc.o" "gcc" "src/CMakeFiles/sqlgraph_core.dir/sqlgraph/snapshot.cc.o.d"
+  "/root/repo/src/sqlgraph/store.cc" "src/CMakeFiles/sqlgraph_core.dir/sqlgraph/store.cc.o" "gcc" "src/CMakeFiles/sqlgraph_core.dir/sqlgraph/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sqlgraph_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_coloring.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlgraph_core.dir/sqlgraph/loader.cc.o"
+  "CMakeFiles/sqlgraph_core.dir/sqlgraph/loader.cc.o.d"
+  "CMakeFiles/sqlgraph_core.dir/sqlgraph/micro_schemas.cc.o"
+  "CMakeFiles/sqlgraph_core.dir/sqlgraph/micro_schemas.cc.o.d"
+  "CMakeFiles/sqlgraph_core.dir/sqlgraph/schema.cc.o"
+  "CMakeFiles/sqlgraph_core.dir/sqlgraph/schema.cc.o.d"
+  "CMakeFiles/sqlgraph_core.dir/sqlgraph/snapshot.cc.o"
+  "CMakeFiles/sqlgraph_core.dir/sqlgraph/snapshot.cc.o.d"
+  "CMakeFiles/sqlgraph_core.dir/sqlgraph/store.cc.o"
+  "CMakeFiles/sqlgraph_core.dir/sqlgraph/store.cc.o.d"
+  "libsqlgraph_core.a"
+  "libsqlgraph_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlgraph_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

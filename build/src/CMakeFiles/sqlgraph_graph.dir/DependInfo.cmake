@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/dbpedia_gen.cc" "src/CMakeFiles/sqlgraph_graph.dir/graph/dbpedia_gen.cc.o" "gcc" "src/CMakeFiles/sqlgraph_graph.dir/graph/dbpedia_gen.cc.o.d"
+  "/root/repo/src/graph/linkbench_gen.cc" "src/CMakeFiles/sqlgraph_graph.dir/graph/linkbench_gen.cc.o" "gcc" "src/CMakeFiles/sqlgraph_graph.dir/graph/linkbench_gen.cc.o.d"
+  "/root/repo/src/graph/property_graph.cc" "src/CMakeFiles/sqlgraph_graph.dir/graph/property_graph.cc.o" "gcc" "src/CMakeFiles/sqlgraph_graph.dir/graph/property_graph.cc.o.d"
+  "/root/repo/src/graph/rdf.cc" "src/CMakeFiles/sqlgraph_graph.dir/graph/rdf.cc.o" "gcc" "src/CMakeFiles/sqlgraph_graph.dir/graph/rdf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sqlgraph_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlgraph_graph.dir/graph/dbpedia_gen.cc.o"
+  "CMakeFiles/sqlgraph_graph.dir/graph/dbpedia_gen.cc.o.d"
+  "CMakeFiles/sqlgraph_graph.dir/graph/linkbench_gen.cc.o"
+  "CMakeFiles/sqlgraph_graph.dir/graph/linkbench_gen.cc.o.d"
+  "CMakeFiles/sqlgraph_graph.dir/graph/property_graph.cc.o"
+  "CMakeFiles/sqlgraph_graph.dir/graph/property_graph.cc.o.d"
+  "CMakeFiles/sqlgraph_graph.dir/graph/rdf.cc.o"
+  "CMakeFiles/sqlgraph_graph.dir/graph/rdf.cc.o.d"
+  "libsqlgraph_graph.a"
+  "libsqlgraph_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlgraph_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gremlin/parser.cc" "src/CMakeFiles/sqlgraph_gremlin.dir/gremlin/parser.cc.o" "gcc" "src/CMakeFiles/sqlgraph_gremlin.dir/gremlin/parser.cc.o.d"
+  "/root/repo/src/gremlin/pipe.cc" "src/CMakeFiles/sqlgraph_gremlin.dir/gremlin/pipe.cc.o" "gcc" "src/CMakeFiles/sqlgraph_gremlin.dir/gremlin/pipe.cc.o.d"
+  "/root/repo/src/gremlin/runtime.cc" "src/CMakeFiles/sqlgraph_gremlin.dir/gremlin/runtime.cc.o" "gcc" "src/CMakeFiles/sqlgraph_gremlin.dir/gremlin/runtime.cc.o.d"
+  "/root/repo/src/gremlin/sparql.cc" "src/CMakeFiles/sqlgraph_gremlin.dir/gremlin/sparql.cc.o" "gcc" "src/CMakeFiles/sqlgraph_gremlin.dir/gremlin/sparql.cc.o.d"
+  "/root/repo/src/gremlin/translator.cc" "src/CMakeFiles/sqlgraph_gremlin.dir/gremlin/translator.cc.o" "gcc" "src/CMakeFiles/sqlgraph_gremlin.dir/gremlin/translator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sqlgraph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_coloring.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

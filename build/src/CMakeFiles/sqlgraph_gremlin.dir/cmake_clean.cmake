@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlgraph_gremlin.dir/gremlin/parser.cc.o"
+  "CMakeFiles/sqlgraph_gremlin.dir/gremlin/parser.cc.o.d"
+  "CMakeFiles/sqlgraph_gremlin.dir/gremlin/pipe.cc.o"
+  "CMakeFiles/sqlgraph_gremlin.dir/gremlin/pipe.cc.o.d"
+  "CMakeFiles/sqlgraph_gremlin.dir/gremlin/runtime.cc.o"
+  "CMakeFiles/sqlgraph_gremlin.dir/gremlin/runtime.cc.o.d"
+  "CMakeFiles/sqlgraph_gremlin.dir/gremlin/sparql.cc.o"
+  "CMakeFiles/sqlgraph_gremlin.dir/gremlin/sparql.cc.o.d"
+  "CMakeFiles/sqlgraph_gremlin.dir/gremlin/translator.cc.o"
+  "CMakeFiles/sqlgraph_gremlin.dir/gremlin/translator.cc.o.d"
+  "libsqlgraph_gremlin.a"
+  "libsqlgraph_gremlin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlgraph_gremlin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

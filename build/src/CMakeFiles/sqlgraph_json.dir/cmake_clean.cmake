@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlgraph_json.dir/json/json_parser.cc.o"
+  "CMakeFiles/sqlgraph_json.dir/json/json_parser.cc.o.d"
+  "CMakeFiles/sqlgraph_json.dir/json/json_value.cc.o"
+  "CMakeFiles/sqlgraph_json.dir/json/json_value.cc.o.d"
+  "libsqlgraph_json.a"
+  "libsqlgraph_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlgraph_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

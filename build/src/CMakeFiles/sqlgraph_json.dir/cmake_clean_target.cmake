@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsqlgraph_json.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rel/buffer_pool.cc" "src/CMakeFiles/sqlgraph_rel.dir/rel/buffer_pool.cc.o" "gcc" "src/CMakeFiles/sqlgraph_rel.dir/rel/buffer_pool.cc.o.d"
+  "/root/repo/src/rel/codec.cc" "src/CMakeFiles/sqlgraph_rel.dir/rel/codec.cc.o" "gcc" "src/CMakeFiles/sqlgraph_rel.dir/rel/codec.cc.o.d"
+  "/root/repo/src/rel/database.cc" "src/CMakeFiles/sqlgraph_rel.dir/rel/database.cc.o" "gcc" "src/CMakeFiles/sqlgraph_rel.dir/rel/database.cc.o.d"
+  "/root/repo/src/rel/index.cc" "src/CMakeFiles/sqlgraph_rel.dir/rel/index.cc.o" "gcc" "src/CMakeFiles/sqlgraph_rel.dir/rel/index.cc.o.d"
+  "/root/repo/src/rel/row_store.cc" "src/CMakeFiles/sqlgraph_rel.dir/rel/row_store.cc.o" "gcc" "src/CMakeFiles/sqlgraph_rel.dir/rel/row_store.cc.o.d"
+  "/root/repo/src/rel/table.cc" "src/CMakeFiles/sqlgraph_rel.dir/rel/table.cc.o" "gcc" "src/CMakeFiles/sqlgraph_rel.dir/rel/table.cc.o.d"
+  "/root/repo/src/rel/value.cc" "src/CMakeFiles/sqlgraph_rel.dir/rel/value.cc.o" "gcc" "src/CMakeFiles/sqlgraph_rel.dir/rel/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sqlgraph_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

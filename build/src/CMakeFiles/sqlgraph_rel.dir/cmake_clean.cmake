@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlgraph_rel.dir/rel/buffer_pool.cc.o"
+  "CMakeFiles/sqlgraph_rel.dir/rel/buffer_pool.cc.o.d"
+  "CMakeFiles/sqlgraph_rel.dir/rel/codec.cc.o"
+  "CMakeFiles/sqlgraph_rel.dir/rel/codec.cc.o.d"
+  "CMakeFiles/sqlgraph_rel.dir/rel/database.cc.o"
+  "CMakeFiles/sqlgraph_rel.dir/rel/database.cc.o.d"
+  "CMakeFiles/sqlgraph_rel.dir/rel/index.cc.o"
+  "CMakeFiles/sqlgraph_rel.dir/rel/index.cc.o.d"
+  "CMakeFiles/sqlgraph_rel.dir/rel/row_store.cc.o"
+  "CMakeFiles/sqlgraph_rel.dir/rel/row_store.cc.o.d"
+  "CMakeFiles/sqlgraph_rel.dir/rel/table.cc.o"
+  "CMakeFiles/sqlgraph_rel.dir/rel/table.cc.o.d"
+  "CMakeFiles/sqlgraph_rel.dir/rel/value.cc.o"
+  "CMakeFiles/sqlgraph_rel.dir/rel/value.cc.o.d"
+  "libsqlgraph_rel.a"
+  "libsqlgraph_rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlgraph_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

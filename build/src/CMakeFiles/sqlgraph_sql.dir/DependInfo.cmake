@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/sqlgraph_sql.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/sqlgraph_sql.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/executor.cc" "src/CMakeFiles/sqlgraph_sql.dir/sql/executor.cc.o" "gcc" "src/CMakeFiles/sqlgraph_sql.dir/sql/executor.cc.o.d"
+  "/root/repo/src/sql/expr_eval.cc" "src/CMakeFiles/sqlgraph_sql.dir/sql/expr_eval.cc.o" "gcc" "src/CMakeFiles/sqlgraph_sql.dir/sql/expr_eval.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/sqlgraph_sql.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/sqlgraph_sql.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/sqlgraph_sql.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/sqlgraph_sql.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/planner.cc" "src/CMakeFiles/sqlgraph_sql.dir/sql/planner.cc.o" "gcc" "src/CMakeFiles/sqlgraph_sql.dir/sql/planner.cc.o.d"
+  "/root/repo/src/sql/render.cc" "src/CMakeFiles/sqlgraph_sql.dir/sql/render.cc.o" "gcc" "src/CMakeFiles/sqlgraph_sql.dir/sql/render.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sqlgraph_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

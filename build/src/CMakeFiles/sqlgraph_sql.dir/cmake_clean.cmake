@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlgraph_sql.dir/sql/ast.cc.o"
+  "CMakeFiles/sqlgraph_sql.dir/sql/ast.cc.o.d"
+  "CMakeFiles/sqlgraph_sql.dir/sql/executor.cc.o"
+  "CMakeFiles/sqlgraph_sql.dir/sql/executor.cc.o.d"
+  "CMakeFiles/sqlgraph_sql.dir/sql/expr_eval.cc.o"
+  "CMakeFiles/sqlgraph_sql.dir/sql/expr_eval.cc.o.d"
+  "CMakeFiles/sqlgraph_sql.dir/sql/lexer.cc.o"
+  "CMakeFiles/sqlgraph_sql.dir/sql/lexer.cc.o.d"
+  "CMakeFiles/sqlgraph_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/sqlgraph_sql.dir/sql/parser.cc.o.d"
+  "CMakeFiles/sqlgraph_sql.dir/sql/planner.cc.o"
+  "CMakeFiles/sqlgraph_sql.dir/sql/planner.cc.o.d"
+  "CMakeFiles/sqlgraph_sql.dir/sql/render.cc.o"
+  "CMakeFiles/sqlgraph_sql.dir/sql/render.cc.o.d"
+  "libsqlgraph_sql.a"
+  "libsqlgraph_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlgraph_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

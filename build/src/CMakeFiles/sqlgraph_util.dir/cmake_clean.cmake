@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlgraph_util.dir/util/string_util.cc.o"
+  "CMakeFiles/sqlgraph_util.dir/util/string_util.cc.o.d"
+  "libsqlgraph_util.a"
+  "libsqlgraph_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlgraph_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline_test.cc" "tests/CMakeFiles/sqlgraph_tests.dir/baseline_test.cc.o" "gcc" "tests/CMakeFiles/sqlgraph_tests.dir/baseline_test.cc.o.d"
+  "/root/repo/tests/bench_core_test.cc" "tests/CMakeFiles/sqlgraph_tests.dir/bench_core_test.cc.o" "gcc" "tests/CMakeFiles/sqlgraph_tests.dir/bench_core_test.cc.o.d"
+  "/root/repo/tests/coloring_test.cc" "tests/CMakeFiles/sqlgraph_tests.dir/coloring_test.cc.o" "gcc" "tests/CMakeFiles/sqlgraph_tests.dir/coloring_test.cc.o.d"
+  "/root/repo/tests/edge_cases_test.cc" "tests/CMakeFiles/sqlgraph_tests.dir/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/sqlgraph_tests.dir/edge_cases_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/sqlgraph_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/sqlgraph_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/gremlin_test.cc" "tests/CMakeFiles/sqlgraph_tests.dir/gremlin_test.cc.o" "gcc" "tests/CMakeFiles/sqlgraph_tests.dir/gremlin_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/sqlgraph_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/sqlgraph_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/json_test.cc" "tests/CMakeFiles/sqlgraph_tests.dir/json_test.cc.o" "gcc" "tests/CMakeFiles/sqlgraph_tests.dir/json_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/sqlgraph_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/sqlgraph_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/rel_test.cc" "tests/CMakeFiles/sqlgraph_tests.dir/rel_test.cc.o" "gcc" "tests/CMakeFiles/sqlgraph_tests.dir/rel_test.cc.o.d"
+  "/root/repo/tests/snapshot_test.cc" "tests/CMakeFiles/sqlgraph_tests.dir/snapshot_test.cc.o" "gcc" "tests/CMakeFiles/sqlgraph_tests.dir/snapshot_test.cc.o.d"
+  "/root/repo/tests/sparql_test.cc" "tests/CMakeFiles/sqlgraph_tests.dir/sparql_test.cc.o" "gcc" "tests/CMakeFiles/sqlgraph_tests.dir/sparql_test.cc.o.d"
+  "/root/repo/tests/sql_test.cc" "tests/CMakeFiles/sqlgraph_tests.dir/sql_test.cc.o" "gcc" "tests/CMakeFiles/sqlgraph_tests.dir/sql_test.cc.o.d"
+  "/root/repo/tests/sqlgraph_test.cc" "tests/CMakeFiles/sqlgraph_tests.dir/sqlgraph_test.cc.o" "gcc" "tests/CMakeFiles/sqlgraph_tests.dir/sqlgraph_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/sqlgraph_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/sqlgraph_tests.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sqlgraph_bench_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_gremlin.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_coloring.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqlgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
