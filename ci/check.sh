@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI gate: regular build + tests, then an ASan/UBSan build + tests.
+#
+#   ci/check.sh            # both passes
+#   ci/check.sh --fast     # regular pass only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_pass() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@" >/dev/null
+  cmake --build "$dir" -j "$(nproc)"
+  ctest --test-dir "$dir" --output-on-failure
+}
+
+echo "== regular build =="
+run_pass build
+
+if [[ "${1:-}" != "--fast" ]]; then
+  echo "== ASan/UBSan build =="
+  run_pass build-asan -DSQLGRAPH_SANITIZE=address -DCMAKE_BUILD_TYPE=Debug
+fi
+
+echo "ci/check.sh: all passes green"

@@ -57,7 +57,8 @@ int main(int argc, char** argv) {
     std::printf("Result (%zu rows):\n%s\n", result->rows.size(),
                 result->ToString(10).c_str());
     std::printf("Plan:\n");
-    for (const auto& step : store->get()->last_exec_stats().trace) {
+    const sqlgraph::sql::ExecStats stats = store->get()->last_exec_stats();
+    for (const auto& step : stats.trace) {
       std::printf("  %s\n", step.c_str());
     }
   };

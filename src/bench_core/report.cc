@@ -56,5 +56,48 @@ void Banner(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
 
+namespace {
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+JsonLine::JsonLine(const std::string& bench_name) {
+  Str("bench", bench_name);
+}
+
+JsonLine& JsonLine::Str(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, JsonQuote(value));
+  return *this;
+}
+
+JsonLine& JsonLine::Num(const std::string& key, double value) {
+  fields_.emplace_back(key, util::StrFormat("%.6g", value));
+  return *this;
+}
+
+std::string JsonLine::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ", ";
+    out += JsonQuote(fields_[i].first) + ": " + fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+void JsonLine::Emit() const { std::printf("%s\n", ToString().c_str()); }
+
 }  // namespace bench
 }  // namespace sqlgraph

@@ -4,6 +4,7 @@
 #define SQLGRAPH_BENCH_CORE_REPORT_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace sqlgraph {
@@ -32,6 +33,24 @@ std::string FormatMeanMax(double mean_s, double max_s);
 
 /// Prints a section banner to stdout.
 void Banner(const std::string& title);
+
+/// One machine-readable result line: `{"bench": "<name>", "k": v, ...}`.
+/// String values are quoted and escaped; numeric strings (use
+/// StrFormat("%g", x) etc.) can be passed pre-rendered via `raw` pairs.
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& bench_name);
+
+  JsonLine& Str(const std::string& key, const std::string& value);
+  JsonLine& Num(const std::string& key, double value);
+
+  std::string ToString() const;
+  /// Prints the line to stdout.
+  void Emit() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;  // pre-rendered
+};
 
 }  // namespace bench
 }  // namespace sqlgraph

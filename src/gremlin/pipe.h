@@ -74,6 +74,11 @@ struct Pipe {
   bool has_value = false;           // has('key', v) vs has('key')
   rel::Value value;                 // has value / start id or lookup value
   rel::Value value2;                // interval upper bound
+  // Bind-parameter slots assigned by ParameterizePipeline (translation
+  // cache): when >= 0 the translator emits `:p<slot>` instead of the
+  // literal value/value2, so one cached translation serves all constants.
+  int value_param = -1;
+  int value2_param = -1;
   int64_t lo = 0;                   // range lower
   int64_t hi = -1;                  // range upper
   int64_t loop_steps = 1;           // loop(n)

@@ -10,6 +10,7 @@
 #include <string_view>
 
 #include "gremlin/parser.h"
+#include "gremlin/translation_cache.h"
 #include "gremlin/translator.h"
 #include "sql/result.h"
 #include "sqlgraph/store.h"
@@ -26,18 +27,25 @@ class GremlinRuntime {
   /// Runs a Gremlin query text; result column `val` carries the output.
   util::Result<sql::ResultSet> Query(std::string_view text);
 
-  /// Runs an already-parsed pipeline.
+  /// Runs an already-parsed pipeline. Constants are lifted into bind
+  /// parameters and the SQL shape is served from the translation cache, so
+  /// a repeated pipeline shape skips translation, rendering, lexing,
+  /// parsing, and planning.
   util::Result<sql::ResultSet> Run(const Pipeline& pipeline);
 
   /// Translates without executing (for tests / the translation example).
+  /// Renders constants inline (no parameterization).
   util::Result<std::string> TranslateToSql(std::string_view text) const;
 
   /// Convenience: a query whose result is a single scalar (e.g. count()).
   util::Result<int64_t> Count(std::string_view text);
 
+  const TranslationCache& translation_cache() const { return cache_; }
+
  private:
   core::SqlGraphStore* store_;
   Translator translator_;
+  TranslationCache cache_;
 };
 
 }  // namespace gremlin

@@ -1,0 +1,82 @@
+// Gremlin translation cache: one Gremlin pipeline *shape* → one
+// parameterized SQL text.
+//
+// ParameterizePipeline lifts the constant comparison values out of a
+// pipeline (start ids, has()/interval() values) into bind parameters, so
+// g.V('qtag','a').out() and g.V('qtag','b').out() share a single
+// translation. The cache key serializes everything that still affects the
+// SQL shape — pipe kinds, labels (color pruning), attribute keys (JSON
+// index choice), range bounds (LIMIT/OFFSET) — and a hit skips the
+// translator walk and rendering entirely. The cached text then flows into
+// SqlGraphStore::Prepare(), whose plan cache skips lex/parse/plan too, so a
+// repeated pipeline shape costs only bind + execute.
+
+#ifndef SQLGRAPH_GREMLIN_TRANSLATION_CACHE_H_
+#define SQLGRAPH_GREMLIN_TRANSLATION_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "gremlin/pipe.h"
+#include "gremlin/translator.h"
+#include "sql/expr_eval.h"
+#include "util/status.h"
+
+namespace sqlgraph {
+namespace gremlin {
+
+/// Returns a copy of `pipeline` whose constant comparison values carry
+/// bind-parameter slots, appending each extracted value to `binds` (both
+/// positionally and under its `p<slot>` name, so the rendered `:p<slot>`
+/// placeholders resolve by name after a render→parse round trip).
+Pipeline ParameterizePipeline(const Pipeline& pipeline,
+                              sql::ParamBindings* binds);
+
+/// Serializes the translation-relevant structure of a (parameterized)
+/// pipeline: structurally identical queries produce identical keys.
+std::string PipelineShapeKey(const Pipeline& pipeline);
+
+/// One cached translation: parameterized SQL text ready for
+/// SqlGraphStore::Prepare() / ExecutePrepared().
+struct CachedTranslation {
+  std::string sql;
+  int param_count = 0;
+};
+
+/// Thread-safe LRU cache of Gremlin→SQL translations keyed by pipeline
+/// shape.
+class TranslationCache {
+ public:
+  explicit TranslationCache(size_t capacity = 128) : capacity_(capacity) {}
+
+  /// Returns the SQL for `pipeline`'s shape (translating and rendering on a
+  /// miss) and fills `binds` with this pipeline's extracted constants.
+  util::Result<CachedTranslation> GetOrTranslate(const Translator& translator,
+                                                 const Pipeline& pipeline,
+                                                 sql::ParamBindings* binds);
+
+  void Clear();
+  size_t size() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::list<std::string> lru_;  // front = most recently used
+  struct Entry {
+    std::list<std::string>::iterator lru_it;
+    CachedTranslation translation;
+  };
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace gremlin
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_GREMLIN_TRANSLATION_CACHE_H_

@@ -69,6 +69,24 @@ BinaryOp CmpToSql(Cmp cmp) {
   return BinaryOp::kEq;
 }
 
+/// The pipe's comparison value: a `:p<slot>` bind parameter when the
+/// pipeline was parameterized by the translation cache, else the literal.
+ExprPtr PipeValue(const Pipe& pipe) {
+  if (pipe.value_param >= 0) {
+    return sql::Param("p" + std::to_string(pipe.value_param),
+                      pipe.value_param);
+  }
+  return Lit(pipe.value);
+}
+
+ExprPtr PipeValue2(const Pipe& pipe) {
+  if (pipe.value2_param >= 0) {
+    return sql::Param("p" + std::to_string(pipe.value2_param),
+                      pipe.value2_param);
+  }
+  return Lit(pipe.value2);
+}
+
 ExprPtr AndAll(std::vector<ExprPtr> conds) {
   ExprPtr out;
   for (auto& c : conds) {
@@ -232,12 +250,12 @@ class Translator::State {
           Bin(BinaryOp::kGe, Col("p", "VID"), Lit(rel::Value(int64_t{0}))));
     }
     if (pipe.has_start_id) {
-      conds.push_back(Bin(BinaryOp::kEq, Col("p", id_col), Lit(pipe.value)));
+      conds.push_back(Bin(BinaryOp::kEq, Col("p", id_col), PipeValue(pipe)));
     } else if (!pipe.start_key.empty()) {
       conds.push_back(Bin(
           BinaryOp::kEq,
           Func("JSON_VAL", {Col("p", "ATTR"), Lit(rel::Value(pipe.start_key))}),
-          Lit(pipe.value)));
+          PipeValue(pipe)));
     }
     sel->where = AndAll(std::move(conds));
     start_select_ = sel;  // GraphQuery merge target
@@ -501,7 +519,7 @@ class Translator::State {
       if (pipe.kind != PipeKind::kHas || !pipe.has_value) {
         return Status::NotImplemented("label filter needs a value");
       }
-      condition = Bin(CmpToSql(pipe.cmp), Col("p", "LBL"), Lit(pipe.value));
+      condition = Bin(CmpToSql(pipe.cmp), Col("p", "LBL"), PipeValue(pipe));
     } else {
       ExprPtr attr = Func(
           "JSON_VAL", {Col("p", "ATTR"), Lit(rel::Value(pipe.key))});
@@ -509,7 +527,7 @@ class Translator::State {
         case PipeKind::kHas:
           condition = pipe.has_value
                           ? Bin(CmpToSql(pipe.cmp), std::move(attr),
-                                Lit(pipe.value))
+                                PipeValue(pipe))
                           : sql::Un(UnaryOp::kIsNotNull, std::move(attr));
           break;
         case PipeKind::kHasNot:
@@ -518,8 +536,8 @@ class Translator::State {
         default:  // interval: [lo, hi)
           condition = Bin(
               BinaryOp::kAnd,
-              Bin(BinaryOp::kGe, attr, Lit(pipe.value)),
-              Bin(BinaryOp::kLt, attr, Lit(pipe.value2)));
+              Bin(BinaryOp::kGe, attr, PipeValue(pipe)),
+              Bin(BinaryOp::kLt, attr, PipeValue2(pipe)));
           break;
       }
     }
@@ -758,12 +776,12 @@ class Translator::State {
     const bool vertices = kind_ == ElementKind::kVertex;
     ExprPtr attr =
         Func("JSON_VAL", {Col("p", "ATTR"), Lit(rel::Value(test.key))});
-    ExprPtr then_cond = Bin(CmpToSql(test.cmp), attr, Lit(test.value));
+    ExprPtr then_cond = Bin(CmpToSql(test.cmp), attr, PipeValue(test));
     // Elements whose test is false OR whose attribute is absent go to else.
     ExprPtr else_cond =
         Bin(BinaryOp::kOr, sql::Un(UnaryOp::kIsNull, attr),
             sql::Un(UnaryOp::kNot,
-                    Bin(CmpToSql(test.cmp), attr, Lit(test.value))));
+                    Bin(CmpToSql(test.cmp), attr, PipeValue(test))));
 
     auto filtered = [&](ExprPtr cond) {
       auto sel = std::make_shared<SelectStmt>();

@@ -12,6 +12,21 @@ ExprPtr Lit(rel::Value v) {
   return e;
 }
 
+ExprPtr Param(int index) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kParam;
+  e->param_index = index;
+  return e;
+}
+
+ExprPtr Param(std::string name, int index) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kParam;
+  e->param_index = index;
+  e->param_name = std::move(name);
+  return e;
+}
+
 ExprPtr Col(std::string qualifier, std::string column) {
   auto e = std::make_shared<Expr>();
   e->kind = ExprKind::kColumnRef;

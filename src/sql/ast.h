@@ -29,6 +29,7 @@ using ExprPtr = std::shared_ptr<Expr>;
 enum class ExprKind {
   kLiteral,
   kColumnRef,
+  kParam,  // bind parameter: `?` (positional) or `:name`
   kBinary,
   kUnary,
   kFunc,
@@ -76,6 +77,12 @@ struct Expr {
   std::string qualifier;
   std::string column;
 
+  // kParam: 0-based position in the statement's bind list (`?` placeholders
+  // are numbered left to right; `:name` placeholders additionally carry the
+  // name and share their index across repeated occurrences).
+  int param_index = -1;
+  std::string param_name;
+
   // kBinary / kUnary
   BinaryOp bin_op = BinaryOp::kEq;
   UnaryOp un_op = UnaryOp::kNot;
@@ -100,6 +107,8 @@ struct Expr {
 };
 
 ExprPtr Lit(rel::Value v);
+ExprPtr Param(int index);
+ExprPtr Param(std::string name, int index);
 ExprPtr Col(std::string qualifier, std::string column);
 ExprPtr Col(std::string column);
 ExprPtr Bin(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
@@ -204,6 +213,9 @@ struct Cte {
 struct SqlQuery {
   std::vector<Cte> ctes;
   SelectPtr final_select;
+  /// Number of distinct bind parameters (0 for a fully literal query). Set
+  /// by the parser and by the Gremlin translation cache.
+  int num_params = 0;
 };
 
 }  // namespace sql

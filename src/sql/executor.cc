@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <functional>
 #include <unordered_map>
 #include <unordered_set>
@@ -18,6 +19,107 @@ using rel::Row;
 using rel::Value;
 using util::Result;
 using util::Status;
+
+namespace {
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count());
+}
+
+/// Looks an index up by name (plans memoize names, not pointers, so a plan
+/// can never dangle across table reorganizations).
+const rel::Index* FindIndexByName(const rel::Table& table,
+                                  const std::string& name) {
+  for (const auto& index : table.indexes()) {
+    if (index->name() == name) return index.get();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+// ===========================================================================
+// PlanMemo: per-prepared-query record of the planner's access-path choices,
+// keyed by the identity of the TableRef node in the shared immutable AST.
+// Filled on first execution, replayed on subsequent ones; thread-safe so one
+// PreparedQuery may execute concurrently.
+
+class PlanMemo {
+ public:
+  /// Access path for a first-FROM-item base table.
+  struct AccessPlan {
+    enum Kind { kSeqScan, kIndexEq, kJsonEq, kJsonRange, kJsonPrefix };
+    Kind kind = kSeqScan;
+    std::string index_name;
+    // kIndexEq: matched predicates in index column order, plus the
+    // `applicable` slots they satisfy.
+    std::vector<IndexablePredicate> eq_preds;
+    std::vector<size_t> eq_slots;
+    // kJson*: the driving predicate and its slot.
+    IndexablePredicate json_pred;
+    size_t json_slot = 0;
+    // Sanity guard: the plan only replays against an identically shaped
+    // applicable-conjunct list.
+    size_t n_applicable = 0;
+  };
+
+  /// Join strategy for a non-first FROM item.
+  struct JoinPlan {
+    enum Kind { kIndexNL, kHash, kCross };
+    Kind kind = kCross;
+    std::string index_name;              // kIndexNL
+    std::vector<EquiJoinKey> keys;
+    std::vector<bool> used;              // applicable slots matched as keys
+    std::vector<size_t> best_key_order;  // kIndexNL
+    size_t n_applicable = 0;
+  };
+
+  /// Strategy for a LEFT OUTER JOIN (ON-clause partition + index choice).
+  struct OuterPlan {
+    bool use_index = false;
+    std::string index_name;
+    std::vector<EquiJoinKey> keys;
+    std::vector<ExprPtr> residual;
+  };
+
+  std::shared_ptr<const AccessPlan> GetAccess(const void* key) const {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = access_.find(key);
+    return it == access_.end() ? nullptr : it->second;
+  }
+  void PutAccess(const void* key, AccessPlan plan) {
+    std::lock_guard<std::mutex> g(mu_);
+    access_.emplace(key, std::make_shared<const AccessPlan>(std::move(plan)));
+  }
+
+  std::shared_ptr<const JoinPlan> GetJoin(const void* key) const {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = joins_.find(key);
+    return it == joins_.end() ? nullptr : it->second;
+  }
+  void PutJoin(const void* key, JoinPlan plan) {
+    std::lock_guard<std::mutex> g(mu_);
+    joins_.emplace(key, std::make_shared<const JoinPlan>(std::move(plan)));
+  }
+
+  std::shared_ptr<const OuterPlan> GetOuter(const void* key) const {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = outers_.find(key);
+    return it == outers_.end() ? nullptr : it->second;
+  }
+  void PutOuter(const void* key, OuterPlan plan) {
+    std::lock_guard<std::mutex> g(mu_);
+    outers_.emplace(key, std::make_shared<const OuterPlan>(std::move(plan)));
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<const void*, std::shared_ptr<const AccessPlan>> access_;
+  std::unordered_map<const void*, std::shared_ptr<const JoinPlan>> joins_;
+  std::unordered_map<const void*, std::shared_ptr<const OuterPlan>> outers_;
+};
 
 namespace {
 
@@ -205,8 +307,10 @@ std::string ItemName(const SelectItem& item, size_t index) {
 
 class Executor::Impl {
  public:
-  Impl(rel::Database* db, const Options& options, ExecStats* stats)
-      : db_(db), options_(options), stats_(stats) {}
+  Impl(rel::Database* db, const Options& options, ExecStats* stats,
+       const ParamBindings* params, PlanMemo* memo)
+      : db_(db), options_(options), stats_(stats), params_(params),
+        memo_(memo) {}
 
   Result<ResultSet> ExecuteQuery(const SqlQuery& q) {
     for (const Cte& cte : q.ctes) {
@@ -246,7 +350,14 @@ class Executor::Impl {
     base.set_ops.clear();
     const SelectStmt& step = *whole.set_ops[0].rhs;
 
-    ASSIGN_OR_RETURN(ResultSet total, ExecSelect(base));
+    // `base` is a stack-local copy, so its TableRef addresses are not stable
+    // plan-memo keys; the step select aliases the shared AST and is fine.
+    const bool memo_was_enabled = memo_enabled_;
+    memo_enabled_ = false;
+    Result<ResultSet> base_result = ExecSelect(base);
+    memo_enabled_ = memo_was_enabled;
+    if (!base_result.ok()) return base_result.status();
+    ResultSet total = std::move(base_result).value();
     RETURN_NOT_OK(ApplyCteAliasesForRecursive(cte, &total));
     std::unordered_set<Row, RowHash, RowEq> seen(total.rows.begin(),
                                                  total.rows.end());
@@ -353,6 +464,7 @@ class Executor::Impl {
       std::vector<std::pair<std::vector<Value>, size_t>> keyed;
       keyed.reserve(out->rows.size());
       EvalContext ctx;
+      ctx.params = params_;
       for (size_t i = 0; i < out->rows.size(); ++i) {
         std::vector<Value> key;
         key.reserve(s.order_by.size());
@@ -452,6 +564,7 @@ class Executor::Impl {
   Result<ResultSet> ExecSelectCore(const SelectStmt& s,
                                    bool defer_order_limit) {
     EvalContext ctx;
+    ctx.params = params_;
     RETURN_NOT_OK(MaterializeInSubqueries(s, &ctx));
 
     ColumnEnv env;
@@ -586,8 +699,8 @@ class Executor::Impl {
       *env = std::move(next_env);
       return Status::OK();
     } else if (first) {
-      st = AccessFirst(relation, alias, next_env, applicable, &applicable_ids,
-                       consumed, rows, ctx);
+      st = AccessFirst(ref, relation, alias, next_env, applicable,
+                       &applicable_ids, consumed, rows, ctx);
       *env = std::move(next_env);
       return st;
     } else {
@@ -737,8 +850,9 @@ class Executor::Impl {
   }
 
   /// Access path for the first FROM item.
-  Status AccessFirst(const Relation& relation, const std::string& alias,
-                     const ColumnEnv& env, const std::vector<ExprPtr>& applicable,
+  Status AccessFirst(const TableRef& ref, const Relation& relation,
+                     const std::string& alias, const ColumnEnv& env,
+                     const std::vector<ExprPtr>& applicable,
                      std::vector<size_t>* applicable_ids,
                      std::vector<bool>* consumed, std::vector<Row>* rows,
                      EvalContext* ctx) {
@@ -746,7 +860,8 @@ class Executor::Impl {
     std::vector<bool> used(applicable.size(), false);
 
     if (relation.base != nullptr && options_.enable_indexes) {
-      RETURN_NOT_OK(TryIndexAccess(relation, alias, applicable, &used, rows));
+      RETURN_NOT_OK(
+          TryIndexAccess(ref, relation, alias, applicable, &used, rows, *ctx));
     }
     if (rows->empty() && !index_access_hit_) {
       // Full scan.
@@ -778,12 +893,36 @@ class Executor::Impl {
 
   /// Attempts index-based retrieval for the first FROM item. Sets
   /// `index_access_hit_` and fills `rows` on success; marks the predicates
-  /// it fully satisfied in `*used`.
-  Status TryIndexAccess(const Relation& relation, const std::string& alias,
+  /// it fully satisfied in `*used`. The access-path decision (which index,
+  /// which predicates) is split from its execution so a prepared query can
+  /// memoize the former and replay only the latter with fresh bind values.
+  Status TryIndexAccess(const TableRef& ref, const Relation& relation,
+                        const std::string& alias,
                         const std::vector<ExprPtr>& applicable,
-                        std::vector<bool>* used, std::vector<Row>* rows) {
+                        std::vector<bool>* used, std::vector<Row>* rows,
+                        const EvalContext& ctx) {
     const rel::Table& table = *relation.base;
     index_access_hit_ = false;
+
+    if (MemoActive()) {
+      if (auto plan = memo_->GetAccess(&ref);
+          plan != nullptr && plan->n_applicable == applicable.size()) {
+        return ExecAccessPlan(*plan, relation, used, rows, ctx);
+      }
+    }
+
+    PlanMemo::AccessPlan plan = ChooseAccessPlan(table, alias, applicable);
+    if (MemoActive()) memo_->PutAccess(&ref, plan);
+    return ExecAccessPlan(plan, relation, used, rows, ctx);
+  }
+
+  /// Picks the access path for the first FROM item: the decision half of
+  /// TryIndexAccess, independent of bind values.
+  PlanMemo::AccessPlan ChooseAccessPlan(const rel::Table& table,
+                                        const std::string& alias,
+                                        const std::vector<ExprPtr>& applicable) {
+    PlanMemo::AccessPlan plan;
+    plan.n_applicable = applicable.size();
 
     // Recognize indexable predicates.
     std::vector<IndexablePredicate> preds;
@@ -795,7 +934,7 @@ class Executor::Impl {
         pred_slot.push_back(k);
       }
     }
-    if (preds.empty()) return Status::OK();
+    if (preds.empty()) return plan;  // kSeqScan
 
     // 1) Composite / single-column equality via regular indexes.
     std::unordered_map<int, size_t> eq_by_column;  // column_id -> preds idx
@@ -820,19 +959,14 @@ class Executor::Impl {
       }
     }
     if (best != nullptr) {
-      rel::IndexKey key;
+      plan.kind = PlanMemo::AccessPlan::kIndexEq;
+      plan.index_name = best->name();
       for (int c : best->column_ids()) {
         const size_t pi = eq_by_column[c];
-        key.parts.push_back(preds[pi].literal);
-        (*used)[pred_slot[pi]] = true;
+        plan.eq_preds.push_back(preds[pi]);
+        plan.eq_slots.push_back(pred_slot[pi]);
       }
-      std::vector<rel::RowId> rids;
-      best->Lookup(key, &rids);
-      ++stats_->index_lookups;
-      Trace("index lookup " + table.name() + " via " + best->name());
-      RETURN_NOT_OK(FetchRows(relation, rids, rows));
-      index_access_hit_ = true;
-      return Status::OK();
+      return plan;
     }
 
     // 2) JSON functional indexes.
@@ -846,42 +980,100 @@ class Executor::Impl {
                                     rel::IndexKind::kOrdered);
         }
         if (idx == nullptr) continue;
-        rel::IndexKey key;
-        key.parts.push_back(p.literal);
-        std::vector<rel::RowId> rids;
-        idx->Lookup(key, &rids);
-        ++stats_->index_lookups;
-        Trace("JSON index lookup " + table.name() + " via " + idx->name());
-        RETURN_NOT_OK(FetchRows(relation, rids, rows));
-        (*used)[pred_slot[i]] = true;
-        index_access_hit_ = true;
-        return Status::OK();
+        plan.kind = PlanMemo::AccessPlan::kJsonEq;
+        plan.index_name = idx->name();
+        plan.json_pred = p;
+        plan.json_slot = pred_slot[i];
+        return plan;
       }
       if (p.kind == IndexablePredicate::kJsonRange ||
           p.kind == IndexablePredicate::kJsonPrefix) {
         const rel::Index* idx = table.FindJsonIndex(p.column_id, p.json_key,
                                                     rel::IndexKind::kOrdered);
         if (idx == nullptr) continue;
+        plan.kind = p.kind == IndexablePredicate::kJsonPrefix
+                        ? PlanMemo::AccessPlan::kJsonPrefix
+                        : PlanMemo::AccessPlan::kJsonRange;
+        plan.index_name = idx->name();
+        plan.json_pred = p;
+        plan.json_slot = pred_slot[i];
+        return plan;
+      }
+    }
+    return plan;  // kSeqScan
+  }
+
+  /// Executes a chosen access plan, resolving bind parameters per call. A
+  /// kSeqScan plan (or a vanished index) leaves `index_access_hit_` false so
+  /// AccessFirst falls back to the full scan.
+  Status ExecAccessPlan(const PlanMemo::AccessPlan& plan,
+                        const Relation& relation, std::vector<bool>* used,
+                        std::vector<Row>* rows, const EvalContext& ctx) {
+    using AccessPlan = PlanMemo::AccessPlan;
+    const rel::Table& table = *relation.base;
+    switch (plan.kind) {
+      case AccessPlan::kSeqScan:
+        return Status::OK();
+      case AccessPlan::kIndexEq: {
+        const rel::Index* idx = FindIndexByName(table, plan.index_name);
+        if (idx == nullptr) return Status::OK();
+        rel::IndexKey key;
+        for (size_t i = 0; i < plan.eq_preds.size(); ++i) {
+          ASSIGN_OR_RETURN(Value v,
+                           IndexablePredicateValue(plan.eq_preds[i], ctx));
+          key.parts.push_back(std::move(v));
+          (*used)[plan.eq_slots[i]] = true;
+        }
+        std::vector<rel::RowId> rids;
+        idx->Lookup(key, &rids);
+        ++stats_->index_lookups;
+        Trace("index lookup " + table.name() + " via " + idx->name());
+        RETURN_NOT_OK(FetchRows(relation, rids, rows));
+        index_access_hit_ = true;
+        return Status::OK();
+      }
+      case AccessPlan::kJsonEq: {
+        const rel::Index* idx = FindIndexByName(table, plan.index_name);
+        if (idx == nullptr) return Status::OK();
+        ASSIGN_OR_RETURN(Value v, IndexablePredicateValue(plan.json_pred, ctx));
+        rel::IndexKey key;
+        key.parts.push_back(std::move(v));
+        std::vector<rel::RowId> rids;
+        idx->Lookup(key, &rids);
+        ++stats_->index_lookups;
+        Trace("JSON index lookup " + table.name() + " via " + idx->name());
+        RETURN_NOT_OK(FetchRows(relation, rids, rows));
+        (*used)[plan.json_slot] = true;
+        index_access_hit_ = true;
+        return Status::OK();
+      }
+      case AccessPlan::kJsonRange:
+      case AccessPlan::kJsonPrefix: {
+        const rel::Index* idx = FindIndexByName(table, plan.index_name);
+        if (idx == nullptr) return Status::OK();
         const auto* ordered = static_cast<const rel::OrderedIndex*>(idx);
         std::vector<rel::RowId> rids;
-        if (p.kind == IndexablePredicate::kJsonPrefix) {
+        if (plan.kind == AccessPlan::kJsonPrefix) {
           // [prefix, prefix + 0xFF): the residual LIKE still runs below.
-          std::string hi = p.like_prefix;
+          std::string hi = plan.json_pred.like_prefix;
           hi.push_back('\xff');
-          ordered->Range(Value(p.like_prefix), true, Value(hi), false, &rids);
+          ordered->Range(Value(plan.json_pred.like_prefix), true, Value(hi),
+                         false, &rids);
         } else {
-          switch (p.op) {
+          ASSIGN_OR_RETURN(Value bound,
+                           IndexablePredicateValue(plan.json_pred, ctx));
+          switch (plan.json_pred.op) {
             case BinaryOp::kLt:
-              ordered->Range(Value::Null(), true, p.literal, false, &rids);
+              ordered->Range(Value::Null(), true, bound, false, &rids);
               break;
             case BinaryOp::kLe:
-              ordered->Range(Value::Null(), true, p.literal, true, &rids);
+              ordered->Range(Value::Null(), true, bound, true, &rids);
               break;
             case BinaryOp::kGt:
-              ordered->Range(p.literal, false, Value::Null(), true, &rids);
+              ordered->Range(bound, false, Value::Null(), true, &rids);
               break;
             default:
-              ordered->Range(p.literal, true, Value::Null(), true, &rids);
+              ordered->Range(bound, true, Value::Null(), true, &rids);
               break;
           }
         }
@@ -917,50 +1109,92 @@ class Executor::Impl {
                    std::vector<size_t>* applicable_ids,
                    std::vector<bool>* consumed, std::vector<Row>* rows,
                    EvalContext* ctx) {
-    (void)ref;
+    using JoinPlan = PlanMemo::JoinPlan;
     // Partition applicable conjuncts: equi-join keys / ref-local / residual.
     std::vector<EquiJoinKey> keys;
     std::vector<bool> used(applicable.size(), false);
-    for (size_t k = 0; k < applicable.size(); ++k) {
-      EquiJoinKey key;
-      if (MatchEquiJoin(applicable[k], env, alias, ref_columns, &key)) {
-        keys.push_back(std::move(key));
-        used[k] = true;
+    const rel::Index* best = nullptr;
+    std::vector<size_t> best_key_order;
+    bool have_plan = false;
+
+    // Replay a memoized join strategy for this table ref.
+    if (MemoActive()) {
+      if (auto plan = memo_->GetJoin(&ref);
+          plan != nullptr && plan->n_applicable == applicable.size()) {
+        keys = plan->keys;
+        used = plan->used;
+        if (plan->kind == JoinPlan::kIndexNL && relation.base != nullptr) {
+          best = FindIndexByName(*relation.base, plan->index_name);
+          best_key_order = plan->best_key_order;
+        }
+        have_plan = best != nullptr || plan->kind != JoinPlan::kIndexNL;
+        if (!have_plan) {
+          // Memoized index no longer exists: replan from scratch.
+          keys.clear();
+          used.assign(applicable.size(), false);
+          best_key_order.clear();
+        }
       }
     }
 
-    if (!keys.empty() && relation.base != nullptr && options_.enable_indexes) {
-      // Index nested-loop join: find the index covering the most key columns.
-      const rel::Table& table = *relation.base;
-      const rel::Index* best = nullptr;
-      std::vector<size_t> best_key_order;
-      for (const auto& index : table.indexes()) {
-        if (index->is_json() || index->column_ids().empty()) continue;
-        std::vector<size_t> order;
-        bool covered = true;
-        for (int c : index->column_ids()) {
-          const std::string& cname =
-              table.schema().column(static_cast<size_t>(c)).name;
-          bool found = false;
-          for (size_t ki = 0; ki < keys.size(); ++ki) {
-            if (keys[ki].column == cname) {
-              order.push_back(ki);
-              found = true;
+    if (!have_plan) {
+      for (size_t k = 0; k < applicable.size(); ++k) {
+        EquiJoinKey key;
+        if (MatchEquiJoin(applicable[k], env, alias, ref_columns, &key)) {
+          keys.push_back(std::move(key));
+          used[k] = true;
+        }
+      }
+      if (!keys.empty() && relation.base != nullptr &&
+          options_.enable_indexes) {
+        // Index nested-loop join: the index covering the most key columns.
+        const rel::Table& table = *relation.base;
+        for (const auto& index : table.indexes()) {
+          if (index->is_json() || index->column_ids().empty()) continue;
+          std::vector<size_t> order;
+          bool covered = true;
+          for (int c : index->column_ids()) {
+            const std::string& cname =
+                table.schema().column(static_cast<size_t>(c)).name;
+            bool found = false;
+            for (size_t ki = 0; ki < keys.size(); ++ki) {
+              if (keys[ki].column == cname) {
+                order.push_back(ki);
+                found = true;
+                break;
+              }
+            }
+            if (!found) {
+              covered = false;
               break;
             }
           }
-          if (!found) {
-            covered = false;
-            break;
+          if (covered && (best == nullptr || index->column_ids().size() >
+                                                 best->column_ids().size())) {
+            best = index.get();
+            best_key_order = std::move(order);
           }
         }
-        if (covered && (best == nullptr || index->column_ids().size() >
-                                               best->column_ids().size())) {
-          best = index.get();
-          best_key_order = std::move(order);
-        }
       }
+      if (MemoActive()) {
+        JoinPlan plan;
+        plan.n_applicable = applicable.size();
+        plan.keys = keys;
+        plan.used = used;
+        if (best != nullptr) {
+          plan.kind = JoinPlan::kIndexNL;
+          plan.index_name = best->name();
+          plan.best_key_order = best_key_order;
+        } else {
+          plan.kind = keys.empty() ? JoinPlan::kCross : JoinPlan::kHash;
+        }
+        memo_->PutJoin(&ref, std::move(plan));
+      }
+    }
+
+    {
       if (best != nullptr) {
+        const rel::Table& table = *relation.base;
         ++stats_->index_nl_joins;
         Trace("index nested-loop join " + table.name() + " via " +
               best->name());
@@ -1093,35 +1327,73 @@ class Executor::Impl {
                        const std::vector<std::string>& ref_columns,
                        const ColumnEnv& env, const ColumnEnv& next_env,
                        std::vector<Row>* rows, EvalContext* ctx) {
-    std::vector<ExprPtr> on_conjuncts;
-    SplitConjuncts(ref.on, &on_conjuncts);
     std::vector<EquiJoinKey> keys;
     std::vector<ExprPtr> residual;
-    for (const auto& c : on_conjuncts) {
-      EquiJoinKey key;
-      if (MatchEquiJoin(c, env, alias, ref_columns, &key)) {
-        keys.push_back(std::move(key));
-      } else {
-        residual.push_back(c);
+    const rel::Index* index = nullptr;
+    bool have_plan = false;
+
+    // Replay a memoized ON-clause partition + index choice.
+    if (MemoActive()) {
+      if (auto plan = memo_->GetOuter(&ref); plan != nullptr) {
+        keys = plan->keys;
+        residual = plan->residual;
+        if (plan->use_index && relation.base != nullptr) {
+          index = FindIndexByName(*relation.base, plan->index_name);
+          have_plan = index != nullptr;
+          if (!have_plan) {
+            keys.clear();
+            residual.clear();
+          }
+        } else {
+          have_plan = true;
+        }
       }
     }
+
+    if (!have_plan) {
+      std::vector<ExprPtr> on_conjuncts;
+      SplitConjuncts(ref.on, &on_conjuncts);
+      for (const auto& c : on_conjuncts) {
+        EquiJoinKey key;
+        if (MatchEquiJoin(c, env, alias, ref_columns, &key)) {
+          keys.push_back(std::move(key));
+        } else {
+          residual.push_back(c);
+        }
+      }
+      // Index nested-loop left-outer join: probe the base table's index per
+      // outer row instead of hashing the whole table (the OSA/ISA fast path).
+      if (!keys.empty() && relation.base != nullptr &&
+          options_.enable_indexes) {
+        const rel::Table& table = *relation.base;
+        std::vector<int> key_cols;
+        for (const auto& k : keys) {
+          key_cols.push_back(table.schema().FindColumn(k.column));
+        }
+        index = table.FindIndex(key_cols);
+        if (index == nullptr && key_cols.size() == 1) {
+          index = table.FindIndexOnColumn(key_cols[0], rel::IndexKind::kHash);
+          if (index != nullptr && index->column_ids().size() != 1) {
+            index = nullptr;
+          }
+        }
+      }
+      if (MemoActive()) {
+        PlanMemo::OuterPlan plan;
+        plan.use_index = index != nullptr;
+        if (index != nullptr) plan.index_name = index->name();
+        plan.keys = keys;
+        plan.residual = residual;
+        memo_->PutOuter(&ref, std::move(plan));
+      }
+    }
+
     std::vector<Row> out;
     const size_t pad = ref_columns.size();
 
-    // Index nested-loop left-outer join: probe the base table's index per
-    // outer row instead of hashing the whole table (the OSA/ISA fast path).
-    if (!keys.empty() && relation.base != nullptr && options_.enable_indexes) {
-      const rel::Table& table = *relation.base;
-      std::vector<int> key_cols;
-      for (const auto& k : keys) {
-        key_cols.push_back(table.schema().FindColumn(k.column));
-      }
-      const rel::Index* index = table.FindIndex(key_cols);
-      if (index == nullptr && key_cols.size() == 1) {
-        index = table.FindIndexOnColumn(key_cols[0], rel::IndexKind::kHash);
-        if (index != nullptr && index->column_ids().size() != 1) index = nullptr;
-      }
+    {
       if (index != nullptr) {
+        const rel::Table& table = *relation.base;
         ++stats_->index_nl_joins;
         Trace("index nested-loop left-outer join " + table.name() + " via " +
               index->name());
@@ -1557,9 +1829,20 @@ class Executor::Impl {
     stats_->trace.push_back(context_ + ": " + std::move(msg));
   }
 
+  /// True when access-path decisions may be recorded into / replayed from
+  /// the prepared query's PlanMemo. Memoization keys on AST node addresses,
+  /// so it must be off for any statement evaluated through a local AST copy
+  /// (the recursive-CTE base select).
+  bool MemoActive() const {
+    return memo_ != nullptr && memo_enabled_ && options_.enable_indexes;
+  }
+
   rel::Database* db_;
   const Options& options_;
   ExecStats* stats_;
+  const ParamBindings* params_ = nullptr;
+  PlanMemo* memo_ = nullptr;
+  bool memo_enabled_ = true;
   std::map<std::string, ResultSet> ctes_;
   std::string context_ = "query";
   bool index_access_hit_ = false;
@@ -1589,14 +1872,171 @@ std::string ResultSet::ToString(size_t max_rows) const {
   return out;
 }
 
+// ------------------------------------------------------------ PlanCache ----
+
+std::string PlanCache::NormalizeSql(std::string_view sql_text) {
+  std::string out;
+  out.reserve(sql_text.size());
+  bool in_ws = false;
+  bool in_string = false;
+  for (char c : sql_text) {
+    if (in_string) {
+      out.push_back(c);
+      if (c == '\'') in_string = false;
+      continue;
+    }
+    if (c == '\'') {
+      in_string = true;
+      out.push_back(c);
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      in_ws = true;
+      continue;
+    }
+    if (in_ws && !out.empty()) out.push_back(' ');
+    in_ws = false;
+    out.push_back(c);
+  }
+  return out;
+}
+
+Result<PreparedQueryPtr> PlanCache::GetOrPrepare(std::string_view sql_text,
+                                                 uint64_t epoch,
+                                                 ExecStats* stats) {
+  std::string key = NormalizeSql(sql_text);
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (it->second.prepared->schema_epoch() == epoch) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        ++hits_;
+        if (stats != nullptr) ++stats->plan_cache_hits;
+        return it->second.prepared;
+      }
+      // Compiled under an older schema epoch: evict and re-prepare.
+      lru_.erase(it->second.lru_it);
+      entries_.erase(it);
+    }
+    ++misses_;
+  }
+
+  // Miss: parse outside the lock.
+  const auto start = std::chrono::steady_clock::now();
+  Result<SqlQuery> parsed = ParseQuery(key);
+  const uint64_t elapsed = ElapsedNs(start);
+  if (stats != nullptr) {
+    ++stats->plan_cache_misses;
+    stats->prepare_ns += elapsed;
+  }
+  if (!parsed.ok()) return parsed.status();
+
+  auto prepared = std::make_shared<PreparedQuery>();
+  prepared->sql_ = key;
+  prepared->ast_ = std::make_shared<const SqlQuery>(std::move(parsed).value());
+  prepared->memo_ = std::make_shared<PlanMemo>();
+  prepared->epoch_ = epoch;
+  PreparedQueryPtr result = prepared;
+
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    if (it->second.prepared->schema_epoch() == epoch) {
+      // Another thread prepared the same statement concurrently; share its
+      // entry so the memo fills in once.
+      return it->second.prepared;
+    }
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+  }
+  lru_.push_front(key);
+  entries_.emplace(std::move(key), Entry{lru_.begin(), result});
+  while (entries_.size() > capacity_ && !lru_.empty()) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return result;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> guard(mu_);
+  entries_.clear();
+  lru_.clear();
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return entries_.size();
+}
+
+uint64_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return hits_;
+}
+
+uint64_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return misses_;
+}
+
+// ------------------------------------------------------------- Executor ----
+
+Result<ResultSet> Executor::ExecuteWithParams(const SqlQuery& query,
+                                              const ParamBindings* params,
+                                              PlanMemo* memo) {
+  const auto start = std::chrono::steady_clock::now();
+  Impl impl(db_, options_, &stats_, params, memo);
+  Result<ResultSet> result = impl.ExecuteQuery(query);
+  stats_.exec_ns += ElapsedNs(start);
+  return result;
+}
+
 Result<ResultSet> Executor::Execute(const SqlQuery& query) {
-  Impl impl(db_, options_, &stats_);
-  return impl.ExecuteQuery(query);
+  return ExecuteWithParams(query, nullptr, nullptr);
+}
+
+Result<PreparedQueryPtr> Executor::Prepare(std::string_view sql_text) {
+  if (plan_cache_ != nullptr) {
+    return plan_cache_->GetOrPrepare(sql_text, schema_epoch_, &stats_);
+  }
+  // One-off prepared statement without a shared cache.
+  const auto start = std::chrono::steady_clock::now();
+  Result<SqlQuery> parsed = ParseQuery(sql_text);
+  stats_.prepare_ns += ElapsedNs(start);
+  ++stats_.plan_cache_misses;
+  if (!parsed.ok()) return parsed.status();
+  auto prepared = std::make_shared<PreparedQuery>();
+  prepared->sql_ = PlanCache::NormalizeSql(sql_text);
+  prepared->ast_ = std::make_shared<const SqlQuery>(std::move(parsed).value());
+  prepared->memo_ = std::make_shared<PlanMemo>();
+  prepared->epoch_ = schema_epoch_;
+  return PreparedQueryPtr(prepared);
+}
+
+Result<ResultSet> Executor::ExecutePrepared(const PreparedQuery& prepared,
+                                            const ParamBindings& params) {
+  if (plan_cache_ != nullptr && prepared.schema_epoch() != schema_epoch_) {
+    // Stale handle: re-prepare through the cache (counted as a miss there).
+    ASSIGN_OR_RETURN(PreparedQueryPtr fresh, Prepare(prepared.sql()));
+    return ExecuteWithParams(fresh->query(), &params, fresh->memo());
+  }
+  ++stats_.plan_cache_hits;
+  return ExecuteWithParams(prepared.query(), &params, prepared.memo());
 }
 
 Result<ResultSet> Executor::ExecuteSql(std::string_view sql_text) {
-  ASSIGN_OR_RETURN(SqlQuery q, ParseQuery(sql_text));
-  return Execute(q);
+  if (plan_cache_ != nullptr) {
+    // Hit/miss accounting happens inside the cache lookup.
+    ASSIGN_OR_RETURN(PreparedQueryPtr prepared, Prepare(sql_text));
+    ParamBindings no_params;
+    return ExecuteWithParams(prepared->query(), &no_params, prepared->memo());
+  }
+  const auto start = std::chrono::steady_clock::now();
+  Result<SqlQuery> parsed = ParseQuery(sql_text);
+  stats_.prepare_ns += ElapsedNs(start);
+  if (!parsed.ok()) return parsed.status();
+  return Execute(parsed.value());
 }
 
 }  // namespace sql

@@ -13,17 +13,29 @@
 // Recursive CTEs run semi-naively with a global dedup (UNION-style fixpoint)
 // and an iteration cap, mirroring the paper's recursive-SQL fallback for
 // unbounded loop pipes.
+//
+// Prepared queries: Prepare() lexes/parses once and returns a PreparedQuery
+// holding the shared AST plus a PlanMemo that records the per-table-ref
+// access-path decisions on first execution; ExecutePrepared() replays them
+// with fresh bind values, skipping lex/parse/plan. A PlanCache (LRU keyed by
+// normalized SQL text) shares PreparedQuery instances across Executor
+// instances; entries are invalidated by schema-epoch mismatch.
 
 #ifndef SQLGRAPH_SQL_EXECUTOR_H_
 #define SQLGRAPH_SQL_EXECUTOR_H_
 
+#include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "rel/database.h"
 #include "sql/ast.h"
+#include "sql/expr_eval.h"
 #include "sql/result.h"
 #include "util/status.h"
 
@@ -40,9 +52,82 @@ struct ExecStats {
   uint64_t index_nl_joins = 0;
   uint64_t rows_scanned = 0;
   uint64_t recursive_iterations = 0;
+  /// Prepared-query pipeline: executions that reused a cached plan vs.
+  /// executions that had to lex/parse/plan.
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  /// Nanoseconds spent preparing (lex+parse) and executing.
+  uint64_t prepare_ns = 0;
+  uint64_t exec_ns = 0;
   /// EXPLAIN-style trace: one line per access-path / join decision, prefixed
   /// by the CTE being evaluated.
   std::vector<std::string> trace;
+};
+
+class PlanMemo;
+
+/// An immutable compiled statement: normalized SQL text, shared parsed AST,
+/// and the memoized access-path decisions. Thread-safe to execute
+/// concurrently; the memo fills in on first execution.
+class PreparedQuery {
+ public:
+  const std::string& sql() const { return sql_; }
+  const SqlQuery& query() const { return *ast_; }
+  int param_count() const { return ast_->num_params; }
+  /// Schema epoch the plan was compiled under (see PlanCache).
+  uint64_t schema_epoch() const { return epoch_; }
+  PlanMemo* memo() const { return memo_.get(); }
+
+ private:
+  friend class Executor;
+  friend class PlanCache;
+  std::string sql_;
+  std::shared_ptr<const SqlQuery> ast_;
+  std::shared_ptr<PlanMemo> memo_;
+  uint64_t epoch_ = 0;
+};
+
+using PreparedQueryPtr = std::shared_ptr<const PreparedQuery>;
+
+/// Thread-safe LRU cache of PreparedQuery instances keyed by
+/// whitespace-normalized SQL text. Entries carry the schema epoch they were
+/// compiled under; a lookup with a different epoch evicts and re-prepares,
+/// which is how DDL-equivalent store events (spill-row creation, Compact)
+/// invalidate stale plans.
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity = 256) : capacity_(capacity) {}
+
+  /// Returns the cached statement for `sql_text` at `epoch`, parsing and
+  /// inserting on miss. Counts hits/misses both internally and, when
+  /// `stats` is non-null, into the caller's ExecStats.
+  util::Result<PreparedQueryPtr> GetOrPrepare(std::string_view sql_text,
+                                              uint64_t epoch,
+                                              ExecStats* stats);
+
+  /// Drops every cached plan (coarse invalidation; epoch mismatch already
+  /// handles the incremental case).
+  void Clear();
+
+  size_t size() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+  /// Collapses whitespace runs so textual variants of one template share a
+  /// cache entry.
+  static std::string NormalizeSql(std::string_view sql_text);
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::list<std::string> lru_;  // front = most recently used
+  struct Entry {
+    std::list<std::string>::iterator lru_it;
+    PreparedQueryPtr prepared;
+  };
+  std::unordered_map<std::string, Entry> entries_;
 };
 
 class Executor {
@@ -57,20 +142,44 @@ class Executor {
   explicit Executor(rel::Database* db) : db_(db) {}
   Executor(rel::Database* db, Options options) : db_(db), options_(options) {}
 
+  /// Attaches a shared plan cache (not owned). `schema_epoch` stamps plans
+  /// prepared through this executor; ExecuteSql() then routes through the
+  /// cache, and ExecutePrepared() re-prepares stale handles transparently.
+  void set_plan_cache(PlanCache* cache, uint64_t schema_epoch) {
+    plan_cache_ = cache;
+    schema_epoch_ = schema_epoch;
+  }
+
   /// Executes a full query (CTEs + final select).
   util::Result<ResultSet> Execute(const SqlQuery& query);
 
-  /// Parses then executes SQL text.
+  /// Parses then executes SQL text. With a plan cache attached, repeat
+  /// executions of the same text skip lexing/parsing/planning.
   util::Result<ResultSet> ExecuteSql(std::string_view sql_text);
+
+  /// Compiles SQL text into a reusable statement (through the plan cache
+  /// when one is attached).
+  util::Result<PreparedQueryPtr> Prepare(std::string_view sql_text);
+
+  /// Executes a prepared statement with the given bind values. A handle
+  /// compiled under an older schema epoch is re-prepared first.
+  util::Result<ResultSet> ExecutePrepared(const PreparedQuery& prepared,
+                                          const ParamBindings& params);
 
   const ExecStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ExecStats(); }
 
  private:
   class Impl;
+  util::Result<ResultSet> ExecuteWithParams(const SqlQuery& query,
+                                            const ParamBindings* params,
+                                            PlanMemo* memo);
+
   rel::Database* db_;
   Options options_;
   ExecStats stats_;
+  PlanCache* plan_cache_ = nullptr;
+  uint64_t schema_epoch_ = 0;
 };
 
 }  // namespace sql

@@ -306,6 +306,22 @@ Result<Value> EvalExpr(const Expr& e, const ColumnEnv& env,
       ASSIGN_OR_RETURN(int slot, env.Resolve(e.qualifier, e.column));
       return row[static_cast<size_t>(slot)];
     }
+    case ExprKind::kParam: {
+      if (ctx.params != nullptr) {
+        if (!e.param_name.empty()) {
+          auto it = ctx.params->named.find(e.param_name);
+          if (it != ctx.params->named.end()) return it->second;
+        }
+        if (e.param_index >= 0 &&
+            static_cast<size_t>(e.param_index) < ctx.params->positional.size()) {
+          return ctx.params->positional[static_cast<size_t>(e.param_index)];
+        }
+      }
+      return Status::InvalidArgument(
+          e.param_name.empty()
+              ? "unbound parameter ?" + std::to_string(e.param_index + 1)
+              : "unbound parameter :" + e.param_name);
+    }
     case ExprKind::kBinary:
       return EvalBinary(e, env, row, ctx);
     case ExprKind::kUnary: {

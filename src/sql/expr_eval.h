@@ -50,11 +50,27 @@ class ColumnEnv {
   std::unordered_map<std::string, int> bare_;
 };
 
-/// Pre-materialized IN-subquery results, keyed by the Expr node identity.
+/// Values for the bind parameters of one execution of a prepared statement.
+/// Positional `?` placeholders read `positional[param_index]`; `:name`
+/// placeholders resolve through `named` first and fall back to their
+/// positional slot.
+struct ParamBindings {
+  std::vector<rel::Value> positional;
+  std::unordered_map<std::string, rel::Value> named;
+
+  ParamBindings() = default;
+  explicit ParamBindings(std::vector<rel::Value> values)
+      : positional(std::move(values)) {}
+};
+
+/// Pre-materialized IN-subquery results, keyed by the Expr node identity,
+/// plus the current statement's bind parameter values (null when executing
+/// a fully literal query).
 struct EvalContext {
   std::unordered_map<const Expr*,
                      std::unordered_set<rel::Value, rel::ValueHash>>
       in_subquery_sets;
+  const ParamBindings* params = nullptr;
 };
 
 /// Evaluates a scalar expression against one combined row. NULL propagates

@@ -153,6 +153,27 @@ util::Result<std::vector<Token>> Tokenize(std::string_view text) {
       push_symbol("||", 2);
       continue;
     }
+    // `:name` bind parameters lex as one token so the parser need not glue
+    // the colon to the following identifier.
+    if (c == ':' && i + 1 < n && IsIdentStart(text[i + 1])) {
+      ++i;
+      const size_t name_start = i;
+      while (i < n && IsIdentChar(text[i])) ++i;
+      Token t;
+      t.type = TokenType::kParam;
+      t.text = std::string(text.substr(name_start, i - name_start));
+      t.offset = start;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '?') {
+      Token t;
+      t.type = TokenType::kParam;
+      t.offset = start;
+      out.push_back(std::move(t));
+      ++i;
+      continue;
+    }
     static const std::string kSingles = "(),.*=<>+-/;[]";
     if (kSingles.find(c) != std::string::npos) {
       push_symbol(std::string(1, c), 1);

@@ -19,6 +19,7 @@ enum class TokenType {
   kInteger,
   kDouble,
   kSymbol,  // punctuation / operator: ( ) , . * = <> < <= > >= + - / || ;
+  kParam,   // bind parameter: `?` (text empty) or `:name` (text = name)
   kEnd,
 };
 

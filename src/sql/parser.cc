@@ -1,5 +1,6 @@
 #include "sql/parser.h"
 
+#include <unordered_map>
 #include <unordered_set>
 
 #include "sql/lexer.h"
@@ -52,6 +53,7 @@ class Parser {
     for (auto& cte : q.ctes) {
       if (cte.recursive) cte.recursive = SelectReferences(*cte.select, cte.name);
     }
+    q.num_params = next_param_;
     return q;
   }
 
@@ -492,6 +494,16 @@ class Parser {
         }
         return MaybeSubscript(Col(std::move(first)));
       }
+      case TokenType::kParam: {
+        ++pos_;
+        if (t.text.empty()) {
+          return Param(next_param_++);  // positional `?`
+        }
+        // `:name` — repeated occurrences share one bind slot.
+        auto [it, inserted] = named_params_.emplace(t.text, next_param_);
+        if (inserted) ++next_param_;
+        return Param(t.text, it->second);
+      }
       case TokenType::kEnd:
         return Err("unexpected end of input");
     }
@@ -604,6 +616,8 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int next_param_ = 0;                                // next bind slot
+  std::unordered_map<std::string, int> named_params_; // :name → bind slot
 };
 
 }  // namespace

@@ -60,6 +60,7 @@ void CollectQualifiers(const Expr& e, const ColumnEnv& env,
       CollectQualifiers(*e.lhs, env, quals, unresolved);
       return;
     case ExprKind::kLiteral:
+    case ExprKind::kParam:
     case ExprKind::kStar:
       return;
   }
@@ -89,6 +90,7 @@ bool IsFullyBound(const Expr& e, const ColumnEnv& env) {
     case ExprKind::kInSubquery:
       return IsFullyBound(*e.lhs, env);
     case ExprKind::kLiteral:
+    case ExprKind::kParam:
     case ExprKind::kStar:
       return true;
   }
@@ -117,17 +119,21 @@ bool IsRefColumn(const Expr& e, const ColumnEnv& env, const std::string& alias,
   return true;
 }
 
-/// True if `e` is a constant (literal, or cast/negation of a constant).
+/// True if `e` is a constant (literal, bind parameter, or cast/negation of a
+/// constant) — i.e. row-independent, so it can drive an index probe.
 bool IsConstExpr(const Expr& e) {
   switch (e.kind) {
     case ExprKind::kLiteral: return true;
+    case ExprKind::kParam: return true;
     case ExprKind::kCast: return IsConstExpr(*e.lhs);
     case ExprKind::kUnary: return e.un_op == UnaryOp::kNeg && IsConstExpr(*e.lhs);
     default: return false;
   }
 }
 
-/// Evaluates a constant expression (no columns).
+/// Evaluates a parameter-free constant expression at plan time. Fails (and
+/// leaves the evaluation to execution time) when the expression contains
+/// bind parameters.
 bool EvalConst(const ExprPtr& e, rel::Value* out) {
   ColumnEnv empty;
   EvalContext ctx;
@@ -193,50 +199,52 @@ bool MatchIndexablePredicate(const ExprPtr& conjunct, const std::string& alias,
   if (conjunct->kind != ExprKind::kBinary) return false;
   const Expr& e = *conjunct;
 
-  auto fill_column_side = [&](const Expr& side, const Expr& other,
+  auto fill_column_side = [&](const ExprPtr& side, const ExprPtr& other,
                               BinaryOp op) -> bool {
     std::string column, json_key;
     rel::Value lit;
     // Plain column equality.
-    if (side.kind == ExprKind::kColumnRef &&
-        (side.qualifier.empty() || side.qualifier == alias) &&
-        table.schema().FindColumn(side.column) >= 0 && IsConstExpr(other) &&
+    if (side->kind == ExprKind::kColumnRef &&
+        (side->qualifier.empty() || side->qualifier == alias) &&
+        table.schema().FindColumn(side->column) >= 0 && IsConstExpr(*other) &&
         op == BinaryOp::kEq) {
-      if (!EvalConst(std::make_shared<Expr>(other), &lit)) return false;
       pred->kind = IndexablePredicate::kColumnEq;
-      pred->column_id = table.schema().FindColumn(side.column);
-      pred->literal = std::move(lit);
+      pred->column_id = table.schema().FindColumn(side->column);
+      pred->value_expr = other;
+      pred->has_literal = EvalConst(other, &lit);
+      if (pred->has_literal) pred->literal = std::move(lit);
       pred->original = conjunct;
       return true;
     }
     // JSON_VAL(col,'k') cmp const, possibly under a CAST.
-    const Expr* json_side = &side;
-    if (side.kind == ExprKind::kCast) json_side = side.lhs.get();
+    const Expr* json_side = side.get();
+    if (side->kind == ExprKind::kCast) json_side = side->lhs.get();
     if (IsJsonValOfRef(*json_side, alias, &column, &json_key) &&
-        table.schema().FindColumn(column) >= 0 && IsConstExpr(other)) {
-      if (!EvalConst(std::make_shared<Expr>(other), &lit)) return false;
+        table.schema().FindColumn(column) >= 0 && IsConstExpr(*other)) {
       pred->column_id = table.schema().FindColumn(column);
       pred->json_key = json_key;
+      pred->value_expr = other;
+      pred->has_literal = EvalConst(other, &lit);
+      if (pred->has_literal) pred->literal = lit;
       pred->original = conjunct;
       if (op == BinaryOp::kEq) {
         pred->kind = IndexablePredicate::kJsonEq;
-        pred->literal = std::move(lit);
         return true;
       }
       if (op == BinaryOp::kLt || op == BinaryOp::kLe || op == BinaryOp::kGt ||
           op == BinaryOp::kGe) {
         pred->kind = IndexablePredicate::kJsonRange;
         pred->op = op;
-        pred->literal = std::move(lit);
         return true;
       }
-      if (op == BinaryOp::kLike && lit.is_string()) {
+      // The LIKE prefix shapes the index range at plan time, so the pattern
+      // must be a literal; parameterized patterns stay filter-only.
+      if (op == BinaryOp::kLike && pred->has_literal && lit.is_string()) {
         const std::string& pat = lit.AsString();
         const size_t wild = pat.find_first_of("%_");
         if (wild == 0 || wild == std::string::npos) return false;
         pred->kind = IndexablePredicate::kJsonPrefix;
         pred->like_prefix = pat.substr(0, wild);
-        pred->literal = std::move(lit);
         return true;
       }
     }
@@ -253,12 +261,20 @@ bool MatchIndexablePredicate(const ExprPtr& conjunct, const std::string& alias,
     }
   };
 
-  if (fill_column_side(*e.lhs, *e.rhs, e.bin_op)) return true;
+  if (fill_column_side(e.lhs, e.rhs, e.bin_op)) return true;
   if (e.bin_op != BinaryOp::kLike &&
-      fill_column_side(*e.rhs, *e.lhs, flip(e.bin_op))) {
+      fill_column_side(e.rhs, e.lhs, flip(e.bin_op))) {
     return true;
   }
   return false;
+}
+
+util::Result<rel::Value> IndexablePredicateValue(const IndexablePredicate& pred,
+                                                 const EvalContext& ctx) {
+  if (pred.has_literal) return pred.literal;
+  ColumnEnv empty;
+  rel::Row no_row;
+  return EvalExpr(*pred.value_expr, empty, no_row, ctx);
 }
 
 }  // namespace sql

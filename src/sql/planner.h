@@ -45,25 +45,37 @@ bool MatchEquiJoin(const ExprPtr& conjunct, const ColumnEnv& env,
                    const std::vector<std::string>& ref_columns,
                    EquiJoinKey* key);
 
-/// A single-table predicate usable for index access on a base table.
+/// A single-table predicate usable for index access on a base table. The
+/// comparison constant is either pre-evaluated (`has_literal`, for
+/// parameter-free expressions) or deferred to execution time via
+/// `value_expr`, which may reference bind parameters.
 struct IndexablePredicate {
   enum Kind {
-    kColumnEq,    // col = literal
-    kJsonEq,      // JSON_VAL(col,'k') = literal
-    kJsonRange,   // JSON_VAL(col,'k') </<=/>/>= literal
+    kColumnEq,    // col = const
+    kJsonEq,      // JSON_VAL(col,'k') = const
+    kJsonRange,   // JSON_VAL(col,'k') </<=/>/>= const
     kJsonPrefix,  // JSON_VAL(col,'k') LIKE 'prefix%...'
   } kind;
   int column_id = -1;
   std::string json_key;        // kJson*
-  rel::Value literal;          // comparison constant
+  ExprPtr value_expr;          // constant side (may contain parameters)
+  rel::Value literal;          // pre-evaluated value iff has_literal
+  bool has_literal = false;
   BinaryOp op = BinaryOp::kEq; // for kJsonRange
   std::string like_prefix;     // for kJsonPrefix
   ExprPtr original;
 };
 
+/// Evaluates the constant side of an indexable predicate for one execution,
+/// resolving bind parameters through `ctx`.
+util::Result<rel::Value> IndexablePredicateValue(const IndexablePredicate& pred,
+                                                 const EvalContext& ctx);
+
 /// Tries to recognize `conjunct` as an indexable single-table predicate over
-/// the ref with the given alias and base table. Literal side must be a
-/// constant expression (literal or cast of literal).
+/// the ref with the given alias and base table. Constant side must be a
+/// constant expression: a literal, a bind parameter, or a cast/negation of
+/// one (LIKE prefix matching additionally requires a literal pattern, since
+/// the prefix shapes the index range at plan time).
 bool MatchIndexablePredicate(const ExprPtr& conjunct, const std::string& alias,
                              const rel::Table& table,
                              IndexablePredicate* pred);

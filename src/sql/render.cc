@@ -73,6 +73,14 @@ void RenderExprTo(const Expr& e, int parent_prec, std::string* out) {
       }
       out->append(e.column);
       return;
+    case ExprKind::kParam:
+      if (!e.param_name.empty()) {
+        out->push_back(':');
+        out->append(e.param_name);
+      } else {
+        out->push_back('?');
+      }
+      return;
     case ExprKind::kStar:
       out->push_back('*');
       return;

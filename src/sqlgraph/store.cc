@@ -207,7 +207,8 @@ Status SqlGraphStore::AddAdjacencyEntry(bool outgoing, VertexId vid,
                     Value(static_cast<int64_t>(nbr))})
           .status();
     }
-    // Single-valued → convert to a list.
+    // Single-valued → convert to a list: a DDL-equivalent reshaping of the
+    // adjacency storage, so cached plans must revalidate.
     std::unique_lock<std::shared_mutex> counter(counter_lock_);
     const int64_t lid = next_lid_++;
     counter.unlock();
@@ -220,18 +221,23 @@ Status SqlGraphStore::AddAdjacencyEntry(bool outgoing, VertexId vid,
                       .status());
     row[EidColIdx(c)] = Value::Null();
     row[ValColIdx(c)] = Value(lid);
+    BumpSchemaEpoch();
     return primary->Update(rid, std::move(row));
   }
-  // Pass 2: a row with a free triad at column c.
+  // Pass 2: a row with a free triad at column c (a label this vertex never
+  // carried before occupies a fresh triad — another shape change).
   for (RowId rid : rids) {
     RETURN_NOT_OK(primary->Get(rid, &row));
     if (!row[LblColIdx(c)].is_null()) continue;
     row[EidColIdx(c)] = Value(static_cast<int64_t>(eid));
     row[LblColIdx(c)] = Value(label);
     row[ValColIdx(c)] = Value(static_cast<int64_t>(nbr));
+    BumpSchemaEpoch();
     return primary->Update(rid, std::move(row));
   }
-  // Pass 3: hash conflict (or first row): spill to a new row.
+  // Pass 3: hash conflict (or first row): spill to a new row. Only an
+  // actual spill is DDL-equivalent; the first row of a fresh vertex is a
+  // plain insert.
   const bool spilling = !rids.empty();
   if (spilling) {
     for (RowId rid : rids) {
@@ -241,6 +247,7 @@ Status SqlGraphStore::AddAdjacencyEntry(bool outgoing, VertexId vid,
         RETURN_NOT_OK(primary->Update(rid, std::move(row)));
       }
     }
+    BumpSchemaEpoch();
   }
   Row fresh(2 + 3 * colors, Value::Null());
   fresh[kVidCol] = Value(static_cast<int64_t>(vid));
@@ -425,19 +432,17 @@ Status SqlGraphStore::RemoveEdge(EdgeId eid) {
 Result<std::optional<EdgeId>> SqlGraphStore::FindEdge(
     VertexId src, const std::string& label, VertexId dst) const {
   WriteLock lock(const_cast<SqlGraphStore*>(this), {{kEa, false}});
-  const rel::Table* ea = db_.GetTable(kEaTable);
+  sql::ParamBindings binds;
+  binds.positional.emplace_back(static_cast<int64_t>(src));
+  binds.positional.emplace_back(label);
+  binds.positional.emplace_back(static_cast<int64_t>(dst));
   ASSIGN_OR_RETURN(
-      std::vector<RowId> rids,
-      ea->LookupEq({1, 3},
-                   {{Value(static_cast<int64_t>(src)), Value(label)}}));
-  Row row;
-  for (RowId rid : rids) {
-    RETURN_NOT_OK(ea->Get(rid, &row));
-    if (row[kEaOutv].AsInt() == static_cast<int64_t>(dst)) {
-      return std::optional<EdgeId>(static_cast<EdgeId>(row[kEaEid].AsInt()));
-    }
-  }
-  return std::optional<EdgeId>();
+      sql::ResultSet rs,
+      RunTemplate(kTplFindEdge,
+                  "SELECT EID FROM EA WHERE INV = ? AND LBL = ? AND OUTV = ?",
+                  std::move(binds)));
+  if (rs.rows.empty()) return std::optional<EdgeId>();
+  return std::optional<EdgeId>(static_cast<EdgeId>(rs.rows[0][0].AsInt()));
 }
 
 // -------------------------------------------------------------- adjacency --
@@ -445,28 +450,32 @@ Result<std::optional<EdgeId>> SqlGraphStore::FindEdge(
 Result<std::vector<EdgeRecord>> SqlGraphStore::GetOutEdges(
     VertexId src, const std::string& label) const {
   WriteLock lock(const_cast<SqlGraphStore*>(this), {{kEa, false}});
-  const rel::Table* ea = db_.GetTable(kEaTable);
-  std::vector<RowId> rids;
+  sql::ParamBindings binds;
+  binds.positional.emplace_back(static_cast<int64_t>(src));
+  sql::ResultSet rs;
   if (label.empty()) {
-    ASSIGN_OR_RETURN(rids,
-                     ea->LookupEq({1}, {{Value(static_cast<int64_t>(src))}}));
-  } else {
     ASSIGN_OR_RETURN(
-        rids, ea->LookupEq(
-                  {1, 3}, {{Value(static_cast<int64_t>(src)), Value(label)}}));
+        rs, RunTemplate(kTplOutEdgesAny,
+                        "SELECT EID, INV, OUTV, LBL, ATTR FROM EA "
+                        "WHERE INV = ?",
+                        std::move(binds)));
+  } else {
+    binds.positional.emplace_back(label);
+    ASSIGN_OR_RETURN(
+        rs, RunTemplate(kTplOutEdgesLbl,
+                        "SELECT EID, INV, OUTV, LBL, ATTR FROM EA "
+                        "WHERE INV = ? AND LBL = ?",
+                        std::move(binds)));
   }
   std::vector<EdgeRecord> out;
-  out.reserve(rids.size());
-  Row row;
-  for (RowId rid : rids) {
-    RETURN_NOT_OK(ea->Get(rid, &row));
+  out.reserve(rs.rows.size());
+  for (const Row& row : rs.rows) {
     EdgeRecord rec;
-    rec.id = static_cast<EdgeId>(row[kEaEid].AsInt());
-    rec.src = static_cast<VertexId>(row[kEaInv].AsInt());
-    rec.dst = static_cast<VertexId>(row[kEaOutv].AsInt());
-    rec.label = row[kEaLbl].AsString();
-    rec.attrs = row[kEaAttr].is_json() ? row[kEaAttr].AsJson()
-                                       : json::JsonValue::Object();
+    rec.id = static_cast<EdgeId>(row[0].AsInt());
+    rec.src = static_cast<VertexId>(row[1].AsInt());
+    rec.dst = static_cast<VertexId>(row[2].AsInt());
+    rec.label = row[3].AsString();
+    rec.attrs = row[4].is_json() ? row[4].AsJson() : json::JsonValue::Object();
     out.push_back(std::move(rec));
   }
   return out;
@@ -475,91 +484,149 @@ Result<std::vector<EdgeRecord>> SqlGraphStore::GetOutEdges(
 Result<int64_t> SqlGraphStore::CountOutEdges(VertexId src,
                                              const std::string& label) const {
   WriteLock lock(const_cast<SqlGraphStore*>(this), {{kEa, false}});
-  const rel::Table* ea = db_.GetTable(kEaTable);
-  std::vector<RowId> rids;
+  sql::ParamBindings binds;
+  binds.positional.emplace_back(static_cast<int64_t>(src));
+  sql::ResultSet rs;
   if (label.empty()) {
-    ASSIGN_OR_RETURN(rids,
-                     ea->LookupEq({1}, {{Value(static_cast<int64_t>(src))}}));
+    ASSIGN_OR_RETURN(rs,
+                     RunTemplate(kTplCountAny,
+                                 "SELECT COUNT(*) FROM EA WHERE INV = ?",
+                                 std::move(binds)));
   } else {
+    binds.positional.emplace_back(label);
     ASSIGN_OR_RETURN(
-        rids, ea->LookupEq(
-                  {1, 3}, {{Value(static_cast<int64_t>(src)), Value(label)}}));
+        rs, RunTemplate(kTplCountLbl,
+                        "SELECT COUNT(*) FROM EA WHERE INV = ? AND LBL = ?",
+                        std::move(binds)));
   }
-  return static_cast<int64_t>(rids.size());
+  if (rs.rows.empty()) return int64_t{0};
+  return rs.rows[0][0].AsInt();
 }
-
-namespace {
-/// Shared by Out()/In(): expands one adjacency direction from the primary +
-/// secondary tables.
-Status ExpandAdjacency(const rel::Table* primary, const rel::Table* secondary,
-                       size_t colors, VertexId vid, const std::string& label,
-                       std::vector<VertexId>* out) {
-  ASSIGN_OR_RETURN(std::vector<RowId> rids,
-                   primary->LookupEq({0}, {{Value(static_cast<int64_t>(vid))}}));
-  Row row;
-  for (RowId rid : rids) {
-    RETURN_NOT_OK(primary->Get(rid, &row));
-    for (size_t c = 0; c < colors; ++c) {
-      const Value& lbl = row[LblColIdx(c)];
-      if (lbl.is_null()) continue;
-      if (!label.empty() && lbl.AsString() != label) continue;
-      const Value& val = row[ValColIdx(c)];
-      if (val.is_null()) continue;
-      if (val.AsInt() >= kLidBase) {
-        ASSIGN_OR_RETURN(std::vector<RowId> list_rids,
-                         secondary->LookupEq({0}, {{val}}));
-        Row entry;
-        for (RowId lrid : list_rids) {
-          RETURN_NOT_OK(secondary->Get(lrid, &entry));
-          out->push_back(static_cast<VertexId>(entry[2].AsInt()));
-        }
-      } else {
-        out->push_back(static_cast<VertexId>(val.AsInt()));
-      }
-    }
-  }
-  return Status::OK();
-}
-}  // namespace
 
 Result<std::vector<VertexId>> SqlGraphStore::Out(
     VertexId vid, const std::string& label) const {
-  WriteLock lock(const_cast<SqlGraphStore*>(this),
-                 {{kOpa, false}, {kOsa, false}});
+  WriteLock lock(const_cast<SqlGraphStore*>(this), {{kEa, false}});
+  sql::ParamBindings binds;
+  binds.positional.emplace_back(static_cast<int64_t>(vid));
+  sql::ResultSet rs;
+  if (label.empty()) {
+    ASSIGN_OR_RETURN(rs, RunTemplate(kTplOutAny,
+                                     "SELECT OUTV FROM EA WHERE INV = ?",
+                                     std::move(binds)));
+  } else {
+    binds.positional.emplace_back(label);
+    ASSIGN_OR_RETURN(
+        rs, RunTemplate(kTplOutLbl,
+                        "SELECT OUTV FROM EA WHERE INV = ? AND LBL = ?",
+                        std::move(binds)));
+  }
   std::vector<VertexId> out;
-  RETURN_NOT_OK(ExpandAdjacency(db_.GetTable(kOpaTable),
-                                db_.GetTable(kOsaTable), schema_.out_colors,
-                                vid, label, &out));
+  out.reserve(rs.rows.size());
+  for (const Row& row : rs.rows) {
+    out.push_back(static_cast<VertexId>(row[0].AsInt()));
+  }
   return out;
 }
 
 Result<std::vector<VertexId>> SqlGraphStore::In(
     VertexId vid, const std::string& label) const {
-  WriteLock lock(const_cast<SqlGraphStore*>(this),
-                 {{kIpa, false}, {kIsa, false}});
+  WriteLock lock(const_cast<SqlGraphStore*>(this), {{kEa, false}});
+  sql::ParamBindings binds;
+  binds.positional.emplace_back(static_cast<int64_t>(vid));
+  sql::ResultSet rs;
+  if (label.empty()) {
+    ASSIGN_OR_RETURN(rs, RunTemplate(kTplInAny,
+                                     "SELECT INV FROM EA WHERE OUTV = ?",
+                                     std::move(binds)));
+  } else {
+    binds.positional.emplace_back(label);
+    ASSIGN_OR_RETURN(
+        rs, RunTemplate(kTplInLbl,
+                        "SELECT INV FROM EA WHERE OUTV = ? AND LBL = ?",
+                        std::move(binds)));
+  }
   std::vector<VertexId> out;
-  RETURN_NOT_OK(ExpandAdjacency(db_.GetTable(kIpaTable),
-                                db_.GetTable(kIsaTable), schema_.in_colors,
-                                vid, label, &out));
+  out.reserve(rs.rows.size());
+  for (const Row& row : rs.rows) {
+    out.push_back(static_cast<VertexId>(row[0].AsInt()));
+  }
   return out;
 }
 
 // --------------------------------------------------------------- querying --
 
-Result<sql::ResultSet> SqlGraphStore::ExecuteSql(std::string_view text) {
+Result<sql::ResultSet> SqlGraphStore::ExecuteSql(std::string_view text,
+                                                 sql::ExecStats* stats) {
   ReadLockAll lock(this);
   sql::Executor exec(&db_);
+  exec.set_plan_cache(&plan_cache_, schema_epoch());
   auto result = exec.ExecuteSql(text);
-  last_stats_ = exec.stats();
+  if (stats != nullptr) *stats = exec.stats();
+  {
+    std::lock_guard<std::mutex> guard(stats_mu_);
+    last_stats_ = exec.stats();
+  }
   return result;
 }
 
-Result<sql::ResultSet> SqlGraphStore::Execute(const sql::SqlQuery& query) {
+Result<sql::ResultSet> SqlGraphStore::Execute(const sql::SqlQuery& query,
+                                              sql::ExecStats* stats) {
   ReadLockAll lock(this);
   sql::Executor exec(&db_);
   auto result = exec.Execute(query);
-  last_stats_ = exec.stats();
+  if (stats != nullptr) *stats = exec.stats();
+  {
+    std::lock_guard<std::mutex> guard(stats_mu_);
+    last_stats_ = exec.stats();
+  }
   return result;
+}
+
+Result<sql::PreparedQueryPtr> SqlGraphStore::Prepare(
+    std::string_view text) const {
+  // Parsing touches no tables: no locks needed.
+  return plan_cache_.GetOrPrepare(text, schema_epoch(), nullptr);
+}
+
+Result<sql::ResultSet> SqlGraphStore::ExecutePrepared(
+    const sql::PreparedQuery& prepared, const sql::ParamBindings& params,
+    sql::ExecStats* stats) const {
+  ReadLockAll lock(const_cast<SqlGraphStore*>(this));
+  sql::Executor exec(const_cast<rel::Database*>(&db_));
+  exec.set_plan_cache(&plan_cache_, schema_epoch());
+  auto result = exec.ExecutePrepared(prepared, params);
+  if (stats != nullptr) *stats = exec.stats();
+  {
+    std::lock_guard<std::mutex> guard(stats_mu_);
+    last_stats_ = exec.stats();
+  }
+  return result;
+}
+
+sql::ExecStats SqlGraphStore::last_exec_stats() const {
+  std::lock_guard<std::mutex> guard(stats_mu_);
+  return last_stats_;
+}
+
+Result<sql::ResultSet> SqlGraphStore::RunTemplate(
+    TemplateId id, const char* text, sql::ParamBindings params) const {
+  const uint64_t epoch = schema_epoch();
+  sql::PreparedQueryPtr prepared;
+  {
+    std::lock_guard<std::mutex> guard(tpl_mu_);
+    prepared = templates_[id];
+    if (prepared == nullptr || prepared->schema_epoch() != epoch) {
+      // (Re-)compile through the shared plan cache; self-heals after any
+      // schema-epoch bump.
+      auto compiled = plan_cache_.GetOrPrepare(text, epoch, nullptr);
+      if (!compiled.ok()) return compiled.status();
+      prepared = std::move(compiled).value();
+      templates_[id] = prepared;
+    }
+  }
+  sql::Executor exec(const_cast<rel::Database*>(&db_));
+  exec.set_plan_cache(&plan_cache_, epoch);
+  return exec.ExecutePrepared(*prepared, params);
 }
 
 // ------------------------------------------------------------ maintenance --
@@ -633,6 +700,8 @@ Status SqlGraphStore::Compact() {
     });
     for (RowId rid : dead_entries) RETURN_NOT_OK(secondary->Delete(rid));
   }
+  // Row layout changed under every cached plan: force re-preparation.
+  BumpSchemaEpoch();
   return Status::OK();
 }
 

@@ -16,7 +16,9 @@
 #ifndef SQLGRAPH_SQLGRAPH_STORE_H_
 #define SQLGRAPH_SQLGRAPH_STORE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
@@ -86,10 +88,37 @@ class SqlGraphStore {
 
   // ----------------------------------------------------------- querying --
   /// Executes a full SQL query (shared-locks all tables for its duration).
-  util::Result<sql::ResultSet> ExecuteSql(std::string_view text);
-  util::Result<sql::ResultSet> Execute(const sql::SqlQuery& query);
-  /// Execution statistics of the most recent Execute/ExecuteSql call.
-  const sql::ExecStats& last_exec_stats() const { return last_stats_; }
+  /// Repeated identical text is served from the store's plan cache. When
+  /// `stats` is non-null, the call's counters are copied there — a race-free
+  /// alternative to last_exec_stats() under concurrency.
+  util::Result<sql::ResultSet> ExecuteSql(std::string_view text,
+                                          sql::ExecStats* stats = nullptr);
+  util::Result<sql::ResultSet> Execute(const sql::SqlQuery& query,
+                                       sql::ExecStats* stats = nullptr);
+
+  /// Compiles SQL text (with `?` / `:name` bind parameters) through the
+  /// store's plan cache into a reusable statement.
+  util::Result<sql::PreparedQueryPtr> Prepare(std::string_view text) const;
+  /// Executes a prepared statement with bind values. A handle compiled under
+  /// an older schema epoch is transparently re-prepared.
+  util::Result<sql::ResultSet> ExecutePrepared(
+      const sql::PreparedQuery& prepared, const sql::ParamBindings& params,
+      sql::ExecStats* stats = nullptr) const;
+
+  /// Execution statistics of the most recent Execute/ExecuteSql/
+  /// ExecutePrepared call. Returned by value (copied under a mutex) so
+  /// concurrent queries cannot tear the snapshot; prefer the per-call
+  /// `stats` out-parameters when racing queries need attribution.
+  sql::ExecStats last_exec_stats() const;
+
+  /// Monotonic DDL-equivalent event counter: bumped when adjacency storage
+  /// changes shape (single→list conversion, new label triad, spill row) and
+  /// by Compact(). Cached plans from older epochs re-prepare on next use.
+  uint64_t schema_epoch() const {
+    return schema_epoch_.load(std::memory_order_acquire);
+  }
+  /// The shared plan cache (for inspection in tests and benchmarks).
+  const sql::PlanCache& plan_cache() const { return plan_cache_; }
 
   // -------------------------------------------------------- maintenance --
   /// Offline cleanup: physically removes soft-deleted rows, their OSA/ISA
@@ -127,6 +156,30 @@ class SqlGraphStore {
   class ReadLockAll;
   class WriteLock;
 
+  // Prepared adjacency templates over EA (the §3.5 combined-index fast
+  // path); compiled lazily, self-healing on schema-epoch change.
+  enum TemplateId {
+    kTplOutEdgesAny = 0,
+    kTplOutEdgesLbl,
+    kTplCountAny,
+    kTplCountLbl,
+    kTplOutAny,
+    kTplOutLbl,
+    kTplInAny,
+    kTplInLbl,
+    kTplFindEdge,
+    kNumTemplates,
+  };
+  /// Executes one of the fixed adjacency templates with the given binds.
+  /// Caller holds the table locks the template's SQL needs (all templates
+  /// read only EA). Does not update last_stats_ — adjacency calls are the
+  /// hot path and never carried stats before.
+  util::Result<sql::ResultSet> RunTemplate(TemplateId id, const char* text,
+                                           sql::ParamBindings params) const;
+  void BumpSchemaEpoch() {
+    schema_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
   StoreConfig config_;
   rel::Database db_;
   GraphSchema schema_;
@@ -136,7 +189,12 @@ class SqlGraphStore {
   int64_t next_lid_ = kLidBase;
   mutable std::shared_mutex table_locks_[kNumTables];
   mutable std::shared_mutex counter_lock_;
-  sql::ExecStats last_stats_;
+  mutable sql::PlanCache plan_cache_{256};
+  std::atomic<uint64_t> schema_epoch_{0};
+  mutable std::mutex stats_mu_;
+  mutable sql::ExecStats last_stats_;  // guarded by stats_mu_
+  mutable std::mutex tpl_mu_;
+  mutable sql::PreparedQueryPtr templates_[kNumTemplates];
 };
 
 }  // namespace core

@@ -78,13 +78,14 @@ TEST(WorkloadsTest, TranslatedBenchmarkQueriesUseIndexedStarts) {
     if (q.hops > 5) continue;  // keep the test fast
     auto r = runtime.Count(q.ToGremlin());
     ASSERT_TRUE(r.ok()) << q.ToGremlin();
-    for (const auto& step : (*store)->last_exec_stats().trace) {
+    const sql::ExecStats stats = (*store)->last_exec_stats();
+    for (const auto& step : stats.trace) {
       EXPECT_EQ(step.find("seq scan VA"), std::string::npos)
           << q.ToGremlin() << " -> " << step;
     }
     // And the adjacency expansion runs as index nested-loop joins.
     bool saw_inlj = false;
-    for (const auto& step : (*store)->last_exec_stats().trace) {
+    for (const auto& step : stats.trace) {
       saw_inlj |= step.find("index nested-loop join OPA") != std::string::npos ||
                   step.find("index nested-loop join IPA") != std::string::npos;
     }
