@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# CI gate: regular build + tests, then an ASan/UBSan build + tests.
+# CI gate: regular build + tests, a crash-recovery smoke stage with an
+# elevated fault-injection trial count, then an ASan/UBSan build + tests
+# (which re-runs the WAL suite under the sanitizers).
 #
-#   ci/check.sh            # both passes
+#   ci/check.sh            # all stages
 #   ci/check.sh --fast     # regular pass only
 set -euo pipefail
 
@@ -16,6 +18,10 @@ run_pass() {
 
 echo "== regular build =="
 run_pass build
+
+echo "== WAL recovery smoke (elevated crash-point count) =="
+SQLGRAPH_WAL_CRASH_TRIALS=600 \
+  ./build/tests/sqlgraph_tests --gtest_filter='WalCrashRecoveryTest.*'
 
 if [[ "${1:-}" != "--fast" ]]; then
   echo "== ASan/UBSan build =="

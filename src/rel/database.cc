@@ -48,5 +48,13 @@ size_t Database::TotalSerializedBytes() const {
   return total;
 }
 
+uint64_t Database::TotalMutations() const {
+  uint64_t total = 0;
+  for (const auto& [name, table] : tables_) {
+    total += table->mutation_count();
+  }
+  return total;
+}
+
 }  // namespace rel
 }  // namespace sqlgraph

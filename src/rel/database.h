@@ -38,6 +38,10 @@ class Database {
   /// Serialized footprint of all tables ("size on disk").
   size_t TotalSerializedBytes() const;
 
+  /// Sum of every table's mutation_count(): a cheap database-wide "anything
+  /// changed?" signal for the WAL checkpoint coordinator.
+  uint64_t TotalMutations() const;
+
   const std::unordered_map<std::string, std::unique_ptr<Table>>& tables()
       const {
     return tables_;

@@ -26,6 +26,7 @@ util::Result<RowId> Table::Insert(Row row) {
     st = index->Insert(index->KeyFromRow(stored), rid);
     if (!st.ok()) return st;  // cannot happen: uniqueness pre-checked
   }
+  mutations_.fetch_add(1, std::memory_order_relaxed);
   return rid;
 }
 
@@ -54,6 +55,7 @@ util::Status Table::Update(RowId rid, Row row) {
   for (const auto& index : indexes_) {
     RETURN_NOT_OK(index->Insert(index->KeyFromRow(stored), rid));
   }
+  mutations_.fetch_add(1, std::memory_order_relaxed);
   return util::Status::OK();
 }
 
@@ -63,7 +65,9 @@ util::Status Table::Delete(RowId rid) {
   for (const auto& index : indexes_) {
     index->Remove(index->KeyFromRow(old_row), rid);
   }
-  return store_->Delete(rid);
+  RETURN_NOT_OK(store_->Delete(rid));
+  mutations_.fetch_add(1, std::memory_order_relaxed);
+  return util::Status::OK();
 }
 
 util::Status Table::CreateIndex(std::string index_name,

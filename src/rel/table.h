@@ -3,6 +3,7 @@
 #ifndef SQLGRAPH_REL_TABLE_H_
 #define SQLGRAPH_REL_TABLE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -32,6 +33,14 @@ class Table {
   const Schema& schema() const { return schema_; }
   size_t NumRows() const { return store_->NumLive(); }
   size_t SerializedBytes() const { return store_->SerializedBytes(); }
+
+  /// Monotonic count of successful Insert/Update/Delete calls. The
+  /// durability layer compares these across checkpoints to detect rows
+  /// mutated through any path — including callers that bypass the
+  /// SqlGraphStore CRUD API and write to the table directly.
+  uint64_t mutation_count() const {
+    return mutations_.load(std::memory_order_relaxed);
+  }
 
   /// Validates and appends a row, updating all indexes. On a unique-index
   /// violation the row is rolled back and Conflict is returned.
@@ -88,6 +97,7 @@ class Table {
   Schema schema_;
   std::unique_ptr<RowStore> store_;
   std::vector<std::unique_ptr<Index>> indexes_;
+  std::atomic<uint64_t> mutations_{0};
 };
 
 }  // namespace rel

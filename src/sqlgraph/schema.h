@@ -24,6 +24,7 @@
 #include "coloring/coloring.h"
 #include "rel/database.h"
 #include "util/status.h"
+#include "wal/options.h"
 
 namespace sqlgraph {
 namespace core {
@@ -53,6 +54,13 @@ struct StoreConfig {
   /// hash for equality lookups, ordered for ranges/prefixes.
   std::vector<std::string> va_hash_indexes;
   std::vector<std::string> va_ordered_indexes;
+  /// Durability root (src/wal). When non-empty the store write-ahead-logs
+  /// every CRUD mutation into this directory; open/create such a store with
+  /// wal::OpenDurableStore and persist it with SqlGraphStore::Checkpoint.
+  /// Empty keeps the store purely in-memory (the pre-WAL behaviour).
+  std::string durability_dir;
+  /// When an acknowledged commit is on stable storage (see wal::SyncMode).
+  wal::SyncMode wal_sync_mode = wal::SyncMode::kBatched;
 };
 
 /// Column names of the i-th triad.

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "rel/codec.h"
+#include "util/crc32c.h"
 
 namespace sqlgraph {
 namespace core {
@@ -18,8 +19,62 @@ using util::Status;
 
 namespace {
 
-constexpr char kMagic[] = "SQLG1\n";
+// SQLG2: same inner encoding as SQLG1, but the header and each table are
+// wrapped in a length + masked-CRC32C frame, and the file ends with a
+// trailer. A truncated or bit-flipped file therefore fails with a precise
+// Status instead of decoding garbage rows.
+constexpr char kMagic[] = "SQLG2\n";
 constexpr size_t kMagicLen = 6;
+constexpr char kTrailer[] = "SQLGEND\n";
+constexpr size_t kTrailerLen = 8;
+constexpr size_t kSectionHeaderLen = 8;  // u32 length + u32 masked CRC
+
+void PutU32(uint32_t v, std::string* out) {
+  char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+               static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out->append(b, 4);
+}
+
+uint32_t GetU32(const std::string& buf, size_t offset) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(buf[offset])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(buf[offset + 1]))
+             << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(buf[offset + 2]))
+             << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(buf[offset + 3]))
+             << 24;
+}
+
+/// Appends `payload` to `out` framed as length + masked CRC + bytes.
+void PutSection(const std::string& payload, std::string* out) {
+  PutU32(static_cast<uint32_t>(payload.size()), out);
+  PutU32(util::Crc32cMask(util::Crc32c(payload)), out);
+  out->append(payload);
+}
+
+/// Extracts the next framed section of `buf` into `payload`, verifying its
+/// checksum. `what` names the section in error messages.
+Status GetSection(const std::string& buf, size_t* offset, const char* what,
+                  std::string* payload) {
+  if (*offset + kSectionHeaderLen > buf.size()) {
+    return Status::OutOfRange(std::string("snapshot truncated in ") + what +
+                              " section header");
+  }
+  const uint32_t len = GetU32(buf, *offset);
+  const uint32_t expected = GetU32(buf, *offset + 4);
+  *offset += kSectionHeaderLen;
+  if (len > buf.size() - *offset) {
+    return Status::OutOfRange(std::string("snapshot truncated in ") + what +
+                              " section body");
+  }
+  payload->assign(buf, *offset, len);
+  *offset += len;
+  if (util::Crc32cMask(util::Crc32c(*payload)) != expected) {
+    return Status::ParseError(std::string("snapshot ") + what +
+                              " section checksum mismatch");
+  }
+  return Status::OK();
+}
 
 const char* const kTableOrder[] = {kOpaTable, kIpaTable, kOsaTable,
                                    kIsaTable, kVaTable,  kEaTable};
@@ -119,29 +174,36 @@ Status SaveSnapshot(const SqlGraphStore& store, const std::string& path) {
 
   std::string buf;
   buf.append(kMagic, kMagicLen);
-  PutColoredHash(store.schema_.out_hash, &buf);
-  PutColoredHash(store.schema_.in_hash, &buf);
-  PutVarint(store.schema_.out_colors, &buf);
-  PutVarint(store.schema_.in_colors, &buf);
-  PutVarint(static_cast<uint64_t>(store.next_vertex_id_), &buf);
-  PutVarint(static_cast<uint64_t>(store.next_edge_id_), &buf);
-  PutVarint(static_cast<uint64_t>(store.next_lid_ - kLidBase), &buf);
-  PutLoadStats(store.load_stats_, &buf);
+
+  std::string section;
+  PutColoredHash(store.schema_.out_hash, &section);
+  PutColoredHash(store.schema_.in_hash, &section);
+  PutVarint(store.schema_.out_colors, &section);
+  PutVarint(store.schema_.in_colors, &section);
+  PutVarint(static_cast<uint64_t>(store.next_vertex_id_), &section);
+  PutVarint(static_cast<uint64_t>(store.next_edge_id_), &section);
+  PutVarint(static_cast<uint64_t>(store.next_lid_ - kLidBase), &section);
+  PutLoadStats(store.load_stats_, &section);
+  PutSection(section, &buf);
 
   for (const char* name : kTableOrder) {
     const rel::Table* table = store.db_.GetTable(name);
     if (table == nullptr) return Status::Internal("snapshot: missing table");
-    PutString(name, &buf);
+    section.clear();
+    PutString(name, &section);
     const rel::Schema& schema = table->schema();
-    PutVarint(schema.num_columns(), &buf);
+    PutVarint(schema.num_columns(), &section);
     for (size_t c = 0; c < schema.num_columns(); ++c) {
-      PutString(schema.column(c).name, &buf);
-      buf.push_back(static_cast<char>(schema.column(c).type));
-      buf.push_back(schema.column(c).nullable ? 1 : 0);
+      PutString(schema.column(c).name, &section);
+      section.push_back(static_cast<char>(schema.column(c).type));
+      section.push_back(schema.column(c).nullable ? 1 : 0);
     }
-    PutVarint(table->NumRows(), &buf);
-    table->Scan([&buf](rel::RowId, const Row& row) { EncodeRow(row, &buf); });
+    PutVarint(table->NumRows(), &section);
+    table->Scan(
+        [&section](rel::RowId, const Row& row) { EncodeRow(row, &section); });
+    PutSection(section, &buf);
   }
+  buf.append(kTrailer, kTrailerLen);
 
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::Internal("cannot open " + path + " for writing");
@@ -158,58 +220,79 @@ Result<std::unique_ptr<SqlGraphStore>> OpenSnapshot(const std::string& path,
   std::ostringstream ss;
   ss << in.rdbuf();
   const std::string buf = ss.str();
-  if (buf.size() < kMagicLen || buf.compare(0, kMagicLen, kMagic) != 0) {
+  if (buf.size() < kMagicLen || buf.compare(0, 4, "SQLG") != 0) {
     return Status::ParseError(path + " is not a SQLGraph snapshot");
+  }
+  if (buf.compare(0, kMagicLen, kMagic) != 0) {
+    return Status::ParseError(path + ": unsupported snapshot version (want " +
+                              std::string(kMagic, kMagicLen - 1) + ")");
   }
   size_t offset = kMagicLen;
 
+  std::string section;
+  RETURN_NOT_OK(GetSection(buf, &offset, "header", &section));
+  size_t pos = 0;
   auto store = std::unique_ptr<SqlGraphStore>(new SqlGraphStore(config));
-  ASSIGN_OR_RETURN(store->schema_.out_hash, GetColoredHash(buf, &offset));
-  ASSIGN_OR_RETURN(store->schema_.in_hash, GetColoredHash(buf, &offset));
+  ASSIGN_OR_RETURN(store->schema_.out_hash, GetColoredHash(section, &pos));
+  ASSIGN_OR_RETURN(store->schema_.in_hash, GetColoredHash(section, &pos));
   uint64_t out_colors = 0, in_colors = 0;
-  RETURN_NOT_OK(GetVarint(buf, &offset, &out_colors));
-  RETURN_NOT_OK(GetVarint(buf, &offset, &in_colors));
+  RETURN_NOT_OK(GetVarint(section, &pos, &out_colors));
+  RETURN_NOT_OK(GetVarint(section, &pos, &in_colors));
   store->schema_.out_colors = static_cast<size_t>(out_colors);
   store->schema_.in_colors = static_cast<size_t>(in_colors);
   uint64_t next_vid = 0, next_eid = 0, lid_delta = 0;
-  RETURN_NOT_OK(GetVarint(buf, &offset, &next_vid));
-  RETURN_NOT_OK(GetVarint(buf, &offset, &next_eid));
-  RETURN_NOT_OK(GetVarint(buf, &offset, &lid_delta));
+  RETURN_NOT_OK(GetVarint(section, &pos, &next_vid));
+  RETURN_NOT_OK(GetVarint(section, &pos, &next_eid));
+  RETURN_NOT_OK(GetVarint(section, &pos, &lid_delta));
   store->next_vertex_id_ = static_cast<int64_t>(next_vid);
   store->next_edge_id_ = static_cast<int64_t>(next_eid);
   store->next_lid_ = kLidBase + static_cast<int64_t>(lid_delta);
-  RETURN_NOT_OK(GetLoadStats(buf, &offset, &store->load_stats_));
+  RETURN_NOT_OK(GetLoadStats(section, &pos, &store->load_stats_));
+  if (pos != section.size()) {
+    return Status::ParseError("trailing bytes in snapshot header section");
+  }
 
   for (const char* expected_name : kTableOrder) {
+    RETURN_NOT_OK(GetSection(buf, &offset, expected_name, &section));
+    pos = 0;
     std::string name;
-    RETURN_NOT_OK(GetString(buf, &offset, &name));
+    RETURN_NOT_OK(GetString(section, &pos, &name));
     if (name != expected_name) {
       return Status::ParseError("snapshot table order mismatch: " + name);
     }
     uint64_t num_columns = 0;
-    RETURN_NOT_OK(GetVarint(buf, &offset, &num_columns));
+    RETURN_NOT_OK(GetVarint(section, &pos, &num_columns));
     rel::Schema schema;
     for (uint64_t c = 0; c < num_columns; ++c) {
       std::string col_name;
-      RETURN_NOT_OK(GetString(buf, &offset, &col_name));
-      if (offset + 2 > buf.size()) {
+      RETURN_NOT_OK(GetString(section, &pos, &col_name));
+      if (pos + 2 > section.size()) {
         return Status::OutOfRange("truncated column header");
       }
-      const auto type = static_cast<rel::ColumnType>(buf[offset]);
-      const bool nullable = buf[offset + 1] != 0;
-      offset += 2;
+      const auto type = static_cast<rel::ColumnType>(section[pos]);
+      const bool nullable = section[pos + 1] != 0;
+      pos += 2;
       schema.AddColumn(std::move(col_name), type, nullable);
     }
     ASSIGN_OR_RETURN(rel::Table * table,
                      store->db_.CreateTable(name, schema, config.storage));
     uint64_t row_count = 0;
-    RETURN_NOT_OK(GetVarint(buf, &offset, &row_count));
+    RETURN_NOT_OK(GetVarint(section, &pos, &row_count));
     for (uint64_t r = 0; r < row_count; ++r) {
       Row row;
-      RETURN_NOT_OK(rel::DecodeRow(buf, schema.num_columns(), &offset, &row));
+      RETURN_NOT_OK(rel::DecodeRow(section, schema.num_columns(), &pos, &row));
       RETURN_NOT_OK(table->Insert(std::move(row)).status());
     }
+    if (pos != section.size()) {
+      return Status::ParseError(std::string("trailing bytes in snapshot ") +
+                                expected_name + " section");
+    }
   }
+  if (offset + kTrailerLen > buf.size() ||
+      buf.compare(offset, kTrailerLen, kTrailer, kTrailerLen) != 0) {
+    return Status::OutOfRange("snapshot missing EOF trailer (truncated file)");
+  }
+  offset += kTrailerLen;
   if (offset != buf.size()) {
     return Status::ParseError("trailing bytes in snapshot");
   }

@@ -3,9 +3,16 @@
 // later without re-running the coloring analysis or the bulk load.
 //
 // Format (little-endian, varint-framed):
-//   magic "SQLG1\n"
-//   header: out/in color counts, label→color maps, id counters
-//   per table: name, schema, live row count, rows (rel/codec.h encoding)
+//   magic "SQLG2\n"
+//   7 sections, each framed as u32 length + u32 masked CRC32C + payload:
+//     header: out/in color counts, label→color maps, id counters
+//     per table: name, schema, live row count, rows (rel/codec.h encoding)
+//   trailer "SQLGEND\n"
+//
+// The per-section checksums and the EOF trailer let OpenSnapshot reject a
+// truncated or bit-flipped file with a precise Status instead of decoding
+// garbage — the WAL recovery path (src/wal) relies on this to fall back to
+// an older snapshot after a crash mid-checkpoint.
 //
 // Secondary indexes are not stored; they are rebuilt on open (backfill),
 // exactly as the bulk loader builds them.

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "json/json_parser.h"
+#include "wal/log_writer.h"
+
 namespace sqlgraph {
 namespace core {
 
@@ -70,6 +73,25 @@ class SqlGraphStore::WriteLock {
   std::vector<std::shared_lock<std::shared_mutex>> shared_;
 };
 
+/// Held (shared) across a whole CRUD mutation — table work plus WAL
+/// append — so Checkpoint (exclusive) can never observe a commit whose
+/// rows are in the snapshot but whose record lands in the post-snapshot
+/// log segment. Acquired before any table lock; Checkpoint follows the
+/// same order, so the lock hierarchy stays acyclic.
+class SqlGraphStore::CommitGuard {
+ public:
+  explicit CommitGuard(const SqlGraphStore* store)
+      : lock_(store->wal_rotate_mu_) {}
+
+ private:
+  std::shared_lock<std::shared_mutex> lock_;
+};
+
+util::Status SqlGraphStore::LogWal(const wal::Record& rec) {
+  if (wal_writer_ == nullptr) return Status::OK();
+  return wal_writer_->Append(rec);
+}
+
 // ------------------------------------------------------------------ build --
 
 Result<std::unique_ptr<SqlGraphStore>> SqlGraphStore::Build(
@@ -87,14 +109,24 @@ Result<std::unique_ptr<SqlGraphStore>> SqlGraphStore::Build(
 // --------------------------------------------------------------- vertices --
 
 Result<VertexId> SqlGraphStore::AddVertex(json::JsonValue attrs) {
-  WriteLock lock(this, {{kVa, true}});
+  CommitGuard commit(this);
   std::unique_lock<std::shared_mutex> counter(counter_lock_);
   const int64_t vid = next_vertex_id_++;
   counter.unlock();
   if (!attrs.is_object()) attrs = json::JsonValue::Object();
-  RETURN_NOT_OK(db_.GetTable(kVaTable)
-                    ->Insert({Value(vid), Value(std::move(attrs))})
-                    .status());
+  wal::Record rec;
+  if (durable()) {
+    rec.type = wal::RecordType::kAddVertex;
+    rec.id = vid;
+    rec.json = json::Write(attrs);
+  }
+  {
+    WriteLock lock(this, {{kVa, true}});
+    RETURN_NOT_OK(db_.GetTable(kVaTable)
+                      ->Insert({Value(vid), Value(std::move(attrs))})
+                      .status());
+  }
+  RETURN_NOT_OK(LogWal(rec));
   return static_cast<VertexId>(vid);
 }
 
@@ -113,19 +145,54 @@ Result<json::JsonValue> SqlGraphStore::GetVertex(VertexId vid) const {
 
 Status SqlGraphStore::SetVertexAttr(VertexId vid, const std::string& key,
                                     json::JsonValue value) {
-  WriteLock lock(this, {{kVa, true}});
-  rel::Table* va = db_.GetTable(kVaTable);
-  ASSIGN_OR_RETURN(std::vector<RowId> rids,
-                   va->LookupEq({0}, {{Value(static_cast<int64_t>(vid))}}));
-  if (rids.empty()) {
-    return Status::NotFound("vertex " + std::to_string(vid));
+  CommitGuard commit(this);
+  wal::Record rec;
+  if (durable()) {
+    rec.type = wal::RecordType::kSetVertexAttr;
+    rec.id = static_cast<int64_t>(vid);
+    rec.label = key;
+    rec.json = json::Write(value);
   }
-  Row row;
-  RETURN_NOT_OK(va->Get(rids[0], &row));
-  json::JsonValue attrs =
-      row[1].is_json() ? row[1].AsJson() : json::JsonValue::Object();
-  attrs.Set(key, std::move(value));
-  return va->Update(rids[0], {row[0], Value(std::move(attrs))});
+  {
+    WriteLock lock(this, {{kVa, true}});
+    rel::Table* va = db_.GetTable(kVaTable);
+    ASSIGN_OR_RETURN(std::vector<RowId> rids,
+                     va->LookupEq({0}, {{Value(static_cast<int64_t>(vid))}}));
+    if (rids.empty()) {
+      return Status::NotFound("vertex " + std::to_string(vid));
+    }
+    Row row;
+    RETURN_NOT_OK(va->Get(rids[0], &row));
+    json::JsonValue attrs =
+        row[1].is_json() ? row[1].AsJson() : json::JsonValue::Object();
+    attrs.Set(key, std::move(value));
+    RETURN_NOT_OK(va->Update(rids[0], {row[0], Value(std::move(attrs))}));
+  }
+  return LogWal(rec);
+}
+
+Status SqlGraphStore::RemoveVertexAttr(VertexId vid, const std::string& key) {
+  CommitGuard commit(this);
+  {
+    WriteLock lock(this, {{kVa, true}});
+    rel::Table* va = db_.GetTable(kVaTable);
+    ASSIGN_OR_RETURN(std::vector<RowId> rids,
+                     va->LookupEq({0}, {{Value(static_cast<int64_t>(vid))}}));
+    if (rids.empty()) {
+      return Status::NotFound("vertex " + std::to_string(vid));
+    }
+    Row row;
+    RETURN_NOT_OK(va->Get(rids[0], &row));
+    json::JsonValue attrs =
+        row[1].is_json() ? row[1].AsJson() : json::JsonValue::Object();
+    attrs.Erase(key);
+    RETURN_NOT_OK(va->Update(rids[0], {row[0], Value(std::move(attrs))}));
+  }
+  wal::Record rec;
+  rec.type = wal::RecordType::kRemoveVertexAttr;
+  rec.id = static_cast<int64_t>(vid);
+  rec.label = key;
+  return LogWal(rec);
 }
 
 Status SqlGraphStore::NegateAdjacencyRows(bool outgoing, VertexId vid) {
@@ -142,6 +209,7 @@ Status SqlGraphStore::NegateAdjacencyRows(bool outgoing, VertexId vid) {
 }
 
 Status SqlGraphStore::RemoveVertex(VertexId vid) {
+  CommitGuard commit(this);
   {
     WriteLock lock(this, {{kVa, true}});
     rel::Table* va = db_.GetTable(kVaTable);
@@ -166,17 +234,22 @@ Status SqlGraphStore::RemoveVertex(VertexId vid) {
     RETURN_NOT_OK(NegateAdjacencyRows(/*outgoing=*/false, vid));
   }
   // EA rows of incident edges are removed outright.
-  WriteLock lock(this, {{kEa, true}});
-  rel::Table* ea = db_.GetTable(kEaTable);
-  for (int col : {1, 2}) {  // INV, OUTV
-    ASSIGN_OR_RETURN(
-        std::vector<RowId> edge_rids,
-        ea->LookupEq({col}, {{Value(static_cast<int64_t>(vid))}}));
-    for (RowId rid : edge_rids) {
-      RETURN_NOT_OK(ea->Delete(rid));
+  {
+    WriteLock lock(this, {{kEa, true}});
+    rel::Table* ea = db_.GetTable(kEaTable);
+    for (int col : {1, 2}) {  // INV, OUTV
+      ASSIGN_OR_RETURN(
+          std::vector<RowId> edge_rids,
+          ea->LookupEq({col}, {{Value(static_cast<int64_t>(vid))}}));
+      for (RowId rid : edge_rids) {
+        RETURN_NOT_OK(ea->Delete(rid));
+      }
     }
   }
-  return Status::OK();
+  wal::Record rec;
+  rec.type = wal::RecordType::kRemoveVertex;
+  rec.id = static_cast<int64_t>(vid);
+  return LogWal(rec);
 }
 
 // ------------------------------------------------------------------ edges --
@@ -325,6 +398,7 @@ Status SqlGraphStore::RemoveAdjacencyEntry(bool outgoing, VertexId vid,
 Result<EdgeId> SqlGraphStore::AddEdge(VertexId src, VertexId dst,
                                       const std::string& label,
                                       json::JsonValue attrs) {
+  CommitGuard commit(this);
   // Fine-grained locking (the RDBMS analogue of row-level locks + short
   // latch sections): each table is locked only around its own mutation, so
   // concurrent readers of other tables proceed in parallel.
@@ -344,6 +418,15 @@ Result<EdgeId> SqlGraphStore::AddEdge(VertexId src, VertexId dst,
   const int64_t eid = next_edge_id_++;
   counter.unlock();
   if (!attrs.is_object()) attrs = json::JsonValue::Object();
+  wal::Record rec;
+  if (durable()) {
+    rec.type = wal::RecordType::kAddEdge;
+    rec.id = eid;
+    rec.src = static_cast<int64_t>(src);
+    rec.dst = static_cast<int64_t>(dst);
+    rec.label = label;
+    rec.json = json::Write(attrs);
+  }
   {
     WriteLock lock(this, {{kEa, true}});
     RETURN_NOT_OK(db_.GetTable(kEaTable)
@@ -362,6 +445,7 @@ Result<EdgeId> SqlGraphStore::AddEdge(VertexId src, VertexId dst,
     RETURN_NOT_OK(AddAdjacencyEntry(/*outgoing=*/false, dst, label,
                                     static_cast<EdgeId>(eid), src));
   }
+  RETURN_NOT_OK(LogWal(rec));
   return static_cast<EdgeId>(eid);
 }
 
@@ -387,23 +471,60 @@ Result<EdgeRecord> SqlGraphStore::GetEdge(EdgeId eid) const {
 
 Status SqlGraphStore::SetEdgeAttr(EdgeId eid, const std::string& key,
                                   json::JsonValue value) {
-  WriteLock lock(this, {{kEa, true}});
-  rel::Table* ea = db_.GetTable(kEaTable);
-  ASSIGN_OR_RETURN(std::vector<RowId> rids,
-                   ea->LookupEq({0}, {{Value(static_cast<int64_t>(eid))}}));
-  if (rids.empty()) {
-    return Status::NotFound("edge " + std::to_string(eid));
+  CommitGuard commit(this);
+  wal::Record rec;
+  if (durable()) {
+    rec.type = wal::RecordType::kSetEdgeAttr;
+    rec.id = static_cast<int64_t>(eid);
+    rec.label = key;
+    rec.json = json::Write(value);
   }
-  Row row;
-  RETURN_NOT_OK(ea->Get(rids[0], &row));
-  json::JsonValue attrs = row[kEaAttr].is_json() ? row[kEaAttr].AsJson()
-                                                 : json::JsonValue::Object();
-  attrs.Set(key, std::move(value));
-  row[kEaAttr] = Value(std::move(attrs));
-  return ea->Update(rids[0], std::move(row));
+  {
+    WriteLock lock(this, {{kEa, true}});
+    rel::Table* ea = db_.GetTable(kEaTable);
+    ASSIGN_OR_RETURN(std::vector<RowId> rids,
+                     ea->LookupEq({0}, {{Value(static_cast<int64_t>(eid))}}));
+    if (rids.empty()) {
+      return Status::NotFound("edge " + std::to_string(eid));
+    }
+    Row row;
+    RETURN_NOT_OK(ea->Get(rids[0], &row));
+    json::JsonValue attrs = row[kEaAttr].is_json() ? row[kEaAttr].AsJson()
+                                                   : json::JsonValue::Object();
+    attrs.Set(key, std::move(value));
+    row[kEaAttr] = Value(std::move(attrs));
+    RETURN_NOT_OK(ea->Update(rids[0], std::move(row)));
+  }
+  return LogWal(rec);
+}
+
+Status SqlGraphStore::RemoveEdgeAttr(EdgeId eid, const std::string& key) {
+  CommitGuard commit(this);
+  {
+    WriteLock lock(this, {{kEa, true}});
+    rel::Table* ea = db_.GetTable(kEaTable);
+    ASSIGN_OR_RETURN(std::vector<RowId> rids,
+                     ea->LookupEq({0}, {{Value(static_cast<int64_t>(eid))}}));
+    if (rids.empty()) {
+      return Status::NotFound("edge " + std::to_string(eid));
+    }
+    Row row;
+    RETURN_NOT_OK(ea->Get(rids[0], &row));
+    json::JsonValue attrs = row[kEaAttr].is_json() ? row[kEaAttr].AsJson()
+                                                   : json::JsonValue::Object();
+    attrs.Erase(key);
+    row[kEaAttr] = Value(std::move(attrs));
+    RETURN_NOT_OK(ea->Update(rids[0], std::move(row)));
+  }
+  wal::Record rec;
+  rec.type = wal::RecordType::kRemoveEdgeAttr;
+  rec.id = static_cast<int64_t>(eid);
+  rec.label = key;
+  return LogWal(rec);
 }
 
 Status SqlGraphStore::RemoveEdge(EdgeId eid) {
+  CommitGuard commit(this);
   VertexId src, dst;
   std::string label;
   {
@@ -425,8 +546,14 @@ Status SqlGraphStore::RemoveEdge(EdgeId eid) {
     WriteLock lock(this, {{kOpa, true}, {kOsa, true}});
     RETURN_NOT_OK(RemoveAdjacencyEntry(/*outgoing=*/true, src, label, eid));
   }
-  WriteLock lock(this, {{kIpa, true}, {kIsa, true}});
-  return RemoveAdjacencyEntry(/*outgoing=*/false, dst, label, eid);
+  {
+    WriteLock lock(this, {{kIpa, true}, {kIsa, true}});
+    RETURN_NOT_OK(RemoveAdjacencyEntry(/*outgoing=*/false, dst, label, eid));
+  }
+  wal::Record rec;
+  rec.type = wal::RecordType::kRemoveEdge;
+  rec.id = static_cast<int64_t>(eid);
+  return LogWal(rec);
 }
 
 Result<std::optional<EdgeId>> SqlGraphStore::FindEdge(
@@ -632,6 +759,14 @@ Result<sql::ResultSet> SqlGraphStore::RunTemplate(
 // ------------------------------------------------------------ maintenance --
 
 Status SqlGraphStore::Compact() {
+  CommitGuard commit(this);
+  RETURN_NOT_OK(CompactLocked());
+  wal::Record rec;
+  rec.type = wal::RecordType::kCompact;
+  return LogWal(rec);
+}
+
+Status SqlGraphStore::CompactLocked() {
   WriteLock lock(this, {{kOpa, true},
                         {kIpa, true},
                         {kOsa, true},
@@ -703,6 +838,89 @@ Status SqlGraphStore::Compact() {
   // Row layout changed under every cached plan: force re-preparation.
   BumpSchemaEpoch();
   return Status::OK();
+}
+
+// -------------------------------------------------------------- durability --
+
+Status SqlGraphStore::ApplyWalRecord(const wal::Record& rec) {
+  using wal::RecordType;
+  switch (rec.type) {
+    case RecordType::kAddVertex: {
+      ASSIGN_OR_RETURN(json::JsonValue attrs, json::Parse(rec.json));
+      if (!attrs.is_object()) attrs = json::JsonValue::Object();
+      {
+        WriteLock lock(this, {{kVa, true}});
+        RETURN_NOT_OK(db_.GetTable(kVaTable)
+                          ->Insert({Value(rec.id), Value(std::move(attrs))})
+                          .status());
+      }
+      std::unique_lock<std::shared_mutex> counter(counter_lock_);
+      next_vertex_id_ = std::max(next_vertex_id_, rec.id + 1);
+      return Status::OK();
+    }
+    case RecordType::kAddEdge: {
+      ASSIGN_OR_RETURN(json::JsonValue attrs, json::Parse(rec.json));
+      if (!attrs.is_object()) attrs = json::JsonValue::Object();
+      {
+        WriteLock lock(this, {{kEa, true}});
+        RETURN_NOT_OK(db_.GetTable(kEaTable)
+                          ->Insert({Value(rec.id), Value(rec.src),
+                                    Value(rec.dst), Value(rec.label),
+                                    Value(std::move(attrs))})
+                          .status());
+      }
+      {
+        WriteLock lock(this, {{kOpa, true}, {kOsa, true}});
+        RETURN_NOT_OK(AddAdjacencyEntry(
+            /*outgoing=*/true, static_cast<VertexId>(rec.src), rec.label,
+            static_cast<EdgeId>(rec.id), static_cast<VertexId>(rec.dst)));
+      }
+      {
+        WriteLock lock(this, {{kIpa, true}, {kIsa, true}});
+        RETURN_NOT_OK(AddAdjacencyEntry(
+            /*outgoing=*/false, static_cast<VertexId>(rec.dst), rec.label,
+            static_cast<EdgeId>(rec.id), static_cast<VertexId>(rec.src)));
+      }
+      std::unique_lock<std::shared_mutex> counter(counter_lock_);
+      next_edge_id_ = std::max(next_edge_id_, rec.id + 1);
+      return Status::OK();
+    }
+    case RecordType::kSetVertexAttr: {
+      ASSIGN_OR_RETURN(json::JsonValue value, json::Parse(rec.json));
+      return SetVertexAttr(static_cast<VertexId>(rec.id), rec.label,
+                           std::move(value));
+    }
+    case RecordType::kSetEdgeAttr: {
+      ASSIGN_OR_RETURN(json::JsonValue value, json::Parse(rec.json));
+      return SetEdgeAttr(static_cast<EdgeId>(rec.id), rec.label,
+                         std::move(value));
+    }
+    case RecordType::kRemoveVertexAttr:
+      return RemoveVertexAttr(static_cast<VertexId>(rec.id), rec.label);
+    case RecordType::kRemoveEdgeAttr:
+      return RemoveEdgeAttr(static_cast<EdgeId>(rec.id), rec.label);
+    case RecordType::kRemoveVertex:
+      return RemoveVertex(static_cast<VertexId>(rec.id));
+    case RecordType::kRemoveEdge:
+      return RemoveEdge(static_cast<EdgeId>(rec.id));
+    case RecordType::kCompact:
+      return CompactLocked();
+  }
+  return Status::ParseError("wal: unhandled record type");
+}
+
+wal::WalStats SqlGraphStore::wal_stats() const {
+  std::shared_lock<std::shared_mutex> rotate(wal_rotate_mu_);
+  wal::WalStats stats = wal_recovery_stats_;
+  if (wal_writer_ != nullptr) {
+    const wal::WalCounters& c = wal_writer_->counters();
+    stats.records += c.records.load(std::memory_order_relaxed);
+    stats.bytes += c.bytes.load(std::memory_order_relaxed);
+    stats.fsyncs += c.fsyncs.load(std::memory_order_relaxed);
+    stats.groups += c.groups.load(std::memory_order_relaxed);
+    stats.grouped_records += c.grouped_records.load(std::memory_order_relaxed);
+  }
+  return stats;
 }
 
 }  // namespace core

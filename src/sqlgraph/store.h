@@ -30,8 +30,15 @@
 #include "sqlgraph/loader.h"
 #include "sqlgraph/schema.h"
 #include "util/status.h"
+#include "wal/record.h"
 
 namespace sqlgraph {
+namespace wal {
+class LogWriter;
+// Defined in wal/durability.cc; the recovery path's door into the store.
+struct StoreWalAccess;
+}  // namespace wal
+
 namespace core {
 
 using graph::EdgeId;
@@ -57,6 +64,9 @@ class SqlGraphStore {
   util::Result<json::JsonValue> GetVertex(VertexId vid) const;
   util::Status SetVertexAttr(VertexId vid, const std::string& key,
                              json::JsonValue value);
+  /// Drops one attribute key. OK whether or not the key existed; NotFound
+  /// when the vertex itself is missing.
+  util::Status RemoveVertexAttr(VertexId vid, const std::string& key);
   /// Soft delete (§4.5.2): negates the vertex's ids, removes its EA rows.
   util::Status RemoveVertex(VertexId vid);
 
@@ -67,6 +77,8 @@ class SqlGraphStore {
   util::Result<EdgeRecord> GetEdge(EdgeId eid) const;
   util::Status SetEdgeAttr(EdgeId eid, const std::string& key,
                            json::JsonValue value);
+  /// Drops one attribute key (see RemoveVertexAttr).
+  util::Status RemoveEdgeAttr(EdgeId eid, const std::string& key);
   util::Status RemoveEdge(EdgeId eid);
   /// First edge src -label-> dst, if any.
   util::Result<std::optional<EdgeId>> FindEdge(VertexId src,
@@ -125,6 +137,20 @@ class SqlGraphStore {
   /// lists, and dangling adjacency entries that point at deleted vertices.
   util::Status Compact();
 
+  // --------------------------------------------------------- durability --
+  /// True when a WAL writer is attached (config().durability_dir was set
+  /// and the store came through wal::OpenDurableStore / BuildDurableStore).
+  bool durable() const { return wal_writer_ != nullptr; }
+  /// Checkpoint coordinator (implemented in wal/durability.cc): quiesces
+  /// committers, snapshots the store next to the log, rotates to a fresh
+  /// segment and prunes everything the snapshot covers. Skips the snapshot
+  /// when nothing mutated since the last checkpoint. InvalidArgument on a
+  /// non-durable store.
+  util::Status Checkpoint();
+  /// WAL counters plus recovery/checkpoint statistics (all zero when the
+  /// store is not durable). Safe to call concurrently with committers.
+  wal::WalStats wal_stats() const;
+
   rel::Database* db() { return &db_; }
   const rel::Database* db() const { return &db_; }
   const GraphSchema& schema() const { return schema_; }
@@ -139,11 +165,15 @@ class SqlGraphStore {
                                    const std::string& path);
   friend util::Result<std::unique_ptr<SqlGraphStore>> OpenSnapshot(
       const std::string& path, StoreConfig config);
+  friend struct wal::StoreWalAccess;
 
   explicit SqlGraphStore(StoreConfig config)
       : config_(std::move(config)), db_(config_.buffer_pool_bytes) {}
 
   // Adjacency maintenance shared by add/remove edge. Caller holds locks.
+  // Compact's table work, shared by the public call and WAL replay.
+  util::Status CompactLocked();
+
   util::Status AddAdjacencyEntry(bool outgoing, VertexId vid,
                                  const std::string& label, EdgeId eid,
                                  VertexId nbr);
@@ -180,6 +210,19 @@ class SqlGraphStore {
     schema_epoch_.fetch_add(1, std::memory_order_acq_rel);
   }
 
+  // Shared-locked by every CRUD mutation around its table work plus WAL
+  // append; exclusively locked by Checkpoint so no commit can straddle the
+  // snapshot/rotate boundary (which would double-apply on replay).
+  class CommitGuard;
+  /// Appends one record to the attached WAL and waits for durability per
+  /// the sync mode. No-op when the store is not durable. Caller holds
+  /// wal_rotate_mu_ shared (via CommitGuard).
+  util::Status LogWal(const wal::Record& rec);
+  /// Re-applies one WAL record during recovery; the ids inside the record
+  /// are authoritative and the id counters advance past them. Only called
+  /// by the recovery path before a writer is attached.
+  util::Status ApplyWalRecord(const wal::Record& rec);
+
   StoreConfig config_;
   rel::Database db_;
   GraphSchema schema_;
@@ -195,6 +238,15 @@ class SqlGraphStore {
   mutable sql::ExecStats last_stats_;  // guarded by stats_mu_
   mutable std::mutex tpl_mu_;
   mutable sql::PreparedQueryPtr templates_[kNumTemplates];
+
+  // Durability binding, attached via wal::StoreWalAccess when
+  // config_.durability_dir is set. wal_rotate_mu_ orders commits against
+  // checkpoints and guards the binding fields themselves.
+  mutable std::shared_mutex wal_rotate_mu_;
+  std::shared_ptr<wal::LogWriter> wal_writer_;
+  uint64_t wal_segment_ = 0;               // active log segment number
+  uint64_t wal_checkpoint_mutations_ = 0;  // db_.TotalMutations() at ckpt
+  wal::WalStats wal_recovery_stats_;       // recovery + checkpoint tallies
 };
 
 }  // namespace core

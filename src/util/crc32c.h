@@ -1,0 +1,40 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41): the checksum used by the WAL
+// record frames and the snapshot section trailers. Software slice-by-8
+// implementation; no hardware intrinsics so it runs identically everywhere.
+
+#ifndef SQLGRAPH_UTIL_CRC32C_H_
+#define SQLGRAPH_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sqlgraph {
+namespace util {
+
+/// Extends `crc` with `data`; pass 0 for the initial call.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+/// One-shot CRC32C of a buffer.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+inline uint32_t Crc32c(std::string_view s) {
+  return Crc32cExtend(0, s.data(), s.size());
+}
+
+/// Masked form (RocksDB-style rotation + constant) stored in file frames so
+/// that a frame whose payload happens to contain its own CRC, or a run of
+/// zero bytes, never checksums to itself.
+inline uint32_t Crc32cMask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t Crc32cUnmask(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace util
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_UTIL_CRC32C_H_

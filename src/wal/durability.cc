@@ -1,0 +1,312 @@
+#include "wal/durability.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "sqlgraph/snapshot.h"
+#include "util/stopwatch.h"
+#include "wal/log_reader.h"
+#include "wal/log_writer.h"
+
+namespace sqlgraph {
+namespace wal {
+
+namespace fs = std::filesystem;
+using core::SqlGraphStore;
+using core::StoreConfig;
+using util::Result;
+using util::Status;
+
+namespace {
+
+constexpr char kSegPrefix[] = "wal-";
+constexpr char kSegSuffix[] = ".log";
+constexpr char kSnapPrefix[] = "snap-";
+constexpr char kSnapSuffix[] = ".sqlg";
+constexpr char kSnapTmp[] = "snap.tmp";
+
+std::string SeqName(const char* prefix, uint64_t seq, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%06" PRIu64 "%s", prefix, seq, suffix);
+  return buf;
+}
+
+fs::path SegPath(const fs::path& dir, uint64_t seq) {
+  return dir / SeqName(kSegPrefix, seq, kSegSuffix);
+}
+fs::path SnapPath(const fs::path& dir, uint64_t seq) {
+  return dir / SeqName(kSnapPrefix, seq, kSnapSuffix);
+}
+
+bool ParseSeq(const std::string& name, const char* prefix, const char* suffix,
+              uint64_t* seq) {
+  const size_t plen = std::strlen(prefix), slen = std::strlen(suffix);
+  if (name.size() <= plen + slen) return false;
+  if (name.compare(0, plen, prefix) != 0) return false;
+  if (name.compare(name.size() - slen, slen, suffix) != 0) return false;
+  uint64_t v = 0;
+  for (size_t i = plen; i < name.size() - slen; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *seq = v;
+  return true;
+}
+
+struct DirState {
+  std::vector<uint64_t> snapshots;  // ascending
+  std::vector<uint64_t> segments;   // ascending
+};
+
+Result<DirState> ScanDir(const fs::path& dir) {
+  DirState state;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    uint64_t seq = 0;
+    if (ParseSeq(name, kSegPrefix, kSegSuffix, &seq)) {
+      state.segments.push_back(seq);
+    } else if (ParseSeq(name, kSnapPrefix, kSnapSuffix, &seq)) {
+      state.snapshots.push_back(seq);
+    }
+  }
+  if (ec) {
+    return Status::Internal("wal: cannot scan " + dir.string() + ": " +
+                            ec.message());
+  }
+  std::sort(state.snapshots.begin(), state.snapshots.end());
+  std::sort(state.segments.begin(), state.segments.end());
+  return state;
+}
+
+/// fsync the directory so renames/unlinks inside it are durable.
+/// Best-effort: some filesystems reject directory fds.
+void SyncDir(const fs::path& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    ::close(fd);
+  }
+}
+
+/// Deletes everything the snapshot `snap_seq` makes obsolete: log segments
+/// it covers and older snapshots. Leftovers only exist after a crash in a
+/// previous prune, so failures here are not fatal.
+void PruneBehind(const fs::path& dir, uint64_t snap_seq) {
+  auto state = ScanDir(dir);
+  if (!state.ok()) return;
+  std::error_code ec;
+  for (uint64_t seg : state->segments) {
+    if (seg <= snap_seq) fs::remove(SegPath(dir, seg), ec);
+  }
+  for (uint64_t snap : state->snapshots) {
+    if (snap < snap_seq) fs::remove(SnapPath(dir, snap), ec);
+  }
+  SyncDir(dir);
+}
+
+}  // namespace
+
+/// The recovery path's door into SqlGraphStore's durability internals
+/// (befriended by the store).
+struct StoreWalAccess {
+  static Status Replay(SqlGraphStore* store, const Record& rec) {
+    return store->ApplyWalRecord(rec);
+  }
+
+  /// Attaches a live writer for segment `segment`. `dirty` marks the store
+  /// as having un-checkpointed state (replayed records), so the next
+  /// Checkpoint call cannot be skipped as a no-op.
+  static void Attach(SqlGraphStore* store, std::shared_ptr<LogWriter> writer,
+                     uint64_t segment, bool dirty) {
+    std::unique_lock<std::shared_mutex> rotate(store->wal_rotate_mu_);
+    store->wal_writer_ = std::move(writer);
+    store->wal_segment_ = segment;
+    store->wal_checkpoint_mutations_ =
+        dirty ? UINT64_MAX : store->db_.TotalMutations();
+  }
+
+  static void SetRecoveryStats(SqlGraphStore* store, const WalStats& stats) {
+    std::unique_lock<std::shared_mutex> rotate(store->wal_rotate_mu_);
+    store->wal_recovery_stats_ = stats;
+  }
+};
+
+}  // namespace wal
+
+namespace core {
+
+// Defined here rather than in store.cc so the store's hot path never links
+// against the snapshot/filesystem machinery.
+util::Status SqlGraphStore::Checkpoint() {
+  if (config_.durability_dir.empty()) {
+    return util::Status::InvalidArgument("store has no durability_dir");
+  }
+  // Exclusive against CommitGuard: no commit can straddle the snapshot
+  // boundary, so a record is either inside the snapshot or in the fresh
+  // segment — never both.
+  std::unique_lock<std::shared_mutex> rotate(wal_rotate_mu_);
+  if (wal_writer_ != nullptr &&
+      db_.TotalMutations() == wal_checkpoint_mutations_) {
+    return util::Status::OK();  // nothing changed since the last checkpoint
+  }
+  std::error_code ec;
+  const wal::fs::path dir(config_.durability_dir);
+  wal::fs::create_directories(dir, ec);
+  if (ec) {
+    return util::Status::Internal("wal: cannot create " + dir.string() + ": " +
+                            ec.message());
+  }
+  if (wal_writer_ != nullptr) {
+    // The closing segment's counters move into the persistent tally so
+    // wal_stats() stays cumulative across rotations.
+    const wal::WalCounters& c = wal_writer_->counters();
+    wal_recovery_stats_.records += c.records.load(std::memory_order_relaxed);
+    wal_recovery_stats_.bytes += c.bytes.load(std::memory_order_relaxed);
+    wal_recovery_stats_.fsyncs += c.fsyncs.load(std::memory_order_relaxed);
+    wal_recovery_stats_.groups += c.groups.load(std::memory_order_relaxed);
+    wal_recovery_stats_.grouped_records +=
+        c.grouped_records.load(std::memory_order_relaxed);
+    RETURN_NOT_OK(wal_writer_->Close());
+    wal_writer_.reset();
+  }
+  // Snapshot covers every segment <= snap_seq; temp + rename keeps a
+  // half-written snapshot invisible to recovery.
+  const uint64_t snap_seq = wal_segment_;
+  const wal::fs::path tmp = dir / wal::kSnapTmp;
+  RETURN_NOT_OK(SaveSnapshot(*this, tmp.string()));
+  wal::fs::rename(tmp, wal::SnapPath(dir, snap_seq), ec);
+  if (ec) {
+    return util::Status::Internal("wal: cannot publish snapshot: " + ec.message());
+  }
+  wal::SyncDir(dir);
+  ASSIGN_OR_RETURN(std::unique_ptr<wal::LogWriter> writer,
+                   wal::LogWriter::Open(
+                       wal::SegPath(dir, snap_seq + 1).string(),
+                       config_.wal_sync_mode));
+  wal_writer_ = std::move(writer);
+  wal_segment_ = snap_seq + 1;
+  wal_checkpoint_mutations_ = db_.TotalMutations();
+  ++wal_recovery_stats_.checkpoints;
+  wal::PruneBehind(dir, snap_seq);
+  return util::Status::OK();
+}
+
+}  // namespace core
+
+namespace wal {
+
+Result<std::unique_ptr<SqlGraphStore>> BuildDurableStore(
+    const graph::PropertyGraph& graph, StoreConfig config) {
+  if (config.durability_dir.empty()) {
+    return Status::InvalidArgument("config.durability_dir is empty");
+  }
+  const fs::path dir(config.durability_dir);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("wal: cannot create " + dir.string() + ": " +
+                            ec.message());
+  }
+  ASSIGN_OR_RETURN(DirState state, ScanDir(dir));
+  if (!state.snapshots.empty() || !state.segments.empty()) {
+    return Status::AlreadyExists("durability dir " + dir.string() +
+                                 " already holds a store; use "
+                                 "OpenDurableStore");
+  }
+  ASSIGN_OR_RETURN(std::unique_ptr<SqlGraphStore> store,
+                   SqlGraphStore::Build(graph, config));
+  RETURN_NOT_OK(store->Checkpoint());  // snap-0 + live wal-1
+  return store;
+}
+
+Result<std::unique_ptr<SqlGraphStore>> OpenDurableStore(StoreConfig config) {
+  if (config.durability_dir.empty()) {
+    return Status::InvalidArgument("config.durability_dir is empty");
+  }
+  const fs::path dir(config.durability_dir);
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) {
+    return BuildDurableStore(graph::PropertyGraph(), std::move(config));
+  }
+  ASSIGN_OR_RETURN(DirState state, ScanDir(dir));
+  if (state.snapshots.empty() && state.segments.empty()) {
+    return BuildDurableStore(graph::PropertyGraph(), std::move(config));
+  }
+  if (state.snapshots.empty()) {
+    return Status::Internal("wal: log segments but no snapshot in " +
+                            dir.string());
+  }
+
+  // Newest snapshot that passes its checksums wins; a corrupt newer file
+  // (crash during checkpoint) falls back to its predecessor, whose covering
+  // segments are then still on disk.
+  std::unique_ptr<SqlGraphStore> store;
+  uint64_t snap_seq = 0;
+  Status snap_err = Status::OK();
+  for (auto it = state.snapshots.rbegin(); it != state.snapshots.rend(); ++it) {
+    auto opened = core::OpenSnapshot(SnapPath(dir, *it).string(), config);
+    if (opened.ok()) {
+      store = std::move(opened).value();
+      snap_seq = *it;
+      break;
+    }
+    snap_err = opened.status();
+  }
+  if (store == nullptr) {
+    return Status::Internal("wal: no usable snapshot in " + dir.string() +
+                            ": " + snap_err.ToString());
+  }
+
+  // Replay every segment beyond the snapshot, stopping cleanly at the
+  // first invalid frame; everything after a torn tail is unreachable.
+  util::Stopwatch replay_sw;
+  WalStats recovery;
+  uint64_t live_seg = snap_seq + 1;
+  for (uint64_t seg : state.segments) {
+    if (seg <= snap_seq) continue;
+    live_seg = seg;
+    ASSIGN_OR_RETURN(LogReadResult read,
+                     ReadLogFile(SegPath(dir, seg).string()));
+    for (const Record& rec : read.records) {
+      RETURN_NOT_OK(StoreWalAccess::Replay(store.get(), rec));
+    }
+    recovery.recovered_records += read.records.size();
+    recovery.recovered_bytes += read.valid_bytes;
+    if (!read.clean) {
+      recovery.truncated_bytes += read.file_bytes - read.valid_bytes;
+      RETURN_NOT_OK(
+          TruncateLog(SegPath(dir, seg).string(), read.valid_bytes));
+      break;
+    }
+  }
+  recovery.replay_micros =
+      static_cast<uint64_t>(replay_sw.ElapsedMicros());
+
+  const bool dirty =
+      recovery.recovered_records > 0 || recovery.truncated_bytes > 0;
+  ASSIGN_OR_RETURN(std::unique_ptr<LogWriter> writer,
+                   LogWriter::Open(SegPath(dir, live_seg).string(),
+                                   config.wal_sync_mode));
+  StoreWalAccess::SetRecoveryStats(store.get(), recovery);
+  StoreWalAccess::Attach(store.get(), std::move(writer), live_seg, dirty);
+  if (dirty) {
+    // Fold the replayed work into a fresh checkpoint so the next recovery
+    // starts from here instead of replaying the same records again.
+    RETURN_NOT_OK(store->Checkpoint());
+  } else {
+    PruneBehind(dir, snap_seq);
+  }
+  return store;
+}
+
+}  // namespace wal
+}  // namespace sqlgraph

@@ -1,0 +1,50 @@
+// Durable-store lifecycle: recovery and the checkpoint coordinator.
+//
+// On-disk layout of a durability directory:
+//
+//   snap-<K>.sqlg   checkpoint snapshot covering every log segment <= K
+//   wal-<N>.log     log segment; the live segment is the highest N
+//
+// Invariants the checkpoint protocol maintains (and recovery tolerates
+// every crash window of):
+//   * at most one segment is ever live (N == K+1 for the newest snapshot K),
+//   * a snapshot is written to a temp file and atomically renamed into
+//     place, so a half-written snapshot is never visible under snap-*,
+//   * pruning (old segments, older snapshots) happens strictly after the
+//     covering snapshot is durable; leftovers from a crash mid-prune are
+//     swept by the next recovery or checkpoint.
+//
+// Recovery: pick the newest snapshot that passes its checksums (falling
+// back to an older one if a crash left a corrupt newer file), replay every
+// segment beyond it in order, stop at the first invalid frame, truncate
+// the torn tail, and reattach the group-commit writer. When anything was
+// replayed a fresh checkpoint is taken immediately so the log stays short.
+
+#ifndef SQLGRAPH_WAL_DURABILITY_H_
+#define SQLGRAPH_WAL_DURABILITY_H_
+
+#include <memory>
+
+#include "graph/property_graph.h"
+#include "sqlgraph/store.h"
+#include "util/status.h"
+
+namespace sqlgraph {
+namespace wal {
+
+/// Opens the durable store rooted at config.durability_dir, creating an
+/// empty one (directory included) on first use. InvalidArgument when the
+/// config carries no durability_dir.
+util::Result<std::unique_ptr<core::SqlGraphStore>> OpenDurableStore(
+    core::StoreConfig config);
+
+/// Bulk-loads `graph` into a new durable store: builds through the coloring
+/// analysis, writes the base checkpoint, and starts a fresh log.
+/// AlreadyExists when the directory already holds a store.
+util::Result<std::unique_ptr<core::SqlGraphStore>> BuildDurableStore(
+    const graph::PropertyGraph& graph, core::StoreConfig config);
+
+}  // namespace wal
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_WAL_DURABILITY_H_

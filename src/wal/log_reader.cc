@@ -1,0 +1,49 @@
+#include "wal/log_reader.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace sqlgraph {
+namespace wal {
+
+using util::Result;
+using util::Status;
+
+Result<LogReadResult> ReadLogFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("wal segment " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string buf = ss.str();
+
+  LogReadResult result;
+  result.file_bytes = buf.size();
+  size_t offset = 0;
+  while (offset < buf.size()) {
+    Record rec;
+    Status st = DecodeRecord(buf, &offset, &rec);
+    if (!st.ok()) {
+      result.clean = false;
+      result.tail_error = st.ToString();
+      break;
+    }
+    result.records.push_back(std::move(rec));
+  }
+  result.valid_bytes = offset;
+  return result;
+}
+
+Status TruncateLog(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Status::Internal("wal: truncate of " + path + " failed: " +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace wal
+}  // namespace sqlgraph

@@ -1,0 +1,37 @@
+// WAL segment reader used by recovery: scans a log file front to back and
+// stops cleanly at the first frame that fails validation, reporting the
+// valid prefix so the caller can truncate the torn tail before appending.
+
+#ifndef SQLGRAPH_WAL_LOG_READER_H_
+#define SQLGRAPH_WAL_LOG_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "wal/record.h"
+
+namespace sqlgraph {
+namespace wal {
+
+struct LogReadResult {
+  std::vector<Record> records;  // every record in the valid prefix
+  uint64_t valid_bytes = 0;     // length of the valid prefix
+  uint64_t file_bytes = 0;      // total file length
+  bool clean = true;            // false when a torn/corrupt tail was dropped
+  std::string tail_error;       // why scanning stopped (empty when clean)
+};
+
+/// Reads the whole segment. NotFound when the file does not exist; a
+/// corrupt or torn tail is NOT an error — it sets clean=false and the
+/// records of the valid prefix are still returned.
+util::Result<LogReadResult> ReadLogFile(const std::string& path);
+
+/// Truncates `path` to exactly `size` bytes (drops a torn tail).
+util::Status TruncateLog(const std::string& path, uint64_t size);
+
+}  // namespace wal
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_WAL_LOG_READER_H_

@@ -1,0 +1,80 @@
+// Append-only WAL segment writer with group commit.
+//
+// Any number of threads call Append() concurrently; each call returns once
+// its record is durable per the configured SyncMode:
+//
+//   kNone      write() only — the OS may lose the tail on a crash,
+//   kBatched   the first committer to arrive becomes the batch leader,
+//              writes every queued frame with one write() and covers all of
+//              them with a single fsync() while later arrivals queue up for
+//              the next batch (leader/follower group commit),
+//   kPerCommit each Append() pays write()+fsync() under the writer mutex.
+//
+// I/O errors are sticky: after the first failed write or fsync every
+// subsequent Append returns the same error, so a committer can never be
+// acknowledged after its bytes failed to reach the file.
+
+#ifndef SQLGRAPH_WAL_LOG_WRITER_H_
+#define SQLGRAPH_WAL_LOG_WRITER_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+#include "wal/options.h"
+#include "wal/record.h"
+
+namespace sqlgraph {
+namespace wal {
+
+class LogWriter {
+ public:
+  /// Opens `path` for appending (created if absent; existing bytes are
+  /// preserved — recovery truncates torn tails before reopening).
+  static util::Result<std::unique_ptr<LogWriter>> Open(const std::string& path,
+                                                       SyncMode mode);
+  ~LogWriter();
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
+  /// Frames and appends one record; blocks until durable per the SyncMode.
+  util::Status Append(const Record& rec);
+
+  /// Forces everything appended so far onto stable storage.
+  util::Status Sync();
+
+  /// Syncs and closes the file; further Appends fail. Idempotent.
+  util::Status Close();
+
+  const std::string& path() const { return path_; }
+  SyncMode sync_mode() const { return mode_; }
+  const WalCounters& counters() const { return counters_; }
+
+ private:
+  LogWriter(std::string path, int fd, SyncMode mode)
+      : path_(std::move(path)), fd_(fd), mode_(mode) {}
+
+  util::Status WriteAll(const char* data, size_t n);
+  util::Status Fsync();
+
+  const std::string path_;
+  int fd_;
+  const SyncMode mode_;
+  WalCounters counters_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::string pending_;          // encoded frames awaiting the next batch
+  uint64_t pending_records_ = 0;
+  uint64_t next_seq_ = 0;        // sequence of the newest enqueued record
+  uint64_t durable_seq_ = 0;     // newest sequence known durable
+  bool leader_active_ = false;   // a batch leader is writing right now
+  util::Status io_error_;        // sticky first I/O failure
+};
+
+}  // namespace wal
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_WAL_LOG_WRITER_H_

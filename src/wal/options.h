@@ -1,0 +1,58 @@
+// Durability knobs and counters shared by the WAL writer, the recovery
+// path, and the store's stats plumbing. Kept dependency-free so
+// core::StoreConfig can embed them without pulling in the log machinery.
+
+#ifndef SQLGRAPH_WAL_OPTIONS_H_
+#define SQLGRAPH_WAL_OPTIONS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace sqlgraph {
+namespace wal {
+
+/// When an acknowledged commit is actually on stable storage.
+enum class SyncMode {
+  kNone,       // OS-buffered writes, never fsync (durability on clean exit)
+  kBatched,    // group commit: one fsync covers every queued committer
+  kPerCommit,  // every commit pays its own fsync (the strict baseline)
+};
+
+/// Live WAL counters. Atomics so the writer's committers and the stats
+/// readers never need a common lock.
+struct WalCounters {
+  std::atomic<uint64_t> records{0};          // frames appended
+  std::atomic<uint64_t> bytes{0};            // framed bytes appended
+  std::atomic<uint64_t> fsyncs{0};           // fsync syscalls issued
+  std::atomic<uint64_t> groups{0};           // group-commit batches synced
+  std::atomic<uint64_t> grouped_records{0};  // records covered by those
+};
+
+/// Point-in-time WAL statistics surfaced through SqlGraphStore::wal_stats().
+struct WalStats {
+  // Writer side.
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+  uint64_t fsyncs = 0;
+  uint64_t groups = 0;
+  uint64_t grouped_records = 0;
+  // Recovery side (zero unless this store came out of OpenDurableStore).
+  uint64_t recovered_records = 0;  // records replayed on top of the snapshot
+  uint64_t recovered_bytes = 0;    // valid log prefix length
+  uint64_t truncated_bytes = 0;    // torn/corrupt tail dropped at recovery
+  uint64_t replay_micros = 0;      // wall time of the replay loop
+  // Checkpoint side.
+  uint64_t checkpoints = 0;
+
+  /// Mean committers per fsync under group commit (1.0 = no batching won).
+  double mean_group_size() const {
+    return groups == 0 ? 0.0
+                       : static_cast<double>(grouped_records) /
+                             static_cast<double>(groups);
+  }
+};
+
+}  // namespace wal
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_WAL_OPTIONS_H_

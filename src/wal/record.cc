@@ -1,0 +1,196 @@
+#include "wal/record.h"
+
+#include <cstring>
+
+#include "util/crc32c.h"
+
+namespace sqlgraph {
+namespace wal {
+
+using util::Status;
+
+namespace {
+
+void PutU32(uint32_t v, std::string* out) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xFF);
+  b[1] = static_cast<char>((v >> 8) & 0xFF);
+  b[2] = static_cast<char>((v >> 16) & 0xFF);
+  b[3] = static_cast<char>((v >> 24) & 0xFF);
+  out->append(b, 4);
+}
+
+uint32_t GetU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24;
+}
+
+void PutVar(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+Status GetVar(std::string_view buf, size_t* offset, uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  size_t i = *offset;
+  while (i < buf.size() && shift <= 63) {
+    const uint8_t byte = static_cast<uint8_t>(buf[i++]);
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *offset = i;
+      *out = v;
+      return Status::OK();
+    }
+    shift += 7;
+  }
+  return Status::ParseError("wal: truncated varint");
+}
+
+// Zigzag keeps negative ids (soft-deleted references never appear today,
+// but the format should not silently 10-byte-encode them).
+uint64_t Zig(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+int64_t Unzig(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+void PutStr(const std::string& s, std::string* out) {
+  PutVar(s.size(), out);
+  out->append(s);
+}
+
+Status GetStr(std::string_view buf, size_t* offset, std::string* out) {
+  uint64_t len = 0;
+  RETURN_NOT_OK(GetVar(buf, offset, &len));
+  if (len > buf.size() - *offset) {
+    return Status::ParseError("wal: truncated string");
+  }
+  out->assign(buf.data() + *offset, len);
+  *offset += len;
+  return Status::OK();
+}
+
+Status DecodePayload(std::string_view payload, Record* out) {
+  size_t off = 0;
+  uint64_t type = 0;
+  RETURN_NOT_OK(GetVar(payload, &off, &type));
+  if (type < 1 || type > 9) {
+    return Status::ParseError("wal: unknown record type");
+  }
+  out->type = static_cast<RecordType>(type);
+  out->id = 0;
+  out->src = out->dst = 0;
+  out->label.clear();
+  out->json.clear();
+  uint64_t raw = 0;
+  switch (out->type) {
+    case RecordType::kAddVertex:
+      RETURN_NOT_OK(GetVar(payload, &off, &raw));
+      out->id = Unzig(raw);
+      RETURN_NOT_OK(GetStr(payload, &off, &out->json));
+      break;
+    case RecordType::kAddEdge:
+      RETURN_NOT_OK(GetVar(payload, &off, &raw));
+      out->id = Unzig(raw);
+      RETURN_NOT_OK(GetVar(payload, &off, &raw));
+      out->src = Unzig(raw);
+      RETURN_NOT_OK(GetVar(payload, &off, &raw));
+      out->dst = Unzig(raw);
+      RETURN_NOT_OK(GetStr(payload, &off, &out->label));
+      RETURN_NOT_OK(GetStr(payload, &off, &out->json));
+      break;
+    case RecordType::kSetVertexAttr:
+    case RecordType::kSetEdgeAttr:
+      RETURN_NOT_OK(GetVar(payload, &off, &raw));
+      out->id = Unzig(raw);
+      RETURN_NOT_OK(GetStr(payload, &off, &out->label));
+      RETURN_NOT_OK(GetStr(payload, &off, &out->json));
+      break;
+    case RecordType::kRemoveVertexAttr:
+    case RecordType::kRemoveEdgeAttr:
+      RETURN_NOT_OK(GetVar(payload, &off, &raw));
+      out->id = Unzig(raw);
+      RETURN_NOT_OK(GetStr(payload, &off, &out->label));
+      break;
+    case RecordType::kRemoveVertex:
+    case RecordType::kRemoveEdge:
+      RETURN_NOT_OK(GetVar(payload, &off, &raw));
+      out->id = Unzig(raw);
+      break;
+    case RecordType::kCompact:
+      break;
+  }
+  if (off != payload.size()) {
+    return Status::ParseError("wal: trailing bytes in record payload");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeRecord(const Record& rec, std::string* out) {
+  std::string payload;
+  PutVar(static_cast<uint64_t>(rec.type), &payload);
+  switch (rec.type) {
+    case RecordType::kAddVertex:
+      PutVar(Zig(rec.id), &payload);
+      PutStr(rec.json, &payload);
+      break;
+    case RecordType::kAddEdge:
+      PutVar(Zig(rec.id), &payload);
+      PutVar(Zig(rec.src), &payload);
+      PutVar(Zig(rec.dst), &payload);
+      PutStr(rec.label, &payload);
+      PutStr(rec.json, &payload);
+      break;
+    case RecordType::kSetVertexAttr:
+    case RecordType::kSetEdgeAttr:
+      PutVar(Zig(rec.id), &payload);
+      PutStr(rec.label, &payload);
+      PutStr(rec.json, &payload);
+      break;
+    case RecordType::kRemoveVertexAttr:
+    case RecordType::kRemoveEdgeAttr:
+      PutVar(Zig(rec.id), &payload);
+      PutStr(rec.label, &payload);
+      break;
+    case RecordType::kRemoveVertex:
+    case RecordType::kRemoveEdge:
+      PutVar(Zig(rec.id), &payload);
+      break;
+    case RecordType::kCompact:
+      break;
+  }
+  PutU32(static_cast<uint32_t>(payload.size()), out);
+  PutU32(util::Crc32cMask(util::Crc32c(payload)), out);
+  out->append(payload);
+}
+
+Status DecodeRecord(std::string_view buf, size_t* offset, Record* out) {
+  const size_t start = *offset;
+  if (buf.size() - start < kFrameHeaderBytes) {
+    return Status::OutOfRange("wal: short frame header");
+  }
+  const uint32_t len = GetU32(buf.data() + start);
+  const uint32_t masked = GetU32(buf.data() + start + 4);
+  if (len > buf.size() - start - kFrameHeaderBytes) {
+    return Status::OutOfRange("wal: frame length past end of log");
+  }
+  const std::string_view payload = buf.substr(start + kFrameHeaderBytes, len);
+  if (util::Crc32c(payload) != util::Crc32cUnmask(masked)) {
+    return Status::ParseError("wal: frame checksum mismatch");
+  }
+  RETURN_NOT_OK(DecodePayload(payload, out));
+  *offset = start + kFrameHeaderBytes + len;
+  return Status::OK();
+}
+
+}  // namespace wal
+}  // namespace sqlgraph

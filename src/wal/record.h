@@ -1,0 +1,70 @@
+// WAL logical records and their on-disk framing.
+//
+// Every successful mutation of a durable SqlGraphStore appends one record.
+// A record is framed as
+//
+//   u32  payload length (little-endian)
+//   u32  masked CRC32C of the payload (util::Crc32cMask)
+//   payload: varint record type, then type-specific fields
+//            (varint ints, varint-length-prefixed strings; attribute
+//             payloads are compact JSON text)
+//
+// The reader treats the first frame that fails any check — short header,
+// length past end-of-file, CRC mismatch, malformed payload — as the end of
+// the log: everything before it is the valid prefix, everything after is a
+// torn tail from a crash and is discarded.
+
+#ifndef SQLGRAPH_WAL_RECORD_H_
+#define SQLGRAPH_WAL_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace sqlgraph {
+namespace wal {
+
+enum class RecordType : uint8_t {
+  kAddVertex = 1,         // id=vid, json=attrs
+  kAddEdge = 2,           // id=eid, src, dst, label, json=attrs
+  kSetVertexAttr = 3,     // id=vid, label=key, json=value
+  kSetEdgeAttr = 4,       // id=eid, label=key, json=value
+  kRemoveVertexAttr = 5,  // id=vid, label=key
+  kRemoveEdgeAttr = 6,    // id=eid, label=key
+  kRemoveVertex = 7,      // id=vid (soft delete)
+  kRemoveEdge = 8,        // id=eid
+  kCompact = 9,           // offline cleanup ran
+};
+
+/// One logical mutation. Fields beyond `type` are meaningful per the
+/// comments on RecordType; unused ones stay defaulted.
+struct Record {
+  RecordType type = RecordType::kCompact;
+  int64_t id = 0;     // vertex or edge id
+  int64_t src = 0;    // AddEdge only
+  int64_t dst = 0;    // AddEdge only
+  std::string label;  // edge label, or attribute key
+  std::string json;   // compact JSON text: attrs object or attr value
+
+  bool operator==(const Record& o) const {
+    return type == o.type && id == o.id && src == o.src && dst == o.dst &&
+           label == o.label && json == o.json;
+  }
+};
+
+/// Frame header size: length + masked CRC.
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+/// Appends the framed record (header + payload) to `out`.
+void EncodeRecord(const Record& rec, std::string* out);
+
+/// Decodes one frame starting at `*offset`. On success advances `*offset`
+/// past the frame and fills `out`. Any failure means "end of valid log";
+/// `*offset` is left at the frame start.
+util::Status DecodeRecord(std::string_view buf, size_t* offset, Record* out);
+
+}  // namespace wal
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_WAL_RECORD_H_

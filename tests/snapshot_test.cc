@@ -158,6 +158,52 @@ TEST(SnapshotTest, TruncatedFileFailsCleanly) {
   std::remove(path.c_str());
 }
 
+TEST(SnapshotTest, FlippedByteFailsChecksum) {
+  auto original = SqlGraphStore::Build(SmallGraph());
+  ASSERT_TRUE(original.ok());
+  const std::string path = TempPath("snapshot_flip.sqlg");
+  ASSERT_TRUE(SaveSnapshot(**original, path).ok());
+  std::string contents;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char chunk[4096];
+    size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+      contents.append(chunk, n);
+    }
+    std::fclose(f);
+  }
+  // Flip one byte in the middle of a section body: the per-section CRC must
+  // catch it with a checksum Status rather than decoding garbage rows.
+  std::string damaged = contents;
+  damaged[damaged.size() / 2] ^= 0x10;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(damaged.data(), 1, damaged.size(), f);
+    std::fclose(f);
+  }
+  auto flipped = OpenSnapshot(path);
+  ASSERT_FALSE(flipped.ok());
+  EXPECT_NE(flipped.status().ToString().find("checksum"), std::string::npos)
+      << flipped.status().ToString();
+
+  // Cutting the EOF trailer (e.g. a crash mid-write) is reported as
+  // truncation even though every section still checks out.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(contents.data(), 1, contents.size() - 4, f);
+    std::fclose(f);
+  }
+  auto cut = OpenSnapshot(path);
+  ASSERT_FALSE(cut.ok());
+  EXPECT_NE(cut.status().ToString().find("trailer"), std::string::npos)
+      << cut.status().ToString();
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace sqlgraph
