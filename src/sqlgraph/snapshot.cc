@@ -1,6 +1,11 @@
 #include "sqlgraph/snapshot.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <shared_mutex>
 #include <sstream>
@@ -205,11 +210,38 @@ Status SaveSnapshot(const SqlGraphStore& store, const std::string& path) {
   }
   buf.append(kTrailer, kTrailerLen);
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::Internal("cannot open " + path + " for writing");
-  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
-  out.flush();
-  if (!out) return Status::Internal("write to " + path + " failed");
+  // write + fsync through a file descriptor: the checkpoint protocol prunes
+  // the WAL segments this snapshot covers as soon as it is published, so the
+  // bytes must be on stable storage — not merely in the page cache — before
+  // the caller renames the file into place.
+  const int fd =
+      ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot open " + path + " for writing: " +
+                            std::strerror(errno));
+  }
+  const char* data = buf.data();
+  size_t remaining = buf.size();
+  while (remaining > 0) {
+    const ssize_t w = ::write(fd, data, remaining);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::Internal("write to " + path + " failed: " + err);
+    }
+    data += w;
+    remaining -= static_cast<size_t>(w);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("fsync of " + path + " failed: " + err);
+  }
+  if (::close(fd) != 0) {
+    return Status::Internal("close of " + path + " failed: " +
+                            std::strerror(errno));
+  }
   return Status::OK();
 }
 

@@ -87,9 +87,17 @@ class SqlGraphStore::CommitGuard {
   std::shared_lock<std::shared_mutex> lock_;
 };
 
-util::Status SqlGraphStore::LogWal(const wal::Record& rec) {
+util::Status SqlGraphStore::LogWalEnqueue(const wal::Record& rec,
+                                          uint64_t* ticket) {
+  *ticket = 0;
   if (wal_writer_ == nullptr) return Status::OK();
-  return wal_writer_->Append(rec);
+  ASSIGN_OR_RETURN(*ticket, wal_writer_->Enqueue(rec));
+  return Status::OK();
+}
+
+util::Status SqlGraphStore::LogWalWait(uint64_t ticket) {
+  if (ticket == 0 || wal_writer_ == nullptr) return Status::OK();
+  return wal_writer_->WaitDurable(ticket);
 }
 
 // ------------------------------------------------------------------ build --
@@ -120,13 +128,17 @@ Result<VertexId> SqlGraphStore::AddVertex(json::JsonValue attrs) {
     rec.id = vid;
     rec.json = json::Write(attrs);
   }
+  uint64_t ticket = 0;
   {
     WriteLock lock(this, {{kVa, true}});
     RETURN_NOT_OK(db_.GetTable(kVaTable)
                       ->Insert({Value(vid), Value(std::move(attrs))})
                       .status());
+    // Enqueued at the VA serialization point (see LogWalEnqueue); the
+    // durability wait happens after the lock so committers can batch.
+    RETURN_NOT_OK(LogWalEnqueue(rec, &ticket));
   }
-  RETURN_NOT_OK(LogWal(rec));
+  RETURN_NOT_OK(LogWalWait(ticket));
   return static_cast<VertexId>(vid);
 }
 
@@ -153,6 +165,7 @@ Status SqlGraphStore::SetVertexAttr(VertexId vid, const std::string& key,
     rec.label = key;
     rec.json = json::Write(value);
   }
+  uint64_t ticket = 0;
   {
     WriteLock lock(this, {{kVa, true}});
     rel::Table* va = db_.GetTable(kVaTable);
@@ -167,12 +180,18 @@ Status SqlGraphStore::SetVertexAttr(VertexId vid, const std::string& key,
         row[1].is_json() ? row[1].AsJson() : json::JsonValue::Object();
     attrs.Set(key, std::move(value));
     RETURN_NOT_OK(va->Update(rids[0], {row[0], Value(std::move(attrs))}));
+    RETURN_NOT_OK(LogWalEnqueue(rec, &ticket));
   }
-  return LogWal(rec);
+  return LogWalWait(ticket);
 }
 
 Status SqlGraphStore::RemoveVertexAttr(VertexId vid, const std::string& key) {
   CommitGuard commit(this);
+  wal::Record rec;
+  rec.type = wal::RecordType::kRemoveVertexAttr;
+  rec.id = static_cast<int64_t>(vid);
+  rec.label = key;
+  uint64_t ticket = 0;
   {
     WriteLock lock(this, {{kVa, true}});
     rel::Table* va = db_.GetTable(kVaTable);
@@ -187,12 +206,9 @@ Status SqlGraphStore::RemoveVertexAttr(VertexId vid, const std::string& key) {
         row[1].is_json() ? row[1].AsJson() : json::JsonValue::Object();
     attrs.Erase(key);
     RETURN_NOT_OK(va->Update(rids[0], {row[0], Value(std::move(attrs))}));
+    RETURN_NOT_OK(LogWalEnqueue(rec, &ticket));
   }
-  wal::Record rec;
-  rec.type = wal::RecordType::kRemoveVertexAttr;
-  rec.id = static_cast<int64_t>(vid);
-  rec.label = key;
-  return LogWal(rec);
+  return LogWalWait(ticket);
 }
 
 Status SqlGraphStore::NegateAdjacencyRows(bool outgoing, VertexId vid) {
@@ -210,6 +226,10 @@ Status SqlGraphStore::NegateAdjacencyRows(bool outgoing, VertexId vid) {
 
 Status SqlGraphStore::RemoveVertex(VertexId vid) {
   CommitGuard commit(this);
+  wal::Record rec;
+  rec.type = wal::RecordType::kRemoveVertex;
+  rec.id = static_cast<int64_t>(vid);
+  uint64_t ticket = 0;
   {
     WriteLock lock(this, {{kVa, true}});
     rel::Table* va = db_.GetTable(kVaTable);
@@ -224,6 +244,13 @@ Status SqlGraphStore::RemoveVertex(VertexId vid) {
     RETURN_NOT_OK(va->Get(rids[0], &row));
     row[0] = Value(-static_cast<int64_t>(vid) - 1);
     RETURN_NOT_OK(va->Update(rids[0], std::move(row)));
+    // Enqueued at the VA serialization point: any conflicting vertex write
+    // either committed (and enqueued) before this exclusive section or
+    // sees the negated id afterwards, so the log order matches the lock
+    // order. Replay tolerates the one race this point cannot order — an
+    // edge write that lands between here and the EA cleanup below (see
+    // OpenDurableStore).
+    RETURN_NOT_OK(LogWalEnqueue(rec, &ticket));
   }
   {
     WriteLock lock(this, {{kOpa, true}});
@@ -246,10 +273,7 @@ Status SqlGraphStore::RemoveVertex(VertexId vid) {
       }
     }
   }
-  wal::Record rec;
-  rec.type = wal::RecordType::kRemoveVertex;
-  rec.id = static_cast<int64_t>(vid);
-  return LogWal(rec);
+  return LogWalWait(ticket);
 }
 
 // ------------------------------------------------------------------ edges --
@@ -427,6 +451,7 @@ Result<EdgeId> SqlGraphStore::AddEdge(VertexId src, VertexId dst,
     rec.label = label;
     rec.json = json::Write(attrs);
   }
+  uint64_t ticket = 0;
   {
     WriteLock lock(this, {{kEa, true}});
     RETURN_NOT_OK(db_.GetTable(kEaTable)
@@ -434,6 +459,11 @@ Result<EdgeId> SqlGraphStore::AddEdge(VertexId src, VertexId dst,
                                 Value(static_cast<int64_t>(dst)), Value(label),
                                 Value(std::move(attrs))})
                       .status());
+    // Enqueued at the EA serialization point: no other commit can observe
+    // this edge (FindEdge/SetEdgeAttr/RemoveEdge all go through EA) until
+    // the exclusive section ends, so every dependent record lands after
+    // this one in the log.
+    RETURN_NOT_OK(LogWalEnqueue(rec, &ticket));
   }
   {
     WriteLock lock(this, {{kOpa, true}, {kOsa, true}});
@@ -445,7 +475,7 @@ Result<EdgeId> SqlGraphStore::AddEdge(VertexId src, VertexId dst,
     RETURN_NOT_OK(AddAdjacencyEntry(/*outgoing=*/false, dst, label,
                                     static_cast<EdgeId>(eid), src));
   }
-  RETURN_NOT_OK(LogWal(rec));
+  RETURN_NOT_OK(LogWalWait(ticket));
   return static_cast<EdgeId>(eid);
 }
 
@@ -479,6 +509,7 @@ Status SqlGraphStore::SetEdgeAttr(EdgeId eid, const std::string& key,
     rec.label = key;
     rec.json = json::Write(value);
   }
+  uint64_t ticket = 0;
   {
     WriteLock lock(this, {{kEa, true}});
     rel::Table* ea = db_.GetTable(kEaTable);
@@ -489,17 +520,24 @@ Status SqlGraphStore::SetEdgeAttr(EdgeId eid, const std::string& key,
     }
     Row row;
     RETURN_NOT_OK(ea->Get(rids[0], &row));
-    json::JsonValue attrs = row[kEaAttr].is_json() ? row[kEaAttr].AsJson()
-                                                   : json::JsonValue::Object();
+    json::JsonValue attrs = row[kEaAttr].is_json()
+                                ? row[kEaAttr].AsJson()
+                                : json::JsonValue::Object();
     attrs.Set(key, std::move(value));
     row[kEaAttr] = Value(std::move(attrs));
     RETURN_NOT_OK(ea->Update(rids[0], std::move(row)));
+    RETURN_NOT_OK(LogWalEnqueue(rec, &ticket));
   }
-  return LogWal(rec);
+  return LogWalWait(ticket);
 }
 
 Status SqlGraphStore::RemoveEdgeAttr(EdgeId eid, const std::string& key) {
   CommitGuard commit(this);
+  wal::Record rec;
+  rec.type = wal::RecordType::kRemoveEdgeAttr;
+  rec.id = static_cast<int64_t>(eid);
+  rec.label = key;
+  uint64_t ticket = 0;
   {
     WriteLock lock(this, {{kEa, true}});
     rel::Table* ea = db_.GetTable(kEaTable);
@@ -510,21 +548,23 @@ Status SqlGraphStore::RemoveEdgeAttr(EdgeId eid, const std::string& key) {
     }
     Row row;
     RETURN_NOT_OK(ea->Get(rids[0], &row));
-    json::JsonValue attrs = row[kEaAttr].is_json() ? row[kEaAttr].AsJson()
-                                                   : json::JsonValue::Object();
+    json::JsonValue attrs = row[kEaAttr].is_json()
+                                ? row[kEaAttr].AsJson()
+                                : json::JsonValue::Object();
     attrs.Erase(key);
     row[kEaAttr] = Value(std::move(attrs));
     RETURN_NOT_OK(ea->Update(rids[0], std::move(row)));
+    RETURN_NOT_OK(LogWalEnqueue(rec, &ticket));
   }
-  wal::Record rec;
-  rec.type = wal::RecordType::kRemoveEdgeAttr;
-  rec.id = static_cast<int64_t>(eid);
-  rec.label = key;
-  return LogWal(rec);
+  return LogWalWait(ticket);
 }
 
 Status SqlGraphStore::RemoveEdge(EdgeId eid) {
   CommitGuard commit(this);
+  wal::Record rec;
+  rec.type = wal::RecordType::kRemoveEdge;
+  rec.id = static_cast<int64_t>(eid);
+  uint64_t ticket = 0;
   VertexId src, dst;
   std::string label;
   {
@@ -541,6 +581,10 @@ Status SqlGraphStore::RemoveEdge(EdgeId eid) {
     dst = static_cast<VertexId>(row[kEaOutv].AsInt());
     label = row[kEaLbl].AsString();
     RETURN_NOT_OK(ea->Delete(rids[0]));
+    // Enqueued at the EA serialization point: this lands strictly after
+    // the kAddEdge record that made the edge findable, so replay never
+    // sees a remove-before-add.
+    RETURN_NOT_OK(LogWalEnqueue(rec, &ticket));
   }
   {
     WriteLock lock(this, {{kOpa, true}, {kOsa, true}});
@@ -550,10 +594,7 @@ Status SqlGraphStore::RemoveEdge(EdgeId eid) {
     WriteLock lock(this, {{kIpa, true}, {kIsa, true}});
     RETURN_NOT_OK(RemoveAdjacencyEntry(/*outgoing=*/false, dst, label, eid));
   }
-  wal::Record rec;
-  rec.type = wal::RecordType::kRemoveEdge;
-  rec.id = static_cast<int64_t>(eid);
-  return LogWal(rec);
+  return LogWalWait(ticket);
 }
 
 Result<std::optional<EdgeId>> SqlGraphStore::FindEdge(
@@ -760,19 +801,25 @@ Result<sql::ResultSet> SqlGraphStore::RunTemplate(
 
 Status SqlGraphStore::Compact() {
   CommitGuard commit(this);
-  RETURN_NOT_OK(CompactLocked());
-  wal::Record rec;
-  rec.type = wal::RecordType::kCompact;
-  return LogWal(rec);
+  uint64_t ticket = 0;
+  {
+    WriteLock lock(this, {{kOpa, true},
+                          {kIpa, true},
+                          {kOsa, true},
+                          {kIsa, true},
+                          {kVa, true},
+                          {kEa, true}});
+    RETURN_NOT_OK(CompactLocked());
+    // Enqueued while every table is still locked, so no commit can
+    // interleave between the cleanup and its record.
+    wal::Record rec;
+    rec.type = wal::RecordType::kCompact;
+    RETURN_NOT_OK(LogWalEnqueue(rec, &ticket));
+  }
+  return LogWalWait(ticket);
 }
 
 Status SqlGraphStore::CompactLocked() {
-  WriteLock lock(this, {{kOpa, true},
-                        {kIpa, true},
-                        {kOsa, true},
-                        {kIsa, true},
-                        {kVa, true},
-                        {kEa, true}});
   // 1. Deleted vertex ids from VA's negative rows; drop those rows.
   std::unordered_set<int64_t> deleted;
   rel::Table* va = db_.GetTable(kVaTable);
@@ -903,8 +950,15 @@ Status SqlGraphStore::ApplyWalRecord(const wal::Record& rec) {
       return RemoveVertex(static_cast<VertexId>(rec.id));
     case RecordType::kRemoveEdge:
       return RemoveEdge(static_cast<EdgeId>(rec.id));
-    case RecordType::kCompact:
+    case RecordType::kCompact: {
+      WriteLock lock(this, {{kOpa, true},
+                            {kIpa, true},
+                            {kOsa, true},
+                            {kIsa, true},
+                            {kVa, true},
+                            {kEa, true}});
       return CompactLocked();
+    }
   }
   return Status::ParseError("wal: unhandled record type");
 }

@@ -170,10 +170,11 @@ class SqlGraphStore {
   explicit SqlGraphStore(StoreConfig config)
       : config_(std::move(config)), db_(config_.buffer_pool_bytes) {}
 
-  // Adjacency maintenance shared by add/remove edge. Caller holds locks.
   // Compact's table work, shared by the public call and WAL replay.
+  // Caller holds exclusive locks on all six tables.
   util::Status CompactLocked();
 
+  // Adjacency maintenance shared by add/remove edge. Caller holds locks.
   util::Status AddAdjacencyEntry(bool outgoing, VertexId vid,
                                  const std::string& label, EdgeId eid,
                                  VertexId nbr);
@@ -214,10 +215,19 @@ class SqlGraphStore {
   // append; exclusively locked by Checkpoint so no commit can straddle the
   // snapshot/rotate boundary (which would double-apply on replay).
   class CommitGuard;
-  /// Appends one record to the attached WAL and waits for durability per
-  /// the sync mode. No-op when the store is not durable. Caller holds
-  /// wal_rotate_mu_ shared (via CommitGuard).
-  util::Status LogWal(const wal::Record& rec);
+  /// Two-phase WAL append (no-ops on a non-durable store; *ticket = 0).
+  /// LogWalEnqueue fixes the record's position in the log and MUST be
+  /// called while still holding the exclusive lock of the table that
+  /// serializes the mutation against its conflicts (VA for vertex records,
+  /// EA for edge records, all tables for Compact): that makes the log
+  /// order of conflicting commits match their apply order, so replay
+  /// reconstructs the acknowledged state. LogWalWait blocks until the
+  /// record is durable per the sync mode and is called after the table
+  /// lock is released, letting concurrent committers share one fsync.
+  /// Both run under wal_rotate_mu_ shared (via CommitGuard), so a
+  /// checkpoint can never rotate the log between the two halves.
+  util::Status LogWalEnqueue(const wal::Record& rec, uint64_t* ticket);
+  util::Status LogWalWait(uint64_t ticket);
   /// Re-applies one WAL record during recovery; the ids inside the record
   /// are authoritative and the id counters advance past them. Only called
   /// by the recovery path before a writer is attached.

@@ -165,21 +165,18 @@ util::Status SqlGraphStore::Checkpoint() {
     return util::Status::Internal("wal: cannot create " + dir.string() + ": " +
                             ec.message());
   }
+  // Flush the closing segment but keep its writer attached: until the
+  // replacement segment is open, any failure below (disk full, rename
+  // error) must leave the store durable through the old writer. Resetting
+  // it early would flip durable() to false and make LogWal silently no-op
+  // for every later mutation.
   if (wal_writer_ != nullptr) {
-    // The closing segment's counters move into the persistent tally so
-    // wal_stats() stays cumulative across rotations.
-    const wal::WalCounters& c = wal_writer_->counters();
-    wal_recovery_stats_.records += c.records.load(std::memory_order_relaxed);
-    wal_recovery_stats_.bytes += c.bytes.load(std::memory_order_relaxed);
-    wal_recovery_stats_.fsyncs += c.fsyncs.load(std::memory_order_relaxed);
-    wal_recovery_stats_.groups += c.groups.load(std::memory_order_relaxed);
-    wal_recovery_stats_.grouped_records +=
-        c.grouped_records.load(std::memory_order_relaxed);
-    RETURN_NOT_OK(wal_writer_->Close());
-    wal_writer_.reset();
+    RETURN_NOT_OK(wal_writer_->Sync());
   }
   // Snapshot covers every segment <= snap_seq; temp + rename keeps a
-  // half-written snapshot invisible to recovery.
+  // half-written snapshot invisible to recovery. SaveSnapshot fsyncs the
+  // temp file, so after the rename + directory sync the snapshot is durable
+  // and the covered segments are safe to prune.
   const uint64_t snap_seq = wal_segment_;
   const wal::fs::path tmp = dir / wal::kSnapTmp;
   RETURN_NOT_OK(SaveSnapshot(*this, tmp.string()));
@@ -192,6 +189,20 @@ util::Status SqlGraphStore::Checkpoint() {
                    wal::LogWriter::Open(
                        wal::SegPath(dir, snap_seq + 1).string(),
                        config_.wal_sync_mode));
+  if (wal_writer_ != nullptr) {
+    // The closing segment's counters move into the persistent tally so
+    // wal_stats() stays cumulative across rotations.
+    const wal::WalCounters& c = wal_writer_->counters();
+    wal_recovery_stats_.records += c.records.load(std::memory_order_relaxed);
+    wal_recovery_stats_.bytes += c.bytes.load(std::memory_order_relaxed);
+    wal_recovery_stats_.fsyncs += c.fsyncs.load(std::memory_order_relaxed);
+    wal_recovery_stats_.groups += c.groups.load(std::memory_order_relaxed);
+    wal_recovery_stats_.grouped_records +=
+        c.grouped_records.load(std::memory_order_relaxed);
+    // Already synced above and no commit can have appended since (we hold
+    // wal_rotate_mu_ exclusive), so a close failure cannot lose data.
+    (void)wal_writer_->Close();
+  }
   wal_writer_ = std::move(writer);
   wal_segment_ = snap_seq + 1;
   wal_checkpoint_mutations_ = db_.TotalMutations();
@@ -268,16 +279,37 @@ Result<std::unique_ptr<SqlGraphStore>> OpenDurableStore(StoreConfig config) {
 
   // Replay every segment beyond the snapshot, stopping cleanly at the
   // first invalid frame; everything after a torn tail is unreachable.
+  // Segments must be contiguous: replaying across a hole (a manually
+  // deleted or lost middle segment) would silently reconstruct a state
+  // that never existed, so a gap fails recovery instead.
   util::Stopwatch replay_sw;
   WalStats recovery;
   uint64_t live_seg = snap_seq + 1;
+  uint64_t expected_seg = snap_seq + 1;
   for (uint64_t seg : state.segments) {
     if (seg <= snap_seq) continue;
+    if (seg != expected_seg) {
+      return Status::Internal(
+          "wal: segment gap in " + dir.string() + ": expected " +
+          SeqName(kSegPrefix, expected_seg, kSegSuffix) + " but found " +
+          SeqName(kSegPrefix, seg, kSegSuffix));
+    }
+    expected_seg = seg + 1;
     live_seg = seg;
     ASSIGN_OR_RETURN(LogReadResult read,
                      ReadLogFile(SegPath(dir, seg).string()));
     for (const Record& rec : read.records) {
-      RETURN_NOT_OK(StoreWalAccess::Replay(store.get(), rec));
+      const Status st = StoreWalAccess::Replay(store.get(), rec);
+      if (st.IsNotFound()) {
+        // The record references an entity that is gone by this point of
+        // the replay: a multi-table removal logs at its serialization
+        // point but finishes its remaining table work later, so a write
+        // that slipped in between is logged after the removal yet had its
+        // effect erased by it. Skipping converges to the pre-crash state.
+        ++recovery.replay_skipped;
+        continue;
+      }
+      RETURN_NOT_OK(st);
     }
     recovery.recovered_records += read.records.size();
     recovery.recovered_bytes += read.valid_bytes;

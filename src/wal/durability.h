@@ -11,8 +11,11 @@
 //   * a snapshot is written to a temp file and atomically renamed into
 //     place, so a half-written snapshot is never visible under snap-*,
 //   * pruning (old segments, older snapshots) happens strictly after the
-//     covering snapshot is durable; leftovers from a crash mid-prune are
-//     swept by the next recovery or checkpoint.
+//     covering snapshot is durable (the temp file is fsynced before the
+//     rename); leftovers from a crash mid-prune are swept by the next
+//     recovery or checkpoint,
+//   * segments beyond a snapshot are contiguous; recovery refuses to
+//     replay across a gap.
 //
 // Recovery: pick the newest snapshot that passes its checksums (falling
 // back to an older one if a crash left a corrupt newer file), replay every

@@ -1,5 +1,6 @@
 #include "wal/log_reader.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -38,10 +39,26 @@ Result<LogReadResult> ReadLogFile(const std::string& path) {
 }
 
 Status TruncateLog(const std::string& path, uint64_t size) {
-  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
-    return Status::Internal("wal: truncate of " + path + " failed: " +
+  // Truncate through a descriptor and fsync it: without the sync, another
+  // crash could resurrect the discarded tail bytes beyond the new append
+  // position, corrupting records written after recovery.
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::Internal("wal: cannot open " + path + " for truncate: " +
                             std::strerror(errno));
   }
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("wal: truncate of " + path + " failed: " + err);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("wal: fsync of truncated " + path + " failed: " +
+                            err);
+  }
+  ::close(fd);
   return Status::OK();
 }
 

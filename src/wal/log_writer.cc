@@ -49,6 +49,11 @@ Status LogWriter::Fsync() {
 }
 
 Status LogWriter::Append(const Record& rec) {
+  ASSIGN_OR_RETURN(const uint64_t ticket, Enqueue(rec));
+  return WaitDurable(ticket);
+}
+
+Result<uint64_t> LogWriter::Enqueue(const Record& rec) {
   std::string frame;
   EncodeRecord(rec, &frame);
 
@@ -57,30 +62,56 @@ Status LogWriter::Append(const Record& rec) {
   if (!io_error_.ok()) return io_error_;
   counters_.records.fetch_add(1, std::memory_order_relaxed);
   counters_.bytes.fetch_add(frame.size(), std::memory_order_relaxed);
+  pending_ += frame;
+  ++pending_records_;
+  return ++next_seq_;
+}
 
-  if (mode_ != SyncMode::kBatched) {
-    // kNone: buffered write; kPerCommit: write + private fsync. Both keep
-    // the writer mutex for the whole I/O — the strict baseline serializes
-    // by design and kNone's write() is cheap.
-    RETURN_NOT_OK(io_error_ = WriteAll(frame.data(), frame.size()));
-    if (mode_ == SyncMode::kPerCommit) {
-      RETURN_NOT_OK(io_error_ = Fsync());
-      counters_.groups.fetch_add(1, std::memory_order_relaxed);
-      counters_.grouped_records.fetch_add(1, std::memory_order_relaxed);
+/// Writes out everything enqueued so far. Caller holds mu_.
+Status LogWriter::FlushPendingLocked() {
+  if (pending_.empty()) return Status::OK();
+  std::string batch;
+  batch.swap(pending_);
+  pending_records_ = 0;
+  RETURN_NOT_OK(io_error_ = WriteAll(batch.data(), batch.size()));
+  durable_seq_ = next_seq_;
+  return Status::OK();
+}
+
+Status LogWriter::WaitDurable(uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!io_error_.ok()) return io_error_;
+
+  if (mode_ == SyncMode::kNone) {
+    // Buffered write only; "durable" just means handed to the OS.
+    if (durable_seq_ >= ticket) return Status::OK();
+    if (fd_ < 0) return Status::Internal("wal: writer is closed");
+    return FlushPendingLocked();
+  }
+
+  if (mode_ == SyncMode::kPerCommit) {
+    // The strict baseline: every commit pays a full write + fsync under
+    // the writer mutex, even when a predecessor's sync already covered its
+    // bytes — serializing by design is the point of this mode.
+    if (fd_ < 0) {
+      return durable_seq_ >= ticket
+                 ? Status::OK()
+                 : Status::Internal("wal: writer is closed");
     }
+    RETURN_NOT_OK(FlushPendingLocked());
+    RETURN_NOT_OK(io_error_ = Fsync());
+    counters_.groups.fetch_add(1, std::memory_order_relaxed);
+    counters_.grouped_records.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
   }
 
-  // Group commit: enqueue, then either follow an active leader or lead the
-  // next batch ourselves.
-  pending_ += frame;
-  ++pending_records_;
-  const uint64_t my_seq = ++next_seq_;
-  while (durable_seq_ < my_seq && io_error_.ok()) {
+  // Group commit: follow an active leader or lead the next batch ourselves.
+  while (durable_seq_ < ticket && io_error_.ok()) {
     if (leader_active_) {
       cv_.wait(lock);
       continue;
     }
+    if (fd_ < 0) return Status::Internal("wal: writer is closed");
     leader_active_ = true;
     std::string batch;
     batch.swap(pending_);
@@ -106,16 +137,11 @@ Status LogWriter::Sync() {
   std::unique_lock<std::mutex> lock(mu_);
   if (fd_ < 0) return Status::OK();
   if (!io_error_.ok()) return io_error_;
-  // Batched mode drains pending_ from within Append, so by the time we hold
-  // the mutex with no active leader there is nothing left to write.
+  // Wait out any in-flight batch leader, then flush whatever remains
+  // enqueued (frames whose WaitDurable has not run yet) and cover
+  // everything with one fsync.
   while (leader_active_) cv_.wait(lock);
-  if (!pending_.empty()) {
-    Status st = WriteAll(pending_.data(), pending_.size());
-    if (!st.ok()) return io_error_ = st;
-    pending_.clear();
-    pending_records_ = 0;
-    durable_seq_ = next_seq_;
-  }
+  RETURN_NOT_OK(FlushPendingLocked());
   return io_error_ = Fsync();
 }
 

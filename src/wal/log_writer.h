@@ -40,7 +40,19 @@ class LogWriter {
   LogWriter& operator=(const LogWriter&) = delete;
 
   /// Frames and appends one record; blocks until durable per the SyncMode.
+  /// Equivalent to Enqueue + WaitDurable.
   util::Status Append(const Record& rec);
+
+  /// Two-phase append, first half: frames the record and fixes its position
+  /// in the log. Cheap (no I/O) — callers invoke it while still holding the
+  /// lock that serialized the mutation, so the log order of conflicting
+  /// commits matches their apply order. Returns a ticket for WaitDurable.
+  util::Result<uint64_t> Enqueue(const Record& rec);
+
+  /// Two-phase append, second half: blocks until the ticket's record is
+  /// durable per the SyncMode. Called after the serializing lock is
+  /// released so concurrent committers can share one fsync (kBatched).
+  util::Status WaitDurable(uint64_t ticket);
 
   /// Forces everything appended so far onto stable storage.
   util::Status Sync();
@@ -58,6 +70,7 @@ class LogWriter {
 
   util::Status WriteAll(const char* data, size_t n);
   util::Status Fsync();
+  util::Status FlushPendingLocked();
 
   const std::string path_;
   int fd_;

@@ -40,6 +40,9 @@ struct WalStats {
   uint64_t recovered_records = 0;  // records replayed on top of the snapshot
   uint64_t recovered_bytes = 0;    // valid log prefix length
   uint64_t truncated_bytes = 0;    // torn/corrupt tail dropped at recovery
+  uint64_t replay_skipped = 0;     // records whose entity a later-logged
+                                   // removal had already erased (see
+                                   // OpenDurableStore)
   uint64_t replay_micros = 0;      // wall time of the replay loop
   // Checkpoint side.
   uint64_t checkpoints = 0;
