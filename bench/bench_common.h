@@ -14,6 +14,7 @@
 #include "bench_core/report.h"
 #include "bench_core/workloads.h"
 #include "graph/dbpedia_gen.h"
+#include "obs/metrics.h"
 #include "sqlgraph/store.h"
 #include "util/stats.h"
 #include "util/stopwatch.h"
@@ -66,13 +67,21 @@ inline core::StoreConfig DbpediaStoreConfig() {
 }
 
 /// Runs `fn` `runs` times, discarding the first (cold) run; returns the
-/// warm-run statistics in milliseconds.
+/// warm-run statistics in milliseconds. Warm runs also feed the process
+/// registry ("bench.run_us"), so a metrics dump after a bench shows the
+/// cross-query latency distribution.
 inline util::Samples TimedRuns(int runs, const std::function<void()>& fn) {
+  static obs::Histogram* hist =
+      obs::MetricsRegistry::Default().GetHistogram("bench.run_us");
   util::Samples samples;
   for (int r = 0; r < runs; ++r) {
     util::Stopwatch sw;
     fn();
-    if (r > 0) samples.Add(sw.ElapsedMillis());
+    if (r > 0) {
+      const double ms = sw.ElapsedMillis();
+      samples.Add(ms);
+      hist->Record(static_cast<uint64_t>(ms * 1000.0));
+    }
   }
   return samples;
 }

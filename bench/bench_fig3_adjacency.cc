@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
 
   Banner("Fig. 3 — adjacency micro-benchmark (ms per query)");
   TextTable table({"query", "hops", "input", "result", "HashAdj(ms)",
-                   "JsonAdj(ms)", "json/hash"});
+                   "hash p50/p95/p99", "JsonAdj(ms)", "json/hash"});
   util::RunningStat hash_stat, json_stat;
   for (const auto& q : Table1Queries()) {
     const std::string text = q.ToGremlin();
@@ -80,7 +80,8 @@ int main(int argc, char** argv) {
     json_stat.Add(json_ms.mean());
     table.AddRow({util::StrFormat("lq%d", q.id), std::to_string(q.hops),
                   std::to_string(starts.size()), std::to_string(result),
-                  FormatMs(hash_ms.mean()), FormatMs(json_ms.mean()),
+                  FormatMs(hash_ms.mean()), FormatPercentiles(hash_ms),
+                  FormatMs(json_ms.mean()),
                   util::StrFormat("%.1fx", json_ms.mean() /
                                                std::max(0.001, hash_ms.mean()))});
   }

@@ -10,6 +10,7 @@
 //   ./bench_fig8_dbpedia [--scale=0.2] [--runs=2] [--rt-micros=10]
 //                        [--memory-sweep]
 
+#include <array>
 #include <memory>
 
 #include "baseline/gremlin_interp.h"
@@ -50,7 +51,7 @@ int main(int argc, char** argv) {
   if (memory_sweep) {
     Banner("Fig. 8c — mean query time vs buffer-pool budget (paged storage)");
     TextTable table({"pool budget", "mean ms (all 31 queries)", "pool hits",
-                     "pool misses"});
+                     "pool misses", "pool evictions"});
     for (size_t budget_mb : {8, 16, 32, 64, 128, 256}) {
       core::StoreConfig config = DbpediaStoreConfig();
       config.storage = rel::StorageMode::kPaged;
@@ -77,7 +78,8 @@ int main(int argc, char** argv) {
       table.AddRow({util::StrFormat("%zu MiB", budget_mb),
                     FormatMs(per_query.mean()),
                     std::to_string((*store)->db()->buffer_pool()->hits()),
-                    std::to_string((*store)->db()->buffer_pool()->misses())});
+                    std::to_string((*store)->db()->buffer_pool()->misses()),
+                    std::to_string((*store)->db()->buffer_pool()->evictions())});
     }
     std::printf("%s", table.ToString().c_str());
     std::printf("(paper Fig. 8c: all systems flatten once the working set "
@@ -103,6 +105,10 @@ int main(int argc, char** argv) {
 
   SeriesStats sqlgraph_stats, kv_stats, native_stats;
 
+  struct QueryTiming {
+    std::array<double, 3> mean_ms;  // SQLGraph, KV, Native
+    std::string sg_percentiles;     // SQLGraph p50/p95/p99
+  };
   auto run_query = [&](const std::string& text, bool is_path, bool heavy) {
     int64_t expected = -1;
     util::Samples sg = TimedRuns(runs + 1, [&] {
@@ -135,19 +141,21 @@ int main(int argc, char** argv) {
     record(&sqlgraph_stats, sg.mean());
     record(&kv_stats, kv_ms.mean());
     record(&native_stats, native_ms.mean());
-    return std::array<double, 3>{sg.mean(), kv_ms.mean(), native_ms.mean()};
+    return QueryTiming{{sg.mean(), kv_ms.mean(), native_ms.mean()},
+                       FormatPercentiles(sg)};
   };
 
   Banner("Fig. 8a — DBpedia benchmark queries (ms)");
   {
-    TextTable table({"query", "SQLGraph", "Titan-like(KV)",
+    TextTable table({"query", "SQLGraph", "sg p50/p95/p99", "Titan-like(KV)",
                      "Neo4j-like(Native)"});
     const auto queries = DbpediaBenchmarkQueries();
     for (size_t i = 0; i < queries.size(); ++i) {
       const bool heavy = i == 14;  // dq15
-      auto ms = run_query(queries[i], /*is_path=*/false, heavy);
+      auto t = run_query(queries[i], /*is_path=*/false, heavy);
       table.AddRow({util::StrFormat("dq%zu%s", i + 1, heavy ? "*" : ""),
-                    FormatMs(ms[0]), FormatMs(ms[1]), FormatMs(ms[2])});
+                    FormatMs(t.mean_ms[0]), t.sg_percentiles,
+                    FormatMs(t.mean_ms[1]), FormatMs(t.mean_ms[2])});
     }
     std::printf("%s", table.ToString().c_str());
     std::printf("(* = the pathological query Titan timed out on in the "
@@ -156,12 +164,13 @@ int main(int argc, char** argv) {
 
   Banner("Fig. 8b — long path queries (ms)");
   {
-    TextTable table({"query", "SQLGraph", "Titan-like(KV)",
+    TextTable table({"query", "SQLGraph", "sg p50/p95/p99", "Titan-like(KV)",
                      "Neo4j-like(Native)"});
     for (const auto& q : Table1Queries()) {
-      auto ms = run_query(q.ToGremlin(), /*is_path=*/true, /*heavy=*/false);
-      table.AddRow({util::StrFormat("lq%d", q.id), FormatMs(ms[0]),
-                    FormatMs(ms[1]), FormatMs(ms[2])});
+      auto t = run_query(q.ToGremlin(), /*is_path=*/true, /*heavy=*/false);
+      table.AddRow({util::StrFormat("lq%d", q.id), FormatMs(t.mean_ms[0]),
+                    t.sg_percentiles, FormatMs(t.mean_ms[1]),
+                    FormatMs(t.mean_ms[2])});
     }
     std::printf("%s", table.ToString().c_str());
   }

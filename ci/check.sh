@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # CI gate: regular build + tests, a crash-recovery smoke stage with an
-# elevated fault-injection trial count, then an ASan/UBSan build + tests
-# (which re-runs the WAL suite under the sanitizers).
+# elevated fault-injection trial count, a differential Gremlin fuzz stage
+# with elevated trials, a metrics-overhead guard (enabled vs disabled
+# registry on the micro-op benchmarks, budget 5%), then ASan/UBSan and TSan
+# builds + tests (the TSan pass re-runs the metrics/differential/WAL suites
+# with concurrency).
 #
 #   ci/check.sh            # all stages
 #   ci/check.sh --fast     # regular pass only
@@ -23,9 +26,52 @@ echo "== WAL recovery smoke (elevated crash-point count) =="
 SQLGRAPH_WAL_CRASH_TRIALS=600 \
   ./build/tests/sqlgraph_tests --gtest_filter='WalCrashRecoveryTest.*'
 
+echo "== differential Gremlin fuzz (elevated trial count) =="
+SQLGRAPH_DIFF_TRIALS=100 \
+  ./build/tests/sqlgraph_tests --gtest_filter='*Differential*'
+
 if [[ "${1:-}" != "--fast" ]]; then
+  echo "== metrics overhead guard (budget: 5% on micro-op read paths) =="
+  # Same read-path benchmarks with the registry enabled vs disabled; the
+  # sharded relaxed-atomic hot path must stay within budget. Medians over
+  # repeated runs absorb scheduler noise; the budget applies to the mean of
+  # the per-benchmark median ratios (single-benchmark jitter on shared CI
+  # machines exceeds the real per-op cost by an order of magnitude).
+  overhead_filter='BM_GetVertex|BM_OutNeighbors|BM_GetLinkList'
+  SQLGRAPH_METRICS=1 ./build/bench/bench_micro_ops \
+    --benchmark_filter="${overhead_filter}" \
+    --benchmark_format=csv --benchmark_min_time=0.1 \
+    --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
+    >/tmp/bench_metrics_on.csv
+  SQLGRAPH_METRICS=0 ./build/bench/bench_micro_ops \
+    --benchmark_filter="${overhead_filter}" \
+    --benchmark_format=csv --benchmark_min_time=0.1 \
+    --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
+    >/tmp/bench_metrics_off.csv
+  awk -F, '
+    FNR == 1 { file++ }
+    /^"?BM_.*_median"?,/ {
+      gsub(/"/, "", $1)
+      if (file == 1) on[$1] = $4; else off[$1] = $4
+    }
+    END {
+      sum = 0; n = 0
+      for (b in on) {
+        if (off[b] + 0 == 0) continue
+        ratio = on[b] / off[b]
+        printf "  %-44s on=%.1fns off=%.1fns ratio=%.3f\n", b, on[b], off[b], ratio
+        sum += ratio; n++
+      }
+      mean = n ? sum / n : 0
+      printf "  mean median-ratio over %d benchmarks: %.3f (budget 1.05)\n", n, mean
+      exit !(n > 0 && mean <= 1.05)
+    }' /tmp/bench_metrics_on.csv /tmp/bench_metrics_off.csv
+
   echo "== ASan/UBSan build =="
   run_pass build-asan -DSQLGRAPH_SANITIZE=address -DCMAKE_BUILD_TYPE=Debug
+
+  echo "== TSan build (metrics hot path + differential + WAL concurrency) =="
+  run_pass build-tsan -DSQLGRAPH_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug
 fi
 
 echo "ci/check.sh: all passes green"

@@ -4,17 +4,38 @@
 //
 //   ./query_translation                      # REPL over the demo graph
 //   ./query_translation "g.V.out().count()"  # one-shot
+//   ./query_translation --table8             # EXPLAIN ANALYZE each Table-8
+//                                            # template query
+//   ./query_translation --metrics            # ... and dump the registry
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 
 #include "gremlin/runtime.h"
 #include "gremlin/sparql.h"
 #include "graph/dbpedia_gen.h"
+#include "obs/metrics.h"
 #include "sqlgraph/store.h"
 
 using namespace sqlgraph;
+
+namespace {
+// One representative query per Table-8 template family, phrased over the
+// demo DBpedia-like graph (edge labels are ontology URIs, vertex attributes
+// are the Table-2 set).
+const char* kTable8Queries[] = {
+    "g.V.has('genre','Rocken').count()",
+    "g.V(0).out()",
+    "g.V(0).out('http://dbpedia.org/ontology/rel_0')",
+    "g.V.has('genre','Rocken').out().dedup().count()",
+    "g.V(0).out().out().count()",
+    "g.V(0).outE('http://dbpedia.org/ontology/rel_0').inV().dedup().count()",
+    "g.V(0).as('x').out().back('x').dedup().count()",
+    "g.V(0).out().path()",
+};
+}  // namespace
 
 int main(int argc, char** argv) {
   graph::DbpediaConfig gen_config;
@@ -61,8 +82,30 @@ int main(int argc, char** argv) {
     for (const auto& step : stats.trace) {
       std::printf("  %s\n", step.c_str());
     }
+    auto explain = runtime.ExplainAnalyze(line);
+    if (explain.ok()) {
+      std::printf("EXPLAIN ANALYZE (operators attributed to pipes):\n%s\n",
+                  explain->ToString().c_str());
+    }
   };
 
+  if (argc > 1 && (std::strcmp(argv[1], "--table8") == 0 ||
+                   std::strcmp(argv[1], "--metrics") == 0)) {
+    for (const char* query : kTable8Queries) {
+      std::printf("=== %s\n", query);
+      auto explain = runtime.ExplainAnalyze(query);
+      if (!explain.ok()) {
+        std::printf("error: %s\n", explain.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s\n", explain->ToString().c_str());
+    }
+    if (std::strcmp(argv[1], "--metrics") == 0) {
+      std::printf("Metrics registry:\n%s\n",
+                  obs::MetricsRegistry::Default().DumpJson().c_str());
+    }
+    return 0;
+  }
   if (argc > 1) {
     for (int i = 1; i < argc; ++i) handle(argv[i]);
     return 0;

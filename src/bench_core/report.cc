@@ -52,6 +52,12 @@ std::string FormatMeanMax(double mean_s, double max_s) {
   return util::StrFormat("%.4f(%.3f)", mean_s, max_s);
 }
 
+std::string FormatPercentiles(const util::Samples& samples) {
+  return FormatMs(samples.Percentile(0.50)) + "/" +
+         FormatMs(samples.Percentile(0.95)) + "/" +
+         FormatMs(samples.Percentile(0.99));
+}
+
 void Banner(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }

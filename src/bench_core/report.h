@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/stats.h"
+
 namespace sqlgraph {
 namespace bench {
 
@@ -30,6 +32,10 @@ std::string FormatMs(double ms);
 
 /// Formats `mean(max)` in seconds, Table 6/7 style.
 std::string FormatMeanMax(double mean_s, double max_s);
+
+/// Formats a sample set's p50/p95/p99 (milliseconds) as "p50/p95/p99", for
+/// the tail-latency column the bench tables share.
+std::string FormatPercentiles(const util::Samples& samples);
 
 /// Prints a section banner to stdout.
 void Banner(const std::string& title);

@@ -8,15 +8,37 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "gremlin/parser.h"
 #include "gremlin/translation_cache.h"
 #include "gremlin/translator.h"
+#include "obs/trace.h"
 #include "sql/result.h"
 #include "sqlgraph/store.h"
 
 namespace sqlgraph {
 namespace gremlin {
+
+/// EXPLAIN ANALYZE of a Gremlin query: the executor's per-operator spans
+/// attributed back to the source pipes through the CTEs each pipe emitted.
+struct GremlinExplain {
+  struct PipeStats {
+    std::string pipe;                   ///< Source pipe, e.g. "out('knows')".
+    std::vector<std::string> ctes;      ///< CTEs this pipe translated to.
+    std::vector<obs::TraceSpan> spans;  ///< Operator spans in those CTEs.
+    uint64_t rows = 0;   ///< Rows leaving the pipe (its last operator).
+    uint64_t ns = 0;     ///< Total operator time attributed to the pipe.
+  };
+  std::vector<PipeStats> pipes;
+  /// Spans not owned by any pipe: the final SELECT plus anything unmapped.
+  std::vector<obs::TraceSpan> final_spans;
+  sql::ResultSet result;  ///< The query's actual rows.
+  std::string sql;        ///< Rendered SQL that was executed.
+
+  /// Human-readable plan trace (pipes, their operators, rows, times).
+  std::string ToString() const;
+};
 
 class GremlinRuntime {
  public:
@@ -39,6 +61,12 @@ class GremlinRuntime {
 
   /// Convenience: a query whose result is a single scalar (e.g. count()).
   util::Result<int64_t> Count(std::string_view text);
+
+  /// Runs `text` with per-operator span recording and attributes each
+  /// executor span back to its source pipe (spans carry the CTE they ran
+  /// in; the translator reports which CTEs each pipe emitted). Bypasses
+  /// the translation cache — analysis wants the uncached translation path.
+  util::Result<GremlinExplain> ExplainAnalyze(std::string_view text);
 
   const TranslationCache& translation_cache() const { return cache_; }
 

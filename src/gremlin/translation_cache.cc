@@ -2,12 +2,26 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
 #include "sql/render.h"
 
 namespace sqlgraph {
 namespace gremlin {
 
 namespace {
+
+// Process-wide registry export, aggregated across cache instances; the
+// per-instance hits()/misses() accessors keep their per-cache meaning.
+obs::Counter* CacheHitCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "gremlin.translation_cache.hits");
+  return c;
+}
+obs::Counter* CacheMissCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "gremlin.translation_cache.misses");
+  return c;
+}
 
 void AddBind(const rel::Value& value, int* slot_out,
              sql::ParamBindings* binds) {
@@ -117,10 +131,12 @@ util::Result<CachedTranslation> TranslationCache::GetOrTranslate(
     if (it != entries_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       ++hits_;
+      CacheHitCounter()->Increment();
       *binds = std::move(extracted);
       return it->second.translation;
     }
     ++misses_;
+    CacheMissCounter()->Increment();
   }
   // Translate and render outside the lock; concurrent misses on the same
   // shape produce identical text, so the double-insert below is benign.

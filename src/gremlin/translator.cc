@@ -120,9 +120,20 @@ class Translator::State {
         track_paths_(track_paths),
         single_hop_(single_hop) {}
 
-  Status Run(const Pipeline& pipeline) {
+  Status Run(const Pipeline& pipeline, PipeAttribution* attribution = nullptr) {
     for (size_t i = 0; i < pipeline.pipes.size(); ++i) {
+      const size_t ctes_before = ctes_.size();
       RETURN_NOT_OK(ApplyPipe(pipeline, i));
+      if (attribution != nullptr) {
+        // CTEs added while this pipe applied (including any emitted by
+        // nested branch pipelines) belong to it.
+        PipeAttribution::Entry entry;
+        entry.pipe = ToString(pipeline.pipes[i]);
+        for (size_t c = ctes_before; c < ctes_.size(); ++c) {
+          entry.ctes.push_back(ctes_[c].name);
+        }
+        attribution->pipes.push_back(std::move(entry));
+      }
     }
     return Status::OK();
   }
@@ -1063,14 +1074,15 @@ class Translator::State {
   std::unordered_map<std::string, std::string> aggregates_;
 };
 
-Result<sql::SqlQuery> Translator::Translate(const Pipeline& pipeline) const {
+Result<sql::SqlQuery> Translator::Translate(const Pipeline& pipeline,
+                                            PipeAttribution* attribution) const {
   if (pipeline.pipes.empty()) {
     return Status::InvalidArgument("empty pipeline");
   }
   const bool track_paths = NeedsPaths(pipeline);
   const bool single_hop = CountAdjacencySteps(pipeline) == 1;
   State state(schema_, options_, track_paths, single_hop);
-  RETURN_NOT_OK(state.Run(pipeline));
+  RETURN_NOT_OK(state.Run(pipeline, attribution));
   return state.Finish();
 }
 

@@ -20,6 +20,9 @@
 #ifndef SQLGRAPH_GREMLIN_TRANSLATOR_H_
 #define SQLGRAPH_GREMLIN_TRANSLATOR_H_
 
+#include <string>
+#include <vector>
+
 #include "gremlin/pipe.h"
 #include "sql/ast.h"
 #include "sqlgraph/schema.h"
@@ -27,6 +30,20 @@
 
 namespace sqlgraph {
 namespace gremlin {
+
+/// Which CTEs each source pipe's translation emitted, in pipeline order.
+/// CTE names are the join key between pipes and executor EXPLAIN ANALYZE
+/// spans (whose `context` is the CTE being evaluated): an operator span
+/// with context TEMP_3 belongs to the pipe whose entry lists TEMP_3. CTEs
+/// emitted by nested branch pipelines (copySplit, and/or, ifThenElse)
+/// attribute to the enclosing pipe.
+struct PipeAttribution {
+  struct Entry {
+    std::string pipe;                ///< Source pipe, e.g. "out('knows')".
+    std::vector<std::string> ctes;   ///< CTE names this pipe emitted.
+  };
+  std::vector<Entry> pipes;
+};
 
 struct TranslatorOptions {
   /// §3.5 redundancy exploitation: answer single-hop traversals from EA.
@@ -44,8 +61,11 @@ class Translator {
                       TranslatorOptions options = TranslatorOptions())
       : schema_(schema), options_(options) {}
 
-  /// Translates a full pipeline into one SQL query.
-  util::Result<sql::SqlQuery> Translate(const Pipeline& pipeline) const;
+  /// Translates a full pipeline into one SQL query. When `attribution` is
+  /// non-null, records which CTEs each pipe produced (for EXPLAIN ANALYZE
+  /// operator-to-pipe mapping).
+  util::Result<sql::SqlQuery> Translate(
+      const Pipeline& pipeline, PipeAttribution* attribution = nullptr) const;
 
  private:
   class State;

@@ -1,0 +1,232 @@
+#include "obs/metrics.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace sqlgraph {
+namespace obs {
+
+namespace internal {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+namespace {
+/// Applies SQLGRAPH_METRICS=0 once, before main() runs any queries.
+const bool g_env_applied = [] {
+  const char* env = std::getenv("SQLGRAPH_METRICS");
+  if (env != nullptr && env[0] == '0' && env[1] == '\0') {
+    g_metrics_enabled.store(false, std::memory_order_relaxed);
+  }
+  return true;
+}();
+}  // namespace
+
+}  // namespace internal
+
+bool MetricsEnabled() {
+  return internal::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  internal::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// -------------------------------------------------------------- Histogram --
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  int exp = 63 - __builtin_clzll(value);
+  if (exp >= kMaxExponent) return kNumBuckets - 1;
+  const uint64_t sub = (value >> (exp - kSubBits)) - kSubBuckets;
+  return kSubBuckets +
+         static_cast<size_t>(exp - kSubBits) * kSubBuckets +
+         static_cast<size_t>(sub);
+}
+
+void Histogram::BucketBounds(size_t index, uint64_t* lo, uint64_t* hi) {
+  if (index < kSubBuckets) {
+    *lo = *hi = index;
+    return;
+  }
+  const size_t rel = index - kSubBuckets;
+  const int exp = kSubBits + static_cast<int>(rel / kSubBuckets);
+  const uint64_t sub = rel % kSubBuckets;
+  const uint64_t width = uint64_t{1} << (exp - kSubBits);
+  *lo = (kSubBuckets + sub) * width;
+  *hi = *lo + width - 1;
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snap;
+  snap.counts.assign(kNumBuckets, 0);
+  for (const auto& shard : shards_) {
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      snap.counts[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  for (uint64_t c : snap.counts) snap.total += c;
+  return snap;
+}
+
+uint64_t Histogram::Count() const { return TakeSnapshot().total; }
+
+double Histogram::Snapshot::Quantile(double q) const {
+  if (total == 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Nearest-rank on the merged counts.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1));
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    if (rank < counts[b]) {
+      uint64_t lo, hi;
+      BucketBounds(b, &lo, &hi);
+      return (static_cast<double>(lo) + static_cast<double>(hi)) / 2.0;
+    }
+    rank -= counts[b];
+  }
+  uint64_t lo, hi;
+  BucketBounds(counts.size() - 1, &lo, &hi);
+  return static_cast<double>(hi);
+}
+
+double Histogram::Snapshot::Mean() const {
+  if (total == 0) return 0.0;
+  double sum = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    uint64_t lo, hi;
+    BucketBounds(b, &lo, &hi);
+    sum += static_cast<double>(counts[b]) *
+           ((static_cast<double>(lo) + static_cast<double>(hi)) / 2.0);
+  }
+  return sum / static_cast<double>(total);
+}
+
+uint64_t Histogram::Snapshot::Max() const {
+  for (size_t b = counts.size(); b-- > 0;) {
+    if (counts[b] != 0) {
+      uint64_t lo, hi;
+      BucketBounds(b, &lo, &hi);
+      return hi;
+    }
+  }
+  return 0;
+}
+
+// --------------------------------------------------------------- Registry --
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::DumpText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += util::StrFormat("%s %llu\n", name.c_str(),
+                           static_cast<unsigned long long>(c->Value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += util::StrFormat("%s %lld\n", name.c_str(),
+                           static_cast<long long>(g->Value()));
+  }
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot snap = h->TakeSnapshot();
+    out += util::StrFormat(
+        "%s count=%llu mean=%.0f p50=%.0f p95=%.0f p99=%.0f max=%llu\n",
+        name.c_str(), static_cast<unsigned long long>(snap.total), snap.Mean(),
+        snap.p50(), snap.p95(), snap.p99(),
+        static_cast<unsigned long long>(snap.Max()));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ", ";
+    first = false;
+    out += util::StrFormat("\"%s\": %llu", name.c_str(),
+                           static_cast<unsigned long long>(c->Value()));
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ", ";
+    first = false;
+    out += util::StrFormat("\"%s\": %lld", name.c_str(),
+                           static_cast<long long>(g->Value()));
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ", ";
+    first = false;
+    const Histogram::Snapshot snap = h->TakeSnapshot();
+    out += util::StrFormat(
+        "\"%s\": {\"count\": %llu, \"mean\": %.1f, \"p50\": %.1f, "
+        "\"p95\": %.1f, \"p99\": %.1f, \"max\": %llu}",
+        name.c_str(), static_cast<unsigned long long>(snap.total), snap.Mean(),
+        snap.p50(), snap.p95(), snap.p99(),
+        static_cast<unsigned long long>(snap.Max()));
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::vector<std::string> MetricsRegistry::CounterNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [name, c] : counters_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> MetricsRegistry::HistogramNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [name, h] : histograms_) names.push_back(name);
+  return names;
+}
+
+}  // namespace obs
+}  // namespace sqlgraph

@@ -1,0 +1,197 @@
+// Lock-cheap process-wide metrics: counters, gauges, and fixed-bucket
+// latency histograms with percentile extraction.
+//
+// Hot-path writes never take a lock and never contend in the common case:
+// Counter and Histogram are sharded per thread (each thread hashes to one
+// cache-line-aligned shard and updates it with a relaxed atomic), and reads
+// merge the shards on demand. A disabled registry (SQLGRAPH_METRICS=0 or
+// SetMetricsEnabled(false)) turns every write into a single predictable
+// branch, which is what the ci/check.sh overhead guard measures against.
+//
+// Metric objects are created once through MetricsRegistry::GetCounter /
+// GetGauge / GetHistogram (a mutex protects only creation and dumping) and
+// live for the process lifetime, so subsystems cache the returned pointer —
+// typically in a function-local static — and pay only the shard update per
+// event. Multiple instances of a subsystem (several stores, several caches)
+// share one metric by name; the registry therefore aggregates across
+// instances, while the per-subsystem stats structs (ExecStats, WalStats,
+// cache hit()/miss() accessors) keep their per-instance meaning.
+
+#ifndef SQLGRAPH_OBS_METRICS_H_
+#define SQLGRAPH_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sqlgraph {
+namespace obs {
+
+/// Global kill switch. Disabled writes cost one relaxed load + branch.
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+namespace internal {
+extern std::atomic<bool> g_metrics_enabled;
+
+/// Number of write shards per counter/histogram. More threads than shards
+/// just share shards (still correct; atomics absorb the collisions).
+inline constexpr size_t kShards = 16;
+
+/// Stable per-thread shard index, assigned round-robin on first use.
+size_t ThisThreadShard();
+}  // namespace internal
+
+/// \brief Monotonic counter, sharded per thread, merged on read.
+class Counter {
+ public:
+  void Add(uint64_t n) {
+    if (!internal::g_metrics_enabled.load(std::memory_order_relaxed)) return;
+    shards_[internal::ThisThreadShard()].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  /// Test/benchmark reset; not linearizable against concurrent writers.
+  void Reset() {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  Shard shards_[internal::kShards];
+};
+
+/// \brief Last-value gauge (single atomic; sets are rare enough).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if (!internal::g_metrics_enabled.load(std::memory_order_relaxed)) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t d) {
+    if (!internal::g_metrics_enabled.load(std::memory_order_relaxed)) return;
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// \brief Fixed-bucket log-linear histogram of non-negative integer samples
+/// (canonically nanoseconds), sharded per thread.
+///
+/// Bucketing is HdrHistogram-style: each power-of-two range is split into
+/// 2^kSubBits linear sub-buckets, so the relative width of any bucket is at
+/// most 1/2^kSubBits (6.25%) and quantile estimates (reported as the bucket
+/// midpoint) carry a bounded relative error regardless of how many sharded
+/// writers contributed — see obs_test.cc for the enforced bound.
+class Histogram {
+ public:
+  static constexpr int kSubBits = 4;
+  static constexpr size_t kSubBuckets = size_t{1} << kSubBits;
+  // Values up to 2^40 ns (~18 minutes) resolve; larger ones clamp into the
+  // last bucket.
+  static constexpr int kMaxExponent = 40;
+  static constexpr size_t kNumBuckets =
+      kSubBuckets + (kMaxExponent - kSubBits) * kSubBuckets;
+
+  void Record(uint64_t value) {
+    if (!internal::g_metrics_enabled.load(std::memory_order_relaxed)) return;
+    shards_[internal::ThisThreadShard()]
+        .buckets[BucketIndex(value)]
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Merged snapshot of all shards (index → count).
+  struct Snapshot {
+    std::vector<uint64_t> counts;  // kNumBuckets entries
+    uint64_t total = 0;
+
+    /// q in [0,1]; returns the midpoint of the bucket holding the q-rank
+    /// sample (0 when empty).
+    double Quantile(double q) const;
+    double p50() const { return Quantile(0.50); }
+    double p95() const { return Quantile(0.95); }
+    double p99() const { return Quantile(0.99); }
+    double Mean() const;
+    uint64_t Max() const;  // upper bound of highest non-empty bucket
+  };
+  Snapshot TakeSnapshot() const;
+
+  uint64_t Count() const;
+  double Quantile(double q) const { return TakeSnapshot().Quantile(q); }
+
+  void Reset() {
+    for (auto& s : shards_) {
+      for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  /// Maps a sample to its bucket; exposed for the unit tests.
+  static size_t BucketIndex(uint64_t value);
+  /// Inclusive [lo, hi] value range of a bucket.
+  static void BucketBounds(size_t index, uint64_t* lo, uint64_t* hi);
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> buckets[kNumBuckets] = {};
+  };
+  Shard shards_[internal::kShards];
+};
+
+/// \brief Name → metric registry with text/JSON dumps.
+///
+/// Creation and dumping lock; the returned pointers are stable for the
+/// registry's lifetime and their updates are lock-free.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every built-in subsystem reports into.
+  static MetricsRegistry& Default();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// One line per metric: `name value` (histograms: count/p50/p95/p99).
+  std::string DumpText() const;
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {"name": {"count": n, "p50": ..., ...}, ...}}.
+  std::string DumpJson() const;
+
+  /// Zeroes every metric (tests and benchmark phases); pointers stay valid.
+  void ResetAll();
+
+  /// Names currently registered, for tests.
+  std::vector<std::string> CounterNames() const;
+  std::vector<std::string> HistogramNames() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_OBS_METRICS_H_

@@ -1,0 +1,31 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace sqlgraph {
+namespace obs {
+
+std::string FormatSpanTable(const std::vector<TraceSpan>& spans) {
+  size_t ctx_w = 5, op_w = 8;
+  for (const TraceSpan& s : spans) {
+    ctx_w = std::max(ctx_w, s.context.size());
+    op_w = std::max(op_w, s.op.size());
+  }
+  std::string out = util::StrFormat("%-*s  %-*s  %10s  %12s\n",
+                                    static_cast<int>(ctx_w), "stage",
+                                    static_cast<int>(op_w), "operator",
+                                    "rows", "time");
+  for (const TraceSpan& s : spans) {
+    out += util::StrFormat(
+        "%-*s  %-*s  %10llu  %9.3f ms\n", static_cast<int>(ctx_w),
+        s.context.c_str(), static_cast<int>(op_w), s.op.c_str(),
+        static_cast<unsigned long long>(s.rows),
+        static_cast<double>(s.ns) / 1e6);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace sqlgraph

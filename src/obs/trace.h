@@ -1,0 +1,72 @@
+// Query-scoped trace spans: per-operator row counts and wall time.
+//
+// A span sink is just a vector owned by the caller (ExecStats keeps one per
+// query), so traces never touch global state and two concurrent queries
+// never share a sink. Instrumented code creates a ScopedSpan around each
+// operator; when the sink pointer is null — the common, non-EXPLAIN-ANALYZE
+// case — the constructor skips the clock read and the destructor does
+// nothing, keeping the disabled cost at one branch.
+
+#ifndef SQLGRAPH_OBS_TRACE_H_
+#define SQLGRAPH_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sqlgraph {
+namespace obs {
+
+/// One executed operator instance inside a query.
+struct TraceSpan {
+  std::string context;  ///< CTE name ("TEMP_3") or "final".
+  std::string op;       ///< Operator, e.g. "seq scan VA", "hash join".
+  uint64_t rows = 0;    ///< Rows the operator produced.
+  uint64_t ns = 0;      ///< Wall time spent in the operator.
+};
+
+/// RAII recorder appending one TraceSpan to `sink` at scope exit.
+class ScopedSpan {
+ public:
+  ScopedSpan(std::vector<TraceSpan>* sink, std::string context, std::string op)
+      : sink_(sink) {
+    if (sink_ == nullptr) return;
+    span_.context = std::move(context);
+    span_.op = std::move(op);
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedSpan() { Finish(); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Ends the span early, excluding trailing work (e.g. post-join filters)
+  /// from its time. Idempotent; the destructor becomes a no-op after.
+  void Finish() {
+    if (sink_ == nullptr) return;
+    span_.ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+    sink_->push_back(std::move(span_));
+    sink_ = nullptr;
+  }
+
+  void add_rows(uint64_t n) { span_.rows += n; }
+  void set_rows(uint64_t n) { span_.rows = n; }
+
+ private:
+  std::vector<TraceSpan>* sink_;  // null = tracing off
+  TraceSpan span_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Fixed-width text table of spans (EXPLAIN ANALYZE style), one per line:
+/// `context | operator | rows | time`.
+std::string FormatSpanTable(const std::vector<TraceSpan>& spans);
+
+}  // namespace obs
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_OBS_TRACE_H_

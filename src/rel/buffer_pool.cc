@@ -1,16 +1,40 @@
 #include "rel/buffer_pool.h"
 
+#include "obs/metrics.h"
+
 namespace sqlgraph {
 namespace rel {
+
+namespace {
+// Process-wide registry export, aggregated across pool instances; the
+// per-instance hits()/misses() accessors keep their per-pool meaning.
+obs::Counter* HitCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("rel.buffer_pool.hits");
+  return c;
+}
+obs::Counter* MissCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("rel.buffer_pool.misses");
+  return c;
+}
+obs::Counter* EvictionCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("rel.buffer_pool.evictions");
+  return c;
+}
+}  // namespace
 
 std::shared_ptr<const DecodedPage> BufferPool::Lookup(PageId id) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(id);
   if (it == map_.end()) {
     ++misses_;
+    MissCounter()->Increment();
     return nullptr;
   }
   ++hits_;
+  HitCounter()->Increment();
   // Move to front of LRU list.
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->page;
@@ -57,7 +81,7 @@ void BufferPool::Clear() {
   lru_.clear();
   map_.clear();
   used_ = 0;
-  hits_ = misses_ = 0;
+  hits_ = misses_ = evictions_ = 0;
 }
 
 void BufferPool::set_capacity(size_t bytes) {
@@ -72,6 +96,8 @@ void BufferPool::EvictIfNeeded() {
     used_ -= victim.page->byte_size;
     map_.erase(victim.id);
     lru_.pop_back();
+    ++evictions_;
+    EvictionCounter()->Increment();
   }
 }
 

@@ -70,6 +70,7 @@ class BufferPool {
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
   size_t cached_bytes() const { return used_; }
 
   /// Allocates a store id for a new paged store.
@@ -90,6 +91,7 @@ class BufferPool {
   std::unordered_map<PageId, std::list<Entry>::iterator, PageIdHash> map_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
   uint32_t next_store_id_ = 1;
 };
 

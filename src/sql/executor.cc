@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
 #include "sql/expr_eval.h"
 #include "sql/parser.h"
 #include "sql/planner.h"
@@ -310,13 +311,15 @@ class Executor::Impl {
   Impl(rel::Database* db, const Options& options, ExecStats* stats,
        const ParamBindings* params, PlanMemo* memo)
       : db_(db), options_(options), stats_(stats), params_(params),
-        memo_(memo) {}
+        memo_(memo), spans_(options.analyze ? &stats->spans : nullptr) {}
 
   Result<ResultSet> ExecuteQuery(const SqlQuery& q) {
     for (const Cte& cte : q.ctes) {
       context_ = cte.name;
       if (cte.recursive) {
+        obs::ScopedSpan span(spans_, context_, "recursive cte");
         RETURN_NOT_OK(ExecRecursiveCte(cte));
+        span.set_rows(ctes_[cte.name].rows.size());
       } else {
         ASSIGN_OR_RETURN(ResultSet res, ExecSelect(*cte.select));
         RETURN_NOT_OK(ApplyCteAliases(cte, &res));
@@ -458,6 +461,8 @@ class Executor::Impl {
 
   Status ApplyOrderLimit(const SelectStmt& s, ResultSet* out) {
     if (!s.order_by.empty()) {
+      obs::ScopedSpan span(spans_, context_, "sort (output)");
+      span.set_rows(out->rows.size());
       ColumnEnv env;
       for (const auto& c : out->columns) env.Add("", c);
       // Precompute sort keys.
@@ -600,13 +605,18 @@ class Executor::Impl {
       if (!item.is_star && ContainsAggregate(item.expr)) has_aggregate = true;
     }
     if (has_aggregate) {
+      obs::ScopedSpan span(spans_, context_, "aggregate");
       ASSIGN_OR_RETURN(ResultSet out, Aggregate(s, env, rows, ctx));
+      span.set_rows(out.rows.size());
+      span.Finish();
       if (!defer_order_limit) RETURN_NOT_OK(ApplyOrderLimit(s, &out));
       return out;
     }
 
     if (!defer_order_limit && !s.order_by.empty()) {
+      obs::ScopedSpan span(spans_, context_, "sort");
       RETURN_NOT_OK(SortInputRows(s, env, ctx, &rows));
+      span.set_rows(rows.size());
     }
     ResultSet out;
     RETURN_NOT_OK(Project(s, env, rows, ctx, &out));
@@ -758,6 +768,7 @@ class Executor::Impl {
   Status UnnestValues(const TableRef& ref, const ColumnEnv& next_env,
                       const std::vector<ExprPtr>& filters,
                       std::vector<Row>* rows, EvalContext* ctx) {
+    obs::ScopedSpan span(spans_, context_, "unnest values " + ref.exposure());
     std::vector<Row> out;
     const size_t arity = ref.column_aliases.size();
     Row scratch;
@@ -788,6 +799,7 @@ class Executor::Impl {
       }
     }
     *rows = std::move(out);
+    span.set_rows(rows->size());
     return Status::OK();
   }
 
@@ -801,6 +813,8 @@ class Executor::Impl {
     if (arity < 1 || arity > 3) {
       return Status::InvalidArgument("JSON_EDGES exposes 1-3 columns");
     }
+    obs::ScopedSpan span(spans_, context_,
+                         "unnest json_edges " + ref.exposure());
     std::vector<Row> out;
     Row scratch;
     for (const Row& current : *rows) {
@@ -846,6 +860,7 @@ class Executor::Impl {
       }
     }
     *rows = std::move(out);
+    span.set_rows(rows->size());
     return Status::OK();
   }
 
@@ -868,16 +883,21 @@ class Executor::Impl {
       ++stats_->table_scans;
       if (relation.base != nullptr) {
         Trace("seq scan " + relation.base->name());
+        obs::ScopedSpan span(spans_, context_,
+                             "seq scan " + relation.base->name());
         relation.base->Scan([&](rel::RowId, const Row& row) {
           ++stats_->rows_scanned;
           rows->push_back(relation.Project(row));
         });
+        span.set_rows(rows->size());
       } else {
+        obs::ScopedSpan span(spans_, context_, "scan " + ref.exposure());
         const std::vector<Row>* src = relation.rows();
         if (src == nullptr) return Status::Internal("relation has no rows");
         rows->reserve(src->size());
         for (const auto& r : *src) rows->push_back(r);
         stats_->rows_scanned += src->size();
+        span.set_rows(src->size());
       }
     }
     index_access_hit_ = false;
@@ -1024,11 +1044,15 @@ class Executor::Impl {
           key.parts.push_back(std::move(v));
           (*used)[plan.eq_slots[i]] = true;
         }
+        obs::ScopedSpan span(spans_, context_,
+                             "index lookup " + table.name() + " via " +
+                                 idx->name());
         std::vector<rel::RowId> rids;
         idx->Lookup(key, &rids);
         ++stats_->index_lookups;
         Trace("index lookup " + table.name() + " via " + idx->name());
         RETURN_NOT_OK(FetchRows(relation, rids, rows));
+        span.set_rows(rids.size());
         index_access_hit_ = true;
         return Status::OK();
       }
@@ -1038,11 +1062,15 @@ class Executor::Impl {
         ASSIGN_OR_RETURN(Value v, IndexablePredicateValue(plan.json_pred, ctx));
         rel::IndexKey key;
         key.parts.push_back(std::move(v));
+        obs::ScopedSpan span(spans_, context_,
+                             "JSON index lookup " + table.name() + " via " +
+                                 idx->name());
         std::vector<rel::RowId> rids;
         idx->Lookup(key, &rids);
         ++stats_->index_lookups;
         Trace("JSON index lookup " + table.name() + " via " + idx->name());
         RETURN_NOT_OK(FetchRows(relation, rids, rows));
+        span.set_rows(rids.size());
         (*used)[plan.json_slot] = true;
         index_access_hit_ = true;
         return Status::OK();
@@ -1052,6 +1080,9 @@ class Executor::Impl {
         const rel::Index* idx = FindIndexByName(table, plan.index_name);
         if (idx == nullptr) return Status::OK();
         const auto* ordered = static_cast<const rel::OrderedIndex*>(idx);
+        obs::ScopedSpan span(spans_, context_,
+                             "JSON index range scan " + table.name() +
+                                 " via " + idx->name());
         std::vector<rel::RowId> rids;
         if (plan.kind == AccessPlan::kJsonPrefix) {
           // [prefix, prefix + 0xFF): the residual LIKE still runs below.
@@ -1080,6 +1111,7 @@ class Executor::Impl {
         ++stats_->index_range_scans;
         Trace("JSON index range scan " + table.name() + " via " + idx->name());
         RETURN_NOT_OK(FetchRows(relation, rids, rows));
+        span.set_rows(rids.size());
         // Range bounds via ordered index can admit non-matching type ranks
         // (e.g. NULL bucket on unbounded-low); keep the predicate as filter.
         index_access_hit_ = true;
@@ -1198,6 +1230,9 @@ class Executor::Impl {
         ++stats_->index_nl_joins;
         Trace("index nested-loop join " + table.name() + " via " +
               best->name());
+        obs::ScopedSpan span(spans_, context_,
+                             "index nested-loop join " + table.name() +
+                                 " via " + best->name());
         std::vector<Row> out;
         Row fetched;
         for (const Row& current : *rows) {
@@ -1224,6 +1259,8 @@ class Executor::Impl {
           }
         }
         *rows = std::move(out);
+        span.set_rows(rows->size());
+        span.Finish();
         // Keys covered by the chosen index are satisfied; others (plus all
         // non-equi applicable conjuncts) filter below.
         std::vector<bool> key_used(keys.size(), false);
@@ -1250,6 +1287,8 @@ class Executor::Impl {
       Trace("hash join build on " + ref.exposure());
       ASSIGN_OR_RETURN(std::vector<Row> build_rows,
                        MaterializeRelation(relation));
+      obs::ScopedSpan span(spans_, context_,
+                           "hash join on " + ref.exposure());
       // Key slots within the ref row.
       std::vector<int> build_slots;
       for (const auto& key : keys) {
@@ -1294,6 +1333,8 @@ class Executor::Impl {
         }
       }
       *rows = std::move(out);
+      span.set_rows(rows->size());
+      span.Finish();
       for (size_t k = 0; k < applicable.size(); ++k) {
         if (!used[k]) {
           RETURN_NOT_OK(FilterRows(*applicable[k], next_env, *ctx, rows));
@@ -1305,6 +1346,7 @@ class Executor::Impl {
 
     // No equi keys: nested-loop cross join, then filter.
     ASSIGN_OR_RETURN(std::vector<Row> right_rows, MaterializeRelation(relation));
+    obs::ScopedSpan span(spans_, context_, "cross join " + ref.exposure());
     std::vector<Row> out;
     out.reserve(rows->size() * right_rows.size());
     for (const Row& current : *rows) {
@@ -1315,6 +1357,8 @@ class Executor::Impl {
       }
     }
     *rows = std::move(out);
+    span.set_rows(rows->size());
+    span.Finish();
     for (size_t k = 0; k < applicable.size(); ++k) {
       RETURN_NOT_OK(FilterRows(*applicable[k], next_env, *ctx, rows));
       (*consumed)[(*applicable_ids)[k]] = true;
@@ -1397,6 +1441,9 @@ class Executor::Impl {
         ++stats_->index_nl_joins;
         Trace("index nested-loop left-outer join " + table.name() + " via " +
               index->name());
+        obs::ScopedSpan span(spans_, context_,
+                             "index nested-loop left-outer join " +
+                                 table.name() + " via " + index->name());
         Row fetched;
         for (const Row& current : *rows) {
           rel::IndexKey key;
@@ -1439,12 +1486,17 @@ class Executor::Impl {
           }
         }
         *rows = std::move(out);
+        span.set_rows(rows->size());
         return Status::OK();
       }
     }
 
     ASSIGN_OR_RETURN(std::vector<Row> build_rows, MaterializeRelation(relation));
     ++stats_->hash_joins;
+    obs::ScopedSpan span(
+        spans_, context_,
+        (keys.empty() ? "nested-loop left-outer join " : "hash left-outer join ") +
+            ref.exposure());
 
     if (keys.empty()) {
       // Rare: nested-loop left outer join with arbitrary ON.
@@ -1473,6 +1525,7 @@ class Executor::Impl {
         }
       }
       *rows = std::move(out);
+      span.set_rows(rows->size());
       return Status::OK();
     }
 
@@ -1536,6 +1589,7 @@ class Executor::Impl {
       }
     }
     *rows = std::move(out);
+    span.set_rows(rows->size());
     return Status::OK();
   }
 
@@ -1543,10 +1597,13 @@ class Executor::Impl {
     std::vector<Row> out;
     if (relation.base != nullptr) {
       ++stats_->table_scans;
+      obs::ScopedSpan span(spans_, context_,
+                           "seq scan " + relation.base->name() + " (build)");
       relation.base->Scan([&](rel::RowId, const Row& row) {
         ++stats_->rows_scanned;
         out.push_back(relation.Project(row));
       });
+      span.set_rows(out.size());
       return out;
     }
     const std::vector<Row>* src = relation.rows();
@@ -1846,6 +1903,9 @@ class Executor::Impl {
   std::map<std::string, ResultSet> ctes_;
   std::string context_ = "query";
   bool index_access_hit_ = false;
+  // EXPLAIN ANALYZE sink (&stats_->spans when analyzing, else null so every
+  // span construction short-circuits without reading the clock).
+  std::vector<obs::TraceSpan>* spans_ = nullptr;
 };
 
 // ===========================================================================
@@ -1913,6 +1973,9 @@ Result<PreparedQueryPtr> PlanCache::GetOrPrepare(std::string_view sql_text,
         lru_.splice(lru_.begin(), lru_, it->second.lru_it);
         ++hits_;
         if (stats != nullptr) ++stats->plan_cache_hits;
+        static obs::Counter* hit_counter =
+            obs::MetricsRegistry::Default().GetCounter("sql.plan_cache.hits");
+        hit_counter->Increment();
         return it->second.prepared;
       }
       // Compiled under an older schema epoch: evict and re-prepare.
@@ -1920,6 +1983,9 @@ Result<PreparedQueryPtr> PlanCache::GetOrPrepare(std::string_view sql_text,
       entries_.erase(it);
     }
     ++misses_;
+    static obs::Counter* miss_counter =
+        obs::MetricsRegistry::Default().GetCounter("sql.plan_cache.misses");
+    miss_counter->Increment();
   }
 
   // Miss: parse outside the lock.
@@ -1988,7 +2054,18 @@ Result<ResultSet> Executor::ExecuteWithParams(const SqlQuery& query,
   const auto start = std::chrono::steady_clock::now();
   Impl impl(db_, options_, &stats_, params, memo);
   Result<ResultSet> result = impl.ExecuteQuery(query);
-  stats_.exec_ns += ElapsedNs(start);
+  const uint64_t elapsed = ElapsedNs(start);
+  stats_.exec_ns += elapsed;
+  if (obs::MetricsEnabled()) {
+    // One registry update per query, not per row: negligible next to the
+    // query itself, and the pointers resolve exactly once per process.
+    static obs::Counter* queries =
+        obs::MetricsRegistry::Default().GetCounter("sql.queries");
+    static obs::Histogram* latency =
+        obs::MetricsRegistry::Default().GetHistogram("sql.query_ns");
+    queries->Increment();
+    latency->Record(elapsed);
+  }
   return result;
 }
 

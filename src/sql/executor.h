@@ -33,6 +33,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.h"
 #include "rel/database.h"
 #include "sql/ast.h"
 #include "sql/expr_eval.h"
@@ -62,6 +63,10 @@ struct ExecStats {
   /// EXPLAIN-style trace: one line per access-path / join decision, prefixed
   /// by the CTE being evaluated.
   std::vector<std::string> trace;
+  /// EXPLAIN ANALYZE spans: per-operator rows + wall time, in execution
+  /// order. Only populated when Options::analyze is set (the timing clock
+  /// reads are not free); `context` is the CTE name or "final".
+  std::vector<obs::TraceSpan> spans;
 };
 
 class PlanMemo;
@@ -137,6 +142,9 @@ class Executor {
     int max_recursion = 10000;
     /// Disable index selection (for ablation tests).
     bool enable_indexes = true;
+    /// EXPLAIN ANALYZE mode: record per-operator rows + wall time into
+    /// ExecStats::spans. Off by default — each span costs two clock reads.
+    bool analyze = false;
   };
 
   explicit Executor(rel::Database* db) : db_(db) {}
@@ -168,6 +176,9 @@ class Executor {
 
   const ExecStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ExecStats(); }
+
+  /// Toggles EXPLAIN ANALYZE span recording (see Options::analyze).
+  void set_analyze(bool on) { options_.analyze = on; }
 
  private:
   class Impl;

@@ -1,9 +1,11 @@
 #include "sqlgraph/store.h"
 
 #include <algorithm>
+#include <cctype>
 #include <unordered_set>
 
 #include "json/json_parser.h"
+#include "obs/metrics.h"
 #include "wal/log_writer.h"
 
 namespace sqlgraph {
@@ -33,12 +35,41 @@ constexpr size_t kEaAttr = 4;
 
 // ------------------------------------------------------------------ locks --
 
+namespace {
+/// Blocking lock acquisition with contended-path wait accounting. The
+/// uncontended try_lock succeeds without touching the clock or the registry,
+/// so the instrumentation is free exactly where the hot path is; only actual
+/// waiters pay two clock reads plus two sharded counter updates.
+template <typename Lock>
+void AcquireTimed(Lock* lock) {
+  if (lock->try_lock()) return;
+  if (!obs::MetricsEnabled()) {
+    lock->lock();
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  lock->lock();
+  const uint64_t ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  static obs::Counter* waits =
+      obs::MetricsRegistry::Default().GetCounter("store.lock.waits");
+  static obs::Histogram* wait_ns =
+      obs::MetricsRegistry::Default().GetHistogram("store.lock.wait_ns");
+  waits->Increment();
+  wait_ns->Record(ns);
+}
+}  // namespace
+
 /// Shared lock over every table, for whole-query execution.
 class SqlGraphStore::ReadLockAll {
  public:
   explicit ReadLockAll(const SqlGraphStore* store) {
     for (int i = 0; i < kNumTables; ++i) {
-      locks_[i] = std::shared_lock<std::shared_mutex>(store->table_locks_[i]);
+      locks_[i] = std::shared_lock<std::shared_mutex>(store->table_locks_[i],
+                                                      std::defer_lock);
+      AcquireTimed(&locks_[i]);
     }
   }
 
@@ -59,9 +90,11 @@ class SqlGraphStore::WriteLock {
               [](const Req& a, const Req& b) { return a.table < b.table; });
     for (const Req& r : reqs) {
       if (r.exclusive) {
-        exclusive_.emplace_back(store->table_locks_[r.table]);
+        exclusive_.emplace_back(store->table_locks_[r.table], std::defer_lock);
+        AcquireTimed(&exclusive_.back());
       } else {
-        shared_.emplace_back(store->table_locks_[r.table]);
+        shared_.emplace_back(store->table_locks_[r.table], std::defer_lock);
+        AcquireTimed(&shared_.back());
       }
     }
   }
@@ -81,7 +114,9 @@ class SqlGraphStore::WriteLock {
 class SqlGraphStore::CommitGuard {
  public:
   explicit CommitGuard(const SqlGraphStore* store)
-      : lock_(store->wal_rotate_mu_) {}
+      : lock_(store->wal_rotate_mu_, std::defer_lock) {
+    AcquireTimed(&lock_);
+  }
 
  private:
   std::shared_lock<std::shared_mutex> lock_;
@@ -723,12 +758,60 @@ Result<std::vector<VertexId>> SqlGraphStore::In(
 
 // --------------------------------------------------------------- querying --
 
+namespace {
+/// Consumes a leading (case-insensitive) `EXPLAIN ANALYZE` from `*text`.
+bool StripExplainAnalyzePrefix(std::string_view* text) {
+  constexpr std::string_view kKeyword = "EXPLAIN ANALYZE";
+  size_t i = 0;
+  while (i < text->size() && std::isspace(static_cast<unsigned char>((*text)[i]))) {
+    ++i;
+  }
+  if (text->size() - i < kKeyword.size()) return false;
+  for (size_t k = 0; k < kKeyword.size(); ++k) {
+    if (std::toupper(static_cast<unsigned char>((*text)[i + k])) != kKeyword[k]) {
+      return false;
+    }
+  }
+  text->remove_prefix(i + kKeyword.size());
+  return true;
+}
+}  // namespace
+
+sql::ResultSet SqlGraphStore::SpansToResultSet(
+    const std::vector<obs::TraceSpan>& spans) {
+  sql::ResultSet rs;
+  rs.columns = {"stage", "operator", "rows", "time_ms"};
+  for (const obs::TraceSpan& s : spans) {
+    rs.rows.push_back({rel::Value(s.context), rel::Value(s.op),
+                       rel::Value(static_cast<int64_t>(s.rows)),
+                       rel::Value(static_cast<double>(s.ns) / 1e6)});
+  }
+  return rs;
+}
+
 Result<sql::ResultSet> SqlGraphStore::ExecuteSql(std::string_view text,
                                                  sql::ExecStats* stats) {
+  std::string_view body = text;
+  const bool analyze = StripExplainAnalyzePrefix(&body);
   ReadLockAll lock(this);
   sql::Executor exec(&db_);
   exec.set_plan_cache(&plan_cache_, schema_epoch());
-  auto result = exec.ExecuteSql(text);
+  exec.set_analyze(analyze);
+  auto result = exec.ExecuteSql(body);
+  if (stats != nullptr) *stats = exec.stats();
+  {
+    std::lock_guard<std::mutex> guard(stats_mu_);
+    last_stats_ = exec.stats();
+  }
+  if (analyze && result.ok()) return SpansToResultSet(exec.stats().spans);
+  return result;
+}
+
+Result<sql::ResultSet> SqlGraphStore::Execute(const sql::SqlQuery& query,
+                                              sql::ExecStats* stats) {
+  ReadLockAll lock(this);
+  sql::Executor exec(&db_);
+  auto result = exec.Execute(query);
   if (stats != nullptr) *stats = exec.stats();
   {
     std::lock_guard<std::mutex> guard(stats_mu_);
@@ -737,10 +820,11 @@ Result<sql::ResultSet> SqlGraphStore::ExecuteSql(std::string_view text,
   return result;
 }
 
-Result<sql::ResultSet> SqlGraphStore::Execute(const sql::SqlQuery& query,
-                                              sql::ExecStats* stats) {
+Result<sql::ResultSet> SqlGraphStore::ExecuteAnalyze(const sql::SqlQuery& query,
+                                                     sql::ExecStats* stats) {
   ReadLockAll lock(this);
   sql::Executor exec(&db_);
+  exec.set_analyze(true);
   auto result = exec.Execute(query);
   if (stats != nullptr) *stats = exec.stats();
   {

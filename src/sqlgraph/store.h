@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "graph/property_graph.h"
+#include "obs/trace.h"
 #include "rel/database.h"
 #include "sql/executor.h"
 #include "sqlgraph/loader.h"
@@ -103,10 +104,26 @@ class SqlGraphStore {
   /// Repeated identical text is served from the store's plan cache. When
   /// `stats` is non-null, the call's counters are copied there — a race-free
   /// alternative to last_exec_stats() under concurrency.
+  ///
+  /// Text starting with `EXPLAIN ANALYZE` (case-insensitive) executes the
+  /// remainder with per-operator span recording and returns the span table
+  /// (stage | operator | rows | time_ms) instead of the query's rows; the
+  /// raw spans are in stats->spans for programmatic consumers.
   util::Result<sql::ResultSet> ExecuteSql(std::string_view text,
                                           sql::ExecStats* stats = nullptr);
   util::Result<sql::ResultSet> Execute(const sql::SqlQuery& query,
                                        sql::ExecStats* stats = nullptr);
+  /// Executes `query` with per-operator span recording (EXPLAIN ANALYZE as
+  /// an API): returns the query's normal results while `stats->spans` gets
+  /// one entry per executed operator. Used by the Gremlin runtime to
+  /// attribute operator stats back to pipes.
+  util::Result<sql::ResultSet> ExecuteAnalyze(const sql::SqlQuery& query,
+                                              sql::ExecStats* stats);
+
+  /// Renders EXPLAIN ANALYZE spans as a result set
+  /// (stage | operator | rows | time_ms).
+  static sql::ResultSet SpansToResultSet(
+      const std::vector<obs::TraceSpan>& spans);
 
   /// Compiles SQL text (with `?` / `:name` bind parameters) through the
   /// store's plan cache into a reusable statement.

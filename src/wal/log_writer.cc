@@ -6,11 +6,45 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace sqlgraph {
 namespace wal {
 
 using util::Result;
 using util::Status;
+
+namespace {
+
+// Process-wide registry export next to the per-writer WalCounters; the
+// registry aggregates across writer instances (and log rotations).
+obs::Counter* RecordCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("wal.records");
+  return c;
+}
+obs::Counter* ByteCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("wal.bytes");
+  return c;
+}
+obs::Counter* FsyncCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("wal.fsyncs");
+  return c;
+}
+obs::Counter* GroupCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("wal.groups");
+  return c;
+}
+obs::Histogram* GroupSizeHistogram() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Default().GetHistogram("wal.group_records");
+  return h;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<LogWriter>> LogWriter::Open(const std::string& path,
                                                    SyncMode mode) {
@@ -45,6 +79,7 @@ Status LogWriter::Fsync() {
                             std::strerror(errno));
   }
   counters_.fsyncs.fetch_add(1, std::memory_order_relaxed);
+  FsyncCounter()->Increment();
   return Status::OK();
 }
 
@@ -62,6 +97,8 @@ Result<uint64_t> LogWriter::Enqueue(const Record& rec) {
   if (!io_error_.ok()) return io_error_;
   counters_.records.fetch_add(1, std::memory_order_relaxed);
   counters_.bytes.fetch_add(frame.size(), std::memory_order_relaxed);
+  RecordCounter()->Increment();
+  ByteCounter()->Add(frame.size());
   pending_ += frame;
   ++pending_records_;
   return ++next_seq_;
@@ -102,6 +139,8 @@ Status LogWriter::WaitDurable(uint64_t ticket) {
     RETURN_NOT_OK(io_error_ = Fsync());
     counters_.groups.fetch_add(1, std::memory_order_relaxed);
     counters_.grouped_records.fetch_add(1, std::memory_order_relaxed);
+    GroupCounter()->Increment();
+    GroupSizeHistogram()->Record(1);
     return Status::OK();
   }
 
@@ -127,6 +166,8 @@ Status LogWriter::WaitDurable(uint64_t ticket) {
     counters_.groups.fetch_add(1, std::memory_order_relaxed);
     counters_.grouped_records.fetch_add(batch_records,
                                         std::memory_order_relaxed);
+    GroupCounter()->Increment();
+    GroupSizeHistogram()->Record(batch_records);
     leader_active_ = false;
     cv_.notify_all();
   }
