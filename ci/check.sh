@@ -2,9 +2,12 @@
 # CI gate: regular build + tests, a crash-recovery smoke stage with an
 # elevated fault-injection trial count, a differential Gremlin fuzz stage
 # with elevated trials, a metrics-overhead guard (enabled vs disabled
-# registry on the micro-op benchmarks, budget 5%), then ASan/UBSan and TSan
-# builds + tests (the TSan pass re-runs the metrics/differential/WAL suites
-# with concurrency).
+# registry on the micro-op benchmarks, budget 5%), a static-analysis lint
+# stage (clang -Wthread-safety -Werror build + clang-tidy over
+# compile_commands.json; skipped with a notice when the clang toolchain is
+# absent), then ASan/UBSan and TSan builds + tests (the TSan pass re-runs
+# the metrics/differential/WAL suites with concurrency; Debug sanitizer
+# builds run with the lock-rank validator on by default).
 #
 #   ci/check.sh            # all stages
 #   ci/check.sh --fast     # regular pass only
@@ -66,6 +69,29 @@ if [[ "${1:-}" != "--fast" ]]; then
       printf "  mean median-ratio over %d benchmarks: %.3f (budget 1.05)\n", n, mean
       exit !(n > 0 && mean <= 1.05)
     }' /tmp/bench_metrics_on.csv /tmp/bench_metrics_off.csv
+
+  echo "== lint (thread-safety analysis + clang-tidy) =="
+  # Clang's -Wthread-safety checks the GUARDED_BY/REQUIRES annotations in
+  # util/thread_annotations.h (GCC compiles them away, so only this stage
+  # verifies them); clang-tidy runs the curated check set in .clang-tidy.
+  # Both are skipped — loudly, not silently — when the clang toolchain is
+  # not installed, so the gate degrades instead of breaking on minimal
+  # build images.
+  if command -v clang++ >/dev/null 2>&1; then
+    run_pass build-lint \
+      -DCMAKE_CXX_COMPILER=clang++ -DSQLGRAPH_WERROR=ON \
+      -DCMAKE_BUILD_TYPE=Debug
+    if command -v clang-tidy >/dev/null 2>&1; then
+      # compile_commands.json is exported by CMakeLists.txt; lint only
+      # first-party sources (dependency headers are not ours to fix).
+      git ls-files 'src/**/*.cc' | \
+        xargs clang-tidy -p build-lint --quiet
+    else
+      echo "  clang-tidy not found; SKIPPING tidy checks"
+    fi
+  else
+    echo "  clang++ not found; SKIPPING thread-safety + clang-tidy stage"
+  fi
 
   echo "== ASan/UBSan build =="
   run_pass build-asan -DSQLGRAPH_SANITIZE=address -DCMAKE_BUILD_TYPE=Debug

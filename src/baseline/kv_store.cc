@@ -104,7 +104,7 @@ void KvStore::IndexVertexLocked(VertexId vid, const json::JsonValue& attrs,
 }
 
 Result<VertexId> KvStore::AddVertex(json::JsonValue attrs) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   const VertexId vid = next_vertex_id_++;
   if (!attrs.is_object()) attrs = json::JsonValue::Object();
@@ -116,7 +116,7 @@ Result<VertexId> KvStore::AddVertex(json::JsonValue attrs) {
 }
 
 Result<json::JsonValue> KvStore::GetVertex(VertexId vid) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   auto it = kv_.find(VKey(vid));
   if (it == kv_.end()) return Status::NotFound("vertex " + std::to_string(vid));
@@ -125,7 +125,7 @@ Result<json::JsonValue> KvStore::GetVertex(VertexId vid) {
 
 Status KvStore::SetVertexAttr(VertexId vid, const std::string& key,
                               json::JsonValue value) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   auto it = kv_.find(VKey(vid));
   if (it == kv_.end()) return Status::NotFound("vertex " + std::to_string(vid));
@@ -138,7 +138,7 @@ Status KvStore::SetVertexAttr(VertexId vid, const std::string& key,
 }
 
 Status KvStore::RemoveVertex(VertexId vid) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   auto it = kv_.find(VKey(vid));
   if (it == kv_.end()) return Status::NotFound("vertex " + std::to_string(vid));
@@ -168,7 +168,7 @@ Status KvStore::RemoveVertex(VertexId vid) {
 Result<EdgeId> KvStore::AddEdge(VertexId src, VertexId dst,
                                 const std::string& label,
                                 json::JsonValue attrs) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   if (!kv_.count(VKey(src))) {
     return Status::NotFound("vertex " + std::to_string(src));
@@ -201,14 +201,14 @@ Result<EdgeRecord> KvStore::GetEdgeLocked(EdgeId eid) const {
 }
 
 Result<EdgeRecord> KvStore::GetEdge(EdgeId eid) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   return GetEdgeLocked(eid);
 }
 
 Status KvStore::SetEdgeAttr(EdgeId eid, const std::string& key,
                             json::JsonValue value) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   ASSIGN_OR_RETURN(EdgeRecord rec, GetEdgeLocked(eid));
   rec.attrs.Set(key, std::move(value));
@@ -233,7 +233,7 @@ Status KvStore::RemoveEdgeLocked(EdgeId eid) {
 }
 
 Status KvStore::RemoveEdge(EdgeId eid) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   return RemoveEdgeLocked(eid);
 }
@@ -241,7 +241,7 @@ Status KvStore::RemoveEdge(EdgeId eid) {
 Result<std::optional<EdgeId>> KvStore::FindEdge(VertexId src,
                                                 const std::string& label,
                                                 VertexId dst) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   const std::string prefix = OPrefix(src, label);
   for (auto it = kv_.lower_bound(prefix);
@@ -258,7 +258,7 @@ Result<std::optional<EdgeId>> KvStore::FindEdge(VertexId src,
 
 Result<std::vector<EdgeRecord>> KvStore::GetOutEdges(VertexId src,
                                                      const std::string& label) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   std::vector<EdgeRecord> out;
   const std::string prefix = OPrefix(src, label);
@@ -281,7 +281,7 @@ Result<std::vector<EdgeRecord>> KvStore::GetOutEdges(VertexId src,
 }
 
 Result<int64_t> KvStore::CountOutEdges(VertexId src, const std::string& label) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   int64_t count = 0;
   const std::string prefix = OPrefix(src, label);
@@ -294,7 +294,7 @@ Result<int64_t> KvStore::CountOutEdges(VertexId src, const std::string& label) {
 
 Result<std::vector<VertexId>> KvStore::Out(
     VertexId vid, const std::vector<std::string>& labels) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   std::vector<VertexId> out;
   auto scan = [&](const std::string& prefix) -> Status {
@@ -315,7 +315,7 @@ Result<std::vector<VertexId>> KvStore::Out(
 
 Result<std::vector<VertexId>> KvStore::In(
     VertexId vid, const std::vector<std::string>& labels) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   std::vector<VertexId> out;
   auto scan = [&](const std::string& prefix) -> Status {
@@ -336,7 +336,7 @@ Result<std::vector<VertexId>> KvStore::In(
 
 Result<std::vector<EdgeId>> KvStore::OutE(
     VertexId vid, const std::vector<std::string>& labels) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   std::vector<EdgeId> out;
   auto scan = [&](const std::string& prefix) {
@@ -357,7 +357,7 @@ Result<std::vector<EdgeId>> KvStore::OutE(
 
 Result<std::vector<EdgeId>> KvStore::InE(
     VertexId vid, const std::vector<std::string>& labels) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   std::vector<EdgeId> out;
   auto scan = [&](const std::string& prefix) {
@@ -377,7 +377,7 @@ Result<std::vector<EdgeId>> KvStore::InE(
 }
 
 Result<std::vector<VertexId>> KvStore::AllVertices() {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   std::vector<VertexId> out;
   const std::string prefix = "v/";
   for (auto it = kv_.lower_bound(prefix);
@@ -394,7 +394,7 @@ Result<std::vector<VertexId>> KvStore::AllVertices() {
 }
 
 Result<std::vector<EdgeId>> KvStore::AllEdges() {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   std::vector<EdgeId> out;
   const std::string prefix = "e/";
   for (auto it = kv_.lower_bound(prefix);
@@ -412,7 +412,7 @@ Result<std::vector<EdgeId>> KvStore::AllEdges() {
 
 Result<std::vector<VertexId>> KvStore::VerticesByAttr(const std::string& key,
                                                       const rel::Value& value) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   std::vector<VertexId> out;
   if (std::find(config_.indexed_keys.begin(), config_.indexed_keys.end(),

@@ -15,12 +15,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "baseline/blueprints.h"
 #include "graph/property_graph.h"
+#include "util/thread_annotations.h"
 
 namespace sqlgraph {
 namespace baseline {
@@ -86,17 +86,23 @@ class KvStore : public GraphDb {
   // Internal (lock already held) edge insertion/removal.
   util::Status PutEdgeLocked(EdgeId eid, VertexId src, VertexId dst,
                              const std::string& label,
-                             const json::JsonValue& attrs);
-  util::Status RemoveEdgeLocked(EdgeId eid);
-  util::Result<EdgeRecord> GetEdgeLocked(EdgeId eid) const;
-  void IndexVertexLocked(VertexId vid, const json::JsonValue& attrs, bool add);
+                             const json::JsonValue& attrs) REQUIRES(big_lock_);
+  util::Status RemoveEdgeLocked(EdgeId eid) REQUIRES(big_lock_);
+  util::Result<EdgeRecord> GetEdgeLocked(EdgeId eid) const
+      REQUIRES(big_lock_);
+  void IndexVertexLocked(VertexId vid, const json::JsonValue& attrs, bool add)
+      REQUIRES(big_lock_);
 
   KvStoreConfig config_;
-  mutable std::mutex big_lock_;
-  std::map<std::string, std::string> kv_;
-  int64_t next_vertex_id_ = 0;
-  int64_t next_edge_id_ = 0;
-  size_t bytes_ = 0;  // running serialized size
+  // Deliberately coarse (Rexster-style request serialization, DESIGN.md §5).
+  // kBaselineStore: baseline stores never nest with SQLGraph locks; only
+  // metrics may follow.
+  mutable util::Mutex big_lock_{util::LockRank::kBaselineStore,
+                                "kv_big_lock"};
+  std::map<std::string, std::string> kv_ GUARDED_BY(big_lock_);
+  int64_t next_vertex_id_ GUARDED_BY(big_lock_) = 0;
+  int64_t next_edge_id_ GUARDED_BY(big_lock_) = 0;
+  size_t bytes_ GUARDED_BY(big_lock_) = 0;  // running serialized size
 };
 
 }  // namespace baseline

@@ -102,7 +102,7 @@ Status NativeStore::CheckNode(VertexId vid) const {
 }
 
 Result<VertexId> NativeStore::AddVertex(json::JsonValue attrs) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   NodeRecord node;
   node.in_use = true;
@@ -114,7 +114,7 @@ Result<VertexId> NativeStore::AddVertex(json::JsonValue attrs) {
 }
 
 Result<json::JsonValue> NativeStore::GetVertex(VertexId vid) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   RETURN_NOT_OK(CheckNode(vid));
   return nodes_[static_cast<size_t>(vid)].attrs;
@@ -122,7 +122,7 @@ Result<json::JsonValue> NativeStore::GetVertex(VertexId vid) {
 
 Status NativeStore::SetVertexAttr(VertexId vid, const std::string& key,
                                   json::JsonValue value) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   RETURN_NOT_OK(CheckNode(vid));
   NodeRecord& node = nodes_[static_cast<size_t>(vid)];
@@ -169,7 +169,7 @@ void NativeStore::UnlinkRel(int64_t rel_id) {
 }
 
 Status NativeStore::RemoveVertex(VertexId vid) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   RETURN_NOT_OK(CheckNode(vid));
   NodeRecord& node = nodes_[static_cast<size_t>(vid)];
@@ -185,7 +185,7 @@ Status NativeStore::RemoveVertex(VertexId vid) {
 Result<EdgeId> NativeStore::AddEdge(VertexId src, VertexId dst,
                                     const std::string& label,
                                     json::JsonValue attrs) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   RETURN_NOT_OK(CheckNode(src));
   RETURN_NOT_OK(CheckNode(dst));
@@ -205,7 +205,7 @@ Result<EdgeId> NativeStore::AddEdge(VertexId src, VertexId dst,
 }
 
 Result<EdgeRecord> NativeStore::GetEdge(EdgeId eid) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   if (eid < 0 || static_cast<size_t>(eid) >= rels_.size() ||
       !rels_[static_cast<size_t>(eid)].in_use) {
@@ -223,7 +223,7 @@ Result<EdgeRecord> NativeStore::GetEdge(EdgeId eid) {
 
 Status NativeStore::SetEdgeAttr(EdgeId eid, const std::string& key,
                                 json::JsonValue value) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   if (eid < 0 || static_cast<size_t>(eid) >= rels_.size() ||
       !rels_[static_cast<size_t>(eid)].in_use) {
@@ -234,7 +234,7 @@ Status NativeStore::SetEdgeAttr(EdgeId eid, const std::string& key,
 }
 
 Status NativeStore::RemoveEdge(EdgeId eid) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   if (eid < 0 || static_cast<size_t>(eid) >= rels_.size() ||
       !rels_[static_cast<size_t>(eid)].in_use) {
@@ -247,7 +247,7 @@ Status NativeStore::RemoveEdge(EdgeId eid) {
 Result<std::optional<EdgeId>> NativeStore::FindEdge(VertexId src,
                                                     const std::string& label,
                                                     VertexId dst) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   RETURN_NOT_OK(CheckNode(src));
   for (int64_t cur = nodes_[static_cast<size_t>(src)].first_out; cur != kNil;
@@ -262,7 +262,7 @@ Result<std::optional<EdgeId>> NativeStore::FindEdge(VertexId src,
 
 Result<std::vector<EdgeRecord>> NativeStore::GetOutEdges(
     VertexId src, const std::string& label) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   RETURN_NOT_OK(CheckNode(src));
   std::vector<EdgeRecord> out;
@@ -283,7 +283,7 @@ Result<std::vector<EdgeRecord>> NativeStore::GetOutEdges(
 
 Result<int64_t> NativeStore::CountOutEdges(VertexId src,
                                            const std::string& label) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   RETURN_NOT_OK(CheckNode(src));
   int64_t count = 0;
@@ -299,7 +299,7 @@ Result<int64_t> NativeStore::CountOutEdges(VertexId src,
 
 Result<std::vector<VertexId>> NativeStore::Out(
     VertexId vid, const std::vector<std::string>& labels) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   RETURN_NOT_OK(CheckNode(vid));
   std::vector<VertexId> out;
@@ -313,7 +313,7 @@ Result<std::vector<VertexId>> NativeStore::Out(
 
 Result<std::vector<VertexId>> NativeStore::In(
     VertexId vid, const std::vector<std::string>& labels) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   RETURN_NOT_OK(CheckNode(vid));
   std::vector<VertexId> out;
@@ -327,7 +327,7 @@ Result<std::vector<VertexId>> NativeStore::In(
 
 Result<std::vector<EdgeId>> NativeStore::OutE(
     VertexId vid, const std::vector<std::string>& labels) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   RETURN_NOT_OK(CheckNode(vid));
   std::vector<EdgeId> out;
@@ -342,7 +342,7 @@ Result<std::vector<EdgeId>> NativeStore::OutE(
 
 Result<std::vector<EdgeId>> NativeStore::InE(
     VertexId vid, const std::vector<std::string>& labels) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   RETURN_NOT_OK(CheckNode(vid));
   std::vector<EdgeId> out;
@@ -356,7 +356,7 @@ Result<std::vector<EdgeId>> NativeStore::InE(
 }
 
 Result<std::vector<VertexId>> NativeStore::AllVertices() {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   std::vector<VertexId> out;
   for (size_t i = 0; i < nodes_.size(); ++i) {
     if (nodes_[i].in_use) out.push_back(static_cast<VertexId>(i));
@@ -371,7 +371,7 @@ Result<std::vector<VertexId>> NativeStore::AllVertices() {
 }
 
 Result<std::vector<EdgeId>> NativeStore::AllEdges() {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   std::vector<EdgeId> out;
   for (size_t i = 0; i < rels_.size(); ++i) {
     if (rels_[i].in_use) out.push_back(static_cast<EdgeId>(i));
@@ -386,7 +386,7 @@ Result<std::vector<EdgeId>> NativeStore::AllEdges() {
 
 Result<std::vector<VertexId>> NativeStore::VerticesByAttr(
     const std::string& key, const rel::Value& value) {
-  std::lock_guard<std::mutex> lock(big_lock_);
+  util::MutexLock lock(&big_lock_);
   ChargeRoundTrip(config_.round_trip_micros);
   if (std::find(config_.indexed_keys.begin(), config_.indexed_keys.end(),
                 key) == config_.indexed_keys.end()) {

@@ -13,13 +13,13 @@
 #define SQLGRAPH_BASELINE_NATIVE_STORE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "baseline/blueprints.h"
 #include "graph/property_graph.h"
+#include "util/thread_annotations.h"
 
 namespace sqlgraph {
 namespace baseline {
@@ -94,23 +94,30 @@ class NativeStore : public GraphDb {
   explicit NativeStore(NativeStoreConfig config)
       : config_(std::move(config)) {}
 
-  uint32_t InternLabel(const std::string& label);
+  uint32_t InternLabel(const std::string& label) REQUIRES(big_lock_);
   bool LabelMatches(uint32_t label_id,
-                    const std::vector<std::string>& labels) const;
-  void IndexVertex(VertexId vid, const json::JsonValue& attrs);
-  void UnindexVertex(VertexId vid, const json::JsonValue& attrs);
+                    const std::vector<std::string>& labels) const
+      REQUIRES(big_lock_);
+  void IndexVertex(VertexId vid, const json::JsonValue& attrs)
+      REQUIRES(big_lock_);
+  void UnindexVertex(VertexId vid, const json::JsonValue& attrs)
+      REQUIRES(big_lock_);
   // Unlinks a relationship from both endpoint chains.
-  void UnlinkRel(int64_t rel_id);
-  util::Status CheckNode(VertexId vid) const;
+  void UnlinkRel(int64_t rel_id) REQUIRES(big_lock_);
+  util::Status CheckNode(VertexId vid) const REQUIRES(big_lock_);
 
   NativeStoreConfig config_;
-  mutable std::mutex big_lock_;  // request-level serialization (see header)
-  std::vector<NodeRecord> nodes_;
-  std::vector<RelRecord> rels_;
-  std::vector<std::string> labels_;
-  std::unordered_map<std::string, uint32_t> label_ids_;
+  // Request-level serialization (see header). kBaselineStore: baseline
+  // stores never nest with SQLGraph locks; only metrics may follow.
+  mutable util::Mutex big_lock_{util::LockRank::kBaselineStore,
+                                "native_big_lock"};
+  std::vector<NodeRecord> nodes_ GUARDED_BY(big_lock_);
+  std::vector<RelRecord> rels_ GUARDED_BY(big_lock_);
+  std::vector<std::string> labels_ GUARDED_BY(big_lock_);
+  std::unordered_map<std::string, uint32_t> label_ids_ GUARDED_BY(big_lock_);
   // (key, value-string) → vids, for configured indexed keys.
-  std::unordered_map<std::string, std::vector<VertexId>> attr_index_;
+  std::unordered_map<std::string, std::vector<VertexId>> attr_index_
+      GUARDED_BY(big_lock_);
 };
 
 }  // namespace baseline

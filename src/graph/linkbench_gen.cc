@@ -70,6 +70,8 @@ PropertyGraph GenerateLinkBenchGraph(const LinkBenchConfig& config) {
       auto st = graph.AddEdge(static_cast<VertexId>(i), dst,
                               AssocType(rng.Uniform(config.num_assoc_types)),
                               AssocAttrs(config, &rng));
+      // Duplicate (src, type, dst) picks are legal in the workload; the
+      // AlreadyExists they produce is not an error.
       (void)st;
       ++added;
     }

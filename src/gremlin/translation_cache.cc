@@ -126,7 +126,7 @@ util::Result<CachedTranslation> TranslationCache::GetOrTranslate(
   Pipeline shaped = ParameterizePipeline(pipeline, &extracted);
   const std::string key = PipelineShapeKey(shaped);
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    util::MutexLock guard(&mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
@@ -146,7 +146,7 @@ util::Result<CachedTranslation> TranslationCache::GetOrTranslate(
   translation.sql = sql::Render(*query);
   translation.param_count = static_cast<int>(extracted.positional.size());
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    util::MutexLock guard(&mu_);
     auto it = entries_.find(key);
     if (it == entries_.end()) {
       lru_.push_front(key);
@@ -162,23 +162,23 @@ util::Result<CachedTranslation> TranslationCache::GetOrTranslate(
 }
 
 void TranslationCache::Clear() {
-  std::lock_guard<std::mutex> guard(mu_);
+  util::MutexLock guard(&mu_);
   entries_.clear();
   lru_.clear();
 }
 
 size_t TranslationCache::size() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  util::MutexLock guard(&mu_);
   return entries_.size();
 }
 
 uint64_t TranslationCache::hits() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  util::MutexLock guard(&mu_);
   return hits_;
 }
 
 uint64_t TranslationCache::misses() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  util::MutexLock guard(&mu_);
   return misses_;
 }
 

@@ -16,7 +16,6 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -24,6 +23,7 @@
 #include "gremlin/translator.h"
 #include "sql/expr_eval.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace sqlgraph {
 namespace gremlin {
@@ -64,16 +64,20 @@ class TranslationCache {
   uint64_t misses() const;
 
  private:
-  mutable std::mutex mu_;
+  // Held only around map/LRU bookkeeping; translation and rendering run
+  // outside. Ranks above the table locks (runtime code may consult the
+  // cache mid-query) and below the metrics registry (lazy counter init).
+  mutable util::Mutex mu_{util::LockRank::kTranslationCache,
+                          "translation_cache"};
   size_t capacity_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  std::list<std::string> lru_;  // front = most recently used
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
+  std::list<std::string> lru_ GUARDED_BY(mu_);  // front = most recently used
   struct Entry {
     std::list<std::string>::iterator lru_it;
     CachedTranslation translation;
   };
-  std::unordered_map<std::string, Entry> entries_;
+  std::unordered_map<std::string, Entry> entries_ GUARDED_BY(mu_);
 };
 
 }  // namespace gremlin

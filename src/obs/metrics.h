@@ -24,9 +24,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace sqlgraph {
 namespace obs {
@@ -185,10 +186,14 @@ class MetricsRegistry {
   std::vector<std::string> HistogramNames() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Global leaf of the lock hierarchy: metric creation happens lazily under
+  // store/WAL/cache locks, so nothing may be acquired while holding mu_.
+  mutable util::Mutex mu_{util::LockRank::kMetricsRegistry,
+                          "metrics_registry"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -26,7 +26,7 @@ obs::Counter* EvictionCounter() {
 }  // namespace
 
 std::shared_ptr<const DecodedPage> BufferPool::Lookup(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = map_.find(id);
   if (it == map_.end()) {
     ++misses_;
@@ -41,7 +41,7 @@ std::shared_ptr<const DecodedPage> BufferPool::Lookup(PageId id) {
 }
 
 void BufferPool::Insert(PageId id, std::shared_ptr<const DecodedPage> page) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = map_.find(id);
   if (it != map_.end()) {
     used_ -= it->second->page->byte_size;
@@ -55,7 +55,7 @@ void BufferPool::Insert(PageId id, std::shared_ptr<const DecodedPage> page) {
 }
 
 void BufferPool::Invalidate(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = map_.find(id);
   if (it == map_.end()) return;
   used_ -= it->second->page->byte_size;
@@ -64,7 +64,7 @@ void BufferPool::Invalidate(PageId id) {
 }
 
 void BufferPool::InvalidateStore(uint32_t store_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->id.store_id == store_id) {
       used_ -= it->page->byte_size;
@@ -77,7 +77,7 @@ void BufferPool::InvalidateStore(uint32_t store_id) {
 }
 
 void BufferPool::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   lru_.clear();
   map_.clear();
   used_ = 0;
@@ -85,7 +85,7 @@ void BufferPool::Clear() {
 }
 
 void BufferPool::set_capacity(size_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   capacity_ = bytes;
   EvictIfNeeded();
 }

@@ -12,11 +12,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "rel/value.h"
+#include "util/thread_annotations.h"
 
 namespace sqlgraph {
 namespace rel {
@@ -66,33 +66,52 @@ class BufferPool {
   void Clear();
 
   void set_capacity(size_t bytes);
-  size_t capacity() const { return capacity_; }
+  size_t capacity() const {
+    util::MutexLock lock(&mu_);
+    return capacity_;
+  }
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
-  size_t cached_bytes() const { return used_; }
+  uint64_t hits() const {
+    util::MutexLock lock(&mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    util::MutexLock lock(&mu_);
+    return misses_;
+  }
+  uint64_t evictions() const {
+    util::MutexLock lock(&mu_);
+    return evictions_;
+  }
+  size_t cached_bytes() const {
+    util::MutexLock lock(&mu_);
+    return used_;
+  }
 
   /// Allocates a store id for a new paged store.
-  uint32_t NextStoreId() { return next_store_id_++; }
+  uint32_t NextStoreId() {
+    util::MutexLock lock(&mu_);
+    return next_store_id_++;
+  }
 
  private:
-  void EvictIfNeeded();
+  void EvictIfNeeded() REQUIRES(mu_);
 
   struct Entry {
     PageId id;
     std::shared_ptr<const DecodedPage> page;
   };
 
-  mutable std::mutex mu_;
-  size_t capacity_;
-  size_t used_ = 0;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<PageId, std::list<Entry>::iterator, PageIdHash> map_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
-  uint32_t next_store_id_ = 1;
+  mutable util::Mutex mu_{util::LockRank::kBufferPool, "buffer_pool"};
+  size_t capacity_ GUARDED_BY(mu_);
+  size_t used_ GUARDED_BY(mu_) = 0;
+  std::list<Entry> lru_ GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<PageId, std::list<Entry>::iterator, PageIdHash> map_
+      GUARDED_BY(mu_);
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ GUARDED_BY(mu_) = 0;
+  uint32_t next_store_id_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace rel

@@ -16,12 +16,24 @@
 #include <utility>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace sqlgraph {
 namespace rel {
 
 class LockManager {
  public:
   static constexpr size_t kNumStripes = 256;
+
+  LockManager() {
+    // std::array cannot forward constructor arguments, so rank each stripe
+    // after construction; the stripe index doubles as the same-rank
+    // sub-order, matching PairExclusiveGuard's ascending acquisition.
+    for (size_t i = 0; i < kNumStripes; ++i) {
+      stripes_[i].SetRank(util::LockRank::kRowStripe, "row_stripe",
+                          static_cast<int>(i));
+    }
+  }
 
   /// RAII shared (read) lock over the stripe owning `key`.
   class SharedGuard {
@@ -30,7 +42,7 @@ class LockManager {
         : lock_(lm->stripes_[StripeOf(key)]) {}
 
    private:
-    std::shared_lock<std::shared_mutex> lock_;
+    std::shared_lock<util::SharedMutex> lock_;
   };
 
   /// RAII exclusive (write) lock over the stripe owning `key`.
@@ -40,7 +52,7 @@ class LockManager {
         : lock_(lm->stripes_[StripeOf(key)]) {}
 
    private:
-    std::unique_lock<std::shared_mutex> lock_;
+    std::unique_lock<util::SharedMutex> lock_;
   };
 
   /// Exclusive lock over two keys with deadlock-free stripe ordering; used
@@ -55,8 +67,8 @@ class LockManager {
     }
 
    private:
-    std::optional<std::unique_lock<std::shared_mutex>> first_;
-    std::optional<std::unique_lock<std::shared_mutex>> second_;
+    std::optional<std::unique_lock<util::SharedMutex>> first_;
+    std::optional<std::unique_lock<util::SharedMutex>> second_;
   };
 
  private:
@@ -65,7 +77,7 @@ class LockManager {
     return (key * 0x9e3779b97f4a7c15ULL) >> 56;
   }
 
-  std::array<std::shared_mutex, kNumStripes> stripes_;
+  std::array<util::SharedMutex, kNumStripes> stripes_;
 };
 
 }  // namespace rel

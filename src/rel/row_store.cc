@@ -106,6 +106,8 @@ std::shared_ptr<const DecodedPage> PagedRowStore::FetchPage(
   while (offset < blob.size()) {
     Row row;
     util::Status st = DecodeRow(blob, num_columns_, &offset, &row);
+    // We only decode blobs this store encoded; failure is a bug, asserted in
+    // debug builds and unreachable in release.
     assert(st.ok());
     (void)st;
     page->byte_size += 64;

@@ -86,40 +86,45 @@ class PlanMemo {
   };
 
   std::shared_ptr<const AccessPlan> GetAccess(const void* key) const {
-    std::lock_guard<std::mutex> g(mu_);
+    util::MutexLock g(&mu_);
     auto it = access_.find(key);
     return it == access_.end() ? nullptr : it->second;
   }
   void PutAccess(const void* key, AccessPlan plan) {
-    std::lock_guard<std::mutex> g(mu_);
+    util::MutexLock g(&mu_);
     access_.emplace(key, std::make_shared<const AccessPlan>(std::move(plan)));
   }
 
   std::shared_ptr<const JoinPlan> GetJoin(const void* key) const {
-    std::lock_guard<std::mutex> g(mu_);
+    util::MutexLock g(&mu_);
     auto it = joins_.find(key);
     return it == joins_.end() ? nullptr : it->second;
   }
   void PutJoin(const void* key, JoinPlan plan) {
-    std::lock_guard<std::mutex> g(mu_);
+    util::MutexLock g(&mu_);
     joins_.emplace(key, std::make_shared<const JoinPlan>(std::move(plan)));
   }
 
   std::shared_ptr<const OuterPlan> GetOuter(const void* key) const {
-    std::lock_guard<std::mutex> g(mu_);
+    util::MutexLock g(&mu_);
     auto it = outers_.find(key);
     return it == outers_.end() ? nullptr : it->second;
   }
   void PutOuter(const void* key, OuterPlan plan) {
-    std::lock_guard<std::mutex> g(mu_);
+    util::MutexLock g(&mu_);
     outers_.emplace(key, std::make_shared<const OuterPlan>(std::move(plan)));
   }
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<const void*, std::shared_ptr<const AccessPlan>> access_;
-  std::unordered_map<const void*, std::shared_ptr<const JoinPlan>> joins_;
-  std::unordered_map<const void*, std::shared_ptr<const OuterPlan>> outers_;
+  // Per-prepared-statement memo lock: taken briefly during planning, never
+  // while holding store/table locks. Ranks above the shared PlanCache lock.
+  mutable util::Mutex mu_{util::LockRank::kPlanMemo, "plan_memo"};
+  std::unordered_map<const void*, std::shared_ptr<const AccessPlan>> access_
+      GUARDED_BY(mu_);
+  std::unordered_map<const void*, std::shared_ptr<const JoinPlan>> joins_
+      GUARDED_BY(mu_);
+  std::unordered_map<const void*, std::shared_ptr<const OuterPlan>> outers_
+      GUARDED_BY(mu_);
 };
 
 namespace {
@@ -1966,7 +1971,7 @@ Result<PreparedQueryPtr> PlanCache::GetOrPrepare(std::string_view sql_text,
                                                  ExecStats* stats) {
   std::string key = NormalizeSql(sql_text);
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    util::MutexLock guard(&mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       if (it->second.prepared->schema_epoch() == epoch) {
@@ -2005,7 +2010,7 @@ Result<PreparedQueryPtr> PlanCache::GetOrPrepare(std::string_view sql_text,
   prepared->epoch_ = epoch;
   PreparedQueryPtr result = prepared;
 
-  std::lock_guard<std::mutex> guard(mu_);
+  util::MutexLock guard(&mu_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     if (it->second.prepared->schema_epoch() == epoch) {
@@ -2026,23 +2031,23 @@ Result<PreparedQueryPtr> PlanCache::GetOrPrepare(std::string_view sql_text,
 }
 
 void PlanCache::Clear() {
-  std::lock_guard<std::mutex> guard(mu_);
+  util::MutexLock guard(&mu_);
   entries_.clear();
   lru_.clear();
 }
 
 size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  util::MutexLock guard(&mu_);
   return entries_.size();
 }
 
 uint64_t PlanCache::hits() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  util::MutexLock guard(&mu_);
   return hits_;
 }
 
 uint64_t PlanCache::misses() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  util::MutexLock guard(&mu_);
   return misses_;
 }
 

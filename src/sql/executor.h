@@ -28,7 +28,6 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -39,6 +38,7 @@
 #include "sql/expr_eval.h"
 #include "sql/result.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace sqlgraph {
 namespace sql {
@@ -123,16 +123,19 @@ class PlanCache {
   static std::string NormalizeSql(std::string_view sql_text);
 
  private:
-  mutable std::mutex mu_;
+  // Held only around map/LRU bookkeeping; parsing runs outside. Ranks below
+  // the per-statement PlanMemo lock (GetOrPrepare never nests them, but the
+  // memo is filled while execution logically "inside" a prepared statement).
+  mutable util::Mutex mu_{util::LockRank::kPlanCache, "plan_cache"};
   size_t capacity_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  std::list<std::string> lru_;  // front = most recently used
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
+  std::list<std::string> lru_ GUARDED_BY(mu_);  // front = most recently used
   struct Entry {
     std::list<std::string>::iterator lru_it;
     PreparedQueryPtr prepared;
   };
-  std::unordered_map<std::string, Entry> entries_;
+  std::unordered_map<std::string, Entry> entries_ GUARDED_BY(mu_);
 };
 
 class Executor {

@@ -172,9 +172,9 @@ Status GetLoadStats(const std::string& buf, size_t* offset, LoadStats* s) {
 
 Status SaveSnapshot(const SqlGraphStore& store, const std::string& path) {
   // Shared-lock every table for a consistent snapshot of a live store.
-  std::shared_lock<std::shared_mutex> locks[SqlGraphStore::kNumTables];
+  std::shared_lock<util::SharedMutex> locks[SqlGraphStore::kNumTables];
   for (int i = 0; i < SqlGraphStore::kNumTables; ++i) {
-    locks[i] = std::shared_lock<std::shared_mutex>(store.table_locks_[i]);
+    locks[i] = std::shared_lock<util::SharedMutex>(store.table_locks_[i]);
   }
 
   std::string buf;

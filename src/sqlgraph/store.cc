@@ -67,14 +67,14 @@ class SqlGraphStore::ReadLockAll {
  public:
   explicit ReadLockAll(const SqlGraphStore* store) {
     for (int i = 0; i < kNumTables; ++i) {
-      locks_[i] = std::shared_lock<std::shared_mutex>(store->table_locks_[i],
+      locks_[i] = std::shared_lock<util::SharedMutex>(store->table_locks_[i],
                                                       std::defer_lock);
       AcquireTimed(&locks_[i]);
     }
   }
 
  private:
-  std::shared_lock<std::shared_mutex> locks_[kNumTables];
+  std::shared_lock<util::SharedMutex> locks_[kNumTables];
 };
 
 /// Mixed-mode lock over a subset of tables, acquired in fixed table order
@@ -102,8 +102,8 @@ class SqlGraphStore::WriteLock {
  private:
   // Note: vectors keep acquisition order; both kinds interleave correctly
   // because reqs were sorted before acquisition.
-  std::vector<std::unique_lock<std::shared_mutex>> exclusive_;
-  std::vector<std::shared_lock<std::shared_mutex>> shared_;
+  std::vector<std::unique_lock<util::SharedMutex>> exclusive_;
+  std::vector<std::shared_lock<util::SharedMutex>> shared_;
 };
 
 /// Held (shared) across a whole CRUD mutation — table work plus WAL
@@ -111,15 +111,17 @@ class SqlGraphStore::WriteLock {
 /// rows are in the snapshot but whose record lands in the post-snapshot
 /// log segment. Acquired before any table lock; Checkpoint follows the
 /// same order, so the lock hierarchy stays acyclic.
-class SqlGraphStore::CommitGuard {
+class SCOPED_CAPABILITY SqlGraphStore::CommitGuard {
  public:
   explicit CommitGuard(const SqlGraphStore* store)
+      ACQUIRE_SHARED(store->wal_rotate_mu_)
       : lock_(store->wal_rotate_mu_, std::defer_lock) {
     AcquireTimed(&lock_);
   }
+  ~CommitGuard() RELEASE() {}
 
  private:
-  std::shared_lock<std::shared_mutex> lock_;
+  std::shared_lock<util::SharedMutex> lock_;
 };
 
 util::Status SqlGraphStore::LogWalEnqueue(const wal::Record& rec,
@@ -153,9 +155,11 @@ Result<std::unique_ptr<SqlGraphStore>> SqlGraphStore::Build(
 
 Result<VertexId> SqlGraphStore::AddVertex(json::JsonValue attrs) {
   CommitGuard commit(this);
-  std::unique_lock<std::shared_mutex> counter(counter_lock_);
-  const int64_t vid = next_vertex_id_++;
-  counter.unlock();
+  int64_t vid;
+  {
+    util::WriterMutexLock counter(&counter_lock_);
+    vid = next_vertex_id_++;
+  }
   if (!attrs.is_object()) attrs = json::JsonValue::Object();
   wal::Record rec;
   if (durable()) {
@@ -341,9 +345,11 @@ Status SqlGraphStore::AddAdjacencyEntry(bool outgoing, VertexId vid,
     }
     // Single-valued → convert to a list: a DDL-equivalent reshaping of the
     // adjacency storage, so cached plans must revalidate.
-    std::unique_lock<std::shared_mutex> counter(counter_lock_);
-    const int64_t lid = next_lid_++;
-    counter.unlock();
+    int64_t lid;
+    {
+      util::WriterMutexLock counter(&counter_lock_);
+      lid = next_lid_++;
+    }
     RETURN_NOT_OK(secondary
                       ->Insert({Value(lid), row[EidColIdx(c)], val})
                       .status());
@@ -473,9 +479,11 @@ Result<EdgeId> SqlGraphStore::AddEdge(VertexId src, VertexId dst,
       }
     }
   }
-  std::unique_lock<std::shared_mutex> counter(counter_lock_);
-  const int64_t eid = next_edge_id_++;
-  counter.unlock();
+  int64_t eid;
+  {
+    util::WriterMutexLock counter(&counter_lock_);
+    eid = next_edge_id_++;
+  }
   if (!attrs.is_object()) attrs = json::JsonValue::Object();
   wal::Record rec;
   if (durable()) {
@@ -800,7 +808,7 @@ Result<sql::ResultSet> SqlGraphStore::ExecuteSql(std::string_view text,
   auto result = exec.ExecuteSql(body);
   if (stats != nullptr) *stats = exec.stats();
   {
-    std::lock_guard<std::mutex> guard(stats_mu_);
+    util::MutexLock guard(&stats_mu_);
     last_stats_ = exec.stats();
   }
   if (analyze && result.ok()) return SpansToResultSet(exec.stats().spans);
@@ -814,7 +822,7 @@ Result<sql::ResultSet> SqlGraphStore::Execute(const sql::SqlQuery& query,
   auto result = exec.Execute(query);
   if (stats != nullptr) *stats = exec.stats();
   {
-    std::lock_guard<std::mutex> guard(stats_mu_);
+    util::MutexLock guard(&stats_mu_);
     last_stats_ = exec.stats();
   }
   return result;
@@ -828,7 +836,7 @@ Result<sql::ResultSet> SqlGraphStore::ExecuteAnalyze(const sql::SqlQuery& query,
   auto result = exec.Execute(query);
   if (stats != nullptr) *stats = exec.stats();
   {
-    std::lock_guard<std::mutex> guard(stats_mu_);
+    util::MutexLock guard(&stats_mu_);
     last_stats_ = exec.stats();
   }
   return result;
@@ -849,14 +857,14 @@ Result<sql::ResultSet> SqlGraphStore::ExecutePrepared(
   auto result = exec.ExecutePrepared(prepared, params);
   if (stats != nullptr) *stats = exec.stats();
   {
-    std::lock_guard<std::mutex> guard(stats_mu_);
+    util::MutexLock guard(&stats_mu_);
     last_stats_ = exec.stats();
   }
   return result;
 }
 
 sql::ExecStats SqlGraphStore::last_exec_stats() const {
-  std::lock_guard<std::mutex> guard(stats_mu_);
+  util::MutexLock guard(&stats_mu_);
   return last_stats_;
 }
 
@@ -865,7 +873,7 @@ Result<sql::ResultSet> SqlGraphStore::RunTemplate(
   const uint64_t epoch = schema_epoch();
   sql::PreparedQueryPtr prepared;
   {
-    std::lock_guard<std::mutex> guard(tpl_mu_);
+    util::MutexLock guard(&tpl_mu_);
     prepared = templates_[id];
     if (prepared == nullptr || prepared->schema_epoch() != epoch) {
       // (Re-)compile through the shared plan cache; self-heals after any
@@ -985,7 +993,7 @@ Status SqlGraphStore::ApplyWalRecord(const wal::Record& rec) {
                           ->Insert({Value(rec.id), Value(std::move(attrs))})
                           .status());
       }
-      std::unique_lock<std::shared_mutex> counter(counter_lock_);
+      util::WriterMutexLock counter(&counter_lock_);
       next_vertex_id_ = std::max(next_vertex_id_, rec.id + 1);
       return Status::OK();
     }
@@ -1012,7 +1020,7 @@ Status SqlGraphStore::ApplyWalRecord(const wal::Record& rec) {
             /*outgoing=*/false, static_cast<VertexId>(rec.dst), rec.label,
             static_cast<EdgeId>(rec.id), static_cast<VertexId>(rec.src)));
       }
-      std::unique_lock<std::shared_mutex> counter(counter_lock_);
+      util::WriterMutexLock counter(&counter_lock_);
       next_edge_id_ = std::max(next_edge_id_, rec.id + 1);
       return Status::OK();
     }
@@ -1048,7 +1056,7 @@ Status SqlGraphStore::ApplyWalRecord(const wal::Record& rec) {
 }
 
 wal::WalStats SqlGraphStore::wal_stats() const {
-  std::shared_lock<std::shared_mutex> rotate(wal_rotate_mu_);
+  util::ReaderMutexLock rotate(&wal_rotate_mu_);
   wal::WalStats stats = wal_recovery_stats_;
   if (wal_writer_ != nullptr) {
     const wal::WalCounters& c = wal_writer_->counters();

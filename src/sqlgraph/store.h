@@ -18,9 +18,7 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -31,6 +29,7 @@
 #include "sqlgraph/loader.h"
 #include "sqlgraph/schema.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "wal/record.h"
 
 namespace sqlgraph {
@@ -185,7 +184,18 @@ class SqlGraphStore {
   friend struct wal::StoreWalAccess;
 
   explicit SqlGraphStore(StoreConfig config)
-      : config_(std::move(config)), db_(config_.buffer_pool_bytes) {}
+      : config_(std::move(config)), db_(config_.buffer_pool_bytes) {
+    // Rank the table locks (raw array; no ctor forwarding). The TableIdx
+    // value is the same-rank sub-order, matching the ascending acquisition
+    // order of ReadLockAll/WriteLock.
+    static constexpr const char* kTableLockNames[kNumTables] = {
+        "table_opa", "table_ipa", "table_osa", "table_isa",
+        "table_va",  "table_ea"};
+    for (int i = 0; i < kNumTables; ++i) {
+      table_locks_[i].SetRank(util::LockRank::kStoreTable, kTableLockNames[i],
+                              i);
+    }
+  }
 
   // Compact's table work, shared by the public call and WAL replay.
   // Caller holds exclusive locks on all six tables.
@@ -243,8 +253,9 @@ class SqlGraphStore {
   /// lock is released, letting concurrent committers share one fsync.
   /// Both run under wal_rotate_mu_ shared (via CommitGuard), so a
   /// checkpoint can never rotate the log between the two halves.
-  util::Status LogWalEnqueue(const wal::Record& rec, uint64_t* ticket);
-  util::Status LogWalWait(uint64_t ticket);
+  util::Status LogWalEnqueue(const wal::Record& rec, uint64_t* ticket)
+      REQUIRES_SHARED(wal_rotate_mu_);
+  util::Status LogWalWait(uint64_t ticket) REQUIRES_SHARED(wal_rotate_mu_);
   /// Re-applies one WAL record during recovery; the ids inside the record
   /// are authoritative and the id counters advance past them. Only called
   /// by the recovery path before a writer is attached.
@@ -254,26 +265,41 @@ class SqlGraphStore {
   rel::Database db_;
   GraphSchema schema_;
   LoadStats load_stats_;
-  int64_t next_vertex_id_ = 0;
-  int64_t next_edge_id_ = 0;
-  int64_t next_lid_ = kLidBase;
-  mutable std::shared_mutex table_locks_[kNumTables];
-  mutable std::shared_mutex counter_lock_;
+  // Id counters, guarded by counter_lock_. counter_lock_ ranks *above* the
+  // table locks: AddAdjacencyEntry allocates spill lids while already
+  // holding EA/OPA exclusively, so counters must always be acquirable under
+  // table locks (standalone allocations in AddVertex/AddEdge release it
+  // before touching a table lock, which the hierarchy also permits).
+  int64_t next_vertex_id_ GUARDED_BY(counter_lock_) = 0;
+  int64_t next_edge_id_ GUARDED_BY(counter_lock_) = 0;
+  int64_t next_lid_ GUARDED_BY(counter_lock_) = kLidBase;
+  // Acquired in ascending TableIdx order (ReadLockAll/WriteLock sort), which
+  // the per-table sub-order encodes; ranked in the SqlGraphStore ctor
+  // because a raw array cannot forward constructor arguments.
+  mutable util::SharedMutex table_locks_[kNumTables];
+  mutable util::SharedMutex counter_lock_{util::LockRank::kStoreCounter,
+                                          "store_counter"};
   mutable sql::PlanCache plan_cache_{256};
   std::atomic<uint64_t> schema_epoch_{0};
-  mutable std::mutex stats_mu_;
-  mutable sql::ExecStats last_stats_;  // guarded by stats_mu_
-  mutable std::mutex tpl_mu_;
-  mutable sql::PreparedQueryPtr templates_[kNumTemplates];
+  mutable util::Mutex stats_mu_{util::LockRank::kStoreStats, "store_stats"};
+  mutable sql::ExecStats last_stats_ GUARDED_BY(stats_mu_);
+  mutable util::Mutex tpl_mu_{util::LockRank::kStoreTemplates,
+                              "store_templates"};
+  mutable sql::PreparedQueryPtr templates_[kNumTemplates] GUARDED_BY(tpl_mu_);
 
   // Durability binding, attached via wal::StoreWalAccess when
   // config_.durability_dir is set. wal_rotate_mu_ orders commits against
-  // checkpoints and guards the binding fields themselves.
-  mutable std::shared_mutex wal_rotate_mu_;
-  std::shared_ptr<wal::LogWriter> wal_writer_;
-  uint64_t wal_segment_ = 0;               // active log segment number
-  uint64_t wal_checkpoint_mutations_ = 0;  // db_.TotalMutations() at ckpt
-  wal::WalStats wal_recovery_stats_;       // recovery + checkpoint tallies
+  // checkpoints and guards the binding fields themselves. It is the
+  // outermost store lock (rank below every table lock): CommitGuard takes
+  // it shared before the serializing table lock, and Checkpoint holds it
+  // exclusive while taking table locks and syncing the writer.
+  mutable util::SharedMutex wal_rotate_mu_{util::LockRank::kWalRotate,
+                                           "wal_rotate"};
+  std::shared_ptr<wal::LogWriter> wal_writer_ GUARDED_BY(wal_rotate_mu_);
+  // Segment bookkeeping below is written under wal_rotate_mu_ exclusive.
+  uint64_t wal_segment_ GUARDED_BY(wal_rotate_mu_) = 0;
+  uint64_t wal_checkpoint_mutations_ GUARDED_BY(wal_rotate_mu_) = 0;
+  wal::WalStats wal_recovery_stats_ GUARDED_BY(wal_rotate_mu_);
 };
 
 }  // namespace core

@@ -1,0 +1,136 @@
+#include "util/lock_rank.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iterator>
+#include <vector>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define SQLGRAPH_HAVE_BACKTRACE 1
+#endif
+#endif
+
+namespace sqlgraph {
+namespace util {
+
+namespace lock_rank_internal {
+
+namespace {
+
+constexpr int kMaxFrames = 16;
+
+/// One lock currently held (or being acquired) by this thread, with the
+/// call stack of its acquisition so a violation can show *both* sides.
+struct Held {
+  const void* mu;
+  LockRankInfo info;
+  void* frames[kMaxFrames];
+  int depth;
+};
+
+/// Per-thread stack of held ranked locks. Acquisition order is preserved;
+/// releases may happen out of order (WriteLock destroys its exclusive and
+/// shared guard vectors separately), so release removes by identity rather
+/// than popping.
+std::vector<Held>& HeldStack() {
+  thread_local std::vector<Held> stack;
+  return stack;
+}
+
+int CaptureFrames(void** frames) {
+#ifdef SQLGRAPH_HAVE_BACKTRACE
+  return backtrace(frames, kMaxFrames);
+#else
+  (void)frames;
+  return 0;
+#endif
+}
+
+void DumpFrames(void* const* frames, int depth) {
+#ifdef SQLGRAPH_HAVE_BACKTRACE
+  if (depth > 0) backtrace_symbols_fd(frames, depth, /*stderr*/ 2);
+#else
+  (void)frames;
+  (void)depth;
+#endif
+}
+
+/// Default: validate in debug builds, stay out of the way in release;
+/// SQLGRAPH_LOCK_RANK=0/1 overrides either way.
+bool DefaultChecking() {
+  const char* env = std::getenv("SQLGRAPH_LOCK_RANK");
+  if (env != nullptr && env[0] != '\0') return env[0] != '0';
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
+[[noreturn]] void ReportViolation(const char* what, const Held& held,
+                                  const LockRankInfo& incoming) {
+  std::fprintf(stderr,
+               "lock-rank violation: %s \"%s\" (rank %d, order %d) while "
+               "holding \"%s\" (rank %d, order %d)\n",
+               what, incoming.name, static_cast<int>(incoming.rank),
+               incoming.order, held.info.name,
+               static_cast<int>(held.info.rank), held.info.order);
+  std::fprintf(stderr, "stack of the violating acquisition:\n");
+#ifdef SQLGRAPH_HAVE_BACKTRACE
+  void* now[kMaxFrames];
+  DumpFrames(now, backtrace(now, kMaxFrames));
+#endif
+  std::fprintf(stderr, "stack where \"%s\" was acquired:\n", held.info.name);
+  DumpFrames(held.frames, held.depth);
+  std::abort();
+}
+
+}  // namespace
+
+std::atomic<bool> g_checking{DefaultChecking()};
+
+void AcquireSlow(const void* mu, const LockRankInfo& info) {
+  std::vector<Held>& stack = HeldStack();
+  for (const Held& held : stack) {
+    if (held.mu == mu) {
+      ReportViolation("recursively acquiring", held, info);
+    }
+    if (held.info.rank > info.rank ||
+        (held.info.rank == info.rank && held.info.order >= info.order)) {
+      ReportViolation("acquiring", held, info);
+    }
+  }
+  Held entry;
+  entry.mu = mu;
+  entry.info = info;
+  entry.depth = CaptureFrames(entry.frames);
+  stack.push_back(entry);
+}
+
+void ReleaseSlow(const void* mu) {
+  std::vector<Held>& stack = HeldStack();
+  // Newest matching entry; tolerate a miss (checking may have been enabled
+  // after this lock was acquired).
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->mu == mu) {
+      stack.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace lock_rank_internal
+
+bool LockRankCheckingEnabled() {
+  return lock_rank_internal::g_checking.load(std::memory_order_relaxed);
+}
+
+void SetLockRankCheckingEnabled(bool enabled) {
+  lock_rank_internal::g_checking.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace util
+}  // namespace sqlgraph

@@ -35,7 +35,12 @@ enum class StatusCode : int {
 ///
 /// The OK state carries no allocation; error states carry a code and a
 /// human-readable message.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is how acknowledged-but-lost
+/// writes happen. Call sites that genuinely may drop one must cast to
+/// `(void)` with a comment stating why dropping is safe (see DESIGN.md
+/// "Lock hierarchy & error discipline").
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -123,8 +128,11 @@ class Status {
 };
 
 /// \brief Holds either a value of type T or an error Status.
+///
+/// [[nodiscard]] for the same reason as Status: ignoring a Result both
+/// drops the error and discards the computed value.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : repr_(std::move(value)) {}        // NOLINT(runtime/explicit)
   Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)

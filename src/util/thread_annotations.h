@@ -1,0 +1,238 @@
+// Clang thread-safety annotations plus annotated mutex shims.
+//
+// The macros below expand to Clang's thread-safety attributes when the
+// compiler supports them (clang with -Wthread-safety; the CI lint stage
+// builds the tree with -Wthread-safety -Werror) and to nothing everywhere
+// else, so GCC builds see plain std::mutex/std::shared_mutex semantics and
+// zero overhead beyond the lock-rank hooks.
+//
+// Usage pattern:
+//
+//   class Cache {
+//     void Insert(K k, V v) EXCLUDES(mu_);
+//     size_t EvictLocked() REQUIRES(mu_);
+//    private:
+//     mutable util::Mutex mu_{util::LockRank::kPlanCache, "plan_cache"};
+//     std::map<K, V> entries_ GUARDED_BY(mu_);
+//   };
+//
+// The Mutex/SharedMutex shims wrap std::mutex/std::shared_mutex, carry the
+// CAPABILITY attribute the analysis keys on, and feed every acquisition
+// through the runtime lock-rank validator (util/lock_rank.h). They satisfy
+// the standard Lockable/SharedLockable concepts, so std::lock_guard,
+// std::unique_lock, std::shared_lock, and std::condition_variable_any all
+// work unchanged — and because those wrappers call lock()/unlock() on the
+// shim, rank tracking stays correct across condition-variable waits.
+
+#ifndef SQLGRAPH_UTIL_THREAD_ANNOTATIONS_H_
+#define SQLGRAPH_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/lock_rank.h"
+
+// ---------------------------------------------------------------- macros --
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SQLGRAPH_TSA_ATTR(x) __attribute__((x))
+#endif
+#endif
+#ifndef SQLGRAPH_TSA_ATTR
+#define SQLGRAPH_TSA_ATTR(x)  // not supported by this compiler
+#endif
+
+#ifndef CAPABILITY
+#define CAPABILITY(x) SQLGRAPH_TSA_ATTR(capability(x))
+#endif
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY SQLGRAPH_TSA_ATTR(scoped_lockable)
+#endif
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) SQLGRAPH_TSA_ATTR(guarded_by(x))
+#endif
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) SQLGRAPH_TSA_ATTR(pt_guarded_by(x))
+#endif
+#ifndef REQUIRES
+#define REQUIRES(...) SQLGRAPH_TSA_ATTR(requires_capability(__VA_ARGS__))
+#endif
+#ifndef REQUIRES_SHARED
+#define REQUIRES_SHARED(...) \
+  SQLGRAPH_TSA_ATTR(requires_shared_capability(__VA_ARGS__))
+#endif
+#ifndef ACQUIRE
+#define ACQUIRE(...) SQLGRAPH_TSA_ATTR(acquire_capability(__VA_ARGS__))
+#endif
+#ifndef ACQUIRE_SHARED
+#define ACQUIRE_SHARED(...) \
+  SQLGRAPH_TSA_ATTR(acquire_shared_capability(__VA_ARGS__))
+#endif
+#ifndef RELEASE
+#define RELEASE(...) SQLGRAPH_TSA_ATTR(release_capability(__VA_ARGS__))
+#endif
+#ifndef RELEASE_SHARED
+#define RELEASE_SHARED(...) \
+  SQLGRAPH_TSA_ATTR(release_shared_capability(__VA_ARGS__))
+#endif
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) SQLGRAPH_TSA_ATTR(try_acquire_capability(__VA_ARGS__))
+#endif
+#ifndef TRY_ACQUIRE_SHARED
+#define TRY_ACQUIRE_SHARED(...) \
+  SQLGRAPH_TSA_ATTR(try_acquire_shared_capability(__VA_ARGS__))
+#endif
+#ifndef EXCLUDES
+#define EXCLUDES(...) SQLGRAPH_TSA_ATTR(locks_excluded(__VA_ARGS__))
+#endif
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) SQLGRAPH_TSA_ATTR(assert_capability(x))
+#endif
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) SQLGRAPH_TSA_ATTR(lock_returned(x))
+#endif
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS SQLGRAPH_TSA_ATTR(no_thread_safety_analysis)
+#endif
+
+namespace sqlgraph {
+namespace util {
+
+// ----------------------------------------------------------------- shims --
+
+/// std::mutex with the CAPABILITY attribute and lock-rank validation.
+/// Default-constructed instances are unranked (tracked by the annotations
+/// only); give process-hierarchy mutexes their rank at construction, or via
+/// SetRank() for array members (before any concurrent use).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(LockRank rank, const char* name, int order = 0)
+      : info_{rank, order, name} {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  /// Assigns the rank of an array element (std::array cannot forward
+  /// constructor arguments). Must happen before any concurrent use.
+  void SetRank(LockRank rank, const char* name, int order = 0) {
+    info_ = LockRankInfo{rank, order, name};
+  }
+
+  void lock() ACQUIRE() {
+    // Validate before blocking so an inversion aborts instead of
+    // deadlocking.
+    LockRankOnAcquire(this, info_);
+    mu_.lock();
+  }
+  bool try_lock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    // A successful out-of-order try_lock is still a hierarchy violation:
+    // the thread now holds locks in an undocumented order.
+    LockRankOnAcquire(this, info_);
+    return true;
+  }
+  void unlock() RELEASE() {
+    LockRankOnRelease(this, info_);
+    mu_.unlock();
+  }
+
+ private:
+  std::mutex mu_;
+  LockRankInfo info_;
+};
+
+/// std::shared_mutex with the CAPABILITY attribute and lock-rank
+/// validation. Shared and exclusive acquisitions both enter the per-thread
+/// rank stack — the hierarchy constrains order, not mode.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  explicit SharedMutex(LockRank rank, const char* name, int order = 0)
+      : info_{rank, order, name} {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  /// See Mutex::SetRank.
+  void SetRank(LockRank rank, const char* name, int order = 0) {
+    info_ = LockRankInfo{rank, order, name};
+  }
+
+  void lock() ACQUIRE() {
+    LockRankOnAcquire(this, info_);
+    mu_.lock();
+  }
+  bool try_lock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    LockRankOnAcquire(this, info_);
+    return true;
+  }
+  void unlock() RELEASE() {
+    LockRankOnRelease(this, info_);
+    mu_.unlock();
+  }
+
+  void lock_shared() ACQUIRE_SHARED() {
+    LockRankOnAcquire(this, info_);
+    mu_.lock_shared();
+  }
+  bool try_lock_shared() TRY_ACQUIRE_SHARED(true) {
+    if (!mu_.try_lock_shared()) return false;
+    LockRankOnAcquire(this, info_);
+    return true;
+  }
+  void unlock_shared() RELEASE_SHARED() {
+    LockRankOnRelease(this, info_);
+    mu_.unlock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+  LockRankInfo info_;
+};
+
+/// RAII exclusive lock the analysis understands (std::lock_guard is not
+/// annotated). Prefer this over std::lock_guard<Mutex> in annotated code.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() RELEASE() { mu_->unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// RAII exclusive lock over a SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) ACQUIRE(mu) : mu_(mu) {
+    mu_->lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_->unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII shared lock over a SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->lock_shared();
+  }
+  ~ReaderMutexLock() RELEASE() { mu_->unlock_shared(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+}  // namespace util
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_UTIL_THREAD_ANNOTATIONS_H_

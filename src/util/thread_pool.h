@@ -7,9 +7,10 @@
 #include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace sqlgraph {
 namespace util {
@@ -25,7 +26,7 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       shutdown_ = true;
     }
     cv_.notify_all();
@@ -38,7 +39,7 @@ class ThreadPool {
   /// Enqueues a task; tasks run FIFO across the worker threads.
   void Submit(std::function<void()> task) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       tasks_.push_back(std::move(task));
     }
     cv_.notify_one();
@@ -46,8 +47,10 @@ class ThreadPool {
 
   /// Blocks until every submitted task has finished.
   void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+    std::unique_lock<Mutex> lock(mu_);
+    idle_cv_.wait(lock, [this]() REQUIRES(mu_) {
+      return tasks_.empty() && active_ == 0;
+    });
   }
 
   size_t num_threads() const { return workers_.size(); }
@@ -57,8 +60,10 @@ class ThreadPool {
     while (true) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+        std::unique_lock<Mutex> lock(mu_);
+        cv_.wait(lock, [this]() REQUIRES(mu_) {
+          return shutdown_ || !tasks_.empty();
+        });
         if (shutdown_ && tasks_.empty()) return;
         task = std::move(tasks_.front());
         tasks_.pop_front();
@@ -66,20 +71,25 @@ class ThreadPool {
       }
       task();
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         --active_;
         if (tasks_.empty() && active_ == 0) idle_cv_.notify_all();
       }
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> tasks_;
+  // Never held across a task's execution, so pool-managed tasks may acquire
+  // any store/WAL lock; ranked at the bottom of the hierarchy to document
+  // that nothing is acquired while holding it.
+  Mutex mu_{LockRank::kThreadPool, "thread_pool"};
+  // condition_variable_any: works with the annotated Mutex shim, and routes
+  // the wait's unlock/relock through it so rank tracking stays correct.
+  std::condition_variable_any cv_;
+  std::condition_variable_any idle_cv_;
+  std::deque<std::function<void()>> tasks_ GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
-  size_t active_ = 0;
-  bool shutdown_ = false;
+  size_t active_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace util

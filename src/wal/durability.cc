@@ -127,7 +127,7 @@ struct StoreWalAccess {
   /// Checkpoint call cannot be skipped as a no-op.
   static void Attach(SqlGraphStore* store, std::shared_ptr<LogWriter> writer,
                      uint64_t segment, bool dirty) {
-    std::unique_lock<std::shared_mutex> rotate(store->wal_rotate_mu_);
+    util::WriterMutexLock rotate(&store->wal_rotate_mu_);
     store->wal_writer_ = std::move(writer);
     store->wal_segment_ = segment;
     store->wal_checkpoint_mutations_ =
@@ -135,7 +135,7 @@ struct StoreWalAccess {
   }
 
   static void SetRecoveryStats(SqlGraphStore* store, const WalStats& stats) {
-    std::unique_lock<std::shared_mutex> rotate(store->wal_rotate_mu_);
+    util::WriterMutexLock rotate(&store->wal_rotate_mu_);
     store->wal_recovery_stats_ = stats;
   }
 };
@@ -153,7 +153,7 @@ util::Status SqlGraphStore::Checkpoint() {
   // Exclusive against CommitGuard: no commit can straddle the snapshot
   // boundary, so a record is either inside the snapshot or in the fresh
   // segment — never both.
-  std::unique_lock<std::shared_mutex> rotate(wal_rotate_mu_);
+  util::WriterMutexLock rotate(&wal_rotate_mu_);
   if (wal_writer_ != nullptr &&
       db_.TotalMutations() == wal_checkpoint_mutations_) {
     return util::Status::OK();  // nothing changed since the last checkpoint

@@ -57,6 +57,9 @@ Result<std::unique_ptr<LogWriter>> LogWriter::Open(const std::string& path,
   return std::unique_ptr<LogWriter>(new LogWriter(path, fd, mode));
 }
 
+// Dropping Close()'s Status is safe here: the error is already sticky in
+// io_error_ and was surfaced to every committer; a destructor has no one to
+// report to.
 LogWriter::~LogWriter() { (void)Close(); }
 
 Status LogWriter::WriteAll(const char* data, size_t n) {
@@ -92,7 +95,7 @@ Result<uint64_t> LogWriter::Enqueue(const Record& rec) {
   std::string frame;
   EncodeRecord(rec, &frame);
 
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<util::Mutex> lock(mu_);
   if (fd_ < 0) return Status::Internal("wal: writer is closed");
   if (!io_error_.ok()) return io_error_;
   counters_.records.fetch_add(1, std::memory_order_relaxed);
@@ -116,7 +119,7 @@ Status LogWriter::FlushPendingLocked() {
 }
 
 Status LogWriter::WaitDurable(uint64_t ticket) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<util::Mutex> lock(mu_);
   if (!io_error_.ok()) return io_error_;
 
   if (mode_ == SyncMode::kNone) {
@@ -175,7 +178,7 @@ Status LogWriter::WaitDurable(uint64_t ticket) {
 }
 
 Status LogWriter::Sync() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<util::Mutex> lock(mu_);
   if (fd_ < 0) return Status::OK();
   if (!io_error_.ok()) return io_error_;
   // Wait out any in-flight batch leader, then flush whatever remains
@@ -188,11 +191,11 @@ Status LogWriter::Sync() {
 
 Status LogWriter::Close() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<util::Mutex> lock(mu_);
     if (fd_ < 0) return Status::OK();
   }
   Status st = Sync();
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<util::Mutex> lock(mu_);
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;

@@ -19,10 +19,10 @@
 
 #include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "wal/options.h"
 #include "wal/record.h"
 
@@ -70,21 +70,30 @@ class LogWriter {
 
   util::Status WriteAll(const char* data, size_t n);
   util::Status Fsync();
-  util::Status FlushPendingLocked();
+  util::Status FlushPendingLocked() REQUIRES(mu_);
 
   const std::string path_;
+  // Protocol, not expressible as an annotation: fd_ is written either under
+  // mu_ (kPerCommit, Close) or by the single active batch leader with mu_
+  // dropped (kBatched group commit); Close/Sync wait out leader_active_
+  // before touching it, so writers never overlap.
   int fd_;
   const SyncMode mode_;
   WalCounters counters_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::string pending_;          // encoded frames awaiting the next batch
-  uint64_t pending_records_ = 0;
-  uint64_t next_seq_ = 0;        // sequence of the newest enqueued record
-  uint64_t durable_seq_ = 0;     // newest sequence known durable
-  bool leader_active_ = false;   // a batch leader is writing right now
-  util::Status io_error_;        // sticky first I/O failure
+  // Taken while a store-side serializing lock is held (Enqueue is called
+  // under the table lock so log order matches apply order) — hence it ranks
+  // above kStoreTable/kStoreCounter and below kBufferPool.
+  util::Mutex mu_{util::LockRank::kWalWriter, "wal_writer"};
+  // condition_variable_any: wakes batch followers; routes unlock/relock
+  // through the annotated mutex so rank tracking survives waits.
+  std::condition_variable_any cv_;
+  std::string pending_ GUARDED_BY(mu_);  // frames awaiting the next batch
+  uint64_t pending_records_ GUARDED_BY(mu_) = 0;
+  uint64_t next_seq_ GUARDED_BY(mu_) = 0;     // newest enqueued sequence
+  uint64_t durable_seq_ GUARDED_BY(mu_) = 0;  // newest durable sequence
+  bool leader_active_ GUARDED_BY(mu_) = false;  // leader writing right now
+  util::Status io_error_ GUARDED_BY(mu_);       // sticky first I/O failure
 };
 
 }  // namespace wal

@@ -179,8 +179,8 @@ TYPED_TEST(RowStoreTest, DeleteTombstones) {
 
 TYPED_TEST(RowStoreTest, ScanVisitsLiveInOrder) {
   for (int i = 0; i < 20; ++i) this->store_->Append({Value(i), Value("r")});
-  this->store_->Delete(3);
-  this->store_->Delete(17);
+  ASSERT_TRUE(this->store_->Delete(3).ok());
+  ASSERT_TRUE(this->store_->Delete(17).ok());
   std::vector<int64_t> seen;
   this->store_->Scan(
       [&](RowId, const Row& row) { seen.push_back(row[0].AsInt()); });
