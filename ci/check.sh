@@ -5,9 +5,13 @@
 # registry on the micro-op benchmarks, budget 5%), a static-analysis lint
 # stage (clang -Wthread-safety -Werror build + clang-tidy over
 # compile_commands.json; skipped with a notice when the clang toolchain is
-# absent), then ASan/UBSan and TSan builds + tests (the TSan pass re-runs
+# absent), ASan/UBSan and TSan builds + tests (the TSan pass re-runs
 # the metrics/differential/WAL suites with concurrency; Debug sanitizer
-# builds run with the lock-rank validator on by default).
+# builds run with the lock-rank validator on by default), a strict UBSan
+# (-fno-sanitize-recover) full-suite pass, and a fuzz smoke stage that
+# builds the six src/fuzz targets and replays their seed corpora plus a
+# bounded mutation budget (libFuzzer under clang, the standalone driver
+# under GCC).
 #
 #   ci/check.sh            # all stages
 #   ci/check.sh --fast     # regular pass only
@@ -98,6 +102,33 @@ if [[ "${1:-}" != "--fast" ]]; then
 
   echo "== TSan build (metrics hot path + differential + WAL concurrency) =="
   run_pass build-tsan -DSQLGRAPH_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug
+
+  echo "== strict UBSan build (-fno-sanitize-recover, full suite) =="
+  # The ASan pass above runs UBSan in recovering mode; this pass turns any
+  # single UB report into a test failure.
+  run_pass build-ubsan -DSQLGRAPH_SANITIZE=undefined -DCMAKE_BUILD_TYPE=Debug
+
+  echo "== fuzz smoke (corpus replay + bounded mutations, ASan/UBSan) =="
+  # All six targets build in both modes; the smoke replays the checked-in
+  # corpora and spends a small deterministic mutation budget per target.
+  # Real fuzzing sessions: build with clang and run the binaries directly.
+  cmake -B build-fuzz -S . -DSQLGRAPH_FUZZ=ON -DSQLGRAPH_SANITIZE=address \
+    -DCMAKE_BUILD_TYPE=Debug >/dev/null
+  cmake --build build-fuzz -j "$(nproc)" --target \
+    fuzz_json fuzz_sql fuzz_gremlin fuzz_wal fuzz_snapshot fuzz_store_ops
+  for target in fuzz_json fuzz_sql fuzz_gremlin fuzz_wal fuzz_snapshot \
+                fuzz_store_ops; do
+    echo "  -- ${target}"
+    if command -v clang++ >/dev/null 2>&1; then
+      # libFuzzer binary: bounded run over the seed corpus.
+      ./build-fuzz/src/fuzz/"${target}" -runs=2000 -seed=1 \
+        "tests/fuzz/corpus/${target}"
+    else
+      # Standalone driver: same corpus, same mutation budget.
+      ./build-fuzz/src/fuzz/"${target}" -runs=2000 -seed=1 \
+        "tests/fuzz/corpus/${target}" 2>/dev/null
+    fi
+  done
 fi
 
 echo "ci/check.sh: all passes green"

@@ -7,9 +7,14 @@
 //   ./query_translation --table8             # EXPLAIN ANALYZE each Table-8
 //                                            # template query
 //   ./query_translation --metrics            # ... and dump the registry
+//   ./query_translation --check PATH         # audit a store: PATH is either
+//                                            # a snapshot file or a WAL
+//                                            # durability directory; prints
+//                                            # the CheckConsistency report
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <string>
 
@@ -17,7 +22,9 @@
 #include "gremlin/sparql.h"
 #include "graph/dbpedia_gen.h"
 #include "obs/metrics.h"
+#include "sqlgraph/snapshot.h"
 #include "sqlgraph/store.h"
+#include "wal/durability.h"
 
 using namespace sqlgraph;
 
@@ -38,6 +45,36 @@ const char* kTable8Queries[] = {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--check") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s --check SNAPSHOT_FILE_OR_WAL_DIR\n",
+                   argv[0]);
+      return 2;
+    }
+    const std::string path = argv[2];
+    util::Result<std::unique_ptr<core::SqlGraphStore>> opened =
+        util::Status::InvalidArgument("unset");
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      core::StoreConfig config;
+      config.durability_dir = path;
+      // The audit below is the point of this invocation; don't fail the
+      // open on what it will report.
+      config.verify_on_recovery = false;
+      opened = wal::OpenDurableStore(std::move(config));
+    } else {
+      opened = core::OpenSnapshot(path);
+    }
+    if (!opened.ok()) {
+      std::fprintf(stderr, "open %s: %s\n", path.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    const core::ConsistencyReport report = (*opened)->CheckConsistency();
+    std::printf("%s\n", report.ToString().c_str());
+    return report.ok() ? 0 : 1;
+  }
+
   graph::DbpediaConfig gen_config;
   gen_config.scale = 0.01;
   graph::PropertyGraph graph = graph::DbpediaGenerator(gen_config).Generate();

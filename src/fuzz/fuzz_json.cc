@@ -1,0 +1,30 @@
+// Fuzz target: JSON parser + writer (src/json).
+//
+// Properties checked on every input that parses:
+//  * Write() output re-parses (the writer emits valid JSON),
+//  * Write ∘ Parse is a fixpoint after one round (canonical form is stable).
+
+#include <cstdint>
+#include <string_view>
+
+#include "fuzz/fuzz_util.h"
+#include "json/json_parser.h"
+
+using sqlgraph::json::JsonValue;
+using sqlgraph::json::Parse;
+using sqlgraph::json::Write;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto parsed = Parse(text);
+  if (!parsed.ok()) return 0;
+
+  const std::string once = Write(parsed.value());
+  auto reparsed = Parse(once);
+  FUZZ_ASSERT(reparsed.ok(), "writer output failed to re-parse: %s",
+              reparsed.status().ToString().c_str());
+  const std::string twice = Write(reparsed.value());
+  FUZZ_ASSERT(once == twice, "canonical form unstable:\n  %s\n  %s",
+              once.c_str(), twice.c_str());
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Shared helpers for the libFuzzer targets in this directory.
+//
+// Targets are plain `LLVMFuzzerTestOneInput` translation units. Under clang
+// they link -fsanitize=fuzzer; under GCC they link standalone_main.cc, which
+// replays corpus files and runs a bounded deterministic mutation loop. Either
+// way a property failure must abort the process (that is the only signal a
+// fuzzer understands), hence FUZZ_ASSERT instead of any Status plumbing.
+
+#ifndef SQLGRAPH_FUZZ_FUZZ_UTIL_H_
+#define SQLGRAPH_FUZZ_FUZZ_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#define FUZZ_ASSERT(cond, ...)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "FUZZ_ASSERT failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, #cond);                          \
+      std::fprintf(stderr, "  " __VA_ARGS__);                           \
+      std::fprintf(stderr, "\n");                                       \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+namespace sqlgraph {
+namespace fuzz {
+
+/// Structured view over the raw fuzz input: consuming reader for byte-coded
+/// operations. All Take* calls are total — an exhausted input yields zeros,
+/// so op decoding never branches on bounds.
+class FuzzInput {
+ public:
+  FuzzInput(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool empty() const { return pos_ >= size_; }
+  size_t remaining() const { return pos_ < size_ ? size_ - pos_ : 0; }
+
+  uint8_t TakeByte() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  uint32_t TakeU32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | TakeByte();
+    return v;
+  }
+
+  int64_t TakeInt64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | TakeByte();
+    return static_cast<int64_t>(v);
+  }
+
+  /// Up to `max_len` bytes as a string (shorter when input runs out).
+  std::string TakeString(size_t max_len) {
+    const size_t n = remaining() < max_len ? remaining() : max_len;
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  /// Everything not yet consumed.
+  std::string_view Rest() const {
+    return std::string_view(reinterpret_cast<const char*>(data_ + pos_),
+                            remaining());
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Unique-per-process scratch directory, removed on destruction. Fuzz
+/// targets that need files (WAL, snapshots) write only in here.
+class TempDir {
+ public:
+  explicit TempDir(const char* tag) {
+    char tmpl[256];
+    std::snprintf(tmpl, sizeof(tmpl), "/tmp/sqlgraph_%s_XXXXXX", tag);
+    const char* made = mkdtemp(tmpl);
+    FUZZ_ASSERT(made != nullptr, "mkdtemp failed for tag %s", tag);
+    path_ = made;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::string File(const char* name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+/// Overwrites `path` with `data` (abort on I/O failure — the fuzz scratch
+/// dir failing is an environment error, not a finding).
+inline void WriteFile(const std::string& path, std::string_view data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  FUZZ_ASSERT(f != nullptr, "fopen %s", path.c_str());
+  if (!data.empty()) {
+    FUZZ_ASSERT(std::fwrite(data.data(), 1, data.size(), f) == data.size(),
+                "short write to %s", path.c_str());
+  }
+  FUZZ_ASSERT(std::fclose(f) == 0, "fclose %s", path.c_str());
+}
+
+}  // namespace fuzz
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_FUZZ_FUZZ_UTIL_H_

@@ -1,0 +1,151 @@
+// Standalone driver for fuzz targets when libFuzzer is unavailable (GCC).
+//
+// Usage mirrors the libFuzzer subset ci/check.sh needs:
+//
+//   fuzz_x CORPUS_DIR_OR_FILE...            replay every corpus input once
+//   fuzz_x -runs=N [-seed=S] SEEDS...       + N deterministic mutations of
+//                                           the seed inputs (xorshift64 RNG,
+//                                           so a failing run reproduces from
+//                                           its seed)
+//
+// It is a driver, not a coverage-guided fuzzer: the mutation loop exists so
+// CI exercises target+mutator plumbing and shallow input space even without
+// clang. Real fuzzing sessions should use clang's -fsanitize=fuzzer build.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+uint64_t g_rng_state = 0x9e3779b97f4a7c15ull;
+
+uint64_t NextRand() {
+  uint64_t x = g_rng_state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  g_rng_state = x;
+  return x;
+}
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+void RunOne(const std::string& data) {
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(data.data()),
+                         data.size());
+}
+
+/// One random byte-level edit: flip, insert, erase, duplicate a span, or
+/// truncate. Keeps `max_len` as a hard cap.
+void Mutate(std::string* data, size_t max_len) {
+  const int kind = static_cast<int>(NextRand() % 5);
+  const size_t n = data->size();
+  switch (kind) {
+    case 0:  // flip bits in one byte
+      if (n > 0) (*data)[NextRand() % n] ^= static_cast<char>(NextRand());
+      break;
+    case 1:  // insert a byte
+      if (n < max_len) {
+        data->insert(data->begin() + static_cast<long>(NextRand() % (n + 1)),
+                     static_cast<char>(NextRand()));
+      }
+      break;
+    case 2:  // erase a byte
+      if (n > 0) data->erase(data->begin() + static_cast<long>(NextRand() % n));
+      break;
+    case 3: {  // duplicate a short span (grows structure repetition)
+      if (n == 0 || n >= max_len) break;
+      const size_t start = NextRand() % n;
+      const size_t len = 1 + NextRand() % std::min<size_t>(16, n - start);
+      const std::string span = data->substr(start, len);
+      data->insert(NextRand() % (data->size() + 1), span);
+      if (data->size() > max_len) data->resize(max_len);
+      break;
+    }
+    default:  // truncate
+      if (n > 0) data->resize(NextRand() % n);
+      break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long runs = 0;
+  uint64_t seed = 1;
+  size_t max_len = 4096;
+  std::vector<std::string> seeds;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "-runs=", 6) == 0) {
+      runs = std::strtol(arg + 6, nullptr, 10);
+    } else if (std::strncmp(arg, "-seed=", 6) == 0) {
+      seed = std::strtoull(arg + 6, nullptr, 10);
+    } else if (std::strncmp(arg, "-max_len=", 9) == 0) {
+      max_len = std::strtoul(arg + 9, nullptr, 10);
+    } else if (arg[0] == '-') {
+      // Ignore unknown libFuzzer-style flags so corpus-replay invocations
+      // written for clang work unchanged.
+    } else {
+      fs::path p(arg);
+      std::error_code ec;
+      if (fs::is_directory(p, ec)) {
+        std::vector<fs::path> files;
+        for (const auto& entry : fs::directory_iterator(p, ec)) {
+          if (entry.is_regular_file()) files.push_back(entry.path());
+        }
+        std::sort(files.begin(), files.end());  // deterministic replay order
+        for (const auto& f : files) {
+          std::string data;
+          if (ReadFile(f, &data)) seeds.push_back(std::move(data));
+        }
+      } else {
+        std::string data;
+        if (!ReadFile(p, &data)) {
+          std::fprintf(stderr, "cannot read %s\n", arg);
+          return 2;
+        }
+        seeds.push_back(std::move(data));
+      }
+    }
+  }
+
+  g_rng_state = seed * 0x2545F4914F6CDD1Dull + 1;
+
+  std::fprintf(stderr, "standalone fuzz driver: %zu corpus inputs, %ld runs\n",
+               seeds.size(), runs);
+  for (const std::string& s : seeds) RunOne(s);
+
+  if (runs > 0) {
+    std::string current;
+    for (long i = 0; i < runs; ++i) {
+      // Restart from a corpus seed periodically; mutate cumulatively in
+      // between so edits compound into deeper corruption.
+      if (i % 16 == 0) {
+        current = seeds.empty() ? std::string()
+                                : seeds[NextRand() % seeds.size()];
+      }
+      Mutate(&current, max_len);
+      RunOne(current);
+    }
+  }
+  std::fprintf(stderr, "standalone fuzz driver: done\n");
+  return 0;
+}

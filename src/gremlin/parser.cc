@@ -132,6 +132,11 @@ class Parser {
   }
 
  private:
+  // Caps nesting of sub-pipelines (and/or/copySplit/ifThenElse branches) so
+  // adversarial inputs like ".and(_().and(_().and(..." error out instead of
+  // overflowing the stack.
+  static constexpr int kMaxDepth = 128;
+
   Result<Pipeline> ParsePipeChain() {
     Pipeline p;
     while (AcceptSymbol(".")) {
@@ -145,6 +150,16 @@ class Parser {
   }
 
   Result<Pipe> ParsePipe() {
+    if (++depth_ > kMaxDepth) {
+      --depth_;
+      return Err("pipeline nesting too deep");
+    }
+    Result<Pipe> r = ParsePipeImpl();
+    --depth_;
+    return r;
+  }
+
+  Result<Pipe> ParsePipeImpl() {
     ASSIGN_OR_RETURN(std::string name, ExpectAnyIdent());
     Pipe pipe{};
     if (name == "V" || name == "E") {
@@ -251,6 +266,9 @@ class Parser {
       RETURN_NOT_OK(ExpectSymbol(","));
       ASSIGN_OR_RETURN(rel::Value hi, ParseLiteral());
       RETURN_NOT_OK(ExpectSymbol(")"));
+      if (!lo.is_int() || !hi.is_int() || lo.AsInt() < 0) {
+        return Err("range() expects non-negative integer bounds");
+      }
       pipe.lo = lo.AsInt();
       pipe.hi = hi.AsInt();
       return pipe;
@@ -302,6 +320,9 @@ class Parser {
       pipe.kind = PipeKind::kLoop;
       RETURN_NOT_OK(ExpectSymbol("("));
       ASSIGN_OR_RETURN(rel::Value steps, ParseLiteral());
+      if (!steps.is_int() || steps.AsInt() <= 0 || steps.AsInt() > 64) {
+        return Err("loop() step count must be an integer in [1, 64]");
+      }
       pipe.loop_steps = steps.AsInt();
       RETURN_NOT_OK(ExpectSymbol(")"));
       RETURN_NOT_OK(ExpectSymbol("{"));
@@ -315,6 +336,11 @@ class Parser {
         RETURN_NOT_OK(ExpectIdent("loops"));
         RETURN_NOT_OK(ExpectSymbol("<"));
         ASSIGN_OR_RETURN(rel::Value k, ParseLiteral());
+        // The translator expands the loop body count-many times, so an
+        // unbounded count is a query-size amplification attack.
+        if (!k.is_int() || k.AsInt() < 0 || k.AsInt() > 1024) {
+          return Err("loop bound must be an integer in [0, 1024]");
+        }
         pipe.loop_count = k.AsInt();
       }
       RETURN_NOT_OK(ExpectSymbol("}"));
@@ -449,6 +475,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;  // recursion guard
 };
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "gremlin/translator.h"
 
 #include <algorithm>
+#include <limits>
 #include <set>
 #include <unordered_map>
 
@@ -612,7 +613,12 @@ class Translator::State {
     start_select_ = nullptr;
     auto sel = SelectStarFrom(current_);
     sel->offset = pipe.lo;
-    if (pipe.hi >= pipe.lo) sel->limit = pipe.hi - pipe.lo + 1;
+    if (pipe.hi >= pipe.lo) {
+      // hi - lo cannot overflow (parser enforces lo >= 0), but + 1 can when
+      // hi == INT64_MAX; saturate instead.
+      const int64_t span = pipe.hi - pipe.lo;
+      sel->limit = span == std::numeric_limits<int64_t>::max() ? span : span + 1;
+    }
     Emit(std::move(sel));
     return Status::OK();
   }

@@ -32,11 +32,26 @@ class Parser {
   }
 
  private:
+  // Bounds recursion on adversarial inputs like "[[[[...": each nesting level
+  // costs two stack frames, so 256 stays well inside default stack limits even
+  // under sanitizer instrumentation.
+  static constexpr int kMaxDepth = 256;
+
   Status ParseValue(JsonValue* out) {
     if (pos_ >= text_.size()) return Err("unexpected end of input");
     switch (text_[pos_]) {
-      case '{': return ParseObject(out);
-      case '[': return ParseArray(out);
+      case '{': {
+        if (++depth_ > kMaxDepth) return Err("nesting too deep");
+        Status s = ParseObject(out);
+        --depth_;
+        return s;
+      }
+      case '[': {
+        if (++depth_ > kMaxDepth) return Err("nesting too deep");
+        Status s = ParseArray(out);
+        --depth_;
+        return s;
+      }
       case '"': return ParseString(out);
       case 't':
         RETURN_NOT_OK(Expect("true"));
@@ -141,15 +156,25 @@ class Parser {
           case 'r': s.push_back('\r'); break;
           case 't': s.push_back('\t'); break;
           case 'u': {
-            if (pos_ + 4 > text_.size()) return Err("bad \\u escape");
             unsigned cp = 0;
-            for (int i = 0; i < 4; ++i) {
-              char h = text_[pos_++];
-              cp <<= 4;
-              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
-              else return Err("bad hex digit in \\u escape");
+            RETURN_NOT_OK(ReadHex4(&cp));
+            if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              return Err("unpaired low surrogate in \\u escape");
+            }
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: a \uXXXX low surrogate must follow, and the
+              // pair combines into one supplementary-plane codepoint.
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return Err("high surrogate not followed by \\u escape");
+              }
+              pos_ += 2;
+              unsigned lo = 0;
+              RETURN_NOT_OK(ReadHex4(&lo));
+              if (lo < 0xDC00 || lo > 0xDFFF) {
+                return Err("high surrogate not followed by low surrogate");
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
             }
             AppendUtf8(cp, &s);
             break;
@@ -197,14 +222,33 @@ class Parser {
     return Status::OK();
   }
 
+  Status ReadHex4(unsigned* cp) {
+    if (pos_ + 4 > text_.size()) return Err("bad \\u escape");
+    *cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = text_[pos_++];
+      *cp <<= 4;
+      if (h >= '0' && h <= '9') *cp |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') *cp |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') *cp |= static_cast<unsigned>(h - 'A' + 10);
+      else return Err("bad hex digit in \\u escape");
+    }
+    return Status::OK();
+  }
+
   static void AppendUtf8(unsigned cp, std::string* s) {
     if (cp < 0x80) {
       s->push_back(static_cast<char>(cp));
     } else if (cp < 0x800) {
       s->push_back(static_cast<char>(0xC0 | (cp >> 6)));
       s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-    } else {
+    } else if (cp < 0x10000) {
       s->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      s->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      s->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      s->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
       s->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
       s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
     }
@@ -234,6 +278,7 @@ class Parser {
 
   std::string_view text_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 void WriteString(const std::string& s, std::string* out) {
@@ -260,8 +305,14 @@ void WriteString(const std::string& s, std::string* out) {
 
 void WriteNumber(double d, std::string* out) {
   if (std::isfinite(d)) {
-    std::string s = util::StrFormat("%.17g", d);
-    out->append(s);
+    if (d == 0 && std::signbit(d)) {
+      // %.17g prints "-0", which re-parses as *int* 0 and then writes as
+      // "0" — the only double whose text form is unstable across a
+      // parse/write round trip. Keep it double-typed.
+      out->append("-0.0");
+    } else {
+      out->append(util::StrFormat("%.17g", d));
+    }
   } else {
     out->append("null");  // JSON has no Inf/NaN.
   }

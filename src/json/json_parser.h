@@ -12,9 +12,10 @@
 namespace sqlgraph {
 namespace json {
 
-/// Parses a JSON document. Accepts the full JSON grammar (RFC 8259) minus
-/// \uXXXX surrogate-pair edge cases beyond the BMP (escapes are decoded to
-/// UTF-8).
+/// Parses a JSON document. Accepts the full JSON grammar (RFC 8259); \uXXXX
+/// escapes are decoded to UTF-8, including surrogate pairs for codepoints
+/// beyond the BMP (lone surrogates are a parse error). Nesting depth is capped
+/// to keep recursion bounded on adversarial inputs.
 util::Result<JsonValue> Parse(std::string_view text);
 
 /// Serializes to compact JSON text (no whitespace, keys in stored order).

@@ -25,7 +25,7 @@ void PutFixed64(uint64_t v, std::string* out) {
 }
 
 util::Status GetFixed64(const std::string& buf, size_t* offset, uint64_t* out) {
-  if (*offset + 8 > buf.size()) {
+  if (*offset > buf.size() || buf.size() - *offset < 8) {
     return util::Status::OutOfRange("truncated fixed64");
   }
   std::memcpy(out, buf.data() + *offset, 8);
@@ -115,7 +115,8 @@ util::Status DecodeRow(const std::string& buf, size_t num_columns,
       case kTagString: {
         uint64_t len;
         RETURN_NOT_OK(GetVarint(buf, offset, &len));
-        if (*offset + len > buf.size()) {
+        // Overflow-safe form: *offset + len can wrap for adversarial len.
+        if (len > buf.size() - *offset) {
           return util::Status::OutOfRange("truncated string payload");
         }
         out->emplace_back(buf.substr(*offset, len));
@@ -125,7 +126,7 @@ util::Status DecodeRow(const std::string& buf, size_t num_columns,
       case kTagJson: {
         uint64_t len;
         RETURN_NOT_OK(GetVarint(buf, offset, &len));
-        if (*offset + len > buf.size()) {
+        if (len > buf.size() - *offset) {
           return util::Status::OutOfRange("truncated json payload");
         }
         ASSIGN_OR_RETURN(json::JsonValue jv,

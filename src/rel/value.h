@@ -3,6 +3,7 @@
 #ifndef SQLGRAPH_REL_VALUE_H_
 #define SQLGRAPH_REL_VALUE_H_
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -52,7 +53,15 @@ class Value {
   bool is_json() const { return std::holds_alternative<json::JsonValue>(repr_); }
 
   int64_t AsInt() const {
-    if (is_double()) return static_cast<int64_t>(std::get<double>(repr_));
+    if (is_double()) {
+      // Saturating conversion: the raw cast is UB for NaN and for values
+      // outside int64 range (e.g. 1e300 from a JSON attribute).
+      const double d = std::get<double>(repr_);
+      if (std::isnan(d)) return 0;
+      if (d >= 9223372036854775808.0) return INT64_MAX;   // 2^63
+      if (d < -9223372036854775808.0) return INT64_MIN;   // -2^63 is exact
+      return static_cast<int64_t>(d);
+    }
     if (is_bool()) return std::get<bool>(repr_) ? 1 : 0;
     return std::get<int64_t>(repr_);
   }

@@ -162,11 +162,15 @@ Result<Value> EvalBinary(const Expr& e, const ColumnEnv& env,
       }
       if (lhs.is_int() && rhs.is_int() && e.bin_op != BinaryOp::kDiv) {
         const int64_t a = lhs.AsInt(), b = rhs.AsInt();
+        int64_t r = 0;
+        bool overflow;
         switch (e.bin_op) {
-          case BinaryOp::kAdd: return Value(a + b);
-          case BinaryOp::kSub: return Value(a - b);
-          default: return Value(a * b);
+          case BinaryOp::kAdd: overflow = __builtin_add_overflow(a, b, &r); break;
+          case BinaryOp::kSub: overflow = __builtin_sub_overflow(a, b, &r); break;
+          default: overflow = __builtin_mul_overflow(a, b, &r); break;
         }
+        if (!overflow) return Value(r);
+        // Overflow promotes to double, same as the mixed-type path below.
       }
       const double a = lhs.AsDouble(), b = rhs.AsDouble();
       switch (e.bin_op) {
@@ -274,7 +278,13 @@ Result<Value> EvalFunc(const Expr& e, const ColumnEnv& env,
     RETURN_NOT_OK(arity(1));
     ASSIGN_OR_RETURN(Value v, EvalExpr(*e.args[0], env, row, ctx));
     if (v.is_null()) return Value::Null();
-    if (v.is_int()) return Value(v.AsInt() < 0 ? -v.AsInt() : v.AsInt());
+    if (v.is_int()) {
+      const int64_t a = v.AsInt();
+      int64_t r = 0;
+      if (a >= 0) return Value(a);
+      if (!__builtin_sub_overflow(int64_t{0}, a, &r)) return Value(r);
+      return Value(-static_cast<double>(a));  // ABS(INT64_MIN) → double
+    }
     return Value(std::fabs(v.AsDouble()));
   }
   if (f == "LOWER" || f == "UPPER") {
@@ -336,7 +346,13 @@ Result<Value> EvalExpr(const Expr& e, const ColumnEnv& env,
           return Value(!v.is_null());
         case UnaryOp::kNeg:
           if (v.is_null()) return Value::Null();
-          if (v.is_int()) return Value(-v.AsInt());
+          if (v.is_int()) {
+            int64_t r = 0;
+            if (!__builtin_sub_overflow(int64_t{0}, v.AsInt(), &r)) {
+              return Value(r);
+            }
+            return Value(-static_cast<double>(v.AsInt()));  // -INT64_MIN
+          }
           if (v.is_double()) return Value(-v.AsDouble());
           return Status::TypeError("negation of non-number");
       }

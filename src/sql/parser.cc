@@ -64,8 +64,24 @@ class Parser {
   }
 
  private:
+  // Caps recursive-descent depth so adversarial nesting ("((((...", chained
+  // NOTs, deep subqueries) returns a parse error instead of overflowing the
+  // stack. Each nesting level costs several frames (expr precedence chain),
+  // so 256 stays well inside default stack limits under sanitizers.
+  static constexpr int kMaxDepth = 256;
+
+  struct DepthScope {
+    explicit DepthScope(int* d) : d(d) { ++*d; }
+    ~DepthScope() { --*d; }
+    DepthScope(const DepthScope&) = delete;
+    DepthScope& operator=(const DepthScope&) = delete;
+    int* d;
+  };
+
   // ----------------------------------------------------------- SELECT ----
   Result<SelectPtr> ParseSelect() {
+    DepthScope scope(&depth_);
+    if (depth_ > kMaxDepth) return Err("query nesting too deep");
     RETURN_NOT_OK(ExpectKeyword("SELECT"));
     auto s = std::make_shared<SelectStmt>();
     s->distinct = AcceptKeyword("DISTINCT");
@@ -255,6 +271,8 @@ class Parser {
   // Precedence climbing: 0=OR, 1=AND, 2=NOT, 3=comparison/IN/LIKE/IS,
   // 4=add/concat, 5=mul, 6=unary/primary.
   Result<ExprPtr> ParseExprPrec(int min_prec) {
+    DepthScope scope(&depth_);
+    if (depth_ > kMaxDepth) return Err("expression nesting too deep");
     ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
     while (true) {
       if (min_prec <= 0 && AcceptKeyword("OR")) {
@@ -274,6 +292,8 @@ class Parser {
 
   Result<ExprPtr> ParseNot() {
     if (AcceptKeyword("NOT")) {
+      DepthScope scope(&depth_);
+      if (depth_ > kMaxDepth) return Err("expression nesting too deep");
       ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
       return Un(UnaryOp::kNot, std::move(inner));
     }
@@ -381,6 +401,8 @@ class Parser {
 
   Result<ExprPtr> ParseUnary() {
     if (AcceptSymbol("-")) {
+      DepthScope scope(&depth_);
+      if (depth_ > kMaxDepth) return Err("expression nesting too deep");
       ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
       return Un(UnaryOp::kNeg, std::move(inner));
     }
@@ -616,6 +638,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;                                     // recursion guard
   int next_param_ = 0;                                // next bind slot
   std::unordered_map<std::string, int> named_params_; // :name → bind slot
 };

@@ -55,7 +55,7 @@ struct IndexablePredicate {
     kJsonEq,      // JSON_VAL(col,'k') = const
     kJsonRange,   // JSON_VAL(col,'k') </<=/>/>= const
     kJsonPrefix,  // JSON_VAL(col,'k') LIKE 'prefix%...'
-  } kind;
+  } kind = kColumnEq;  // initialized: plans copy never-matched predicates
   int column_id = -1;
   std::string json_key;        // kJson*
   ExprPtr value_expr;          // constant side (may contain parameters)

@@ -1,0 +1,500 @@
+// CheckConsistency: the cross-table invariant auditor (see check.h).
+//
+// The pass is deliberately defensive: every cell is type-checked before use
+// so a corrupted table (fuzzed snapshot, torn recovery) produces violations,
+// never a bad_variant_access. Legal-but-surprising states it must accept:
+//
+//  * adjacency entries pointing at a soft-deleted neighbor whose EA rows
+//    are already gone (RemoveVertex cleans EA eagerly, neighbors lazily),
+//  * a triad holding a lid with zero OSA/ISA rows — Compact() removes list
+//    entries whose targets died but leaves the triad as an empty list,
+//  * a lone row with SPILL=1 (RemoveAdjacencyEntry never clears the flag).
+
+#include "sqlgraph/check.h"
+
+#include <algorithm>
+#include <map>
+#include <shared_mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "json/json_parser.h"
+#include "sqlgraph/store.h"
+#include "util/thread_annotations.h"
+
+namespace sqlgraph {
+namespace core {
+
+using rel::Row;
+using rel::RowId;
+using rel::Value;
+
+namespace {
+
+// Column offsets in OPA/IPA rows (mirrors store.cc).
+constexpr size_t kVidCol = 0;
+constexpr size_t kSpillCol = 1;
+size_t EidColIdx(size_t c) { return 2 + 3 * c; }
+size_t LblColIdx(size_t c) { return 3 + 3 * c; }
+size_t ValColIdx(size_t c) { return 4 + 3 * c; }
+
+// EA column offsets.
+constexpr size_t kEaEid = 0;
+constexpr size_t kEaInv = 1;
+constexpr size_t kEaOutv = 2;
+constexpr size_t kEaLbl = 3;
+constexpr size_t kEaAttr = 4;
+
+// Table slots, in the store's TableIdx order (that enum is private).
+enum LocalTableIdx { kOpa = 0, kIpa, kOsa, kIsa, kVa, kEa, kNumAuditTables };
+
+struct EaEntry {
+  int64_t src = 0;
+  int64_t dst = 0;
+  std::string label;
+  bool typed_ok = false;  // false: row was malformed, skip agreement checks
+};
+
+// One direction's adjacency entry, keyed by eid in the maps below.
+struct AdjEntry {
+  int64_t vid = 0;
+  int64_t nbr = 0;
+  std::string label;
+};
+
+class Auditor {
+ public:
+  Auditor(const rel::Database* db, const GraphSchema* schema,
+          ConsistencyReport* report)
+      : db_(db), schema_(schema), report_(report) {}
+
+  void Run() {
+    if (!LookupTables()) return;
+    ScanVa();
+    ScanEa();
+    AuditDirection(/*outgoing=*/true);
+    AuditDirection(/*outgoing=*/false);
+  }
+
+  int64_t max_vid() const { return max_vid_; }
+  int64_t max_eid() const { return max_eid_; }
+  int64_t max_lid() const { return max_lid_; }
+
+  void Add(ViolationClass cls, const char* table, int64_t id,
+           std::string detail) {
+    ++report_->total_violations;
+    if (report_->violations.size() >= ConsistencyReport::kMaxViolations) {
+      report_->truncated = true;
+      return;
+    }
+    report_->violations.push_back({cls, table, id, std::move(detail)});
+  }
+
+ private:
+  bool LookupTables() {
+    static constexpr const char* kNames[kNumAuditTables] = {
+        kOpaTable, kIpaTable, kOsaTable, kIsaTable, kVaTable, kEaTable};
+    bool ok = true;
+    for (int i = 0; i < kNumAuditTables; ++i) {
+      tables_[i] = db_->GetTable(kNames[i]);
+      if (tables_[i] == nullptr) {
+        Add(ViolationClass::kTableShape, kNames[i], 0, "table missing");
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+  static bool IsInt(const Value& v) { return v.is_int(); }
+
+  /// ATTR audit shared by VA and EA: must be a JSON object whose compact
+  /// serialization parses back. NULL is tolerated (legacy loads).
+  void AuditAttr(const char* table, int64_t id, const Value& attr) {
+    if (attr.is_null()) return;
+    if (!attr.is_json()) {
+      Add(ViolationClass::kJsonMalformed, table, id, "ATTR is not JSON");
+      return;
+    }
+    if (!attr.AsJson().is_object()) {
+      Add(ViolationClass::kJsonMalformed, table, id,
+          "ATTR is not a JSON object");
+      return;
+    }
+    if (!json::Parse(json::Write(attr.AsJson())).ok()) {
+      Add(ViolationClass::kJsonMalformed, table, id,
+          "ATTR does not round-trip through the JSON writer");
+    }
+  }
+
+  void ScanVa() {
+    tables_[kVa]->Scan([&](RowId, const Row& row) {
+      ++report_->rows_audited;
+      if (row.size() != 2 || !IsInt(row[0])) {
+        Add(ViolationClass::kTableShape, kVaTable, 0, "malformed VA row");
+        return;
+      }
+      const int64_t vid = row[0].AsInt();
+      if (vid >= 0) {
+        if (!va_live_.insert(vid).second) {
+          Add(ViolationClass::kDuplicateId, kVaTable, vid, "duplicate VID");
+        }
+        max_vid_ = std::max(max_vid_, vid);
+      } else {
+        if (!va_deleted_.insert(vid).second) {
+          Add(ViolationClass::kDuplicateId, kVaTable, vid,
+              "duplicate soft-deleted VID");
+        }
+        max_vid_ = std::max(max_vid_, -vid - 1);
+      }
+      AuditAttr(kVaTable, vid, row[1]);
+    });
+    for (const int64_t d : va_deleted_) {
+      if (va_live_.count(-d - 1) != 0) {
+        Add(ViolationClass::kSoftDelete, kVaTable, -d - 1,
+            "vertex is both live and soft-deleted");
+      }
+    }
+  }
+
+  void ScanEa() {
+    tables_[kEa]->Scan([&](RowId, const Row& row) {
+      ++report_->rows_audited;
+      if (row.size() != 5 || !IsInt(row[kEaEid])) {
+        Add(ViolationClass::kTableShape, kEaTable, 0, "malformed EA row");
+        return;
+      }
+      const int64_t eid = row[kEaEid].AsInt();
+      max_eid_ = std::max(max_eid_, eid);
+      EaEntry entry;
+      if (IsInt(row[kEaInv]) && IsInt(row[kEaOutv]) && row[kEaLbl].is_string()) {
+        entry.src = row[kEaInv].AsInt();
+        entry.dst = row[kEaOutv].AsInt();
+        entry.label = row[kEaLbl].AsString();
+        entry.typed_ok = true;
+      } else {
+        Add(ViolationClass::kTableShape, kEaTable, eid,
+            "EA row has wrong column types");
+      }
+      if (!ea_.emplace(eid, std::move(entry)).second) {
+        Add(ViolationClass::kDuplicateId, kEaTable, eid, "duplicate EID");
+        return;
+      }
+      AuditAttr(kEaTable, eid, row[kEaAttr]);
+      // Endpoint hygiene: EA rows of a soft-deleted vertex are removed by
+      // RemoveVertex itself, so a survivor referencing one is a bug.
+      const EaEntry& e = ea_[eid];
+      if (!e.typed_ok) return;
+      for (const int64_t endpoint : {e.src, e.dst}) {
+        if (va_live_.count(endpoint) != 0) continue;
+        if (va_deleted_.count(-endpoint - 1) != 0) {
+          Add(ViolationClass::kSoftDelete, kEaTable, eid,
+              "EA row references soft-deleted vertex " +
+                  std::to_string(endpoint));
+        } else {
+          Add(ViolationClass::kEaAdjacency, kEaTable, eid,
+              "EA row references unknown vertex " + std::to_string(endpoint));
+        }
+      }
+    });
+  }
+
+  void AuditDirection(bool outgoing) {
+    const char* primary_name = outgoing ? kOpaTable : kIpaTable;
+    const char* secondary_name = outgoing ? kOsaTable : kIsaTable;
+    const rel::Table* primary = tables_[outgoing ? kOpa : kIpa];
+    const rel::Table* secondary = tables_[outgoing ? kOsa : kIsa];
+    const coloring::ColoredHash& hash =
+        outgoing ? schema_->out_hash : schema_->in_hash;
+    const size_t colors = outgoing ? schema_->out_colors : schema_->in_colors;
+
+    // ---- Pass 1: overflow lists. lid → [(eid, target)] --------------------
+    std::unordered_map<int64_t, std::vector<std::pair<int64_t, int64_t>>> lists;
+    secondary->Scan([&](RowId, const Row& row) {
+      ++report_->rows_audited;
+      if (row.size() != 3 || !IsInt(row[0]) || !IsInt(row[1]) ||
+          !IsInt(row[2])) {
+        Add(ViolationClass::kTableShape, secondary_name, 0,
+            "malformed list row");
+        return;
+      }
+      const int64_t lid = row[0].AsInt();
+      if (lid < kLidBase) {
+        Add(ViolationClass::kListLinkage, secondary_name, lid,
+            "list VALID below lid base");
+        return;
+      }
+      max_lid_ = std::max(max_lid_, lid);
+      lists[lid].emplace_back(row[1].AsInt(), row[2].AsInt());
+    });
+
+    // ---- Pass 2: adjacency rows ------------------------------------------
+    // eid → entry for the EA cross-check (live rows only).
+    std::unordered_map<int64_t, AdjEntry> adj;
+    // lid → owning (vid, label, negated) triad.
+    struct LidRef {
+      int64_t vid;
+      std::string label;
+      bool negated;
+    };
+    std::unordered_map<int64_t, LidRef> lid_refs;
+    // Stored vid → (row count, rows with SPILL != 1).
+    std::map<int64_t, std::pair<size_t, size_t>> vid_rows;
+    std::unordered_set<std::string> seen_labels;  // "vid|label" dedup
+
+    primary->Scan([&](RowId, const Row& row) {
+      ++report_->rows_audited;
+      if (row.size() != 2 + 3 * colors || !IsInt(row[kVidCol]) ||
+          !IsInt(row[kSpillCol])) {
+        Add(ViolationClass::kTableShape, primary_name, 0,
+            "malformed adjacency row");
+        return;
+      }
+      const int64_t vid = row[kVidCol].AsInt();
+      const int64_t spill = row[kSpillCol].AsInt();
+      const bool negated = vid < 0;
+      auto& group = vid_rows[vid];
+      ++group.first;
+      if (spill != 1) ++group.second;
+      if (spill != 0 && spill != 1) {
+        Add(ViolationClass::kSpillColoring, primary_name, vid,
+            "SPILL flag is neither 0 nor 1");
+      }
+      // Vertex hygiene: the row's id must exist in VA on the matching side.
+      if (negated) {
+        if (va_deleted_.count(vid) == 0) {
+          Add(ViolationClass::kSoftDelete, primary_name, vid,
+              "negated adjacency row without soft-deleted VA entry");
+        }
+      } else if (va_live_.count(vid) == 0) {
+        Add(ViolationClass::kSoftDelete, primary_name, vid,
+            "adjacency row for unknown vertex");
+      }
+      for (size_t c = 0; c < colors; ++c) {
+        const Value& eidv = row[EidColIdx(c)];
+        const Value& lblv = row[LblColIdx(c)];
+        const Value& valv = row[ValColIdx(c)];
+        if (eidv.is_null() && lblv.is_null() && valv.is_null()) continue;
+        if (!lblv.is_string() || !IsInt(valv) ||
+            (!eidv.is_null() && !IsInt(eidv))) {
+          Add(ViolationClass::kSpillColoring, primary_name, vid,
+              "partially filled or mistyped triad at color " +
+                  std::to_string(c));
+          continue;
+        }
+        const std::string& label = lblv.AsString();
+        if (hash.ColorOf(label) % colors != c) {
+          Add(ViolationClass::kSpillColoring, primary_name, vid,
+              "label '" + label + "' stored in triad " + std::to_string(c) +
+                  " but colors to " +
+                  std::to_string(hash.ColorOf(label) % colors));
+        }
+        if (!seen_labels.insert(std::to_string(vid) + "|" + label).second) {
+          Add(ViolationClass::kDuplicateId, primary_name, vid,
+              "label '" + label + "' appears in more than one triad");
+        }
+        const int64_t val = valv.AsInt();
+        if (val >= kLidBase) {
+          if (!eidv.is_null()) {
+            Add(ViolationClass::kListLinkage, primary_name, vid,
+                "list triad carries a non-null EID");
+          }
+          auto [it, inserted] =
+              lid_refs.emplace(val, LidRef{vid, label, negated});
+          if (!inserted) {
+            Add(ViolationClass::kListLinkage, primary_name, vid,
+                "lid " + std::to_string(val) +
+                    " referenced by more than one triad");
+          }
+        } else {
+          if (eidv.is_null()) {
+            Add(ViolationClass::kListLinkage, primary_name, vid,
+                "single-valued triad missing its EID");
+            continue;
+          }
+          if (!negated) {
+            const int64_t eid = eidv.AsInt();
+            max_eid_ = std::max(max_eid_, eid);
+            if (!adj.emplace(eid, AdjEntry{vid, val, label}).second) {
+              Add(ViolationClass::kDuplicateId, primary_name, vid,
+                  "edge " + std::to_string(eid) +
+                      " appears twice in this direction");
+            }
+          }
+        }
+      }
+    });
+
+    // ---- Spill-vs-multiplicity -------------------------------------------
+    for (const auto& [vid, counts] : vid_rows) {
+      if (counts.first > 1 && counts.second > 0) {
+        Add(ViolationClass::kSpillColoring, primary_name, vid,
+            "vertex has " + std::to_string(counts.first) +
+                " rows but not all carry SPILL=1");
+      }
+    }
+
+    // ---- List linkage -----------------------------------------------------
+    for (const auto& [lid, entries] : lists) {
+      auto ref = lid_refs.find(lid);
+      if (ref == lid_refs.end()) {
+        Add(ViolationClass::kListLinkage, secondary_name, lid,
+            "orphan list: no triad references this lid");
+        continue;
+      }
+      std::unordered_set<int64_t> eids_in_list;
+      for (const auto& [eid, target] : entries) {
+        max_eid_ = std::max(max_eid_, eid);
+        if (!eids_in_list.insert(eid).second) {
+          Add(ViolationClass::kDuplicateId, secondary_name, lid,
+              "edge " + std::to_string(eid) + " listed twice");
+          continue;
+        }
+        if (ref->second.negated) continue;  // content checked via nothing:
+        // the owning vertex is deleted, its EA rows are gone by design.
+        if (!adj.emplace(eid, AdjEntry{ref->second.vid, target,
+                                       ref->second.label})
+                 .second) {
+          Add(ViolationClass::kDuplicateId, secondary_name, lid,
+              "edge " + std::to_string(eid) +
+                  " appears twice in this direction");
+        }
+      }
+    }
+    // A lid referenced by a triad with zero list rows is a legal empty list
+    // (Compact removes entries whose targets died without clearing the
+    // triad), so no violation for lid_refs entries missing from `lists`.
+
+    // ---- Adjacency → EA agreement ----------------------------------------
+    for (const auto& [eid, entry] : adj) {
+      auto it = ea_.find(eid);
+      if (it == ea_.end()) {
+        // Legal only while the neighbor is soft-deleted: RemoveVertex
+        // removes EA rows eagerly but leaves the other endpoint's adjacency
+        // for Compact.
+        if (va_deleted_.count(-entry.nbr - 1) == 0) {
+          Add(ViolationClass::kAdjacencyDangling, primary_name, entry.vid,
+              "adjacency references edge " + std::to_string(eid) +
+                  " with no EA row (neighbor " + std::to_string(entry.nbr) +
+                  " is live)");
+        }
+        continue;
+      }
+      if (!it->second.typed_ok) continue;  // reported as kTableShape already
+      const int64_t expect_vid = outgoing ? it->second.src : it->second.dst;
+      const int64_t expect_nbr = outgoing ? it->second.dst : it->second.src;
+      if (expect_vid != entry.vid || expect_nbr != entry.nbr ||
+          it->second.label != entry.label) {
+        Add(ViolationClass::kEaAdjacency, primary_name, entry.vid,
+            "edge " + std::to_string(eid) + " disagrees with EA: adjacency " +
+                std::to_string(entry.vid) + " -" + entry.label + "-> " +
+                std::to_string(entry.nbr) + ", EA " +
+                std::to_string(it->second.src) + " -" + it->second.label +
+                "-> " + std::to_string(it->second.dst));
+      }
+    }
+
+    // ---- EA → adjacency presence -----------------------------------------
+    for (const auto& [eid, entry] : ea_) {
+      if (!entry.typed_ok) continue;
+      const int64_t owner = outgoing ? entry.src : entry.dst;
+      if (va_live_.count(owner) == 0) continue;  // endpoint hygiene above
+      if (adj.find(eid) == adj.end()) {
+        Add(ViolationClass::kEaAdjacency, kEaTable, eid,
+            std::string("edge missing from ") + primary_name +
+                " adjacency of vertex " + std::to_string(owner));
+      }
+    }
+  }
+
+  const rel::Database* db_;
+  const GraphSchema* schema_;
+  ConsistencyReport* report_;
+  const rel::Table* tables_[kNumAuditTables] = {};
+
+  std::unordered_set<int64_t> va_live_;
+  std::unordered_set<int64_t> va_deleted_;  // stored (negative) ids
+  std::unordered_map<int64_t, EaEntry> ea_;
+  int64_t max_vid_ = -1;
+  int64_t max_eid_ = -1;
+  int64_t max_lid_ = kLidBase - 1;
+};
+
+}  // namespace
+
+const char* ViolationClassName(ViolationClass c) {
+  switch (c) {
+    case ViolationClass::kTableShape: return "table-shape";
+    case ViolationClass::kDuplicateId: return "duplicate-id";
+    case ViolationClass::kEaAdjacency: return "ea-adjacency";
+    case ViolationClass::kAdjacencyDangling: return "adjacency-dangling";
+    case ViolationClass::kListLinkage: return "list-linkage";
+    case ViolationClass::kSpillColoring: return "spill-coloring";
+    case ViolationClass::kSoftDelete: return "soft-delete";
+    case ViolationClass::kJsonMalformed: return "json-malformed";
+    case ViolationClass::kCounter: return "counter";
+  }
+  return "unknown";
+}
+
+std::string Violation::ToString() const {
+  return std::string(ViolationClassName(cls)) + " [" + table + " id=" +
+         std::to_string(id) + "] " + detail;
+}
+
+size_t ConsistencyReport::CountOf(ViolationClass c) const {
+  size_t n = 0;
+  for (const auto& v : violations) {
+    if (v.cls == c) ++n;
+  }
+  return n;
+}
+
+std::string ConsistencyReport::ToString() const {
+  std::string out = "consistency: " +
+                    std::string(ok() ? "OK" : "VIOLATIONS") + " (" +
+                    std::to_string(total_violations) + " violations, " +
+                    std::to_string(rows_audited) + " rows audited" +
+                    (truncated ? ", detail truncated" : "") + ")";
+  for (const auto& v : violations) {
+    out += "\n  " + v.ToString();
+  }
+  return out;
+}
+
+ConsistencyReport SqlGraphStore::CheckConsistency() const {
+  // Shared-lock all tables in TableIdx order (same protocol as
+  // SaveSnapshot) so the audit sees a consistent cut.
+  std::shared_lock<util::SharedMutex> locks[kNumTables];
+  for (int i = 0; i < kNumTables; ++i) {
+    locks[i] = std::shared_lock<util::SharedMutex>(table_locks_[i]);
+  }
+  ConsistencyReport report;
+  Auditor auditor(&db_, &schema_, &report);
+  auditor.Run();
+
+  // Counter monotonicity: every stored id must be behind its counter, or
+  // the next allocation would collide. counter_lock_ ranks above the table
+  // locks, so taking it here is hierarchy-legal.
+  {
+    util::ReaderMutexLock counter(&counter_lock_);
+    if (auditor.max_vid() >= next_vertex_id_) {
+      auditor.Add(ViolationClass::kCounter, kVaTable, auditor.max_vid(),
+                  "next_vertex_id " + std::to_string(next_vertex_id_) +
+                      " not ahead of stored VID");
+    }
+    if (auditor.max_eid() >= next_edge_id_) {
+      auditor.Add(ViolationClass::kCounter, kEaTable, auditor.max_eid(),
+                  "next_edge_id " + std::to_string(next_edge_id_) +
+                      " not ahead of stored EID");
+    }
+    if (auditor.max_lid() >= next_lid_) {
+      auditor.Add(ViolationClass::kCounter, kOsaTable, auditor.max_lid(),
+                  "next_lid " + std::to_string(next_lid_) +
+                      " not ahead of stored list id");
+    }
+  }
+  return report;
+}
+
+}  // namespace core
+}  // namespace sqlgraph

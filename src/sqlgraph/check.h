@@ -1,0 +1,74 @@
+// Cross-table invariant auditor for the Fig. 5 schema.
+//
+// SqlGraphStore::CheckConsistency() (src/sqlgraph/check.cc) walks all six
+// tables and verifies every invariant the paper's schema implies but the
+// relational substrate cannot express as a constraint:
+//
+//  * EA's redundant (INV, OUTV, LBL) copy agrees with OPA/OSA and IPA/ISA,
+//  * OSA/ISA overflow lists are linked from exactly one triad each,
+//  * labels sit in the triad column the coloring hash assigns them and
+//    SPILL flags match the row multiplicity,
+//  * soft-deleted ids (VID → -VID-1, §4.5.2) stay consistent across tables
+//    and never alias a live id,
+//  * VA/EA attribute documents are well-formed JSON objects,
+//  * id counters run ahead of every stored id.
+//
+// The report is structured so tests (tests/check_test.cc), the fuzzing
+// harness (src/fuzz/fuzz_store_ops.cc) and operators (examples --check) can
+// all assert on violation classes rather than parse text.
+
+#ifndef SQLGRAPH_SQLGRAPH_CHECK_H_
+#define SQLGRAPH_SQLGRAPH_CHECK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sqlgraph {
+namespace core {
+
+enum class ViolationClass {
+  kTableShape = 0,     // missing table, wrong column count/type in a row
+  kDuplicateId,        // duplicate VA/EA keys, duplicate label triads or eids
+  kEaAdjacency,        // EA row and OPA/IPA adjacency disagree
+  kAdjacencyDangling,  // adjacency references an edge/vertex that is gone
+  kListLinkage,        // OSA/ISA overflow list linkage broken
+  kSpillColoring,      // triad in wrong colored column or SPILL flag wrong
+  kSoftDelete,         // negated ids inconsistent across tables
+  kJsonMalformed,      // VA/EA ATTR not a well-formed JSON object
+  kCounter,            // id counter not ahead of stored ids
+};
+
+const char* ViolationClassName(ViolationClass c);
+
+struct Violation {
+  ViolationClass cls;
+  std::string table;   // table the violation anchors to
+  int64_t id = 0;      // vid/eid/lid involved (0 when not applicable)
+  std::string detail;  // human-readable description
+
+  std::string ToString() const;
+};
+
+struct ConsistencyReport {
+  /// Detail cap: scanning continues past it (total_violations keeps
+  /// counting) but further Violation entries are dropped.
+  static constexpr size_t kMaxViolations = 100;
+
+  std::vector<Violation> violations;
+  size_t total_violations = 0;  // true count, including dropped entries
+  bool truncated = false;       // violations hit kMaxViolations
+  size_t rows_audited = 0;      // rows scanned across all six tables
+
+  bool ok() const { return total_violations == 0; }
+  /// Number of recorded violations of one class (capped entries only).
+  size_t CountOf(ViolationClass c) const;
+  /// Multi-line summary: one header line plus one line per violation.
+  std::string ToString() const;
+};
+
+}  // namespace core
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_SQLGRAPH_CHECK_H_

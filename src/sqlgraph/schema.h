@@ -61,6 +61,14 @@ struct StoreConfig {
   std::string durability_dir;
   /// When an acknowledged commit is on stable storage (see wal::SyncMode).
   wal::SyncMode wal_sync_mode = wal::SyncMode::kBatched;
+  /// Run CheckConsistency() at the end of WAL recovery and fail the open on
+  /// violations. Defaults on in Debug builds; costs a full scan of all six
+  /// tables, so Release opts in explicitly.
+#ifdef NDEBUG
+  bool verify_on_recovery = false;
+#else
+  bool verify_on_recovery = true;
+#endif
 };
 
 /// Column names of the i-th triad.

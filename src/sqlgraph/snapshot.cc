@@ -84,6 +84,10 @@ Status GetSection(const std::string& buf, size_t* offset, const char* what,
 const char* const kTableOrder[] = {kOpaTable, kIpaTable, kOsaTable,
                                    kIsaTable, kVaTable,  kEaTable};
 
+// Upper bound on the adjacency color count accepted from a snapshot header;
+// real stores use a handful of colors, so anything near this is corruption.
+constexpr uint64_t kMaxSnapshotColors = 1 << 16;
+
 void PutString(const std::string& s, std::string* out) {
   PutVarint(s.size(), out);
   out->append(s);
@@ -92,7 +96,8 @@ void PutString(const std::string& s, std::string* out) {
 Status GetString(const std::string& buf, size_t* offset, std::string* out) {
   uint64_t len = 0;
   RETURN_NOT_OK(GetVarint(buf, offset, &len));
-  if (*offset + len > buf.size()) {
+  // Overflow-safe form: *offset + len can wrap for adversarial len.
+  if (len > buf.size() - *offset) {
     return Status::OutOfRange("truncated string in snapshot");
   }
   out->assign(buf, *offset, len);
@@ -115,6 +120,12 @@ Result<coloring::ColoredHash> GetColoredHash(const std::string& buf,
   uint64_t num_colors = 0, count = 0;
   RETURN_NOT_OK(GetVarint(buf, offset, &num_colors));
   RETURN_NOT_OK(GetVarint(buf, offset, &count));
+  // Each entry occupies at least two bytes (empty-label varint + color
+  // varint), so a count beyond that bound is corrupt — reject it before the
+  // reserve() below turns it into a giant allocation.
+  if (count > (buf.size() - *offset) / 2) {
+    return Status::ParseError("snapshot colored-hash entry count corrupt");
+  }
   std::vector<std::pair<std::string, size_t>> entries;
   entries.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
@@ -270,6 +281,13 @@ Result<std::unique_ptr<SqlGraphStore>> OpenSnapshot(const std::string& path,
   uint64_t out_colors = 0, in_colors = 0;
   RETURN_NOT_OK(GetVarint(section, &pos, &out_colors));
   RETURN_NOT_OK(GetVarint(section, &pos, &in_colors));
+  // Color counts drive `% colors` arithmetic and triad column indexing all
+  // over the store, so a corrupt header here would mean division by zero or
+  // out-of-bounds row access later. Reject early.
+  if (out_colors < 1 || in_colors < 1 || out_colors > kMaxSnapshotColors ||
+      in_colors > kMaxSnapshotColors) {
+    return Status::ParseError("snapshot header color count corrupt");
+  }
   store->schema_.out_colors = static_cast<size_t>(out_colors);
   store->schema_.in_colors = static_cast<size_t>(in_colors);
   uint64_t next_vid = 0, next_eid = 0, lid_delta = 0;
@@ -301,10 +319,27 @@ Result<std::unique_ptr<SqlGraphStore>> OpenSnapshot(const std::string& path,
       if (pos + 2 > section.size()) {
         return Status::OutOfRange("truncated column header");
       }
-      const auto type = static_cast<rel::ColumnType>(section[pos]);
+      const uint8_t type_byte = static_cast<uint8_t>(section[pos]);
+      if (type_byte > static_cast<uint8_t>(rel::ColumnType::kJson)) {
+        return Status::ParseError("snapshot column type byte corrupt");
+      }
+      const auto type = static_cast<rel::ColumnType>(type_byte);
       const bool nullable = section[pos + 1] != 0;
       pos += 2;
       schema.AddColumn(std::move(col_name), type, nullable);
+    }
+    // Cross-check the table shape against the header's color counts: triad
+    // column indexing (2 + 3c) assumes exactly these widths, and a mismatch
+    // would mean out-of-bounds row access in adjacency code.
+    size_t expect_cols = 0;
+    if (name == kOpaTable) expect_cols = 2 + 3 * store->schema_.out_colors;
+    else if (name == kIpaTable) expect_cols = 2 + 3 * store->schema_.in_colors;
+    else if (name == kOsaTable || name == kIsaTable) expect_cols = 3;
+    else if (name == kVaTable) expect_cols = 2;
+    else expect_cols = 5;  // EA
+    if (schema.num_columns() != expect_cols) {
+      return Status::ParseError("snapshot table " + name +
+                                " has wrong column count");
     }
     ASSIGN_OR_RETURN(rel::Table * table,
                      store->db_.CreateTable(name, schema, config.storage));

@@ -26,6 +26,7 @@
 #include "obs/trace.h"
 #include "rel/database.h"
 #include "sql/executor.h"
+#include "sqlgraph/check.h"
 #include "sqlgraph/loader.h"
 #include "sqlgraph/schema.h"
 #include "util/status.h"
@@ -152,6 +153,14 @@ class SqlGraphStore {
   /// Offline cleanup: physically removes soft-deleted rows, their OSA/ISA
   /// lists, and dangling adjacency entries that point at deleted vertices.
   util::Status Compact();
+
+  /// Cross-table invariant audit (src/sqlgraph/check.cc): verifies EA ↔
+  /// OPA/OSA/IPA/ISA agreement, overflow-list linkage, coloring/SPILL
+  /// consistency, soft-delete hygiene, JSON well-formedness and counter
+  /// monotonicity. Shared-locks all tables for the duration, so the report
+  /// is a consistent cut of a quiesced store; a store with CRUD calls in
+  /// flight may show transient violations from multi-lock procedures.
+  ConsistencyReport CheckConsistency() const;
 
   // --------------------------------------------------------- durability --
   /// True when a WAL writer is attached (config().durability_dir was set

@@ -323,6 +323,17 @@ Result<std::unique_ptr<SqlGraphStore>> OpenDurableStore(StoreConfig config) {
   recovery.replay_micros =
       static_cast<uint64_t>(replay_sw.ElapsedMicros());
 
+  if (config.verify_on_recovery) {
+    // Audit the recovered state BEFORE attaching the writer and folding it
+    // into a checkpoint: a store that fails its invariants must not become
+    // the next recovery's starting point.
+    const core::ConsistencyReport report = store->CheckConsistency();
+    if (!report.ok()) {
+      return Status::Internal("wal: recovered store failed consistency: " +
+                              report.ToString());
+    }
+  }
+
   const bool dirty =
       recovery.recovered_records > 0 || recovery.truncated_bytes > 0;
   ASSIGN_OR_RETURN(std::unique_ptr<LogWriter> writer,

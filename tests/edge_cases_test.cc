@@ -3,8 +3,14 @@
 // CRUD interplay, paged snapshots, empty results.
 
 #include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
 
+#include "gremlin/parser.h"
 #include "gremlin/runtime.h"
+#include "json/json_parser.h"
+#include "rel/codec.h"
 #include "gtest/gtest.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
@@ -175,6 +181,154 @@ TEST(EdgeCaseTest, SelfLoopsAndParallelEdges) {
   // Removing one parallel edge keeps the other.
   ASSERT_TRUE((*store)->RemoveEdge(1).ok());
   EXPECT_EQ(*runtime.Count("g.V(0).out('dup').count()"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Regression tests for bugs surfaced by the fuzzing harness (src/fuzz) and
+// the UBSan hardening pass. Each test is a minimized repro.
+// ---------------------------------------------------------------------------
+
+TEST(FuzzRegressionTest, JsonSurrogatePairsDecodeToUtf8) {
+  // \uD83D\uDE00 is U+1F600, which must decode to 4-byte UTF-8 — the old
+  // parser emitted each surrogate half as its own 3-byte sequence (CESU-8).
+  auto parsed = json::Parse("\"\\uD83D\\uDE00\"");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->AsString(), "\xF0\x9F\x98\x80");
+  // The writer must round-trip the 4-byte sequence untouched.
+  EXPECT_EQ(json::Write(*parsed), "\"\xF0\x9F\x98\x80\"");
+}
+
+TEST(FuzzRegressionTest, JsonLoneSurrogatesAreParseErrors) {
+  EXPECT_FALSE(json::Parse("\"\\uD800\"").ok());        // unpaired high
+  EXPECT_FALSE(json::Parse("\"\\uDC00\"").ok());        // unpaired low
+  EXPECT_FALSE(json::Parse("\"\\uD800x\"").ok());       // high + non-escape
+  EXPECT_FALSE(json::Parse("\"\\uD800\\u0041\"").ok()); // high + non-low
+}
+
+TEST(FuzzRegressionTest, JsonDeepNestingIsBoundedNotStackOverflow) {
+  std::string deep(100000, '[');
+  EXPECT_FALSE(json::Parse(deep).ok());
+  std::string deep_obj;
+  for (int i = 0; i < 50000; ++i) deep_obj += "{\"a\":";
+  EXPECT_FALSE(json::Parse(deep_obj).ok());
+  // Reasonable nesting still parses.
+  EXPECT_TRUE(json::Parse("[[[[[[[[[[1]]]]]]]]]]").ok());
+}
+
+TEST(FuzzRegressionTest, JsonNegativeZeroRoundTripIsStable) {
+  // Write(-0.0) used to emit "-0", which re-parses as *int* 0 and then
+  // writes as "0" — an unstable canonical form (found by fuzz_json).
+  auto parsed = json::Parse("-0.0");
+  ASSERT_TRUE(parsed.ok());
+  const std::string once = json::Write(*parsed);
+  auto reparsed = json::Parse(once);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(once, json::Write(*reparsed));
+}
+
+TEST(FuzzRegressionTest, SqlDeepNestingIsBoundedNotStackOverflow) {
+  EXPECT_FALSE(sql::ParseExpr(std::string(100000, '(') + "1").ok());
+  EXPECT_FALSE(sql::ParseExpr(std::string(100000, '-') + "1").ok());
+  std::string nots;
+  for (int i = 0; i < 100000; ++i) nots += "NOT ";
+  EXPECT_FALSE(sql::ParseExpr(nots + "1").ok());
+  EXPECT_TRUE(sql::ParseExpr("((((1))))").ok());
+}
+
+TEST(FuzzRegressionTest, GremlinRejectsNonIntegerBounds) {
+  // These all threw std::bad_variant_access via Value::AsInt on a string.
+  EXPECT_FALSE(gremlin::ParseGremlin("g.V.range('a','b')").ok());
+  EXPECT_FALSE(gremlin::ParseGremlin("g.V.out('a').loop('x'){true}").ok());
+  EXPECT_FALSE(
+      gremlin::ParseGremlin("g.V.out('a').loop(1){it.loops < 'x'}").ok());
+  EXPECT_FALSE(gremlin::ParseGremlin("g.V.range(-3,5)").ok());
+  // The loop bound feeds query-size amplification; cap it.
+  EXPECT_FALSE(
+      gremlin::ParseGremlin("g.V.out('a').loop(1){it.loops < 99999}").ok());
+  EXPECT_TRUE(gremlin::ParseGremlin("g.V.range(0,5)").ok());
+  EXPECT_TRUE(
+      gremlin::ParseGremlin("g.V.out('a').loop(1){it.loops < 4}").ok());
+}
+
+TEST(FuzzRegressionTest, ArithmeticOverflowPromotesToDouble) {
+  PropertyGraph g;
+  g.AddVertex(Attr("name", json::JsonValue("v")));
+  auto store = SqlGraphStore::Build(g);
+  ASSERT_TRUE(store.ok());
+  // All of these were signed-overflow UB; now they promote to double.
+  for (const char* text :
+       {"SELECT 9223372036854775807 + 1 FROM VA",
+        "SELECT -9223372036854775807 - 2 FROM VA",
+        "SELECT 9223372036854775807 * 2 FROM VA",
+        "SELECT ABS(-9223372036854775807 - 1) FROM VA",
+        "SELECT -(-9223372036854775807 - 1) FROM VA"}) {
+    auto result = (*store)->ExecuteSql(text);
+    ASSERT_TRUE(result.ok()) << text << ": " << result.status().ToString();
+    ASSERT_EQ(result->rows.size(), 1u) << text;
+    ASSERT_TRUE(result->rows[0][0].is_double()) << text;
+  }
+  auto exact = (*store)->ExecuteSql("SELECT 2 + 3 FROM VA");
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(exact->rows[0][0].is_int());  // in-range stays exact
+}
+
+TEST(FuzzRegressionTest, ValueAsIntSaturatesOutOfRangeDoubles) {
+  // Casting an out-of-range double to int64 is UB; AsInt now saturates.
+  EXPECT_EQ(rel::Value(1e300).AsInt(), std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(rel::Value(-1e300).AsInt(), std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(rel::Value(std::nan("")).AsInt(), 0);
+  EXPECT_EQ(rel::Value(42.9).AsInt(), 42);
+}
+
+TEST(FuzzRegressionTest, RowCodecRejectsHugeLengthPrefix) {
+  // A varint length near UINT64_MAX made `offset + len` wrap and pass the
+  // bounds check. Build: tag kTagString(5) + varint 0xFF..FF + no payload.
+  std::string buf;
+  buf.push_back(5);
+  for (int i = 0; i < 9; ++i) buf.push_back('\xFF');
+  buf.push_back(1);
+  size_t offset = 0;
+  rel::Row row;
+  EXPECT_FALSE(rel::DecodeRow(buf, 1, &offset, &row).ok());
+}
+
+TEST(FuzzRegressionTest, TruncatedAndBitFlippedSnapshotsRejectCleanly) {
+  PropertyGraph g;
+  g.AddVertex(Attr("name", json::JsonValue("v")));
+  g.AddVertex(json::JsonValue::Object());
+  (void)g.AddEdge(0, 1, "knows", json::JsonValue::Object());
+  auto store = SqlGraphStore::Build(g);
+  ASSERT_TRUE(store.ok());
+  const std::string path =
+      std::string(::testing::TempDir()) + "/fuzz_regression.sqlg";
+  ASSERT_TRUE(core::SaveSnapshot(**store, path).ok());
+
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 64u);
+
+  const std::string bad = path + ".bad";
+  auto write = [&](const std::string& data) {
+    std::ofstream out(bad, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  };
+  // Truncations at every prefix length of the header region, plus a few
+  // mid-file cuts: all must return a Status, never crash.
+  for (size_t len : {0ul, 3ul, 6ul, 10ul, 14ul, bytes.size() / 2}) {
+    write(bytes.substr(0, len));
+    EXPECT_FALSE(core::OpenSnapshot(bad).ok()) << "prefix " << len;
+  }
+  // Bit flips across the file: either a clean rejection or a usable store.
+  for (size_t pos = 6; pos < bytes.size(); pos += 41) {
+    std::string flipped = bytes;
+    flipped[pos] ^= 0x20;
+    write(flipped);
+    auto opened = core::OpenSnapshot(bad);
+    if (opened.ok()) (void)(*opened)->CheckConsistency();
+  }
+  std::remove(bad.c_str());
 }
 
 }  // namespace
