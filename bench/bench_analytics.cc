@@ -1,0 +1,188 @@
+// Relational graph analytics (graph/analytics.h): PageRank, weakly-
+// connected components, and triangle counting through the SQL executor in
+// both modes — vectorized batch-at-a-time vs row-at-a-time — over the same
+// store. Every case first cross-checks that the two modes produce identical
+// results, then times them.
+//
+//   ./bench_analytics [--n=3000] [--deg=8] [--runs=4] [--quick] [--check]
+//
+// --quick shrinks the graph and run count for CI smoke use; --check exits
+// non-zero if the vectorized executor is slower than row-at-a-time on any
+// of the scan/join-heavy cases (the ci/check.sh perf-smoke gate).
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "graph/analytics.h"
+#include "graph/property_graph.h"
+#include "sqlgraph/store.h"
+
+namespace sqlgraph {
+namespace bench {
+namespace {
+
+/// Uniform random digraph: controllable density, deterministic seed.
+graph::PropertyGraph RandomGraph(int64_t n, int64_t deg) {
+  std::mt19937 rng(20150531);
+  graph::PropertyGraph g;
+  for (int64_t v = 0; v < n; ++v) g.AddVertex();
+  std::uniform_int_distribution<int64_t> pick(0, n - 1);
+  for (int64_t e = 0; e < n * deg; ++e) {
+    (void)g.AddEdge(pick(rng), pick(rng), e % 2 ? "knows" : "likes");
+  }
+  return g;
+}
+
+struct CaseResult {
+  std::string name;
+  double vec_ms = 0;   // median
+  double row_ms = 0;
+  double speedup = 0;  // row / vec
+};
+
+graph::AnalyticsOptions ModeOpts(bool vectorized, int pr_iters) {
+  graph::AnalyticsOptions opts;
+  opts.vectorized = vectorized;
+  opts.max_iterations = pr_iters;
+  opts.tolerance = 0;  // fixed iteration count: identical work every run
+  return opts;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sqlgraph
+
+int main(int argc, char** argv) {
+  using namespace sqlgraph;
+  using namespace sqlgraph::bench;
+
+  const bool quick = FlagBool(argc, argv, "--quick");
+  const bool check = FlagBool(argc, argv, "--check");
+  const int64_t n = FlagInt(argc, argv, "--n", quick ? 500 : 3000);
+  const int64_t deg = FlagInt(argc, argv, "--deg", 8);
+  const int runs = static_cast<int>(
+      FlagInt(argc, argv, "--runs", quick ? 3 : 4));
+  const int pr_iters = quick ? 4 : 8;
+
+  Banner("graph analytics: vectorized vs row-at-a-time SQL execution");
+  std::printf("graph: %lld vertices, avg out-degree %lld; %d timed runs\n",
+              static_cast<long long>(n), static_cast<long long>(deg), runs);
+
+  graph::PropertyGraph g = RandomGraph(n, deg);
+  auto store = core::SqlGraphStore::Build(g);
+  if (!store.ok()) {
+    std::fprintf(stderr, "store build failed: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  core::SqlGraphStore* s = store->get();
+  const graph::AnalyticsOptions vec_opts = ModeOpts(true, pr_iters);
+  const graph::AnalyticsOptions row_opts = ModeOpts(false, pr_iters);
+
+  // ---- correctness cross-check before timing anything ----
+  {
+    auto pv = graph::PageRank(s, vec_opts);
+    auto pr = graph::PageRank(s, row_opts);
+    if (!pv.ok() || !pr.ok()) {
+      std::fprintf(stderr, "pagerank failed\n");
+      return 1;
+    }
+    if (pv->ranks.size() != pr->ranks.size()) {
+      std::fprintf(stderr, "pagerank mode mismatch: result sizes differ\n");
+      return 1;
+    }
+    for (size_t i = 0; i < pv->ranks.size(); ++i) {
+      if (pv->ranks[i].first != pr->ranks[i].first ||
+          std::fabs(pv->ranks[i].second - pr->ranks[i].second) > 1e-12) {
+        std::fprintf(stderr, "pagerank mode mismatch at vid %lld\n",
+                     static_cast<long long>(pv->ranks[i].first));
+        return 1;
+      }
+    }
+    auto wv = graph::WeaklyConnectedComponents(s, vec_opts);
+    auto wr = graph::WeaklyConnectedComponents(s, row_opts);
+    if (!wv.ok() || !wr.ok() || wv->components != wr->components) {
+      std::fprintf(stderr, "wcc mode mismatch\n");
+      return 1;
+    }
+    auto tv = graph::TriangleCount(s, vec_opts);
+    auto tr = graph::TriangleCount(s, row_opts);
+    if (!tv.ok() || !tr.ok() || *tv != *tr) {
+      std::fprintf(stderr, "triangle count mode mismatch\n");
+      return 1;
+    }
+    std::printf("cross-check ok: %zu ranks, %zu components, %lld triangles\n",
+                pv->ranks.size(), wv->components.size(),
+                static_cast<long long>(*tv));
+  }
+
+  struct Case {
+    const char* name;
+    std::function<void(const graph::AnalyticsOptions&)> run;
+  };
+  const Case cases[] = {
+      {"pagerank",
+       [&](const graph::AnalyticsOptions& o) {
+         auto r = graph::PageRank(s, o);
+         if (!r.ok()) std::abort();
+       }},
+      {"wcc",
+       [&](const graph::AnalyticsOptions& o) {
+         auto r = graph::WeaklyConnectedComponents(s, o);
+         if (!r.ok()) std::abort();
+       }},
+      {"triangles",
+       [&](const graph::AnalyticsOptions& o) {
+         auto r = graph::TriangleCount(s, o);
+         if (!r.ok()) std::abort();
+       }},
+  };
+
+  std::vector<CaseResult> results;
+  for (const Case& c : cases) {
+    util::Samples vec =
+        TimedRuns(runs, [&] { c.run(vec_opts); });
+    util::Samples row =
+        TimedRuns(runs, [&] { c.run(row_opts); });
+    CaseResult r;
+    r.name = c.name;
+    r.vec_ms = vec.Percentile(0.5);
+    r.row_ms = row.Percentile(0.5);
+    r.speedup = r.vec_ms > 0 ? r.row_ms / r.vec_ms : 0;
+    results.push_back(r);
+    std::printf("%-10s vectorized %9.2f ms   row-at-a-time %9.2f ms   "
+                "speedup %.2fx\n",
+                c.name, r.vec_ms, r.row_ms, r.speedup);
+    JsonLine("bench_analytics")
+        .Str("case", r.name)
+        .Num("vertices", static_cast<double>(n))
+        .Num("avg_degree", static_cast<double>(deg))
+        .Num("vectorized_ms_p50", r.vec_ms)
+        .Num("row_ms_p50", r.row_ms)
+        .Num("speedup", r.speedup)
+        .Emit();
+  }
+
+  if (check) {
+    // Perf-smoke gate: the batch executor must not lose to the row executor
+    // on the scan/join-heavy analytics (full-table scans + hash joins).
+    bool ok = true;
+    for (const CaseResult& r : results) {
+      if (r.speedup < 1.0) {
+        std::fprintf(stderr,
+                     "PERF CHECK FAILED: %s vectorized %.2f ms slower than "
+                     "row-at-a-time %.2f ms (speedup %.2fx < 1.0x)\n",
+                     r.name.c_str(), r.vec_ms, r.row_ms, r.speedup);
+        ok = false;
+      }
+    }
+    if (!ok) return 1;
+    std::printf("perf check ok: vectorized >= row-at-a-time on all cases\n");
+  }
+  return 0;
+}

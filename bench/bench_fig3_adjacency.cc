@@ -84,6 +84,12 @@ int main(int argc, char** argv) {
                   FormatMs(json_ms.mean()),
                   util::StrFormat("%.1fx", json_ms.mean() /
                                                std::max(0.001, hash_ms.mean()))});
+    // Machine-readable line per query (ci/bench_snapshot.sh scrapes these).
+    JsonLine("bench_fig3_adjacency")
+        .Str("query", util::StrFormat("lq%d", q.id))
+        .Num("median_ns", hash_ms.Percentile(0.5) * 1e6)
+        .Num("p95_ns", hash_ms.Percentile(0.95) * 1e6)
+        .Emit();
   }
   std::printf("%s", table.ToString().c_str());
   std::printf(

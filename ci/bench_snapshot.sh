@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Quick machine-readable latency snapshot of the core benchmarks into a
+# JSON file (default BENCH_pr6.json): benchmark name → median ns + p95 ns.
+#
+#   - bench_micro_ops       google-benchmark repetitions (per-op steady state)
+#   - bench_fig3_adjacency  paper Fig. 3 adjacency queries, quick scale
+#   - bench_prepared        prepared-statement throughput, quick scale
+#
+# The committed snapshot is the regression baseline for executor changes:
+# compare a fresh run against it and treat >5% median regressions on
+# existing benchmarks as failures.
+#
+#   ci/bench_snapshot.sh [outfile]
+#   BUILD_DIR=build-foo ci/bench_snapshot.sh   # non-default build tree
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_pr6.json}"
+BUILD="${BUILD_DIR:-build}"
+
+cmake --build "$BUILD" -j "$(nproc)" \
+  --target bench_micro_ops bench_fig3_adjacency bench_prepared >/dev/null
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== bench_micro_ops (quick, 3 repetitions) =="
+"./$BUILD/bench/bench_micro_ops" \
+  --benchmark_format=json --benchmark_min_time=0.05 \
+  --benchmark_repetitions=3 >"$TMP/micro.json"
+
+echo "== bench_fig3_adjacency (quick scale) =="
+"./$BUILD/bench/bench_fig3_adjacency" --scale=0.05 --runs=5 \
+  | tee "$TMP/fig3.out" | grep -c '^{' >/dev/null
+grep '^{' "$TMP/fig3.out" >"$TMP/fig3.jsonl"
+
+echo "== bench_prepared (quick, 3 runs) =="
+: >"$TMP/prepared.jsonl"
+for _ in 1 2 3; do
+  # Quick parameters may undershoot the binary's own 2x speedup gate; the
+  # snapshot only wants the latency lines, so tolerate a non-zero exit.
+  "./$BUILD/bench/bench_prepared" --objects=4000 --ops=8000 \
+    | grep '^{' >>"$TMP/prepared.jsonl" || true
+done
+
+python3 - "$TMP" "$OUT" <<'PY'
+import json, statistics, sys
+
+tmp, out_path = sys.argv[1], sys.argv[2]
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+def rank(xs, q):
+    xs = sorted(xs)
+    i = min(len(xs) - 1, round(q * (len(xs) - 1)))
+    return xs[i]
+
+bench = {}
+
+# google-benchmark repetitions: one sample per repetition, keyed by run_name.
+with open(f"{tmp}/micro.json") as f:
+    micro = json.load(f)
+samples = {}
+for b in micro.get("benchmarks", []):
+    if b.get("run_type") != "iteration":
+        continue  # skip mean/median/stddev aggregate rows
+    ns = b["real_time"] * UNIT_NS[b.get("time_unit", "ns")]
+    samples.setdefault(b["run_name"], []).append(ns)
+for name, xs in sorted(samples.items()):
+    bench[f"micro_ops/{name}"] = {
+        "median_ns": rank(xs, 0.5), "p95_ns": rank(xs, 0.95)}
+
+# fig3: the binary already reports per-query median/p95 over its timed runs.
+with open(f"{tmp}/fig3.jsonl") as f:
+    for line in f:
+        rec = json.loads(line)
+        bench[f"fig3_adjacency/{rec['query']}"] = {
+            "median_ns": rec["median_ns"], "p95_ns": rec["p95_ns"]}
+
+# prepared: per-op latency per variant, sampled across the repeated runs.
+variants = {}
+with open(f"{tmp}/prepared.jsonl") as f:
+    for line in f:
+        rec = json.loads(line)
+        if rec.get("variant") in (None, "summary"):
+            continue
+        if not rec.get("ops_per_sec"):
+            continue
+        variants.setdefault(rec["variant"], []).append(1e9 / rec["ops_per_sec"])
+for name, xs in sorted(variants.items()):
+    bench[f"prepared/{name}"] = {
+        "median_ns": rank(xs, 0.5), "p95_ns": rank(xs, 0.95)}
+
+snapshot = {
+    "config": {
+        "micro_ops": "--benchmark_min_time=0.05 --benchmark_repetitions=3",
+        "fig3_adjacency": "--scale=0.05 --runs=5",
+        "prepared": "--objects=4000 --ops=8000 x3",
+    },
+    "benchmarks": bench,
+}
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path}: {len(bench)} benchmarks")
+PY

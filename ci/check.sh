@@ -2,7 +2,9 @@
 # CI gate: regular build + tests, a crash-recovery smoke stage with an
 # elevated fault-injection trial count, a differential Gremlin fuzz stage
 # with elevated trials, a metrics-overhead guard (enabled vs disabled
-# registry on the micro-op benchmarks, budget 5%), a static-analysis lint
+# registry on the micro-op benchmarks, budget 5%), a perf-smoke stage
+# (bench_analytics --quick --check: the vectorized executor must match the
+# row-at-a-time executor's results and not be slower), a static-analysis lint
 # stage (clang -Wthread-safety -Werror build + clang-tidy over
 # compile_commands.json; skipped with a notice when the clang toolchain is
 # absent), ASan/UBSan and TSan builds + tests (the TSan pass re-runs
@@ -73,6 +75,14 @@ if [[ "${1:-}" != "--fast" ]]; then
       printf "  mean median-ratio over %d benchmarks: %.3f (budget 1.05)\n", n, mean
       exit !(n > 0 && mean <= 1.05)
     }' /tmp/bench_metrics_on.csv /tmp/bench_metrics_off.csv
+
+  echo "== perf smoke (vectorized vs row-at-a-time analytics) =="
+  # The batch executor must not lose to the row-at-a-time executor on the
+  # scan/join-heavy analytics workloads (full-table scan + hash join +
+  # aggregate); bench_analytics cross-checks result equality first and
+  # exits non-zero on a mode mismatch or a slowdown.
+  cmake --build build -j "$(nproc)" --target bench_analytics
+  ./build/bench/bench_analytics --quick --check
 
   echo "== lint (thread-safety analysis + clang-tidy) =="
   # Clang's -Wthread-safety checks the GUARDED_BY/REQUIRES annotations in

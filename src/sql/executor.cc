@@ -16,6 +16,8 @@
 namespace sqlgraph {
 namespace sql {
 
+using rel::ColumnBatch;
+using rel::ColumnVector;
 using rel::Row;
 using rel::Value;
 using util::Result;
@@ -153,6 +155,36 @@ struct Relation {
     out.reserve(projection.size());
     for (int c : projection) out.push_back(full[static_cast<size_t>(c)]);
     return out;
+  }
+};
+
+/// The inter-operator working set: either row-major rows (the legacy
+/// operators) or a ColumnBatch (the vectorized ones). A batch enters the
+/// pipeline at a base-table access when Options::vectorized is set;
+/// operators without a batched implementation (outer joins, lateral
+/// unnests, sorts) collapse it to rows and the pipeline continues
+/// row-at-a-time from there.
+struct WorkingSet {
+  std::vector<Row> rows;
+  ColumnBatch batch;
+  bool is_batch = false;
+
+  size_t size() const { return is_batch ? batch.num_rows : rows.size(); }
+
+  void SetBatch(ColumnBatch b) {
+    batch = std::move(b);
+    is_batch = true;
+    rows.clear();
+  }
+
+  /// Collapses to row mode (no-op when already there).
+  std::vector<Row>* MutableRows() {
+    if (is_batch) {
+      rows = batch.ToRows();
+      batch = ColumnBatch();
+      is_batch = false;
+    }
+    return &rows;
   }
 };
 
@@ -578,9 +610,9 @@ class Executor::Impl {
     RETURN_NOT_OK(MaterializeInSubqueries(s, &ctx));
 
     ColumnEnv env;
-    std::vector<Row> rows;
+    WorkingSet ws;
     if (s.from.empty()) {
-      rows.emplace_back();  // one empty row: SELECT 1
+      ws.rows.emplace_back();  // one empty row: SELECT 1
     } else {
       std::vector<ExprPtr> conjuncts;
       SplitConjuncts(s.where, &conjuncts);
@@ -589,7 +621,7 @@ class Executor::Impl {
       for (size_t ref_index = 0; ref_index < s.from.size(); ++ref_index) {
         const TableRef& ref = s.from[ref_index];
         RETURN_NOT_OK(JoinNextRef(s, ref, ref_index == 0, conjuncts,
-                                  &consumed, &env, &rows, &ctx));
+                                  &consumed, &env, &ws, &ctx));
       }
       // Residual conjuncts (should all be consumed by now, but apply any
       // stragglers as a final filter for safety).
@@ -599,7 +631,7 @@ class Executor::Impl {
           return Status::InvalidArgument("unresolvable predicate: " +
                                          RenderExpr(*conjuncts[i]));
         }
-        RETURN_NOT_OK(FilterRows(*conjuncts[i], env, ctx, &rows));
+        RETURN_NOT_OK(FilterWorkingSet(*conjuncts[i], env, ctx, &ws));
         consumed[i] = true;
       }
     }
@@ -611,7 +643,7 @@ class Executor::Impl {
     }
     if (has_aggregate) {
       obs::ScopedSpan span(spans_, context_, "aggregate");
-      ASSIGN_OR_RETURN(ResultSet out, Aggregate(s, env, rows, ctx));
+      ASSIGN_OR_RETURN(ResultSet out, Aggregate(s, env, ws, ctx));
       span.set_rows(out.rows.size());
       span.Finish();
       if (!defer_order_limit) RETURN_NOT_OK(ApplyOrderLimit(s, &out));
@@ -620,11 +652,11 @@ class Executor::Impl {
 
     if (!defer_order_limit && !s.order_by.empty()) {
       obs::ScopedSpan span(spans_, context_, "sort");
-      RETURN_NOT_OK(SortInputRows(s, env, ctx, &rows));
-      span.set_rows(rows.size());
+      RETURN_NOT_OK(SortInputRows(s, env, ctx, ws.MutableRows()));
+      span.set_rows(ws.rows.size());
     }
     ResultSet out;
-    RETURN_NOT_OK(Project(s, env, rows, ctx, &out));
+    RETURN_NOT_OK(Project(s, env, ws, ctx, &out));
     if (s.distinct) Dedupe(&out);
     if (!defer_order_limit) RETURN_NOT_OK(ApplyLimitOffset(s, &out));
     return out;
@@ -635,7 +667,7 @@ class Executor::Impl {
   Status JoinNextRef(const SelectStmt& s, const TableRef& ref, bool first,
                      const std::vector<ExprPtr>& conjuncts,
                      std::vector<bool>* consumed, ColumnEnv* env,
-                     std::vector<Row>* rows, EvalContext* ctx) {
+                     WorkingSet* ws, EvalContext* ctx) {
     ASSIGN_OR_RETURN(Relation relation, ResolveRef(ref));
     const std::string& alias = ref.exposure();
     if (relation.base != nullptr) {
@@ -687,11 +719,11 @@ class Executor::Impl {
     Status st;
     if (ref.join == JoinType::kLeftOuter) {
       st = LeftOuterJoin(ref, relation, alias, ref_columns, *env, next_env,
-                         rows, ctx);
+                         ws->MutableRows(), ctx);
       // WHERE-clause conjuncts on the nullable side apply after the join.
       if (st.ok()) {
         for (size_t k = 0; k < applicable.size(); ++k) {
-          st = FilterRows(*applicable[k], next_env, *ctx, rows);
+          st = FilterRows(*applicable[k], next_env, *ctx, &ws->rows);
           if (!st.ok()) break;
           (*consumed)[applicable_ids[k]] = true;
         }
@@ -705,8 +737,8 @@ class Executor::Impl {
       // Filters fuse into the lateral expansion: candidate rows that fail
       // (e.g. the templates' t.val IS NOT NULL) are never materialized.
       st = ref.kind == TableRefKind::kUnnestValues
-               ? UnnestValues(ref, next_env, applicable, rows, ctx)
-               : UnnestJson(ref, next_env, applicable, rows, ctx);
+               ? UnnestValues(ref, next_env, applicable, ws->MutableRows(), ctx)
+               : UnnestJson(ref, next_env, applicable, ws->MutableRows(), ctx);
       if (!st.ok()) return st;
       for (size_t k = 0; k < applicable.size(); ++k) {
         (*consumed)[applicable_ids[k]] = true;
@@ -715,22 +747,15 @@ class Executor::Impl {
       return Status::OK();
     } else if (first) {
       st = AccessFirst(ref, relation, alias, next_env, applicable,
-                       &applicable_ids, consumed, rows, ctx);
+                       &applicable_ids, consumed, ws, ctx);
       *env = std::move(next_env);
       return st;
     } else {
       st = JoinInner(ref, relation, alias, ref_columns, *env, next_env,
-                     applicable, &applicable_ids, consumed, rows, ctx);
+                     applicable, &applicable_ids, consumed, ws, ctx);
       if (st.ok()) *env = std::move(next_env);
       return st;
     }
-    if (!st.ok()) return st;
-    for (size_t k = 0; k < applicable.size(); ++k) {
-      RETURN_NOT_OK(FilterRows(*applicable[k], next_env, *ctx, rows));
-      (*consumed)[applicable_ids[k]] = true;
-    }
-    *env = std::move(next_env);
-    return Status::OK();
   }
 
   Result<Relation> ResolveRef(const TableRef& ref) {
@@ -874,33 +899,45 @@ class Executor::Impl {
                      const std::string& alias, const ColumnEnv& env,
                      const std::vector<ExprPtr>& applicable,
                      std::vector<size_t>* applicable_ids,
-                     std::vector<bool>* consumed, std::vector<Row>* rows,
+                     std::vector<bool>* consumed, WorkingSet* ws,
                      EvalContext* ctx) {
-    rows->clear();
+    ws->rows.clear();
+    ws->batch = ColumnBatch();
+    // Batch mode enters the pipeline here; CTE/subquery sources stay
+    // row-major (their rows are already materialized ResultSets).
+    ws->is_batch = options_.vectorized && relation.base != nullptr;
+    if (ws->is_batch) ws->batch.Reset(relation.columns.size());
     std::vector<bool> used(applicable.size(), false);
 
     if (relation.base != nullptr && options_.enable_indexes) {
       RETURN_NOT_OK(
-          TryIndexAccess(ref, relation, alias, applicable, &used, rows, *ctx));
+          TryIndexAccess(ref, relation, alias, applicable, &used, ws, *ctx));
     }
-    if (rows->empty() && !index_access_hit_) {
+    if (ws->size() == 0 && !index_access_hit_) {
       // Full scan.
       ++stats_->table_scans;
       if (relation.base != nullptr) {
         Trace("seq scan " + relation.base->name());
         obs::ScopedSpan span(spans_, context_,
                              "seq scan " + relation.base->name());
-        relation.base->Scan([&](rel::RowId, const Row& row) {
-          ++stats_->rows_scanned;
-          rows->push_back(relation.Project(row));
-        });
-        span.set_rows(rows->size());
+        if (ws->is_batch) {
+          size_t scanned = 0;
+          RETURN_NOT_OK(
+              ScanBatched(relation, env, applicable, &used, *ctx, ws, &scanned));
+          span.set_rows(scanned);
+        } else {
+          relation.base->Scan([&](rel::RowId, const Row& row) {
+            ++stats_->rows_scanned;
+            ws->rows.push_back(relation.Project(row));
+          });
+          span.set_rows(ws->rows.size());
+        }
       } else {
         obs::ScopedSpan span(spans_, context_, "scan " + ref.exposure());
         const std::vector<Row>* src = relation.rows();
         if (src == nullptr) return Status::Internal("relation has no rows");
-        rows->reserve(src->size());
-        for (const auto& r : *src) rows->push_back(r);
+        ws->rows.reserve(src->size());
+        for (const auto& r : *src) ws->rows.push_back(r);
         stats_->rows_scanned += src->size();
         span.set_rows(src->size());
       }
@@ -909,11 +946,67 @@ class Executor::Impl {
     // Apply remaining predicates.
     for (size_t k = 0; k < applicable.size(); ++k) {
       if (!used[k]) {
-        RETURN_NOT_OK(FilterRows(*applicable[k], env, *ctx, rows));
+        RETURN_NOT_OK(FilterWorkingSet(*applicable[k], env, *ctx, ws));
       }
       (*consumed)[(*applicable_ids)[k]] = true;
     }
     return Status::OK();
+  }
+
+  /// Vectorized full scan: fill a chunk of kVectorChunkRows, run every
+  /// pending filter over it (gathering survivors between conjuncts so later
+  /// predicates only see rows earlier ones passed, like the row path), and
+  /// append what remains to the output batch. Marks the filters it fused in
+  /// `*used`; `*scanned` reports total rows read for the scan span.
+  Status ScanBatched(const Relation& relation, const ColumnEnv& env,
+                     const std::vector<ExprPtr>& applicable,
+                     std::vector<bool>* used, const EvalContext& ctx,
+                     WorkingSet* ws, size_t* scanned) {
+    std::vector<const Expr*> filters;
+    for (size_t k = 0; k < applicable.size(); ++k) {
+      if (!(*used)[k]) {
+        filters.push_back(applicable[k].get());
+        (*used)[k] = true;
+      }
+    }
+    const size_t width = ws->batch.num_cols();
+    ColumnBatch chunk;
+    chunk.Reset(width);
+    chunk.Reserve(rel::kVectorChunkRows);
+    std::vector<uint32_t> sel;
+    Status st;  // Scan's callback cannot return a status directly
+    auto flush = [&]() {
+      if (!st.ok() || chunk.num_rows == 0) return;
+      const ColumnBatch* current = &chunk;
+      ColumnBatch filtered;
+      for (const Expr* f : filters) {
+        sel.clear();
+        st = EvalPredicateBatch(*f, env, *current, ctx, &sel);
+        if (!st.ok()) return;
+        if (sel.size() != current->num_rows) {
+          ColumnBatch next;
+          next.Reset(width);
+          next.AppendGather(*current, sel);
+          filtered = std::move(next);
+          current = &filtered;
+        }
+        if (current->num_rows == 0) break;
+      }
+      for (size_t i = 0; i < current->num_rows; ++i) {
+        ws->batch.AppendRowFrom(*current, i);
+      }
+      chunk.Reset(width);
+      chunk.Reserve(rel::kVectorChunkRows);
+    };
+    relation.base->Scan([&](rel::RowId, const Row& row) {
+      if (!st.ok()) return;
+      ++stats_->rows_scanned;
+      ++*scanned;
+      chunk.AppendProjected(row, relation.projection);
+      if (chunk.num_rows >= rel::kVectorChunkRows) flush();
+    });
+    flush();
+    return st;
   }
 
   /// Attempts index-based retrieval for the first FROM item. Sets
@@ -924,7 +1017,7 @@ class Executor::Impl {
   Status TryIndexAccess(const TableRef& ref, const Relation& relation,
                         const std::string& alias,
                         const std::vector<ExprPtr>& applicable,
-                        std::vector<bool>* used, std::vector<Row>* rows,
+                        std::vector<bool>* used, WorkingSet* ws,
                         const EvalContext& ctx) {
     const rel::Table& table = *relation.base;
     index_access_hit_ = false;
@@ -932,13 +1025,13 @@ class Executor::Impl {
     if (MemoActive()) {
       if (auto plan = memo_->GetAccess(&ref);
           plan != nullptr && plan->n_applicable == applicable.size()) {
-        return ExecAccessPlan(*plan, relation, used, rows, ctx);
+        return ExecAccessPlan(*plan, relation, used, ws, ctx);
       }
     }
 
     PlanMemo::AccessPlan plan = ChooseAccessPlan(table, alias, applicable);
     if (MemoActive()) memo_->PutAccess(&ref, plan);
-    return ExecAccessPlan(plan, relation, used, rows, ctx);
+    return ExecAccessPlan(plan, relation, used, ws, ctx);
   }
 
   /// Picks the access path for the first FROM item: the decision half of
@@ -1033,7 +1126,7 @@ class Executor::Impl {
   /// AccessFirst falls back to the full scan.
   Status ExecAccessPlan(const PlanMemo::AccessPlan& plan,
                         const Relation& relation, std::vector<bool>* used,
-                        std::vector<Row>* rows, const EvalContext& ctx) {
+                        WorkingSet* ws, const EvalContext& ctx) {
     using AccessPlan = PlanMemo::AccessPlan;
     const rel::Table& table = *relation.base;
     switch (plan.kind) {
@@ -1056,7 +1149,7 @@ class Executor::Impl {
         idx->Lookup(key, &rids);
         ++stats_->index_lookups;
         Trace("index lookup " + table.name() + " via " + idx->name());
-        RETURN_NOT_OK(FetchRows(relation, rids, rows));
+        RETURN_NOT_OK(FetchRows(relation, rids, ws));
         span.set_rows(rids.size());
         index_access_hit_ = true;
         return Status::OK();
@@ -1074,7 +1167,7 @@ class Executor::Impl {
         idx->Lookup(key, &rids);
         ++stats_->index_lookups;
         Trace("JSON index lookup " + table.name() + " via " + idx->name());
-        RETURN_NOT_OK(FetchRows(relation, rids, rows));
+        RETURN_NOT_OK(FetchRows(relation, rids, ws));
         span.set_rows(rids.size());
         (*used)[plan.json_slot] = true;
         index_access_hit_ = true;
@@ -1115,7 +1208,7 @@ class Executor::Impl {
         }
         ++stats_->index_range_scans;
         Trace("JSON index range scan " + table.name() + " via " + idx->name());
-        RETURN_NOT_OK(FetchRows(relation, rids, rows));
+        RETURN_NOT_OK(FetchRows(relation, rids, ws));
         span.set_rows(rids.size());
         // Range bounds via ordered index can admit non-matching type ranks
         // (e.g. NULL bucket on unbounded-low); keep the predicate as filter.
@@ -1127,11 +1220,15 @@ class Executor::Impl {
   }
 
   Status FetchRows(const Relation& relation, const std::vector<rel::RowId>& rids,
-                   std::vector<Row>* rows) {
+                   WorkingSet* ws) {
     Row row;
     for (rel::RowId rid : rids) {
       RETURN_NOT_OK(relation.base->Get(rid, &row));
-      rows->push_back(relation.Project(row));
+      if (ws->is_batch) {
+        ws->batch.AppendProjected(row, relation.projection);
+      } else {
+        ws->rows.push_back(relation.Project(row));
+      }
       ++stats_->rows_scanned;
     }
     return Status::OK();
@@ -1144,7 +1241,7 @@ class Executor::Impl {
                    const ColumnEnv& env, const ColumnEnv& next_env,
                    const std::vector<ExprPtr>& applicable,
                    std::vector<size_t>* applicable_ids,
-                   std::vector<bool>* consumed, std::vector<Row>* rows,
+                   std::vector<bool>* consumed, WorkingSet* ws,
                    EvalContext* ctx) {
     using JoinPlan = PlanMemo::JoinPlan;
     // Partition applicable conjuncts: equi-join keys / ref-local / residual.
@@ -1238,33 +1335,38 @@ class Executor::Impl {
         obs::ScopedSpan span(spans_, context_,
                              "index nested-loop join " + table.name() +
                                  " via " + best->name());
-        std::vector<Row> out;
-        Row fetched;
-        for (const Row& current : *rows) {
-          rel::IndexKey key;
-          key.parts.reserve(best_key_order.size());
-          bool null_key = false;
-          for (size_t ki : best_key_order) {
-            ASSIGN_OR_RETURN(Value v,
-                             EvalExpr(*keys[ki].outer, env, current, *ctx));
-            if (v.is_null()) null_key = true;
-            key.parts.push_back(std::move(v));
+        if (ws->is_batch) {
+          RETURN_NOT_OK(IndexNlJoinBatched(relation, env, keys,
+                                           best_key_order, *best, ctx, ws));
+        } else {
+          std::vector<Row> out;
+          Row fetched;
+          for (const Row& current : ws->rows) {
+            rel::IndexKey key;
+            key.parts.reserve(best_key_order.size());
+            bool null_key = false;
+            for (size_t ki : best_key_order) {
+              ASSIGN_OR_RETURN(Value v,
+                               EvalExpr(*keys[ki].outer, env, current, *ctx));
+              if (v.is_null()) null_key = true;
+              key.parts.push_back(std::move(v));
+            }
+            if (null_key) continue;  // NULL never equi-joins
+            std::vector<rel::RowId> rids;
+            best->Lookup(key, &rids);
+            ++stats_->index_lookups;
+            for (rel::RowId rid : rids) {
+              RETURN_NOT_OK(table.Get(rid, &fetched));
+              Row projected = relation.Project(fetched);
+              Row combined = current;
+              combined.insert(combined.end(), projected.begin(),
+                              projected.end());
+              out.push_back(std::move(combined));
+            }
           }
-          if (null_key) continue;  // NULL never equi-joins
-          std::vector<rel::RowId> rids;
-          best->Lookup(key, &rids);
-          ++stats_->index_lookups;
-          for (rel::RowId rid : rids) {
-            RETURN_NOT_OK(table.Get(rid, &fetched));
-            Row projected = relation.Project(fetched);
-            Row combined = current;
-            combined.insert(combined.end(), projected.begin(),
-                            projected.end());
-            out.push_back(std::move(combined));
-          }
+          ws->rows = std::move(out);
         }
-        *rows = std::move(out);
-        span.set_rows(rows->size());
+        span.set_rows(ws->size());
         span.Finish();
         // Keys covered by the chosen index are satisfied; others (plus all
         // non-equi applicable conjuncts) filter below.
@@ -1275,10 +1377,11 @@ class Executor::Impl {
           if (used[k]) {
             const bool satisfied = key_used[key_cursor++];
             if (!satisfied) {
-              RETURN_NOT_OK(FilterRows(*applicable[k], next_env, *ctx, rows));
+              RETURN_NOT_OK(
+                  FilterWorkingSet(*applicable[k], next_env, *ctx, ws));
             }
           } else {
-            RETURN_NOT_OK(FilterRows(*applicable[k], next_env, *ctx, rows));
+            RETURN_NOT_OK(FilterWorkingSet(*applicable[k], next_env, *ctx, ws));
           }
           (*consumed)[(*applicable_ids)[k]] = true;
         }
@@ -1290,10 +1393,6 @@ class Executor::Impl {
       // Hash join: build on the new relation.
       ++stats_->hash_joins;
       Trace("hash join build on " + ref.exposure());
-      ASSIGN_OR_RETURN(std::vector<Row> build_rows,
-                       MaterializeRelation(relation));
-      obs::ScopedSpan span(spans_, context_,
-                           "hash join on " + ref.exposure());
       // Key slots within the ref row.
       std::vector<int> build_slots;
       for (const auto& key : keys) {
@@ -1307,42 +1406,55 @@ class Executor::Impl {
         if (slot < 0) return Status::Internal("join key column missing");
         build_slots.push_back(slot);
       }
-      std::unordered_multimap<rel::IndexKey, const Row*, rel::IndexKeyHash>
-          hash_table;
-      hash_table.reserve(build_rows.size());
-      for (const Row& r : build_rows) {
-        rel::IndexKey key;
-        bool null_key = false;
-        for (int slot : build_slots) {
-          if (r[static_cast<size_t>(slot)].is_null()) null_key = true;
-          key.parts.push_back(r[static_cast<size_t>(slot)]);
+      if (ws->is_batch) {
+        ASSIGN_OR_RETURN(ColumnBatch build, MaterializeRelationBatch(relation));
+        obs::ScopedSpan span(spans_, context_,
+                             "hash join on " + ref.exposure());
+        RETURN_NOT_OK(HashJoinBatched(env, keys, build_slots, build, ctx, ws));
+        span.set_rows(ws->size());
+        span.Finish();
+      } else {
+        ASSIGN_OR_RETURN(std::vector<Row> build_rows,
+                         MaterializeRelation(relation));
+        obs::ScopedSpan span(spans_, context_,
+                             "hash join on " + ref.exposure());
+        std::unordered_multimap<rel::IndexKey, const Row*, rel::IndexKeyHash>
+            hash_table;
+        hash_table.reserve(build_rows.size());
+        for (const Row& r : build_rows) {
+          rel::IndexKey key;
+          bool null_key = false;
+          for (int slot : build_slots) {
+            if (r[static_cast<size_t>(slot)].is_null()) null_key = true;
+            key.parts.push_back(r[static_cast<size_t>(slot)]);
+          }
+          if (!null_key) hash_table.emplace(std::move(key), &r);
         }
-        if (!null_key) hash_table.emplace(std::move(key), &r);
+        std::vector<Row> out;
+        for (const Row& current : ws->rows) {
+          rel::IndexKey key;
+          bool null_key = false;
+          for (const auto& k : keys) {
+            ASSIGN_OR_RETURN(Value v, EvalExpr(*k.outer, env, current, *ctx));
+            if (v.is_null()) null_key = true;
+            key.parts.push_back(std::move(v));
+          }
+          if (null_key) continue;
+          auto [lo, hi] = hash_table.equal_range(key);
+          for (auto it = lo; it != hi; ++it) {
+            Row combined = current;
+            combined.insert(combined.end(), it->second->begin(),
+                            it->second->end());
+            out.push_back(std::move(combined));
+          }
+        }
+        ws->rows = std::move(out);
+        span.set_rows(ws->rows.size());
+        span.Finish();
       }
-      std::vector<Row> out;
-      for (const Row& current : *rows) {
-        rel::IndexKey key;
-        bool null_key = false;
-        for (const auto& k : keys) {
-          ASSIGN_OR_RETURN(Value v, EvalExpr(*k.outer, env, current, *ctx));
-          if (v.is_null()) null_key = true;
-          key.parts.push_back(std::move(v));
-        }
-        if (null_key) continue;
-        auto [lo, hi] = hash_table.equal_range(key);
-        for (auto it = lo; it != hi; ++it) {
-          Row combined = current;
-          combined.insert(combined.end(), it->second->begin(),
-                          it->second->end());
-          out.push_back(std::move(combined));
-        }
-      }
-      *rows = std::move(out);
-      span.set_rows(rows->size());
-      span.Finish();
       for (size_t k = 0; k < applicable.size(); ++k) {
         if (!used[k]) {
-          RETURN_NOT_OK(FilterRows(*applicable[k], next_env, *ctx, rows));
+          RETURN_NOT_OK(FilterWorkingSet(*applicable[k], next_env, *ctx, ws));
         }
         (*consumed)[(*applicable_ids)[k]] = true;
       }
@@ -1350,25 +1462,206 @@ class Executor::Impl {
     }
 
     // No equi keys: nested-loop cross join, then filter.
-    ASSIGN_OR_RETURN(std::vector<Row> right_rows, MaterializeRelation(relation));
-    obs::ScopedSpan span(spans_, context_, "cross join " + ref.exposure());
-    std::vector<Row> out;
-    out.reserve(rows->size() * right_rows.size());
-    for (const Row& current : *rows) {
-      for (const Row& r : right_rows) {
-        Row combined = current;
-        combined.insert(combined.end(), r.begin(), r.end());
-        out.push_back(std::move(combined));
+    if (ws->is_batch) {
+      ASSIGN_OR_RETURN(ColumnBatch right, MaterializeRelationBatch(relation));
+      obs::ScopedSpan span(spans_, context_, "cross join " + ref.exposure());
+      const size_t n = ws->batch.num_rows, m = right.num_rows;
+      std::vector<uint32_t> left_sel, right_sel;
+      left_sel.reserve(n * m);
+      right_sel.reserve(n * m);
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < m; ++j) {
+          left_sel.push_back(static_cast<uint32_t>(i));
+          right_sel.push_back(static_cast<uint32_t>(j));
+        }
       }
+      ColumnBatch out;
+      out.cols.reserve(ws->batch.num_cols() + right.num_cols());
+      for (const auto& c : ws->batch.cols) out.cols.push_back(c.Gather(left_sel));
+      for (const auto& c : right.cols) out.cols.push_back(c.Gather(right_sel));
+      out.num_rows = left_sel.size();
+      ws->SetBatch(std::move(out));
+      span.set_rows(ws->size());
+      span.Finish();
+    } else {
+      ASSIGN_OR_RETURN(std::vector<Row> right_rows,
+                       MaterializeRelation(relation));
+      obs::ScopedSpan span(spans_, context_, "cross join " + ref.exposure());
+      std::vector<Row> out;
+      out.reserve(ws->rows.size() * right_rows.size());
+      for (const Row& current : ws->rows) {
+        for (const Row& r : right_rows) {
+          Row combined = current;
+          combined.insert(combined.end(), r.begin(), r.end());
+          out.push_back(std::move(combined));
+        }
+      }
+      ws->rows = std::move(out);
+      span.set_rows(ws->rows.size());
+      span.Finish();
     }
-    *rows = std::move(out);
-    span.set_rows(rows->size());
-    span.Finish();
     for (size_t k = 0; k < applicable.size(); ++k) {
-      RETURN_NOT_OK(FilterRows(*applicable[k], next_env, *ctx, rows));
+      RETURN_NOT_OK(FilterWorkingSet(*applicable[k], next_env, *ctx, ws));
       (*consumed)[(*applicable_ids)[k]] = true;
     }
     return Status::OK();
+  }
+
+  /// Batched index nested-loop join: the equi-key expressions evaluate once
+  /// per vector, then each probe row drives one index lookup; matches gather
+  /// the probe side and append the fetched build side column by column.
+  Status IndexNlJoinBatched(const Relation& relation, const ColumnEnv& env,
+                            const std::vector<EquiJoinKey>& keys,
+                            const std::vector<size_t>& key_order,
+                            const rel::Index& index, EvalContext* ctx,
+                            WorkingSet* ws) {
+    const ColumnBatch& left = ws->batch;
+    std::vector<ColumnVector> key_cols;
+    key_cols.reserve(key_order.size());
+    for (size_t ki : key_order) {
+      ASSIGN_OR_RETURN(ColumnVector col,
+                       EvalExprBatch(*keys[ki].outer, env, left, *ctx));
+      key_cols.push_back(std::move(col));
+    }
+    std::vector<uint32_t> left_sel;
+    ColumnBatch right;
+    right.Reset(relation.columns.size());
+    rel::IndexKey key;
+    key.parts.reserve(key_cols.size());
+    std::vector<rel::RowId> rids;
+    Row fetched;
+    for (size_t i = 0; i < left.num_rows; ++i) {
+      key.parts.clear();
+      bool null_key = false;
+      for (const auto& col : key_cols) {
+        Value v = col.GetValue(i);
+        if (v.is_null()) null_key = true;
+        key.parts.push_back(std::move(v));
+      }
+      if (null_key) continue;  // NULL never equi-joins
+      rids.clear();
+      index.Lookup(key, &rids);
+      ++stats_->index_lookups;
+      for (rel::RowId rid : rids) {
+        RETURN_NOT_OK(relation.base->Get(rid, &fetched));
+        right.AppendProjected(fetched, relation.projection);
+        left_sel.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    ColumnBatch out;
+    out.cols.reserve(left.num_cols() + right.num_cols());
+    for (const auto& c : left.cols) out.cols.push_back(c.Gather(left_sel));
+    for (auto& c : right.cols) out.cols.push_back(std::move(c));
+    out.num_rows = left_sel.size();
+    ws->SetBatch(std::move(out));
+    return Status::OK();
+  }
+
+  /// Batched hash join. Build keys come straight out of the build batch's
+  /// key columns; probe keys evaluate once per vector. Single-int64-key
+  /// joins (the adjacency self-join shape: EA.INV = r.VID) skip rel::Value
+  /// boxing entirely and hash raw int64s.
+  Status HashJoinBatched(const ColumnEnv& env,
+                         const std::vector<EquiJoinKey>& keys,
+                         const std::vector<int>& build_slots,
+                         const ColumnBatch& build, EvalContext* ctx,
+                         WorkingSet* ws) {
+    const ColumnBatch& left = ws->batch;
+    std::vector<ColumnVector> probe_cols;
+    probe_cols.reserve(keys.size());
+    for (const auto& k : keys) {
+      ASSIGN_OR_RETURN(ColumnVector col,
+                       EvalExprBatch(*k.outer, env, left, *ctx));
+      probe_cols.push_back(std::move(col));
+    }
+    std::vector<uint32_t> left_sel, right_sel;
+
+    const bool int64_key =
+        keys.size() == 1 &&
+        build.cols[static_cast<size_t>(build_slots[0])].typed() &&
+        build.cols[static_cast<size_t>(build_slots[0])].tag() ==
+            ColumnVector::Tag::kInt64 &&
+        probe_cols[0].typed() &&
+        probe_cols[0].tag() == ColumnVector::Tag::kInt64;
+    if (int64_key) {
+      const ColumnVector& bc = build.cols[static_cast<size_t>(build_slots[0])];
+      const ColumnVector& pc = probe_cols[0];
+      std::unordered_multimap<int64_t, uint32_t> hash_table;
+      hash_table.reserve(build.num_rows);
+      for (size_t j = 0; j < build.num_rows; ++j) {
+        if (!bc.IsNull(j)) {
+          hash_table.emplace(bc.IntAt(j), static_cast<uint32_t>(j));
+        }
+      }
+      for (size_t i = 0; i < left.num_rows; ++i) {
+        if (pc.IsNull(i)) continue;
+        auto [lo, hi] = hash_table.equal_range(pc.IntAt(i));
+        for (auto it = lo; it != hi; ++it) {
+          left_sel.push_back(static_cast<uint32_t>(i));
+          right_sel.push_back(it->second);
+        }
+      }
+    } else {
+      std::unordered_multimap<rel::IndexKey, uint32_t, rel::IndexKeyHash>
+          hash_table;
+      hash_table.reserve(build.num_rows);
+      rel::IndexKey key;
+      key.parts.reserve(build_slots.size());
+      for (size_t j = 0; j < build.num_rows; ++j) {
+        key.parts.clear();
+        bool null_key = false;
+        for (int slot : build_slots) {
+          Value v = build.cols[static_cast<size_t>(slot)].GetValue(j);
+          if (v.is_null()) null_key = true;
+          key.parts.push_back(std::move(v));
+        }
+        if (!null_key) hash_table.emplace(key, static_cast<uint32_t>(j));
+      }
+      for (size_t i = 0; i < left.num_rows; ++i) {
+        key.parts.clear();
+        bool null_key = false;
+        for (const auto& col : probe_cols) {
+          Value v = col.GetValue(i);
+          if (v.is_null()) null_key = true;
+          key.parts.push_back(std::move(v));
+        }
+        if (null_key) continue;
+        auto [lo, hi] = hash_table.equal_range(key);
+        for (auto it = lo; it != hi; ++it) {
+          left_sel.push_back(static_cast<uint32_t>(i));
+          right_sel.push_back(it->second);
+        }
+      }
+    }
+    ColumnBatch out;
+    out.cols.reserve(left.num_cols() + build.num_cols());
+    for (const auto& c : left.cols) out.cols.push_back(c.Gather(left_sel));
+    for (const auto& c : build.cols) out.cols.push_back(c.Gather(right_sel));
+    out.num_rows = left_sel.size();
+    ws->SetBatch(std::move(out));
+    return Status::OK();
+  }
+
+  /// Batched counterpart of MaterializeRelation (same span and counters).
+  Result<ColumnBatch> MaterializeRelationBatch(const Relation& relation) {
+    ColumnBatch out;
+    out.Reset(relation.columns.size());
+    if (relation.base != nullptr) {
+      ++stats_->table_scans;
+      obs::ScopedSpan span(spans_, context_,
+                           "seq scan " + relation.base->name() + " (build)");
+      relation.base->Scan([&](rel::RowId, const Row& row) {
+        ++stats_->rows_scanned;
+        out.AppendProjected(row, relation.projection);
+      });
+      span.set_rows(out.num_rows);
+      return out;
+    }
+    const std::vector<Row>* src = relation.rows();
+    if (src == nullptr) return Status::Internal("relation has no rows");
+    out.Reserve(src->size());
+    for (const auto& r : *src) out.AppendRow(r);
+    return out;
   }
 
   Status LeftOuterJoin(const TableRef& ref, const Relation& relation,
@@ -1630,10 +1923,20 @@ class Executor::Impl {
     return Status::OK();
   }
 
+  /// Filter in whichever representation the working set currently holds.
+  Status FilterWorkingSet(const Expr& predicate, const ColumnEnv& env,
+                          const EvalContext& ctx, WorkingSet* ws) {
+    if (!ws->is_batch) return FilterRows(predicate, env, ctx, &ws->rows);
+    std::vector<uint32_t> sel;
+    RETURN_NOT_OK(EvalPredicateBatch(predicate, env, ws->batch, ctx, &sel));
+    if (sel.size() != ws->batch.num_rows) ws->batch.KeepOnly(sel);
+    return Status::OK();
+  }
+
   // ----------------------------------------- projection and aggregation ----
 
   Status Project(const SelectStmt& s, const ColumnEnv& env,
-                 const std::vector<Row>& rows, const EvalContext& ctx,
+                 const WorkingSet& ws, const EvalContext& ctx,
                  ResultSet* out) {
     // Expand stars into slot references.
     struct OutputCol {
@@ -1666,8 +1969,32 @@ class Executor::Impl {
     out->columns.clear();
     for (const auto& c : cols) out->columns.push_back(c.name);
     out->rows.clear();
-    out->rows.reserve(rows.size());
-    for (const Row& row : rows) {
+    out->rows.reserve(ws.size());
+    if (ws.is_batch) {
+      // Evaluate each computed item once over the whole batch, then
+      // assemble output rows from slot copies and the computed vectors.
+      std::vector<ColumnVector> computed(cols.size());
+      for (size_t c = 0; c < cols.size(); ++c) {
+        if (cols[c].slot >= 0) continue;
+        ASSIGN_OR_RETURN(computed[c],
+                         EvalExprBatch(*cols[c].expr, env, ws.batch, ctx));
+      }
+      for (size_t i = 0; i < ws.batch.num_rows; ++i) {
+        Row projected;
+        projected.reserve(cols.size());
+        for (size_t c = 0; c < cols.size(); ++c) {
+          if (cols[c].slot >= 0) {
+            projected.push_back(
+                ws.batch.cols[static_cast<size_t>(cols[c].slot)].GetValue(i));
+          } else {
+            projected.push_back(computed[c].GetValue(i));
+          }
+        }
+        out->rows.push_back(std::move(projected));
+      }
+      return Status::OK();
+    }
+    for (const Row& row : ws.rows) {
       Row projected;
       projected.reserve(cols.size());
       for (const auto& c : cols) {
@@ -1684,8 +2011,7 @@ class Executor::Impl {
   }
 
   Result<ResultSet> Aggregate(const SelectStmt& s, const ColumnEnv& env,
-                              const std::vector<Row>& rows,
-                              const EvalContext& ctx) {
+                              const WorkingSet& ws, const EvalContext& ctx) {
     // Each select item must be either an aggregate call or a GROUP BY
     // expression (matched textually).
     struct ItemPlan {
@@ -1786,16 +2112,22 @@ class Executor::Impl {
       return g;
     };
 
-    for (const Row& row : rows) {
-      rel::IndexKey key;
-      Row key_row;
-      for (const auto& g : s.group_by) {
-        ASSIGN_OR_RETURN(Value v, EvalExpr(*g, env, row, ctx));
-        key.parts.push_back(v);
-        key_row.push_back(std::move(v));
+    // One scratch key reused across rows: reserved once, cleared per row,
+    // copied into the map only on first sight of a group.
+    rel::IndexKey key;
+    key.parts.reserve(s.group_by.size());
+    auto accumulate = [&](auto&& eval_group,
+                          auto&& eval_arg) -> util::Status {
+      key.parts.clear();
+      for (size_t gi = 0; gi < s.group_by.size(); ++gi) {
+        ASSIGN_OR_RETURN(Value v, eval_group(gi));
+        key.parts.push_back(std::move(v));
       }
-      auto [it, inserted] = groups.emplace(std::move(key), make_group());
-      if (inserted) it->second.key_row = std::move(key_row);
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        it = groups.emplace(key, make_group()).first;
+        it->second.key_row = key.parts;
+      }
       size_t agg_index = 0;
       for (const auto& plan : plans) {
         if (!plan.is_aggregate) continue;
@@ -1803,9 +2135,48 @@ class Executor::Impl {
         if (plan.agg_kind == AggState::kCountStar) {
           st.Add(Value());
         } else {
-          ASSIGN_OR_RETURN(Value v, EvalExpr(*plan.arg, env, row, ctx));
+          ASSIGN_OR_RETURN(Value v, eval_arg(*plan.arg));
           st.Add(v);
         }
+      }
+      return Status::OK();
+    };
+    if (ws.is_batch) {
+      // Evaluate every GROUP BY expression and aggregate argument once per
+      // vector, then fold row by row out of the result columns.
+      std::vector<ColumnVector> group_cols;
+      group_cols.reserve(s.group_by.size());
+      for (const auto& g : s.group_by) {
+        ASSIGN_OR_RETURN(ColumnVector col,
+                         EvalExprBatch(*g, env, ws.batch, ctx));
+        group_cols.push_back(std::move(col));
+      }
+      std::map<const Expr*, ColumnVector> arg_cols;
+      for (const auto& plan : plans) {
+        if (!plan.is_aggregate || plan.arg == nullptr) continue;
+        if (arg_cols.count(plan.arg.get())) continue;
+        ASSIGN_OR_RETURN(ColumnVector col,
+                         EvalExprBatch(*plan.arg, env, ws.batch, ctx));
+        arg_cols.emplace(plan.arg.get(), std::move(col));
+      }
+      for (size_t i = 0; i < ws.batch.num_rows; ++i) {
+        RETURN_NOT_OK(accumulate(
+            [&](size_t gi) -> Result<Value> {
+              return group_cols[gi].GetValue(i);
+            },
+            [&](const Expr& arg) -> Result<Value> {
+              return arg_cols.at(&arg).GetValue(i);
+            }));
+      }
+    } else {
+      for (const Row& row : ws.rows) {
+        RETURN_NOT_OK(accumulate(
+            [&](size_t gi) -> Result<Value> {
+              return EvalExpr(*s.group_by[gi], env, row, ctx);
+            },
+            [&](const Expr& arg) -> Result<Value> {
+              return EvalExpr(arg, env, row, ctx);
+            }));
       }
     }
     // Global aggregation over an empty input still yields one row.

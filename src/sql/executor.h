@@ -145,6 +145,12 @@ class Executor {
     int max_recursion = 10000;
     /// Disable index selection (for ablation tests).
     bool enable_indexes = true;
+    /// Batch-at-a-time execution: base-table pipelines flow through
+    /// rel::ColumnBatch with vectorized predicate/projection/join/aggregate
+    /// evaluation. Off forces the row-at-a-time operators everywhere (the
+    /// differential oracle and ablation benchmarks). Results, EXPLAIN
+    /// ANALYZE spans, and ExecStats counters are identical either way.
+    bool vectorized = true;
     /// EXPLAIN ANALYZE mode: record per-operator rows + wall time into
     /// ExecStats::spans. Off by default — each span costs two clock reads.
     bool analyze = false;

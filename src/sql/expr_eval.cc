@@ -10,6 +10,8 @@
 namespace sqlgraph {
 namespace sql {
 
+using rel::ColumnBatch;
+using rel::ColumnVector;
 using rel::Value;
 using util::Result;
 using util::Status;
@@ -84,31 +86,14 @@ json::JsonValue ValueToJson(const Value& v) {
   return v.AsJson();
 }
 
-Result<Value> EvalBinary(const Expr& e, const ColumnEnv& env,
-                         const rel::Row& row, const EvalContext& ctx) {
-  // Kleene AND/OR with short-circuit on the decisive operand.
-  if (e.bin_op == BinaryOp::kAnd || e.bin_op == BinaryOp::kOr) {
-    ASSIGN_OR_RETURN(Value lhs, EvalExpr(*e.lhs, env, row, ctx));
-    const bool is_and = e.bin_op == BinaryOp::kAnd;
-    if (!lhs.is_null()) {
-      const bool lv = IsTruthy(lhs);
-      if (is_and && !lv) return Value(false);
-      if (!is_and && lv) return Value(true);
-    }
-    ASSIGN_OR_RETURN(Value rhs, EvalExpr(*e.rhs, env, row, ctx));
-    if (!rhs.is_null()) {
-      const bool rv = IsTruthy(rhs);
-      if (is_and && !rv) return Value(false);
-      if (!is_and && rv) return Value(true);
-    }
-    if (lhs.is_null() || rhs.is_null()) return Value::Null();
-    return Value(is_and);
-  }
+// ---------------------------------------------------------------------------
+// Per-value kernels shared by the scalar and batched evaluators. Keeping one
+// implementation per operator is what makes the two paths element-wise
+// identical by construction (vector_eval_test.cc asserts it stays that way).
 
-  ASSIGN_OR_RETURN(Value lhs, EvalExpr(*e.lhs, env, row, ctx));
-  ASSIGN_OR_RETURN(Value rhs, EvalExpr(*e.rhs, env, row, ctx));
-
-  switch (e.bin_op) {
+/// Non-AND/OR binary operator on two already-evaluated operands.
+Result<Value> BinaryOpValues(BinaryOp op, const Value& lhs, const Value& rhs) {
+  switch (op) {
     case BinaryOp::kEq:
     case BinaryOp::kNe:
     case BinaryOp::kLt:
@@ -117,7 +102,7 @@ Result<Value> EvalBinary(const Expr& e, const ColumnEnv& env,
     case BinaryOp::kGe: {
       if (lhs.is_null() || rhs.is_null()) return Value::Null();
       const int c = lhs.Compare(rhs);
-      switch (e.bin_op) {
+      switch (op) {
         case BinaryOp::kEq: return Value(c == 0);
         case BinaryOp::kNe: return Value(c != 0);
         case BinaryOp::kLt: return Value(c < 0);
@@ -160,11 +145,11 @@ Result<Value> EvalBinary(const Expr& e, const ColumnEnv& env,
       if (!lhs.is_number() || !rhs.is_number()) {
         return Status::TypeError("arithmetic on non-numeric values");
       }
-      if (lhs.is_int() && rhs.is_int() && e.bin_op != BinaryOp::kDiv) {
+      if (lhs.is_int() && rhs.is_int() && op != BinaryOp::kDiv) {
         const int64_t a = lhs.AsInt(), b = rhs.AsInt();
         int64_t r = 0;
         bool overflow;
-        switch (e.bin_op) {
+        switch (op) {
           case BinaryOp::kAdd: overflow = __builtin_add_overflow(a, b, &r); break;
           case BinaryOp::kSub: overflow = __builtin_sub_overflow(a, b, &r); break;
           default: overflow = __builtin_mul_overflow(a, b, &r); break;
@@ -173,7 +158,7 @@ Result<Value> EvalBinary(const Expr& e, const ColumnEnv& env,
         // Overflow promotes to double, same as the mixed-type path below.
       }
       const double a = lhs.AsDouble(), b = rhs.AsDouble();
-      switch (e.bin_op) {
+      switch (op) {
         case BinaryOp::kAdd: return Value(a + b);
         case BinaryOp::kSub: return Value(a - b);
         case BinaryOp::kMul: return Value(a * b);
@@ -187,11 +172,85 @@ Result<Value> EvalBinary(const Expr& e, const ColumnEnv& env,
   }
 }
 
-Result<Value> EvalFunc(const Expr& e, const ColumnEnv& env,
-                       const rel::Row& row, const EvalContext& ctx) {
-  const std::string& f = e.func_name;
+/// Kleene AND/OR over two already-evaluated operands (the no-short-circuit
+/// combine; matches the scalar path whenever both operands evaluate).
+Value KleeneAndOr(bool is_and, const Value& lhs, const Value& rhs) {
+  if (!lhs.is_null()) {
+    const bool lv = IsTruthy(lhs);
+    if (is_and && !lv) return Value(false);
+    if (!is_and && lv) return Value(true);
+  }
+  if (!rhs.is_null()) {
+    const bool rv = IsTruthy(rhs);
+    if (is_and && !rv) return Value(false);
+    if (!is_and && rv) return Value(true);
+  }
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+  return Value(is_and);
+}
+
+Result<Value> UnaryOpValue(UnaryOp op, const Value& v) {
+  switch (op) {
+    case UnaryOp::kNot:
+      if (v.is_null()) return Value::Null();
+      return Value(!IsTruthy(v));
+    case UnaryOp::kIsNull:
+      return Value(v.is_null());
+    case UnaryOp::kIsNotNull:
+      return Value(!v.is_null());
+    case UnaryOp::kNeg:
+      if (v.is_null()) return Value::Null();
+      if (v.is_int()) {
+        int64_t r = 0;
+        if (!__builtin_sub_overflow(int64_t{0}, v.AsInt(), &r)) {
+          return Value(r);
+        }
+        return Value(-static_cast<double>(v.AsInt()));  // -INT64_MIN
+      }
+      if (v.is_double()) return Value(-v.AsDouble());
+      return Status::TypeError("negation of non-number");
+  }
+  return Status::Internal("unhandled unary op");
+}
+
+Result<Value> CastValue(const Value& v, rel::ColumnType type) {
+  if (v.is_null()) return Value::Null();
+  switch (type) {
+    case rel::ColumnType::kInt64:
+      if (v.is_number() || v.is_bool()) return Value(v.AsInt());
+      if (v.is_string()) {
+        errno = 0;
+        char* end = nullptr;
+        const long long parsed = std::strtoll(v.AsString().c_str(), &end, 10);
+        if (end == v.AsString().c_str()) return Value::Null();
+        return Value(static_cast<int64_t>(parsed));
+      }
+      return Value::Null();
+    case rel::ColumnType::kDouble:
+      if (v.is_number() || v.is_bool()) return Value(v.AsDouble());
+      if (v.is_string()) {
+        char* end = nullptr;
+        const double parsed = std::strtod(v.AsString().c_str(), &end);
+        if (end == v.AsString().c_str()) return Value::Null();
+        return Value(parsed);
+      }
+      return Value::Null();
+    case rel::ColumnType::kString:
+      return Value(v.ToString());
+    case rel::ColumnType::kBool:
+      return Value(IsTruthy(v));
+    case rel::ColumnType::kJson:
+      return Value(ValueToJson(v));
+  }
+  return Status::Internal("unhandled cast type");
+}
+
+/// Non-lazy scalar function on already-evaluated arguments. COALESCE is
+/// handled structurally by each evaluator (it is lazy in the scalar path);
+/// JSON_VAL also has a batch fast path but shares this kernel's semantics.
+Result<Value> ApplyFunc(const std::string& f, const std::vector<Value>& args) {
   auto arity = [&](size_t n) -> Status {
-    if (e.args.size() != n) {
+    if (args.size() != n) {
       return Status::InvalidArgument(f + " expects " + std::to_string(n) +
                                      " arguments");
     }
@@ -200,32 +259,22 @@ Result<Value> EvalFunc(const Expr& e, const ColumnEnv& env,
 
   if (f == "JSON_VAL") {
     RETURN_NOT_OK(arity(2));
-    ASSIGN_OR_RETURN(Value doc, EvalExpr(*e.args[0], env, row, ctx));
-    ASSIGN_OR_RETURN(Value key, EvalExpr(*e.args[1], env, row, ctx));
-    if (!key.is_string()) return Status::TypeError("JSON_VAL key not string");
-    return JsonVal(doc, key.AsString());
-  }
-  if (f == "COALESCE") {
-    for (const auto& arg : e.args) {
-      ASSIGN_OR_RETURN(Value v, EvalExpr(*arg, env, row, ctx));
-      if (!v.is_null()) return v;
-    }
-    return Value::Null();
+    if (!args[1].is_string()) return Status::TypeError("JSON_VAL key not string");
+    return JsonVal(args[0], args[1].AsString());
   }
   if (f == "PATH_APPEND") {
     RETURN_NOT_OK(arity(2));
-    ASSIGN_OR_RETURN(Value path, EvalExpr(*e.args[0], env, row, ctx));
-    ASSIGN_OR_RETURN(Value elem, EvalExpr(*e.args[1], env, row, ctx));
+    const Value& path = args[0];
     json::JsonValue arr = (path.is_json() && path.AsJson().is_array())
                               ? path.AsJson()
                               : json::JsonValue::Array();
-    arr.Append(ValueToJson(elem));
+    arr.Append(ValueToJson(args[1]));
     return Value(std::move(arr));
   }
   if (f == "PATH_ELEM") {
     RETURN_NOT_OK(arity(2));
-    ASSIGN_OR_RETURN(Value path, EvalExpr(*e.args[0], env, row, ctx));
-    ASSIGN_OR_RETURN(Value idx, EvalExpr(*e.args[1], env, row, ctx));
+    const Value& path = args[0];
+    const Value& idx = args[1];
     if (!path.is_json() || !path.AsJson().is_array() || !idx.is_number()) {
       return Value::Null();
     }
@@ -238,8 +287,8 @@ Result<Value> EvalFunc(const Expr& e, const ColumnEnv& env,
   if (f == "PATH_PREFIX") {
     // First n elements of a path array (used by back()).
     RETURN_NOT_OK(arity(2));
-    ASSIGN_OR_RETURN(Value path, EvalExpr(*e.args[0], env, row, ctx));
-    ASSIGN_OR_RETURN(Value n, EvalExpr(*e.args[1], env, row, ctx));
+    const Value& path = args[0];
+    const Value& n = args[1];
     if (!path.is_json() || !path.AsJson().is_array() || !n.is_number()) {
       return Value::Null();
     }
@@ -252,14 +301,14 @@ Result<Value> EvalFunc(const Expr& e, const ColumnEnv& env,
   }
   if (f == "PATH_LEN") {
     RETURN_NOT_OK(arity(1));
-    ASSIGN_OR_RETURN(Value path, EvalExpr(*e.args[0], env, row, ctx));
+    const Value& path = args[0];
     if (!path.is_json() || !path.AsJson().is_array()) return Value::Null();
     return Value(static_cast<int64_t>(path.AsJson().AsArray().size()));
   }
   if (f == "IS_SIMPLE_PATH") {
     // UDF from the paper's simplePath() filter: 1 iff no vertex repeats.
     RETURN_NOT_OK(arity(1));
-    ASSIGN_OR_RETURN(Value path, EvalExpr(*e.args[0], env, row, ctx));
+    const Value& path = args[0];
     if (!path.is_json() || !path.AsJson().is_array()) return Value(1);
     const json::JsonArray& arr = path.AsJson().AsArray();
     std::unordered_set<rel::Value, rel::ValueHash> seen;
@@ -270,13 +319,12 @@ Result<Value> EvalFunc(const Expr& e, const ColumnEnv& env,
   }
   if (f == "LENGTH") {
     RETURN_NOT_OK(arity(1));
-    ASSIGN_OR_RETURN(Value v, EvalExpr(*e.args[0], env, row, ctx));
-    if (v.is_null()) return Value::Null();
-    return Value(static_cast<int64_t>(v.ToString().size()));
+    if (args[0].is_null()) return Value::Null();
+    return Value(static_cast<int64_t>(args[0].ToString().size()));
   }
   if (f == "ABS") {
     RETURN_NOT_OK(arity(1));
-    ASSIGN_OR_RETURN(Value v, EvalExpr(*e.args[0], env, row, ctx));
+    const Value& v = args[0];
     if (v.is_null()) return Value::Null();
     if (v.is_int()) {
       const int64_t a = v.AsInt();
@@ -289,7 +337,7 @@ Result<Value> EvalFunc(const Expr& e, const ColumnEnv& env,
   }
   if (f == "LOWER" || f == "UPPER") {
     RETURN_NOT_OK(arity(1));
-    ASSIGN_OR_RETURN(Value v, EvalExpr(*e.args[0], env, row, ctx));
+    const Value& v = args[0];
     if (v.is_null()) return Value::Null();
     std::string s = v.ToString();
     for (auto& c : s) {
@@ -303,6 +351,46 @@ Result<Value> EvalFunc(const Expr& e, const ColumnEnv& env,
                             " evaluated outside aggregation context");
   }
   return Status::NotImplemented("function " + f);
+}
+
+Result<Value> EvalBinary(const Expr& e, const ColumnEnv& env,
+                         const rel::Row& row, const EvalContext& ctx) {
+  // Kleene AND/OR with short-circuit on the decisive operand.
+  if (e.bin_op == BinaryOp::kAnd || e.bin_op == BinaryOp::kOr) {
+    ASSIGN_OR_RETURN(Value lhs, EvalExpr(*e.lhs, env, row, ctx));
+    const bool is_and = e.bin_op == BinaryOp::kAnd;
+    if (!lhs.is_null()) {
+      const bool lv = IsTruthy(lhs);
+      if (is_and && !lv) return Value(false);
+      if (!is_and && lv) return Value(true);
+    }
+    ASSIGN_OR_RETURN(Value rhs, EvalExpr(*e.rhs, env, row, ctx));
+    return KleeneAndOr(is_and, lhs, rhs);
+  }
+
+  ASSIGN_OR_RETURN(Value lhs, EvalExpr(*e.lhs, env, row, ctx));
+  ASSIGN_OR_RETURN(Value rhs, EvalExpr(*e.rhs, env, row, ctx));
+  return BinaryOpValues(e.bin_op, lhs, rhs);
+}
+
+Result<Value> EvalFunc(const Expr& e, const ColumnEnv& env,
+                       const rel::Row& row, const EvalContext& ctx) {
+  const std::string& f = e.func_name;
+  if (f == "COALESCE") {
+    // Lazy: later arguments are not evaluated once one is non-NULL.
+    for (const auto& arg : e.args) {
+      ASSIGN_OR_RETURN(Value v, EvalExpr(*arg, env, row, ctx));
+      if (!v.is_null()) return v;
+    }
+    return Value::Null();
+  }
+  std::vector<Value> args;
+  args.reserve(e.args.size());
+  for (const auto& arg : e.args) {
+    ASSIGN_OR_RETURN(Value v, EvalExpr(*arg, env, row, ctx));
+    args.push_back(std::move(v));
+  }
+  return ApplyFunc(f, args);
 }
 
 }  // namespace
@@ -336,61 +424,13 @@ Result<Value> EvalExpr(const Expr& e, const ColumnEnv& env,
       return EvalBinary(e, env, row, ctx);
     case ExprKind::kUnary: {
       ASSIGN_OR_RETURN(Value v, EvalExpr(*e.lhs, env, row, ctx));
-      switch (e.un_op) {
-        case UnaryOp::kNot:
-          if (v.is_null()) return Value::Null();
-          return Value(!IsTruthy(v));
-        case UnaryOp::kIsNull:
-          return Value(v.is_null());
-        case UnaryOp::kIsNotNull:
-          return Value(!v.is_null());
-        case UnaryOp::kNeg:
-          if (v.is_null()) return Value::Null();
-          if (v.is_int()) {
-            int64_t r = 0;
-            if (!__builtin_sub_overflow(int64_t{0}, v.AsInt(), &r)) {
-              return Value(r);
-            }
-            return Value(-static_cast<double>(v.AsInt()));  // -INT64_MIN
-          }
-          if (v.is_double()) return Value(-v.AsDouble());
-          return Status::TypeError("negation of non-number");
-      }
-      return Status::Internal("unhandled unary op");
+      return UnaryOpValue(e.un_op, v);
     }
     case ExprKind::kFunc:
       return EvalFunc(e, env, row, ctx);
     case ExprKind::kCast: {
       ASSIGN_OR_RETURN(Value v, EvalExpr(*e.lhs, env, row, ctx));
-      if (v.is_null()) return Value::Null();
-      switch (e.cast_type) {
-        case rel::ColumnType::kInt64:
-          if (v.is_number() || v.is_bool()) return Value(v.AsInt());
-          if (v.is_string()) {
-            errno = 0;
-            char* end = nullptr;
-            const long long parsed = std::strtoll(v.AsString().c_str(), &end, 10);
-            if (end == v.AsString().c_str()) return Value::Null();
-            return Value(static_cast<int64_t>(parsed));
-          }
-          return Value::Null();
-        case rel::ColumnType::kDouble:
-          if (v.is_number() || v.is_bool()) return Value(v.AsDouble());
-          if (v.is_string()) {
-            char* end = nullptr;
-            const double parsed = std::strtod(v.AsString().c_str(), &end);
-            if (end == v.AsString().c_str()) return Value::Null();
-            return Value(parsed);
-          }
-          return Value::Null();
-        case rel::ColumnType::kString:
-          return Value(v.ToString());
-        case rel::ColumnType::kBool:
-          return Value(IsTruthy(v));
-        case rel::ColumnType::kJson:
-          return Value(ValueToJson(v));
-      }
-      return Status::Internal("unhandled cast type");
+      return CastValue(v, e.cast_type);
     }
     case ExprKind::kInList: {
       ASSIGN_OR_RETURN(Value probe, EvalExpr(*e.lhs, env, row, ctx));
@@ -419,6 +459,402 @@ Result<Value> EvalExpr(const Expr& e, const ColumnEnv& env,
       return Status::Internal("bare * outside COUNT(*)");
   }
   return Status::Internal("unhandled expression kind");
+}
+
+// ===========================================================================
+// Batched evaluation. One scratch ColumnVector per expression-tree node and
+// recursion level; bare column refs borrow the batch's column instead of
+// copying. Typed fast loops cover the hot comparison/arithmetic/logic cases;
+// everything else runs the shared per-value kernels above in a tight loop —
+// still one expression-tree dispatch per *node* instead of per row.
+
+namespace {
+
+using Tag = ColumnVector::Tag;
+
+/// Three-valued truthiness straight off the column: -1 NULL, 0 false, 1 true.
+int TruthyAt(const ColumnVector& c, size_t i) {
+  if (c.IsNull(i)) return -1;
+  switch (c.tag()) {
+    case Tag::kBool: return c.BoolAt(i) ? 1 : 0;
+    case Tag::kInt64: return c.IntAt(i) != 0 ? 1 : 0;
+    case Tag::kDouble: return c.DoubleAt(i) != 0.0 ? 1 : 0;
+    case Tag::kString: return 0;
+    case Tag::kBoxed: return IsTruthy(c.BoxedAt(i)) ? 1 : 0;
+  }
+  return 0;
+}
+
+class BatchEval {
+ public:
+  BatchEval(const ColumnEnv& env, const ColumnBatch& batch,
+            const EvalContext& ctx)
+      : env_(env), batch_(batch), ctx_(ctx), n_(batch.num_rows) {}
+
+  /// Evaluates `e` over every row. The result lives either in a borrowed
+  /// batch column (bare refs) or in `*scratch`.
+  Result<const ColumnVector*> Eval(const Expr& e, ColumnVector* scratch) {
+    switch (e.kind) {
+      case ExprKind::kLiteral:
+        *scratch = ColumnVector::Constant(e.literal, n_);
+        return scratch;
+      case ExprKind::kColumnRef: {
+        ASSIGN_OR_RETURN(int slot, env_.Resolve(e.qualifier, e.column));
+        if (static_cast<size_t>(slot) >= batch_.cols.size()) {
+          return Status::Internal("batch narrower than column env");
+        }
+        return &batch_.cols[static_cast<size_t>(slot)];
+      }
+      case ExprKind::kParam: {
+        // Bind once for the whole vector; same resolution as the scalar path.
+        rel::Row empty;
+        ASSIGN_OR_RETURN(Value v, EvalExpr(e, env_, empty, ctx_));
+        *scratch = ColumnVector::Constant(v, n_);
+        return scratch;
+      }
+      case ExprKind::kBinary:
+        return EvalBinaryBatch(e, scratch);
+      case ExprKind::kUnary:
+        return EvalUnaryBatch(e, scratch);
+      case ExprKind::kFunc:
+        return EvalFuncBatch(e, scratch);
+      case ExprKind::kCast: {
+        ColumnVector cs;
+        ASSIGN_OR_RETURN(const ColumnVector* child, Eval(*e.lhs, &cs));
+        ColumnVector out;
+        out.Reserve(n_);
+        for (size_t i = 0; i < n_; ++i) {
+          ASSIGN_OR_RETURN(Value v, CastValue(child->GetValue(i), e.cast_type));
+          out.Append(v);
+        }
+        *scratch = std::move(out);
+        return scratch;
+      }
+      case ExprKind::kInList:
+        return EvalInListBatch(e, scratch);
+      case ExprKind::kInSubquery: {
+        auto it = ctx_.in_subquery_sets.find(&e);
+        if (it == ctx_.in_subquery_sets.end()) {
+          return Status::Internal("IN subquery was not pre-materialized");
+        }
+        ColumnVector ps;
+        ASSIGN_OR_RETURN(const ColumnVector* probe, Eval(*e.lhs, &ps));
+        ColumnVector out;
+        out.Reserve(n_);
+        for (size_t i = 0; i < n_; ++i) {
+          if (probe->IsNull(i)) {
+            out.AppendNull();
+            continue;
+          }
+          const bool found = it->second.count(probe->GetValue(i)) > 0;
+          out.Append(Value(e.negated ? !found : found));
+        }
+        *scratch = std::move(out);
+        return scratch;
+      }
+      case ExprKind::kStar:
+        return Status::Internal("bare * outside COUNT(*)");
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+
+ private:
+  Result<const ColumnVector*> EvalBinaryBatch(const Expr& e,
+                                              ColumnVector* scratch) {
+    // Kleene AND/OR: both operand vectors evaluate eagerly, then combine.
+    if (e.bin_op == BinaryOp::kAnd || e.bin_op == BinaryOp::kOr) {
+      const bool is_and = e.bin_op == BinaryOp::kAnd;
+      ColumnVector ls, rs;
+      ASSIGN_OR_RETURN(const ColumnVector* l, Eval(*e.lhs, &ls));
+      ASSIGN_OR_RETURN(const ColumnVector* r, Eval(*e.rhs, &rs));
+      ColumnVector out;
+      out.Reserve(n_);
+      for (size_t i = 0; i < n_; ++i) {
+        const int lt = TruthyAt(*l, i);
+        const int rt = TruthyAt(*r, i);
+        if (is_and) {
+          if (lt == 0 || rt == 0) {
+            out.Append(Value(false));
+          } else if (lt < 0 || rt < 0) {
+            out.AppendNull();
+          } else {
+            out.Append(Value(true));
+          }
+        } else {
+          if (lt == 1 || rt == 1) {
+            out.Append(Value(true));
+          } else if (lt < 0 || rt < 0) {
+            out.AppendNull();
+          } else {
+            out.Append(Value(false));
+          }
+        }
+      }
+      *scratch = std::move(out);
+      return scratch;
+    }
+
+    ColumnVector ls, rs;
+    ASSIGN_OR_RETURN(const ColumnVector* l, Eval(*e.lhs, &ls));
+    ASSIGN_OR_RETURN(const ColumnVector* r, Eval(*e.rhs, &rs));
+
+    // Typed fast loops: same-tag comparisons and int arithmetic. Mixed tags
+    // and the long tail fall through to the shared kernel loop.
+    const bool cmp = e.bin_op == BinaryOp::kEq || e.bin_op == BinaryOp::kNe ||
+                     e.bin_op == BinaryOp::kLt || e.bin_op == BinaryOp::kLe ||
+                     e.bin_op == BinaryOp::kGt || e.bin_op == BinaryOp::kGe;
+    if (cmp && l->typed() && r->typed() && l->tag() == r->tag() &&
+        l->tag() != Tag::kBoxed) {
+      ColumnVector out;
+      out.Reserve(n_);
+      for (size_t i = 0; i < n_; ++i) {
+        if (l->IsNull(i) || r->IsNull(i)) {
+          out.AppendNull();
+          continue;
+        }
+        int c = 0;
+        switch (l->tag()) {
+          case Tag::kInt64: {
+            const int64_t a = l->IntAt(i), b = r->IntAt(i);
+            c = a == b ? 0 : (a < b ? -1 : 1);
+            break;
+          }
+          case Tag::kDouble: {
+            const double a = l->DoubleAt(i), b = r->DoubleAt(i);
+            c = a == b ? 0 : (a < b ? -1 : 1);
+            break;
+          }
+          case Tag::kBool: {
+            const bool a = l->BoolAt(i), b = r->BoolAt(i);
+            c = a == b ? 0 : (a < b ? -1 : 1);
+            break;
+          }
+          case Tag::kString: {
+            const int sc = l->StringAt(i).compare(r->StringAt(i));
+            c = sc == 0 ? 0 : (sc < 0 ? -1 : 1);
+            break;
+          }
+          case Tag::kBoxed: break;  // excluded above
+        }
+        bool res = false;
+        switch (e.bin_op) {
+          case BinaryOp::kEq: res = c == 0; break;
+          case BinaryOp::kNe: res = c != 0; break;
+          case BinaryOp::kLt: res = c < 0; break;
+          case BinaryOp::kLe: res = c <= 0; break;
+          case BinaryOp::kGt: res = c > 0; break;
+          default: res = c >= 0; break;
+        }
+        out.Append(Value(res));
+      }
+      *scratch = std::move(out);
+      return scratch;
+    }
+
+    const bool int_arith = (e.bin_op == BinaryOp::kAdd ||
+                            e.bin_op == BinaryOp::kSub ||
+                            e.bin_op == BinaryOp::kMul) &&
+                           l->typed() && r->typed() &&
+                           l->tag() == Tag::kInt64 && r->tag() == Tag::kInt64;
+    if (int_arith) {
+      ColumnVector out;
+      out.Reserve(n_);
+      bool overflowed = false;
+      for (size_t i = 0; i < n_ && !overflowed; ++i) {
+        if (l->IsNull(i) || r->IsNull(i)) {
+          out.AppendNull();
+          continue;
+        }
+        const int64_t a = l->IntAt(i), b = r->IntAt(i);
+        int64_t v = 0;
+        switch (e.bin_op) {
+          case BinaryOp::kAdd: overflowed = __builtin_add_overflow(a, b, &v); break;
+          case BinaryOp::kSub: overflowed = __builtin_sub_overflow(a, b, &v); break;
+          default: overflowed = __builtin_mul_overflow(a, b, &v); break;
+        }
+        if (!overflowed) out.Append(Value(v));
+      }
+      if (!overflowed) {
+        *scratch = std::move(out);
+        return scratch;
+      }
+      // Rare: redo the whole vector through the kernel (per-element overflow
+      // promotes that element to double, exactly like the scalar path).
+    }
+
+    ColumnVector out;
+    out.Reserve(n_);
+    for (size_t i = 0; i < n_; ++i) {
+      ASSIGN_OR_RETURN(
+          Value v, BinaryOpValues(e.bin_op, l->GetValue(i), r->GetValue(i)));
+      out.Append(v);
+    }
+    *scratch = std::move(out);
+    return scratch;
+  }
+
+  Result<const ColumnVector*> EvalUnaryBatch(const Expr& e,
+                                             ColumnVector* scratch) {
+    ColumnVector cs;
+    ASSIGN_OR_RETURN(const ColumnVector* child, Eval(*e.lhs, &cs));
+    ColumnVector out;
+    out.Reserve(n_);
+    switch (e.un_op) {
+      case UnaryOp::kIsNull:
+        for (size_t i = 0; i < n_; ++i) out.Append(Value(child->IsNull(i)));
+        break;
+      case UnaryOp::kIsNotNull:
+        for (size_t i = 0; i < n_; ++i) out.Append(Value(!child->IsNull(i)));
+        break;
+      case UnaryOp::kNot:
+        for (size_t i = 0; i < n_; ++i) {
+          const int t = TruthyAt(*child, i);
+          if (t < 0) {
+            out.AppendNull();
+          } else {
+            out.Append(Value(t == 0));
+          }
+        }
+        break;
+      case UnaryOp::kNeg:
+        for (size_t i = 0; i < n_; ++i) {
+          ASSIGN_OR_RETURN(Value v, UnaryOpValue(e.un_op, child->GetValue(i)));
+          out.Append(v);
+        }
+        break;
+    }
+    *scratch = std::move(out);
+    return scratch;
+  }
+
+  Result<const ColumnVector*> EvalFuncBatch(const Expr& e,
+                                            ColumnVector* scratch) {
+    const std::string& f = e.func_name;
+    if (f == "COALESCE") {
+      std::vector<ColumnVector> storage(e.args.size());
+      std::vector<const ColumnVector*> args(e.args.size());
+      for (size_t a = 0; a < e.args.size(); ++a) {
+        ASSIGN_OR_RETURN(args[a], Eval(*e.args[a], &storage[a]));
+      }
+      ColumnVector out;
+      out.Reserve(n_);
+      for (size_t i = 0; i < n_; ++i) {
+        bool hit = false;
+        for (const ColumnVector* arg : args) {
+          if (!arg->IsNull(i)) {
+            out.AppendFrom(*arg, i);
+            hit = true;
+            break;
+          }
+        }
+        if (!hit) out.AppendNull();
+      }
+      *scratch = std::move(out);
+      return scratch;
+    }
+    if (f == "JSON_VAL" && e.args.size() == 2) {
+      // The hot path of every attribute predicate: probe the JSON documents
+      // without boxing them, with the key bound once when it is constant.
+      ColumnVector ds, ks;
+      ASSIGN_OR_RETURN(const ColumnVector* doc, Eval(*e.args[0], &ds));
+      ASSIGN_OR_RETURN(const ColumnVector* key, Eval(*e.args[1], &ks));
+      ColumnVector out;
+      out.Reserve(n_);
+      for (size_t i = 0; i < n_; ++i) {
+        if (key->IsNull(i) || key->tag() != Tag::kString) {
+          return Status::TypeError("JSON_VAL key not string");
+        }
+        const std::string& k = key->StringAt(i);
+        if (doc->IsNull(i)) {
+          out.AppendNull();  // JsonVal(NULL doc) is NULL
+        } else if (doc->tag() == Tag::kBoxed) {
+          out.Append(JsonVal(doc->BoxedAt(i), k));
+        } else {
+          out.Append(JsonVal(doc->GetValue(i), k));
+        }
+      }
+      *scratch = std::move(out);
+      return scratch;
+    }
+
+    std::vector<ColumnVector> storage(e.args.size());
+    std::vector<const ColumnVector*> args(e.args.size());
+    for (size_t a = 0; a < e.args.size(); ++a) {
+      ASSIGN_OR_RETURN(args[a], Eval(*e.args[a], &storage[a]));
+    }
+    ColumnVector out;
+    out.Reserve(n_);
+    std::vector<Value> row_args(e.args.size());
+    for (size_t i = 0; i < n_; ++i) {
+      for (size_t a = 0; a < args.size(); ++a) {
+        row_args[a] = args[a]->GetValue(i);
+      }
+      ASSIGN_OR_RETURN(Value v, ApplyFunc(f, row_args));
+      out.Append(v);
+    }
+    *scratch = std::move(out);
+    return scratch;
+  }
+
+  Result<const ColumnVector*> EvalInListBatch(const Expr& e,
+                                              ColumnVector* scratch) {
+    ColumnVector ps;
+    ASSIGN_OR_RETURN(const ColumnVector* probe, Eval(*e.lhs, &ps));
+    std::vector<ColumnVector> storage(e.in_list.size());
+    std::vector<const ColumnVector*> items(e.in_list.size());
+    for (size_t a = 0; a < e.in_list.size(); ++a) {
+      ASSIGN_OR_RETURN(items[a], Eval(*e.in_list[a], &storage[a]));
+    }
+    ColumnVector out;
+    out.Reserve(n_);
+    for (size_t i = 0; i < n_; ++i) {
+      if (probe->IsNull(i)) {
+        out.AppendNull();
+        continue;
+      }
+      const Value pv = probe->GetValue(i);
+      bool found = false;
+      for (const ColumnVector* item : items) {
+        if (item->IsNull(i)) continue;
+        if (item->GetValue(i) == pv) {
+          found = true;
+          break;
+        }
+      }
+      out.Append(Value(e.negated ? !found : found));
+    }
+    *scratch = std::move(out);
+    return scratch;
+  }
+
+  const ColumnEnv& env_;
+  const ColumnBatch& batch_;
+  const EvalContext& ctx_;
+  const size_t n_;
+};
+
+}  // namespace
+
+Result<ColumnVector> EvalExprBatch(const Expr& e, const ColumnEnv& env,
+                                   const ColumnBatch& batch,
+                                   const EvalContext& ctx) {
+  BatchEval be(env, batch, ctx);
+  ColumnVector scratch;
+  ASSIGN_OR_RETURN(const ColumnVector* res, be.Eval(e, &scratch));
+  if (res == &scratch) return scratch;
+  return *res;  // borrowed batch column: copy out
+}
+
+Status EvalPredicateBatch(const Expr& e, const ColumnEnv& env,
+                          const ColumnBatch& batch, const EvalContext& ctx,
+                          std::vector<uint32_t>* sel) {
+  BatchEval be(env, batch, ctx);
+  ColumnVector scratch;
+  ASSIGN_OR_RETURN(const ColumnVector* res, be.Eval(e, &scratch));
+  for (size_t i = 0; i < batch.num_rows; ++i) {
+    if (TruthyAt(*res, i) == 1) sel->push_back(static_cast<uint32_t>(i));
+  }
+  return Status::OK();
 }
 
 }  // namespace sql

@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "rel/column_batch.h"
 #include "rel/value.h"
 #include "sql/ast.h"
 #include "util/status.h"
@@ -79,6 +80,26 @@ struct EvalContext {
 /// nodes are an error here — the executor handles them separately.
 util::Result<rel::Value> EvalExpr(const Expr& e, const ColumnEnv& env,
                                   const rel::Row& row, const EvalContext& ctx);
+
+/// Batched evaluation: one result column over every row of `batch`, the
+/// vectorized counterpart of EvalExpr. Shares the per-value kernels with the
+/// scalar path, so results are element-wise identical — including NULL-mask
+/// propagation, Kleene AND/OR, and JSON_VAL misses. The only divergence:
+/// AND/OR and COALESCE evaluate every operand column eagerly (no per-row
+/// short-circuit), which is observable only through operand *errors* that a
+/// short-circuit would have skipped.
+util::Result<rel::ColumnVector> EvalExprBatch(const Expr& e,
+                                              const ColumnEnv& env,
+                                              const rel::ColumnBatch& batch,
+                                              const EvalContext& ctx);
+
+/// Evaluates a predicate over the batch and appends the indexes of rows
+/// where it is truthy to `*sel` (a selection vector for ColumnBatch
+/// gathers). `sel` is not cleared.
+util::Status EvalPredicateBatch(const Expr& e, const ColumnEnv& env,
+                                const rel::ColumnBatch& batch,
+                                const EvalContext& ctx,
+                                std::vector<uint32_t>* sel);
 
 /// Applies the shared JSON_VAL semantics (also used by rel JSON indexes).
 rel::Value JsonVal(const rel::Value& json_doc, std::string_view key);

@@ -783,6 +783,12 @@ bool StripExplainAnalyzePrefix(std::string_view* text) {
   text->remove_prefix(i + kKeyword.size());
   return true;
 }
+/// Per-statement executor options derived from the store configuration.
+sql::Executor::Options ExecOptionsFor(const StoreConfig& config) {
+  sql::Executor::Options options;
+  options.vectorized = config.vectorized;
+  return options;
+}
 }  // namespace
 
 sql::ResultSet SqlGraphStore::SpansToResultSet(
@@ -802,7 +808,7 @@ Result<sql::ResultSet> SqlGraphStore::ExecuteSql(std::string_view text,
   std::string_view body = text;
   const bool analyze = StripExplainAnalyzePrefix(&body);
   ReadLockAll lock(this);
-  sql::Executor exec(&db_);
+  sql::Executor exec(&db_, ExecOptionsFor(config_));
   exec.set_plan_cache(&plan_cache_, schema_epoch());
   exec.set_analyze(analyze);
   auto result = exec.ExecuteSql(body);
@@ -818,7 +824,7 @@ Result<sql::ResultSet> SqlGraphStore::ExecuteSql(std::string_view text,
 Result<sql::ResultSet> SqlGraphStore::Execute(const sql::SqlQuery& query,
                                               sql::ExecStats* stats) {
   ReadLockAll lock(this);
-  sql::Executor exec(&db_);
+  sql::Executor exec(&db_, ExecOptionsFor(config_));
   auto result = exec.Execute(query);
   if (stats != nullptr) *stats = exec.stats();
   {
@@ -831,7 +837,7 @@ Result<sql::ResultSet> SqlGraphStore::Execute(const sql::SqlQuery& query,
 Result<sql::ResultSet> SqlGraphStore::ExecuteAnalyze(const sql::SqlQuery& query,
                                                      sql::ExecStats* stats) {
   ReadLockAll lock(this);
-  sql::Executor exec(&db_);
+  sql::Executor exec(&db_, ExecOptionsFor(config_));
   exec.set_analyze(true);
   auto result = exec.Execute(query);
   if (stats != nullptr) *stats = exec.stats();
@@ -852,7 +858,7 @@ Result<sql::ResultSet> SqlGraphStore::ExecutePrepared(
     const sql::PreparedQuery& prepared, const sql::ParamBindings& params,
     sql::ExecStats* stats) const {
   ReadLockAll lock(const_cast<SqlGraphStore*>(this));
-  sql::Executor exec(const_cast<rel::Database*>(&db_));
+  sql::Executor exec(const_cast<rel::Database*>(&db_), ExecOptionsFor(config_));
   exec.set_plan_cache(&plan_cache_, schema_epoch());
   auto result = exec.ExecutePrepared(prepared, params);
   if (stats != nullptr) *stats = exec.stats();
@@ -884,7 +890,7 @@ Result<sql::ResultSet> SqlGraphStore::RunTemplate(
       templates_[id] = prepared;
     }
   }
-  sql::Executor exec(const_cast<rel::Database*>(&db_));
+  sql::Executor exec(const_cast<rel::Database*>(&db_), ExecOptionsFor(config_));
   exec.set_plan_cache(&plan_cache_, epoch);
   return exec.ExecutePrepared(*prepared, params);
 }

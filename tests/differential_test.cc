@@ -181,6 +181,33 @@ void RunDifferentialTrials(SqlGraphStore* store, baseline::GraphDb* native,
   }
 }
 
+/// Three-way executor-mode oracle: the same pipeline through the vectorized
+/// SQL executor, the row-at-a-time SQL executor (StoreConfig::vectorized
+/// off), and the native interpreter. The two SQL modes must agree with the
+/// interpreter — and therefore with each other — on every multiset.
+void RunExecutorModeTrials(SqlGraphStore* vec_store, SqlGraphStore* row_store,
+                           baseline::GraphDb* native, util::Rng* rng,
+                           size_t num_vertices, int trials, const char* tag) {
+  gremlin::GremlinRuntime vec_runtime(vec_store);
+  gremlin::GremlinRuntime row_runtime(row_store);
+  baseline::GremlinInterpreter interp(native);
+  for (int trial = 0; trial < trials; ++trial) {
+    bool is_count = false;
+    const std::string q = RandomTable8Pipeline(rng, num_vertices, &is_count);
+    bool vec_ok = false, row_ok = false, interp_ok = false;
+    const std::multiset<int64_t> vec = SqlVals(&vec_runtime, q, &vec_ok);
+    const std::multiset<int64_t> row = SqlVals(&row_runtime, q, &row_ok);
+    const std::multiset<int64_t> ref = InterpVals(&interp, q, &interp_ok);
+    ASSERT_TRUE(vec_ok) << tag << " trial " << trial << " (vectorized): " << q;
+    ASSERT_TRUE(row_ok) << tag << " trial " << trial << " (row mode): " << q;
+    ASSERT_TRUE(interp_ok) << tag << " trial " << trial << ": " << q;
+    EXPECT_EQ(vec, row) << tag << " trial " << trial
+                        << " (vectorized vs row-at-a-time): " << q;
+    EXPECT_EQ(vec, ref) << tag << " trial " << trial
+                        << " (vectorized vs interpreter): " << q;
+  }
+}
+
 class DifferentialTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(DifferentialTest, SqlTranslationMatchesInterpreterMultisets) {
@@ -197,6 +224,32 @@ TEST_P(DifferentialTest, SqlTranslationMatchesInterpreterMultisets) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest, ::testing::Range(0, 10));
+
+// Executor-mode differential: two stores over the same graph, one per
+// Options::vectorized setting, against the interpreter oracle.
+class ExecutorModeDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExecutorModeDifferentialTest, VectorizedMatchesRowAtATimeMultisets) {
+  util::Rng rng(0xBA7C4 + static_cast<uint64_t>(GetParam()) * 15485863);
+  PropertyGraph g = RandomGraph(&rng);
+  StoreConfig vec_config;
+  vec_config.va_hash_indexes = {"genre"};
+  vec_config.vectorized = true;
+  StoreConfig row_config = vec_config;
+  row_config.vectorized = false;
+  auto vec_store = SqlGraphStore::Build(g, vec_config);
+  ASSERT_TRUE(vec_store.ok()) << vec_store.status().ToString();
+  auto row_store = SqlGraphStore::Build(g, row_config);
+  ASSERT_TRUE(row_store.ok()) << row_store.status().ToString();
+  auto native = baseline::NativeStore::Build(g);
+  ASSERT_TRUE(native.ok());
+  RunExecutorModeTrials(vec_store->get(), row_store->get(), native->get(),
+                        &rng, g.NumVertices(), TrialsPerSeed(),
+                        "executor-mode");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorModeDifferentialTest,
+                         ::testing::Range(0, 6));
 
 // Same harness over the DBpedia-shaped generator the benchmarks use, with
 // varying generator seeds — exercises the skewed label distribution and

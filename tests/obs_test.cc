@@ -318,6 +318,78 @@ TEST(ExplainAnalyzeTest, GremlinRowsMatchActualResults) {
   EXPECT_EQ(explain->pipes.back().rows, 4u);
 }
 
+TEST(ExplainAnalyzeTest, BatchedExecutorKeepsSpanRowsAndPipeMapping) {
+  // Regression for the vectorized executor: EXPLAIN ANALYZE must attribute
+  // the same operators with the same per-operator row counts as the
+  // row-at-a-time executor — seq-scan spans count scanned (not surviving)
+  // rows, join spans count emitted rows — and the Gremlin pipe mapping must
+  // survive batching untouched.
+  StoreConfig vec_config;
+  vec_config.va_hash_indexes = {"kind"};
+  vec_config.vectorized = true;
+  StoreConfig row_config = vec_config;
+  row_config.vectorized = false;
+  auto vec_store = SqlGraphStore::Build(HubGraph(8), vec_config);
+  ASSERT_TRUE(vec_store.ok());
+  auto row_store = SqlGraphStore::Build(HubGraph(8), row_config);
+  ASSERT_TRUE(row_store.ok());
+
+  const char* sql_queries[] = {
+      // Seq scan + residual filter: the scan span reports all rows scanned.
+      "explain analyze SELECT * FROM EA WHERE LBL = 'rel'",
+      // Hash join + aggregate (no index on the derived CTE).
+      "explain analyze WITH deg AS (SELECT INV AS V FROM EA) "
+      "SELECT e.INV, COUNT(*) FROM EA e, VA v WHERE v.VID = e.INV "
+      "GROUP BY e.INV",
+  };
+  for (const char* q : sql_queries) {
+    auto vec = (*vec_store)->ExecuteSql(q);
+    ASSERT_TRUE(vec.ok()) << q << ": " << vec.status().ToString();
+    auto row = (*row_store)->ExecuteSql(q);
+    ASSERT_TRUE(row.ok()) << q << ": " << row.status().ToString();
+    ASSERT_EQ(vec->rows.size(), row->rows.size()) << q;
+    for (size_t i = 0; i < vec->rows.size(); ++i) {
+      // (stage, operator, rows) identical; time_ms may differ.
+      EXPECT_EQ(vec->rows[i][0], row->rows[i][0]) << q << " span " << i;
+      EXPECT_EQ(vec->rows[i][1], row->rows[i][1]) << q << " span " << i;
+      EXPECT_EQ(vec->rows[i][2], row->rows[i][2])
+          << q << " span " << i << " (" << vec->rows[i][1].AsString() << ")";
+    }
+  }
+
+  // Gremlin pipe attribution: same pipes, same span ops/rows/contexts in
+  // both modes on a multi-pipe Table-8 pipeline.
+  gremlin::GremlinRuntime vec_runtime(vec_store->get());
+  gremlin::GremlinRuntime row_runtime(row_store->get());
+  const char* pipelines[] = {
+      "g.V.has('kind','hub').out().dedup().count()",
+      "g.V(0).outE('rel').inV().dedup().count()",
+  };
+  for (const char* q : pipelines) {
+    auto vec = vec_runtime.ExplainAnalyze(q);
+    ASSERT_TRUE(vec.ok()) << q << ": " << vec.status().ToString();
+    auto row = row_runtime.ExplainAnalyze(q);
+    ASSERT_TRUE(row.ok()) << q << ": " << row.status().ToString();
+    ASSERT_EQ(vec->pipes.size(), row->pipes.size()) << q;
+    for (size_t p = 0; p < vec->pipes.size(); ++p) {
+      EXPECT_EQ(vec->pipes[p].rows, row->pipes[p].rows) << q << " pipe " << p;
+      ASSERT_EQ(vec->pipes[p].spans.size(), row->pipes[p].spans.size())
+          << q << " pipe " << p;
+      for (size_t s = 0; s < vec->pipes[p].spans.size(); ++s) {
+        EXPECT_EQ(vec->pipes[p].spans[s].op, row->pipes[p].spans[s].op)
+            << q << " pipe " << p << " span " << s;
+        EXPECT_EQ(vec->pipes[p].spans[s].rows, row->pipes[p].spans[s].rows)
+            << q << " pipe " << p << " span "
+            << vec->pipes[p].spans[s].op;
+        EXPECT_EQ(vec->pipes[p].spans[s].context,
+                  row->pipes[p].spans[s].context)
+            << q << " pipe " << p << " span " << s;
+      }
+    }
+    EXPECT_EQ(vec->result.rows, row->result.rows) << q;
+  }
+}
+
 TEST(ExplainAnalyzeTest, SoftDeletedVerticesVanishFromRowCounts) {
   // Regression for the §4.5.2 soft-delete filter: after RemoveVertex, both
   // the Gremlin result and the attributed operator row counts must exclude
