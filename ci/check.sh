@@ -7,9 +7,12 @@
 # row-at-a-time executor's results and not be slower), a static-analysis lint
 # stage (clang -Wthread-safety -Werror build + clang-tidy over
 # compile_commands.json; skipped with a notice when the clang toolchain is
-# absent), ASan/UBSan and TSan builds + tests (the TSan pass re-runs
-# the metrics/differential/WAL suites with concurrency; Debug sanitizer
-# builds run with the lock-rank validator on by default), a strict UBSan
+# absent), a transaction gate (the MVCC suite plus the transactional
+# crash-point oracle at an elevated trial count), ASan/UBSan and TSan
+# builds + tests (the TSan pass re-runs the metrics/differential/WAL
+# suites with concurrency and isolates the transaction-torture tests;
+# Debug sanitizer builds run with the lock-rank validator on by default),
+# a strict UBSan
 # (-fno-sanitize-recover) full-suite pass, and a fuzz smoke stage that
 # builds the six src/fuzz targets and replays their seed corpora plus a
 # bounded mutation budget (libFuzzer under clang, the standalone driver
@@ -40,6 +43,16 @@ SQLGRAPH_DIFF_TRIALS=100 \
   ./build/tests/sqlgraph_tests --gtest_filter='*Differential*'
 
 if [[ "${1:-}" != "--fast" ]]; then
+  echo "== transaction gate (atomic-commit crash oracle, elevated trials) =="
+  # The MVCC suite (tests/txn_test.cc) plus the transactional crash-point
+  # property: with SQLGRAPH_TXN_TRIALS=200+ random crash points, recovery
+  # must never surface a partially applied transaction (the unit-prefix
+  # oracle in wal_test.cc diverges on any torn commit unit). The same
+  # filters run again under TSan below — this pass catches logic failures
+  # fast, that one catches races.
+  SQLGRAPH_TXN_TRIALS=240 ./build/tests/sqlgraph_tests \
+    --gtest_filter='Txn*:TxnCrashRecoveryTest.*'
+
   echo "== metrics overhead guard (budget: 5% on micro-op read paths) =="
   # Same read-path benchmarks with the registry enabled vs disabled; the
   # sharded relaxed-atomic hot path must stay within budget. Medians over
@@ -112,6 +125,13 @@ if [[ "${1:-}" != "--fast" ]]; then
 
   echo "== TSan build (metrics hot path + differential + WAL concurrency) =="
   run_pass build-tsan -DSQLGRAPH_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug
+
+  echo "== TSan transaction torture (invariant transfer under contention) =="
+  # The multi-threaded MVCC tests already ran once in the full TSan ctest
+  # pass above; this re-run isolates them so a data race in the snapshot /
+  # commit machinery fails with a readable report instead of drowning in
+  # the suite output.
+  ./build-tsan/tests/sqlgraph_tests --gtest_filter='TxnTortureTest.*'
 
   echo "== strict UBSan build (-fno-sanitize-recover, full suite) =="
   # The ASan pass above runs UBSan in recovering mode; this pass turns any

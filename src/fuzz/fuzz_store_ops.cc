@@ -2,12 +2,15 @@
 // cross-table auditor as the oracle.
 //
 // The input decodes as: one config byte, then byte-coded operations (add /
-// remove / mutate vertices and edges, Compact, Checkpoint, reads). After
-// applying the whole sequence — every individual Status outcome is legal —
-// the store MUST pass CheckConsistency(). In durable mode the store is then
-// closed and recovered from its WAL directory, and the recovered store must
-// pass the audit too (OpenDurableStore already runs it when
-// verify_on_recovery is set, which we force on).
+// remove / mutate vertices and edges, Compact, Checkpoint, reads, and
+// BEGIN/COMMIT/ROLLBACK over a small pool of open snapshot transactions —
+// mutations route either autocommit or through a random open handle). After
+// applying the whole sequence — every individual Status outcome is legal,
+// including commit-time Conflict — the store MUST pass CheckConsistency().
+// In durable mode the store is then closed and recovered from its WAL
+// directory, and the recovered store must pass the audit too
+// (OpenDurableStore already runs it when verify_on_recovery is set, which
+// we force on).
 
 #include <cstdint>
 #include <memory>
@@ -18,12 +21,14 @@
 #include "graph/property_graph.h"
 #include "json/json_parser.h"
 #include "sqlgraph/store.h"
+#include "sqlgraph/txn.h"
 #include "wal/durability.h"
 
 using sqlgraph::fuzz::FuzzInput;
 using sqlgraph::fuzz::TempDir;
 using sqlgraph::core::SqlGraphStore;
 using sqlgraph::core::StoreConfig;
+using sqlgraph::core::Txn;
 using sqlgraph::graph::EdgeId;
 using sqlgraph::graph::VertexId;
 using sqlgraph::json::JsonValue;
@@ -51,52 +56,112 @@ JsonValue SmallAttrs(FuzzInput* in) {
   return obj;
 }
 
+/// nullptr = autocommit; otherwise a random open transaction handle. Even
+/// with handles open, a quarter of mutations stay autocommit so conflict
+/// detection against the autocommit path gets exercised too.
+Txn* PickTxn(FuzzInput* in, std::vector<std::unique_ptr<Txn>>* txns) {
+  if (txns->empty()) return nullptr;
+  const uint8_t b = in->TakeByte();
+  if ((b & 0x03) == 0) return nullptr;
+  return (*txns)[b % txns->size()].get();
+}
+
 void ApplyOps(SqlGraphStore* store, FuzzInput* in) {
   std::vector<int64_t> vids;
   std::vector<int64_t> eids;
+  // Open snapshot transactions. Handles buffer until COMMIT; ids they
+  // allocate are eagerly burned, so pooling them as raw ids stays legal
+  // even when the transaction later rolls back or conflicts.
+  std::vector<std::unique_ptr<Txn>> txns;
   for (int op_count = 0; !in->empty() && op_count < 256; ++op_count) {
-    switch (in->TakeByte() % 16) {
+    switch (in->TakeByte() % 20) {
       case 0:
       case 1:
       case 2: {
-        auto vid = store->AddVertex(SmallAttrs(in));
+        Txn* t = PickTxn(in, &txns);
+        auto vid = t ? t->AddVertex(SmallAttrs(in))
+                     : store->AddVertex(SmallAttrs(in));
         if (vid.ok()) vids.push_back(vid.value());
         break;
       }
-      case 3:
-        (void)store->RemoveVertex(PickId(in, vids));
+      case 3: {
+        Txn* t = PickTxn(in, &txns);
+        const int64_t id = PickId(in, vids);
+        if (t) {
+          (void)t->RemoveVertex(id);
+        } else {
+          (void)store->RemoveVertex(id);
+        }
         break;
-      case 4:
-        (void)store->SetVertexAttr(PickId(in, vids),
-                                   kKeys[in->TakeByte() % 3],
-                                   JsonValue(static_cast<int64_t>(
-                                       in->TakeByte())));
+      }
+      case 4: {
+        Txn* t = PickTxn(in, &txns);
+        const int64_t id = PickId(in, vids);
+        const char* key = kKeys[in->TakeByte() % 3];
+        const JsonValue val(static_cast<int64_t>(in->TakeByte()));
+        if (t) {
+          (void)t->SetVertexAttr(id, key, val);
+        } else {
+          (void)store->SetVertexAttr(id, key, val);
+        }
         break;
-      case 5:
-        (void)store->RemoveVertexAttr(PickId(in, vids),
-                                      kKeys[in->TakeByte() % 3]);
+      }
+      case 5: {
+        Txn* t = PickTxn(in, &txns);
+        const int64_t id = PickId(in, vids);
+        const char* key = kKeys[in->TakeByte() % 3];
+        if (t) {
+          (void)t->RemoveVertexAttr(id, key);
+        } else {
+          (void)store->RemoveVertexAttr(id, key);
+        }
         break;
+      }
       case 6:
       case 7:
       case 8: {
-        auto eid = store->AddEdge(PickId(in, vids), PickId(in, vids),
-                                  kLabels[in->TakeByte() % 6],
-                                  SmallAttrs(in));
+        Txn* t = PickTxn(in, &txns);
+        const int64_t src = PickId(in, vids);
+        const int64_t dst = PickId(in, vids);
+        const char* label = kLabels[in->TakeByte() % 6];
+        auto eid = t ? t->AddEdge(src, dst, label, SmallAttrs(in))
+                     : store->AddEdge(src, dst, label, SmallAttrs(in));
         if (eid.ok()) eids.push_back(eid.value());
         break;
       }
-      case 9:
-        (void)store->RemoveEdge(PickId(in, eids));
+      case 9: {
+        Txn* t = PickTxn(in, &txns);
+        const int64_t id = PickId(in, eids);
+        if (t) {
+          (void)t->RemoveEdge(id);
+        } else {
+          (void)store->RemoveEdge(id);
+        }
         break;
-      case 10:
-        (void)store->SetEdgeAttr(PickId(in, eids), kKeys[in->TakeByte() % 3],
-                                 JsonValue(static_cast<int64_t>(
-                                     in->TakeByte())));
+      }
+      case 10: {
+        Txn* t = PickTxn(in, &txns);
+        const int64_t id = PickId(in, eids);
+        const char* key = kKeys[in->TakeByte() % 3];
+        const JsonValue val(static_cast<int64_t>(in->TakeByte()));
+        if (t) {
+          (void)t->SetEdgeAttr(id, key, val);
+        } else {
+          (void)store->SetEdgeAttr(id, key, val);
+        }
         break;
-      case 11:
-        (void)store->RemoveEdgeAttr(PickId(in, eids),
-                                    kKeys[in->TakeByte() % 3]);
+      }
+      case 11: {
+        Txn* t = PickTxn(in, &txns);
+        const int64_t id = PickId(in, eids);
+        const char* key = kKeys[in->TakeByte() % 3];
+        if (t) {
+          (void)t->RemoveEdgeAttr(id, key);
+        } else {
+          (void)store->RemoveEdgeAttr(id, key);
+        }
         break;
+      }
       case 12:
         (void)store->Compact();
         break;
@@ -107,15 +172,59 @@ void ApplyOps(SqlGraphStore* store, FuzzInput* in) {
           (void)store->GetVertex(PickId(in, vids));
         }
         break;
-      case 14:
-        (void)store->GetOutEdges(PickId(in, vids),
-                                 kLabels[in->TakeByte() % 6]);
-        (void)store->In(PickId(in, vids));
+      case 14: {
+        Txn* t = PickTxn(in, &txns);
+        if (t) {
+          (void)t->GetOutEdges(PickId(in, vids), kLabels[in->TakeByte() % 6]);
+          (void)t->In(PickId(in, vids));
+        } else {
+          (void)store->GetOutEdges(PickId(in, vids),
+                                   kLabels[in->TakeByte() % 6]);
+          (void)store->In(PickId(in, vids));
+        }
         break;
-      default:
+      }
+      case 15:
         (void)store->FindEdge(PickId(in, vids), kLabels[in->TakeByte() % 6],
                               PickId(in, vids));
         break;
+      case 16:  // BEGIN (pool capped so snapshots cannot pile up unbounded)
+        if (txns.size() < 3) txns.push_back(store->BeginTxn());
+        break;
+      case 17:  // COMMIT a random open handle; Conflict is a legal outcome
+        if (!txns.empty()) {
+          const size_t pick = in->TakeByte() % txns.size();
+          (void)txns[pick]->Commit();
+          txns.erase(txns.begin() + static_cast<ptrdiff_t>(pick));
+        }
+        break;
+      case 18:  // ROLLBACK a random open handle
+        if (!txns.empty()) {
+          const size_t pick = in->TakeByte() % txns.size();
+          (void)txns[pick]->Rollback();
+          txns.erase(txns.begin() + static_cast<ptrdiff_t>(pick));
+        }
+        break;
+      default: {  // snapshot reads through a random handle
+        Txn* t = PickTxn(in, &txns);
+        if (t) {
+          (void)t->GetVertex(PickId(in, vids));
+          (void)t->GetEdge(PickId(in, eids));
+        } else {
+          (void)store->GetEdge(PickId(in, eids));
+        }
+        break;
+      }
+    }
+  }
+  // Drain the pool: alternate commit/rollback so both close paths run.
+  // (Commit may legally return Conflict; handles left open would roll back
+  // in their destructors anyway.)
+  for (size_t i = 0; i < txns.size(); ++i) {
+    if (i % 2 == 0) {
+      (void)txns[i]->Commit();
+    } else {
+      (void)txns[i]->Rollback();
     }
   }
 }

@@ -41,6 +41,20 @@ util::Status VectorRowStore::Delete(RowId rid) {
   return util::Status::OK();
 }
 
+util::Status VectorRowStore::Restore(RowId rid, Row row) {
+  if (rid >= rows_.size()) {
+    return util::Status::NotFound("row " + std::to_string(rid));
+  }
+  if (live_[rid]) {
+    return util::Status::InvalidArgument("row " + std::to_string(rid) +
+                                         " is live; Restore needs a tombstone");
+  }
+  rows_[rid] = std::move(row);
+  live_[rid] = true;
+  ++live_count_;
+  return util::Status::OK();
+}
+
 bool VectorRowStore::IsLive(RowId rid) const {
   return rid < rows_.size() && live_[rid];
 }
@@ -171,6 +185,32 @@ util::Status PagedRowStore::Delete(RowId rid) {
   }
   live_[rid] = false;
   --live_count_;
+  return util::Status::OK();
+}
+
+util::Status PagedRowStore::Restore(RowId rid, Row row) {
+  if (rid >= num_rows_) {
+    return util::Status::NotFound("row " + std::to_string(rid));
+  }
+  if (live_[rid]) {
+    return util::Status::InvalidArgument("row " + std::to_string(rid) +
+                                         " is live; Restore needs a tombstone");
+  }
+  live_[rid] = true;
+  ++live_count_;
+  // Deletion only flips the live bit, but the slot may since have been
+  // overwritten by an unrelated Update-path re-encode; write the content
+  // back unconditionally.
+  const size_t page_index = rid / rows_per_page_;
+  const size_t slot = rid % rows_per_page_;
+  if (page_index >= page_blobs_.size()) {
+    tail_[rid - page_blobs_.size() * rows_per_page_] = std::move(row);
+    return util::Status::OK();
+  }
+  auto page = FetchPage(static_cast<uint32_t>(page_index));
+  DecodedPage updated = *page;
+  updated.rows[slot] = std::move(row);
+  StorePage(static_cast<uint32_t>(page_index), std::move(updated));
   return util::Status::OK();
 }
 

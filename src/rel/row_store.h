@@ -44,6 +44,10 @@ class RowStore {
   /// Tombstones the row at `rid`.
   virtual util::Status Delete(RowId rid) = 0;
 
+  /// Resurrects a tombstoned slot with `row` (MVCC commit unwind; the
+  /// inverse of Delete). Fails if `rid` is out of range or still live.
+  virtual util::Status Restore(RowId rid, Row row) = 0;
+
   virtual bool IsLive(RowId rid) const = 0;
 
   /// Visits every live row in RowId order. The reference is only valid for
@@ -66,6 +70,7 @@ class VectorRowStore : public RowStore {
   util::Status Get(RowId rid, Row* out) const override;
   util::Status Update(RowId rid, Row row) override;
   util::Status Delete(RowId rid) override;
+  util::Status Restore(RowId rid, Row row) override;
   bool IsLive(RowId rid) const override;
   void Scan(
       const std::function<void(RowId, const Row&)>& visit) const override;
@@ -93,6 +98,7 @@ class PagedRowStore : public RowStore {
   util::Status Get(RowId rid, Row* out) const override;
   util::Status Update(RowId rid, Row row) override;
   util::Status Delete(RowId rid) override;
+  util::Status Restore(RowId rid, Row row) override;
   bool IsLive(RowId rid) const override;
   void Scan(
       const std::function<void(RowId, const Row&)>& visit) const override;

@@ -1,11 +1,13 @@
 #include "rel/table.h"
 
 #include <algorithm>
+#include <optional>
+#include <unordered_map>
 
 namespace sqlgraph {
 namespace rel {
 
-util::Result<RowId> Table::Insert(Row row) {
+util::Result<RowId> Table::Insert(Row row, uint64_t version_ts) {
   RETURN_NOT_OK(schema_.ValidateRow(row));
   // Check unique constraints before touching anything.
   for (const auto& index : indexes_) {
@@ -27,10 +29,13 @@ util::Result<RowId> Table::Insert(Row row) {
     if (!st.ok()) return st;  // cannot happen: uniqueness pre-checked
   }
   mutations_.fetch_add(1, std::memory_order_relaxed);
+  if (version_ts != 0) {
+    versions_.push_back({version_ts, rid, VersionKind::kInsert, Row()});
+  }
   return rid;
 }
 
-util::Status Table::Update(RowId rid, Row row) {
+util::Status Table::Update(RowId rid, Row row, uint64_t version_ts) {
   RETURN_NOT_OK(schema_.ValidateRow(row));
   Row old_row;
   RETURN_NOT_OK(store_->Get(rid, &old_row));
@@ -56,10 +61,14 @@ util::Status Table::Update(RowId rid, Row row) {
     RETURN_NOT_OK(index->Insert(index->KeyFromRow(stored), rid));
   }
   mutations_.fetch_add(1, std::memory_order_relaxed);
+  if (version_ts != 0) {
+    versions_.push_back(
+        {version_ts, rid, VersionKind::kUpdate, std::move(old_row)});
+  }
   return util::Status::OK();
 }
 
-util::Status Table::Delete(RowId rid) {
+util::Status Table::Delete(RowId rid, uint64_t version_ts) {
   Row old_row;
   RETURN_NOT_OK(store_->Get(rid, &old_row));
   for (const auto& index : indexes_) {
@@ -67,6 +76,76 @@ util::Status Table::Delete(RowId rid) {
   }
   RETURN_NOT_OK(store_->Delete(rid));
   mutations_.fetch_add(1, std::memory_order_relaxed);
+  if (version_ts != 0) {
+    versions_.push_back(
+        {version_ts, rid, VersionKind::kDelete, std::move(old_row)});
+  }
+  return util::Status::OK();
+}
+
+util::Status Table::RestoreRow(RowId rid, Row row) {
+  RETURN_NOT_OK(schema_.ValidateRow(row));
+  RETURN_NOT_OK(store_->Restore(rid, std::move(row)));
+  Row stored;
+  RETURN_NOT_OK(store_->Get(rid, &stored));
+  for (const auto& index : indexes_) {
+    RETURN_NOT_OK(index->Insert(index->KeyFromRow(stored), rid));
+  }
+  mutations_.fetch_add(1, std::memory_order_relaxed);
+  return util::Status::OK();
+}
+
+void Table::ScanAt(uint64_t ts,
+                   const std::function<void(const Row&)>& visit) const {
+  // Walk versions newer than `ts` from newest to oldest; the oldest such
+  // entry for a rid holds that rid's state at `ts` (overwriting on the
+  // newest→oldest walk leaves exactly that). nullopt = not yet inserted.
+  std::unordered_map<RowId, std::optional<Row>> patch;
+  for (auto it = versions_.rbegin();
+       it != versions_.rend() && it->ts > ts; ++it) {
+    if (it->kind == VersionKind::kInsert) {
+      patch[it->rid] = std::nullopt;
+    } else {
+      patch[it->rid] = it->before;
+    }
+  }
+  store_->Scan([&](RowId rid, const Row& row) {
+    auto it = patch.find(rid);
+    if (it == patch.end()) {
+      visit(row);
+      return;
+    }
+    if (it->second.has_value()) visit(*it->second);
+    it->second.reset();  // emitted (or invisible); skip in the pass below
+  });
+  // Rows deleted after `ts` are tombstoned now but existed at `ts`.
+  for (auto& [rid, row] : patch) {
+    if (row.has_value() && !store_->IsLive(rid)) visit(*row);
+  }
+}
+
+void Table::TrimVersions(uint64_t watermark) {
+  while (!versions_.empty() && versions_.front().ts <= watermark) {
+    versions_.pop_front();
+  }
+}
+
+util::Status Table::RevertVersionsAt(uint64_t ts) {
+  while (!versions_.empty() && versions_.back().ts == ts) {
+    RowVersion v = std::move(versions_.back());
+    versions_.pop_back();
+    switch (v.kind) {
+      case VersionKind::kInsert:
+        RETURN_NOT_OK(Delete(v.rid));
+        break;
+      case VersionKind::kUpdate:
+        RETURN_NOT_OK(Update(v.rid, std::move(v.before)));
+        break;
+      case VersionKind::kDelete:
+        RETURN_NOT_OK(RestoreRow(v.rid, std::move(v.before)));
+        break;
+    }
+  }
   return util::Status::OK();
 }
 

@@ -1,9 +1,12 @@
-// A relational table: schema + row storage + maintained secondary indexes.
+// A relational table: schema + row storage + maintained secondary indexes,
+// plus an MVCC before-image version log so snapshot readers pinned to an
+// older commit timestamp can reconstruct the table as of that timestamp.
 
 #ifndef SQLGRAPH_REL_TABLE_H_
 #define SQLGRAPH_REL_TABLE_H_
 
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -44,13 +47,47 @@ class Table {
 
   /// Validates and appends a row, updating all indexes. On a unique-index
   /// violation the row is rolled back and Conflict is returned.
-  util::Result<RowId> Insert(Row row);
+  /// `version_ts != 0` records a before-image in the version log under that
+  /// commit timestamp (timestamps must arrive non-decreasing; the store's
+  /// critical sections guarantee it).
+  util::Result<RowId> Insert(Row row, uint64_t version_ts = 0);
 
   /// Replaces a row in place, keeping indexes consistent.
-  util::Status Update(RowId rid, Row row);
+  util::Status Update(RowId rid, Row row, uint64_t version_ts = 0);
 
   /// Tombstones a row and removes its index entries.
-  util::Status Delete(RowId rid);
+  util::Status Delete(RowId rid, uint64_t version_ts = 0);
+
+  /// Resurrects a tombstoned row (commit-unwind path), restoring indexes.
+  util::Status RestoreRow(RowId rid, Row row);
+
+  // --- MVCC version log -----------------------------------------------
+  //
+  // Each logged mutation stores the row state *before* the mutation plus
+  // the commit timestamp it became visible at. Readers pinned to read_ts
+  // reconstruct the table at read_ts by patching out every version with
+  // ts > read_ts. All version-log calls run under the same external table
+  // lock as the mutations themselves.
+
+  /// True when the log holds any mutation newer than `ts` — i.e. a reader
+  /// at `ts` cannot use the live rows/indexes directly.
+  bool HasVersionsAfter(uint64_t ts) const {
+    return !versions_.empty() && versions_.back().ts > ts;
+  }
+
+  /// Visits every row as of timestamp `ts`, in unspecified order.
+  void ScanAt(uint64_t ts,
+              const std::function<void(const Row&)>& visit) const;
+
+  /// Drops version entries no active reader can need (all with
+  /// ts <= watermark, where watermark = min active read_ts).
+  void TrimVersions(uint64_t watermark);
+
+  /// Undoes, newest-first, every mutation logged at exactly `ts` (the
+  /// failed-commit unwind). Entries are removed from the log.
+  util::Status RevertVersionsAt(uint64_t ts);
+
+  size_t NumVersions() const { return versions_.size(); }
 
   util::Status Get(RowId rid, Row* out) const { return store_->Get(rid, out); }
   bool IsLive(RowId rid) const { return store_->IsLive(rid); }
@@ -93,11 +130,20 @@ class Table {
       const std::vector<int>& column_ids, const IndexKey& key) const;
 
  private:
+  enum class VersionKind : uint8_t { kInsert, kUpdate, kDelete };
+  struct RowVersion {
+    uint64_t ts = 0;      // commit timestamp the mutation became visible at
+    RowId rid = 0;
+    VersionKind kind = VersionKind::kInsert;
+    Row before;           // pre-image (empty for kInsert)
+  };
+
   std::string name_;
   Schema schema_;
   std::unique_ptr<RowStore> store_;
   std::vector<std::unique_ptr<Index>> indexes_;
   std::atomic<uint64_t> mutations_{0};
+  std::deque<RowVersion> versions_;  // ts-ascending
 };
 
 }  // namespace rel

@@ -208,14 +208,22 @@ struct Cte {
   bool recursive = false;  // this CTE references itself (base UNION ALL step)
 };
 
+/// Transaction-control statements (BEGIN/COMMIT/ROLLBACK). These parse into
+/// a SqlQuery with no final_select; the store's session layer routes them to
+/// the transaction manager instead of the executor.
+enum class TxnControl { kNone, kBegin, kCommit, kRollback };
+
 /// A full query: WITH chain plus final SELECT, exactly the shape the
-/// Gremlin translator produces (paper Fig. 7).
+/// Gremlin translator produces (paper Fig. 7) — or a transaction-control
+/// statement, in which case `final_select` is null.
 struct SqlQuery {
   std::vector<Cte> ctes;
   SelectPtr final_select;
   /// Number of distinct bind parameters (0 for a fully literal query). Set
   /// by the parser and by the Gremlin translation cache.
   int num_params = 0;
+  /// kNone for ordinary queries; otherwise `final_select` is null.
+  TxnControl txn_control = TxnControl::kNone;
 };
 
 }  // namespace sql

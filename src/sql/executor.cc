@@ -351,6 +351,12 @@ class Executor::Impl {
         memo_(memo), spans_(options.analyze ? &stats->spans : nullptr) {}
 
   Result<ResultSet> ExecuteQuery(const SqlQuery& q) {
+    if (q.final_select == nullptr) {
+      // Transaction-control statements (BEGIN/COMMIT/ROLLBACK) have no
+      // select; they must be routed through a core::Session, not executed.
+      return Status::InvalidArgument(
+          "transaction-control statement outside a session");
+    }
     for (const Cte& cte : q.ctes) {
       context_ = cte.name;
       if (cte.recursive) {
@@ -772,10 +778,22 @@ class Executor::Impl {
         if (table == nullptr) {
           return Status::NotFound("unknown table " + ref.table_name);
         }
-        relation.base = table;
         for (const auto& c : table->schema().columns()) {
           relation.columns.push_back(c.name);
         }
+        if (options_.read_ts != 0 && table->HasVersionsAfter(options_.read_ts)) {
+          // Snapshot pin with newer committed versions: materialize the
+          // table as of read_ts. Leaving `base` null keeps every live-data
+          // fast path (indexes, batched scans) off this relation.
+          auto snap = std::make_shared<ResultSet>();
+          snap->columns = relation.columns;
+          table->ScanAt(options_.read_ts,
+                        [&](const Row& row) { snap->rows.push_back(row); });
+          stats_->rows_scanned += snap->rows.size();
+          relation.owned = std::move(snap);
+          return relation;
+        }
+        relation.base = table;
         return relation;
       }
       case TableRefKind::kSubquery: {

@@ -154,6 +154,11 @@ class Executor {
     /// EXPLAIN ANALYZE mode: record per-operator rows + wall time into
     /// ExecStats::spans. Off by default — each span costs two clock reads.
     bool analyze = false;
+    /// MVCC snapshot pin: when non-zero, base-table references resolve to
+    /// the table contents as of this commit timestamp (rel::Table::ScanAt).
+    /// Tables with no versions newer than read_ts use the live fast paths
+    /// (indexes, batches) unchanged; 0 always reads live data.
+    uint64_t read_ts = 0;
   };
 
   explicit Executor(rel::Database* db) : db_(db) {}

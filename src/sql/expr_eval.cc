@@ -559,14 +559,43 @@ class BatchEval {
   }
 
  private:
+  /// Row-at-a-time fallback for nodes whose scalar semantics short-circuit
+  /// (AND/OR/COALESCE): evaluates the whole node with the scalar EvalExpr
+  /// over rows materialized from the batch, so operand errors surface (or
+  /// stay skipped) exactly as they would row-at-a-time.
+  Result<const ColumnVector*> RescueRowAtATime(const Expr& e,
+                                               ColumnVector* scratch) {
+    ColumnVector out;
+    out.Reserve(n_);
+    rel::Row row(batch_.cols.size());
+    for (size_t i = 0; i < n_; ++i) {
+      for (size_t c = 0; c < batch_.cols.size(); ++c) {
+        row[c] = batch_.cols[c].GetValue(i);
+      }
+      ASSIGN_OR_RETURN(Value v, EvalExpr(e, env_, row, ctx_));
+      out.Append(v);
+    }
+    *scratch = std::move(out);
+    return scratch;
+  }
+
   Result<const ColumnVector*> EvalBinaryBatch(const Expr& e,
                                               ColumnVector* scratch) {
     // Kleene AND/OR: both operand vectors evaluate eagerly, then combine.
+    // If either operand *errors* under eager evaluation, the scalar path
+    // might have short-circuited past it — rescue by re-running this node
+    // row-at-a-time, which reproduces scalar semantics exactly (including
+    // which row's error surfaces, if any does).
     if (e.bin_op == BinaryOp::kAnd || e.bin_op == BinaryOp::kOr) {
       const bool is_and = e.bin_op == BinaryOp::kAnd;
       ColumnVector ls, rs;
-      ASSIGN_OR_RETURN(const ColumnVector* l, Eval(*e.lhs, &ls));
-      ASSIGN_OR_RETURN(const ColumnVector* r, Eval(*e.rhs, &rs));
+      const ColumnVector* l = nullptr;
+      const ColumnVector* r = nullptr;
+      if (auto lres = Eval(*e.lhs, &ls); lres.ok()) {
+        l = lres.value();
+        if (auto rres = Eval(*e.rhs, &rs); rres.ok()) r = rres.value();
+      }
+      if (l == nullptr || r == nullptr) return RescueRowAtATime(e, scratch);
       ColumnVector out;
       out.Reserve(n_);
       for (size_t i = 0; i < n_; ++i) {
@@ -731,10 +760,14 @@ class BatchEval {
                                             ColumnVector* scratch) {
     const std::string& f = e.func_name;
     if (f == "COALESCE") {
+      // COALESCE short-circuits in the scalar path; an eager operand error
+      // therefore falls back to row-at-a-time (see the AND/OR rescue).
       std::vector<ColumnVector> storage(e.args.size());
       std::vector<const ColumnVector*> args(e.args.size());
       for (size_t a = 0; a < e.args.size(); ++a) {
-        ASSIGN_OR_RETURN(args[a], Eval(*e.args[a], &storage[a]));
+        auto res = Eval(*e.args[a], &storage[a]);
+        if (!res.ok()) return RescueRowAtATime(e, scratch);
+        args[a] = res.value();
       }
       ColumnVector out;
       out.Reserve(n_);

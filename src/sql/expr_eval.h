@@ -84,10 +84,11 @@ util::Result<rel::Value> EvalExpr(const Expr& e, const ColumnEnv& env,
 /// Batched evaluation: one result column over every row of `batch`, the
 /// vectorized counterpart of EvalExpr. Shares the per-value kernels with the
 /// scalar path, so results are element-wise identical — including NULL-mask
-/// propagation, Kleene AND/OR, and JSON_VAL misses. The only divergence:
-/// AND/OR and COALESCE evaluate every operand column eagerly (no per-row
-/// short-circuit), which is observable only through operand *errors* that a
-/// short-circuit would have skipped.
+/// propagation, Kleene AND/OR, and JSON_VAL misses. AND/OR and COALESCE
+/// evaluate operand columns eagerly on the happy path; if an eagerly
+/// evaluated operand errors, the node transparently re-runs row-at-a-time
+/// with the scalar evaluator, so short-circuit error semantics are
+/// observably identical to EvalExpr as well.
 util::Result<rel::ColumnVector> EvalExprBatch(const Expr& e,
                                               const ColumnEnv& env,
                                               const rel::ColumnBatch& batch,

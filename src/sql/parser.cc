@@ -20,6 +20,27 @@ class Parser {
 
   Result<SqlQuery> ParseQuery() {
     SqlQuery q;
+    // Transaction control. BEGIN/COMMIT/ROLLBACK/START/TRANSACTION/WORK are
+    // deliberately NOT lexer keywords (they stay usable as identifiers), so
+    // these statements parse as case-insensitive identifier sequences.
+    if (AcceptIdentCI("BEGIN")) {
+      q.txn_control = TxnControl::kBegin;
+    } else if (AcceptIdentCI("START")) {
+      if (!AcceptIdentCI("TRANSACTION")) return Err("expected TRANSACTION");
+      q.txn_control = TxnControl::kBegin;
+    } else if (AcceptIdentCI("COMMIT")) {
+      q.txn_control = TxnControl::kCommit;
+    } else if (AcceptIdentCI("ROLLBACK")) {
+      q.txn_control = TxnControl::kRollback;
+    }
+    if (q.txn_control != TxnControl::kNone) {
+      if (!AcceptIdentCI("TRANSACTION")) AcceptIdentCI("WORK");
+      AcceptSymbol(";");
+      if (Peek().type != TokenType::kEnd) {
+        return Err("trailing tokens after transaction-control statement");
+      }
+      return q;
+    }
     if (AcceptKeyword("WITH")) {
       const bool recursive = AcceptKeyword("RECURSIVE");
       while (true) {
@@ -558,6 +579,15 @@ class Parser {
            tokens_[pos_ + 1].text == "." &&
            tokens_[pos_ + 2].type == TokenType::kSymbol &&
            tokens_[pos_ + 2].text == "*";
+  }
+
+  /// Case-insensitive identifier match (txn-control words are not lexer
+  /// keywords, so they arrive as identifiers with original casing).
+  bool AcceptIdentCI(std::string_view word) {
+    if (Peek().type != TokenType::kIdentifier) return false;
+    if (util::ToLower(Peek().text) != util::ToLower(word)) return false;
+    ++pos_;
+    return true;
   }
 
   bool AcceptKeyword(std::string_view kw) {

@@ -302,6 +302,12 @@ std::string RenderSelect(const SelectStmt& select) {
 
 std::string Render(const SqlQuery& query) {
   std::string out;
+  switch (query.txn_control) {
+    case TxnControl::kBegin: return "BEGIN";
+    case TxnControl::kCommit: return "COMMIT";
+    case TxnControl::kRollback: return "ROLLBACK";
+    case TxnControl::kNone: break;
+  }
   if (!query.ctes.empty()) {
     bool any_recursive = false;
     for (const auto& cte : query.ctes) any_recursive |= cte.recursive;

@@ -62,67 +62,33 @@ void AcquireTimed(Lock* lock) {
 }
 }  // namespace
 
-/// Shared lock over every table, for whole-query execution.
-class SqlGraphStore::ReadLockAll {
- public:
-  explicit ReadLockAll(const SqlGraphStore* store) {
-    for (int i = 0; i < kNumTables; ++i) {
-      locks_[i] = std::shared_lock<util::SharedMutex>(store->table_locks_[i],
-                                                      std::defer_lock);
-      AcquireTimed(&locks_[i]);
+SqlGraphStore::ReadLockAll::ReadLockAll(const SqlGraphStore* store) {
+  for (int i = 0; i < kNumTables; ++i) {
+    locks_[i] = std::shared_lock<util::SharedMutex>(store->table_locks_[i],
+                                                    std::defer_lock);
+    AcquireTimed(&locks_[i]);
+  }
+}
+
+SqlGraphStore::WriteLock::WriteLock(const SqlGraphStore* store,
+                                    std::vector<Req> reqs) {
+  std::sort(reqs.begin(), reqs.end(),
+            [](const Req& a, const Req& b) { return a.table < b.table; });
+  for (const Req& r : reqs) {
+    if (r.exclusive) {
+      exclusive_.emplace_back(store->table_locks_[r.table], std::defer_lock);
+      AcquireTimed(&exclusive_.back());
+    } else {
+      shared_.emplace_back(store->table_locks_[r.table], std::defer_lock);
+      AcquireTimed(&shared_.back());
     }
   }
+}
 
- private:
-  std::shared_lock<util::SharedMutex> locks_[kNumTables];
-};
-
-/// Mixed-mode lock over a subset of tables, acquired in fixed table order
-/// (deadlock freedom).
-class SqlGraphStore::WriteLock {
- public:
-  struct Req {
-    TableIdx table;
-    bool exclusive;
-  };
-  WriteLock(const SqlGraphStore* store, std::vector<Req> reqs) {
-    std::sort(reqs.begin(), reqs.end(),
-              [](const Req& a, const Req& b) { return a.table < b.table; });
-    for (const Req& r : reqs) {
-      if (r.exclusive) {
-        exclusive_.emplace_back(store->table_locks_[r.table], std::defer_lock);
-        AcquireTimed(&exclusive_.back());
-      } else {
-        shared_.emplace_back(store->table_locks_[r.table], std::defer_lock);
-        AcquireTimed(&shared_.back());
-      }
-    }
-  }
-
- private:
-  // Note: vectors keep acquisition order; both kinds interleave correctly
-  // because reqs were sorted before acquisition.
-  std::vector<std::unique_lock<util::SharedMutex>> exclusive_;
-  std::vector<std::shared_lock<util::SharedMutex>> shared_;
-};
-
-/// Held (shared) across a whole CRUD mutation — table work plus WAL
-/// append — so Checkpoint (exclusive) can never observe a commit whose
-/// rows are in the snapshot but whose record lands in the post-snapshot
-/// log segment. Acquired before any table lock; Checkpoint follows the
-/// same order, so the lock hierarchy stays acyclic.
-class SCOPED_CAPABILITY SqlGraphStore::CommitGuard {
- public:
-  explicit CommitGuard(const SqlGraphStore* store)
-      ACQUIRE_SHARED(store->wal_rotate_mu_)
-      : lock_(store->wal_rotate_mu_, std::defer_lock) {
-    AcquireTimed(&lock_);
-  }
-  ~CommitGuard() RELEASE() {}
-
- private:
-  std::shared_lock<util::SharedMutex> lock_;
-};
+SqlGraphStore::CommitGuard::CommitGuard(const SqlGraphStore* store)
+    : lock_(store->wal_rotate_mu_, std::defer_lock) {
+  AcquireTimed(&lock_);
+}
 
 util::Status SqlGraphStore::LogWalEnqueue(const wal::Record& rec,
                                           uint64_t* ticket) {
@@ -135,6 +101,105 @@ util::Status SqlGraphStore::LogWalEnqueue(const wal::Record& rec,
 util::Status SqlGraphStore::LogWalWait(uint64_t ticket) {
   if (ticket == 0 || wal_writer_ == nullptr) return Status::OK();
   return wal_writer_->WaitDurable(ticket);
+}
+
+// ------------------------------------------------------------------- mvcc --
+
+rel::Table* SqlGraphStore::TableAt(TableIdx t) {
+  switch (t) {
+    case kOpa: return db_.GetTable(kOpaTable);
+    case kIpa: return db_.GetTable(kIpaTable);
+    case kOsa: return db_.GetTable(kOsaTable);
+    case kIsa: return db_.GetTable(kIsaTable);
+    case kVa: return db_.GetTable(kVaTable);
+    case kEa: return db_.GetTable(kEaTable);
+    default: return nullptr;
+  }
+}
+
+uint64_t SqlGraphStore::AllocVersionTs() {
+  // seq_cst pairing with RegisterTxnRead: if this load sees 0, every
+  // concurrent Begin's increment is ordered after it, so that Begin reads a
+  // read_ts >= any timestamp this mutation could have taken — the mutation
+  // is (or will be, before the snapshot's first lock acquisition succeeds)
+  // fully visible to the snapshot, and no before-image is needed.
+  if (active_txns_.load(std::memory_order_seq_cst) == 0) return 0;
+  return commit_ts_.fetch_add(1, std::memory_order_seq_cst) + 1;
+}
+
+void SqlGraphStore::PublishAndTrimLocked(
+    const std::vector<uint64_t>& entities, uint64_t version_ts,
+    const std::vector<TableIdx>& tables) {
+  uint64_t watermark = ~uint64_t{0};
+  if (version_ts != 0) {
+    util::MutexLock guard(&txn_mu_);
+    for (uint64_t e : entities) entity_commit_ts_[e] = version_ts;
+    if (!active_read_ts_.empty()) watermark = *active_read_ts_.begin();
+  }
+  // With no registered snapshot the before-images are unreachable (any
+  // later Begin pins a read_ts at or past every recorded timestamp), so the
+  // max watermark drops them all.
+  for (TableIdx t : tables) TableAt(t)->TrimVersions(watermark);
+}
+
+util::Status SqlGraphStore::UnwindLocked(
+    util::Status st, uint64_t version_ts,
+    const std::vector<TableIdx>& tables) {
+  if (version_ts != 0) {
+    for (TableIdx t : tables) {
+      Status revert = TableAt(t)->RevertVersionsAt(version_ts);
+      if (!revert.ok()) {
+        return Status::Internal("mvcc unwind failed (" + revert.message() +
+                                ") after: " + st.message());
+      }
+    }
+  }
+  return st;
+}
+
+uint64_t SqlGraphStore::RegisterTxnRead() {
+  util::MutexLock guard(&txn_mu_);
+  // Increment-then-read under txn_mu_ keeps the count, the pinned
+  // timestamp, and the registry entry atomic with respect to committers,
+  // which read the registry under the same mutex.
+  active_txns_.fetch_add(1, std::memory_order_seq_cst);
+  const uint64_t read_ts = commit_ts_.load(std::memory_order_seq_cst);
+  active_read_ts_.insert(read_ts);
+  txns_begun_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* begun =
+        obs::MetricsRegistry::Default().GetCounter("txn.begun");
+    static obs::Gauge* active =
+        obs::MetricsRegistry::Default().GetGauge("txn.active");
+    begun->Increment();
+    active->Add(1);
+  }
+  return read_ts;
+}
+
+void SqlGraphStore::DeregisterTxnRead(uint64_t read_ts) {
+  util::MutexLock guard(&txn_mu_);
+  auto it = active_read_ts_.find(read_ts);
+  if (it != active_read_ts_.end()) active_read_ts_.erase(it);
+  // The conflict map only has to outlive the snapshots that could still
+  // lose to its entries.
+  if (active_read_ts_.empty()) entity_commit_ts_.clear();
+  active_txns_.fetch_sub(1, std::memory_order_seq_cst);
+  if (obs::MetricsEnabled()) {
+    static obs::Gauge* active =
+        obs::MetricsRegistry::Default().GetGauge("txn.active");
+    active->Add(-1);
+  }
+}
+
+TxnStats SqlGraphStore::txn_stats() const {
+  TxnStats s;
+  s.begun = txns_begun_.load(std::memory_order_relaxed);
+  s.committed = txns_committed_.load(std::memory_order_relaxed);
+  s.aborted = txns_aborted_.load(std::memory_order_relaxed);
+  s.conflicts = txn_conflicts_.load(std::memory_order_relaxed);
+  s.active = active_txns_.load(std::memory_order_relaxed);
+  return s;
 }
 
 // ------------------------------------------------------------------ build --
@@ -153,6 +218,13 @@ Result<std::unique_ptr<SqlGraphStore>> SqlGraphStore::Build(
 
 // --------------------------------------------------------------- vertices --
 
+Status SqlGraphStore::ApplyAddVertexLocked(int64_t vid, json::JsonValue attrs,
+                                           uint64_t version_ts) {
+  return db_.GetTable(kVaTable)
+      ->Insert({Value(vid), Value(std::move(attrs))}, version_ts)
+      .status();
+}
+
 Result<VertexId> SqlGraphStore::AddVertex(json::JsonValue attrs) {
   CommitGuard commit(this);
   int64_t vid;
@@ -170,9 +242,10 @@ Result<VertexId> SqlGraphStore::AddVertex(json::JsonValue attrs) {
   uint64_t ticket = 0;
   {
     WriteLock lock(this, {{kVa, true}});
-    RETURN_NOT_OK(db_.GetTable(kVaTable)
-                      ->Insert({Value(vid), Value(std::move(attrs))})
-                      .status());
+    const uint64_t vts = AllocVersionTs();
+    Status st = ApplyAddVertexLocked(vid, std::move(attrs), vts);
+    if (!st.ok()) return UnwindLocked(std::move(st), vts, {kVa});
+    PublishAndTrimLocked({VertexEntity(vid)}, vts, {kVa});
     // Enqueued at the VA serialization point (see LogWalEnqueue); the
     // durability wait happens after the lock so committers can batch.
     RETURN_NOT_OK(LogWalEnqueue(rec, &ticket));
@@ -194,6 +267,24 @@ Result<json::JsonValue> SqlGraphStore::GetVertex(VertexId vid) const {
   return row[1].is_json() ? row[1].AsJson() : json::JsonValue::Object();
 }
 
+Status SqlGraphStore::ApplySetVertexAttrLocked(int64_t vid,
+                                               const std::string& key,
+                                               json::JsonValue value,
+                                               uint64_t version_ts) {
+  rel::Table* va = db_.GetTable(kVaTable);
+  ASSIGN_OR_RETURN(std::vector<RowId> rids,
+                   va->LookupEq({0}, {{Value(vid)}}));
+  if (rids.empty()) {
+    return Status::NotFound("vertex " + std::to_string(vid));
+  }
+  Row row;
+  RETURN_NOT_OK(va->Get(rids[0], &row));
+  json::JsonValue attrs =
+      row[1].is_json() ? row[1].AsJson() : json::JsonValue::Object();
+  attrs.Set(key, std::move(value));
+  return va->Update(rids[0], {row[0], Value(std::move(attrs))}, version_ts);
+}
+
 Status SqlGraphStore::SetVertexAttr(VertexId vid, const std::string& key,
                                     json::JsonValue value) {
   CommitGuard commit(this);
@@ -207,21 +298,32 @@ Status SqlGraphStore::SetVertexAttr(VertexId vid, const std::string& key,
   uint64_t ticket = 0;
   {
     WriteLock lock(this, {{kVa, true}});
-    rel::Table* va = db_.GetTable(kVaTable);
-    ASSIGN_OR_RETURN(std::vector<RowId> rids,
-                     va->LookupEq({0}, {{Value(static_cast<int64_t>(vid))}}));
-    if (rids.empty()) {
-      return Status::NotFound("vertex " + std::to_string(vid));
-    }
-    Row row;
-    RETURN_NOT_OK(va->Get(rids[0], &row));
-    json::JsonValue attrs =
-        row[1].is_json() ? row[1].AsJson() : json::JsonValue::Object();
-    attrs.Set(key, std::move(value));
-    RETURN_NOT_OK(va->Update(rids[0], {row[0], Value(std::move(attrs))}));
+    const uint64_t vts = AllocVersionTs();
+    Status st = ApplySetVertexAttrLocked(static_cast<int64_t>(vid), key,
+                                         std::move(value), vts);
+    if (!st.ok()) return UnwindLocked(std::move(st), vts, {kVa});
+    PublishAndTrimLocked({VertexEntity(static_cast<int64_t>(vid))}, vts,
+                         {kVa});
     RETURN_NOT_OK(LogWalEnqueue(rec, &ticket));
   }
   return LogWalWait(ticket);
+}
+
+Status SqlGraphStore::ApplyRemoveVertexAttrLocked(int64_t vid,
+                                                  const std::string& key,
+                                                  uint64_t version_ts) {
+  rel::Table* va = db_.GetTable(kVaTable);
+  ASSIGN_OR_RETURN(std::vector<RowId> rids,
+                   va->LookupEq({0}, {{Value(vid)}}));
+  if (rids.empty()) {
+    return Status::NotFound("vertex " + std::to_string(vid));
+  }
+  Row row;
+  RETURN_NOT_OK(va->Get(rids[0], &row));
+  json::JsonValue attrs =
+      row[1].is_json() ? row[1].AsJson() : json::JsonValue::Object();
+  attrs.Erase(key);
+  return va->Update(rids[0], {row[0], Value(std::move(attrs))}, version_ts);
 }
 
 Status SqlGraphStore::RemoveVertexAttr(VertexId vid, const std::string& key) {
@@ -233,24 +335,19 @@ Status SqlGraphStore::RemoveVertexAttr(VertexId vid, const std::string& key) {
   uint64_t ticket = 0;
   {
     WriteLock lock(this, {{kVa, true}});
-    rel::Table* va = db_.GetTable(kVaTable);
-    ASSIGN_OR_RETURN(std::vector<RowId> rids,
-                     va->LookupEq({0}, {{Value(static_cast<int64_t>(vid))}}));
-    if (rids.empty()) {
-      return Status::NotFound("vertex " + std::to_string(vid));
-    }
-    Row row;
-    RETURN_NOT_OK(va->Get(rids[0], &row));
-    json::JsonValue attrs =
-        row[1].is_json() ? row[1].AsJson() : json::JsonValue::Object();
-    attrs.Erase(key);
-    RETURN_NOT_OK(va->Update(rids[0], {row[0], Value(std::move(attrs))}));
+    const uint64_t vts = AllocVersionTs();
+    Status st =
+        ApplyRemoveVertexAttrLocked(static_cast<int64_t>(vid), key, vts);
+    if (!st.ok()) return UnwindLocked(std::move(st), vts, {kVa});
+    PublishAndTrimLocked({VertexEntity(static_cast<int64_t>(vid))}, vts,
+                         {kVa});
     RETURN_NOT_OK(LogWalEnqueue(rec, &ticket));
   }
   return LogWalWait(ticket);
 }
 
-Status SqlGraphStore::NegateAdjacencyRows(bool outgoing, VertexId vid) {
+Status SqlGraphStore::NegateAdjacencyRows(bool outgoing, VertexId vid,
+                                          uint64_t version_ts) {
   rel::Table* primary = db_.GetTable(outgoing ? kOpaTable : kIpaTable);
   ASSIGN_OR_RETURN(std::vector<RowId> rids,
                    primary->LookupEq({0}, {{Value(static_cast<int64_t>(vid))}}));
@@ -258,7 +355,40 @@ Status SqlGraphStore::NegateAdjacencyRows(bool outgoing, VertexId vid) {
     Row row;
     RETURN_NOT_OK(primary->Get(rid, &row));
     row[kVidCol] = Value(-static_cast<int64_t>(vid) - 1);
-    RETURN_NOT_OK(primary->Update(rid, std::move(row)));
+    RETURN_NOT_OK(primary->Update(rid, std::move(row), version_ts));
+  }
+  return Status::OK();
+}
+
+Status SqlGraphStore::ApplyRemoveVertexLocked(
+    int64_t vid, uint64_t version_ts, std::vector<int64_t>* removed_eids) {
+  rel::Table* va = db_.GetTable(kVaTable);
+  ASSIGN_OR_RETURN(std::vector<RowId> rids,
+                   va->LookupEq({0}, {{Value(vid)}}));
+  if (rids.empty()) {
+    return Status::NotFound("vertex " + std::to_string(vid));
+  }
+  // Soft delete: VID → -VID-1 keeps the cross-table relationship of the
+  // deleted rows intact (§4.5.2) while the VID >= 0 guards hide them.
+  Row row;
+  RETURN_NOT_OK(va->Get(rids[0], &row));
+  row[0] = Value(-vid - 1);
+  RETURN_NOT_OK(va->Update(rids[0], std::move(row), version_ts));
+  RETURN_NOT_OK(NegateAdjacencyRows(/*outgoing=*/true,
+                                    static_cast<VertexId>(vid), version_ts));
+  RETURN_NOT_OK(NegateAdjacencyRows(/*outgoing=*/false,
+                                    static_cast<VertexId>(vid), version_ts));
+  // EA rows of incident edges are removed outright.
+  rel::Table* ea = db_.GetTable(kEaTable);
+  for (int col : {1, 2}) {  // INV, OUTV
+    ASSIGN_OR_RETURN(std::vector<RowId> edge_rids,
+                     ea->LookupEq({col}, {{Value(vid)}}));
+    for (RowId rid : edge_rids) {
+      Row edge_row;
+      RETURN_NOT_OK(ea->Get(rid, &edge_row));
+      removed_eids->push_back(edge_row[kEaEid].AsInt());
+      RETURN_NOT_OK(ea->Delete(rid, version_ts));
+    }
   }
   return Status::OK();
 }
@@ -270,47 +400,26 @@ Status SqlGraphStore::RemoveVertex(VertexId vid) {
   rec.id = static_cast<int64_t>(vid);
   uint64_t ticket = 0;
   {
-    WriteLock lock(this, {{kVa, true}});
-    rel::Table* va = db_.GetTable(kVaTable);
-    ASSIGN_OR_RETURN(std::vector<RowId> rids,
-                     va->LookupEq({0}, {{Value(static_cast<int64_t>(vid))}}));
-    if (rids.empty()) {
-      return Status::NotFound("vertex " + std::to_string(vid));
+    // One exclusive section over every touched table: the negated VA row,
+    // the negated adjacency rows, and the EA cleanup become visible (and
+    // versioned) atomically — no reader or snapshot can observe a
+    // half-removed vertex.
+    WriteLock lock(this, {{kOpa, true}, {kIpa, true}, {kVa, true},
+                          {kEa, true}});
+    const uint64_t vts = AllocVersionTs();
+    std::vector<int64_t> removed_eids;
+    Status st = ApplyRemoveVertexLocked(static_cast<int64_t>(vid), vts,
+                                        &removed_eids);
+    if (!st.ok()) {
+      return UnwindLocked(std::move(st), vts, {kOpa, kIpa, kVa, kEa});
     }
-    // Soft delete: VID → -VID-1 keeps the cross-table relationship of the
-    // deleted rows intact (§4.5.2) while the VID >= 0 guards hide them.
-    Row row;
-    RETURN_NOT_OK(va->Get(rids[0], &row));
-    row[0] = Value(-static_cast<int64_t>(vid) - 1);
-    RETURN_NOT_OK(va->Update(rids[0], std::move(row)));
-    // Enqueued at the VA serialization point: any conflicting vertex write
-    // either committed (and enqueued) before this exclusive section or
-    // sees the negated id afterwards, so the log order matches the lock
-    // order. Replay tolerates the one race this point cannot order — an
-    // edge write that lands between here and the EA cleanup below (see
-    // OpenDurableStore).
+    std::vector<uint64_t> entities = {
+        VertexEntity(static_cast<int64_t>(vid))};
+    for (int64_t eid : removed_eids) entities.push_back(EdgeEntity(eid));
+    PublishAndTrimLocked(entities, vts, {kOpa, kIpa, kVa, kEa});
+    // Enqueued while all touched tables are still locked, so the log order
+    // of conflicting commits matches their apply order.
     RETURN_NOT_OK(LogWalEnqueue(rec, &ticket));
-  }
-  {
-    WriteLock lock(this, {{kOpa, true}});
-    RETURN_NOT_OK(NegateAdjacencyRows(/*outgoing=*/true, vid));
-  }
-  {
-    WriteLock lock(this, {{kIpa, true}});
-    RETURN_NOT_OK(NegateAdjacencyRows(/*outgoing=*/false, vid));
-  }
-  // EA rows of incident edges are removed outright.
-  {
-    WriteLock lock(this, {{kEa, true}});
-    rel::Table* ea = db_.GetTable(kEaTable);
-    for (int col : {1, 2}) {  // INV, OUTV
-      ASSIGN_OR_RETURN(
-          std::vector<RowId> edge_rids,
-          ea->LookupEq({col}, {{Value(static_cast<int64_t>(vid))}}));
-      for (RowId rid : edge_rids) {
-        RETURN_NOT_OK(ea->Delete(rid));
-      }
-    }
   }
   return LogWalWait(ticket);
 }
@@ -319,7 +428,7 @@ Status SqlGraphStore::RemoveVertex(VertexId vid) {
 
 Status SqlGraphStore::AddAdjacencyEntry(bool outgoing, VertexId vid,
                                         const std::string& label, EdgeId eid,
-                                        VertexId nbr) {
+                                        VertexId nbr, uint64_t version_ts) {
   rel::Table* primary = db_.GetTable(outgoing ? kOpaTable : kIpaTable);
   rel::Table* secondary = db_.GetTable(outgoing ? kOsaTable : kIsaTable);
   const coloring::ColoredHash& hash =
@@ -340,7 +449,8 @@ Status SqlGraphStore::AddAdjacencyEntry(bool outgoing, VertexId vid,
       // Already multi-valued: append to the secondary list.
       return secondary
           ->Insert({val, Value(static_cast<int64_t>(eid)),
-                    Value(static_cast<int64_t>(nbr))})
+                    Value(static_cast<int64_t>(nbr))},
+                   version_ts)
           .status();
     }
     // Single-valued → convert to a list: a DDL-equivalent reshaping of the
@@ -351,16 +461,18 @@ Status SqlGraphStore::AddAdjacencyEntry(bool outgoing, VertexId vid,
       lid = next_lid_++;
     }
     RETURN_NOT_OK(secondary
-                      ->Insert({Value(lid), row[EidColIdx(c)], val})
+                      ->Insert({Value(lid), row[EidColIdx(c)], val},
+                               version_ts)
                       .status());
     RETURN_NOT_OK(secondary
                       ->Insert({Value(lid), Value(static_cast<int64_t>(eid)),
-                                Value(static_cast<int64_t>(nbr))})
+                                Value(static_cast<int64_t>(nbr))},
+                               version_ts)
                       .status());
     row[EidColIdx(c)] = Value::Null();
     row[ValColIdx(c)] = Value(lid);
     BumpSchemaEpoch();
-    return primary->Update(rid, std::move(row));
+    return primary->Update(rid, std::move(row), version_ts);
   }
   // Pass 2: a row with a free triad at column c (a label this vertex never
   // carried before occupies a fresh triad — another shape change).
@@ -371,7 +483,7 @@ Status SqlGraphStore::AddAdjacencyEntry(bool outgoing, VertexId vid,
     row[LblColIdx(c)] = Value(label);
     row[ValColIdx(c)] = Value(static_cast<int64_t>(nbr));
     BumpSchemaEpoch();
-    return primary->Update(rid, std::move(row));
+    return primary->Update(rid, std::move(row), version_ts);
   }
   // Pass 3: hash conflict (or first row): spill to a new row. Only an
   // actual spill is DDL-equivalent; the first row of a fresh vertex is a
@@ -382,7 +494,7 @@ Status SqlGraphStore::AddAdjacencyEntry(bool outgoing, VertexId vid,
       RETURN_NOT_OK(primary->Get(rid, &row));
       if (row[kSpillCol].AsInt() != 1) {
         row[kSpillCol] = Value(int64_t{1});
-        RETURN_NOT_OK(primary->Update(rid, std::move(row)));
+        RETURN_NOT_OK(primary->Update(rid, std::move(row), version_ts));
       }
     }
     BumpSchemaEpoch();
@@ -393,12 +505,12 @@ Status SqlGraphStore::AddAdjacencyEntry(bool outgoing, VertexId vid,
   fresh[EidColIdx(c)] = Value(static_cast<int64_t>(eid));
   fresh[LblColIdx(c)] = Value(label);
   fresh[ValColIdx(c)] = Value(static_cast<int64_t>(nbr));
-  return primary->Insert(std::move(fresh)).status();
+  return primary->Insert(std::move(fresh), version_ts).status();
 }
 
 Status SqlGraphStore::RemoveAdjacencyEntry(bool outgoing, VertexId vid,
                                            const std::string& label,
-                                           EdgeId eid) {
+                                           EdgeId eid, uint64_t version_ts) {
   rel::Table* primary = db_.GetTable(outgoing ? kOpaTable : kIpaTable);
   rel::Table* secondary = db_.GetTable(outgoing ? kOsaTable : kIsaTable);
   const coloring::ColoredHash& hash =
@@ -423,7 +535,7 @@ Status SqlGraphStore::RemoveAdjacencyEntry(bool outgoing, VertexId vid,
         Row entry;
         RETURN_NOT_OK(secondary->Get(lrid, &entry));
         if (entry[1].AsInt() == static_cast<int64_t>(eid)) {
-          RETURN_NOT_OK(secondary->Delete(lrid));
+          RETURN_NOT_OK(secondary->Delete(lrid, version_ts));
           --remaining;
           break;
         }
@@ -448,37 +560,49 @@ Status SqlGraphStore::RemoveAdjacencyEntry(bool outgoing, VertexId vid,
         }
       }
       if (empty && rids.size() > 1) {
-        RETURN_NOT_OK(primary->Delete(rid));
+        RETURN_NOT_OK(primary->Delete(rid, version_ts));
       } else {
-        RETURN_NOT_OK(primary->Update(rid, std::move(row)));
+        RETURN_NOT_OK(primary->Update(rid, std::move(row), version_ts));
       }
     } else {
-      RETURN_NOT_OK(primary->Update(rid, std::move(row)));
+      RETURN_NOT_OK(primary->Update(rid, std::move(row), version_ts));
     }
     return Status::OK();
   }
   return Status::OK();  // entry absent: treat as idempotent delete
 }
 
+Status SqlGraphStore::ApplyAddEdgeLocked(int64_t eid, int64_t src,
+                                         int64_t dst,
+                                         const std::string& label,
+                                         json::JsonValue attrs,
+                                         uint64_t version_ts) {
+  const rel::Table* va = db_.GetTable(kVaTable);
+  for (int64_t endpoint : {src, dst}) {
+    ASSIGN_OR_RETURN(std::vector<RowId> rids,
+                     va->LookupEq({0}, {{Value(endpoint)}}));
+    if (rids.empty()) {
+      return Status::NotFound("vertex " + std::to_string(endpoint));
+    }
+  }
+  RETURN_NOT_OK(db_.GetTable(kEaTable)
+                    ->Insert({Value(eid), Value(src), Value(dst),
+                              Value(label), Value(std::move(attrs))},
+                             version_ts)
+                    .status());
+  RETURN_NOT_OK(AddAdjacencyEntry(/*outgoing=*/true,
+                                  static_cast<VertexId>(src), label,
+                                  static_cast<EdgeId>(eid),
+                                  static_cast<VertexId>(dst), version_ts));
+  return AddAdjacencyEntry(/*outgoing=*/false, static_cast<VertexId>(dst),
+                           label, static_cast<EdgeId>(eid),
+                           static_cast<VertexId>(src), version_ts);
+}
+
 Result<EdgeId> SqlGraphStore::AddEdge(VertexId src, VertexId dst,
                                       const std::string& label,
                                       json::JsonValue attrs) {
   CommitGuard commit(this);
-  // Fine-grained locking (the RDBMS analogue of row-level locks + short
-  // latch sections): each table is locked only around its own mutation, so
-  // concurrent readers of other tables proceed in parallel.
-  {
-    WriteLock lock(this, {{kVa, false}});
-    const rel::Table* va = db_.GetTable(kVaTable);
-    for (VertexId endpoint : {src, dst}) {
-      ASSIGN_OR_RETURN(
-          std::vector<RowId> rids,
-          va->LookupEq({0}, {{Value(static_cast<int64_t>(endpoint))}}));
-      if (rids.empty()) {
-        return Status::NotFound("vertex " + std::to_string(endpoint));
-      }
-    }
-  }
   int64_t eid;
   {
     util::WriterMutexLock counter(&counter_lock_);
@@ -496,27 +620,30 @@ Result<EdgeId> SqlGraphStore::AddEdge(VertexId src, VertexId dst,
   }
   uint64_t ticket = 0;
   {
-    WriteLock lock(this, {{kEa, true}});
-    RETURN_NOT_OK(db_.GetTable(kEaTable)
-                      ->Insert({Value(eid), Value(static_cast<int64_t>(src)),
-                                Value(static_cast<int64_t>(dst)), Value(label),
-                                Value(std::move(attrs))})
-                      .status());
+    // One section over every touched table (VA only shared — the endpoint
+    // existence check). Coarser than the old per-table latch sections, but
+    // the EA row and both adjacency entries now become visible atomically:
+    // no reader, snapshot, or crash can observe a half-added edge.
+    WriteLock lock(this, {{kOpa, true}, {kIpa, true}, {kOsa, true},
+                          {kIsa, true}, {kVa, false}, {kEa, true}});
+    const uint64_t vts = AllocVersionTs();
+    Status st = ApplyAddEdgeLocked(eid, static_cast<int64_t>(src),
+                                   static_cast<int64_t>(dst), label,
+                                   std::move(attrs), vts);
+    if (!st.ok()) {
+      return UnwindLocked(std::move(st), vts, {kOpa, kIpa, kOsa, kIsa, kEa});
+    }
+    // The edge's write set includes both endpoints: it depends on them
+    // existing, so a snapshot transaction that removed either must lose.
+    PublishAndTrimLocked({VertexEntity(static_cast<int64_t>(src)),
+                          VertexEntity(static_cast<int64_t>(dst)),
+                          EdgeEntity(eid)},
+                         vts, {kOpa, kIpa, kOsa, kIsa, kEa});
     // Enqueued at the EA serialization point: no other commit can observe
     // this edge (FindEdge/SetEdgeAttr/RemoveEdge all go through EA) until
     // the exclusive section ends, so every dependent record lands after
     // this one in the log.
     RETURN_NOT_OK(LogWalEnqueue(rec, &ticket));
-  }
-  {
-    WriteLock lock(this, {{kOpa, true}, {kOsa, true}});
-    RETURN_NOT_OK(AddAdjacencyEntry(/*outgoing=*/true, src, label,
-                                    static_cast<EdgeId>(eid), dst));
-  }
-  {
-    WriteLock lock(this, {{kIpa, true}, {kIsa, true}});
-    RETURN_NOT_OK(AddAdjacencyEntry(/*outgoing=*/false, dst, label,
-                                    static_cast<EdgeId>(eid), src));
   }
   RETURN_NOT_OK(LogWalWait(ticket));
   return static_cast<EdgeId>(eid);
@@ -542,6 +669,26 @@ Result<EdgeRecord> SqlGraphStore::GetEdge(EdgeId eid) const {
   return rec;
 }
 
+Status SqlGraphStore::ApplySetEdgeAttrLocked(int64_t eid,
+                                             const std::string& key,
+                                             json::JsonValue value,
+                                             uint64_t version_ts) {
+  rel::Table* ea = db_.GetTable(kEaTable);
+  ASSIGN_OR_RETURN(std::vector<RowId> rids,
+                   ea->LookupEq({0}, {{Value(eid)}}));
+  if (rids.empty()) {
+    return Status::NotFound("edge " + std::to_string(eid));
+  }
+  Row row;
+  RETURN_NOT_OK(ea->Get(rids[0], &row));
+  json::JsonValue attrs = row[kEaAttr].is_json()
+                              ? row[kEaAttr].AsJson()
+                              : json::JsonValue::Object();
+  attrs.Set(key, std::move(value));
+  row[kEaAttr] = Value(std::move(attrs));
+  return ea->Update(rids[0], std::move(row), version_ts);
+}
+
 Status SqlGraphStore::SetEdgeAttr(EdgeId eid, const std::string& key,
                                   json::JsonValue value) {
   CommitGuard commit(this);
@@ -555,23 +702,34 @@ Status SqlGraphStore::SetEdgeAttr(EdgeId eid, const std::string& key,
   uint64_t ticket = 0;
   {
     WriteLock lock(this, {{kEa, true}});
-    rel::Table* ea = db_.GetTable(kEaTable);
-    ASSIGN_OR_RETURN(std::vector<RowId> rids,
-                     ea->LookupEq({0}, {{Value(static_cast<int64_t>(eid))}}));
-    if (rids.empty()) {
-      return Status::NotFound("edge " + std::to_string(eid));
-    }
-    Row row;
-    RETURN_NOT_OK(ea->Get(rids[0], &row));
-    json::JsonValue attrs = row[kEaAttr].is_json()
-                                ? row[kEaAttr].AsJson()
-                                : json::JsonValue::Object();
-    attrs.Set(key, std::move(value));
-    row[kEaAttr] = Value(std::move(attrs));
-    RETURN_NOT_OK(ea->Update(rids[0], std::move(row)));
+    const uint64_t vts = AllocVersionTs();
+    Status st = ApplySetEdgeAttrLocked(static_cast<int64_t>(eid), key,
+                                       std::move(value), vts);
+    if (!st.ok()) return UnwindLocked(std::move(st), vts, {kEa});
+    PublishAndTrimLocked({EdgeEntity(static_cast<int64_t>(eid))}, vts,
+                         {kEa});
     RETURN_NOT_OK(LogWalEnqueue(rec, &ticket));
   }
   return LogWalWait(ticket);
+}
+
+Status SqlGraphStore::ApplyRemoveEdgeAttrLocked(int64_t eid,
+                                                const std::string& key,
+                                                uint64_t version_ts) {
+  rel::Table* ea = db_.GetTable(kEaTable);
+  ASSIGN_OR_RETURN(std::vector<RowId> rids,
+                   ea->LookupEq({0}, {{Value(eid)}}));
+  if (rids.empty()) {
+    return Status::NotFound("edge " + std::to_string(eid));
+  }
+  Row row;
+  RETURN_NOT_OK(ea->Get(rids[0], &row));
+  json::JsonValue attrs = row[kEaAttr].is_json()
+                              ? row[kEaAttr].AsJson()
+                              : json::JsonValue::Object();
+  attrs.Erase(key);
+  row[kEaAttr] = Value(std::move(attrs));
+  return ea->Update(rids[0], std::move(row), version_ts);
 }
 
 Status SqlGraphStore::RemoveEdgeAttr(EdgeId eid, const std::string& key) {
@@ -583,23 +741,35 @@ Status SqlGraphStore::RemoveEdgeAttr(EdgeId eid, const std::string& key) {
   uint64_t ticket = 0;
   {
     WriteLock lock(this, {{kEa, true}});
-    rel::Table* ea = db_.GetTable(kEaTable);
-    ASSIGN_OR_RETURN(std::vector<RowId> rids,
-                     ea->LookupEq({0}, {{Value(static_cast<int64_t>(eid))}}));
-    if (rids.empty()) {
-      return Status::NotFound("edge " + std::to_string(eid));
-    }
-    Row row;
-    RETURN_NOT_OK(ea->Get(rids[0], &row));
-    json::JsonValue attrs = row[kEaAttr].is_json()
-                                ? row[kEaAttr].AsJson()
-                                : json::JsonValue::Object();
-    attrs.Erase(key);
-    row[kEaAttr] = Value(std::move(attrs));
-    RETURN_NOT_OK(ea->Update(rids[0], std::move(row)));
+    const uint64_t vts = AllocVersionTs();
+    Status st =
+        ApplyRemoveEdgeAttrLocked(static_cast<int64_t>(eid), key, vts);
+    if (!st.ok()) return UnwindLocked(std::move(st), vts, {kEa});
+    PublishAndTrimLocked({EdgeEntity(static_cast<int64_t>(eid))}, vts,
+                         {kEa});
     RETURN_NOT_OK(LogWalEnqueue(rec, &ticket));
   }
   return LogWalWait(ticket);
+}
+
+Status SqlGraphStore::ApplyRemoveEdgeLocked(int64_t eid,
+                                            uint64_t version_ts) {
+  rel::Table* ea = db_.GetTable(kEaTable);
+  ASSIGN_OR_RETURN(std::vector<RowId> rids,
+                   ea->LookupEq({0}, {{Value(eid)}}));
+  if (rids.empty()) {
+    return Status::NotFound("edge " + std::to_string(eid));
+  }
+  Row row;
+  RETURN_NOT_OK(ea->Get(rids[0], &row));
+  const auto src = static_cast<VertexId>(row[kEaInv].AsInt());
+  const auto dst = static_cast<VertexId>(row[kEaOutv].AsInt());
+  const std::string label = row[kEaLbl].AsString();
+  RETURN_NOT_OK(ea->Delete(rids[0], version_ts));
+  RETURN_NOT_OK(RemoveAdjacencyEntry(/*outgoing=*/true, src, label,
+                                     static_cast<EdgeId>(eid), version_ts));
+  return RemoveAdjacencyEntry(/*outgoing=*/false, dst, label,
+                              static_cast<EdgeId>(eid), version_ts);
 }
 
 Status SqlGraphStore::RemoveEdge(EdgeId eid) {
@@ -608,34 +778,22 @@ Status SqlGraphStore::RemoveEdge(EdgeId eid) {
   rec.type = wal::RecordType::kRemoveEdge;
   rec.id = static_cast<int64_t>(eid);
   uint64_t ticket = 0;
-  VertexId src, dst;
-  std::string label;
   {
-    WriteLock lock(this, {{kEa, true}});
-    rel::Table* ea = db_.GetTable(kEaTable);
-    ASSIGN_OR_RETURN(std::vector<RowId> rids,
-                     ea->LookupEq({0}, {{Value(static_cast<int64_t>(eid))}}));
-    if (rids.empty()) {
-      return Status::NotFound("edge " + std::to_string(eid));
+    // One exclusive section: the EA delete and both adjacency removals are
+    // visible (and versioned) atomically.
+    WriteLock lock(this, {{kOpa, true}, {kIpa, true}, {kOsa, true},
+                          {kIsa, true}, {kEa, true}});
+    const uint64_t vts = AllocVersionTs();
+    Status st = ApplyRemoveEdgeLocked(static_cast<int64_t>(eid), vts);
+    if (!st.ok()) {
+      return UnwindLocked(std::move(st), vts, {kOpa, kIpa, kOsa, kIsa, kEa});
     }
-    Row row;
-    RETURN_NOT_OK(ea->Get(rids[0], &row));
-    src = static_cast<VertexId>(row[kEaInv].AsInt());
-    dst = static_cast<VertexId>(row[kEaOutv].AsInt());
-    label = row[kEaLbl].AsString();
-    RETURN_NOT_OK(ea->Delete(rids[0]));
+    PublishAndTrimLocked({EdgeEntity(static_cast<int64_t>(eid))}, vts,
+                         {kOpa, kIpa, kOsa, kIsa, kEa});
     // Enqueued at the EA serialization point: this lands strictly after
     // the kAddEdge record that made the edge findable, so replay never
     // sees a remove-before-add.
     RETURN_NOT_OK(LogWalEnqueue(rec, &ticket));
-  }
-  {
-    WriteLock lock(this, {{kOpa, true}, {kOsa, true}});
-    RETURN_NOT_OK(RemoveAdjacencyEntry(/*outgoing=*/true, src, label, eid));
-  }
-  {
-    WriteLock lock(this, {{kIpa, true}, {kIsa, true}});
-    RETURN_NOT_OK(RemoveAdjacencyEntry(/*outgoing=*/false, dst, label, eid));
   }
   return LogWalWait(ticket);
 }
@@ -658,26 +816,8 @@ Result<std::optional<EdgeId>> SqlGraphStore::FindEdge(
 
 // -------------------------------------------------------------- adjacency --
 
-Result<std::vector<EdgeRecord>> SqlGraphStore::GetOutEdges(
-    VertexId src, const std::string& label) const {
-  WriteLock lock(const_cast<SqlGraphStore*>(this), {{kEa, false}});
-  sql::ParamBindings binds;
-  binds.positional.emplace_back(static_cast<int64_t>(src));
-  sql::ResultSet rs;
-  if (label.empty()) {
-    ASSIGN_OR_RETURN(
-        rs, RunTemplate(kTplOutEdgesAny,
-                        "SELECT EID, INV, OUTV, LBL, ATTR FROM EA "
-                        "WHERE INV = ?",
-                        std::move(binds)));
-  } else {
-    binds.positional.emplace_back(label);
-    ASSIGN_OR_RETURN(
-        rs, RunTemplate(kTplOutEdgesLbl,
-                        "SELECT EID, INV, OUTV, LBL, ATTR FROM EA "
-                        "WHERE INV = ? AND LBL = ?",
-                        std::move(binds)));
-  }
+namespace {
+std::vector<EdgeRecord> RowsToEdgeRecords(const sql::ResultSet& rs) {
   std::vector<EdgeRecord> out;
   out.reserve(rs.rows.size());
   for (const Row& row : rs.rows) {
@@ -690,6 +830,90 @@ Result<std::vector<EdgeRecord>> SqlGraphStore::GetOutEdges(
     out.push_back(std::move(rec));
   }
   return out;
+}
+}  // namespace
+
+Result<std::vector<EdgeRecord>> SqlGraphStore::GetOutEdgesAt(
+    VertexId src, const std::string& label, uint64_t read_ts) const {
+  WriteLock lock(const_cast<SqlGraphStore*>(this), {{kEa, false}});
+  sql::ParamBindings binds;
+  binds.positional.emplace_back(static_cast<int64_t>(src));
+  sql::ResultSet rs;
+  if (label.empty()) {
+    ASSIGN_OR_RETURN(
+        rs, RunTemplate(kTplOutEdgesAny,
+                        "SELECT EID, INV, OUTV, LBL, ATTR FROM EA "
+                        "WHERE INV = ?",
+                        std::move(binds), read_ts));
+  } else {
+    binds.positional.emplace_back(label);
+    ASSIGN_OR_RETURN(
+        rs, RunTemplate(kTplOutEdgesLbl,
+                        "SELECT EID, INV, OUTV, LBL, ATTR FROM EA "
+                        "WHERE INV = ? AND LBL = ?",
+                        std::move(binds), read_ts));
+  }
+  return RowsToEdgeRecords(rs);
+}
+
+Result<std::vector<EdgeRecord>> SqlGraphStore::GetOutEdges(
+    VertexId src, const std::string& label) const {
+  return GetOutEdgesAt(src, label, /*read_ts=*/0);
+}
+
+Result<std::vector<EdgeRecord>> SqlGraphStore::GetInEdgesAt(
+    VertexId dst, const std::string& label, uint64_t read_ts) const {
+  WriteLock lock(const_cast<SqlGraphStore*>(this), {{kEa, false}});
+  sql::ParamBindings binds;
+  binds.positional.emplace_back(static_cast<int64_t>(dst));
+  sql::ResultSet rs;
+  if (label.empty()) {
+    ASSIGN_OR_RETURN(
+        rs, RunTemplate(kTplInEdgesAny,
+                        "SELECT EID, INV, OUTV, LBL, ATTR FROM EA "
+                        "WHERE OUTV = ?",
+                        std::move(binds), read_ts));
+  } else {
+    binds.positional.emplace_back(label);
+    ASSIGN_OR_RETURN(
+        rs, RunTemplate(kTplInEdgesLbl,
+                        "SELECT EID, INV, OUTV, LBL, ATTR FROM EA "
+                        "WHERE OUTV = ? AND LBL = ?",
+                        std::move(binds), read_ts));
+  }
+  return RowsToEdgeRecords(rs);
+}
+
+Result<json::JsonValue> SqlGraphStore::GetVertexAt(int64_t vid,
+                                                   uint64_t read_ts) const {
+  WriteLock lock(const_cast<SqlGraphStore*>(this), {{kVa, false}});
+  sql::ParamBindings binds;
+  binds.positional.emplace_back(vid);
+  ASSIGN_OR_RETURN(sql::ResultSet rs,
+                   RunTemplate(kTplGetVertex,
+                               "SELECT VID, ATTR FROM VA WHERE VID = ?",
+                               std::move(binds), read_ts));
+  if (rs.rows.empty()) {
+    return Status::NotFound("vertex " + std::to_string(vid));
+  }
+  const Value& attr = rs.rows[0][1];
+  return attr.is_json() ? attr.AsJson() : json::JsonValue::Object();
+}
+
+Result<EdgeRecord> SqlGraphStore::GetEdgeAt(int64_t eid,
+                                            uint64_t read_ts) const {
+  WriteLock lock(const_cast<SqlGraphStore*>(this), {{kEa, false}});
+  sql::ParamBindings binds;
+  binds.positional.emplace_back(eid);
+  ASSIGN_OR_RETURN(
+      sql::ResultSet rs,
+      RunTemplate(kTplGetEdge,
+                  "SELECT EID, INV, OUTV, LBL, ATTR FROM EA WHERE EID = ?",
+                  std::move(binds), read_ts));
+  if (rs.rows.empty()) {
+    return Status::NotFound("edge " + std::to_string(eid));
+  }
+  return std::move(RowsToEdgeRecords(rs)[0]);
 }
 
 Result<int64_t> SqlGraphStore::CountOutEdges(VertexId src,
@@ -784,9 +1008,12 @@ bool StripExplainAnalyzePrefix(std::string_view* text) {
   return true;
 }
 /// Per-statement executor options derived from the store configuration.
-sql::Executor::Options ExecOptionsFor(const StoreConfig& config) {
+/// A non-zero `read_ts` pins execution to that MVCC snapshot.
+sql::Executor::Options ExecOptionsFor(const StoreConfig& config,
+                                      uint64_t read_ts = 0) {
   sql::Executor::Options options;
   options.vectorized = config.vectorized;
+  options.read_ts = read_ts;
   return options;
 }
 }  // namespace
@@ -805,10 +1032,15 @@ sql::ResultSet SqlGraphStore::SpansToResultSet(
 
 Result<sql::ResultSet> SqlGraphStore::ExecuteSql(std::string_view text,
                                                  sql::ExecStats* stats) {
+  return ExecuteSqlInternal(text, /*read_ts=*/0, stats);
+}
+
+Result<sql::ResultSet> SqlGraphStore::ExecuteSqlInternal(
+    std::string_view text, uint64_t read_ts, sql::ExecStats* stats) {
   std::string_view body = text;
   const bool analyze = StripExplainAnalyzePrefix(&body);
   ReadLockAll lock(this);
-  sql::Executor exec(&db_, ExecOptionsFor(config_));
+  sql::Executor exec(&db_, ExecOptionsFor(config_, read_ts));
   exec.set_plan_cache(&plan_cache_, schema_epoch());
   exec.set_analyze(analyze);
   auto result = exec.ExecuteSql(body);
@@ -875,7 +1107,8 @@ sql::ExecStats SqlGraphStore::last_exec_stats() const {
 }
 
 Result<sql::ResultSet> SqlGraphStore::RunTemplate(
-    TemplateId id, const char* text, sql::ParamBindings params) const {
+    TemplateId id, const char* text, sql::ParamBindings params,
+    uint64_t read_ts) const {
   const uint64_t epoch = schema_epoch();
   sql::PreparedQueryPtr prepared;
   {
@@ -890,7 +1123,8 @@ Result<sql::ResultSet> SqlGraphStore::RunTemplate(
       templates_[id] = prepared;
     }
   }
-  sql::Executor exec(const_cast<rel::Database*>(&db_), ExecOptionsFor(config_));
+  sql::Executor exec(const_cast<rel::Database*>(&db_),
+                     ExecOptionsFor(config_, read_ts));
   exec.set_plan_cache(&plan_cache_, epoch);
   return exec.ExecutePrepared(*prepared, params);
 }
@@ -907,7 +1141,16 @@ Status SqlGraphStore::Compact() {
                           {kIsa, true},
                           {kVa, true},
                           {kEa, true}});
-    RETURN_NOT_OK(CompactLocked());
+    // Versioned when transactions are active: a pinned snapshot keeps
+    // seeing the pre-compaction rows (its queries filter the soft-deleted
+    // ones anyway, so results are unchanged either way).
+    const uint64_t vts = AllocVersionTs();
+    Status st = CompactLocked(vts);
+    if (!st.ok()) {
+      return UnwindLocked(std::move(st), vts,
+                          {kOpa, kIpa, kOsa, kIsa, kVa, kEa});
+    }
+    PublishAndTrimLocked({}, vts, {kOpa, kIpa, kOsa, kIsa, kVa, kEa});
     // Enqueued while every table is still locked, so no commit can
     // interleave between the cleanup and its record.
     wal::Record rec;
@@ -917,7 +1160,7 @@ Status SqlGraphStore::Compact() {
   return LogWalWait(ticket);
 }
 
-Status SqlGraphStore::CompactLocked() {
+Status SqlGraphStore::CompactLocked(uint64_t version_ts) {
   // 1. Deleted vertex ids from VA's negative rows; drop those rows.
   std::unordered_set<int64_t> deleted;
   rel::Table* va = db_.GetTable(kVaTable);
@@ -928,7 +1171,7 @@ Status SqlGraphStore::CompactLocked() {
       doomed.push_back(rid);
     }
   });
-  for (RowId rid : doomed) RETURN_NOT_OK(va->Delete(rid));
+  for (RowId rid : doomed) RETURN_NOT_OK(va->Delete(rid, version_ts));
   if (deleted.empty()) return Status::OK();
 
   // 2. Adjacency cleanup in both directions: drop negated rows (collecting
@@ -966,9 +1209,9 @@ Status SqlGraphStore::CompactLocked() {
       }
       if (changed) updates.emplace_back(rid, std::move(patched));
     });
-    for (RowId rid : dead_rows) RETURN_NOT_OK(primary->Delete(rid));
+    for (RowId rid : dead_rows) RETURN_NOT_OK(primary->Delete(rid, version_ts));
     for (auto& [rid, row] : updates) {
-      RETURN_NOT_OK(primary->Update(rid, std::move(row)));
+      RETURN_NOT_OK(primary->Update(rid, std::move(row), version_ts));
     }
     // Secondary lists: drop dead lists outright and dead targets from live
     // lists.
@@ -978,7 +1221,9 @@ Status SqlGraphStore::CompactLocked() {
         dead_entries.push_back(rid);
       }
     });
-    for (RowId rid : dead_entries) RETURN_NOT_OK(secondary->Delete(rid));
+    for (RowId rid : dead_entries) {
+      RETURN_NOT_OK(secondary->Delete(rid, version_ts));
+    }
   }
   // Row layout changed under every cached plan: force re-preparation.
   BumpSchemaEpoch();
@@ -995,9 +1240,7 @@ Status SqlGraphStore::ApplyWalRecord(const wal::Record& rec) {
       if (!attrs.is_object()) attrs = json::JsonValue::Object();
       {
         WriteLock lock(this, {{kVa, true}});
-        RETURN_NOT_OK(db_.GetTable(kVaTable)
-                          ->Insert({Value(rec.id), Value(std::move(attrs))})
-                          .status());
+        RETURN_NOT_OK(ApplyAddVertexLocked(rec.id, std::move(attrs), 0));
       }
       util::WriterMutexLock counter(&counter_lock_);
       next_vertex_id_ = std::max(next_vertex_id_, rec.id + 1);
@@ -1007,24 +1250,10 @@ Status SqlGraphStore::ApplyWalRecord(const wal::Record& rec) {
       ASSIGN_OR_RETURN(json::JsonValue attrs, json::Parse(rec.json));
       if (!attrs.is_object()) attrs = json::JsonValue::Object();
       {
-        WriteLock lock(this, {{kEa, true}});
-        RETURN_NOT_OK(db_.GetTable(kEaTable)
-                          ->Insert({Value(rec.id), Value(rec.src),
-                                    Value(rec.dst), Value(rec.label),
-                                    Value(std::move(attrs))})
-                          .status());
-      }
-      {
-        WriteLock lock(this, {{kOpa, true}, {kOsa, true}});
-        RETURN_NOT_OK(AddAdjacencyEntry(
-            /*outgoing=*/true, static_cast<VertexId>(rec.src), rec.label,
-            static_cast<EdgeId>(rec.id), static_cast<VertexId>(rec.dst)));
-      }
-      {
-        WriteLock lock(this, {{kIpa, true}, {kIsa, true}});
-        RETURN_NOT_OK(AddAdjacencyEntry(
-            /*outgoing=*/false, static_cast<VertexId>(rec.dst), rec.label,
-            static_cast<EdgeId>(rec.id), static_cast<VertexId>(rec.src)));
+        WriteLock lock(this, {{kOpa, true}, {kIpa, true}, {kOsa, true},
+                              {kIsa, true}, {kVa, false}, {kEa, true}});
+        RETURN_NOT_OK(ApplyAddEdgeLocked(rec.id, rec.src, rec.dst, rec.label,
+                                         std::move(attrs), 0));
       }
       util::WriterMutexLock counter(&counter_lock_);
       next_edge_id_ = std::max(next_edge_id_, rec.id + 1);
@@ -1032,22 +1261,33 @@ Status SqlGraphStore::ApplyWalRecord(const wal::Record& rec) {
     }
     case RecordType::kSetVertexAttr: {
       ASSIGN_OR_RETURN(json::JsonValue value, json::Parse(rec.json));
-      return SetVertexAttr(static_cast<VertexId>(rec.id), rec.label,
-                           std::move(value));
+      WriteLock lock(this, {{kVa, true}});
+      return ApplySetVertexAttrLocked(rec.id, rec.label, std::move(value), 0);
     }
     case RecordType::kSetEdgeAttr: {
       ASSIGN_OR_RETURN(json::JsonValue value, json::Parse(rec.json));
-      return SetEdgeAttr(static_cast<EdgeId>(rec.id), rec.label,
-                         std::move(value));
+      WriteLock lock(this, {{kEa, true}});
+      return ApplySetEdgeAttrLocked(rec.id, rec.label, std::move(value), 0);
     }
-    case RecordType::kRemoveVertexAttr:
-      return RemoveVertexAttr(static_cast<VertexId>(rec.id), rec.label);
-    case RecordType::kRemoveEdgeAttr:
-      return RemoveEdgeAttr(static_cast<EdgeId>(rec.id), rec.label);
-    case RecordType::kRemoveVertex:
-      return RemoveVertex(static_cast<VertexId>(rec.id));
-    case RecordType::kRemoveEdge:
-      return RemoveEdge(static_cast<EdgeId>(rec.id));
+    case RecordType::kRemoveVertexAttr: {
+      WriteLock lock(this, {{kVa, true}});
+      return ApplyRemoveVertexAttrLocked(rec.id, rec.label, 0);
+    }
+    case RecordType::kRemoveEdgeAttr: {
+      WriteLock lock(this, {{kEa, true}});
+      return ApplyRemoveEdgeAttrLocked(rec.id, rec.label, 0);
+    }
+    case RecordType::kRemoveVertex: {
+      WriteLock lock(this, {{kOpa, true}, {kIpa, true}, {kVa, true},
+                            {kEa, true}});
+      std::vector<int64_t> removed_eids;
+      return ApplyRemoveVertexLocked(rec.id, 0, &removed_eids);
+    }
+    case RecordType::kRemoveEdge: {
+      WriteLock lock(this, {{kOpa, true}, {kIpa, true}, {kOsa, true},
+                            {kIsa, true}, {kEa, true}});
+      return ApplyRemoveEdgeLocked(rec.id, 0);
+    }
     case RecordType::kCompact: {
       WriteLock lock(this, {{kOpa, true},
                             {kIpa, true},
@@ -1055,8 +1295,25 @@ Status SqlGraphStore::ApplyWalRecord(const wal::Record& rec) {
                             {kIsa, true},
                             {kVa, true},
                             {kEa, true}});
-      return CompactLocked();
+      return CompactLocked(0);
     }
+    case RecordType::kTxnCommit: {
+      // One atomic commit unit: the frame's CRC already guaranteed the
+      // whole transaction is intact, so replay its sub-records in order.
+      // Per-sub-record NotFound is tolerated the same way the outer replay
+      // loop tolerates it (see OpenDurableStore).
+      size_t off = 0;
+      wal::Record sub;
+      while (off < rec.json.size()) {
+        RETURN_NOT_OK(wal::DecodeRecord(rec.json, &off, &sub));
+        Status st = ApplyWalRecord(sub);
+        if (!st.ok() && !st.IsNotFound()) return st;
+      }
+      return Status::OK();
+    }
+    case RecordType::kTxnBegin:
+    case RecordType::kTxnAbort:
+      return Status::OK();  // advisory markers
   }
   return Status::ParseError("wal: unhandled record type");
 }

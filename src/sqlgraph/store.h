@@ -18,8 +18,12 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <set>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/property_graph.h"
@@ -45,6 +49,8 @@ namespace core {
 using graph::EdgeId;
 using graph::VertexId;
 
+class Txn;
+
 /// One adjacency record returned by link queries.
 struct EdgeRecord {
   EdgeId id;
@@ -52,6 +58,17 @@ struct EdgeRecord {
   VertexId dst;
   std::string label;
   json::JsonValue attrs;
+};
+
+/// Lifetime transaction counters (see DESIGN.md §12). `aborted` counts every
+/// non-committed end — explicit rollbacks, commit-time conflicts and apply
+/// failures; `conflicts` counts just the first-committer-wins losers.
+struct TxnStats {
+  uint64_t begun = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t conflicts = 0;
+  uint64_t active = 0;
 };
 
 class SqlGraphStore {
@@ -98,6 +115,17 @@ class SqlGraphStore {
                                           const std::string& label = "") const;
   util::Result<std::vector<VertexId>> In(VertexId vid,
                                          const std::string& label = "") const;
+
+  // ------------------------------------------------------- transactions --
+  /// Opens a snapshot-isolation transaction (DESIGN.md §12): reads are
+  /// pinned to the commit timestamp current at Begin, mutations buffer in
+  /// the handle and apply atomically at Commit() under first-committer-wins
+  /// conflict detection. The handle is single-threaded; concurrent handles
+  /// (and concurrent autocommit CRUD) are safe. Never fails; conflicts
+  /// surface from Txn::Commit().
+  std::unique_ptr<Txn> BeginTxn();
+  /// Point-in-time transaction counters.
+  TxnStats txn_stats() const;
 
   // ----------------------------------------------------------- querying --
   /// Executes a full SQL query (shared-locks all tables for its duration).
@@ -191,6 +219,7 @@ class SqlGraphStore {
   friend util::Result<std::unique_ptr<SqlGraphStore>> OpenSnapshot(
       const std::string& path, StoreConfig config);
   friend struct wal::StoreWalAccess;
+  friend class Txn;  // txn.cc drives the Apply*Locked/MVCC machinery below
 
   explicit SqlGraphStore(StoreConfig config)
       : config_(std::move(config)), db_(config_.buffer_pool_bytes) {
@@ -207,21 +236,147 @@ class SqlGraphStore {
   }
 
   // Compact's table work, shared by the public call and WAL replay.
-  // Caller holds exclusive locks on all six tables.
-  util::Status CompactLocked();
+  // Caller holds exclusive locks on all six tables. `version_ts` tags
+  // before-images for MVCC snapshot readers (0 = no recording).
+  util::Status CompactLocked(uint64_t version_ts);
 
   // Adjacency maintenance shared by add/remove edge. Caller holds locks.
   util::Status AddAdjacencyEntry(bool outgoing, VertexId vid,
                                  const std::string& label, EdgeId eid,
-                                 VertexId nbr);
+                                 VertexId nbr, uint64_t version_ts);
   util::Status RemoveAdjacencyEntry(bool outgoing, VertexId vid,
-                                    const std::string& label, EdgeId eid);
-  util::Status NegateAdjacencyRows(bool outgoing, VertexId vid);
+                                    const std::string& label, EdgeId eid,
+                                    uint64_t version_ts);
+  util::Status NegateAdjacencyRows(bool outgoing, VertexId vid,
+                                   uint64_t version_ts);
 
-  // Lock helpers. Table order: OPA, IPA, OSA, ISA, VA, EA.
+  // Lock helpers. Table order: OPA, IPA, OSA, ISA, VA, EA. Defined here
+  // (constructors in store.cc) so txn.cc can take the same locks.
   enum TableIdx { kOpa = 0, kIpa, kOsa, kIsa, kVa, kEa, kNumTables };
-  class ReadLockAll;
-  class WriteLock;
+
+  /// Shared lock over every table, for whole-query execution.
+  class ReadLockAll {
+   public:
+    explicit ReadLockAll(const SqlGraphStore* store);
+
+   private:
+    std::shared_lock<util::SharedMutex> locks_[kNumTables];
+  };
+
+  /// Mixed-mode lock over a subset of tables, acquired in fixed table order
+  /// (deadlock freedom). Requests must name distinct tables — the same
+  /// mutex must not appear twice.
+  class WriteLock {
+   public:
+    struct Req {
+      TableIdx table;
+      bool exclusive;
+    };
+    WriteLock(const SqlGraphStore* store, std::vector<Req> reqs);
+
+   private:
+    // Note: vectors keep acquisition order; both kinds interleave correctly
+    // because reqs were sorted before acquisition.
+    std::vector<std::unique_lock<util::SharedMutex>> exclusive_;
+    std::vector<std::shared_lock<util::SharedMutex>> shared_;
+  };
+
+  /// Held (shared) across a whole CRUD mutation — table work plus WAL
+  /// append — so Checkpoint (exclusive) can never observe a commit whose
+  /// rows are in the snapshot but whose record lands in the post-snapshot
+  /// log segment. Acquired before any table lock; Checkpoint follows the
+  /// same order, so the lock hierarchy stays acyclic.
+  class SCOPED_CAPABILITY CommitGuard {
+   public:
+    explicit CommitGuard(const SqlGraphStore* store)
+        ACQUIRE_SHARED(store->wal_rotate_mu_);
+    ~CommitGuard() RELEASE() {}
+
+   private:
+    std::shared_lock<util::SharedMutex> lock_;
+  };
+
+  rel::Table* TableAt(TableIdx t);
+
+  // ---- MVCC internals (DESIGN.md §12) -----------------------------------
+  // The table bodies of every CRUD mutation, factored out so the autocommit
+  // paths, WAL replay, and Txn::Commit share one implementation. Callers
+  // hold the locks listed per method; `version_ts` tags before-images.
+  //
+  //   ApplyAddVertexLocked        VA excl
+  //   ApplySetVertexAttrLocked    VA excl
+  //   ApplyRemoveVertexAttrLocked VA excl
+  //   ApplyRemoveVertexLocked     VA+OPA+IPA+EA excl
+  //   ApplyAddEdgeLocked          VA shared, EA+OPA+OSA+IPA+ISA excl
+  //   ApplySetEdgeAttrLocked      EA excl
+  //   ApplyRemoveEdgeAttrLocked   EA excl
+  //   ApplyRemoveEdgeLocked       EA+OPA+OSA+IPA+ISA excl
+  util::Status ApplyAddVertexLocked(int64_t vid, json::JsonValue attrs,
+                                    uint64_t version_ts);
+  util::Status ApplySetVertexAttrLocked(int64_t vid, const std::string& key,
+                                        json::JsonValue value,
+                                        uint64_t version_ts);
+  util::Status ApplyRemoveVertexAttrLocked(int64_t vid, const std::string& key,
+                                           uint64_t version_ts);
+  // Appends the eids of the deleted incident edges to `removed_eids`.
+  util::Status ApplyRemoveVertexLocked(int64_t vid, uint64_t version_ts,
+                                       std::vector<int64_t>* removed_eids);
+  util::Status ApplyAddEdgeLocked(int64_t eid, int64_t src, int64_t dst,
+                                  const std::string& label,
+                                  json::JsonValue attrs, uint64_t version_ts);
+  util::Status ApplySetEdgeAttrLocked(int64_t eid, const std::string& key,
+                                      json::JsonValue value,
+                                      uint64_t version_ts);
+  util::Status ApplyRemoveEdgeAttrLocked(int64_t eid, const std::string& key,
+                                         uint64_t version_ts);
+  util::Status ApplyRemoveEdgeLocked(int64_t eid, uint64_t version_ts);
+
+  // Conflict-map keys: one entity per vertex/edge. AddEdge writes both
+  // endpoint entities (it depends on them existing and bumps their
+  // adjacency), so entity-level first-committer-wins is conservative but
+  // never misses a true write conflict.
+  static uint64_t VertexEntity(int64_t vid) {
+    return static_cast<uint64_t>(vid) << 1;
+  }
+  static uint64_t EdgeEntity(int64_t eid) {
+    return (static_cast<uint64_t>(eid) << 1) | 1;
+  }
+
+  /// Called inside a mutation's exclusive-lock section: returns 0 (skip
+  /// version recording) when no transaction is active, else allocates the
+  /// mutation's commit timestamp. The seq_cst pairing with RegisterTxnRead
+  /// guarantees that a mutation which skips recording is fully applied
+  /// before any snapshot that could need its before-image takes read_ts.
+  uint64_t AllocVersionTs();
+  /// Records `entities` in the conflict map at `version_ts` (when non-zero)
+  /// and trims version logs of the exclusively-held `tables` up to the
+  /// oldest active snapshot (everything, when none is active).
+  void PublishAndTrimLocked(const std::vector<uint64_t>& entities,
+                            uint64_t version_ts,
+                            const std::vector<TableIdx>& tables);
+  /// Rolls back the before-images a failed mutation recorded at
+  /// `version_ts` on the exclusively-held `tables`, then returns `st` (or
+  /// Internal if the revert itself failed and the store is inconsistent).
+  util::Status UnwindLocked(util::Status st, uint64_t version_ts,
+                            const std::vector<TableIdx>& tables);
+  /// Begin/end of a snapshot: registers the pinned read timestamp so
+  /// version-log GC and conflict-map GC know the oldest live snapshot.
+  uint64_t RegisterTxnRead();
+  void DeregisterTxnRead(uint64_t read_ts);
+
+  // Snapshot point reads used by Txn (read_ts = 0 reads live data).
+  util::Result<json::JsonValue> GetVertexAt(int64_t vid,
+                                            uint64_t read_ts) const;
+  util::Result<EdgeRecord> GetEdgeAt(int64_t eid, uint64_t read_ts) const;
+  util::Result<std::vector<EdgeRecord>> GetOutEdgesAt(VertexId src,
+                                                      const std::string& label,
+                                                      uint64_t read_ts) const;
+  util::Result<std::vector<EdgeRecord>> GetInEdgesAt(VertexId dst,
+                                                     const std::string& label,
+                                                     uint64_t read_ts) const;
+  util::Result<sql::ResultSet> ExecuteSqlInternal(std::string_view text,
+                                                  uint64_t read_ts,
+                                                  sql::ExecStats* stats);
 
   // Prepared adjacency templates over EA (the §3.5 combined-index fast
   // path); compiled lazily, self-healing on schema-epoch change.
@@ -235,14 +390,20 @@ class SqlGraphStore {
     kTplInAny,
     kTplInLbl,
     kTplFindEdge,
+    kTplInEdgesAny,
+    kTplInEdgesLbl,
+    kTplGetVertex,
+    kTplGetEdge,
     kNumTemplates,
   };
   /// Executes one of the fixed adjacency templates with the given binds.
-  /// Caller holds the table locks the template's SQL needs (all templates
-  /// read only EA). Does not update last_stats_ — adjacency calls are the
-  /// hot path and never carried stats before.
+  /// Caller holds the table locks the template's SQL needs (templates read
+  /// only EA, except kTplGetVertex which reads VA). Does not update
+  /// last_stats_ — adjacency calls are the hot path and never carried stats
+  /// before. A non-zero `read_ts` pins the execution to that MVCC snapshot.
   util::Result<sql::ResultSet> RunTemplate(TemplateId id, const char* text,
-                                           sql::ParamBindings params) const;
+                                           sql::ParamBindings params,
+                                           uint64_t read_ts = 0) const;
   void BumpSchemaEpoch() {
     schema_epoch_.fetch_add(1, std::memory_order_acq_rel);
   }
@@ -295,6 +456,31 @@ class SqlGraphStore {
   mutable util::Mutex tpl_mu_{util::LockRank::kStoreTemplates,
                               "store_templates"};
   mutable sql::PreparedQueryPtr templates_[kNumTemplates] GUARDED_BY(tpl_mu_);
+
+  // ---- MVCC transaction state (DESIGN.md §12) ---------------------------
+  // Last assigned commit timestamp. Starts at 1 (the bulk load is "commit
+  // 1") so a snapshot's read_ts is always non-zero — executor Options treat
+  // read_ts == 0 as "live". Advanced only while a transaction is active
+  // (AllocVersionTs) so the idle store pays nothing.
+  std::atomic<uint64_t> commit_ts_{1};
+  // Open-transaction count; the gate mutations consult (seq_cst, paired
+  // with RegisterTxnRead) to decide whether to record before-images.
+  std::atomic<uint32_t> active_txns_{0};
+  // Guards the snapshot registry and the first-committer-wins conflict map.
+  // Ranks above the table locks (commit validates/publishes while holding
+  // them) and below kWalWriter; never held across table or WAL work.
+  mutable util::Mutex txn_mu_{util::LockRank::kTxnManager, "txn_manager"};
+  // Pinned read timestamps of open transactions (multiset: concurrent
+  // Begins can share a timestamp). Min element = version-log GC watermark.
+  std::multiset<uint64_t> active_read_ts_ GUARDED_BY(txn_mu_);
+  // entity → commit timestamp of its last committed write while any
+  // transaction was active; cleared when the last transaction ends.
+  std::unordered_map<uint64_t, uint64_t> entity_commit_ts_
+      GUARDED_BY(txn_mu_);
+  std::atomic<uint64_t> txns_begun_{0};
+  std::atomic<uint64_t> txns_committed_{0};
+  std::atomic<uint64_t> txns_aborted_{0};
+  std::atomic<uint64_t> txn_conflicts_{0};
 
   // Durability binding, attached via wal::StoreWalAccess when
   // config_.durability_dir is set. wal_rotate_mu_ orders commits against

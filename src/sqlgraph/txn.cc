@@ -1,0 +1,739 @@
+// Txn: buffered snapshot-isolation transactions (DESIGN.md §12).
+//
+// Life of a transaction:
+//
+//   BeginTxn            RegisterTxnRead pins read_ts under txn_mu_ and
+//                       raises active_txns_, which makes every concurrent
+//                       mutation record before-images (store.cc AllocVersionTs).
+//   mutations           validated against snapshot+overlay, then buffered
+//                       in ops_; ids are allocated eagerly (burned on abort,
+//                       never reused — same contract as autocommit).
+//   reads               snapshot reads at read_ts plus the overlay replay.
+//   Commit              one exclusive lock section over the union of every
+//                       buffered op's tables: validate the write set against
+//                       the entity conflict map (first committer wins),
+//                       allocate one commit timestamp, apply the ops in
+//                       buffer order through the shared Apply*Locked bodies,
+//                       publish the write set, and enqueue ONE kTxnCommit
+//                       WAL record holding the framed sub-records — the
+//                       atomic replay unit.
+//
+// Because ops only touch tables inside Commit's single lock section, an open
+// transaction never holds a table lock between statements: readers never
+// block writers, writers never block readers.
+
+#include "sqlgraph/txn.h"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+
+#include "json/json_parser.h"
+#include "obs/metrics.h"
+#include "sql/parser.h"
+#include "wal/log_writer.h"
+
+namespace sqlgraph {
+namespace core {
+
+using rel::Row;
+using rel::RowId;
+using rel::Value;
+using util::Result;
+using util::Status;
+
+namespace {
+constexpr size_t kEaEid = 0;  // EA column offset (see store.cc)
+}  // namespace
+
+// ------------------------------------------------------------- lifecycle --
+
+std::unique_ptr<Txn> SqlGraphStore::BeginTxn() {
+  return std::unique_ptr<Txn>(new Txn(this));
+}
+
+Txn::Txn(SqlGraphStore* store)
+    : store_(store), read_ts_(store->RegisterTxnRead()) {}
+
+Txn::~Txn() {
+  if (state_ == State::kOpen) End(/*committed=*/false, /*conflict=*/false);
+}
+
+Status Txn::CheckOpen() const {
+  if (state_ == State::kOpen) return Status::OK();
+  return Status::InvalidArgument("transaction is not open");
+}
+
+void Txn::End(bool committed, bool conflict) {
+  state_ = committed ? State::kCommitted : State::kAborted;
+  if (committed) {
+    store_->txns_committed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    store_->txns_aborted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (conflict) {
+    store_->txn_conflicts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* committed_ctr =
+        obs::MetricsRegistry::Default().GetCounter("txn.committed");
+    static obs::Counter* aborted_ctr =
+        obs::MetricsRegistry::Default().GetCounter("txn.aborted");
+    static obs::Counter* conflicts_ctr =
+        obs::MetricsRegistry::Default().GetCounter("txn.conflicts");
+    (committed ? committed_ctr : aborted_ctr)->Increment();
+    if (conflict) conflicts_ctr->Increment();
+  }
+  store_->DeregisterTxnRead(read_ts_);
+}
+
+Status Txn::Rollback() {
+  RETURN_NOT_OK(CheckOpen());
+  End(/*committed=*/false, /*conflict=*/false);
+  return Status::OK();
+}
+
+// ------------------------------------------------------- overlay probing --
+
+bool Txn::VertexVisible(int64_t vid) const {
+  if (removed_vertices_.count(vid) != 0) return false;
+  if (added_vertices_.count(vid) != 0) return true;
+  return store_->GetVertexAt(vid, read_ts_).ok();
+}
+
+bool Txn::EdgeRemoved(int64_t eid) const {
+  return removed_edges_.count(eid) != 0;
+}
+
+std::optional<EdgeRecord> Txn::OverlayEdge(EdgeRecord rec) const {
+  if (removed_edges_.count(static_cast<int64_t>(rec.id)) != 0) {
+    return std::nullopt;
+  }
+  // Removing a vertex removes its incident edges; the snapshot rows are
+  // filtered here rather than eagerly enumerated at RemoveVertex time.
+  if (removed_vertices_.count(static_cast<int64_t>(rec.src)) != 0 ||
+      removed_vertices_.count(static_cast<int64_t>(rec.dst)) != 0) {
+    return std::nullopt;
+  }
+  auto it = edge_attr_ops_.find(static_cast<int64_t>(rec.id));
+  if (it != edge_attr_ops_.end()) {
+    for (const auto& [key, value] : it->second) {
+      if (value.has_value()) {
+        rec.attrs.Set(key, *value);
+      } else {
+        rec.attrs.Erase(key);
+      }
+    }
+  }
+  return rec;
+}
+
+// ----------------------------------------------------- buffered mutations --
+
+Result<VertexId> Txn::AddVertex(json::JsonValue attrs) {
+  RETURN_NOT_OK(CheckOpen());
+  if (!attrs.is_object()) attrs = json::JsonValue::Object();
+  int64_t vid;
+  {
+    util::WriterMutexLock counter(&store_->counter_lock_);
+    vid = store_->next_vertex_id_++;
+  }
+  added_vertices_[vid] = attrs;
+  Op op;
+  op.kind = Op::Kind::kAddVertex;
+  op.id = vid;
+  op.value = std::move(attrs);
+  ops_.push_back(std::move(op));
+  return static_cast<VertexId>(vid);
+}
+
+Status Txn::SetVertexAttr(VertexId v, const std::string& key,
+                          json::JsonValue value) {
+  RETURN_NOT_OK(CheckOpen());
+  const int64_t vid = static_cast<int64_t>(v);
+  if (!VertexVisible(vid)) {
+    return Status::NotFound("vertex " + std::to_string(vid));
+  }
+  auto added = added_vertices_.find(vid);
+  if (added != added_vertices_.end()) {
+    added->second.Set(key, value);
+  } else {
+    vertex_attr_ops_[vid].emplace_back(key, value);
+  }
+  Op op;
+  op.kind = Op::Kind::kSetVertexAttr;
+  op.id = vid;
+  op.key = key;
+  op.value = std::move(value);
+  ops_.push_back(std::move(op));
+  return Status::OK();
+}
+
+Status Txn::RemoveVertexAttr(VertexId v, const std::string& key) {
+  RETURN_NOT_OK(CheckOpen());
+  const int64_t vid = static_cast<int64_t>(v);
+  if (!VertexVisible(vid)) {
+    return Status::NotFound("vertex " + std::to_string(vid));
+  }
+  auto added = added_vertices_.find(vid);
+  if (added != added_vertices_.end()) {
+    added->second.Erase(key);
+  } else {
+    vertex_attr_ops_[vid].emplace_back(key, std::nullopt);
+  }
+  Op op;
+  op.kind = Op::Kind::kRemoveVertexAttr;
+  op.id = vid;
+  op.key = key;
+  ops_.push_back(std::move(op));
+  return Status::OK();
+}
+
+Status Txn::RemoveVertex(VertexId v) {
+  RETURN_NOT_OK(CheckOpen());
+  const int64_t vid = static_cast<int64_t>(v);
+  if (!VertexVisible(vid)) {
+    return Status::NotFound("vertex " + std::to_string(vid));
+  }
+  added_vertices_.erase(vid);
+  vertex_attr_ops_.erase(vid);
+  removed_vertices_.insert(vid);
+  // Overlay-added edges incident to the vertex die with it (the replay in
+  // Commit reaches the same state: ApplyRemoveVertexLocked deletes them).
+  for (auto it = added_edges_.begin(); it != added_edges_.end();) {
+    if (static_cast<int64_t>(it->second.src) == vid ||
+        static_cast<int64_t>(it->second.dst) == vid) {
+      it = added_edges_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  Op op;
+  op.kind = Op::Kind::kRemoveVertex;
+  op.id = vid;
+  ops_.push_back(std::move(op));
+  return Status::OK();
+}
+
+Result<EdgeId> Txn::AddEdge(VertexId src, VertexId dst,
+                            const std::string& label, json::JsonValue attrs) {
+  RETURN_NOT_OK(CheckOpen());
+  for (VertexId endpoint : {src, dst}) {
+    if (!VertexVisible(static_cast<int64_t>(endpoint))) {
+      return Status::NotFound("vertex " + std::to_string(endpoint));
+    }
+  }
+  if (!attrs.is_object()) attrs = json::JsonValue::Object();
+  int64_t eid;
+  {
+    util::WriterMutexLock counter(&store_->counter_lock_);
+    eid = store_->next_edge_id_++;
+  }
+  EdgeRecord rec;
+  rec.id = static_cast<EdgeId>(eid);
+  rec.src = src;
+  rec.dst = dst;
+  rec.label = label;
+  rec.attrs = attrs;
+  added_edges_[eid] = std::move(rec);
+  Op op;
+  op.kind = Op::Kind::kAddEdge;
+  op.id = eid;
+  op.src = static_cast<int64_t>(src);
+  op.dst = static_cast<int64_t>(dst);
+  op.key = label;
+  op.value = std::move(attrs);
+  ops_.push_back(std::move(op));
+  return static_cast<EdgeId>(eid);
+}
+
+// Shared by the three edge-mutation entry points: NotFound unless the edge
+// is visible through the overlay (added here, or in the snapshot and not
+// overlay-deleted directly or via an endpoint).
+Status Txn::SetEdgeAttr(EdgeId e, const std::string& key,
+                        json::JsonValue value) {
+  RETURN_NOT_OK(CheckOpen());
+  const int64_t eid = static_cast<int64_t>(e);
+  if (EdgeRemoved(eid)) return Status::NotFound("edge " + std::to_string(eid));
+  auto added = added_edges_.find(eid);
+  if (added != added_edges_.end()) {
+    added->second.attrs.Set(key, value);
+  } else {
+    ASSIGN_OR_RETURN(EdgeRecord rec, store_->GetEdgeAt(eid, read_ts_));
+    if (!OverlayEdge(std::move(rec)).has_value()) {
+      return Status::NotFound("edge " + std::to_string(eid));
+    }
+    edge_attr_ops_[eid].emplace_back(key, value);
+  }
+  Op op;
+  op.kind = Op::Kind::kSetEdgeAttr;
+  op.id = eid;
+  op.key = key;
+  op.value = std::move(value);
+  ops_.push_back(std::move(op));
+  return Status::OK();
+}
+
+Status Txn::RemoveEdgeAttr(EdgeId e, const std::string& key) {
+  RETURN_NOT_OK(CheckOpen());
+  const int64_t eid = static_cast<int64_t>(e);
+  if (EdgeRemoved(eid)) return Status::NotFound("edge " + std::to_string(eid));
+  auto added = added_edges_.find(eid);
+  if (added != added_edges_.end()) {
+    added->second.attrs.Erase(key);
+  } else {
+    ASSIGN_OR_RETURN(EdgeRecord rec, store_->GetEdgeAt(eid, read_ts_));
+    if (!OverlayEdge(std::move(rec)).has_value()) {
+      return Status::NotFound("edge " + std::to_string(eid));
+    }
+    edge_attr_ops_[eid].emplace_back(key, std::nullopt);
+  }
+  Op op;
+  op.kind = Op::Kind::kRemoveEdgeAttr;
+  op.id = eid;
+  op.key = key;
+  ops_.push_back(std::move(op));
+  return Status::OK();
+}
+
+Status Txn::RemoveEdge(EdgeId e) {
+  RETURN_NOT_OK(CheckOpen());
+  const int64_t eid = static_cast<int64_t>(e);
+  if (EdgeRemoved(eid)) return Status::NotFound("edge " + std::to_string(eid));
+  if (added_edges_.erase(eid) == 0) {
+    ASSIGN_OR_RETURN(EdgeRecord rec, store_->GetEdgeAt(eid, read_ts_));
+    if (!OverlayEdge(std::move(rec)).has_value()) {
+      return Status::NotFound("edge " + std::to_string(eid));
+    }
+    removed_edges_.insert(eid);
+    edge_attr_ops_.erase(eid);
+  }
+  Op op;
+  op.kind = Op::Kind::kRemoveEdge;
+  op.id = eid;
+  ops_.push_back(std::move(op));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- reads --
+
+Result<json::JsonValue> Txn::GetVertex(VertexId v) const {
+  RETURN_NOT_OK(CheckOpen());
+  const int64_t vid = static_cast<int64_t>(v);
+  if (removed_vertices_.count(vid) != 0) {
+    return Status::NotFound("vertex " + std::to_string(vid));
+  }
+  auto added = added_vertices_.find(vid);
+  if (added != added_vertices_.end()) return added->second;
+  ASSIGN_OR_RETURN(json::JsonValue attrs, store_->GetVertexAt(vid, read_ts_));
+  auto ops = vertex_attr_ops_.find(vid);
+  if (ops != vertex_attr_ops_.end()) {
+    for (const auto& [key, value] : ops->second) {
+      if (value.has_value()) {
+        attrs.Set(key, *value);
+      } else {
+        attrs.Erase(key);
+      }
+    }
+  }
+  return attrs;
+}
+
+Result<EdgeRecord> Txn::GetEdge(EdgeId e) const {
+  RETURN_NOT_OK(CheckOpen());
+  const int64_t eid = static_cast<int64_t>(e);
+  auto added = added_edges_.find(eid);
+  if (added != added_edges_.end()) return added->second;
+  ASSIGN_OR_RETURN(EdgeRecord rec, store_->GetEdgeAt(eid, read_ts_));
+  std::optional<EdgeRecord> overlaid = OverlayEdge(std::move(rec));
+  if (!overlaid.has_value()) {
+    return Status::NotFound("edge " + std::to_string(eid));
+  }
+  return *std::move(overlaid);
+}
+
+Result<std::vector<EdgeRecord>> Txn::GetOutEdges(
+    VertexId src, const std::string& label) const {
+  RETURN_NOT_OK(CheckOpen());
+  std::vector<EdgeRecord> out;
+  if (removed_vertices_.count(static_cast<int64_t>(src)) != 0) return out;
+  ASSIGN_OR_RETURN(std::vector<EdgeRecord> snap,
+                   store_->GetOutEdgesAt(src, label, read_ts_));
+  for (EdgeRecord& rec : snap) {
+    std::optional<EdgeRecord> overlaid = OverlayEdge(std::move(rec));
+    if (overlaid.has_value()) out.push_back(*std::move(overlaid));
+  }
+  // Overlay-added edges come after the snapshot ones, in eid order so the
+  // result is deterministic despite the map.
+  std::vector<const EdgeRecord*> added;
+  for (const auto& [eid, rec] : added_edges_) {
+    if (rec.src == src && (label.empty() || rec.label == label)) {
+      added.push_back(&rec);
+    }
+  }
+  std::sort(added.begin(), added.end(),
+            [](const EdgeRecord* a, const EdgeRecord* b) {
+              return a->id < b->id;
+            });
+  for (const EdgeRecord* rec : added) out.push_back(*rec);
+  return out;
+}
+
+Result<std::vector<VertexId>> Txn::Out(VertexId vid,
+                                       const std::string& label) const {
+  ASSIGN_OR_RETURN(std::vector<EdgeRecord> edges, GetOutEdges(vid, label));
+  std::vector<VertexId> out;
+  out.reserve(edges.size());
+  for (const EdgeRecord& rec : edges) out.push_back(rec.dst);
+  return out;
+}
+
+Result<std::vector<VertexId>> Txn::In(VertexId vid,
+                                      const std::string& label) const {
+  RETURN_NOT_OK(CheckOpen());
+  std::vector<VertexId> out;
+  if (removed_vertices_.count(static_cast<int64_t>(vid)) != 0) return out;
+  ASSIGN_OR_RETURN(std::vector<EdgeRecord> snap,
+                   store_->GetInEdgesAt(vid, label, read_ts_));
+  for (EdgeRecord& rec : snap) {
+    std::optional<EdgeRecord> overlaid = OverlayEdge(std::move(rec));
+    if (overlaid.has_value()) out.push_back(overlaid->src);
+  }
+  std::vector<const EdgeRecord*> added;
+  for (const auto& [eid, rec] : added_edges_) {
+    if (rec.dst == vid && (label.empty() || rec.label == label)) {
+      added.push_back(&rec);
+    }
+  }
+  std::sort(added.begin(), added.end(),
+            [](const EdgeRecord* a, const EdgeRecord* b) {
+              return a->id < b->id;
+            });
+  for (const EdgeRecord* rec : added) out.push_back(rec->src);
+  return out;
+}
+
+Result<sql::ResultSet> Txn::ExecuteSql(std::string_view text,
+                                       sql::ExecStats* stats) {
+  RETURN_NOT_OK(CheckOpen());
+  return store_->ExecuteSqlInternal(text, read_ts_, stats);
+}
+
+// --------------------------------------------------------------- commit --
+
+Status Txn::Commit() {
+  RETURN_NOT_OK(CheckOpen());
+  if (ops_.empty()) {
+    End(/*committed=*/true, /*conflict=*/false);
+    return Status::OK();
+  }
+
+  using TableIdx = SqlGraphStore::TableIdx;
+  // Union of every op's lock needs, deduped (exclusive wins) — WriteLock
+  // must never see the same mutex twice.
+  bool need[SqlGraphStore::kNumTables] = {};
+  bool excl[SqlGraphStore::kNumTables] = {};
+  auto want = [&](TableIdx t, bool exclusive) {
+    need[t] = true;
+    excl[t] = excl[t] || exclusive;
+  };
+  for (const Op& op : ops_) {
+    switch (op.kind) {
+      case Op::Kind::kAddVertex:
+      case Op::Kind::kSetVertexAttr:
+      case Op::Kind::kRemoveVertexAttr:
+        want(SqlGraphStore::kVa, true);
+        break;
+      case Op::Kind::kRemoveVertex:
+        want(SqlGraphStore::kOpa, true);
+        want(SqlGraphStore::kIpa, true);
+        want(SqlGraphStore::kVa, true);
+        want(SqlGraphStore::kEa, true);
+        break;
+      case Op::Kind::kAddEdge:
+        want(SqlGraphStore::kOpa, true);
+        want(SqlGraphStore::kIpa, true);
+        want(SqlGraphStore::kOsa, true);
+        want(SqlGraphStore::kIsa, true);
+        want(SqlGraphStore::kVa, false);
+        want(SqlGraphStore::kEa, true);
+        break;
+      case Op::Kind::kSetEdgeAttr:
+      case Op::Kind::kRemoveEdgeAttr:
+        want(SqlGraphStore::kEa, true);
+        break;
+      case Op::Kind::kRemoveEdge:
+        want(SqlGraphStore::kOpa, true);
+        want(SqlGraphStore::kIpa, true);
+        want(SqlGraphStore::kOsa, true);
+        want(SqlGraphStore::kIsa, true);
+        want(SqlGraphStore::kEa, true);
+        break;
+    }
+  }
+  std::vector<SqlGraphStore::WriteLock::Req> reqs;
+  std::vector<TableIdx> excl_tables;
+  for (int i = 0; i < SqlGraphStore::kNumTables; ++i) {
+    if (!need[i]) continue;
+    reqs.push_back({static_cast<TableIdx>(i), excl[i]});
+    if (excl[i]) excl_tables.push_back(static_cast<TableIdx>(i));
+  }
+
+  SqlGraphStore::CommitGuard commit(store_);
+  uint64_t ticket = 0;
+  {
+    SqlGraphStore::WriteLock lock(store_, reqs);
+
+    // Write set for first-committer-wins validation. A RemoveVertex also
+    // writes every live incident edge; with EA exclusively held this is
+    // exactly the set Apply will delete (edges added earlier in THIS
+    // transaction are not applied yet and cannot conflict — their entities
+    // are brand new).
+    std::vector<uint64_t> write_set;
+    for (const Op& op : ops_) {
+      switch (op.kind) {
+        case Op::Kind::kAddVertex:
+        case Op::Kind::kSetVertexAttr:
+        case Op::Kind::kRemoveVertexAttr:
+          write_set.push_back(SqlGraphStore::VertexEntity(op.id));
+          break;
+        case Op::Kind::kRemoveVertex: {
+          write_set.push_back(SqlGraphStore::VertexEntity(op.id));
+          rel::Table* ea = store_->db_.GetTable(kEaTable);
+          for (int col : {1, 2}) {  // INV, OUTV
+            ASSIGN_OR_RETURN(std::vector<RowId> rids,
+                             ea->LookupEq({col}, {{Value(op.id)}}));
+            for (RowId rid : rids) {
+              Row row;
+              RETURN_NOT_OK(ea->Get(rid, &row));
+              write_set.push_back(
+                  SqlGraphStore::EdgeEntity(row[kEaEid].AsInt()));
+            }
+          }
+          break;
+        }
+        case Op::Kind::kAddEdge:
+          write_set.push_back(SqlGraphStore::VertexEntity(op.src));
+          write_set.push_back(SqlGraphStore::VertexEntity(op.dst));
+          write_set.push_back(SqlGraphStore::EdgeEntity(op.id));
+          break;
+        case Op::Kind::kSetEdgeAttr:
+        case Op::Kind::kRemoveEdgeAttr:
+        case Op::Kind::kRemoveEdge:
+          write_set.push_back(SqlGraphStore::EdgeEntity(op.id));
+          break;
+      }
+    }
+    bool conflict = false;
+    {
+      util::MutexLock guard(&store_->txn_mu_);
+      for (uint64_t e : write_set) {
+        auto it = store_->entity_commit_ts_.find(e);
+        if (it != store_->entity_commit_ts_.end() && it->second > read_ts_) {
+          conflict = true;
+          break;
+        }
+      }
+    }
+    if (conflict) {
+      End(/*committed=*/false, /*conflict=*/true);
+      return Status::Conflict("write conflict: first committer wins");
+    }
+
+    // Apply in buffer order, collecting the publish set and the framed WAL
+    // sub-records. All writes share this transaction's single commit
+    // timestamp, so the whole batch reverts with one RevertVersionsAt.
+    const uint64_t vts = store_->AllocVersionTs();
+    const bool durable = store_->durable();
+    std::vector<uint64_t> publish;
+    std::string framed;
+    Status st = Status::OK();
+    for (Op& op : ops_) {
+      wal::Record sub;
+      switch (op.kind) {
+        case Op::Kind::kAddVertex:
+          if (durable) {
+            sub.type = wal::RecordType::kAddVertex;
+            sub.id = op.id;
+            sub.json = json::Write(op.value);
+          }
+          st = store_->ApplyAddVertexLocked(op.id, std::move(op.value), vts);
+          publish.push_back(SqlGraphStore::VertexEntity(op.id));
+          break;
+        case Op::Kind::kSetVertexAttr:
+          if (durable) {
+            sub.type = wal::RecordType::kSetVertexAttr;
+            sub.id = op.id;
+            sub.label = op.key;
+            sub.json = json::Write(op.value);
+          }
+          st = store_->ApplySetVertexAttrLocked(op.id, op.key,
+                                                std::move(op.value), vts);
+          publish.push_back(SqlGraphStore::VertexEntity(op.id));
+          break;
+        case Op::Kind::kRemoveVertexAttr:
+          if (durable) {
+            sub.type = wal::RecordType::kRemoveVertexAttr;
+            sub.id = op.id;
+            sub.label = op.key;
+          }
+          st = store_->ApplyRemoveVertexAttrLocked(op.id, op.key, vts);
+          publish.push_back(SqlGraphStore::VertexEntity(op.id));
+          break;
+        case Op::Kind::kRemoveVertex: {
+          if (durable) {
+            sub.type = wal::RecordType::kRemoveVertex;
+            sub.id = op.id;
+          }
+          std::vector<int64_t> removed_eids;
+          st = store_->ApplyRemoveVertexLocked(op.id, vts, &removed_eids);
+          publish.push_back(SqlGraphStore::VertexEntity(op.id));
+          for (int64_t eid : removed_eids) {
+            publish.push_back(SqlGraphStore::EdgeEntity(eid));
+          }
+          break;
+        }
+        case Op::Kind::kAddEdge:
+          if (durable) {
+            sub.type = wal::RecordType::kAddEdge;
+            sub.id = op.id;
+            sub.src = op.src;
+            sub.dst = op.dst;
+            sub.label = op.key;
+            sub.json = json::Write(op.value);
+          }
+          st = store_->ApplyAddEdgeLocked(op.id, op.src, op.dst, op.key,
+                                          std::move(op.value), vts);
+          publish.push_back(SqlGraphStore::VertexEntity(op.src));
+          publish.push_back(SqlGraphStore::VertexEntity(op.dst));
+          publish.push_back(SqlGraphStore::EdgeEntity(op.id));
+          break;
+        case Op::Kind::kSetEdgeAttr:
+          if (durable) {
+            sub.type = wal::RecordType::kSetEdgeAttr;
+            sub.id = op.id;
+            sub.label = op.key;
+            sub.json = json::Write(op.value);
+          }
+          st = store_->ApplySetEdgeAttrLocked(op.id, op.key,
+                                              std::move(op.value), vts);
+          publish.push_back(SqlGraphStore::EdgeEntity(op.id));
+          break;
+        case Op::Kind::kRemoveEdgeAttr:
+          if (durable) {
+            sub.type = wal::RecordType::kRemoveEdgeAttr;
+            sub.id = op.id;
+            sub.label = op.key;
+          }
+          st = store_->ApplyRemoveEdgeAttrLocked(op.id, op.key, vts);
+          publish.push_back(SqlGraphStore::EdgeEntity(op.id));
+          break;
+        case Op::Kind::kRemoveEdge:
+          if (durable) {
+            sub.type = wal::RecordType::kRemoveEdge;
+            sub.id = op.id;
+          }
+          st = store_->ApplyRemoveEdgeLocked(op.id, vts);
+          publish.push_back(SqlGraphStore::EdgeEntity(op.id));
+          break;
+      }
+      if (!st.ok()) break;
+      if (durable) wal::EncodeRecord(sub, &framed);
+    }
+    if (!st.ok()) {
+      // Apply failed mid-batch (e.g. an endpoint died after our snapshot in
+      // a way validation could not see): revert this transaction's versions
+      // and abort with the store unchanged.
+      Status unwound = store_->UnwindLocked(std::move(st), vts, excl_tables);
+      End(/*committed=*/false, /*conflict=*/false);
+      return unwound;
+    }
+    store_->PublishAndTrimLocked(publish, vts, excl_tables);
+    if (durable) {
+      wal::Record crec;
+      crec.type = wal::RecordType::kTxnCommit;
+      crec.id = static_cast<int64_t>(ops_.size());
+      crec.json = std::move(framed);
+      // Enqueued while every touched table is still exclusively held, so
+      // the log order of conflicting commits matches their apply order.
+      Status est = store_->LogWalEnqueue(crec, &ticket);
+      if (!est.ok()) {
+        End(/*committed=*/false, /*conflict=*/false);
+        return est;
+      }
+    }
+  }
+  Status wst = store_->LogWalWait(ticket);
+  if (!wst.ok()) {
+    End(/*committed=*/false, /*conflict=*/false);
+    return wst;
+  }
+  End(/*committed=*/true, /*conflict=*/false);
+  return Status::OK();
+}
+
+// -------------------------------------------------------------- session --
+
+namespace {
+// Cheap routing guard: only statements whose first word could be
+// transaction control pay for a parse before reaching the executor.
+bool LooksLikeTxnControl(std::string_view text) {
+  size_t i = 0;
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  size_t j = i;
+  while (j < text.size() &&
+         std::isalpha(static_cast<unsigned char>(text[j]))) {
+    ++j;
+  }
+  std::string word(text.substr(i, j - i));
+  for (char& c : word) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return word == "begin" || word == "start" || word == "commit" ||
+         word == "rollback";
+}
+}  // namespace
+
+Result<sql::ResultSet> Session::Execute(std::string_view text,
+                                        sql::ExecStats* stats) {
+  if (LooksLikeTxnControl(text)) {
+    ASSIGN_OR_RETURN(sql::SqlQuery q, sql::ParseQuery(text));
+    switch (q.txn_control) {
+      case sql::TxnControl::kBegin:
+        if (in_txn()) {
+          return Status::InvalidArgument(
+              "transaction already open; COMMIT or ROLLBACK first");
+        }
+        txn_ = store_->BeginTxn();
+        return sql::ResultSet();
+      case sql::TxnControl::kCommit: {
+        if (!in_txn()) {
+          return Status::InvalidArgument("COMMIT outside a transaction");
+        }
+        Status st = txn_->Commit();
+        txn_.reset();
+        RETURN_NOT_OK(st);
+        return sql::ResultSet();
+      }
+      case sql::TxnControl::kRollback: {
+        if (!in_txn()) {
+          return Status::InvalidArgument("ROLLBACK outside a transaction");
+        }
+        Status st = txn_->Rollback();
+        txn_.reset();
+        RETURN_NOT_OK(st);
+        return sql::ResultSet();
+      }
+      case sql::TxnControl::kNone:
+        break;  // first word only looked like control; run it normally
+    }
+  }
+  if (in_txn()) return txn_->ExecuteSql(text, stats);
+  return store_->ExecuteSql(text, stats);
+}
+
+}  // namespace core
+}  // namespace sqlgraph

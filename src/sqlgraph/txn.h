@@ -1,0 +1,171 @@
+// Snapshot-isolation transactions over SqlGraphStore (DESIGN.md §12).
+//
+// A Txn pins a read timestamp at Begin and buffers its mutations in the
+// handle; nothing touches the tables until Commit(), which applies every
+// buffered operation inside one exclusive lock section under
+// first-committer-wins conflict detection and logs the whole transaction
+// as a single atomic WAL commit unit. Readers therefore never block on an
+// open transaction, and an open transaction never blocks writers — it only
+// pins old row versions so its snapshot stays reconstructable.
+//
+//  * Reads (GetVertex/GetEdge/GetOutEdges/Out/In) see the snapshot plus the
+//    transaction's own buffered writes (read-your-writes overlay).
+//  * ExecuteSql runs whole queries against the bare snapshot — buffered
+//    writes are NOT visible to SQL until Commit (documented divergence;
+//    the overlay covers only the CRUD surface).
+//  * Commit() returns a Conflict status when another transaction (or an
+//    autocommit mutation) committed a write to any entity in this
+//    transaction's write set after its read timestamp. The loser's buffered
+//    work is discarded; retrying is the caller's loop.
+//  * The handle is single-threaded. Distinct handles (and autocommit CRUD)
+//    are safe concurrently.
+
+#ifndef SQLGRAPH_SQLGRAPH_TXN_H_
+#define SQLGRAPH_SQLGRAPH_TXN_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sqlgraph/store.h"
+
+namespace sqlgraph {
+namespace core {
+
+class Txn {
+ public:
+  ~Txn();  // an open handle rolls back
+  Txn(const Txn&) = delete;
+  Txn& operator=(const Txn&) = delete;
+
+  // ---- buffered mutations (validated against snapshot + overlay) --------
+  util::Result<VertexId> AddVertex(json::JsonValue attrs);
+  util::Status SetVertexAttr(VertexId vid, const std::string& key,
+                             json::JsonValue value);
+  util::Status RemoveVertexAttr(VertexId vid, const std::string& key);
+  util::Status RemoveVertex(VertexId vid);
+  util::Result<EdgeId> AddEdge(VertexId src, VertexId dst,
+                               const std::string& label,
+                               json::JsonValue attrs);
+  util::Status SetEdgeAttr(EdgeId eid, const std::string& key,
+                           json::JsonValue value);
+  util::Status RemoveEdgeAttr(EdgeId eid, const std::string& key);
+  util::Status RemoveEdge(EdgeId eid);
+
+  // ---- snapshot + overlay reads -----------------------------------------
+  util::Result<json::JsonValue> GetVertex(VertexId vid) const;
+  util::Result<EdgeRecord> GetEdge(EdgeId eid) const;
+  util::Result<std::vector<EdgeRecord>> GetOutEdges(
+      VertexId src, const std::string& label) const;
+  util::Result<std::vector<VertexId>> Out(VertexId vid,
+                                          const std::string& label = "") const;
+  util::Result<std::vector<VertexId>> In(VertexId vid,
+                                         const std::string& label = "") const;
+
+  /// Whole-query SQL pinned to the snapshot. Buffered writes are invisible
+  /// here (see the header comment).
+  util::Result<sql::ResultSet> ExecuteSql(std::string_view text,
+                                          sql::ExecStats* stats = nullptr);
+
+  /// Applies the buffered operations atomically. Conflict status when this
+  /// transaction loses first-committer-wins; any other failure aborts the
+  /// transaction with the store unchanged. After Commit the handle is
+  /// closed either way.
+  util::Status Commit();
+  /// Discards the buffered operations and closes the handle.
+  util::Status Rollback();
+
+  uint64_t read_ts() const { return read_ts_; }
+  bool open() const { return state_ == State::kOpen; }
+  /// Number of buffered (not yet committed) operations.
+  size_t pending_ops() const { return ops_.size(); }
+
+ private:
+  friend class SqlGraphStore;  // BeginTxn constructs handles
+
+  struct Op {
+    enum class Kind {
+      kAddVertex,
+      kSetVertexAttr,
+      kRemoveVertexAttr,
+      kRemoveVertex,
+      kAddEdge,
+      kSetEdgeAttr,
+      kRemoveEdgeAttr,
+      kRemoveEdge,
+    };
+    Kind kind;
+    int64_t id = 0;        // vid or eid
+    int64_t src = 0;       // AddEdge
+    int64_t dst = 0;       // AddEdge
+    std::string key;       // attr key, or AddEdge label
+    json::JsonValue value;  // attr value, or attrs object
+  };
+  enum class State { kOpen, kCommitted, kAborted };
+
+  explicit Txn(SqlGraphStore* store);
+
+  util::Status CheckOpen() const;
+  /// Closes the handle: bookkeeping counters/metrics + snapshot release.
+  void End(bool committed, bool conflict);
+
+  // Overlay probes (snapshot ∘ buffered writes).
+  bool VertexVisible(int64_t vid) const;
+  bool EdgeRemoved(int64_t eid) const;
+  // Applies this txn's buffered attr ops for `eid` / filters removed
+  // endpoints; nullopt when the edge is overlay-deleted.
+  std::optional<EdgeRecord> OverlayEdge(EdgeRecord rec) const;
+
+  SqlGraphStore* store_;
+  uint64_t read_ts_;
+  State state_ = State::kOpen;
+  std::vector<Op> ops_;
+
+  // Read-your-writes overlay, maintained eagerly as ops are buffered. The
+  // ordered replay source of truth is ops_; these maps only serve reads.
+  std::unordered_map<int64_t, json::JsonValue> added_vertices_;
+  std::unordered_set<int64_t> removed_vertices_;
+  // key → new value; nullopt = key erased. Applied in buffer order.
+  std::unordered_map<int64_t,
+                     std::vector<std::pair<std::string,
+                                           std::optional<json::JsonValue>>>>
+      vertex_attr_ops_;
+  std::unordered_map<int64_t, EdgeRecord> added_edges_;
+  std::unordered_set<int64_t> removed_edges_;
+  std::unordered_map<int64_t,
+                     std::vector<std::pair<std::string,
+                                           std::optional<json::JsonValue>>>>
+      edge_attr_ops_;
+};
+
+/// A SQL session: routes BEGIN/COMMIT/ROLLBACK statements to the
+/// transaction manager and everything else to the open transaction's
+/// snapshot (or the store, in autocommit mode). One session per client;
+/// not thread-safe.
+class Session {
+ public:
+  explicit Session(SqlGraphStore* store) : store_(store) {}
+
+  /// Executes one statement. Transaction-control statements return an
+  /// empty result set; BEGIN inside an open transaction and
+  /// COMMIT/ROLLBACK outside one are InvalidArgument.
+  util::Result<sql::ResultSet> Execute(std::string_view text,
+                                       sql::ExecStats* stats = nullptr);
+
+  bool in_txn() const { return txn_ != nullptr && txn_->open(); }
+  Txn* txn() { return txn_.get(); }
+
+ private:
+  SqlGraphStore* store_;
+  std::unique_ptr<Txn> txn_;
+};
+
+}  // namespace core
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_SQLGRAPH_TXN_H_

@@ -25,6 +25,12 @@
 //   kRowStripe         rel::LockManager stripes, sub-ordered by stripe index
 //   kStoreCounter      id-counter lock; taken while holding table locks
 //                      (list-id allocation inside AddAdjacencyEntry)
+//   kTxnManager        SqlGraphStore::txn_mu_ — conflict map + active-txn
+//                      registry; commit validates/publishes while holding
+//                      the table locks, so it ranks above kStoreTable (and
+//                      above kStoreCounter: commit allocates ids first).
+//                      Never nested with kWalWriter on the same thread
+//                      (Enqueue happens after txn_mu_ is released).
 //   kWalWriter         wal::LogWriter::mu_ — Enqueue runs under the
 //                      serializing table lock, so the writer ranks below
 //                      nothing it is ever held with
@@ -64,6 +70,7 @@ enum class LockRank : int {
   kStoreTable = 20,
   kRowStripe = 25,
   kStoreCounter = 30,
+  kTxnManager = 35,
   kWalWriter = 40,
   kBufferPool = 50,
   kStoreTemplates = 60,

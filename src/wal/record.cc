@@ -81,7 +81,7 @@ Status DecodePayload(std::string_view payload, Record* out) {
   size_t off = 0;
   uint64_t type = 0;
   RETURN_NOT_OK(GetVar(payload, &off, &type));
-  if (type < 1 || type > 9) {
+  if (type < 1 || type > 12) {
     return Status::ParseError("wal: unknown record type");
   }
   out->type = static_cast<RecordType>(type);
@@ -124,6 +124,16 @@ Status DecodePayload(std::string_view payload, Record* out) {
       RETURN_NOT_OK(GetVar(payload, &off, &raw));
       out->id = Unzig(raw);
       break;
+    case RecordType::kTxnCommit:
+      RETURN_NOT_OK(GetVar(payload, &off, &raw));
+      out->id = Unzig(raw);
+      RETURN_NOT_OK(GetStr(payload, &off, &out->json));
+      break;
+    case RecordType::kTxnBegin:
+    case RecordType::kTxnAbort:
+      RETURN_NOT_OK(GetVar(payload, &off, &raw));
+      out->id = Unzig(raw);
+      break;
     case RecordType::kCompact:
       break;
   }
@@ -163,6 +173,14 @@ void EncodeRecord(const Record& rec, std::string* out) {
       break;
     case RecordType::kRemoveVertex:
     case RecordType::kRemoveEdge:
+      PutVar(Zig(rec.id), &payload);
+      break;
+    case RecordType::kTxnCommit:
+      PutVar(Zig(rec.id), &payload);
+      PutStr(rec.json, &payload);
+      break;
+    case RecordType::kTxnBegin:
+    case RecordType::kTxnAbort:
       PutVar(Zig(rec.id), &payload);
       break;
     case RecordType::kCompact:

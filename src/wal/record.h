@@ -35,6 +35,15 @@ enum class RecordType : uint8_t {
   kRemoveVertex = 7,      // id=vid (soft delete)
   kRemoveEdge = 8,        // id=eid
   kCompact = 9,           // offline cleanup ran
+  // Transactions. A committed transaction is ONE kTxnCommit frame whose
+  // `json` field holds the concatenated framed sub-records (decoded with
+  // DecodeRecord in a loop) and whose `id` is the sub-record count; the
+  // single CRC frame makes the whole transaction an atomic replay unit — a
+  // torn tail drops it entirely, never partially. kTxnBegin/kTxnAbort are
+  // advisory markers (aborted transactions write nothing else).
+  kTxnCommit = 10,        // id=sub-record count, json=framed sub-records
+  kTxnBegin = 11,         // id=txn id (advisory; replay is a no-op)
+  kTxnAbort = 12,         // id=txn id (advisory; replay is a no-op)
 };
 
 /// One logical mutation. Fields beyond `type` are meaningful per the

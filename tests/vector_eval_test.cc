@@ -241,6 +241,98 @@ TEST(VectorEvalTest, EmptyBatchYieldsEmptyColumn) {
   }
 }
 
+// Error-rescue equivalence for the documented divergence: AND/OR/COALESCE
+// operands evaluate eagerly in the batch path, so an operand that errors
+// only on rows the scalar path short-circuits past must be rescued into
+// row-at-a-time evaluation — succeeding exactly when per-row EvalExpr does,
+// and erroring exactly when some row genuinely errors in both modes.
+TEST(VectorEvalTest, ShortCircuitRescueMatchesScalarErrorSemantics) {
+  const ColumnEnv env = MakeEnv();
+  const EvalContext ctx;
+
+  auto mkrow = [](bool flag, Value a) {
+    Row row(kNumSlots);
+    row[kA] = std::move(a);
+    row[kB] = Value(int64_t{1});
+    row[kX] = Value(1.0);
+    row[kS] = Value("poison");  // string: arithmetic on it is a TypeError
+    row[kFlag] = Value(flag);
+    row[kDoc] = Value();
+    return row;
+  };
+  // S + 1 = 0 raises TypeError on every row it actually evaluates on.
+  auto poison = [] {
+    return Bin(BinaryOp::kEq,
+               Bin(BinaryOp::kAdd, Col("t", "S"), Lit(Value(int64_t{1}))),
+               Lit(Value(int64_t{0})));
+  };
+
+  auto check_equivalent = [&](const Expr& expr, const std::vector<Row>& rows,
+                              const char* tag) {
+    const ColumnBatch batch = ColumnBatch::FromRows(rows, kNumSlots);
+    auto col = EvalExprBatch(expr, env, batch, ctx);
+    // The scalar oracle: the batch call must succeed iff every row does.
+    bool all_ok = true;
+    util::Status first_error = util::Status::OK();
+    for (const Row& row : rows) {
+      auto v = EvalExpr(expr, env, row, ctx);
+      if (!v.ok()) {
+        all_ok = false;
+        first_error = v.status();
+        break;
+      }
+    }
+    ASSERT_EQ(col.ok(), all_ok) << tag << ": batch "
+                                << col.status().ToString() << " vs scalar "
+                                << first_error.ToString();
+    if (!all_ok) {
+      EXPECT_EQ(col.status().code(), first_error.code()) << tag;
+      return;
+    }
+    for (size_t i = 0; i < rows.size(); ++i) {
+      auto v = EvalExpr(expr, env, rows[i], ctx);
+      ASSERT_TRUE(v.ok());
+      ExpectSameValue(*v, col->GetValue(i),
+                      std::string(tag) + " row " + std::to_string(i));
+    }
+  };
+
+  // OR short-circuits past the poisoned right operand on every row.
+  std::vector<Row> all_true = {mkrow(true, Value(int64_t{5})),
+                               mkrow(true, Value(int64_t{6})),
+                               mkrow(true, Value(int64_t{7}))};
+  check_equivalent(*Bin(BinaryOp::kOr, Col("t", "FLAG"), poison()), all_true,
+                   "or-rescued");
+
+  // AND short-circuits on false the same way.
+  std::vector<Row> all_false = {mkrow(false, Value(int64_t{5})),
+                                mkrow(false, Value(int64_t{6}))};
+  check_equivalent(*Bin(BinaryOp::kAnd, Col("t", "FLAG"), poison()),
+                   all_false, "and-rescued");
+
+  // COALESCE never reaches the poisoned fallback when arg 0 is non-NULL.
+  check_equivalent(
+      *Func("COALESCE",
+            {Col("t", "A"),
+             Bin(BinaryOp::kAdd, Col("t", "S"), Lit(Value(int64_t{1})))}),
+      all_true, "coalesce-rescued");
+
+  // One row (FLAG = false) forces the poisoned operand: both modes error,
+  // with the same status code.
+  std::vector<Row> mixed = {mkrow(true, Value(int64_t{5})),
+                            mkrow(false, Value(int64_t{6}))};
+  check_equivalent(*Bin(BinaryOp::kOr, Col("t", "FLAG"), poison()), mixed,
+                   "or-poisoned");
+  // Same for COALESCE with a NULL first argument on one row.
+  std::vector<Row> null_a = {mkrow(true, Value(int64_t{5})),
+                             mkrow(true, Value())};
+  check_equivalent(
+      *Func("COALESCE",
+            {Col("t", "A"),
+             Bin(BinaryOp::kAdd, Col("t", "S"), Lit(Value(int64_t{1})))}),
+      null_a, "coalesce-poisoned");
+}
+
 }  // namespace
 }  // namespace sql
 }  // namespace sqlgraph

@@ -17,6 +17,7 @@
 #include "gtest/gtest.h"
 #include "json/json_parser.h"
 #include "sqlgraph/store.h"
+#include "sqlgraph/txn.h"
 #include "util/rng.h"
 #include "wal/durability.h"
 #include "wal/log_reader.h"
@@ -813,6 +814,255 @@ TEST(WalCrashRecoveryTest, RecoversExactValidPrefixAtRandomCrashPoints) {
       auto reopened = OpenDurableStore(crashed);
       ASSERT_TRUE(reopened.ok());
       EXPECT_TRUE((*reopened)->GetVertex(*extra).ok());
+      fs::remove_all(crashed.durability_dir);
+    }
+    fs::remove_all(config.durability_dir);
+  }
+}
+
+// ----------------------------------- transactional crash-point recovery --
+
+// One transactional unit of the trace. kAuto applies its single op through
+// the autocommit path (one WAL record); kCommit applies all ops through one
+// Txn handle and commits (one kTxnCommit record framing the whole unit);
+// kRollback applies ops through a Txn handle and rolls back (NO records —
+// and, so the trace's eager id allocation stays aligned with the oracle's,
+// rollback units carry only attr ops, which allocate nothing).
+struct TxnUnit {
+  enum class Kind { kAuto, kCommit, kRollback };
+  Kind kind;
+  std::vector<TraceOp> ops;
+};
+
+util::Status TxnApplyOp(core::Txn* txn, const TraceOp& op) {
+  switch (op.type) {
+    case RecordType::kAddVertex: {
+      auto id = txn->AddVertex(op.value);
+      if (!id.ok()) return id.status();
+      EXPECT_EQ(*id, op.id) << "txn vertex ids diverged from the trace";
+      return util::Status::OK();
+    }
+    case RecordType::kAddEdge: {
+      auto id = txn->AddEdge(op.src, op.dst, op.key, op.value);
+      if (!id.ok()) return id.status();
+      EXPECT_EQ(*id, op.id) << "txn edge ids diverged from the trace";
+      return util::Status::OK();
+    }
+    case RecordType::kSetVertexAttr:
+      return txn->SetVertexAttr(op.id, op.key, op.value);
+    case RecordType::kSetEdgeAttr:
+      return txn->SetEdgeAttr(op.id, op.key, op.value);
+    case RecordType::kRemoveVertexAttr:
+      return txn->RemoveVertexAttr(op.id, op.key);
+    case RecordType::kRemoveEdgeAttr:
+      return txn->RemoveEdgeAttr(op.id, op.key);
+    case RecordType::kRemoveVertex:
+      return txn->RemoveVertex(op.id);
+    case RecordType::kRemoveEdge:
+      return txn->RemoveEdge(op.id);
+    default:
+      return util::Status::Internal("unsupported txn trace op");
+  }
+}
+
+/// Generates a unit trace in which every op succeeds. Tracks the live
+/// graph exactly like GenerateTrace so ids and entity liveness line up
+/// between the durable run and the oracle replay.
+std::vector<TxnUnit> GenerateTxnTrace(uint64_t seed, size_t units) {
+  util::Rng rng(seed);
+  std::vector<TxnUnit> trace;
+  int64_t next_vid = 0, next_eid = 0;
+  std::vector<int64_t> vids;
+  struct LiveEdge {
+    int64_t eid, src, dst;
+  };
+  std::vector<LiveEdge> edges;
+  const char* keys[] = {"name", "age", "w", "k1"};
+
+  // One mutation against the tracked live graph; updates the tracking.
+  auto next_op = [&]() {
+    TraceOp op;
+    const double roll = rng.NextDouble();
+    if (roll < 0.34 || vids.empty()) {
+      op.type = RecordType::kAddVertex;
+      op.id = next_vid++;
+      op.value = json::JsonValue::Object();
+      op.value.Set("name", json::JsonValue(rng.NextString(6)));
+      vids.push_back(op.id);
+    } else if (roll < 0.60) {
+      op.type = RecordType::kAddEdge;
+      op.id = next_eid++;
+      op.src = vids[rng.Uniform(vids.size())];
+      op.dst = vids[rng.Uniform(vids.size())];
+      op.key = rng.Chance(0.5) ? "knows" : "likes";
+      op.value = json::JsonValue::Object();
+      op.value.Set("w", json::JsonValue(static_cast<int64_t>(next_eid)));
+      edges.push_back({op.id, op.src, op.dst});
+    } else if (roll < 0.75) {
+      op.type = RecordType::kSetVertexAttr;
+      op.id = vids[rng.Uniform(vids.size())];
+      op.key = keys[rng.Uniform(4)];
+      op.value = json::JsonValue(static_cast<int64_t>(rng.Uniform(1000)));
+    } else if (roll < 0.82 && !edges.empty()) {
+      op.type = RecordType::kSetEdgeAttr;
+      op.id = edges[rng.Uniform(edges.size())].eid;
+      op.key = keys[rng.Uniform(4)];
+      op.value = json::JsonValue(rng.NextString(4));
+    } else if (roll < 0.90 && vids.size() > 3) {
+      op.type = RecordType::kRemoveVertex;
+      const size_t pick = rng.Uniform(vids.size());
+      op.id = vids[pick];
+      vids.erase(vids.begin() + static_cast<ptrdiff_t>(pick));
+      std::erase_if(edges, [&](const LiveEdge& e) {
+        return e.src == op.id || e.dst == op.id;
+      });
+    } else if (roll < 0.97 && !edges.empty()) {
+      op.type = RecordType::kRemoveEdge;
+      const size_t pick = rng.Uniform(edges.size());
+      op.id = edges[pick].eid;
+      edges.erase(edges.begin() + static_cast<ptrdiff_t>(pick));
+    } else {
+      op.type = RecordType::kRemoveVertexAttr;
+      op.id = vids[rng.Uniform(vids.size())];
+      op.key = keys[rng.Uniform(4)];
+    }
+    return op;
+  };
+
+  while (trace.size() < units) {
+    TxnUnit unit;
+    const double roll = rng.NextDouble();
+    if (roll < 0.40) {
+      unit.kind = TxnUnit::Kind::kAuto;
+      unit.ops.push_back(next_op());
+    } else if (roll < 0.82 || vids.empty()) {
+      unit.kind = TxnUnit::Kind::kCommit;
+      const size_t n = 2 + rng.Uniform(3);
+      for (size_t i = 0; i < n; ++i) unit.ops.push_back(next_op());
+    } else {
+      // Rolled back: attr ops only (no id allocation, no tracking update —
+      // the work is discarded, so the tracked graph must not change).
+      unit.kind = TxnUnit::Kind::kRollback;
+      const size_t n = 1 + rng.Uniform(2);
+      for (size_t i = 0; i < n; ++i) {
+        TraceOp op;
+        op.type = rng.Chance(0.7) ? RecordType::kSetVertexAttr
+                                  : RecordType::kRemoveVertexAttr;
+        op.id = vids[rng.Uniform(vids.size())];
+        op.key = keys[rng.Uniform(4)];
+        if (op.type == RecordType::kSetVertexAttr) {
+          op.value = json::JsonValue(static_cast<int64_t>(rng.Uniform(1000)));
+        }
+        unit.ops.push_back(std::move(op));
+      }
+    }
+    trace.push_back(std::move(unit));
+  }
+  return trace;
+}
+
+util::Status ApplyUnit(SqlGraphStore* store, const TxnUnit& unit) {
+  if (unit.kind == TxnUnit::Kind::kAuto) {
+    return ApplyOp(store, unit.ops[0]);
+  }
+  auto txn = store->BeginTxn();
+  for (const TraceOp& op : unit.ops) {
+    util::Status st = TxnApplyOp(txn.get(), op);
+    if (!st.ok()) return st;
+  }
+  return unit.kind == TxnUnit::Kind::kCommit ? txn->Commit()
+                                             : txn->Rollback();
+}
+
+// Transactional trace → crash at a random byte of the log → recover →
+// compare against an oracle replaying exactly the units whose records
+// survived. A transaction replayed partially (some ops applied, the rest
+// lost) can never match the unit-granularity oracle, so this is the
+// atomic-commit-unit property: recovery is all-or-nothing per transaction.
+// Trial count can be raised via SQLGRAPH_TXN_TRIALS (ci/check.sh txn stage).
+TEST(TxnCrashRecoveryTest, CommitUnitsRecoverAtomicallyAtRandomCrashPoints) {
+  int total_trials = 216;
+  if (const char* env = std::getenv("SQLGRAPH_TXN_TRIALS")) {
+    total_trials = std::max(1, std::atoi(env));
+  }
+  constexpr int kTraces = 6;
+  const int trials_per_trace = std::max(1, total_trials / kTraces);
+
+  for (int trace_idx = 0; trace_idx < kTraces; ++trace_idx) {
+    const uint64_t seed = 0x7ea5eedULL + static_cast<uint64_t>(trace_idx);
+    const std::vector<TxnUnit> units = GenerateTxnTrace(seed, 40);
+    // The WAL-producing units, in record order: rollbacks emit nothing.
+    std::vector<const TxnUnit*> logged;
+    int64_t max_vid = 0, max_eid = 0;
+    for (const TxnUnit& u : units) {
+      if (u.kind != TxnUnit::Kind::kRollback) logged.push_back(&u);
+      for (const TraceOp& op : u.ops) {
+        if (op.type == RecordType::kAddVertex) max_vid = op.id + 1;
+        if (op.type == RecordType::kAddEdge) max_eid = op.id + 1;
+      }
+    }
+
+    StoreConfig config;
+    config.durability_dir =
+        FreshDir("txn_crash_pristine_" + std::to_string(trace_idx));
+    {
+      auto store = OpenDurableStore(config);
+      ASSERT_TRUE(store.ok()) << store.status().ToString();
+      for (const TxnUnit& u : units) {
+        ASSERT_TRUE(ApplyUnit(store->get(), u).ok());
+      }
+    }
+    const std::string log_path = config.durability_dir + "/" + kFirstSegment;
+    const std::string log_bytes = ReadFileBytes(log_path);
+    {
+      auto full = ReadLogFile(log_path);
+      ASSERT_TRUE(full.ok());
+      ASSERT_TRUE(full->clean);
+      // One record per autocommit op, ONE per committed transaction (its
+      // atomic commit unit), zero per rollback.
+      ASSERT_EQ(full->records.size(), logged.size());
+    }
+
+    util::Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+    for (int trial = 0; trial < trials_per_trace; ++trial) {
+      StoreConfig crashed;
+      crashed.durability_dir = FreshDir("txn_crash_trial");
+      fs::copy(config.durability_dir, crashed.durability_dir);
+      std::string damaged = log_bytes;
+      const int fault = static_cast<int>(rng.Uniform(3));
+      if (fault == 0) {
+        damaged.resize(rng.Uniform(damaged.size() + 1));
+      } else if (fault == 1) {
+        const size_t at = rng.Uniform(damaged.size());
+        damaged[at] = static_cast<char>(damaged[at] ^ (1 + rng.Uniform(255)));
+      } else {
+        damaged.resize(rng.Uniform(damaged.size() + 1));
+        damaged += rng.NextString(rng.Uniform(24));
+      }
+      WriteFileBytes(crashed.durability_dir + "/" + kFirstSegment, damaged);
+
+      auto surviving =
+          ReadLogFile(crashed.durability_dir + "/" + kFirstSegment);
+      ASSERT_TRUE(surviving.ok());
+      const size_t k = surviving->records.size();
+
+      auto recovered = OpenDurableStore(crashed);
+      ASSERT_TRUE(recovered.ok())
+          << "trace " << trace_idx << " trial " << trial << ": "
+          << recovered.status().ToString();
+
+      // Oracle: the first k logged units, each applied IN FULL via the
+      // autocommit path. No partial transaction can match this.
+      auto oracle = SqlGraphStore::Build(graph::PropertyGraph());
+      ASSERT_TRUE(oracle.ok());
+      for (size_t i = 0; i < k; ++i) {
+        for (const TraceOp& op : logged[i]->ops) {
+          ASSERT_TRUE(ApplyOp(oracle->get(), op).ok());
+        }
+      }
+      ExpectStoresEqual(recovered->get(), oracle->get(), max_vid, max_eid);
+      EXPECT_TRUE((*recovered)->CheckConsistency().ok())
+          << "trace " << trace_idx << " trial " << trial;
       fs::remove_all(crashed.durability_dir);
     }
     fs::remove_all(config.durability_dir);
