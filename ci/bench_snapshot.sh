@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Quick machine-readable latency snapshot of the core benchmarks into a
-# JSON file (default BENCH_pr6.json): benchmark name → median ns + p95 ns.
+# JSON file (default BENCH_pr9.json): benchmark name → median ns + p95 ns.
 #
 #   - bench_micro_ops       google-benchmark repetitions (per-op steady state)
 #   - bench_fig3_adjacency  paper Fig. 3 adjacency queries, quick scale
@@ -15,7 +15,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_pr6.json}"
+OUT="${1:-BENCH_pr9.json}"
 BUILD="${BUILD_DIR:-build}"
 
 cmake --build "$BUILD" -j "$(nproc)" \

@@ -4,8 +4,12 @@
 # with elevated trials, a metrics-overhead guard (enabled vs disabled
 # registry on the micro-op benchmarks, budget 5%), a perf-smoke stage
 # (bench_analytics --quick --check: the vectorized executor must match the
-# row-at-a-time executor's results and not be slower), a static-analysis lint
-# stage (clang -Wthread-safety -Werror build + clang-tidy over
+# row-at-a-time executor's results and not be slower), a schedule-exploration
+# stage (the util/sched deterministic explorer suites at an elevated PCT
+# trial count), a static-analysis lint
+# stage (the lock-graph cross-check in ci/lint_lock_graph.py — including a
+# drift-fixture self-test — then clang -Wthread-safety -Werror build +
+# clang-tidy over
 # compile_commands.json; skipped with a notice when the clang toolchain is
 # absent), a transaction gate (the MVCC suite plus the transactional
 # crash-point oracle at an elevated trial count), ASan/UBSan and TSan
@@ -53,6 +57,17 @@ if [[ "${1:-}" != "--fast" ]]; then
   SQLGRAPH_TXN_TRIALS=240 ./build/tests/sqlgraph_tests \
     --gtest_filter='Txn*:TxnCrashRecoveryTest.*'
 
+  echo "== schedule exploration (PCT + exhaustive DFS, elevated trials) =="
+  # The deterministic schedule explorer (util/sched.h): model-checks the
+  # txn commit/GC vs snapshot paths, the WAL group-commit protocol model
+  # and buffer-pool eviction, plus the mutation self-tests that prove a
+  # planted race/reorder is caught and replays byte-identically. The
+  # regular ctest pass already ran these at default trial counts; this
+  # stage elevates the PCT trial budget (override SQLGRAPH_SCHED_TRIALS
+  # to go deeper or to reproduce a CI failure locally).
+  SQLGRAPH_SCHED_TRIALS="${SQLGRAPH_SCHED_TRIALS:-500}" \
+    ./build/tests/sqlgraph_tests --gtest_filter='Sched*'
+
   echo "== metrics overhead guard (budget: 5% on micro-op read paths) =="
   # Same read-path benchmarks with the registry enabled vs disabled; the
   # sharded relaxed-atomic hot path must stay within budget. Medians over
@@ -96,6 +111,18 @@ if [[ "${1:-}" != "--fast" ]]; then
   # exits non-zero on a mode mismatch or a slowdown.
   cmake --build build -j "$(nproc)" --target bench_analytics
   ./build/bench/bench_analytics --quick --check
+
+  echo "== lint (lock-graph cross-check) =="
+  # Pure-text lint: the LockRank enum, the DESIGN.md section-7 hierarchy
+  # table and the GUARDED_BY coverage of every mutex member must agree.
+  # The second invocation asserts the lint actually detects drift, using
+  # the synthetic fixture tree.
+  python3 ci/lint_lock_graph.py
+  if python3 ci/lint_lock_graph.py --root ci/testdata/lock_graph_drift \
+      2>/dev/null; then
+    echo "lint_lock_graph failed to flag the drift fixture" >&2
+    exit 1
+  fi
 
   echo "== lint (thread-safety analysis + clang-tidy) =="
   # Clang's -Wthread-safety checks the GUARDED_BY/REQUIRES annotations in

@@ -1,0 +1,20 @@
+// Synthetic fixture for ci/lint_lock_graph.py — NOT part of the build.
+// The enum below deliberately disagrees with this fixture's DESIGN.md
+// (kBar = 20 is missing from the hierarchy table) so ci/check.sh can
+// assert the lint actually fails on drift.
+
+#ifndef FIXTURE_LOCK_RANK_H_
+#define FIXTURE_LOCK_RANK_H_
+
+namespace fixture {
+
+enum class LockRank : int {
+  kUnranked = 0,
+  kFoo = 10,
+  kBar = 20,
+  kBaz = 30,
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_LOCK_RANK_H_

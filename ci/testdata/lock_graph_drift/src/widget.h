@@ -1,0 +1,22 @@
+// Synthetic fixture for ci/lint_lock_graph.py — NOT part of the build.
+// foo_mu_ and bar_mu_ are properly annotated; baz_mu_ has no GUARDED_BY
+// use, which the lint's unguarded-member check must report.
+
+#ifndef FIXTURE_WIDGET_H_
+#define FIXTURE_WIDGET_H_
+
+namespace fixture {
+
+class Widget {
+ private:
+  util::Mutex foo_mu_{util::LockRank::kFoo, "foo"};
+  util::Mutex bar_mu_{util::LockRank::kBar, "bar"};
+  util::Mutex baz_mu_{util::LockRank::kBaz, "baz"};
+  int guarded_a_ GUARDED_BY(foo_mu_) = 0;
+  int guarded_b_ GUARDED_BY(bar_mu_) = 0;
+  int unguarded_ = 0;  // baz_mu_ protects this, but nothing says so
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_WIDGET_H_

@@ -44,11 +44,11 @@ void BufferPool::Insert(PageId id, std::shared_ptr<const DecodedPage> page) {
   util::MutexLock lock(&mu_);
   auto it = map_.find(id);
   if (it != map_.end()) {
-    used_ -= it->second->page->byte_size;
+    used_.Write() -= it->second->page->byte_size;
     lru_.erase(it->second);
     map_.erase(it);
   }
-  used_ += page->byte_size;
+  used_.Write() += page->byte_size;
   lru_.push_front(Entry{id, std::move(page)});
   map_[id] = lru_.begin();
   EvictIfNeeded();
@@ -58,7 +58,7 @@ void BufferPool::Invalidate(PageId id) {
   util::MutexLock lock(&mu_);
   auto it = map_.find(id);
   if (it == map_.end()) return;
-  used_ -= it->second->page->byte_size;
+  used_.Write() -= it->second->page->byte_size;
   lru_.erase(it->second);
   map_.erase(it);
 }
@@ -67,7 +67,7 @@ void BufferPool::InvalidateStore(uint32_t store_id) {
   util::MutexLock lock(&mu_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->id.store_id == store_id) {
-      used_ -= it->page->byte_size;
+      used_.Write() -= it->page->byte_size;
       map_.erase(it->id);
       it = lru_.erase(it);
     } else {
@@ -80,7 +80,7 @@ void BufferPool::Clear() {
   util::MutexLock lock(&mu_);
   lru_.clear();
   map_.clear();
-  used_ = 0;
+  used_.Write() = 0;
   hits_ = misses_ = evictions_ = 0;
 }
 
@@ -91,9 +91,9 @@ void BufferPool::set_capacity(size_t bytes) {
 }
 
 void BufferPool::EvictIfNeeded() {
-  while (used_ > capacity_ && !lru_.empty()) {
+  while (used_.Read() > capacity_ && !lru_.empty()) {
     const Entry& victim = lru_.back();
-    used_ -= victim.page->byte_size;
+    used_.Write() -= victim.page->byte_size;
     map_.erase(victim.id);
     lru_.pop_back();
     ++evictions_;

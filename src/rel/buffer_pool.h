@@ -85,7 +85,7 @@ class BufferPool {
   }
   size_t cached_bytes() const {
     util::MutexLock lock(&mu_);
-    return used_;
+    return used_.Read();
   }
 
   /// Allocates a store id for a new paged store.
@@ -104,7 +104,10 @@ class BufferPool {
 
   mutable util::Mutex mu_{util::LockRank::kBufferPool, "buffer_pool"};
   size_t capacity_ GUARDED_BY(mu_);
-  size_t used_ GUARDED_BY(mu_) = 0;
+  // Eviction driver (cached bytes). SharedVar: scheduling point + race
+  // check under the schedule explorer (util/sched.h), plain size_t
+  // otherwise.
+  util::sched::SharedVar<size_t> used_ GUARDED_BY(mu_){"buffer_pool.used"};
   std::list<Entry> lru_ GUARDED_BY(mu_);  // front = most recent
   std::unordered_map<PageId, std::list<Entry>::iterator, PageIdHash> map_
       GUARDED_BY(mu_);

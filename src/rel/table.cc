@@ -30,7 +30,7 @@ util::Result<RowId> Table::Insert(Row row, uint64_t version_ts) {
   }
   mutations_.fetch_add(1, std::memory_order_relaxed);
   if (version_ts != 0) {
-    versions_.push_back({version_ts, rid, VersionKind::kInsert, Row()});
+    versions_.Write().push_back({version_ts, rid, VersionKind::kInsert, Row()});
   }
   return rid;
 }
@@ -62,7 +62,7 @@ util::Status Table::Update(RowId rid, Row row, uint64_t version_ts) {
   }
   mutations_.fetch_add(1, std::memory_order_relaxed);
   if (version_ts != 0) {
-    versions_.push_back(
+    versions_.Write().push_back(
         {version_ts, rid, VersionKind::kUpdate, std::move(old_row)});
   }
   return util::Status::OK();
@@ -77,7 +77,7 @@ util::Status Table::Delete(RowId rid, uint64_t version_ts) {
   RETURN_NOT_OK(store_->Delete(rid));
   mutations_.fetch_add(1, std::memory_order_relaxed);
   if (version_ts != 0) {
-    versions_.push_back(
+    versions_.Write().push_back(
         {version_ts, rid, VersionKind::kDelete, std::move(old_row)});
   }
   return util::Status::OK();
@@ -101,8 +101,8 @@ void Table::ScanAt(uint64_t ts,
   // entry for a rid holds that rid's state at `ts` (overwriting on the
   // newest→oldest walk leaves exactly that). nullopt = not yet inserted.
   std::unordered_map<RowId, std::optional<Row>> patch;
-  for (auto it = versions_.rbegin();
-       it != versions_.rend() && it->ts > ts; ++it) {
+  const auto& log = versions_.Read();
+  for (auto it = log.rbegin(); it != log.rend() && it->ts > ts; ++it) {
     if (it->kind == VersionKind::kInsert) {
       patch[it->rid] = std::nullopt;
     } else {
@@ -125,15 +125,17 @@ void Table::ScanAt(uint64_t ts,
 }
 
 void Table::TrimVersions(uint64_t watermark) {
-  while (!versions_.empty() && versions_.front().ts <= watermark) {
-    versions_.pop_front();
+  auto& log = versions_.Write();
+  while (!log.empty() && log.front().ts <= watermark) {
+    log.pop_front();
   }
 }
 
 util::Status Table::RevertVersionsAt(uint64_t ts) {
-  while (!versions_.empty() && versions_.back().ts == ts) {
-    RowVersion v = std::move(versions_.back());
-    versions_.pop_back();
+  auto& log = versions_.Write();
+  while (!log.empty() && log.back().ts == ts) {
+    RowVersion v = std::move(log.back());
+    log.pop_back();
     switch (v.kind) {
       case VersionKind::kInsert:
         RETURN_NOT_OK(Delete(v.rid));

@@ -15,6 +15,7 @@
 #include "rel/index.h"
 #include "rel/row_store.h"
 #include "rel/schema.h"
+#include "util/sched.h"
 #include "util/status.h"
 
 namespace sqlgraph {
@@ -72,7 +73,8 @@ class Table {
   /// True when the log holds any mutation newer than `ts` — i.e. a reader
   /// at `ts` cannot use the live rows/indexes directly.
   bool HasVersionsAfter(uint64_t ts) const {
-    return !versions_.empty() && versions_.back().ts > ts;
+    const auto& log = versions_.Read();
+    return !log.empty() && log.back().ts > ts;
   }
 
   /// Visits every row as of timestamp `ts`, in unspecified order.
@@ -87,7 +89,7 @@ class Table {
   /// failed-commit unwind). Entries are removed from the log.
   util::Status RevertVersionsAt(uint64_t ts);
 
-  size_t NumVersions() const { return versions_.size(); }
+  size_t NumVersions() const { return versions_.Read().size(); }
 
   util::Status Get(RowId rid, Row* out) const { return store_->Get(rid, out); }
   bool IsLive(RowId rid) const { return store_->IsLive(rid); }
@@ -143,7 +145,10 @@ class Table {
   std::unique_ptr<RowStore> store_;
   std::vector<std::unique_ptr<Index>> indexes_;
   std::atomic<uint64_t> mutations_{0};
-  std::deque<RowVersion> versions_;  // ts-ascending
+  // ts-ascending. SharedVar: every access is a scheduling point + race
+  // check under the schedule explorer (util/sched.h); plain deque access
+  // otherwise. Protected by the owning store's external table lock.
+  util::sched::SharedVar<std::deque<RowVersion>> versions_{"table.versions"};
 };
 
 }  // namespace rel

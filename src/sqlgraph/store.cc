@@ -40,6 +40,23 @@ namespace {
 /// uncontended try_lock succeeds without touching the clock or the registry,
 /// so the instrumentation is free exactly where the hot path is; only actual
 /// waiters pay two clock reads plus two sharded counter updates.
+/// Contended-path wait metrics, resolved once. Warmed eagerly when a store
+/// is built (see SqlGraphStore::Build) instead of lazily on first
+/// contention: the registry lookups run under the instrumented registry
+/// mutex, so a function-local static initializing mid-schedule would give
+/// the first contended schedule once-per-process extra scheduling points,
+/// making it irreproducible under the schedule explorer (util/sched.h).
+struct LockWaitMetrics {
+  obs::Counter* waits;
+  obs::Histogram* wait_ns;
+};
+const LockWaitMetrics& GetLockWaitMetrics() {
+  static const LockWaitMetrics m{
+      obs::MetricsRegistry::Default().GetCounter("store.lock.waits"),
+      obs::MetricsRegistry::Default().GetHistogram("store.lock.wait_ns")};
+  return m;
+}
+
 template <typename Lock>
 void AcquireTimed(Lock* lock) {
   if (lock->try_lock()) return;
@@ -53,12 +70,9 @@ void AcquireTimed(Lock* lock) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
-  static obs::Counter* waits =
-      obs::MetricsRegistry::Default().GetCounter("store.lock.waits");
-  static obs::Histogram* wait_ns =
-      obs::MetricsRegistry::Default().GetHistogram("store.lock.wait_ns");
-  waits->Increment();
-  wait_ns->Record(ns);
+  const LockWaitMetrics& m = GetLockWaitMetrics();
+  m.waits->Increment();
+  m.wait_ns->Record(ns);
 }
 }  // namespace
 
@@ -132,9 +146,20 @@ void SqlGraphStore::PublishAndTrimLocked(
     const std::vector<TableIdx>& tables) {
   uint64_t watermark = ~uint64_t{0};
   if (version_ts != 0) {
-    util::MutexLock guard(&txn_mu_);
-    for (uint64_t e : entities) entity_commit_ts_[e] = version_ts;
-    if (!active_read_ts_.empty()) watermark = *active_read_ts_.begin();
+    if (util::sched::SelfTestMode() == util::sched::SelfTest::kRace) {
+      // Injected bug (mutation self-test): the watermark read happens
+      // after txn_mu_ is dropped, racing Register/DeregisterTxnRead.
+      {
+        util::MutexLock guard(&txn_mu_);
+        for (uint64_t e : entities) entity_commit_ts_[e] = version_ts;
+      }
+      watermark = SelfTestRacyWatermark();
+    } else {
+      util::MutexLock guard(&txn_mu_);
+      for (uint64_t e : entities) entity_commit_ts_[e] = version_ts;
+      const auto& ts = active_read_ts_.Read();
+      if (!ts.empty()) watermark = *ts.begin();
+    }
   }
   // With no registered snapshot the before-images are unreachable (any
   // later Begin pins a read_ts at or past every recorded timestamp), so the
@@ -164,7 +189,7 @@ uint64_t SqlGraphStore::RegisterTxnRead() {
   // which read the registry under the same mutex.
   active_txns_.fetch_add(1, std::memory_order_seq_cst);
   const uint64_t read_ts = commit_ts_.load(std::memory_order_seq_cst);
-  active_read_ts_.insert(read_ts);
+  active_read_ts_.Write().insert(read_ts);
   txns_begun_.fetch_add(1, std::memory_order_relaxed);
   if (obs::MetricsEnabled()) {
     static obs::Counter* begun =
@@ -179,11 +204,12 @@ uint64_t SqlGraphStore::RegisterTxnRead() {
 
 void SqlGraphStore::DeregisterTxnRead(uint64_t read_ts) {
   util::MutexLock guard(&txn_mu_);
-  auto it = active_read_ts_.find(read_ts);
-  if (it != active_read_ts_.end()) active_read_ts_.erase(it);
+  auto& ts = active_read_ts_.Write();
+  auto it = ts.find(read_ts);
+  if (it != ts.end()) ts.erase(it);
   // The conflict map only has to outlive the snapshots that could still
   // lose to its entries.
-  if (active_read_ts_.empty()) entity_commit_ts_.clear();
+  if (ts.empty()) entity_commit_ts_.clear();
   active_txns_.fetch_sub(1, std::memory_order_seq_cst);
   if (obs::MetricsEnabled()) {
     static obs::Gauge* active =
@@ -207,6 +233,9 @@ TxnStats SqlGraphStore::txn_stats() const {
 Result<std::unique_ptr<SqlGraphStore>> SqlGraphStore::Build(
     const graph::PropertyGraph& graph, StoreConfig config) {
   auto store = std::unique_ptr<SqlGraphStore>(new SqlGraphStore(config));
+  // Single-threaded here; see GetLockWaitMetrics for why lazy-on-contention
+  // is not an option.
+  GetLockWaitMetrics();
   store->schema_ = AnalyzeGraph(graph, config);
   ASSIGN_OR_RETURN(store->load_stats_,
                    BulkLoad(graph, store->schema_, config, &store->db_,

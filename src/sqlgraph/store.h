@@ -364,6 +364,15 @@ class SqlGraphStore {
   uint64_t RegisterTxnRead();
   void DeregisterTxnRead(uint64_t read_ts);
 
+  /// Deliberately buggy watermark read used only under
+  /// SQLGRAPH_SCHED_SELFTEST=race (sched.h mutation self-test): reads the
+  /// snapshot registry without txn_mu_, which the happens-before checker
+  /// must report. Analysis suppressed because the race is the point.
+  uint64_t SelfTestRacyWatermark() const NO_THREAD_SAFETY_ANALYSIS {
+    const auto& ts = active_read_ts_.Read();
+    return ts.empty() ? ~uint64_t{0} : *ts.begin();
+  }
+
   // Snapshot point reads used by Txn (read_ts = 0 reads live data).
   util::Result<json::JsonValue> GetVertexAt(int64_t vid,
                                             uint64_t read_ts) const;
@@ -461,8 +470,10 @@ class SqlGraphStore {
   // Last assigned commit timestamp. Starts at 1 (the bulk load is "commit
   // 1") so a snapshot's read_ts is always non-zero — executor Options treat
   // read_ts == 0 as "live". Advanced only while a transaction is active
-  // (AllocVersionTs) so the idle store pays nothing.
-  std::atomic<uint64_t> commit_ts_{1};
+  // (AllocVersionTs) so the idle store pays nothing. SharedAtomic so the
+  // schedule explorer (util/sched.h) sees every access as a scheduling
+  // point; identical to std::atomic when no explorer is active.
+  util::sched::SharedAtomic<uint64_t> commit_ts_{1, "store.commit_ts"};
   // Open-transaction count; the gate mutations consult (seq_cst, paired
   // with RegisterTxnRead) to decide whether to record before-images.
   std::atomic<uint32_t> active_txns_{0};
@@ -472,7 +483,10 @@ class SqlGraphStore {
   mutable util::Mutex txn_mu_{util::LockRank::kTxnManager, "txn_manager"};
   // Pinned read timestamps of open transactions (multiset: concurrent
   // Begins can share a timestamp). Min element = version-log GC watermark.
-  std::multiset<uint64_t> active_read_ts_ GUARDED_BY(txn_mu_);
+  // SharedVar: schedule-explorer scheduling point + happens-before race
+  // checking on every access (zero cost when no explorer is active).
+  util::sched::SharedVar<std::multiset<uint64_t>> active_read_ts_
+      GUARDED_BY(txn_mu_){"store.active_read_ts"};
   // entity → commit timestamp of its last committed write while any
   // transaction was active; cleared when the last transaction ends.
   std::unordered_map<uint64_t, uint64_t> entity_commit_ts_

@@ -525,7 +525,13 @@ Status Txn::Commit() {
       }
     }
     bool conflict = false;
-    {
+    // Injected bug (sched.h mutation self-test, SQLGRAPH_SCHED_SELFTEST=
+    // reorder): skip first-committer-wins validation entirely, so two
+    // transactions that both read-then-write the same entity can commit —
+    // a lost update the schedule explorer must find and replay.
+    const bool selftest_skip_validation =
+        util::sched::SelfTestMode() == util::sched::SelfTest::kReorder;
+    if (!selftest_skip_validation) {
       util::MutexLock guard(&store_->txn_mu_);
       for (uint64_t e : write_set) {
         auto it = store_->entity_commit_ts_.find(e);

@@ -1,0 +1,1100 @@
+// Deterministic schedule-exploration controller. See sched.h for the model.
+//
+// Execution model: each participant body runs on its own thread, but the
+// controller serializes them — a thread only runs between two of its own
+// scheduling points while every other participant is parked. The driver
+// (the Explorer's calling thread) waits until all participants are parked,
+// computes the enabled set from its lock model, asks the strategy for a
+// decision, applies the decision's model and happens-before effects, and
+// grants exactly one thread. A schedule is therefore reproduced exactly by
+// replaying its decision sequence.
+//
+// Invariant that keeps the real mutexes honest: the model grants an
+// acquisition only when its lock state says the mutex is free, and the
+// model marks a mutex free only after the holder has physically unlocked
+// (release hooks run after the real unlock; no other participant runs in
+// between). So the real lock call a granted thread performs can never
+// block outside the controller's sight.
+
+#include "util/sched.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "util/rng.h"
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define SQLGRAPH_SCHED_HAVE_BACKTRACE 1
+#endif
+#endif
+
+namespace sqlgraph {
+namespace util {
+namespace sched {
+
+namespace internal {
+std::atomic<bool> g_active{false};
+}  // namespace internal
+
+namespace {
+
+// ----------------------------------------------------------- backtraces --
+
+constexpr int kMaxFrames = 24;
+
+struct Stack {
+  void* frames[kMaxFrames];
+  int n = 0;
+
+  void Capture() {
+#ifdef SQLGRAPH_SCHED_HAVE_BACKTRACE
+    n = backtrace(frames, kMaxFrames);
+#else
+    n = 0;
+#endif
+  }
+
+  std::string Symbolize() const {
+#ifdef SQLGRAPH_SCHED_HAVE_BACKTRACE
+    if (n <= 0) return "    <backtrace empty>\n";
+    char** syms = backtrace_symbols(frames, n);
+    if (syms == nullptr) return "    <backtrace_symbols failed>\n";
+    std::string out;
+    for (int i = 0; i < n; ++i) {
+      out += "    ";
+      out += syms[i];
+      out += "\n";
+    }
+    free(syms);
+    return out;
+#else
+    return "    <backtrace unavailable on this platform>\n";
+#endif
+  }
+};
+
+// -------------------------------------------------------- ops & clocks --
+
+enum class OpKind {
+  kNone,
+  kAcquire,
+  kTryAcquire,  // post-attempt point; `acquired` says whether it succeeded
+  kRelease,
+  kVar,
+  kWaitUntil,
+  kYield,
+  kChoose,
+};
+
+struct OpSig {
+  OpKind kind = OpKind::kNone;
+  const void* obj = nullptr;
+  const char* name = "";
+  bool shared = false;    // lock mode
+  bool write = false;     // var ops
+  bool atomic = false;    // var ops
+  bool acquired = false;  // try-acquire outcome
+
+  bool SameAs(const OpSig& o) const {
+    return kind == o.kind && obj == o.obj && shared == o.shared &&
+           write == o.write && atomic == o.atomic;
+  }
+};
+
+// Independence relation for sleep-set partial-order reduction. Two
+// transitions are dependent when executing them in either order can lead
+// to different states or different enabled sets; we only ever *prune* on
+// independence, so conservative (dependent) answers cost coverage speed,
+// never soundness.
+bool Dependent(const OpSig& a, const OpSig& b) {
+  // WaitUntil predicates can observe anything.
+  if (a.kind == OpKind::kWaitUntil || b.kind == OpKind::kWaitUntil)
+    return true;
+  if (a.kind == OpKind::kYield || b.kind == OpKind::kYield) return false;
+  if (a.kind == OpKind::kChoose || b.kind == OpKind::kChoose) return false;
+  if (a.obj != b.obj) return false;
+  if (a.kind == OpKind::kVar && b.kind == OpKind::kVar)
+    return a.write || b.write;  // two reads commute
+  return true;  // lock operations on the same lock
+}
+
+struct VC {
+  std::vector<uint64_t> v;
+
+  explicit VC(size_t n = 0) : v(n, 0) {}
+  void JoinFrom(const VC& o) {
+    for (size_t i = 0; i < v.size(); ++i) v[i] = std::max(v[i], o.v[i]);
+  }
+  bool LeqThan(const VC& o) const {
+    for (size_t i = 0; i < v.size(); ++i)
+      if (v[i] > o.v[i]) return false;
+    return true;
+  }
+};
+
+struct Access {
+  int thread = -1;
+  bool write = false;
+  VC clock;
+  Stack stack;
+};
+
+struct VarState {
+  std::string name;
+  bool has_write = false;
+  Access last_write;
+  std::vector<Access> reads;  // reads since the last write
+  VC sync;                    // SharedAtomic synchronization clock
+};
+
+struct LockState {
+  int excl = -1;               // participant holding exclusively, or -1
+  std::vector<int> shared;     // participants holding shared
+  VC vc_excl;  // joined from exclusive releases (readers acquire from it)
+  VC vc_all;   // joined from all releases (writers acquire from it)
+};
+
+struct Participant {
+  int idx = -1;
+  OpSig op;
+  Stack op_stack;  // capture site of a pending var access
+  const std::function<bool()>* pred = nullptr;
+  uint64_t choose_n = 0;
+  uint64_t choose_result = 0;
+  bool parked = false;
+  bool granted = false;
+  bool finished = false;
+  VC clock;
+  std::condition_variable cv;
+};
+
+class Controller;
+Controller* g_ctrl = nullptr;
+thread_local Participant* t_self = nullptr;
+
+// Thrown from a *blocked* lock acquisition when the schedule aborts
+// (deadlock, budget, failure elsewhere): the thread does not hold the
+// mutex yet, and falling through to the real lock could block forever on
+// a genuine deadlock cycle. RAII in the body releases everything already
+// held; the participant wrapper catches it. All other scheduling points
+// return normally on abort (their real operation is safe to finish).
+struct ScheduleAborted {};
+
+// --------------------------------------------------------- strategies --
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  // Returns the participant to schedule, or a negative code:
+  // kStale (bad replay token / nondeterministic body) or kPruned
+  // (sleep-set blocked — schedule is redundant, abort quietly).
+  static constexpr int kStale = -1;
+  static constexpr int kPruned = -2;
+  virtual int PickThread(Controller& c, const std::vector<int>& enabled) = 0;
+  // Value for a Choose(n) decision; n as upper bound, or kStale.
+  virtual int64_t PickValue(Controller& c, uint64_t n) = 0;
+  virtual std::string StaleReason() const { return "strategy failure"; }
+};
+
+// ---------------------------------------------------------- controller --
+
+class Controller {
+ public:
+  Controller(size_t n, const SchedOptions& opts, Strategy* strat)
+      : n_(n), opts_(opts), strat_(strat) {
+    for (size_t i = 0; i < n; ++i) {
+      ps_.push_back(std::make_unique<Participant>());
+      ps_[i]->idx = static_cast<int>(i);
+      ps_[i]->clock = VC(n);
+    }
+  }
+
+  // ----- participant side -------------------------------------------
+
+  // Parks the calling participant with `op` pending and blocks until the
+  // driver grants it (true) or the schedule aborts (false).
+  bool Park(Participant* p, const OpSig& op) {
+    std::unique_lock<std::mutex> l(m_);
+    // Free-run is the terminal teardown: nobody parks anymore, blocked
+    // acquisitions are torn down by their callers (AcquirePoint throws).
+    // A plain abort keeps parking cooperative — the driver drains every
+    // participant to completion under the lock model (see Drive).
+    if (free_run_) return false;
+    p->op = op;
+    // A successful try_lock holds the mutex *physically* before this point
+    // runs (the shims cannot hook in front of the real try). The model must
+    // reflect the hold now, not at grant time: in the window where the
+    // successful try is parked but unapplied, the driver would see the
+    // mutex as free and could grant another thread's acquisition of it —
+    // which then blocks for real, outside the controller's sight, wedging
+    // the schedule.
+    if (op.kind == OpKind::kTryAcquire && op.acquired) {
+      ApplyAcquireLocked(p, p->op);
+    }
+    // Releases are symmetric: the shims physically unlock *before* this
+    // point (the model must never mark a mutex free while a descheduled
+    // holder still owns it — but the converse also bites). While a parked
+    // release is unapplied the mutex is physically free, so another
+    // runner's real try_lock can succeed; if the model still showed the
+    // old holder, that success would corrupt the lock state and drop the
+    // release's happens-before edge (reporting false races between
+    // properly lock-ordered accesses).
+    if (op.kind == OpKind::kRelease) {
+      ApplyReleaseLocked(p, p->op);
+    }
+    p->parked = true;
+    driver_cv_.notify_one();
+    p->cv.wait(l, [&] { return p->granted || free_run_; });
+    p->parked = false;
+    if (!p->granted) return false;
+    p->granted = false;
+    return true;
+  }
+
+  void Finish(Participant* p) {
+    std::lock_guard<std::mutex> l(m_);
+    p->finished = true;
+    driver_cv_.notify_one();
+  }
+
+  void FailFromBody(const std::string& msg) {
+    std::lock_guard<std::mutex> l(m_);
+    if (failure_.empty()) failure_ = msg;
+    AbortLocked();
+  }
+
+  // ----- driver side ------------------------------------------------
+
+  void Drive() {
+    std::unique_lock<std::mutex> l(m_);
+    while (true) {
+      driver_cv_.wait(l, [&] { return AllSettledLocked(); });
+      if (AllFinishedLocked()) break;
+      if (free_run_) continue;  // threads tearing down on their own
+      if (aborted_) {
+        DrainOneLocked();
+        continue;
+      }
+      if (steps_ >= opts_.max_steps) {
+        SetFailureLocked("schedule exceeded max_steps budget");
+        AbortLocked();
+        continue;
+      }
+      // Pass-through grants: a parked release or try-acquire applied its
+      // effects back when it parked (the physical lock operation had
+      // already happened — see Park), so granting it changes nothing any
+      // other participant can observe. It is not a decision; letting the
+      // strategy branch over it would only multiply equivalent schedules.
+      // Every interleaving of *visible* ops stays reachable because the
+      // passed-through thread parks again at its next visible op, where
+      // the strategy chooses normally.
+      {
+        int passthrough = -1;
+        for (const auto& p : ps_) {
+          if (!p->finished && (p->op.kind == OpKind::kRelease ||
+                               p->op.kind == OpKind::kTryAcquire)) {
+            passthrough = p->idx;
+            break;
+          }
+        }
+        if (passthrough >= 0) {
+          Participant* p = ps_[passthrough].get();
+          p->granted = true;
+          p->cv.notify_one();
+          continue;
+        }
+      }
+      std::vector<int> enabled = EnabledLocked();
+      if (enabled.empty()) {
+        SetFailureLocked(DescribeDeadlockLocked());
+        AbortLocked();
+        continue;
+      }
+      int t = strat_->PickThread(*this, enabled);
+      if (t == Strategy::kPruned) {
+        pruned_ = true;
+        AbortLocked();
+        continue;
+      }
+      if (t < 0 ||
+          std::find(enabled.begin(), enabled.end(), t) == enabled.end()) {
+        SetFailureLocked(strat_->StaleReason());
+        AbortLocked();
+        continue;
+      }
+      choices_.push_back(static_cast<uint32_t>(t));
+      Participant* p = ps_[t].get();
+      static const bool trace = std::getenv("SQLGRAPH_SCHED_TRACE") != nullptr;
+      if (trace) {
+        fprintf(stderr, "[sched] step %llu grant T%d kind=%d obj=%p %s\n",
+                static_cast<unsigned long long>(steps_), t,
+                static_cast<int>(p->op.kind), p->op.obj,
+                p->op.name ? p->op.name : "");
+      }
+      ApplyEffectsLocked(p);
+      if (p->op.kind == OpKind::kChoose) {
+        int64_t v = strat_->PickValue(*this, p->choose_n);
+        if (v < 0 || static_cast<uint64_t>(v) >= p->choose_n) {
+          SetFailureLocked(strat_->StaleReason());
+          AbortLocked();
+          continue;
+        }
+        choices_.push_back(static_cast<uint32_t>(v));
+        p->choose_result = static_cast<uint64_t>(v);
+      }
+      ++steps_;
+      // Grant before checking for a just-recorded race: the chosen op's
+      // effects are already in the model, so the thread must perform it —
+      // the drain below retires everything else. The token stays the
+      // decision prefix up to the failure, which replays identically.
+      p->granted = true;
+      p->cv.notify_one();
+      if (!failure_.empty()) AbortLocked();
+    }
+  }
+
+  // One drain step: after an abort (failure, race, prune), participants
+  // keep parking cooperatively and the driver retires them with a fixed
+  // first-enabled policy — deterministic, unrecorded, still honoring the
+  // lock model so bodies unwind through their normal code paths (store
+  // destructors may take locks; tearing them down with an exception would
+  // terminate). Only when nothing is enabled (a genuine deadlock cycle,
+  // or a WaitUntil whose predicate can no longer come true) or the drain
+  // budget is exhausted does teardown fall back to free-run.
+  void DrainOneLocked() {
+    if (++drain_steps_ > opts_.max_steps * 2 + 1000) {
+      FreeRunLocked();
+      return;
+    }
+    std::vector<int> enabled = EnabledLocked();
+    if (enabled.empty()) {
+      FreeRunLocked();
+      return;
+    }
+    Participant* p = ps_[enabled.front()].get();
+    ApplyEffectsLocked(p);
+    if (p->op.kind == OpKind::kChoose) p->choose_result = 0;
+    p->granted = true;
+    p->cv.notify_one();
+  }
+
+  // Pending op of a participant; only meaningful while all are parked.
+  const OpSig& OpOf(int t) const { return ps_[t]->op; }
+
+  size_t n_;
+  const SchedOptions& opts_;
+  Strategy* strat_;
+  std::mutex m_;
+  std::condition_variable driver_cv_;
+  std::vector<std::unique_ptr<Participant>> ps_;
+  std::map<const void*, LockState> locks_;
+  std::map<const void*, VarState> vars_;
+  std::vector<uint32_t> choices_;
+  std::vector<RaceReport> races_;
+  uint64_t steps_ = 0;
+  uint64_t drain_steps_ = 0;
+  bool aborted_ = false;
+  bool free_run_ = false;
+  bool pruned_ = false;
+  std::string failure_;
+
+ private:
+  bool AllSettledLocked() const {
+    // In free-run the freed threads no longer park; wait for them to
+    // finish. While draining (aborted_ but not free_run_) the normal
+    // all-parked condition still applies.
+    if (free_run_) return AllFinishedLocked();
+    for (const auto& p : ps_) {
+      // A granted participant still shows parked=true until it wakes and
+      // clears the flag in Park(); it is in flight, not settled — without
+      // this the driver would re-schedule against its stale op.
+      if (!p->finished && (!p->parked || p->granted)) return false;
+    }
+    return true;
+  }
+
+  bool AllFinishedLocked() const {
+    for (const auto& p : ps_)
+      if (!p->finished) return false;
+    return true;
+  }
+
+  std::vector<int> EnabledLocked() {
+    std::vector<int> enabled;
+    for (const auto& p : ps_) {
+      if (p->finished) continue;
+      switch (p->op.kind) {
+        case OpKind::kAcquire: {
+          const LockState& ls = locks_[p->op.obj];
+          bool free_for_excl = ls.excl == -1 && ls.shared.empty();
+          bool free_for_shared = ls.excl == -1;
+          if (p->op.shared ? free_for_shared : free_for_excl)
+            enabled.push_back(p->idx);
+          break;
+        }
+        case OpKind::kWaitUntil:
+          // Evaluated on the driver thread with every participant parked;
+          // hook gates pass through (no registered participant), so the
+          // predicate may read SharedVars freely.
+          if (p->pred != nullptr && (*p->pred)()) enabled.push_back(p->idx);
+          break;
+        default:
+          enabled.push_back(p->idx);
+          break;
+      }
+    }
+    return enabled;
+  }
+
+  std::string DescribeDeadlockLocked() const {
+    std::ostringstream os;
+    os << "deadlock: no enabled participant (";
+    for (const auto& p : ps_) {
+      if (p->finished) continue;
+      os << "T" << p->idx << ":"
+         << (p->op.kind == OpKind::kAcquire
+                 ? std::string(p->op.shared ? "acquire_shared " : "acquire ") +
+                       (p->op.name[0] ? p->op.name : "mutex")
+                 : std::string("wait_until"))
+         << "; ";
+    }
+    os << ")";
+    return os.str();
+  }
+
+  void SetFailureLocked(const std::string& msg) {
+    if (failure_.empty()) failure_ = msg;
+  }
+
+  // Stops exploration; the driver switches to draining (see
+  // DrainOneLocked). Parked participants stay parked until drained.
+  void AbortLocked() { aborted_ = true; }
+
+  // Terminal teardown: wake everyone; Park returns false from now on, so
+  // blocked acquisitions unwind via ScheduleAborted and waits return
+  // false.
+  void FreeRunLocked() {
+    free_run_ = true;
+    for (auto& p : ps_) p->cv.notify_one();
+  }
+
+  void TickLocked(Participant* p) { ++p->clock.v[p->idx]; }
+
+  void ApplyAcquireLocked(Participant* p, const OpSig& op) {
+    LockState& ls = locks_[op.obj];
+    if (ls.vc_excl.v.empty()) ls.vc_excl = VC(n_);
+    if (ls.vc_all.v.empty()) ls.vc_all = VC(n_);
+    if (op.shared) {
+      ls.shared.push_back(p->idx);
+      p->clock.JoinFrom(ls.vc_excl);
+    } else {
+      ls.excl = p->idx;
+      p->clock.JoinFrom(ls.vc_all);
+    }
+  }
+
+  void ApplyReleaseLocked(Participant* p, const OpSig& op) {
+    LockState& ls = locks_[op.obj];
+    if (ls.vc_excl.v.empty()) ls.vc_excl = VC(n_);
+    if (ls.vc_all.v.empty()) ls.vc_all = VC(n_);
+    if (op.shared) {
+      ls.shared.erase(std::remove(ls.shared.begin(), ls.shared.end(), p->idx),
+                      ls.shared.end());
+      ls.vc_all.JoinFrom(p->clock);
+    } else {
+      ls.excl = -1;
+      ls.vc_excl.JoinFrom(p->clock);
+      ls.vc_all.JoinFrom(p->clock);
+    }
+    TickLocked(p);
+  }
+
+  void ApplyEffectsLocked(Participant* p) {
+    const OpSig& op = p->op;
+    switch (op.kind) {
+      case OpKind::kAcquire:
+        ApplyAcquireLocked(p, op);
+        break;
+      case OpKind::kTryAcquire:
+      case OpKind::kRelease:
+        // Effects were applied when the op parked — see Park(); by then
+        // the physical acquisition/release had already happened, so the
+        // model had to catch up immediately. The grant is just the
+        // preemption opportunity.
+        break;
+      case OpKind::kVar:
+        ApplyVarLocked(p);
+        TickLocked(p);
+        break;
+      case OpKind::kWaitUntil:
+        // The predicate may have observed any participant's writes; join
+        // everyone so post-wait reads do not report false races (this is
+        // the cooperative analogue of a condition-variable handoff).
+        for (const auto& q : ps_)
+          if (q->idx != p->idx) p->clock.JoinFrom(q->clock);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void ApplyVarLocked(Participant* p) {
+    const OpSig& op = p->op;
+    VarState& vs = vars_[op.obj];
+    if (vs.sync.v.empty()) vs.sync = VC(n_);
+    if (vs.name.empty() && op.name[0]) vs.name = op.name;
+    if (op.atomic) {
+      // Atomics synchronize: no race possible, bidirectional join.
+      p->clock.JoinFrom(vs.sync);
+      vs.sync.JoinFrom(p->clock);
+      return;
+    }
+    // No race bookkeeping while draining an aborted schedule: the first
+    // failure is the report, drain accesses are just unwinding.
+    if (!opts_.check_races || aborted_) return;
+    Access cur;
+    cur.thread = p->idx;
+    cur.write = op.write;
+    // The recorded event covers the access itself (the tick the caller
+    // applies right after this); without the increment a fresh access
+    // compares ≤ against clocks that never synchronized with it.
+    cur.clock = p->clock;
+    cur.clock.v[p->idx] += 1;
+    cur.stack = p->op_stack;
+    auto unordered = [&](const Access& prev) {
+      return prev.thread != p->idx && !prev.clock.LeqThan(p->clock);
+    };
+    if (op.write) {
+      if (vs.has_write && unordered(vs.last_write))
+        RecordRaceLocked(vs, vs.last_write, cur);
+      for (const Access& r : vs.reads)
+        if (unordered(r)) {
+          RecordRaceLocked(vs, r, cur);
+          break;
+        }
+      vs.reads.clear();
+      vs.last_write = cur;
+      vs.has_write = true;
+    } else {
+      if (vs.has_write && unordered(vs.last_write))
+        RecordRaceLocked(vs, vs.last_write, cur);
+      vs.reads.push_back(cur);
+    }
+  }
+
+  void RecordRaceLocked(const VarState& vs, const Access& a,
+                        const Access& b) {
+    if (!races_.empty()) return;  // first race wins; replay shows the rest
+    auto describe = [](const Access& x) {
+      std::ostringstream os;
+      os << "thread T" << x.thread << " " << (x.write ? "write" : "read")
+         << " at:\n"
+         << x.stack.Symbolize();
+      return os.str();
+    };
+    RaceReport r;
+    r.var = vs.name.empty() ? "<unnamed SharedVar>" : vs.name;
+    r.first = describe(a);
+    r.second = describe(b);
+    SetFailureLocked("data race on SharedVar '" + r.var + "' (" +
+                     (a.write ? "write" : "read") + " by T" +
+                     std::to_string(a.thread) + " vs " +
+                     (b.write ? "write" : "read") + " by T" +
+                     std::to_string(b.thread) + ")");
+    races_.push_back(std::move(r));
+  }
+};
+
+// --------------------------------------------------------- PCT strategy --
+
+class PctStrategy : public Strategy {
+ public:
+  PctStrategy(uint64_t seed, size_t n, int depth, uint64_t horizon)
+      : rng_(seed) {
+    prio_.resize(n);
+    for (size_t i = 0; i < n; ++i) prio_[i] = n - i;  // distinct
+    for (size_t i = n; i > 1; --i)
+      std::swap(prio_[i - 1], prio_[rng_.Uniform(i)]);
+    horizon = std::max<uint64_t>(horizon, 8);
+    int inversions = std::max(depth - 1, 0);
+    for (int d = 0; d < inversions; ++d)
+      change_steps_.push_back(1 + rng_.Uniform(horizon));
+    std::sort(change_steps_.begin(), change_steps_.end());
+  }
+
+  int PickThread(Controller&, const std::vector<int>& enabled) override {
+    ++step_;
+    while (!change_steps_.empty() && step_ >= change_steps_.front()) {
+      // Priority inversion: demote the currently strongest enabled thread
+      // below everyone, exposing ordering bugs PCT-style.
+      change_steps_.erase(change_steps_.begin());
+      int top = ArgmaxPrio(enabled);
+      prio_[top] = next_low_--;
+    }
+    return ArgmaxPrio(enabled);
+  }
+
+  int64_t PickValue(Controller&, uint64_t n) override {
+    return static_cast<int64_t>(rng_.Uniform(n));
+  }
+
+ private:
+  int ArgmaxPrio(const std::vector<int>& enabled) const {
+    int best = enabled[0];
+    for (int t : enabled)
+      if (prio_[t] > prio_[best]) best = t;
+    return best;
+  }
+
+  Rng rng_;
+  std::vector<int64_t> prio_;
+  std::vector<uint64_t> change_steps_;
+  uint64_t step_ = 0;
+  int64_t next_low_ = 0;  // decreasing: each demotion lands below the last
+};
+
+// --------------------------------------------------------- DFS strategy --
+
+// Bounded exhaustive enumeration with sleep sets. Each decision along the
+// current schedule is a path node; after a schedule completes, the
+// deepest node with an unexplored (non-sleeping) candidate advances and
+// the prefix replays. Sleep sets prune schedules that only commute
+// independent transitions of an already-explored sibling.
+class DfsStrategy : public Strategy {
+ public:
+  int PickThread(Controller& c, const std::vector<int>& enabled) override {
+    if (cursor_ < path_.size()) {
+      Node& nd = path_[cursor_];
+      if (nd.value_decision || nd.candidates != enabled) {
+        stale_ = "DFS prefix replay diverged: participant bodies are "
+                 "nondeterministic (use seeded Rng only)";
+        return kStale;
+      }
+      ++cursor_;
+      return nd.candidates[nd.pick];
+    }
+    Node nd;
+    nd.value_decision = false;
+    nd.candidates = enabled;
+    for (int t : enabled) nd.ops.push_back(c.OpOf(t));
+    // Inherit the sleep set: a sleeping sibling stays asleep unless the
+    // transition just taken is dependent with its op.
+    for (size_t i = path_.size(); i-- > 0;) {
+      const Node& par = path_[i];
+      if (par.value_decision) continue;
+      const OpSig& taken = par.ops[par.pick];
+      for (const auto& s : par.sleep)
+        if (!Dependent(s.second, taken)) nd.sleep.push_back(s);
+      break;
+    }
+    size_t pick = 0;
+    while (pick < nd.candidates.size() &&
+           InSleep(nd.sleep, nd.candidates[pick]))
+      ++pick;
+    if (pick == nd.candidates.size()) return kPruned;  // sleep-set blocked
+    nd.pick = pick;
+    path_.push_back(std::move(nd));
+    ++cursor_;
+    return path_.back().candidates[pick];
+  }
+
+  int64_t PickValue(Controller&, uint64_t n) override {
+    if (cursor_ < path_.size()) {
+      Node& nd = path_[cursor_];
+      if (!nd.value_decision || nd.candidates.size() != n) {
+        stale_ = "DFS prefix replay diverged on Choose()";
+        return kStale;
+      }
+      ++cursor_;
+      return nd.candidates[nd.pick];
+    }
+    Node nd;
+    nd.value_decision = true;
+    for (uint64_t v = 0; v < n; ++v)
+      nd.candidates.push_back(static_cast<int>(v));
+    nd.pick = 0;
+    path_.push_back(std::move(nd));
+    ++cursor_;
+    return 0;
+  }
+
+  std::string StaleReason() const override { return stale_; }
+
+  // Advances to the next unexplored schedule; false when the space is
+  // exhausted.
+  bool Advance() {
+    while (!path_.empty()) {
+      Node& nd = path_.back();
+      if (nd.value_decision) {
+        if (nd.pick + 1 < nd.candidates.size()) {
+          ++nd.pick;
+          cursor_ = 0;
+          return true;
+        }
+        path_.pop_back();
+        continue;
+      }
+      nd.sleep.push_back({nd.candidates[nd.pick], nd.ops[nd.pick]});
+      size_t next = nd.pick + 1;
+      while (next < nd.candidates.size() &&
+             InSleep(nd.sleep, nd.candidates[next]))
+        ++next;
+      if (next < nd.candidates.size()) {
+        nd.pick = next;
+        cursor_ = 0;
+        return true;
+      }
+      path_.pop_back();
+    }
+    return false;
+  }
+
+ private:
+  struct Node {
+    bool value_decision = false;
+    std::vector<int> candidates;  // enabled threads, or Choose values
+    std::vector<OpSig> ops;       // candidate ops (thread decisions)
+    size_t pick = 0;              // index into candidates
+    std::vector<std::pair<int, OpSig>> sleep;
+  };
+
+  static bool InSleep(const std::vector<std::pair<int, OpSig>>& sleep,
+                      int t) {
+    for (const auto& s : sleep)
+      if (s.first == t) return true;
+    return false;
+  }
+
+  std::vector<Node> path_;
+  size_t cursor_ = 0;
+  std::string stale_;
+};
+
+// ------------------------------------------------------ replay strategy --
+
+constexpr char kTokenPrefix[] = "sched:v1:";
+
+std::string EncodeToken(const std::vector<uint32_t>& choices) {
+  std::string out = kTokenPrefix;
+  for (uint32_t c : choices) {
+    if (c < 10) {
+      out += static_cast<char>('0' + c);
+    } else if (c < 36) {
+      out += static_cast<char>('a' + (c - 10));
+    } else {
+      out += "~" + std::to_string(c) + "~";
+    }
+  }
+  return out;
+}
+
+bool DecodeToken(const std::string& token, std::vector<uint32_t>* out) {
+  if (token.rfind(kTokenPrefix, 0) != 0) return false;
+  for (size_t i = strlen(kTokenPrefix); i < token.size(); ++i) {
+    char ch = token[i];
+    if (ch >= '0' && ch <= '9') {
+      out->push_back(static_cast<uint32_t>(ch - '0'));
+    } else if (ch >= 'a' && ch <= 'z') {
+      out->push_back(static_cast<uint32_t>(ch - 'a' + 10));
+    } else if (ch == '~') {
+      size_t end = token.find('~', i + 1);
+      if (end == std::string::npos) return false;
+      out->push_back(
+          static_cast<uint32_t>(std::stoul(token.substr(i + 1, end - i - 1))));
+      i = end;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+class ReplayStrategy : public Strategy {
+ public:
+  explicit ReplayStrategy(std::vector<uint32_t> decisions)
+      : decisions_(std::move(decisions)) {}
+
+  int PickThread(Controller&, const std::vector<int>& enabled) override {
+    if (i_ >= decisions_.size()) {
+      stale_ = "replay token exhausted before the schedule completed";
+      return kStale;
+    }
+    int t = static_cast<int>(decisions_[i_++]);
+    if (std::find(enabled.begin(), enabled.end(), t) == enabled.end()) {
+      stale_ = "replay token names thread T" + std::to_string(t) +
+               " which is not enabled at this point (stale token or "
+               "nondeterministic bodies)";
+      return kStale;
+    }
+    return t;
+  }
+
+  int64_t PickValue(Controller&, uint64_t n) override {
+    if (i_ >= decisions_.size() || decisions_[i_] >= n) {
+      stale_ = "replay token has an out-of-range Choose() value";
+      return kStale;
+    }
+    return static_cast<int64_t>(decisions_[i_++]);
+  }
+
+  std::string StaleReason() const override { return stale_; }
+
+ private:
+  std::vector<uint32_t> decisions_;
+  size_t i_ = 0;
+  std::string stale_;
+};
+
+// ------------------------------------------------------- schedule runner --
+
+struct ScheduleOutcome {
+  bool failed = false;
+  bool pruned = false;
+  std::string failure;
+  std::string token;
+  std::vector<RaceReport> races;
+  uint64_t steps = 0;
+};
+
+ScheduleOutcome RunOneSchedule(Strategy* strat, const SchedOptions& opts,
+                               const std::vector<std::function<void()>>&
+                                   bodies) {
+  if (opts.setup) opts.setup();
+  Controller ctrl(bodies.size(), opts, strat);
+  g_ctrl = &ctrl;
+  internal::g_active.store(true, std::memory_order_seq_cst);
+  std::vector<std::thread> threads;
+  threads.reserve(bodies.size());
+  for (size_t i = 0; i < bodies.size(); ++i) {
+    threads.emplace_back([&ctrl, &bodies, i] {
+      Participant* self = ctrl.ps_[i].get();
+      t_self = self;
+      try {
+        bodies[i]();
+      } catch (const ScheduleAborted&) {
+        // Blocked acquisition torn down mid-abort; body unwound via RAII.
+      }
+      t_self = nullptr;
+      ctrl.Finish(self);
+    });
+  }
+  ctrl.Drive();
+  for (auto& th : threads) th.join();
+  internal::g_active.store(false, std::memory_order_seq_cst);
+  g_ctrl = nullptr;
+
+  ScheduleOutcome out;
+  out.pruned = ctrl.pruned_;
+  out.steps = ctrl.steps_;
+  out.races = std::move(ctrl.races_);
+  out.failure = ctrl.failure_;
+  if (!out.pruned && out.failure.empty() && opts.invariant) {
+    std::string err = opts.invariant();
+    if (!err.empty()) out.failure = "invariant violated: " + err;
+  }
+  out.failed = !out.failure.empty();
+  if (out.failed) out.token = EncodeToken(ctrl.choices_);
+  return out;
+}
+
+void FillFailure(ScheduleResult* r, const ScheduleOutcome& out) {
+  r->ok = false;
+  r->failure = out.failure;
+  r->token = out.token;
+  r->races = out.races;
+  r->steps = out.steps;
+}
+
+}  // namespace
+
+// -------------------------------------------------------- explorer API --
+
+ScheduleResult Explorer::RunPct(
+    const std::vector<std::function<void()>>& bodies) {
+  ScheduleResult r;
+  uint64_t horizon = 256;
+  for (int trial = 0; trial < opts_.trials; ++trial) {
+    PctStrategy strat(opts_.seed + static_cast<uint64_t>(trial),
+                      bodies.size(), opts_.pct_depth, horizon);
+    ScheduleOutcome out = RunOneSchedule(&strat, opts_, bodies);
+    ++r.schedules;
+    horizon = std::max<uint64_t>(out.steps, 8);
+    if (out.failed) {
+      FillFailure(&r, out);
+      r.failure += " [pct seed " +
+                   std::to_string(opts_.seed + static_cast<uint64_t>(trial)) +
+                   ", replay token " + r.token + "]";
+      return r;
+    }
+  }
+  return r;
+}
+
+ScheduleResult Explorer::RunDfs(
+    const std::vector<std::function<void()>>& bodies) {
+  ScheduleResult r;
+  DfsStrategy strat;
+  while (true) {
+    if (r.schedules >= opts_.max_schedules) return r;  // budget; not exhausted
+    ScheduleOutcome out = RunOneSchedule(&strat, opts_, bodies);
+    ++r.schedules;
+    if (out.failed) {
+      FillFailure(&r, out);
+      r.failure += " [replay token " + r.token + "]";
+      return r;
+    }
+    if (!strat.Advance()) {
+      r.exhausted = true;
+      return r;
+    }
+  }
+}
+
+ScheduleResult Explorer::Replay(
+    const std::string& token,
+    const std::vector<std::function<void()>>& bodies) {
+  ScheduleResult r;
+  std::vector<uint32_t> decisions;
+  if (!DecodeToken(token, &decisions)) {
+    r.ok = false;
+    r.failure = "malformed schedule token: " + token;
+    return r;
+  }
+  ReplayStrategy strat(std::move(decisions));
+  ScheduleOutcome out = RunOneSchedule(&strat, opts_, bodies);
+  r.schedules = 1;
+  r.steps = out.steps;
+  if (out.failed) FillFailure(&r, out);
+  return r;
+}
+
+// -------------------------------------------------- participant surface --
+
+void Yield() {
+  Participant* p = t_self;
+  if (p == nullptr || g_ctrl == nullptr) return;
+  OpSig op;
+  op.kind = OpKind::kYield;
+  g_ctrl->Park(p, op);
+}
+
+bool WaitUntil(std::function<bool()> pred) {
+  Participant* p = t_self;
+  if (p == nullptr || g_ctrl == nullptr) return pred();
+  p->pred = &pred;
+  OpSig op;
+  op.kind = OpKind::kWaitUntil;
+  bool ok = g_ctrl->Park(p, op);
+  p->pred = nullptr;
+  return ok;
+}
+
+void Fail(const std::string& message) {
+  if (t_self == nullptr || g_ctrl == nullptr) {
+    fprintf(stderr, "sched::Fail outside a schedule: %s\n", message.c_str());
+    return;
+  }
+  g_ctrl->FailFromBody(message);
+}
+
+uint64_t Choose(uint64_t n) {
+  Participant* p = t_self;
+  if (n <= 1 || p == nullptr || g_ctrl == nullptr) return 0;
+  p->choose_n = n;
+  OpSig op;
+  op.kind = OpKind::kChoose;
+  if (!g_ctrl->Park(p, op)) return 0;
+  return p->choose_result;
+}
+
+// ---------------------------------------------------------- hook bodies --
+
+namespace internal {
+
+void AcquirePoint(const void* mu, bool shared) {
+  Participant* p = t_self;
+  if (p == nullptr || g_ctrl == nullptr) return;
+  OpSig op;
+  op.kind = OpKind::kAcquire;
+  op.obj = mu;
+  op.shared = shared;
+  if (!g_ctrl->Park(p, op)) throw ScheduleAborted{};
+}
+
+void ReleasePoint(const void* mu, bool shared) {
+  Participant* p = t_self;
+  if (p == nullptr || g_ctrl == nullptr) return;
+  OpSig op;
+  op.kind = OpKind::kRelease;
+  op.obj = mu;
+  op.shared = shared;
+  g_ctrl->Park(p, op);
+}
+
+void TryAcquirePoint(const void* mu, bool shared, bool acquired) {
+  Participant* p = t_self;
+  if (p == nullptr || g_ctrl == nullptr) return;
+  OpSig op;
+  op.kind = OpKind::kTryAcquire;
+  op.obj = mu;
+  op.shared = shared;
+  op.acquired = acquired;
+  g_ctrl->Park(p, op);
+}
+
+void VarPoint(const void* var, const char* name, bool write, bool atomic) {
+  Participant* p = t_self;
+  if (p == nullptr || g_ctrl == nullptr) return;
+  OpSig op;
+  op.kind = OpKind::kVar;
+  op.obj = var;
+  op.name = name;
+  op.write = write;
+  op.atomic = atomic;
+  if (!atomic && g_ctrl->opts_.check_races) p->op_stack.Capture();
+  g_ctrl->Park(p, op);
+}
+
+}  // namespace internal
+
+// ------------------------------------------------------------ self-test --
+
+namespace {
+// -1 = not yet initialized from the environment.
+std::atomic<int> g_selftest{-1};
+
+int SelfTestFromEnv() {
+  const char* e = std::getenv("SQLGRAPH_SCHED_SELFTEST");
+  if (e == nullptr) return static_cast<int>(SelfTest::kNone);
+  if (strcmp(e, "race") == 0) return static_cast<int>(SelfTest::kRace);
+  if (strcmp(e, "reorder") == 0) return static_cast<int>(SelfTest::kReorder);
+  return static_cast<int>(SelfTest::kNone);
+}
+}  // namespace
+
+SelfTest SelfTestMode() {
+  int v = g_selftest.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = SelfTestFromEnv();
+    g_selftest.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<SelfTest>(v);
+}
+
+void SetSelfTestModeForTest(SelfTest mode) {
+  g_selftest.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+}  // namespace sched
+}  // namespace util
+}  // namespace sqlgraph

@@ -1,0 +1,263 @@
+// util::sched — deterministic schedule exploration and happens-before race
+// checking for the MVCC/WAL concurrency core.
+//
+// The TSan torture suites validate whatever interleavings the OS scheduler
+// happens to produce; this harness checks interleavings *systematically*.
+// When an Explorer run is active (off by default — one relaxed atomic load
+// and a branch otherwise, the same gating pattern as AllocVersionTs), every
+// util::Mutex / util::SharedMutex acquire/release and every access to a
+// SharedVar<T> / SharedAtomic<T> becomes a *scheduling point*: the thread
+// parks and a central controller decides, per strategy, which participant
+// performs its next operation. Exactly one participant runs between points,
+// so a schedule is fully described by the sequence of decisions — the
+// printable *schedule token* — and replaying a token reproduces the run
+// byte-identically.
+//
+// Strategies:
+//   * PCT  — randomized-priority scheduling (Burckhardt et al.'s
+//            probabilistic concurrency testing): each trial assigns random
+//            thread priorities with `pct_depth - 1` random inversion
+//            points. Every trial is reproducible from (seed, trial) and
+//            every failing trial additionally prints its exact token.
+//   * DFS  — bounded exhaustive enumeration with sleep-set partial-order
+//            reduction, for small-scope models (2-3 threads, ~20 points).
+//   * Replay — re-runs the exact decision sequence from a token, turning
+//            any failing schedule into a deterministic unit test.
+//
+// On the same instrumentation, a vector-clock happens-before checker
+// reports data races on plain SharedVars — two accesses, at least one a
+// write, with no happens-before path through locks or SharedAtomics —
+// with the stacks of *both* accesses, lock_rank-style.
+//
+// Ground rules for explored code (see DESIGN.md §13):
+//   * Participants must be spawned by the Explorer; foreign threads pass
+//     through every hook untouched.
+//   * Participants must not block in OS primitives the controller cannot
+//     see (condition variables, semaphores, joins). Protocol models use
+//     sched::WaitUntil(pred) instead — the controller evaluates `pred`
+//     while all participants are parked and only schedules the thread once
+//     it holds. (This is why the real LogWriter's cv-based group commit is
+//     model-checked as a protocol model, not driven directly.)
+//   * Bodies must be deterministic given the schedule (seeded Rng only; no
+//     wall clock). The DFS driver verifies this and fails on divergence.
+//   * Bodies must be exception-safe (RAII locks): when a schedule aborts
+//     (deadlock, budget, failure elsewhere), participants blocked in a
+//     lock acquisition are torn down with an internal exception so they
+//     never block on a real deadlock cycle; the Explorer catches it.
+
+#ifndef SQLGRAPH_UTIL_SCHED_H_
+#define SQLGRAPH_UTIL_SCHED_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sqlgraph {
+namespace util {
+namespace sched {
+
+namespace internal {
+extern std::atomic<bool> g_active;
+// Slow-path hooks; each re-checks that the calling thread is a registered
+// participant and no-ops otherwise.
+void AcquirePoint(const void* mu, bool shared);
+void ReleasePoint(const void* mu, bool shared);
+void TryAcquirePoint(const void* mu, bool shared, bool acquired);
+void VarPoint(const void* var, const char* name, bool write, bool atomic);
+}  // namespace internal
+
+/// True while an Explorer run is driving participants somewhere in the
+/// process. Hot paths gate on this single relaxed load.
+inline bool Active() {
+  return internal::g_active.load(std::memory_order_relaxed);
+}
+
+// Hooks wired into the util::Mutex / util::SharedMutex shims
+// (thread_annotations.h). Acquire hooks run *before* the underlying lock
+// call: the controller only schedules the acquisition once its lock model
+// says the mutex is free, so the real call never blocks outside the
+// controller's sight. Release hooks run *after* the underlying unlock so
+// the model never marks a mutex free while a descheduled holder still
+// physically owns it.
+inline void OnLockAcquire(const void* mu, bool shared = false) {
+  if (Active()) internal::AcquirePoint(mu, shared);
+}
+inline void OnLockRelease(const void* mu, bool shared = false) {
+  if (Active()) internal::ReleasePoint(mu, shared);
+}
+inline void OnTryLock(const void* mu, bool shared, bool acquired) {
+  if (Active()) internal::TryAcquirePoint(mu, shared, acquired);
+}
+
+// ------------------------------------------------------------ SharedVar --
+
+/// Instrumented wrapper for shared state protected by external locks (the
+/// version-log deque, the active-snapshot registry, WAL leader state...).
+/// Read()/Write() are scheduling points and feed the happens-before
+/// checker; when no Explorer is active they compile down to the gate load
+/// plus a direct reference return.
+template <typename T>
+class SharedVar {
+ public:
+  SharedVar() = default;
+  explicit SharedVar(const char* name) : name_(name) {}
+  SharedVar(T init, const char* name) : v_(std::move(init)), name_(name) {}
+  SharedVar(const SharedVar&) = delete;
+  SharedVar& operator=(const SharedVar&) = delete;
+
+  const T& Read() const {
+    if (Active()) internal::VarPoint(this, name_, /*write=*/false, false);
+    return v_;
+  }
+  T& Write() {
+    if (Active()) internal::VarPoint(this, name_, /*write=*/true, false);
+    return v_;
+  }
+  /// Raw access with no scheduling point or race check — for controller
+  /// predicates (WaitUntil) and post-schedule invariant checks only.
+  const T& PeekUnchecked() const { return v_; }
+  T& MutUnchecked() { return v_; }
+
+ private:
+  T v_{};
+  const char* name_ = "";
+};
+
+/// Instrumented std::atomic. Atomic accesses cannot data-race, so they are
+/// scheduling points and happens-before edges (each access synchronizes
+/// with every earlier access of the same variable — exact for the seq_cst
+/// uses in the store, conservative for weaker orders) but are never
+/// reported as races.
+template <typename T>
+class SharedAtomic {
+ public:
+  constexpr SharedAtomic() = default;
+  constexpr explicit SharedAtomic(T v, const char* name = "")
+      : v_(v), name_(name) {}
+  SharedAtomic(const SharedAtomic&) = delete;
+  SharedAtomic& operator=(const SharedAtomic&) = delete;
+
+  T load(std::memory_order mo = std::memory_order_seq_cst) const {
+    Hook(/*write=*/false);
+    return v_.load(mo);
+  }
+  void store(T x, std::memory_order mo = std::memory_order_seq_cst) {
+    Hook(/*write=*/true);
+    v_.store(x, mo);
+  }
+  T fetch_add(T x, std::memory_order mo = std::memory_order_seq_cst) {
+    Hook(/*write=*/true);
+    return v_.fetch_add(x, mo);
+  }
+  T fetch_sub(T x, std::memory_order mo = std::memory_order_seq_cst) {
+    Hook(/*write=*/true);
+    return v_.fetch_sub(x, mo);
+  }
+  T PeekUnchecked() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  void Hook(bool write) const {
+    if (Active()) internal::VarPoint(this, name_, write, /*atomic=*/true);
+  }
+  std::atomic<T> v_{};
+  const char* name_ = "";
+};
+
+// ----------------------------------------------- participant primitives --
+
+/// Pure scheduling point (a preemption opportunity with no effect).
+void Yield();
+
+/// Cooperative condition wait: parks until the controller, evaluating
+/// `pred` while every participant is stopped, schedules this thread with
+/// the predicate true. Returns false when the schedule was aborted
+/// (deadlock / bound / failure elsewhere) — callers must unwind without
+/// assuming the predicate. `pred` runs on the controller thread; it must
+/// only read (SharedVar reads are safe — controller reads pass through).
+bool WaitUntil(std::function<bool()> pred);
+
+/// Marks the current schedule failed (first message wins) and aborts it.
+void Fail(const std::string& message);
+
+/// Nondeterministic choice over [0, n): a decision point the strategies
+/// drive — DFS branches over every alternative, PCT samples, Replay
+/// follows the token. The crash-point injection in the WAL model picks
+/// its crash site with this.
+uint64_t Choose(uint64_t n);
+
+// ------------------------------------------------------------- explorer --
+
+struct RaceReport {
+  std::string var;     // SharedVar name
+  std::string first;   // "thread T2 write at:\n<stack>"
+  std::string second;  // the racing access, same format
+};
+
+struct ScheduleResult {
+  bool ok = true;
+  /// Replay token of the failing schedule ("sched:v1:<decisions>").
+  std::string token;
+  /// Human-readable failure: race summary, deadlock, invariant message...
+  std::string failure;
+  uint64_t schedules = 0;  // schedules actually executed
+  uint64_t steps = 0;      // scheduling decisions in the last schedule
+  /// DFS only: the bounded state space was fully explored (no schedule or
+  /// step budget was hit).
+  bool exhausted = false;
+  std::vector<RaceReport> races;
+};
+
+struct SchedOptions {
+  uint64_t seed = 1;            // PCT base seed (trial t uses seed + t)
+  int trials = 50;              // PCT schedules per Run
+  int pct_depth = 3;            // PCT priority-inversion points + 1
+  uint64_t max_steps = 200000;  // per-schedule decision budget
+  uint64_t max_schedules = 100000;  // DFS schedule budget
+  bool check_races = true;
+  /// Runs single-threaded before every schedule; must reset all state the
+  /// bodies touch (stores, models, counters).
+  std::function<void()> setup;
+  /// Runs single-threaded after every completed schedule; returns an error
+  /// description, or "" when the schedule's outcome is acceptable.
+  std::function<std::string()> invariant;
+};
+
+/// Drives N bodies (one participant thread each, index order = token
+/// thread ids) under a strategy until a schedule fails or the budget is
+/// spent. At most one Explorer may run at a time per process.
+class Explorer {
+ public:
+  explicit Explorer(SchedOptions opts) : opts_(std::move(opts)) {}
+
+  /// PCT: `opts.trials` random-priority schedules.
+  ScheduleResult RunPct(const std::vector<std::function<void()>>& bodies);
+  /// Bounded exhaustive DFS with sleep-set partial-order reduction.
+  ScheduleResult RunDfs(const std::vector<std::function<void()>>& bodies);
+  /// Deterministic replay of one schedule from its token.
+  ScheduleResult Replay(const std::string& token,
+                        const std::vector<std::function<void()>>& bodies);
+
+ private:
+  SchedOptions opts_;
+};
+
+// ------------------------------------------------- mutation self-tests --
+
+/// Deliberate-bug injection (SQLGRAPH_SCHED_SELFTEST=race|reorder, or the
+/// test-only setter): `kRace` makes PublishAndTrimLocked read the
+/// active-snapshot registry without txn_mu_ (the HB checker must report
+/// it); `kReorder` makes Txn::Commit skip first-committer-wins validation
+/// (the explorer must find the lost-update interleaving). Proves the
+/// harness detects, not just runs.
+enum class SelfTest { kNone, kRace, kReorder };
+SelfTest SelfTestMode();
+void SetSelfTestModeForTest(SelfTest mode);
+
+}  // namespace sched
+}  // namespace util
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_UTIL_SCHED_H_

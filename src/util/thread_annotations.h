@@ -31,6 +31,7 @@
 #include <shared_mutex>
 
 #include "util/lock_rank.h"
+#include "util/sched.h"
 
 // ---------------------------------------------------------------- macros --
 
@@ -120,21 +121,32 @@ class CAPABILITY("mutex") Mutex {
   }
 
   void lock() ACQUIRE() {
+    // The schedule controller must decide *before* the thread can block:
+    // it only schedules this acquisition once its lock model says the
+    // mutex is free, so the real call below never blocks mid-schedule.
+    sched::OnLockAcquire(this);
     // Validate before blocking so an inversion aborts instead of
     // deadlocking.
     LockRankOnAcquire(this, info_);
     mu_.lock();
   }
   bool try_lock() TRY_ACQUIRE(true) {
-    if (!mu_.try_lock()) return false;
+    if (!mu_.try_lock()) {
+      sched::OnTryLock(this, /*shared=*/false, /*acquired=*/false);
+      return false;
+    }
     // A successful out-of-order try_lock is still a hierarchy violation:
     // the thread now holds locks in an undocumented order.
     LockRankOnAcquire(this, info_);
+    sched::OnTryLock(this, /*shared=*/false, /*acquired=*/true);
     return true;
   }
   void unlock() RELEASE() {
     LockRankOnRelease(this, info_);
     mu_.unlock();
+    // After the physical unlock, so the controller never marks the mutex
+    // free while a descheduled holder still owns it.
+    sched::OnLockRelease(this);
   }
 
  private:
@@ -159,31 +171,43 @@ class CAPABILITY("shared_mutex") SharedMutex {
   }
 
   void lock() ACQUIRE() {
+    sched::OnLockAcquire(this);
     LockRankOnAcquire(this, info_);
     mu_.lock();
   }
   bool try_lock() TRY_ACQUIRE(true) {
-    if (!mu_.try_lock()) return false;
+    if (!mu_.try_lock()) {
+      sched::OnTryLock(this, /*shared=*/false, /*acquired=*/false);
+      return false;
+    }
     LockRankOnAcquire(this, info_);
+    sched::OnTryLock(this, /*shared=*/false, /*acquired=*/true);
     return true;
   }
   void unlock() RELEASE() {
     LockRankOnRelease(this, info_);
     mu_.unlock();
+    sched::OnLockRelease(this);
   }
 
   void lock_shared() ACQUIRE_SHARED() {
+    sched::OnLockAcquire(this, /*shared=*/true);
     LockRankOnAcquire(this, info_);
     mu_.lock_shared();
   }
   bool try_lock_shared() TRY_ACQUIRE_SHARED(true) {
-    if (!mu_.try_lock_shared()) return false;
+    if (!mu_.try_lock_shared()) {
+      sched::OnTryLock(this, /*shared=*/true, /*acquired=*/false);
+      return false;
+    }
     LockRankOnAcquire(this, info_);
+    sched::OnTryLock(this, /*shared=*/true, /*acquired=*/true);
     return true;
   }
   void unlock_shared() RELEASE_SHARED() {
     LockRankOnRelease(this, info_);
     mu_.unlock_shared();
+    sched::OnLockRelease(this, /*shared=*/true);
   }
 
  private:

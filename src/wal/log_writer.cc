@@ -114,7 +114,7 @@ Status LogWriter::FlushPendingLocked() {
   batch.swap(pending_);
   pending_records_ = 0;
   RETURN_NOT_OK(io_error_ = WriteAll(batch.data(), batch.size()));
-  durable_seq_ = next_seq_;
+  durable_seq_.Write() = next_seq_;
   return Status::OK();
 }
 
@@ -124,7 +124,7 @@ Status LogWriter::WaitDurable(uint64_t ticket) {
 
   if (mode_ == SyncMode::kNone) {
     // Buffered write only; "durable" just means handed to the OS.
-    if (durable_seq_ >= ticket) return Status::OK();
+    if (durable_seq_.Read() >= ticket) return Status::OK();
     if (fd_ < 0) return Status::Internal("wal: writer is closed");
     return FlushPendingLocked();
   }
@@ -134,7 +134,7 @@ Status LogWriter::WaitDurable(uint64_t ticket) {
     // the writer mutex, even when a predecessor's sync already covered its
     // bytes — serializing by design is the point of this mode.
     if (fd_ < 0) {
-      return durable_seq_ >= ticket
+      return durable_seq_.Read() >= ticket
                  ? Status::OK()
                  : Status::Internal("wal: writer is closed");
     }
@@ -148,13 +148,13 @@ Status LogWriter::WaitDurable(uint64_t ticket) {
   }
 
   // Group commit: follow an active leader or lead the next batch ourselves.
-  while (durable_seq_ < ticket && io_error_.ok()) {
-    if (leader_active_) {
+  while (durable_seq_.Read() < ticket && io_error_.ok()) {
+    if (leader_active_.Read()) {
       cv_.wait(lock);
       continue;
     }
     if (fd_ < 0) return Status::Internal("wal: writer is closed");
-    leader_active_ = true;
+    leader_active_.Write() = true;
     std::string batch;
     batch.swap(pending_);
     const uint64_t batch_records = pending_records_;
@@ -165,13 +165,13 @@ Status LogWriter::WaitDurable(uint64_t ticket) {
     if (st.ok()) st = Fsync();
     lock.lock();
     if (!st.ok()) io_error_ = st;
-    durable_seq_ = batch_seq;
+    durable_seq_.Write() = batch_seq;
     counters_.groups.fetch_add(1, std::memory_order_relaxed);
     counters_.grouped_records.fetch_add(batch_records,
                                         std::memory_order_relaxed);
     GroupCounter()->Increment();
     GroupSizeHistogram()->Record(batch_records);
-    leader_active_ = false;
+    leader_active_.Write() = false;
     cv_.notify_all();
   }
   return io_error_;
@@ -184,7 +184,7 @@ Status LogWriter::Sync() {
   // Wait out any in-flight batch leader, then flush whatever remains
   // enqueued (frames whose WaitDurable has not run yet) and cover
   // everything with one fsync.
-  while (leader_active_) cv_.wait(lock);
+  while (leader_active_.Read()) cv_.wait(lock);
   RETURN_NOT_OK(FlushPendingLocked());
   return io_error_ = Fsync();
 }

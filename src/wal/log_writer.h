@@ -90,9 +90,16 @@ class LogWriter {
   std::condition_variable_any cv_;
   std::string pending_ GUARDED_BY(mu_);  // frames awaiting the next batch
   uint64_t pending_records_ GUARDED_BY(mu_) = 0;
-  uint64_t next_seq_ GUARDED_BY(mu_) = 0;     // newest enqueued sequence
-  uint64_t durable_seq_ GUARDED_BY(mu_) = 0;  // newest durable sequence
-  bool leader_active_ GUARDED_BY(mu_) = false;  // leader writing right now
+  uint64_t next_seq_ GUARDED_BY(mu_) = 0;  // newest enqueued sequence
+  // Group-commit protocol state. SharedVar: scheduling points + race
+  // checking under the schedule explorer (util/sched.h), plain fields
+  // otherwise. The cv-driven protocol itself is model-checked as a
+  // protocol model in tests/sched_test.cc — real condition-variable waits
+  // cannot be driven cooperatively.
+  util::sched::SharedVar<uint64_t> durable_seq_
+      GUARDED_BY(mu_){"wal.durable_seq"};  // newest durable sequence
+  util::sched::SharedVar<bool> leader_active_
+      GUARDED_BY(mu_){"wal.leader_active"};  // leader writing right now
   util::Status io_error_ GUARDED_BY(mu_);       // sticky first I/O failure
 };
 

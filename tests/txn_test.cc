@@ -6,6 +6,7 @@
 // under TSan.
 
 #include <atomic>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -43,6 +44,16 @@ std::unique_ptr<SqlGraphStore> EmptyStore() {
   auto built = SqlGraphStore::Build(PropertyGraph());
   EXPECT_TRUE(built.ok()) << built.status().ToString();
   return std::move(built).value();
+}
+
+/// Base seed the torture tests fold into their per-worker Rng seeds.
+/// Defaults to 0 (the historical fixed schedules); set SQLGRAPH_SEED to
+/// vary a run or to reproduce a failure — every torture failure message
+/// names the value that produced it.
+uint64_t TortureSeed() {
+  const char* e = std::getenv("SQLGRAPH_SEED");
+  if (e == nullptr || e[0] == '\0') return 0;
+  return std::strtoull(e, nullptr, 0);
 }
 
 // ------------------------------------------------------------ visibility --
@@ -505,6 +516,9 @@ TEST(TxnTortureTest, ConcurrentTransfersPreserveInvariant) {
   constexpr int kTransfersPerWriter = 120;
   constexpr int kReadsPerReader = 40;
 
+  const uint64_t seed = TortureSeed();
+  SCOPED_TRACE(testing::Message() << "SQLGRAPH_SEED=" << seed);
+
   auto store = EmptyStore();
   std::vector<VertexId> accounts;
   for (int i = 0; i < kAccounts; ++i) {
@@ -517,7 +531,7 @@ TEST(TxnTortureTest, ConcurrentTransfersPreserveInvariant) {
   std::atomic<uint64_t> transfers_done{0};
 
   auto writer = [&](int worker) {
-    util::Rng rng(0xabcdef ^ static_cast<uint64_t>(worker));
+    util::Rng rng(seed ^ 0xabcdef ^ static_cast<uint64_t>(worker));
     for (int i = 0; i < kTransfersPerWriter && !failed.load(); ++i) {
       const size_t from_idx = rng.Uniform(kAccounts);
       size_t to_idx = rng.Uniform(kAccounts);
@@ -560,7 +574,7 @@ TEST(TxnTortureTest, ConcurrentTransfersPreserveInvariant) {
   };
 
   auto reader = [&](int worker) {
-    util::Rng rng(0x123457 ^ static_cast<uint64_t>(worker));
+    util::Rng rng(seed ^ 0x123457 ^ static_cast<uint64_t>(worker));
     for (int i = 0; i < kReadsPerReader && !failed.load(); ++i) {
       auto txn = store->BeginTxn();
       int64_t sum = 0;
@@ -592,7 +606,9 @@ TEST(TxnTortureTest, ConcurrentTransfersPreserveInvariant) {
   for (int r = 0; r < kReaders; ++r) threads.emplace_back(reader, r);
   for (std::thread& t : threads) t.join();
 
-  ASSERT_FALSE(failed.load());
+  // Worker-thread ADD_FAILUREs miss the main thread's SCOPED_TRACE; name
+  // the reproducing seed here too.
+  ASSERT_FALSE(failed.load()) << "reproduce with SQLGRAPH_SEED=" << seed;
   EXPECT_EQ(transfers_done.load(),
             static_cast<uint64_t>(kWriters * kTransfersPerWriter));
 
@@ -622,6 +638,9 @@ TEST(TxnTortureTest, ConcurrentTransfersPreserveInvariant) {
 // shared graph while snapshot readers assert their cut is internally
 // consistent (edges never dangle from removed vertices).
 TEST(TxnTortureTest, MixedCrudSnapshotsNeverSeeDanglingEdges) {
+  const uint64_t seed = TortureSeed();
+  SCOPED_TRACE(testing::Message() << "SQLGRAPH_SEED=" << seed);
+
   auto store = EmptyStore();
   std::vector<VertexId> base;
   for (int i = 0; i < 6; ++i) {
@@ -634,7 +653,7 @@ TEST(TxnTortureTest, MixedCrudSnapshotsNeverSeeDanglingEdges) {
   std::atomic<bool> failed{false};
 
   auto writer = [&](int worker) {
-    util::Rng rng(0x5eed ^ static_cast<uint64_t>(worker));
+    util::Rng rng(seed ^ 0x5eed ^ static_cast<uint64_t>(worker));
     for (int i = 0; i < 80 && !failed.load(); ++i) {
       auto txn = store->BeginTxn();
       const VertexId a = base[rng.Uniform(base.size())];
@@ -693,7 +712,7 @@ TEST(TxnTortureTest, MixedCrudSnapshotsNeverSeeDanglingEdges) {
   r1.join();
   r2.join();
 
-  ASSERT_FALSE(failed.load());
+  ASSERT_FALSE(failed.load()) << "reproduce with SQLGRAPH_SEED=" << seed;
   EXPECT_TRUE(store->CheckConsistency().ok());
   EXPECT_EQ(store->txn_stats().active, 0u);
 }
