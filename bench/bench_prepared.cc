@@ -12,7 +12,13 @@
 //   store     — SqlGraphStore::GetOutEdges(), the internal template path
 //               used by the LinkBench driver.
 //
-//   ./bench_prepared [--objects=20000] [--ops=30000]
+//   ./bench_prepared [--objects=20000] [--ops=30000] [--verify=0|1]
+//
+// --verify forces StoreConfig::verify_plans on or off (default: the build
+// type's default — on without NDEBUG, off with), so the plan-verifier
+// overhead can be measured as an on/off ratio on the same binary. Prepared
+// replays claim at most two verification passes per statement, so the
+// steady-state prepared throughput must be unaffected.
 //
 // Emits one JSON line per variant plus a speedup summary.
 
@@ -114,6 +120,7 @@ int main(int argc, char** argv) {
   const size_t objects =
       static_cast<size_t>(FlagInt(argc, argv, "--objects", 20000));
   const size_t ops = static_cast<size_t>(FlagInt(argc, argv, "--ops", 30000));
+  const int64_t verify = FlagInt(argc, argv, "--verify", -1);
 
   graph::LinkBenchConfig config;
   config.num_objects = objects;
@@ -121,7 +128,11 @@ int main(int argc, char** argv) {
   graph::PropertyGraph g = graph::GenerateLinkBenchGraph(config);
   std::printf("  %zu vertices, %zu edges\n", g.NumVertices(), g.NumEdges());
 
-  auto built = core::SqlGraphStore::Build(g);
+  core::StoreConfig store_config;
+  if (verify >= 0) store_config.verify_plans = (verify != 0);
+  std::printf("  plan verification: %s\n",
+              store_config.verify_plans ? "on" : "off");
+  auto built = core::SqlGraphStore::Build(g, store_config);
   if (!built.ok()) {
     std::printf("build failed: %s\n", built.status().ToString().c_str());
     return 1;

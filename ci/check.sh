@@ -6,9 +6,13 @@
 # (bench_analytics --quick --check: the vectorized executor must match the
 # row-at-a-time executor's results and not be slower), a schedule-exploration
 # stage (the util/sched deterministic explorer suites at an elevated PCT
-# trial count), a static-analysis lint
-# stage (the lock-graph cross-check in ci/lint_lock_graph.py — including a
-# drift-fixture self-test — then clang -Wthread-safety -Werror build +
+# trial count), a plan-verification gate (the differential harness at an
+# elevated trial count with sql/verify.h forced on — zero false rejections
+# — plus the SQLGRAPH_VERIFY_SELFTEST mutation modes, each of which must
+# be rejected), static-analysis lint
+# stages (the module-layering lint in ci/lint_layering.py and the
+# lock-graph cross-check in ci/lint_lock_graph.py — each including a
+# planted-fixture self-test — then clang -Wthread-safety -Werror build +
 # clang-tidy over
 # compile_commands.json; skipped with a notice when the clang toolchain is
 # absent), a transaction gate (the MVCC suite plus the transactional
@@ -111,6 +115,40 @@ if [[ "${1:-}" != "--fast" ]]; then
   # exits non-zero on a mode mismatch or a slowdown.
   cmake --build build -j "$(nproc)" --target bench_analytics
   ./build/bench/bench_analytics --quick --check
+
+  echo "== plan verification gate (elevated trials + mutation self-tests) =="
+  # The build above is unoptimized (no NDEBUG), so Options::verify_plans /
+  # StoreConfig::verify_plans default ON and every plan in the regular
+  # ctest pass already ran through sql/verify.h. This stage re-runs the
+  # differential harness at an elevated trial count — every random
+  # pipeline shape must verify with ZERO false rejections (a rejection
+  # fails the oracle comparison) — then proves the verifier actually
+  # rejects: each SQLGRAPH_VERIFY_SELFTEST mode plants a known-malformed
+  # plan fragment through the real checkers, and a passing test run under
+  # a plant means the checker went soft.
+  SQLGRAPH_DIFF_TRIALS=100 SQLGRAPH_VERIFY_PLANS=1 \
+    ./build/tests/sqlgraph_tests --gtest_filter='*Differential*'
+  for mode in dangling-column join-key-type stale-epoch; do
+    if SQLGRAPH_VERIFY_SELFTEST="${mode}" ./build/tests/sqlgraph_tests \
+        --gtest_filter='ExecutorTest.SelectConstant' >/dev/null 2>&1; then
+      echo "verifier failed to reject the '${mode}' planted defect" >&2
+      exit 1
+    fi
+    echo "  planted defect '${mode}': rejected"
+  done
+
+  echo "== lint (module layering) =="
+  # Pure-text lint: every cross-module #include edge under src/ must
+  # conform to the CMake link DAG (ci/lint_layering.py mirrors its
+  # transitive closure; files compiled into higher targets are
+  # allowlisted with reasons). The second invocation asserts the lint
+  # actually flags an upward include, using the planted fixture.
+  python3 ci/lint_layering.py
+  if python3 ci/lint_layering.py --root ci/testdata/layering_violation \
+      2>/dev/null; then
+    echo "lint_layering failed to flag the planted violation" >&2
+    exit 1
+  fi
 
   echo "== lint (lock-graph cross-check) =="
   # Pure-text lint: the LockRank enum, the DESIGN.md section-7 hierarchy

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Static module-layering lint: #include edges must follow the CMake DAG.
+
+The build encodes a strict layering in src/CMakeLists.txt's
+target_link_libraries graph (util at the bottom, fuzz at the top), but
+nothing stops a source file from #including a header its own library does
+not link: the include compiles fine (one include path), and the layering
+erodes silently until somebody tries to reuse a "low" module and drags in
+the store. This lint re-derives every include edge from the sources and
+checks it against ALLOWED below, which mirrors the transitive closure of
+the CMake link graph — update both together, or the build breaks anyway.
+
+Two kinds of exceptions exist and both are explicit here:
+
+  * FILE_ALLOWLIST: files that live in a low module's directory but are
+    compiled into a higher target (CMake already documents why); their
+    upward includes are fine because their *object code* sits high.
+  * A new directory under src/ is a finding until it is declared in
+    ALLOWED — adding a module is a layering decision, not a default.
+
+Exit status 0 when clean, 1 with findings on stderr. --root points the
+lint at another tree (used by ci/check.sh to assert the check fails on the
+planted violation in ci/testdata/layering_violation).
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Transitive closure of src/CMakeLists.txt's target_link_libraries graph:
+# module -> modules its headers may #include. A module may always include
+# itself. Order is bottom-up for readability only.
+ALLOWED = {
+    "util": set(),
+    "json": {"util"},
+    "obs": {"util"},
+    "coloring": {"util"},
+    "rel": {"json", "obs", "util"},
+    "sql": {"rel", "json", "obs", "util"},
+    # sqlgraph_graph links only sqlgraph_json; analytics is the documented
+    # exception below.
+    "graph": {"json", "util"},
+    # sqlgraph_wal is format+writer+reader only; recovery (durability) is
+    # the documented exception below.
+    "wal": {"util", "obs"},
+    "sqlgraph": {"sql", "coloring", "graph", "wal",
+                 "rel", "json", "obs", "util"},
+    "gremlin": {"sqlgraph", "sql", "coloring", "graph", "wal",
+                "rel", "json", "obs", "util"},
+    "baseline": {"gremlin", "sqlgraph", "sql", "coloring", "graph", "wal",
+                 "rel", "json", "obs", "util"},
+    "bench_core": {"baseline", "gremlin", "sqlgraph", "sql", "coloring",
+                   "graph", "wal", "rel", "json", "obs", "util"},
+    "fuzz": {"bench_core", "baseline", "gremlin", "sqlgraph", "sql",
+             "coloring", "graph", "wal", "rel", "json", "obs", "util"},
+}
+
+# Files compiled into a *higher* CMake target than their directory's
+# library (see the comments next to them in src/CMakeLists.txt). Keyed by
+# (file, included module); keep reasons current — an entry here silences
+# the edge for that file only.
+FILE_ALLOWLIST = {
+    ("src/graph/analytics.cc", "rel"):
+        "compiled into sqlgraph_core, not sqlgraph_graph: relational "
+        "analytics run SQL over the store's tables",
+    ("src/graph/analytics.cc", "sql"):
+        "compiled into sqlgraph_core: drives sql::Executor directly",
+    ("src/graph/analytics.cc", "sqlgraph"):
+        "compiled into sqlgraph_core: needs SqlGraphStore itself",
+    ("src/wal/durability.h", "graph"):
+        "compiled into sqlgraph_core, not sqlgraph_wal: recovery rebuilds "
+        "a PropertyGraph to reload the store",
+    ("src/wal/durability.h", "sqlgraph"):
+        "compiled into sqlgraph_core: recovery opens and fills the store",
+    ("src/wal/durability.cc", "graph"):
+        "compiled into sqlgraph_core (see durability.h)",
+    ("src/wal/durability.cc", "sqlgraph"):
+        "compiled into sqlgraph_core (see durability.h)",
+}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([A-Za-z0-9_]+)/[^"]+"',
+                        re.MULTILINE)
+
+
+def strip_comments(text: str) -> str:
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def source_files(root: pathlib.Path):
+    src = root / "src"
+    if not src.is_dir():
+        return
+    for path in sorted(src.rglob("*")):
+        if path.suffix in (".h", ".cc"):
+            yield path.relative_to(root).as_posix(), path.read_text()
+
+
+def check_dag(findings: list) -> None:
+    """ALLOWED itself must be acyclic and closed (self-check)."""
+    for mod, deps in sorted(ALLOWED.items()):
+        for dep in sorted(deps):
+            if dep not in ALLOWED:
+                findings.append(
+                    f"lint config: ALLOWED[{mod}] names unknown module "
+                    f"'{dep}'")
+            elif mod in ALLOWED.get(dep, set()):
+                findings.append(
+                    f"lint config: ALLOWED has a cycle between '{mod}' "
+                    f"and '{dep}'")
+            else:
+                missing = ALLOWED.get(dep, set()) - deps
+                if missing:
+                    findings.append(
+                        f"lint config: ALLOWED[{mod}] is not transitively "
+                        f"closed (missing {sorted(missing)} via '{dep}')")
+
+
+def check_includes(root: pathlib.Path, findings: list) -> int:
+    edges = 0
+    seen_modules = set()
+    for rel, text in source_files(root):
+        module = rel.split("/")[1]
+        seen_modules.add(module)
+        if module not in ALLOWED:
+            findings.append(
+                f"{rel}: directory 'src/{module}' is not declared in "
+                "ci/lint_layering.py ALLOWED — adding a module is a "
+                "layering decision; place it in the DAG")
+            continue
+        for dep in INCLUDE_RE.findall(strip_comments(text)):
+            if dep == module or dep not in ALLOWED:
+                continue  # self-include, or a system-ish path we don't own
+            edges += 1
+            if dep in ALLOWED[module]:
+                continue
+            if (rel, dep) in FILE_ALLOWLIST:
+                continue
+            findings.append(
+                f"{rel}: includes \"{dep}/...\" but module '{module}' "
+                f"sits below '{dep}' in the CMake link DAG (allowed: "
+                f"{sorted(ALLOWED[module]) or 'nothing'}; if this file "
+                "is compiled into a higher target, allowlist it in "
+                "ci/lint_layering.py with the reason)")
+    if not seen_modules:
+        findings.append("src/: no sources found (wrong --root?)")
+    return edges
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--root", type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent,
+        help="repo root to lint (default: this script's repository)")
+    args = ap.parse_args()
+
+    findings: list = []
+    check_dag(findings)
+    edges = check_includes(args.root, findings)
+
+    if findings:
+        for f in findings:
+            print(f"lint_layering: {f}", file=sys.stderr)
+        print(f"lint_layering: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"lint_layering: ok ({len(ALLOWED)} modules, "
+          f"{edges} cross-module include edges conform)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

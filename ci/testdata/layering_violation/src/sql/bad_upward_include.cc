@@ -1,0 +1,14 @@
+// Planted layering violation for ci/check.sh: a file in the sql module
+// (which sits below sqlgraph and gremlin in the CMake link DAG) including
+// a gremlin header. ci/lint_layering.py must flag this edge; check.sh
+// asserts the non-zero exit so a silently weakened lint fails CI.
+#include "gremlin/runtime.h"
+#include "sql/ast.h"
+
+namespace sqlgraph {
+namespace sql {
+
+int PlannedViolation() { return 0; }
+
+}  // namespace sql
+}  // namespace sqlgraph

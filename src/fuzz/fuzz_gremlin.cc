@@ -39,6 +39,9 @@ SqlGraphStore* DemoStore() {
     (void)g.AddEdge(v2, v0, "likes", sqlgraph::json::JsonValue::Object());
     StoreConfig config;
     config.max_adjacency_colors = 2;
+    // Verify every translated plan even in Release fuzz builds; the
+    // execute hook below asserts the verifier never rejects one.
+    config.verify_plans = true;
     auto built = SqlGraphStore::Build(g, config);
     FUZZ_ASSERT(built.ok(), "demo store build failed: %s",
                 built.status().ToString().c_str());
@@ -69,6 +72,18 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
 
   // Unrolled loops can legally blow the SQL up; only execute small plans so
   // the fuzzer spends its time in the translator, not the executor.
-  if (sql.size() <= 1 << 16) (void)DemoStore()->Execute(query.value());
+  if (sql.size() <= 1 << 16) {
+    auto result = DemoStore()->Execute(query.value());
+    // Execution errors (unknown attribute, type mismatch at runtime) are
+    // expected Status returns — but a plan-verification rejection means
+    // the translator emitted a malformed plan from a valid pipeline,
+    // which is a finding (the zero-false-rejection contract).
+    FUZZ_ASSERT(result.ok() ||
+                    result.status().ToString().find(
+                        "plan verification failed") == std::string::npos,
+                "verifier rejected a translated plan:\n%s\n  gremlin: %.*s",
+                result.status().ToString().c_str(), static_cast<int>(size),
+                reinterpret_cast<const char*>(data));
+  }
   return 0;
 }

@@ -38,6 +38,10 @@ SqlGraphStore* DemoStore() {
     (void)g.AddEdge(v0, v2, "likes", sqlgraph::json::JsonValue::Object());
     StoreConfig config;
     config.max_adjacency_colors = 2;
+    // Run every fuzzed plan through sql/verify.h even in Release fuzz
+    // builds: a structured rejection is an expected Status for arbitrary
+    // SQL, but the verifier itself must never crash or hang.
+    config.verify_plans = true;
     auto built = SqlGraphStore::Build(g, config);
     FUZZ_ASSERT(built.ok(), "demo store build failed: %s",
                 built.status().ToString().c_str());

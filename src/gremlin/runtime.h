@@ -44,7 +44,12 @@ class GremlinRuntime {
  public:
   explicit GremlinRuntime(core::SqlGraphStore* store,
                           TranslatorOptions options = TranslatorOptions())
-      : store_(store), translator_(&store->schema(), options) {}
+      : store_(store), translator_(&store->schema(), options) {
+    // Translation-layer half of plan verification: check pipe→CTE
+    // attribution completeness on every cache miss (sql-layer plan checks
+    // run in the store's executor).
+    cache_.set_verify_attribution(store->config().verify_plans);
+  }
 
   /// Runs a Gremlin query text; result column `val` carries the output.
   util::Result<sql::ResultSet> Query(std::string_view text);

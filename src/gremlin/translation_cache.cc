@@ -1,9 +1,11 @@
 #include "gremlin/translation_cache.h"
 
 #include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "sql/render.h"
+#include "sql/verify.h"
 
 namespace sqlgraph {
 namespace gremlin {
@@ -140,8 +142,22 @@ util::Result<CachedTranslation> TranslationCache::GetOrTranslate(
   }
   // Translate and render outside the lock; concurrent misses on the same
   // shape produce identical text, so the double-insert below is benign.
-  auto query = translator.Translate(shaped);
+  PipeAttribution attribution;
+  auto query = translator.Translate(
+      shaped, verify_attribution_ ? &attribution : nullptr);
   if (!query.ok()) return query.status();
+  if (verify_attribution_) {
+    // Flatten to the layering-neutral shape sql/verify.h accepts and check
+    // that every CTE of the translation is attributed to exactly one pipe.
+    std::vector<std::pair<std::string, std::vector<std::string>>> pipes;
+    pipes.reserve(attribution.pipes.size());
+    for (const PipeAttribution::Entry& entry : attribution.pipes) {
+      pipes.emplace_back(entry.pipe, entry.ctes);
+    }
+    sql::PlanVerifyReport report;
+    sql::VerifyCteAttribution(*query, pipes, &report);
+    if (!report.ok()) return report.ToStatus();
+  }
   CachedTranslation translation;
   translation.sql = sql::Render(*query);
   translation.param_count = static_cast<int>(extracted.positional.size());

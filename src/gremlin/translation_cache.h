@@ -53,10 +53,20 @@ class TranslationCache {
   explicit TranslationCache(size_t capacity = 128) : capacity_(capacity) {}
 
   /// Returns the SQL for `pipeline`'s shape (translating and rendering on a
-  /// miss) and fills `binds` with this pipeline's extracted constants.
+  /// miss) and fills `binds` with this pipeline's extracted constants. With
+  /// attribution verification on, a miss also checks that the translator
+  /// attributed every emitted CTE to exactly one source pipe
+  /// (sql::VerifyCteAttribution) and fails the translation if not; hits
+  /// reuse a shape that already passed, so the check amortizes to once per
+  /// pipeline shape.
   util::Result<CachedTranslation> GetOrTranslate(const Translator& translator,
                                                  const Pipeline& pipeline,
                                                  sql::ParamBindings* binds);
+
+  /// Toggles pipe-attribution verification on cache misses. GremlinRuntime
+  /// wires this to StoreConfig::verify_plans.
+  void set_verify_attribution(bool on) { verify_attribution_ = on; }
+  bool verify_attribution() const { return verify_attribution_; }
 
   void Clear();
   size_t size() const;
@@ -70,6 +80,8 @@ class TranslationCache {
   mutable util::Mutex mu_{util::LockRank::kTranslationCache,
                           "translation_cache"};
   size_t capacity_;
+  // Written once at runtime construction, before concurrent use.
+  bool verify_attribution_ = false;
   uint64_t hits_ GUARDED_BY(mu_) = 0;
   uint64_t misses_ GUARDED_BY(mu_) = 0;
   std::list<std::string> lru_ GUARDED_BY(mu_);  // front = most recently used

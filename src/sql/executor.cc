@@ -10,8 +10,10 @@
 #include "obs/metrics.h"
 #include "sql/expr_eval.h"
 #include "sql/parser.h"
+#include "sql/plan_memo.h"
 #include "sql/planner.h"
 #include "sql/render.h"
+#include "sql/verify.h"
 
 namespace sqlgraph {
 namespace sql {
@@ -43,91 +45,8 @@ const rel::Index* FindIndexByName(const rel::Table& table,
 
 }  // namespace
 
-// ===========================================================================
-// PlanMemo: per-prepared-query record of the planner's access-path choices,
-// keyed by the identity of the TableRef node in the shared immutable AST.
-// Filled on first execution, replayed on subsequent ones; thread-safe so one
-// PreparedQuery may execute concurrently.
-
-class PlanMemo {
- public:
-  /// Access path for a first-FROM-item base table.
-  struct AccessPlan {
-    enum Kind { kSeqScan, kIndexEq, kJsonEq, kJsonRange, kJsonPrefix };
-    Kind kind = kSeqScan;
-    std::string index_name;
-    // kIndexEq: matched predicates in index column order, plus the
-    // `applicable` slots they satisfy.
-    std::vector<IndexablePredicate> eq_preds;
-    std::vector<size_t> eq_slots;
-    // kJson*: the driving predicate and its slot.
-    IndexablePredicate json_pred;
-    size_t json_slot = 0;
-    // Sanity guard: the plan only replays against an identically shaped
-    // applicable-conjunct list.
-    size_t n_applicable = 0;
-  };
-
-  /// Join strategy for a non-first FROM item.
-  struct JoinPlan {
-    enum Kind { kIndexNL, kHash, kCross };
-    Kind kind = kCross;
-    std::string index_name;              // kIndexNL
-    std::vector<EquiJoinKey> keys;
-    std::vector<bool> used;              // applicable slots matched as keys
-    std::vector<size_t> best_key_order;  // kIndexNL
-    size_t n_applicable = 0;
-  };
-
-  /// Strategy for a LEFT OUTER JOIN (ON-clause partition + index choice).
-  struct OuterPlan {
-    bool use_index = false;
-    std::string index_name;
-    std::vector<EquiJoinKey> keys;
-    std::vector<ExprPtr> residual;
-  };
-
-  std::shared_ptr<const AccessPlan> GetAccess(const void* key) const {
-    util::MutexLock g(&mu_);
-    auto it = access_.find(key);
-    return it == access_.end() ? nullptr : it->second;
-  }
-  void PutAccess(const void* key, AccessPlan plan) {
-    util::MutexLock g(&mu_);
-    access_.emplace(key, std::make_shared<const AccessPlan>(std::move(plan)));
-  }
-
-  std::shared_ptr<const JoinPlan> GetJoin(const void* key) const {
-    util::MutexLock g(&mu_);
-    auto it = joins_.find(key);
-    return it == joins_.end() ? nullptr : it->second;
-  }
-  void PutJoin(const void* key, JoinPlan plan) {
-    util::MutexLock g(&mu_);
-    joins_.emplace(key, std::make_shared<const JoinPlan>(std::move(plan)));
-  }
-
-  std::shared_ptr<const OuterPlan> GetOuter(const void* key) const {
-    util::MutexLock g(&mu_);
-    auto it = outers_.find(key);
-    return it == outers_.end() ? nullptr : it->second;
-  }
-  void PutOuter(const void* key, OuterPlan plan) {
-    util::MutexLock g(&mu_);
-    outers_.emplace(key, std::make_shared<const OuterPlan>(std::move(plan)));
-  }
-
- private:
-  // Per-prepared-statement memo lock: taken briefly during planning, never
-  // while holding store/table locks. Ranks above the shared PlanCache lock.
-  mutable util::Mutex mu_{util::LockRank::kPlanMemo, "plan_memo"};
-  std::unordered_map<const void*, std::shared_ptr<const AccessPlan>> access_
-      GUARDED_BY(mu_);
-  std::unordered_map<const void*, std::shared_ptr<const JoinPlan>> joins_
-      GUARDED_BY(mu_);
-  std::unordered_map<const void*, std::shared_ptr<const OuterPlan>> outers_
-      GUARDED_BY(mu_);
-};
+// PlanMemo now lives in sql/plan_memo.h so sql/verify.cc can statically
+// cross-check recorded plans against the database they replay on.
 
 namespace {
 
@@ -2445,6 +2364,27 @@ uint64_t PlanCache::misses() const {
 Result<ResultSet> Executor::ExecuteWithParams(const SqlQuery& query,
                                               const ParamBindings* params,
                                               PlanMemo* memo) {
+  if (options_.verify_plans) {
+    // Staged verification keeps prepared-statement replay overhead at zero:
+    // execution 0 of a memo verifies the (immutable, shared) AST, execution
+    // 1 verifies the plans execution 0 recorded, later executions skip.
+    // Ad-hoc statements (no memo) verify their AST every time.
+    const uint32_t stage = memo != nullptr ? memo->ClaimVerifyStage() : 0;
+    if (stage <= 1) {
+      PlanVerifyReport report;
+      if (stage == 0) {
+        VerifyPlan(query, *db_, &report);
+      } else {
+        VerifyMemo(query, *db_, *memo, &report);
+      }
+      AddVerifySelfTestPlants(&report);
+      ++stats_.plans_verified;
+      if (!report.ok()) {
+        ++stats_.plan_verify_rejections;
+        return report.ToStatus();
+      }
+    }
+  }
   const auto start = std::chrono::steady_clock::now();
   Impl impl(db_, options_, &stats_, params, memo);
   Result<ResultSet> result = impl.ExecuteQuery(query);
@@ -2487,10 +2427,22 @@ Result<PreparedQueryPtr> Executor::Prepare(std::string_view sql_text) {
 
 Result<ResultSet> Executor::ExecutePrepared(const PreparedQuery& prepared,
                                             const ParamBindings& params) {
-  if (plan_cache_ != nullptr && prepared.schema_epoch() != schema_epoch_) {
-    // Stale handle: re-prepare through the cache (counted as a miss there).
-    ASSIGN_OR_RETURN(PreparedQueryPtr fresh, Prepare(prepared.sql()));
-    return ExecuteWithParams(fresh->query(), &params, fresh->memo());
+  if (prepared.schema_epoch() != schema_epoch_) {
+    if (plan_cache_ != nullptr) {
+      // Stale handle: re-prepare through the cache (counted as a miss there).
+      ASSIGN_OR_RETURN(PreparedQueryPtr fresh, Prepare(prepared.sql()));
+      return ExecuteWithParams(fresh->query(), &params, fresh->memo());
+    }
+    if (options_.verify_plans) {
+      // No cache to re-prepare through: replaying the stale memo would
+      // silently use access paths chosen for a different schema. Reject
+      // statically instead.
+      PlanVerifyReport report;
+      VerifyMemoEpoch(prepared.schema_epoch(), schema_epoch_, &report);
+      ++stats_.plans_verified;
+      ++stats_.plan_verify_rejections;
+      return report.ToStatus();
+    }
   }
   ++stats_.plan_cache_hits;
   return ExecuteWithParams(prepared.query(), &params, prepared.memo());

@@ -60,6 +60,10 @@ struct ExecStats {
   /// Nanoseconds spent preparing (lex+parse) and executing.
   uint64_t prepare_ns = 0;
   uint64_t exec_ns = 0;
+  /// Plan verification (sql/verify.h): passes run and plans rejected. A
+  /// prepared statement counts at most twice (AST pass, then memo pass).
+  uint64_t plans_verified = 0;
+  uint64_t plan_verify_rejections = 0;
   /// EXPLAIN-style trace: one line per access-path / join decision, prefixed
   /// by the CTE being evaluated.
   std::vector<std::string> trace;
@@ -159,6 +163,16 @@ class Executor {
     /// Tables with no versions newer than read_ts use the live fast paths
     /// (indexes, batches) unchanged; 0 always reads live data.
     uint64_t read_ts = 0;
+    /// Plan-IR verification (sql/verify.h): statically check every plan
+    /// before executing it and fail with a structured diagnostic instead of
+    /// running a malformed plan. On by default in Debug builds; prepared
+    /// statements amortize the cost to two passes total (AST once, filled
+    /// memo once) via PlanMemo::ClaimVerifyStage.
+#ifdef NDEBUG
+    bool verify_plans = false;
+#else
+    bool verify_plans = true;
+#endif
   };
 
   explicit Executor(rel::Database* db) : db_(db) {}

@@ -1,0 +1,128 @@
+// PlanMemo: per-prepared-query record of the planner's access-path choices,
+// keyed by the identity of the TableRef node in the shared immutable AST.
+// Filled on first execution, replayed on subsequent ones; thread-safe so one
+// PreparedQuery may execute concurrently.
+//
+// Lives in its own header (not inside executor.cc) so sql/verify.h can
+// statically cross-check recorded plans against the database they are about
+// to replay on — index still exists, key arity matches the index, selection
+// bitmaps are shaped like the conjunct list they were recorded for.
+
+#ifndef SQLGRAPH_SQL_PLAN_MEMO_H_
+#define SQLGRAPH_SQL_PLAN_MEMO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sql/ast.h"
+#include "sql/planner.h"
+#include "util/thread_annotations.h"
+
+namespace sqlgraph {
+namespace sql {
+
+class PlanMemo {
+ public:
+  /// Access path for a first-FROM-item base table.
+  struct AccessPlan {
+    enum Kind { kSeqScan, kIndexEq, kJsonEq, kJsonRange, kJsonPrefix };
+    Kind kind = kSeqScan;
+    std::string index_name;
+    // kIndexEq: matched predicates in index column order, plus the
+    // `applicable` slots they satisfy.
+    std::vector<IndexablePredicate> eq_preds;
+    std::vector<size_t> eq_slots;
+    // kJson*: the driving predicate and its slot.
+    IndexablePredicate json_pred;
+    size_t json_slot = 0;
+    // Sanity guard: the plan only replays against an identically shaped
+    // applicable-conjunct list.
+    size_t n_applicable = 0;
+  };
+
+  /// Join strategy for a non-first FROM item.
+  struct JoinPlan {
+    enum Kind { kIndexNL, kHash, kCross };
+    Kind kind = kCross;
+    std::string index_name;              // kIndexNL
+    std::vector<EquiJoinKey> keys;
+    std::vector<bool> used;              // applicable slots matched as keys
+    std::vector<size_t> best_key_order;  // kIndexNL
+    size_t n_applicable = 0;
+  };
+
+  /// Strategy for a LEFT OUTER JOIN (ON-clause partition + index choice).
+  struct OuterPlan {
+    bool use_index = false;
+    std::string index_name;
+    std::vector<EquiJoinKey> keys;
+    std::vector<ExprPtr> residual;
+  };
+
+  std::shared_ptr<const AccessPlan> GetAccess(const void* key) const {
+    util::MutexLock g(&mu_);
+    auto it = access_.find(key);
+    return it == access_.end() ? nullptr : it->second;
+  }
+  void PutAccess(const void* key, AccessPlan plan) {
+    util::MutexLock g(&mu_);
+    access_.emplace(key, std::make_shared<const AccessPlan>(std::move(plan)));
+  }
+
+  std::shared_ptr<const JoinPlan> GetJoin(const void* key) const {
+    util::MutexLock g(&mu_);
+    auto it = joins_.find(key);
+    return it == joins_.end() ? nullptr : it->second;
+  }
+  void PutJoin(const void* key, JoinPlan plan) {
+    util::MutexLock g(&mu_);
+    joins_.emplace(key, std::make_shared<const JoinPlan>(std::move(plan)));
+  }
+
+  std::shared_ptr<const OuterPlan> GetOuter(const void* key) const {
+    util::MutexLock g(&mu_);
+    auto it = outers_.find(key);
+    return it == outers_.end() ? nullptr : it->second;
+  }
+  void PutOuter(const void* key, OuterPlan plan) {
+    util::MutexLock g(&mu_);
+    outers_.emplace(key, std::make_shared<const OuterPlan>(std::move(plan)));
+  }
+
+  /// Verification staging (see sql/verify.h): execution 0 of a prepared
+  /// statement verifies the AST (the memo is still empty), execution 1
+  /// verifies the memo entries execution 0 recorded, and later executions
+  /// skip — the shared AST and the filled memo are immutable from then on,
+  /// so re-checking them would only re-derive the same answer. Racing
+  /// executions may both claim the same stage; verification is idempotent,
+  /// so the worst case is one redundant check.
+  uint32_t ClaimVerifyStage() {
+    return verify_stage_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Peek without claiming (tests).
+  uint32_t verify_stage() const {
+    return verify_stage_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Per-prepared-statement memo lock: taken briefly during planning, never
+  // while holding store/table locks. Ranks above the shared PlanCache lock.
+  mutable util::Mutex mu_{util::LockRank::kPlanMemo, "plan_memo"};
+  std::unordered_map<const void*, std::shared_ptr<const AccessPlan>> access_
+      GUARDED_BY(mu_);
+  std::unordered_map<const void*, std::shared_ptr<const JoinPlan>> joins_
+      GUARDED_BY(mu_);
+  std::unordered_map<const void*, std::shared_ptr<const OuterPlan>> outers_
+      GUARDED_BY(mu_);
+  std::atomic<uint32_t> verify_stage_{0};
+};
+
+}  // namespace sql
+}  // namespace sqlgraph
+
+#endif  // SQLGRAPH_SQL_PLAN_MEMO_H_

@@ -73,6 +73,15 @@ struct StoreConfig {
 #else
   bool verify_on_recovery = true;
 #endif
+  /// Statically verify every SQL plan before execution and reject malformed
+  /// ones with a structured diagnostic (sql/verify.h). Defaults on in Debug
+  /// builds; prepared/cached statements amortize the check to two passes
+  /// per plan, so Release can opt in at negligible cost.
+#ifdef NDEBUG
+  bool verify_plans = false;
+#else
+  bool verify_plans = true;
+#endif
 };
 
 /// Column names of the i-th triad.

@@ -1043,6 +1043,7 @@ sql::Executor::Options ExecOptionsFor(const StoreConfig& config,
   sql::Executor::Options options;
   options.vectorized = config.vectorized;
   options.read_ts = read_ts;
+  options.verify_plans = config.verify_plans;
   return options;
 }
 }  // namespace

@@ -40,6 +40,18 @@ int TrialsPerSeed() {
   return 25;
 }
 
+/// Store config for the differential stores. ci/check.sh's
+/// plan-verification gate sets SQLGRAPH_VERIFY_PLANS=1 to force
+/// sql/verify.h on regardless of build type (Debug already defaults on):
+/// every randomly generated pipeline must verify with zero false
+/// rejections, since a rejection surfaces as an oracle mismatch here.
+StoreConfig DiffStoreConfig() {
+  StoreConfig config;
+  const char* env = std::getenv("SQLGRAPH_VERIFY_PLANS");
+  if (env != nullptr && std::atoi(env) > 0) config.verify_plans = true;
+  return config;
+}
+
 const char* kEdgeLabels[] = {
     "http://dbpedia.org/ontology/rel_0",
     "http://dbpedia.org/ontology/rel_1",
@@ -214,7 +226,7 @@ class DifferentialTest : public ::testing::TestWithParam<int> {};
 TEST_P(DifferentialTest, SqlTranslationMatchesInterpreterMultisets) {
   util::Rng rng(0xD1FF + static_cast<uint64_t>(GetParam()) * 6700417);
   PropertyGraph g = RandomGraph(&rng);
-  StoreConfig config;
+  StoreConfig config = DiffStoreConfig();
   config.va_hash_indexes = {"genre"};
   auto store = SqlGraphStore::Build(g, config);
   ASSERT_TRUE(store.ok()) << store.status().ToString();
@@ -233,7 +245,7 @@ class ExecutorModeDifferentialTest : public ::testing::TestWithParam<int> {};
 TEST_P(ExecutorModeDifferentialTest, VectorizedMatchesRowAtATimeMultisets) {
   util::Rng rng(0xBA7C4 + static_cast<uint64_t>(GetParam()) * 15485863);
   PropertyGraph g = RandomGraph(&rng);
-  StoreConfig vec_config;
+  StoreConfig vec_config = DiffStoreConfig();
   vec_config.va_hash_indexes = {"genre"};
   vec_config.vectorized = true;
   StoreConfig row_config = vec_config;
@@ -279,7 +291,7 @@ class TxnSnapshotDifferentialTest : public ::testing::TestWithParam<int> {};
 TEST_P(TxnSnapshotDifferentialTest, SnapshotSqlMatchesPreMutationAutocommit) {
   util::Rng rng(0x7A9CF + static_cast<uint64_t>(GetParam()) * 32452843);
   PropertyGraph g = RandomGraph(&rng);
-  StoreConfig vec_config;
+  StoreConfig vec_config = DiffStoreConfig();
   vec_config.va_hash_indexes = {"genre"};
   vec_config.vectorized = true;
   StoreConfig row_config = vec_config;
@@ -362,7 +374,7 @@ TEST_P(DbpediaDifferentialTest, SqlTranslationMatchesInterpreterMultisets) {
   gen_config.seed = 20150531 + static_cast<uint64_t>(GetParam());
   PropertyGraph g = graph::DbpediaGenerator(gen_config).Generate();
   ASSERT_GT(g.NumVertices(), 0u);
-  StoreConfig config;
+  StoreConfig config = DiffStoreConfig();
   config.va_hash_indexes = {"genre"};
   auto store = SqlGraphStore::Build(g, config);
   ASSERT_TRUE(store.ok()) << store.status().ToString();
@@ -387,7 +399,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, DbpediaDifferentialTest,
 TEST(DifferentialSoftDeleteTest, EnginesAgreeAfterDeletesAndCompact) {
   util::Rng rng(0x5073DE1);
   PropertyGraph g = RandomGraph(&rng);
-  StoreConfig config;
+  StoreConfig config = DiffStoreConfig();
   config.va_hash_indexes = {"genre"};
   auto store = SqlGraphStore::Build(g, config);
   ASSERT_TRUE(store.ok());
